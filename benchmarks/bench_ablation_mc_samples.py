@@ -1,0 +1,71 @@
+"""Ablation — Monte-Carlo sample-count sensitivity of the σ estimator.
+
+The paper does not report its repetition count; DESIGN.md records our
+defaults as a substitution. This bench quantifies the estimator's
+stability: for a fixed protector set, σ̂ is recomputed across disjoint
+replica banks at several ``runs`` settings and the spread (sample stdev
+of the bank means) is reported. The spread must shrink as runs grow —
+the empirical justification for the defaults.
+"""
+
+from benchmarks.conftest import FAST, SCALE
+from repro.algorithms.base import SelectionContext
+from repro.algorithms.greedy import SigmaEstimator
+from repro.algorithms.scbg import SCBGSelector
+from repro.datasets.registry import load_dataset
+from repro.lcrb.pipeline import draw_rumor_seeds
+from repro.rng import RngStream
+from repro.utils.stats import stdev
+from repro.utils.tables import format_table
+
+
+def _instance():
+    dataset = load_dataset("hep", scale=SCALE, seed=13)
+    size = dataset.communities.size(dataset.rumor_community)
+    seeds = draw_rumor_seeds(
+        dataset.communities,
+        dataset.rumor_community,
+        max(1, size // 20),
+        RngStream(34, name="ablation-mc"),
+    )
+    return SelectionContext(dataset.graph, dataset.rumor_community_nodes, seeds)
+
+
+def _bank_means(context, protectors, runs: int, banks: int):
+    means = []
+    for bank in range(banks):
+        estimator = SigmaEstimator(
+            context, runs=runs, rng=RngStream(35, name="bank").fork("bank", bank, runs)
+        )
+        means.append(estimator.sigma(protectors))
+    return means
+
+
+def test_ablation_mc_sample_sensitivity(benchmark, report_result):
+    context = _instance()
+    protectors = SCBGSelector().select(context)[:3]
+    banks = 4 if FAST else 6
+    runs_grid = (4, 16) if FAST else (5, 20, 60)
+
+    def sweep():
+        return {runs: _bank_means(context, protectors, runs, banks) for runs in runs_grid}
+
+    by_runs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    spreads = {}
+    for runs, means in by_runs.items():
+        spreads[runs] = stdev(means)
+        rows.append(
+            [runs, sum(means) / len(means), spreads[runs]]
+        )
+    text = format_table(
+        ["runs per estimate", "mean sigma", "stdev across banks"],
+        rows,
+        title=f"Sigma estimator stability (|P|={len(protectors)}, banks={banks})",
+    )
+    report_result(text, "ablation_mc_samples")
+
+    # More samples, less spread (allow slack for the tiny-bank regime).
+    lowest, highest = min(runs_grid), max(runs_grid)
+    assert spreads[highest] <= spreads[lowest] * 1.5 + 0.1

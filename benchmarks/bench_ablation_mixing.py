@@ -1,0 +1,49 @@
+"""Ablation — how community strength drives rumor-blocking cost.
+
+DESIGN.md's substitution argument says the algorithms are sensitive to one
+generator statistic above all: the cross-community ``mixing`` fraction
+(Section IV: sparse boundaries are what make bridge-end protection cheap).
+This bench sweeps mixing and reports bridge-end counts and protector
+costs; the cost of containment must rise as communities blur.
+"""
+
+from benchmarks.conftest import FAST
+from repro.experiments.sweep import mixing_sweep
+from repro.utils.tables import format_table
+
+
+def test_ablation_mixing_sweep(benchmark, report_result):
+    mixings = (0.05, 0.20) if FAST else (0.02, 0.05, 0.10, 0.20, 0.35)
+    rows = benchmark.pedantic(
+        mixing_sweep,
+        kwargs={
+            "mixings": mixings,
+            "nodes": 600 if FAST else 1500,
+            "draws": 2 if FAST else 3,
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    table_rows = [
+        [
+            f"{row['value']:.2f}",
+            row["boundary_edges"],
+            row["bridge_ends"],
+            row["scbg_protectors"],
+            row["proximity_protectors"],
+        ]
+        for row in rows
+    ]
+    text = format_table(
+        ["mixing", "boundary edges", "|B|", "SCBG |P|", "Proximity |P|"],
+        table_rows,
+        title="Community-mixing ablation (Section IV premise)",
+    )
+    report_result(text, "ablation_mixing")
+
+    # Stronger mixing -> more escape routes -> more bridge ends and a
+    # costlier SCBG cover (compare the sweep's endpoints).
+    first, last = rows[0], rows[-1]
+    assert last["bridge_ends"] >= first["bridge_ends"]
+    assert last["scbg_protectors"] >= first["scbg_protectors"]

@@ -1,0 +1,42 @@
+"""Extension — LCRB under the competitive IC and LT models.
+
+The paper's conclusion proposes studying LCRB "under other influence
+diffusion models". The library's selectors are model-generic, so this
+bench runs the Fig. 4 protocol (|P| = |R|, Greedy vs heuristics vs
+NoBlocking) under the competitive Independent Cascade and competitive
+Linear Threshold substrates and prints both series.
+"""
+
+import pytest
+
+from benchmarks.conftest import (
+    FAST,
+    SCALE,
+    assert_monotone_series,
+    assert_noblocking_worst,
+)
+from repro.experiments.config import FigureConfig
+from repro.experiments.harness import run_figure
+from repro.experiments.report import figure_to_dict, render_figure
+
+
+@pytest.mark.parametrize("model_key", ["ic", "lt"])
+def test_extension_model_figure(benchmark, report_result, model_key):
+    config = FigureConfig(
+        name=f"ext-{model_key}",
+        dataset="hep",
+        model=model_key,
+        rumor_fraction=0.05,
+        hops=15,
+        runs=10 if FAST else 40,
+        draws=1,
+        scale=SCALE,
+        greedy_runs=4 if FAST else 6,
+        greedy_max_candidates=50 if FAST else 100,
+        title=f"Infected nodes under competitive {model_key.upper()} (extension)",
+    )
+    result = benchmark.pedantic(run_figure, args=(config,), rounds=1, iterations=1)
+    report_result(render_figure(result), f"extension_{model_key}", figure_to_dict(result))
+
+    assert_monotone_series(result.series)
+    assert_noblocking_worst(result)

@@ -1,0 +1,34 @@
+"""Fig. 4 — infected nodes under OPOAO, Hep collaboration network.
+
+Paper setting: |N|=15233, |C|=308, |B|=387; Greedy / Proximity /
+MaxDegree with |P| = |R|, plus the NoBlocking line; 31 hops, repeated
+Monte-Carlo averaging. Expected shape: every strategy far below
+NoBlocking; Proximity strong early; Greedy catches up by the late hops;
+per-hop growth never accelerates.
+"""
+
+from benchmarks.conftest import (
+    assert_monotone_series,
+    assert_noblocking_worst,
+    figure_overrides,
+)
+from repro.experiments import paper_experiment, run_figure
+from repro.experiments.report import figure_to_dict, render_figure
+
+
+def test_fig4_opoao_hep(benchmark, report_result):
+    config = paper_experiment("fig4").scaled(**figure_overrides())
+    result = benchmark.pedantic(run_figure, args=(config,), rounds=1, iterations=1)
+    report_result(render_figure(result), "fig4", figure_to_dict(result))
+
+    assert set(result.series) == {"Greedy", "Proximity", "MaxDegree", "NoBlocking"}
+    assert_monotone_series(result.series)
+    assert_noblocking_worst(result)
+    # |P| = |R| for every strategy (Section VI.B.2 protocol).
+    for name in ("Greedy", "Proximity", "MaxDegree"):
+        assert result.protectors_used[name] == result.rumor_seeds
+    # "the relative increase speed ... does not increase" (Section VI.B.2).
+    from repro.diffusion.analysis import is_growth_non_accelerating
+
+    for name, series in result.series.items():
+        assert is_growth_non_accelerating(series, tolerance=0.05), name

@@ -1,0 +1,31 @@
+"""Fig. 5 — infected nodes under OPOAO, Enron e-mail network, small
+rumor community.
+
+Paper setting: |N|=36692, |C|=80, |B|=135; same protocol as Fig. 4.
+Expected shape: blocking strategies below NoBlocking; Proximity and
+MaxDegree close together (the paper attributes this to Enron's higher
+density).
+"""
+
+from benchmarks.conftest import (
+    assert_monotone_series,
+    assert_noblocking_worst,
+    figure_overrides,
+)
+from repro.experiments import paper_experiment, run_figure
+from repro.experiments.report import figure_to_dict, render_figure
+
+
+def test_fig5_opoao_enron_small(benchmark, report_result):
+    config = paper_experiment("fig5").scaled(**figure_overrides())
+    result = benchmark.pedantic(run_figure, args=(config,), rounds=1, iterations=1)
+    report_result(render_figure(result), "fig5", figure_to_dict(result))
+
+    assert_monotone_series(result.series)
+    assert_noblocking_worst(result)
+    assert result.rumor_seeds >= 1
+    # Growth-rate observation of Section VI.B.2 holds here too.
+    from repro.diffusion.analysis import is_growth_non_accelerating
+
+    for name, series in result.series.items():
+        assert is_growth_non_accelerating(series, tolerance=0.05), name

@@ -1,0 +1,35 @@
+"""Fig. 6 — infected nodes under OPOAO, Enron e-mail network, large
+rumor community.
+
+Paper setting: |N|=36692, |C|=2631, |B|=2250; same protocol as Fig. 4.
+The community is large and dense, so rumor pressure is highest here.
+"""
+
+from benchmarks.conftest import (
+    assert_monotone_series,
+    assert_noblocking_worst,
+    figure_overrides,
+)
+from repro.experiments import paper_experiment, run_figure
+from repro.experiments.report import figure_to_dict, render_figure
+
+
+def test_fig6_opoao_enron_large(benchmark, report_result):
+    config = paper_experiment("fig6").scaled(**figure_overrides())
+    result = benchmark.pedantic(run_figure, args=(config,), rounds=1, iterations=1)
+    report_result(render_figure(result), "fig6", figure_to_dict(result))
+
+    assert_monotone_series(result.series)
+    assert_noblocking_worst(result)
+    # Late-stage flattening (Section VI.B.2): the final 10% of hops add
+    # less than the first 10% for the NoBlocking line.
+    series = result.series["NoBlocking"]
+    tenth = max(1, len(series) // 10)
+    early_growth = series[tenth] - series[0]
+    late_growth = series[-1] - series[-1 - tenth]
+    assert late_growth <= early_growth + 1e-9
+    # Growth-rate observation of Section VI.B.2.
+    from repro.diffusion.analysis import is_growth_non_accelerating
+
+    for name, values in result.series.items():
+        assert is_growth_non_accelerating(values, tolerance=0.05), name

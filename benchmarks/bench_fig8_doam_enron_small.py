@@ -1,0 +1,26 @@
+"""Fig. 8 — infected nodes under DOAM, Enron e-mail network, small
+rumor community.
+
+Same protocol as Fig. 7 on the Enron replica's small community.
+"""
+
+from benchmarks.conftest import (
+    assert_monotone_series,
+    assert_noblocking_worst,
+    figure_overrides,
+)
+from repro.experiments import paper_experiment, run_figure
+from repro.experiments.report import figure_to_dict, render_figure
+
+
+def test_fig8_doam_enron_small(benchmark, report_result):
+    config = paper_experiment("fig8").scaled(**figure_overrides())
+    result = benchmark.pedantic(run_figure, args=(config,), rounds=1, iterations=1)
+    report_result(render_figure(result), "fig8", figure_to_dict(result))
+
+    assert_monotone_series(result.series)
+    assert_noblocking_worst(result)
+    # SCBG protects every bridge end by construction, so it must not lose
+    # to NoBlocking anywhere along the series either.
+    for hop, value in enumerate(result.series["SCBG"]):
+        assert value <= result.series["NoBlocking"][hop] + 1e-9

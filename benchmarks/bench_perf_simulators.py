@@ -1,0 +1,88 @@
+"""Performance microbenchmarks of the diffusion engines.
+
+Not a paper figure — these measure the substrate itself (runs/second of
+each model on a replica-scale graph), using pytest-benchmark's real
+multi-round statistics. Useful for catching performance regressions in
+the hot loops the Monte-Carlo experiments hammer.
+"""
+
+import pytest
+
+from benchmarks.conftest import SCALE
+from repro.datasets.registry import load_dataset
+from repro.diffusion.base import SeedSets
+from repro.diffusion.doam import DOAMModel
+from repro.diffusion.ic import CompetitiveICModel
+from repro.diffusion.lt import CompetitiveLTModel
+from repro.diffusion.opoao import OPOAOModel
+from repro.lcrb.pipeline import draw_rumor_seeds
+from repro.rng import RngStream
+
+
+@pytest.fixture(scope="module")
+def instance():
+    dataset = load_dataset("enron-small", scale=SCALE, seed=13)
+    indexed = dataset.graph.to_indexed()
+    size = dataset.communities.size(dataset.rumor_community)
+    rumor_labels = draw_rumor_seeds(
+        dataset.communities,
+        dataset.rumor_community,
+        max(2, size // 10),
+        RngStream(51, name="perf"),
+    )
+    rumors = indexed.indices(rumor_labels)
+    # A handful of arbitrary protectors outside the rumor seeds.
+    protectors = [i for i in range(indexed.node_count) if i not in set(rumors)][:5]
+    return indexed, SeedSets(rumors=rumors, protectors=protectors)
+
+
+def test_perf_doam_run(benchmark, instance):
+    indexed, seeds = instance
+    model = DOAMModel()
+    result = benchmark(lambda: model.run(indexed, seeds, max_hops=64))
+    assert result.infected_count > 0
+
+
+def test_perf_opoao_run(benchmark, instance):
+    indexed, seeds = instance
+    model = OPOAOModel()
+    rng = RngStream(52)
+    counter = iter(range(10**9))
+
+    def run_once():
+        return model.run(indexed, seeds, rng=rng.replica(next(counter)), max_hops=31)
+
+    result = benchmark(run_once)
+    assert result.infected_count > 0
+
+
+def test_perf_ic_run(benchmark, instance):
+    indexed, seeds = instance
+    model = CompetitiveICModel(probability=0.1)
+    rng = RngStream(53)
+    counter = iter(range(10**9))
+
+    def run_once():
+        return model.run(indexed, seeds, rng=rng.replica(next(counter)), max_hops=31)
+
+    result = benchmark(run_once)
+    assert result.infected_count > 0
+
+
+def test_perf_lt_run(benchmark, instance):
+    indexed, seeds = instance
+    model = CompetitiveLTModel()
+    rng = RngStream(54)
+    counter = iter(range(10**9))
+
+    def run_once():
+        return model.run(indexed, seeds, rng=rng.replica(next(counter)), max_hops=31)
+
+    result = benchmark(run_once)
+    assert result.infected_count > 0
+
+
+def test_perf_indexing_snapshot(benchmark):
+    dataset = load_dataset("enron-small", scale=SCALE, seed=13)
+    indexed = benchmark(dataset.graph.to_indexed)
+    assert indexed.node_count == dataset.graph.node_count

@@ -1,0 +1,80 @@
+"""Robustness — does SCBG's advantage survive adversarial rumor placement?
+
+The paper places rumor originators uniformly in the community. This bench
+re-runs the Table-I-style comparison under four placement strategies —
+uniform (paper), hubs (influencer-started), boundary (one hop from the
+bridge ends), deep (interior only) — and checks SCBG still produces the
+cheapest full-protection solution in every regime.
+"""
+
+from benchmarks.conftest import FAST, SCALE
+from repro.algorithms.base import SelectionContext
+from repro.algorithms.heuristics import ProximitySelector
+from repro.algorithms.scbg import SCBGSelector
+from repro.datasets.registry import load_dataset
+from repro.lcrb.scenarios import PLACEMENTS, place_rumors
+from repro.rng import RngStream
+from repro.utils.stats import RunningStats
+from repro.utils.tables import format_table
+
+
+def test_robustness_rumor_placement(benchmark, report_result):
+    dataset = load_dataset("hep", scale=SCALE, seed=13)
+    size = dataset.communities.size(dataset.rumor_community)
+    rumor_count = max(2, size // 20)
+    draws = 3 if FAST else 6
+    rng = RngStream(71, name="robustness")
+
+    def sweep():
+        rows = []
+        for strategy in sorted(PLACEMENTS):
+            bridge = RunningStats()
+            scbg_size = RunningStats()
+            proximity_size = RunningStats()
+            for draw in range(draws):
+                draw_rng = rng.fork(strategy, draw)
+                seeds = place_rumors(
+                    dataset.communities,
+                    dataset.rumor_community,
+                    rumor_count,
+                    strategy=strategy,
+                    rng=draw_rng.fork("seeds"),
+                )
+                context = SelectionContext(
+                    dataset.graph, dataset.rumor_community_nodes, seeds
+                )
+                if not context.bridge_ends:
+                    continue
+                bridge.add(len(context.bridge_ends))
+                scbg_size.add(len(SCBGSelector().select(context)))
+                proximity_size.add(
+                    len(
+                        ProximitySelector(rng=draw_rng.fork("prox")).select(context)
+                    )
+                )
+            rows.append(
+                {
+                    "strategy": strategy,
+                    "bridge_ends": bridge.mean,
+                    "scbg": scbg_size.mean,
+                    "proximity": proximity_size.mean,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    table_rows = [
+        [row["strategy"], row["bridge_ends"], row["scbg"], row["proximity"]]
+        for row in rows
+    ]
+    text = format_table(
+        ["placement", "|B|", "SCBG |P|", "Proximity |P|"],
+        table_rows,
+        title=f"Rumor-placement robustness (|R|={rumor_count}, draws={draws})",
+    )
+    report_result(text, "robustness_placement")
+
+    # SCBG stays at or below Proximity under every placement regime.
+    for row in rows:
+        assert row["scbg"] <= row["proximity"] + 1e-9, row["strategy"]

@@ -1,0 +1,57 @@
+"""Ablation — do the reproduction claims survive a scale change?
+
+DESIGN.md's substitution argument says the paper's comparative claims are
+scale-free on the replicas. This bench runs the Table-I experiment at two
+scales and checks the per-cell winners agree — the mechanical form of
+"the shape holds at any scale" from the README.
+"""
+
+from benchmarks.conftest import FAST, SCALE
+from repro.experiments.compare import compare_tables, table_winners
+from repro.experiments.config import TableConfig
+from repro.experiments.harness import run_table
+from repro.experiments.report import table_to_dict
+from repro.utils.tables import format_table
+
+
+def test_scale_invariance_of_table1(benchmark, report_result):
+    draws = 2 if FAST else 5
+    small_scale = SCALE / 2
+    rows = {
+        "hep": (0.05, 0.10),
+        "enron-small": (0.10,),
+        "enron-large": (0.05,),
+    }
+
+    def run_both():
+        small = run_table(
+            TableConfig(name="t-small", rows=rows, draws=draws, scale=small_scale)
+        )
+        large = run_table(
+            TableConfig(name="t-large", rows=rows, draws=draws, scale=SCALE)
+        )
+        return table_to_dict(small), table_to_dict(large)
+
+    small_doc, large_doc = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    comparison = compare_tables(small_doc, large_doc)
+
+    small_winners = table_winners(small_doc)
+    table_rows = [
+        [
+            f"{cell[0]} @ {cell[1] * 100:.0f}%",
+            small_winners[cell],
+            table_winners(large_doc)[cell],
+        ]
+        for cell in sorted(small_winners)
+    ]
+    text = format_table(
+        ["cell", f"winner @ scale {small_scale}", f"winner @ scale {SCALE}"],
+        table_rows,
+        title=(
+            f"Scale invariance of Table I winners "
+            f"(agreement={comparison['agreement']:.0%}, draws={draws})"
+        ),
+    )
+    report_result(text, "scale_invariance")
+
+    assert comparison["agreement"] == 1.0, comparison["disagreements"]

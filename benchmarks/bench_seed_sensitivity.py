@@ -1,0 +1,67 @@
+"""Ablation — do the Table-I winners survive a different master seed?
+
+Companion to the scale-invariance bench: same cells, three unrelated
+master seeds (new replica graphs, new communities, new rumor draws). The
+per-cell winners must agree across seeds for the reproduction's ordinal
+claims to be seed-free.
+"""
+
+from benchmarks.conftest import FAST, SCALE
+from repro.experiments.compare import compare_tables, table_winners
+from repro.experiments.config import TableConfig
+from repro.experiments.harness import run_table
+from repro.experiments.report import table_to_dict
+from repro.utils.tables import format_table
+
+SEEDS = (13, 101, 4242)
+
+
+def test_seed_sensitivity_of_table1(benchmark, report_result):
+    draws = 2 if FAST else 4
+    rows = {
+        "hep": (0.05, 0.10),
+        "enron-small": (0.10,),
+        "enron-large": (0.05,),
+    }
+
+    def run_all_seeds():
+        return [
+            table_to_dict(
+                run_table(
+                    TableConfig(
+                        name=f"t-seed-{seed}", rows=rows, draws=draws, scale=SCALE,
+                        seed=seed,
+                    )
+                )
+            )
+            for seed in SEEDS
+        ]
+
+    documents = benchmark.pedantic(run_all_seeds, rounds=1, iterations=1)
+    reference = documents[0]
+    agreements = [
+        compare_tables(reference, other)["agreement"] for other in documents[1:]
+    ]
+
+    winner_columns = [table_winners(doc) for doc in documents]
+    table_rows = [
+        [
+            f"{cell[0]} @ {cell[1] * 100:.0f}%",
+            *(winners[cell] for winners in winner_columns),
+        ]
+        for cell in sorted(winner_columns[0])
+    ]
+    text = format_table(
+        ["cell", *(f"seed {seed}" for seed in SEEDS)],
+        table_rows,
+        title=(
+            "Seed sensitivity of Table I winners "
+            f"(agreement vs seed {SEEDS[0]}: "
+            + ", ".join(f"{a:.0%}" for a in agreements)
+            + f"; draws={draws})"
+        ),
+    )
+    report_result(text, "seed_sensitivity")
+
+    for agreement in agreements:
+        assert agreement == 1.0

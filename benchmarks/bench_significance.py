@@ -1,0 +1,98 @@
+"""Statistical resolution of the headline OPOAO comparison.
+
+The paper's figures present mean curves without error bars; this bench
+backs the central ordinal claims — Greedy ends below each heuristic, and
+every blocker ends below NoBlocking — with bootstrap confidence intervals
+over per-replica final infected counts, reporting whether each comparison
+is resolved by the Monte-Carlo sample size used.
+"""
+
+from benchmarks.conftest import FAST, SCALE
+from repro.algorithms.base import SelectionContext
+from repro.algorithms.celf import CELFGreedySelector
+from repro.algorithms.heuristics import MaxDegreeSelector, ProximitySelector
+from repro.datasets.registry import load_dataset
+from repro.diffusion.opoao import OPOAOModel
+from repro.lcrb.evaluation import compare_evaluations, evaluate_protectors
+from repro.lcrb.pipeline import draw_rumor_seeds
+from repro.rng import RngStream
+from repro.utils.tables import format_table
+
+
+def test_significance_of_opoao_claims(benchmark, report_result):
+    rng = RngStream(101, name="significance")
+    dataset = load_dataset("hep", scale=SCALE, seed=13)
+    size = dataset.communities.size(dataset.rumor_community)
+    seeds = draw_rumor_seeds(
+        dataset.communities,
+        dataset.rumor_community,
+        max(2, size // 20),
+        rng.fork("seeds"),
+    )
+    context = SelectionContext(dataset.graph, dataset.rumor_community_nodes, seeds)
+    budget = len(context.rumor_seeds)
+    runs = 40 if FAST else 150
+    hops = 20 if FAST else 31
+
+    def evaluate_all():
+        assignments = {
+            "Greedy": CELFGreedySelector(
+                runs=4 if FAST else 8,
+                max_candidates=60 if FAST else 150,
+                rng=rng.fork("greedy"),
+            ).select(context, budget=budget),
+            "Proximity": ProximitySelector(rng=rng.fork("prox")).select(
+                context, budget=budget
+            ),
+            "MaxDegree": MaxDegreeSelector().select(context, budget=budget),
+            "NoBlocking": [],
+        }
+        return {
+            name: evaluate_protectors(
+                context,
+                protectors,
+                OPOAOModel(),
+                runs=runs,
+                max_hops=hops,
+                rng=rng.fork("eval", name),
+            )
+            for name, protectors in assignments.items()
+        }
+
+    evaluations = benchmark.pedantic(evaluate_all, rounds=1, iterations=1)
+
+    claims = [
+        ("Greedy", "NoBlocking"),
+        ("Proximity", "NoBlocking"),
+        ("MaxDegree", "NoBlocking"),
+        ("Greedy", "Proximity"),
+        ("Greedy", "MaxDegree"),
+    ]
+    rows = []
+    verdicts = {}
+    for left, right in claims:
+        verdict = compare_evaluations(
+            evaluations[left], evaluations[right], rng.fork("boot", left, right)
+        )
+        verdicts[(left, right)] = verdict
+        lo, hi = verdict["ci"]
+        rows.append(
+            [
+                f"{left} < {right}",
+                verdict["observed_diff"],
+                f"[{lo:.1f}, {hi:.1f}]",
+                f"{verdict['p_left_better']:.2f}",
+                "yes" if verdict["resolved"] else "no",
+            ]
+        )
+    text = format_table(
+        ["claim", "mean diff", "95% CI", "P(left better)", "resolved"],
+        rows,
+        title=f"Bootstrap resolution of OPOAO claims (runs={runs}, hops={hops})",
+    )
+    report_result(text, "significance")
+
+    # The versus-NoBlocking claims must be decisively resolved.
+    for left in ("Greedy", "Proximity", "MaxDegree"):
+        verdict = verdicts[(left, "NoBlocking")]
+        assert verdict["resolved"] and verdict["observed_diff"] < 0, left

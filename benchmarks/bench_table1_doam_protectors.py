@@ -1,0 +1,43 @@
+"""Table I — number of selected protectors under DOAM.
+
+Paper layout: rows are (dataset, |R| as a % of |C|) cells, columns are
+SCBG / Proximity / MaxDegree, each cell the average protector count over
+repeated random rumor draws. Expected shape (Section VI.B.2):
+
+* SCBG needs the fewest protectors in (almost) every cell — the paper's
+  single exception is Hep at |R| = 1%, where Proximity can win.
+* SCBG's count grows much more slowly with |R| than both heuristics.
+* Proximity generally beats MaxDegree.
+"""
+
+from benchmarks.conftest import table_overrides
+from repro.experiments import paper_experiment, run_table
+from repro.experiments.harness import MAXDEGREE, PROXIMITY, SCBG
+from repro.experiments.report import render_table, table_to_dict
+
+
+def test_table1_doam_protectors(benchmark, report_result):
+    config = paper_experiment("table1").scaled(**table_overrides())
+    result = benchmark.pedantic(run_table, args=(config,), rounds=1, iterations=1)
+    report_result(render_table(result), "table1", table_to_dict(result))
+
+    rows = result.rows
+    assert len(rows) == 9
+
+    # SCBG wins all but at most one cell (the paper's Hep 1% exception).
+    scbg_wins = sum(
+        1 for row in rows if row[SCBG] <= min(row[PROXIMITY], row[MAXDEGREE])
+    )
+    assert scbg_wins >= len(rows) - 1, f"SCBG won only {scbg_wins}/{len(rows)} cells"
+
+    # SCBG's growth across each dataset's |R| sweep is the slowest.
+    by_dataset = {}
+    for row in rows:
+        by_dataset.setdefault(row["dataset"], []).append(row)
+    for dataset, dataset_rows in by_dataset.items():
+        dataset_rows.sort(key=lambda r: r["fraction"])
+        scbg_growth = dataset_rows[-1][SCBG] - dataset_rows[0][SCBG]
+        proximity_growth = dataset_rows[-1][PROXIMITY] - dataset_rows[0][PROXIMITY]
+        assert scbg_growth <= proximity_growth + 1e-9, (
+            f"SCBG grew faster than Proximity on {dataset}"
+        )

@@ -1,0 +1,82 @@
+"""Shared infrastructure for the benchmark suite.
+
+Each benchmark regenerates one table or figure of the paper's evaluation
+section, prints the same rows/series the paper reports (straight to the
+terminal, bypassing capture), and archives the rendered text plus a JSON
+document under ``benchmarks/results/``.
+
+Scales are controlled by the ``REPRO_BENCH_SCALE`` / ``REPRO_BENCH_FAST``
+environment variables so CI can run a quick pass while a full laptop run
+uses the paper-shaped defaults.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Set REPRO_BENCH_FAST=1 for a fast smoke pass of every benchmark.
+FAST = os.environ.get("REPRO_BENCH_FAST", "0") == "1"
+
+#: Replica scale for all benchmarks (default 0.1 = one tenth of the
+#: paper's node counts; see DESIGN.md §4).
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.05" if FAST else "0.1"))
+
+
+def figure_overrides() -> dict:
+    """Config overrides applied to every figure benchmark."""
+    overrides = {"scale": SCALE}
+    if FAST:
+        overrides.update(runs=10, draws=1, greedy_runs=4, greedy_max_candidates=60)
+    return overrides
+
+
+def table_overrides() -> dict:
+    """Config overrides applied to the table benchmark."""
+    overrides = {"scale": SCALE}
+    if FAST:
+        overrides.update(draws=3)
+    return overrides
+
+
+@pytest.fixture
+def report_result(capfd):
+    """Print a rendered result to the real terminal and archive it.
+
+    Returns a callable ``report(text, name, payload=None)``.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def report(text: str, name: str, payload: dict = None) -> None:
+        with capfd.disabled():
+            print(f"\n================ {name} ================")
+            print(text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        if payload is not None:
+            from repro.experiments.report import save_json
+
+            save_json(payload, RESULTS_DIR / f"{name}.json")
+
+    return report
+
+
+def assert_monotone_series(series) -> None:
+    """Cumulative infected counts never decrease."""
+    for name, values in series.items():
+        assert all(
+            b >= a - 1e-9 for a, b in zip(values, values[1:])
+        ), f"series {name} not monotone"
+
+
+def assert_noblocking_worst(result) -> None:
+    """Every blocking strategy ends at or below the NoBlocking line."""
+    worst = result.final_infected("NoBlocking")
+    for name in result.series:
+        if name != "NoBlocking":
+            assert result.final_infected(name) <= worst + 1e-9, (
+                f"{name} ended above NoBlocking"
+            )

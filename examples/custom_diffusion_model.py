@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Extending the library: plug in your own diffusion model.
+
+The paper's conclusion suggests studying LCRB "under other influence
+diffusion models". Every component of this library — the σ estimator, the
+greedy/CELF selectors, the evaluator — is generic over
+:class:`repro.diffusion.base.DiffusionModel`, so a new model is one class.
+
+This example implements a **Fanout-k** model (each newly active node
+activates up to ``k`` random inactive out-neighbors — interpolating
+between OPOAO's k=1-per-step and DOAM's k=∞-once), then runs the full
+LCRB pipeline under it.
+
+Run:  python examples/custom_diffusion_model.py
+"""
+
+from typing import List, Optional, Set
+
+from repro import (
+    CELFGreedySelector,
+    RngStream,
+    SelectionContext,
+    evaluate_protectors,
+)
+from repro.datasets import hep_like
+from repro.diffusion.base import (
+    INACTIVE,
+    INFECTED,
+    PROTECTED,
+    DiffusionModel,
+    SeedSets,
+)
+from repro.diffusion.trace import HopTrace
+from repro.graph.compact import IndexedDiGraph
+from repro.lcrb.pipeline import detect_communities, draw_rumor_seeds
+
+
+class FanoutKModel(DiffusionModel):
+    """Each newly active node activates up to ``k`` random inactive
+    out-neighbors on the following step (single chance), P wins ties."""
+
+    stochastic = True
+
+    def __init__(self, k: int = 2) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.name = f"Fanout-{k}"
+
+    def _spread(
+        self,
+        graph: IndexedDiGraph,
+        states: List[int],
+        seeds: SeedSets,
+        trace: HopTrace,
+        rng: Optional[RngStream],
+        max_hops: int,
+    ) -> None:
+        assert rng is not None
+        protected_front = sorted(seeds.protectors)
+        infected_front = sorted(seeds.rumors)
+
+        def targets_of(front: List[int]) -> Set[int]:
+            chosen: Set[int] = set()
+            for node in front:
+                inactive = [n for n in graph.out[node] if states[n] == INACTIVE]
+                if not inactive:
+                    continue
+                picks = (
+                    inactive
+                    if len(inactive) <= self.k
+                    else rng.sample(inactive, self.k)
+                )
+                chosen.update(picks)
+            return chosen
+
+        for _hop in range(max_hops):
+            if not protected_front and not infected_front:
+                break
+            protected_targets = targets_of(protected_front)
+            infected_targets = targets_of(infected_front) - protected_targets
+            if not protected_targets and not infected_targets:
+                break
+            new_protected = sorted(protected_targets)
+            new_infected = sorted(infected_targets)
+            for node in new_protected:
+                states[node] = PROTECTED
+            for node in new_infected:
+                states[node] = INFECTED
+            trace.record(new_infected, new_protected)
+            protected_front = new_protected
+            infected_front = new_infected
+
+
+def main() -> None:
+    rng = RngStream(5, name="custom-model")
+    network = hep_like(scale=0.05, rng=rng.fork("net"))
+    graph = network.graph
+    communities = detect_communities(graph, rng=rng.fork("louvain"))
+    rumor_community = communities.largest_communities(1)[0]
+    seeds = draw_rumor_seeds(communities, rumor_community, 3, rng.fork("seeds"))
+    context = SelectionContext(graph, communities.members(rumor_community), seeds)
+    print(
+        f"instance: |C|={communities.size(rumor_community)} "
+        f"|S_R|={len(seeds)} |B|={len(context.bridge_ends)}"
+    )
+
+    for k in (1, 2, 4):
+        model = FanoutKModel(k=k)
+        # The generic greedy selector works unchanged under the new model.
+        selector = CELFGreedySelector(
+            model=model, runs=6, max_candidates=50, rng=rng.fork("greedy", k)
+        )
+        protectors = selector.select(context, budget=len(seeds))
+        report = evaluate_protectors(
+            context, protectors, model, runs=40, rng=rng.fork("eval", k)
+        )
+        print(
+            f"{model.name}: greedy protectors={protectors} -> "
+            f"final infected {report.final_infected_mean:.1f}, "
+            f"bridge ends safe {report.protected_bridge_fraction:.0%}"
+        )
+    print("\nHigher fanout spreads the rumor faster, but the same pipeline")
+    print("(bridge ends -> sigma estimation -> CELF greedy) contains it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Scenario: contain a fast-spreading panic rumor (the paper's Ghazni case).
+
+The paper's introduction motivates LCRB-D with a 2012 earthquake rumor
+that emptied whole neighborhoods overnight — a *broadcast*-style spread
+(everyone warns all their contacts at once), which is exactly the DOAM
+model. The question for the platform operator: **who is the cheapest set
+of accounts to seed with the official correction so the rumor never
+escapes its originating community?**
+
+This example compares the cost (number of protector accounts) and the
+outcome (population infected) of SCBG against the MaxDegree and Proximity
+heuristics over several rumor sizes, printing a Table-I-style summary.
+
+Run:  python examples/earthquake_rumor.py
+"""
+
+from repro import (
+    DOAMModel,
+    MaxDegreeSelector,
+    ProximitySelector,
+    RngStream,
+    SCBGSelector,
+    SelectionContext,
+    evaluate_protectors,
+)
+from repro.datasets import hep_like
+from repro.lcrb.pipeline import detect_communities, draw_rumor_seeds
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    rng = RngStream(42, name="earthquake")
+
+    network = hep_like(scale=0.08, rng=rng.fork("net"))
+    graph = network.graph
+    communities = detect_communities(graph, rng=rng.fork("louvain"))
+    rumor_community = communities.largest_communities(1)[0]
+    community_size = communities.size(rumor_community)
+    print(
+        f"network: {graph.node_count} people, {graph.edge_count} ties; "
+        f"rumor starts in community {rumor_community} ({community_size} members)"
+    )
+
+    rows = []
+    for fraction in (0.02, 0.05, 0.10):
+        rumor_count = max(1, round(fraction * community_size))
+        seeds = draw_rumor_seeds(
+            communities, rumor_community, rumor_count, rng.fork("seeds", fraction)
+        )
+        context = SelectionContext(
+            graph, communities.members(rumor_community), seeds
+        )
+
+        selectors = {
+            "SCBG": SCBGSelector(),
+            "Proximity": ProximitySelector(rng=rng.fork("prox", fraction)),
+            "MaxDegree": MaxDegreeSelector(),
+        }
+        for name, selector in selectors.items():
+            protectors = selector.select(context)  # full LCRB-D solution
+            report = evaluate_protectors(context, protectors, DOAMModel(), runs=1)
+            rows.append(
+                [
+                    f"{fraction:.0%}",
+                    name,
+                    len(context.bridge_ends),
+                    len(protectors),
+                    report.final_infected_mean,
+                    f"{report.protected_bridge_fraction:.0%}",
+                ]
+            )
+
+    print(
+        format_table(
+            ["|R|/|C|", "algorithm", "|B|", "|P| needed", "infected", "bridge ends safe"],
+            rows,
+            title="Cost of guaranteeing full bridge-end protection (DOAM)",
+        )
+    )
+    print(
+        "\nSCBG reaches full protection with the fewest seeded corrections;\n"
+        "Proximity needs one protector per escape route, MaxDegree wastes\n"
+        "budget on hubs far from the rumor."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quickstart: block a rumor on a small synthetic social network.
+
+Walks the paper's whole pipeline in ~40 lines of library calls:
+
+1. generate a community-structured network,
+2. detect communities with Louvain (as the paper does),
+3. pick a rumor community and originators,
+4. find the bridge ends (RFST stage),
+5. select protectors with SCBG (LCRB-D) and evaluate under DOAM,
+6. select protectors with greedy (LCRB-P) and evaluate under OPOAO.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    CELFGreedySelector,
+    DOAMModel,
+    OPOAOModel,
+    RngStream,
+    SCBGSelector,
+    build_context,
+    evaluate_protectors,
+)
+from repro.datasets import enron_like
+from repro.graph.metrics import summarize
+
+
+def main() -> None:
+    rng = RngStream(7, name="quickstart")
+
+    # 1. A directed social network with planted community structure.
+    network = enron_like(scale=0.03, rng=rng.fork("net"))
+    graph = network.graph
+    print(summarize(graph))
+
+    # 2-4. Louvain detection, rumor community, seeds, bridge ends.
+    context, communities, rumor_community = build_context(
+        graph, rumor_fraction=0.05, rng=rng.fork("pipeline")
+    )
+    print(
+        f"rumor community {rumor_community}: |C|={communities.size(rumor_community)}, "
+        f"|S_R|={len(context.rumor_seeds)}, bridge ends |B|={len(context.bridge_ends)}"
+    )
+
+    # 5. LCRB-D: cover every bridge end with the fewest protectors (SCBG).
+    scbg = SCBGSelector().select(context)
+    doam_report = evaluate_protectors(context, scbg, DOAMModel(), runs=1)
+    print(
+        f"SCBG: |P|={len(scbg)} protectors; under DOAM the rumor infects "
+        f"{doam_report.final_infected_mean:.0f} nodes and "
+        f"{doam_report.protected_bridge_fraction:.0%} of bridge ends stay safe"
+    )
+
+    # 6. LCRB-P: protect an alpha fraction under the slow OPOAO dynamics.
+    greedy = CELFGreedySelector(
+        alpha=0.7, runs=10, max_candidates=60, rng=rng.fork("greedy")
+    )
+    protectors = greedy.select(context)
+    opoao_report = evaluate_protectors(
+        context, protectors, OPOAOModel(), runs=100, rng=rng.fork("eval")
+    )
+    print(
+        f"Greedy (alpha=0.7): |P|={len(protectors)} protectors; under OPOAO "
+        f"{opoao_report.protected_bridge_fraction:.0%} of bridge ends stay safe "
+        f"({opoao_report.final_infected_mean:.1f} nodes infected on average)"
+    )
+
+
+if __name__ == "__main__":
+    main()

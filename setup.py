@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+All metadata lives in pyproject.toml. This file exists so the project
+also installs on tooling that predates PEP 517/660 editable installs; on
+fully offline machines, disable pip's build isolation
+(``pip install -e . --no-build-isolation``) so the declared build
+requirements are resolved from the local environment instead of PyPI.
+"""
+
+from setuptools import setup
+
+setup()

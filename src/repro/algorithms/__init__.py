@@ -1,0 +1,52 @@
+"""Protector-selection algorithms.
+
+The paper's two algorithms and the heuristics they are compared against
+(Section V, VI.B.1):
+
+* :mod:`repro.algorithms.greedy` — Monte-Carlo greedy for LCRB-P under
+  OPOAO (Algorithm 1); (1 - 1/e)-approximation by Theorem 1.
+* :mod:`repro.algorithms.celf` — lazy-evaluation (CELF) accelerated
+  greedy; same output, far fewer σ evaluations (the paper's Section VII
+  names greedy's cost as the open problem — this is the standard answer).
+* :mod:`repro.algorithms.scbg` — Set Cover Based Greedy for LCRB-D under
+  DOAM (Algorithms 2 + 3); O(ln n)-approximation by Theorem 2.
+* :mod:`repro.algorithms.setcover` — the generic greedy set cover SCBG
+  reduces to (Definition 4).
+* :mod:`repro.algorithms.heuristics` — MaxDegree, Proximity, Random
+  baselines (Section VI.B.1) and the cover-until-done driver used to
+  compute their LCRB-D "solutions" for Table I.
+* :mod:`repro.algorithms.pagerank` — PageRank-ranked protectors, an
+  extension baseline.
+"""
+
+from repro.algorithms.base import ProtectorSelector, SelectionContext
+from repro.algorithms.celf import CELFGreedySelector
+from repro.algorithms.greedy import GreedySelector, SigmaEstimator
+from repro.algorithms.gvs import GreedyViralStopper, InfectionEstimator
+from repro.algorithms.heuristics import (
+    MaxDegreeSelector,
+    ProximitySelector,
+    RandomSelector,
+)
+from repro.algorithms.pagerank import PageRankSelector, pagerank
+from repro.algorithms.scbg import SCBGSelector
+from repro.algorithms.setcover import greedy_set_cover
+from repro.algorithms.source_detection import estimate_sources
+
+__all__ = [
+    "ProtectorSelector",
+    "SelectionContext",
+    "GreedySelector",
+    "SigmaEstimator",
+    "CELFGreedySelector",
+    "SCBGSelector",
+    "greedy_set_cover",
+    "MaxDegreeSelector",
+    "ProximitySelector",
+    "RandomSelector",
+    "PageRankSelector",
+    "pagerank",
+    "estimate_sources",
+    "GreedyViralStopper",
+    "InfectionEstimator",
+]

@@ -1,0 +1,140 @@
+"""Shared selection infrastructure.
+
+Every selection algorithm consumes a :class:`SelectionContext` — the
+fully-resolved LCRB instance (graph, rumor community, rumor seeds, bridge
+ends) plus cached derived structures — and produces an ordered list of
+protector originators. The context is what stage one of both Algorithms
+1 and 3 (RFST bridge-end detection) computes; building it once and sharing
+it across the algorithms under comparison mirrors the paper's experimental
+setup and keeps the comparisons apples-to-apples.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.bridge.rfst import find_bridge_ends
+from repro.errors import SeedError, ValidationError
+from repro.graph.compact import IndexedDiGraph
+from repro.graph.digraph import DiGraph, Node
+from repro.graph.traversal import multi_source_distances
+
+__all__ = ["SelectionContext", "ProtectorSelector"]
+
+
+class SelectionContext:
+    """A resolved LCRB instance shared by all selectors.
+
+    Attributes:
+        graph: the social network.
+        rumor_community: node set of ``C_r``.
+        rumor_seeds: ordered rumor originators ``S_R`` (inside ``C_r``).
+        bridge_ends: the set ``B`` (computed via RFST if not supplied).
+    """
+
+    __slots__ = (
+        "graph",
+        "rumor_community",
+        "rumor_seeds",
+        "bridge_ends",
+        "_indexed",
+        "_rumor_arrival",
+    )
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        rumor_community: Iterable[Node],
+        rumor_seeds: Iterable[Node],
+        bridge_ends: Optional[Iterable[Node]] = None,
+    ) -> None:
+        self.graph = graph
+        self.rumor_community: FrozenSet[Node] = frozenset(rumor_community)
+        self.rumor_seeds: Tuple[Node, ...] = tuple(dict.fromkeys(rumor_seeds))
+        if not self.rumor_seeds:
+            raise SeedError("rumor seed set must not be empty")
+        outside = [s for s in self.rumor_seeds if s not in self.rumor_community]
+        if outside:
+            raise SeedError(
+                f"rumor seed(s) outside the rumor community: {outside[:5]!r}"
+            )
+        if bridge_ends is None:
+            self.bridge_ends = find_bridge_ends(
+                graph, self.rumor_community, self.rumor_seeds
+            )
+        else:
+            self.bridge_ends = frozenset(bridge_ends)
+        self._indexed: Optional[IndexedDiGraph] = None
+        self._rumor_arrival: Optional[Dict[Node, int]] = None
+
+    @property
+    def indexed(self) -> IndexedDiGraph:
+        """Cached int-indexed snapshot of the graph."""
+        if self._indexed is None:
+            self._indexed = self.graph.to_indexed()
+        return self._indexed
+
+    @property
+    def rumor_arrival(self) -> Dict[Node, int]:
+        """Cached BFS hop distance from the nearest rumor seed (``t_R``)."""
+        if self._rumor_arrival is None:
+            self._rumor_arrival = multi_source_distances(self.graph, self.rumor_seeds)
+        return self._rumor_arrival
+
+    def rumor_seed_ids(self) -> List[int]:
+        """Rumor seeds as node ids of :attr:`indexed`."""
+        return self.indexed.indices(self.rumor_seeds)
+
+    def bridge_end_ids(self) -> List[int]:
+        """Bridge ends as node ids of :attr:`indexed` (sorted for determinism)."""
+        return sorted(self.indexed.indices(self.bridge_ends))
+
+    def eligible(self, node: Node) -> bool:
+        """True if ``node`` may serve as a protector originator.
+
+        Anything except a rumor originator qualifies (Algorithm 1 line 6
+        maximises over ``V \\ S_P ∪ S_R``; the paper's Fig. 2(b) optimal
+        solution even includes a node of the rumor community).
+        """
+        return node in self.graph and node not in self.rumor_seeds
+
+    def __repr__(self) -> str:
+        return (
+            f"SelectionContext(|V|={self.graph.node_count}, "
+            f"|C_r|={len(self.rumor_community)}, |S_R|={len(self.rumor_seeds)}, "
+            f"|B|={len(self.bridge_ends)})"
+        )
+
+
+class ProtectorSelector(abc.ABC):
+    """Base class for protector-selection algorithms.
+
+    Subclasses implement :meth:`select`. ``budget`` semantics:
+
+    * ``budget=k`` — return at most ``k`` protectors (the OPOAO figures
+      fix ``|P| = |R|`` this way for all algorithms).
+    * ``budget=None`` — return the algorithm's own full solution (SCBG's
+      cover of ``B``; the heuristics' cover-until-protected solution used
+      by Table I).
+    """
+
+    #: name used in reports and figures.
+    name: str = "selector"
+
+    @abc.abstractmethod
+    def select(
+        self, context: SelectionContext, budget: Optional[int] = None
+    ) -> List[Node]:
+        """Choose protector originators for the given instance."""
+
+    @staticmethod
+    def _check_budget(budget: Optional[int]) -> Optional[int]:
+        if budget is None:
+            return None
+        if isinstance(budget, bool) or not isinstance(budget, int) or budget < 0:
+            raise ValidationError(f"budget must be a non-negative int, got {budget!r}")
+        return budget
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

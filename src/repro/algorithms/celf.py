@@ -1,0 +1,83 @@
+"""CELF: lazy-evaluation greedy (Leskovec et al. 2007), the standard fix
+for the cost the paper's conclusion flags ("the greedy algorithm is time
+consuming ... finding efficient algorithms to overcome this drawback is a
+possible research direction").
+
+Because σ is submodular (Theorem 1), a candidate's marginal gain can only
+shrink as the chosen set grows; CELF therefore keeps candidates in a
+max-heap keyed by their *last known* gain and only re-evaluates the top
+entry. When the freshly re-evaluated top remains on top, it is provably
+the true argmax and is selected without touching the rest of the heap —
+typically after a handful of evaluations instead of one per candidate.
+
+With this library's coupled σ̂ estimator (a deterministic function of the
+candidate set — see :mod:`repro.algorithms.greedy`), CELF selects exactly
+the same protector sequence as exhaustive greedy; the ablation bench
+measures the evaluation-count savings.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+from repro.algorithms.base import SelectionContext
+from repro.algorithms.greedy import GreedySelector
+from repro.errors import SelectionError
+from repro.graph.digraph import Node
+
+__all__ = ["CELFGreedySelector"]
+
+
+class CELFGreedySelector(GreedySelector):
+    """Greedy with CELF lazy re-evaluation; same output, far cheaper.
+
+    Constructor arguments are identical to
+    :class:`~repro.algorithms.greedy.GreedySelector`.
+    """
+
+    name = "Greedy"  # same algorithm; reports should not distinguish them
+
+    def select(
+        self, context: SelectionContext, budget: Optional[int] = None
+    ) -> List[Node]:
+        budget = self._check_budget(budget)
+        self.last_evaluations = 0
+        if budget == 0 or not context.bridge_ends:
+            return []
+        estimator = self.make_estimator(context)
+        pool = self.candidates(context)
+        if not pool:
+            raise SelectionError("candidate pool is empty")
+
+        chosen: List[Node] = []
+        current_sigma = 0.0
+        # Heap entries: (-gain, insertion_order, node, round_evaluated).
+        # insertion_order keeps ties deterministic and matches exhaustive
+        # greedy's first-in-pool-order tie-break.
+        heap: List[Tuple[float, int, Node, int]] = []
+        for order, node in enumerate(pool):
+            gain = estimator.sigma([node]) - 0.0
+            heap.append((-gain, order, node, 0))
+        heapq.heapify(heap)
+
+        round_index = 0
+        while not self._stop(estimator, chosen, budget):
+            if not heap:
+                if budget is None:
+                    raise SelectionError(
+                        f"pool exhausted at protected fraction "
+                        f"{estimator.protected_fraction(chosen):.3f} < alpha={self.alpha}"
+                    )
+                break
+            round_index += 1
+            while True:
+                neg_gain, order, node, evaluated_round = heapq.heappop(heap)
+                if evaluated_round == round_index:
+                    chosen.append(node)
+                    current_sigma += -neg_gain
+                    break
+                fresh_gain = estimator.sigma(chosen + [node]) - current_sigma
+                heapq.heappush(heap, (-fresh_gain, order, node, round_index))
+        self.last_evaluations = estimator.evaluations
+        return chosen

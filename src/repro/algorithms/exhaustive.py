@@ -1,0 +1,105 @@
+"""Exact (exponential) LCRB-D solver for small instances.
+
+Corollary 1 says no polynomial algorithm beats O(ln n); on *small*
+instances the optimum is still computable by enumeration, which gives the
+test suite and researchers an exact baseline to measure SCBG's real
+approximation ratio against (the property suite asserts the H_n bound
+with it).
+
+Enumeration order is by subset size, so the first feasible subset found
+is optimal *within the candidate pool*. The pool defaults to the BBST
+union — the natural search space, since a node outside every BBST cannot
+reach any bridge end before the rumor's unblocked arrival. (In principle
+such a node could still matter by delaying the rumor so that its own
+front arrives in time after all; pass ``candidates`` explicitly — e.g.
+every eligible node — to search the unrestricted optimum on instances
+small enough to afford it, as the property-based test suite does.)
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Sequence
+
+from repro.algorithms.base import SelectionContext
+from repro.algorithms.greedy import candidate_pool
+from repro.algorithms.heuristics import prefix_protects_all
+from repro.errors import SelectionError, ValidationError
+from repro.graph.digraph import Node
+
+__all__ = ["optimal_protector_set", "exact_approximation_ratio"]
+
+#: enumeration guard: C(n, k) summed over k is capped at this many checks.
+_MAX_CHECKS = 2_000_000
+
+
+def _subset_budget(n: int, max_size: int) -> int:
+    total = 0
+    binom = 1
+    for k in range(min(max_size, n) + 1):
+        if k > 0:
+            binom = binom * (n - k + 1) // k
+        total += binom
+    return total
+
+
+def optimal_protector_set(
+    context: SelectionContext,
+    candidates: Optional[Sequence[Node]] = None,
+    max_size: Optional[int] = None,
+) -> List[Node]:
+    """Smallest protector set covering every bridge end under DOAM.
+
+    Args:
+        context: the instance (must have at least one bridge end, else the
+            optimum is trivially empty).
+        candidates: candidate protectors; defaults to the BBST union.
+        max_size: search cap; defaults to the SCBG cover size (an upper
+            bound on the optimum by feasibility).
+
+    Returns:
+        An optimal protector list (deterministic: lexicographically first
+        among the smallest feasible subsets).
+
+    Raises:
+        ValidationError: if the enumeration would exceed the safety cap —
+            this solver is for *small* instances.
+        SelectionError: if no subset within ``max_size`` is feasible.
+    """
+    if not context.bridge_ends:
+        return []
+    if candidates is None:
+        pool = candidate_pool(context, "bbst")
+    else:
+        pool = [node for node in dict.fromkeys(candidates) if context.eligible(node)]
+    pool = sorted(pool, key=repr)
+    if max_size is None:
+        from repro.algorithms.scbg import SCBGSelector
+
+        max_size = len(SCBGSelector().select(context))
+    if _subset_budget(len(pool), max_size) > _MAX_CHECKS:
+        raise ValidationError(
+            f"enumeration over {len(pool)} candidates up to size {max_size} "
+            "exceeds the exact-solver budget; this solver is for small instances"
+        )
+    for size in range(max_size + 1):
+        for combo in itertools.combinations(pool, size):
+            if prefix_protects_all(context, list(combo)):
+                return list(combo)
+    raise SelectionError(
+        f"no protector set of size <= {max_size} covers all bridge ends"
+    )
+
+
+def exact_approximation_ratio(context: SelectionContext) -> float:
+    """SCBG's measured approximation ratio on a small instance.
+
+    Returns ``len(SCBG) / len(OPT)`` (1.0 when both are empty).
+    """
+    from repro.algorithms.scbg import SCBGSelector
+
+    scbg = SCBGSelector().select(context)
+    optimum = optimal_protector_set(context, max_size=len(scbg))
+    if not optimum:
+        return 1.0
+    return len(scbg) / len(optimum)

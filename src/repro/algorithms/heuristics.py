@@ -1,0 +1,230 @@
+"""Baseline heuristics: MaxDegree, Proximity, Random (Section VI.B.1).
+
+* **MaxDegree** — "simply chooses the nodes according to the decreasing
+  order of node degree as the protectors".
+* **Proximity** — "the direct out-neighbors of rumors are chosen as the
+  protectors", "selected randomly from the direct neighbors of rumor
+  originators" (Section VI.B.2). When the first ring is exhausted the
+  pool extends to the next BFS ring out from the rumor seeds — the natural
+  continuation of "proximity" — so the heuristic can always produce a full
+  LCRB-D solution.
+* **Random** — uniform eligible nodes; the paper excludes it from plots
+  for poor performance but it remains useful as a floor in tests.
+
+For Table I the heuristics need their *own* LCRB-D solutions ("we compute
+their solutions first"): protectors are added in heuristic order until a
+DOAM run protects every bridge end. Protection is monotone in the
+protector set under DOAM (more seeds only speed the P-front and block the
+R-front), so the minimal covering prefix is found by binary search over
+prefix length — O(log n) deterministic diffusions instead of O(n).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.algorithms.base import ProtectorSelector, SelectionContext
+from repro.diffusion.base import PROTECTED, SeedSets
+from repro.diffusion.doam import DOAMModel
+from repro.errors import CoverageError, SelectionError
+from repro.graph.digraph import Node
+from repro.graph.traversal import bfs_layers
+from repro.rng import RngStream
+
+__all__ = [
+    "MaxDegreeSelector",
+    "ProximitySelector",
+    "RandomSelector",
+    "KCoreSelector",
+    "minimal_covering_prefix",
+    "prefix_protects_all",
+]
+
+
+def prefix_protects_all(
+    context: SelectionContext, protectors: Sequence[Node]
+) -> bool:
+    """True if seeding ``protectors`` leaves every bridge end protected
+    at the end of a DOAM run."""
+    if not context.bridge_ends:
+        return True
+    indexed = context.indexed
+    seeds = SeedSets(
+        rumors=context.rumor_seed_ids(),
+        protectors=indexed.indices(protectors),
+    )
+    outcome = DOAMModel().run(indexed, seeds, max_hops=max(2, indexed.node_count))
+    return all(
+        outcome.states[end_id] == PROTECTED for end_id in context.bridge_end_ids()
+    )
+
+
+def minimal_covering_prefix(
+    context: SelectionContext, ordered_candidates: Sequence[Node]
+) -> List[Node]:
+    """Shortest prefix of ``ordered_candidates`` protecting all bridge ends.
+
+    Relies on DOAM protection being monotone in the protector seed set, so
+    feasibility over prefix lengths is a step function and binary search
+    applies.
+
+    Raises:
+        CoverageError: if even the full candidate list fails.
+    """
+    if not context.bridge_ends:
+        return []
+    if not prefix_protects_all(context, ordered_candidates):
+        raise CoverageError(
+            f"{len(ordered_candidates)} candidate(s) cannot protect all "
+            f"{len(context.bridge_ends)} bridge ends"
+        )
+    lo, hi = 1, len(ordered_candidates)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if prefix_protects_all(context, ordered_candidates[:mid]):
+            hi = mid
+        else:
+            lo = mid + 1
+    return list(ordered_candidates[:lo])
+
+
+class MaxDegreeSelector(ProtectorSelector):
+    """Protectors in decreasing degree order.
+
+    Args:
+        direction: which degree to rank by — ``"out"`` (default; what an
+            activation-capable protector has), ``"in"``, or ``"total"``.
+    """
+
+    name = "MaxDegree"
+
+    def __init__(self, direction: str = "out") -> None:
+        if direction not in ("out", "in", "total"):
+            raise SelectionError(f"direction must be out/in/total, got {direction!r}")
+        self.direction = direction
+
+    def _ranked(self, context: SelectionContext) -> List[Node]:
+        graph = context.graph
+        if self.direction == "out":
+            degree = graph.out_degree
+        elif self.direction == "in":
+            degree = graph.in_degree
+        else:
+            degree = graph.degree
+        order = {node: position for position, node in enumerate(graph.nodes())}
+        candidates = [node for node in graph.nodes() if context.eligible(node)]
+        candidates.sort(key=lambda node: (-degree(node), order[node]))
+        return candidates
+
+    def select(
+        self, context: SelectionContext, budget: Optional[int] = None
+    ) -> List[Node]:
+        budget = self._check_budget(budget)
+        ranked = self._ranked(context)
+        if budget is not None:
+            return ranked[:budget]
+        return minimal_covering_prefix(context, ranked)
+
+    def __repr__(self) -> str:
+        return f"MaxDegreeSelector(direction={self.direction!r})"
+
+
+class ProximitySelector(ProtectorSelector):
+    """Random direct out-neighbors of the rumor originators.
+
+    Ring 1 is the rumor seeds' direct out-neighborhood; each ring is
+    shuffled independently, and further BFS rings extend the pool only
+    when needed.
+
+    Args:
+        rng: stream for the random choice within rings (the paper draws
+            Proximity's protectors randomly).
+    """
+
+    name = "Proximity"
+
+    def __init__(self, rng: Optional[RngStream] = None) -> None:
+        self.rng = rng or RngStream(name="proximity")
+
+    def _rings(self, context: SelectionContext) -> List[List[Node]]:
+        rings: List[List[Node]] = []
+        for depth, layer in enumerate(
+            bfs_layers(context.graph, context.rumor_seeds)
+        ):
+            if depth == 0:
+                continue  # the seeds themselves
+            ring = [node for node in layer if context.eligible(node)]
+            if ring:
+                rings.append(ring)
+        return rings
+
+    def _ordered_pool(self, context: SelectionContext) -> List[Node]:
+        pool: List[Node] = []
+        for ring_index, ring in enumerate(self._rings(context)):
+            shuffled = list(ring)
+            self.rng.fork("ring", ring_index).shuffle(shuffled)
+            pool.extend(shuffled)
+        return pool
+
+    def select(
+        self, context: SelectionContext, budget: Optional[int] = None
+    ) -> List[Node]:
+        budget = self._check_budget(budget)
+        pool = self._ordered_pool(context)
+        if budget is not None:
+            return pool[:budget]
+        return minimal_covering_prefix(context, pool)
+
+    def __repr__(self) -> str:
+        return f"ProximitySelector(rng={self.rng!r})"
+
+
+class KCoreSelector(ProtectorSelector):
+    """Protectors in decreasing core-number order (degeneracy centrality).
+
+    Core number is a popular influence proxy (densely embedded nodes keep
+    spreading even as the periphery thins out); included as an additional
+    topology baseline alongside MaxDegree. Ties break by out-degree, then
+    insertion order.
+    """
+
+    name = "KCore"
+
+    def select(
+        self, context: SelectionContext, budget: Optional[int] = None
+    ) -> List[Node]:
+        from repro.graph.kcore import core_numbers
+
+        budget = self._check_budget(budget)
+        graph = context.graph
+        cores = core_numbers(graph)
+        order = {node: position for position, node in enumerate(graph.nodes())}
+        ranked = [node for node in graph.nodes() if context.eligible(node)]
+        ranked.sort(
+            key=lambda node: (-cores[node], -graph.out_degree(node), order[node])
+        )
+        if budget is not None:
+            return ranked[:budget]
+        return minimal_covering_prefix(context, ranked)
+
+
+class RandomSelector(ProtectorSelector):
+    """Uniformly random eligible protectors (the paper's excluded floor)."""
+
+    name = "Random"
+
+    def __init__(self, rng: Optional[RngStream] = None) -> None:
+        self.rng = rng or RngStream(name="random-selector")
+
+    def select(
+        self, context: SelectionContext, budget: Optional[int] = None
+    ) -> List[Node]:
+        budget = self._check_budget(budget)
+        candidates = [node for node in context.graph.nodes() if context.eligible(node)]
+        self.rng.fork("order").shuffle(candidates)
+        if budget is not None:
+            return candidates[:budget]
+        return minimal_covering_prefix(context, candidates)
+
+    def __repr__(self) -> str:
+        return f"RandomSelector(rng={self.rng!r})"

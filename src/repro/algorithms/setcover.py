@@ -1,0 +1,94 @@
+"""Greedy set cover (Definition 4 / Algorithm 2).
+
+The classic H_n-approximation: repeatedly pick the set covering the most
+still-uncovered elements. SCBG (Algorithm 3) feeds it the ``SW_u``
+coverage map; Theorem 2 inherits the O(ln n) ratio from here, and
+Corollary 1 says no polynomial algorithm does asymptotically better
+unless P = NP.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Set
+
+from repro.errors import CoverageError
+
+__all__ = ["greedy_set_cover", "cover_deficit"]
+
+
+def cover_deficit(
+    universe: Iterable[Hashable],
+    sets: Mapping[Hashable, FrozenSet[Hashable]],
+) -> FrozenSet[Hashable]:
+    """Elements of ``universe`` that no set covers (empty = feasible)."""
+    coverable: Set[Hashable] = set()
+    for members in sets.values():
+        coverable.update(members)
+    return frozenset(set(universe) - coverable)
+
+
+def greedy_set_cover(
+    universe: Iterable[Hashable],
+    sets: Mapping[Hashable, FrozenSet[Hashable]],
+) -> List[Hashable]:
+    """Cover ``universe`` with greedily chosen sets (Algorithm 2).
+
+    Each round selects ``argmax_u |SW_u \\ L|`` — the set with the largest
+    number of still-uncovered elements — exactly as Algorithm 2 line 5.
+    Ties break on the key's insertion order in ``sets``, making the result
+    deterministic.
+
+    Args:
+        universe: elements to cover (the bridge ends ``B``).
+        sets: mapping set-key -> covered elements (the ``SW_u`` map).
+
+    Returns:
+        The chosen keys, in selection order (``W`` of Algorithm 2).
+
+    Raises:
+        CoverageError: if the union of all sets does not contain
+            ``universe`` (carries the uncovered residue).
+    """
+    remaining: Set[Hashable] = set(universe)
+    if not remaining:
+        return []
+    deficit = cover_deficit(remaining, sets)
+    if deficit:
+        raise CoverageError(
+            f"{len(deficit)} element(s) cannot be covered by any set",
+            uncovered=deficit,
+        )
+
+    # Pre-restrict sets to the universe; track insertion order for ties.
+    order: Dict[Hashable, int] = {}
+    restricted: Dict[Hashable, Set[Hashable]] = {}
+    for position, (key, members) in enumerate(sets.items()):
+        useful = remaining & members
+        if useful:
+            order[key] = position
+            restricted[key] = set(useful)
+
+    chosen: List[Hashable] = []
+    while remaining:
+        best_key = None
+        best_gain = 0
+        for key, members in restricted.items():
+            gain = len(members)
+            if gain > best_gain or (
+                gain == best_gain and best_key is not None and order[key] < order[best_key]
+            ):
+                best_key = key
+                best_gain = gain
+        assert best_key is not None and best_gain > 0  # deficit check guarantees this
+        chosen.append(best_key)
+        covered_now = restricted.pop(best_key)
+        remaining -= covered_now
+        # Shrink every remaining set; drop the ones that became useless.
+        dead: List[Hashable] = []
+        for key, members in restricted.items():
+            members -= covered_now
+            if not members:
+                dead.append(key)
+        for key in dead:
+            del restricted[key]
+    return chosen

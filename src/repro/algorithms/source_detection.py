@@ -1,0 +1,199 @@
+"""Rumor-source detection (the paper's closing future-work direction).
+
+Section VII: "Another direction is looking into the problem of locating
+rumor originators since in many real world situations, it is hard to
+quickly detect rumors in the first place." This module implements the
+three classical estimators over an observed infected snapshot:
+
+* :func:`distance_center` — the infected node minimising the *sum* of
+  hop distances to all other infected nodes.
+* :func:`jordan_center` — the infected node minimising the *maximum*
+  hop distance (eccentricity); the optimal estimator under SI spreading
+  with sub-exponential growth.
+* :func:`rumor_centrality` — Shah & Zaman's maximum-likelihood estimator
+  on trees, applied to the infected subgraph's BFS tree per candidate
+  (the standard general-graph heuristic).
+
+All estimators work on the *infected subgraph* viewed undirected (an
+infection can be traced along either edge direction when reconstructing
+history) and return candidates ranked best-first.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.errors import SelectionError
+from repro.graph.digraph import DiGraph, Node
+
+__all__ = [
+    "distance_center",
+    "jordan_center",
+    "rumor_centrality",
+    "estimate_sources",
+]
+
+
+def _infected_adjacency(
+    graph: DiGraph, infected: Iterable[Node]
+) -> Dict[Node, List[Node]]:
+    """Undirected adjacency restricted to the infected set."""
+    inside: Set[Node] = set(infected)
+    if not inside:
+        raise SelectionError("infected set must not be empty")
+    for node in inside:
+        if node not in graph:
+            raise SelectionError(f"infected node {node!r} is not in the graph")
+    adjacency: Dict[Node, List[Node]] = {node: [] for node in inside}
+    for node in inside:
+        neighbors: Set[Node] = set()
+        for other in graph.successors(node):
+            if other in inside:
+                neighbors.add(other)
+        for other in graph.predecessors(node):
+            if other in inside:
+                neighbors.add(other)
+        adjacency[node] = sorted(neighbors, key=repr)
+    return adjacency
+
+
+def _bfs_distances(
+    adjacency: Dict[Node, List[Node]], source: Node
+) -> Dict[Node, int]:
+    distances = {source: 0}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for neighbor in adjacency[node]:
+            if neighbor not in distances:
+                distances[neighbor] = distances[node] + 1
+                queue.append(neighbor)
+    return distances
+
+
+def _ranked_by_score(
+    scores: Dict[Node, float], reverse: bool = False
+) -> List[Tuple[Node, float]]:
+    return sorted(
+        scores.items(), key=lambda kv: ((-kv[1] if reverse else kv[1]), repr(kv[0]))
+    )
+
+
+def distance_center(graph: DiGraph, infected: Iterable[Node]) -> List[Tuple[Node, float]]:
+    """Rank infected nodes by total hop distance to the rest (ascending).
+
+    Unreachable infected pairs (disconnected snapshot) contribute a large
+    penalty so connected candidates always rank ahead.
+    """
+    adjacency = _infected_adjacency(graph, infected)
+    n = len(adjacency)
+    penalty = n * n
+    scores: Dict[Node, float] = {}
+    for node in adjacency:
+        distances = _bfs_distances(adjacency, node)
+        missing = n - len(distances)
+        scores[node] = sum(distances.values()) + missing * penalty
+    return _ranked_by_score(scores)
+
+
+def jordan_center(graph: DiGraph, infected: Iterable[Node]) -> List[Tuple[Node, float]]:
+    """Rank infected nodes by eccentricity within the snapshot (ascending)."""
+    adjacency = _infected_adjacency(graph, infected)
+    n = len(adjacency)
+    penalty = n * n
+    scores: Dict[Node, float] = {}
+    for node in adjacency:
+        distances = _bfs_distances(adjacency, node)
+        eccentricity = max(distances.values()) if len(distances) > 1 else 0
+        missing = n - len(distances)
+        scores[node] = eccentricity + missing * penalty
+    return _ranked_by_score(scores)
+
+
+def _bfs_tree_children(
+    adjacency: Dict[Node, List[Node]], root: Node
+) -> Dict[Node, List[Node]]:
+    children: Dict[Node, List[Node]] = {root: []}
+    queue = deque([root])
+    while queue:
+        node = queue.popleft()
+        for neighbor in adjacency[node]:
+            if neighbor not in children:
+                children[neighbor] = []
+                children[node].append(neighbor)
+                queue.append(neighbor)
+    return children
+
+
+def rumor_centrality(
+    graph: DiGraph, infected: Iterable[Node]
+) -> List[Tuple[Node, float]]:
+    """Rank infected nodes by Shah-Zaman rumor centrality (descending).
+
+    On a tree, ``R(v) = N! / prod_u T_u`` where ``T_u`` is the size of the
+    subtree rooted at ``u`` when the tree hangs from ``v``; the node with
+    the largest centrality is the maximum-likelihood source. On general
+    graphs each candidate is scored on its own BFS tree of the infected
+    subgraph. Scores are returned as log-centralities for numeric safety.
+    """
+    adjacency = _infected_adjacency(graph, infected)
+    n = len(adjacency)
+    log_n_factorial = math.lgamma(n + 1)
+    scores: Dict[Node, float] = {}
+    for root in adjacency:
+        children = _bfs_tree_children(adjacency, root)
+        reached = len(children)
+        # Subtree sizes via reverse-BFS-order accumulation.
+        order: List[Node] = []
+        queue = deque([root])
+        seen = {root}
+        while queue:
+            node = queue.popleft()
+            order.append(node)
+            for child in children[node]:
+                if child not in seen:
+                    seen.add(child)
+                    queue.append(child)
+        subtree = {node: 1 for node in children}
+        for node in reversed(order):
+            for child in children[node]:
+                subtree[node] += subtree[child]
+        log_score = log_n_factorial - sum(
+            math.log(subtree[node]) for node in children
+        )
+        # Disconnected candidates (tree misses nodes) are heavily penalised.
+        log_score -= (n - reached) * n
+        scores[root] = log_score
+    return _ranked_by_score(scores, reverse=True)
+
+
+_METHODS = {
+    "distance": distance_center,
+    "jordan": jordan_center,
+    "rumor": rumor_centrality,
+}
+
+
+def estimate_sources(
+    graph: DiGraph,
+    infected: Iterable[Node],
+    method: str = "jordan",
+    k: int = 1,
+) -> List[Node]:
+    """Return the ``k`` most likely rumor originators of a snapshot.
+
+    Args:
+        graph: the social network.
+        infected: the observed infected nodes.
+        method: ``"jordan"``, ``"distance"``, or ``"rumor"``.
+        k: number of candidates to return, best first.
+    """
+    if method not in _METHODS:
+        known = ", ".join(sorted(_METHODS))
+        raise SelectionError(f"unknown method {method!r}; known: {known}")
+    if k < 1:
+        raise SelectionError(f"k must be >= 1, got {k}")
+    ranked = _METHODS[method](graph, list(infected))
+    return [node for node, _ in ranked[:k]]

@@ -1,0 +1,32 @@
+"""Bridge ends and the search trees that find and cover them.
+
+The LCRB problem protects *bridge ends*: nodes outside the rumor community
+with at least one direct in-neighbor inside it that are reachable from the
+rumor originators (Section I / IV). Both algorithms share stage one —
+finding bridge ends with Rumor Forward Search Trees — and SCBG adds stage
+two — Bridge-end Backward Search Trees bounding who can protect each
+bridge end in time.
+
+* :mod:`repro.bridge.rfst` — RFSTs and :func:`find_bridge_ends`.
+* :mod:`repro.bridge.bbst` — BBSTs (depth-bounded backward BFS).
+* :mod:`repro.bridge.coverage` — the ``SW_u`` coverage map (Algorithm 3
+  line 5) and the exact blocking-aware variant used for ablation.
+"""
+
+from repro.bridge.bbst import BridgeEndBackwardTree, build_bbst, build_all_bbsts
+from repro.bridge.coverage import (
+    blocking_aware_coverage,
+    coverage_map_from_bbsts,
+)
+from repro.bridge.rfst import RumorForwardTree, build_rfsts, find_bridge_ends
+
+__all__ = [
+    "RumorForwardTree",
+    "build_rfsts",
+    "find_bridge_ends",
+    "BridgeEndBackwardTree",
+    "build_bbst",
+    "build_all_bbsts",
+    "coverage_map_from_bbsts",
+    "blocking_aware_coverage",
+]

@@ -1,0 +1,127 @@
+"""Bridge-end Backward Search Trees (BBST) — Algorithm 3, line 4.
+
+For each bridge end ``v``, the BBST is a backward BFS from ``v`` whose
+depth is the rumor's arrival time at ``v``:
+
+    "construct Bridge end Backward Search Tree (BBST) by BFS method to
+     find and record all the in-neighbors w ∈ N^i(v) of v, where i is
+     determined by the value of the shortest paths between v and any node
+     w ∈ S_R. Assume N^0(v) = v."
+
+Under DOAM both cascades advance one hop per step, so a protector seeded
+at ``w`` reaches ``v`` at ``dist(w → v)`` while the rumor reaches it at
+``t_R(v) = min_{r ∈ S_R} dist(r → v)``; since P wins ties, every non-rumor
+node of the depth-``t_R(v)`` backward tree can protect ``v`` (Fig. 3(b):
+"all nodes in this tree except r1, r2 can protect p2").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional
+
+from repro.errors import NodeNotFoundError, SeedError
+from repro.graph.digraph import DiGraph, Node
+from repro.graph.traversal import bfs_distances, multi_source_distances
+
+__all__ = ["BridgeEndBackwardTree", "build_bbst", "build_all_bbsts"]
+
+
+class BridgeEndBackwardTree:
+    """Backward search tree of one bridge end.
+
+    Attributes:
+        bridge_end: the root ``v``.
+        rumor_arrival: ``t_R(v)``, the search depth.
+        distance_to_end: ``u -> dist(u → v)`` for every tree node (the root
+            has distance 0); keys are the paper's ``Q_v`` *including* the
+            rumor seeds the search ran into (callers exclude ``S_R`` when
+            building candidate sets, mirroring ``Q_i \\ S_R``).
+    """
+
+    __slots__ = ("bridge_end", "rumor_arrival", "distance_to_end")
+
+    def __init__(
+        self,
+        bridge_end: Node,
+        rumor_arrival: int,
+        distance_to_end: Dict[Node, int],
+    ) -> None:
+        self.bridge_end = bridge_end
+        self.rumor_arrival = rumor_arrival
+        self.distance_to_end = distance_to_end
+
+    def candidates(self, rumor_seeds: Iterable[Node]) -> FrozenSet[Node]:
+        """Tree nodes that can protect the bridge end (``Q_v \\ S_R``)."""
+        excluded = set(rumor_seeds)
+        return frozenset(
+            node for node in self.distance_to_end if node not in excluded
+        )
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self.distance_to_end
+
+    def __len__(self) -> int:
+        return len(self.distance_to_end)
+
+    def __repr__(self) -> str:
+        return (
+            f"BridgeEndBackwardTree(bridge_end={self.bridge_end!r}, "
+            f"depth={self.rumor_arrival}, size={len(self.distance_to_end)})"
+        )
+
+
+def build_bbst(
+    graph: DiGraph,
+    bridge_end: Node,
+    rumor_arrival: int,
+) -> BridgeEndBackwardTree:
+    """Backward BFS from ``bridge_end`` to depth ``rumor_arrival``.
+
+    Args:
+        graph: the social network.
+        bridge_end: the tree root ``v``.
+        rumor_arrival: ``t_R(v)`` — must be >= 1 for a meaningful tree (a
+            bridge end at distance 0 would itself be a rumor seed).
+    """
+    if bridge_end not in graph:
+        raise NodeNotFoundError(bridge_end)
+    if rumor_arrival < 0:
+        raise SeedError(f"rumor arrival must be >= 0, got {rumor_arrival}")
+    distances = bfs_distances(graph, bridge_end, reverse=True, max_depth=rumor_arrival)
+    return BridgeEndBackwardTree(bridge_end, rumor_arrival, distances)
+
+
+def build_all_bbsts(
+    graph: DiGraph,
+    bridge_ends: Iterable[Node],
+    rumor_seeds: Iterable[Node],
+    rumor_arrival: Optional[Mapping[Node, int]] = None,
+) -> List[BridgeEndBackwardTree]:
+    """Build the BBST of every bridge end (Algorithm 3's ``Q_1..Q_|B|``).
+
+    Args:
+        graph: the social network.
+        bridge_ends: the set ``B`` from
+            :func:`repro.bridge.rfst.find_bridge_ends`.
+        rumor_seeds: ``S_R`` (used to compute arrival times).
+        rumor_arrival: optional precomputed ``t_R``; recomputed via one
+            multi-source BFS when omitted.
+
+    Raises:
+        SeedError: if some bridge end is unreachable from the rumor seeds
+            (then it has no arrival time and is not a bridge end at all).
+    """
+    ends = list(dict.fromkeys(bridge_ends))
+    seeds = list(dict.fromkeys(rumor_seeds))
+    if not seeds:
+        raise SeedError("rumor seed set must not be empty")
+    if rumor_arrival is None:
+        rumor_arrival = multi_source_distances(graph, seeds)
+    trees: List[BridgeEndBackwardTree] = []
+    for end in ends:
+        if end not in rumor_arrival:
+            raise SeedError(
+                f"bridge end {end!r} is not reachable from the rumor seeds"
+            )
+        trees.append(build_bbst(graph, end, rumor_arrival[end]))
+    return trees

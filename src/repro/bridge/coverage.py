@@ -1,0 +1,104 @@
+"""Coverage maps: which bridge ends can each candidate protector save?
+
+Algorithm 3, line 5, inverts the BBST memberships: for every node ``u``
+appearing in some ``Q_i``, connect ``u`` to the roots of all the BBSTs
+containing it — a "1-hop tree" whose leaves ``SW_u`` are exactly the
+bridge ends ``u`` can protect. :func:`coverage_map_from_bbsts` builds that
+``u -> SW_u`` mapping directly.
+
+The BBST criterion (``dist(u → v) <= t_R(v)``) is **sound** under DOAM
+with protector priority: at position ``i`` of a shortest ``u → v`` path,
+the rumor's base arrival is at least ``i`` (otherwise the triangle
+inequality would put the rumor at ``v`` earlier than ``t_R(v)``), so the
+protector front wins every intermediate node by tie-priority and is never
+blocked. It can, however, *undercount*: a candidate that blocks the
+rumor's own paths may delay the rumor enough to save additional bridge
+ends the criterion does not credit. :func:`blocking_aware_coverage`
+computes the exact saved set by running the real DOAM dynamics per
+candidate — quadratic, but exact — and the ablation benchmark quantifies
+the (small) gap on community-structured graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Set
+
+from repro.bridge.bbst import BridgeEndBackwardTree
+from repro.diffusion.base import PROTECTED, SeedSets
+from repro.diffusion.doam import DOAMModel
+from repro.graph.digraph import DiGraph, Node
+
+__all__ = ["coverage_map_from_bbsts", "blocking_aware_coverage"]
+
+
+def coverage_map_from_bbsts(
+    bbsts: Iterable[BridgeEndBackwardTree],
+    rumor_seeds: Iterable[Node],
+) -> Dict[Node, FrozenSet[Node]]:
+    """Build the ``SW_u`` coverage map from BBSTs (Algorithm 3 line 5).
+
+    Args:
+        bbsts: one tree per bridge end.
+        rumor_seeds: excluded from candidacy (``Q_i \\ S_R``).
+
+    Returns:
+        Mapping ``candidate u -> frozenset of bridge ends u covers``. Every
+        bridge end covers at least itself (``N^0(v) = v``), so the map is
+        never missing a bridge end's own entry.
+    """
+    excluded = set(rumor_seeds)
+    draft: Dict[Node, Set[Node]] = {}
+    for tree in bbsts:
+        for node in tree.distance_to_end:
+            if node in excluded:
+                continue
+            draft.setdefault(node, set()).add(tree.bridge_end)
+    return {node: frozenset(ends) for node, ends in draft.items()}
+
+
+def blocking_aware_coverage(
+    graph: DiGraph,
+    rumor_seeds: Iterable[Node],
+    candidates: Iterable[Node],
+    bridge_ends: Iterable[Node],
+    max_hops: int = 10_000,
+) -> Dict[Node, FrozenSet[Node]]:
+    """Exact per-candidate coverage under real DOAM dynamics.
+
+    For each candidate ``u``, runs DOAM with ``S_P = {u}`` and records
+    which bridge ends finish *protected*. This accounts for upstream
+    blocking that the BBST criterion ignores, at the cost of one full
+    deterministic diffusion per candidate.
+
+    Args:
+        graph: the social network.
+        rumor_seeds: ``S_R``.
+        candidates: candidate protector seeds to evaluate.
+        bridge_ends: the universe ``B``.
+        max_hops: safety horizon for each DOAM run (diffusion terminates
+            on its own well before this on finite graphs).
+
+    Returns:
+        Mapping ``candidate -> frozenset of bridge ends actually saved``.
+    """
+    indexed = graph.to_indexed()
+    seed_ids = frozenset(indexed.index(node) for node in dict.fromkeys(rumor_seeds))
+    end_ids = [indexed.index(node) for node in dict.fromkeys(bridge_ends)]
+    model = DOAMModel()
+    coverage: Dict[Node, FrozenSet[Node]] = {}
+    for candidate in dict.fromkeys(candidates):
+        candidate_id = indexed.index(candidate)
+        if candidate_id in seed_ids:
+            continue  # a rumor originator cannot also be a protector
+        outcome = model.run(
+            indexed,
+            SeedSets(rumors=seed_ids, protectors=[candidate_id]),
+            max_hops=max_hops,
+        )
+        saved = frozenset(
+            indexed.labels[end_id]
+            for end_id in end_ids
+            if outcome.states[end_id] == PROTECTED
+        )
+        coverage[candidate] = saved
+    return coverage

@@ -1,0 +1,443 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro datasets                      # list registered dataset settings
+    repro stats --dataset hep           # replica statistics + community info
+    repro communities --dataset hep     # detect + summarise communities
+    repro select --dataset hep --algorithm scbg
+    repro simulate --dataset hep --model doam --algorithm scbg
+    repro experiment table1 [--scale 0.1] [--json out.json]
+    repro experiment fig4 ...
+
+Every subcommand accepts ``--seed`` and ``-v/-vv`` verbosity. The
+``experiment`` subcommand regenerates any of the paper's tables/figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.algorithms.celf import CELFGreedySelector
+from repro.algorithms.heuristics import (
+    MaxDegreeSelector,
+    ProximitySelector,
+    RandomSelector,
+)
+from repro.algorithms.pagerank import PageRankSelector
+from repro.algorithms.scbg import SCBGSelector
+from repro.community.metrics import conductance
+from repro.datasets.registry import list_datasets, load_dataset
+from repro.experiments.config import TableConfig
+from repro.experiments.harness import make_model, run_figure, run_table
+from repro.experiments.paper import PAPER_EXPERIMENTS, paper_experiment
+from repro.experiments.report import (
+    figure_to_dict,
+    render_figure,
+    render_table,
+    save_json,
+    table_to_dict,
+)
+from repro.graph.metrics import summarize
+from repro.lcrb.evaluation import evaluate_protectors
+from repro.lcrb.pipeline import draw_rumor_seeds
+from repro.algorithms.base import SelectionContext
+from repro.logging_utils import configure_logging
+from repro.rng import RngStream
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Least Cost Rumor Blocking (ICDCS 2013) reproduction toolkit",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0, help="-v info, -vv debug"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list registered dataset settings")
+
+    def add_dataset_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--dataset", required=True, help="hep | enron-small | enron-large")
+        p.add_argument("--scale", type=float, default=0.1, help="replica scale")
+        p.add_argument("--seed", type=int, default=13, help="master seed")
+
+    stats = sub.add_parser("stats", help="print replica statistics")
+    add_dataset_args(stats)
+
+    communities = sub.add_parser("communities", help="summarise detected communities")
+    add_dataset_args(communities)
+    communities.add_argument("--top", type=int, default=10, help="communities to show")
+
+    select = sub.add_parser("select", help="select protector originators")
+    add_dataset_args(select)
+    select.add_argument(
+        "--algorithm",
+        default="scbg",
+        choices=[
+            "scbg",
+            "greedy",
+            "gvs",
+            "maxdegree",
+            "degreediscount",
+            "kcore",
+            "proximity",
+            "random",
+            "pagerank",
+        ],
+    )
+    select.add_argument("--rumor-fraction", type=float, default=0.05)
+    select.add_argument("--budget", type=int, default=None)
+
+    simulate = sub.add_parser("simulate", help="select then simulate a diffusion")
+    add_dataset_args(simulate)
+    simulate.add_argument(
+        "--algorithm",
+        default="scbg",
+        choices=[
+            "scbg",
+            "greedy",
+            "gvs",
+            "maxdegree",
+            "degreediscount",
+            "kcore",
+            "proximity",
+            "random",
+            "pagerank",
+            "none",
+        ],
+    )
+    simulate.add_argument("--model", default="doam", choices=["opoao", "doam", "ic", "lt"])
+    simulate.add_argument("--rumor-fraction", type=float, default=0.05)
+    simulate.add_argument("--budget", type=int, default=None)
+    simulate.add_argument("--runs", type=int, default=100)
+    simulate.add_argument("--hops", type=int, default=31)
+    simulate.add_argument(
+        "--chart",
+        action="store_true",
+        help="render the infected-per-hop curve as an ASCII chart (log scale)",
+    )
+
+    inspect = sub.add_parser(
+        "inspect", help="draw an LCRB instance and print its diagnostics"
+    )
+    add_dataset_args(inspect)
+    inspect.add_argument("--rumor-fraction", type=float, default=0.05)
+
+    sources = sub.add_parser(
+        "sources", help="simulate a hidden-source rumor and locate it"
+    )
+    add_dataset_args(sources)
+    sources.add_argument(
+        "--method", default="jordan", choices=["jordan", "distance", "rumor"]
+    )
+    sources.add_argument("--spread-hops", type=int, default=4)
+    sources.add_argument("--trials", type=int, default=5)
+
+    sweep = sub.add_parser(
+        "sweep", help="sweep community mixing vs blocking cost (ablation)"
+    )
+    sweep.add_argument("--nodes", type=int, default=1000)
+    sweep.add_argument("--draws", type=int, default=3)
+    sweep.add_argument("--seed", type=int, default=13)
+    sweep.add_argument(
+        "--mixings",
+        type=float,
+        nargs="+",
+        default=[0.02, 0.05, 0.10, 0.20],
+    )
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate a paper table/figure"
+    )
+    experiment.add_argument(
+        "key",
+        choices=sorted(PAPER_EXPERIMENTS) + ["all"],
+        help="fig4..fig9, table1, or 'all' for the whole roster",
+    )
+    experiment.add_argument("--scale", type=float, default=None)
+    experiment.add_argument("--runs", type=int, default=None)
+    experiment.add_argument("--draws", type=int, default=None)
+    experiment.add_argument("--seed", type=int, default=None)
+    experiment.add_argument("--json", dest="json_path", default=None)
+    experiment.add_argument(
+        "--markdown", dest="markdown_path", default=None,
+        help="write an EXPERIMENTS.md-style report of the run",
+    )
+
+    return parser
+
+
+def _selector(name: str, rng: RngStream):
+    if name == "scbg":
+        return SCBGSelector()
+    if name == "gvs":
+        from repro.algorithms.gvs import GreedyViralStopper
+
+        return GreedyViralStopper(runs=8, max_candidates=150, rng=rng.fork("gvs"))
+    if name == "greedy":
+        return CELFGreedySelector(runs=8, max_candidates=150, rng=rng.fork("greedy"))
+    if name == "maxdegree":
+        return MaxDegreeSelector()
+    if name == "degreediscount":
+        from repro.algorithms.degree_discount import DegreeDiscountSelector
+
+        return DegreeDiscountSelector()
+    if name == "kcore":
+        from repro.algorithms.heuristics import KCoreSelector
+
+        return KCoreSelector()
+    if name == "proximity":
+        return ProximitySelector(rng=rng.fork("proximity"))
+    if name == "random":
+        return RandomSelector(rng=rng.fork("random"))
+    if name == "pagerank":
+        return PageRankSelector()
+    raise ValueError(f"unknown algorithm {name!r}")
+
+
+def _build_instance(args, rng: RngStream):
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    community_size = dataset.communities.size(dataset.rumor_community)
+    count = max(1, round(getattr(args, "rumor_fraction", 0.05) * community_size))
+    count = min(count, community_size - 1) or 1
+    seeds = draw_rumor_seeds(
+        dataset.communities, dataset.rumor_community, count, rng.fork("seeds")
+    )
+    context = SelectionContext(
+        dataset.graph, dataset.rumor_community_nodes, seeds
+    )
+    return dataset, context
+
+
+def _cmd_datasets(_args) -> int:
+    print(f"{'name':<14} {'paper |N|':>9} {'paper |C|':>9} {'paper |B|':>9}  description")
+    for spec in list_datasets():
+        print(
+            f"{spec.name:<14} {spec.paper_nodes:>9} {spec.paper_community:>9} "
+            f"{spec.paper_bridge_ends:>9}  {spec.description}"
+        )
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    print(summarize(dataset.graph))
+    cover = dataset.communities
+    print(
+        f"communities: {cover.community_count}; rumor community "
+        f"{dataset.rumor_community} has |C|={cover.size(dataset.rumor_community)} "
+        f"(paper |C|={dataset.spec.paper_community})"
+    )
+    members = dataset.rumor_community_nodes
+    print(
+        f"rumor community: internal edge fraction="
+        f"{cover.internal_edge_fraction(dataset.rumor_community):.2f}, "
+        f"conductance={conductance(dataset.graph, members):.3f}"
+    )
+    return 0
+
+
+def _cmd_communities(args) -> int:
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    cover = dataset.communities
+    sizes = sorted(cover.sizes().items(), key=lambda kv: -kv[1])
+    print(f"{cover.community_count} communities detected (Louvain)")
+    print(f"{'id':>4} {'size':>6} {'internal':>9} {'neighbors':>9}")
+    for community_id, size in sizes[: args.top]:
+        print(
+            f"{community_id:>4} {size:>6} "
+            f"{cover.internal_edge_fraction(community_id):>9.2f} "
+            f"{len(cover.neighbor_communities(community_id)):>9}"
+        )
+    return 0
+
+
+def _cmd_select(args) -> int:
+    rng = RngStream(args.seed, name="cli-select")
+    dataset, context = _build_instance(args, rng)
+    selector = _selector(args.algorithm, rng)
+    protectors = selector.select(context, budget=args.budget)
+    print(
+        f"instance: |C|={len(context.rumor_community)} |S_R|={len(context.rumor_seeds)} "
+        f"|B|={len(context.bridge_ends)}"
+    )
+    print(f"{selector.name} selected {len(protectors)} protector(s):")
+    print(" ".join(str(p) for p in protectors))
+    from repro.lcrb.report import render_cover_assessment
+
+    print(render_cover_assessment(context, protectors))
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    rng = RngStream(args.seed, name="cli-simulate")
+    dataset, context = _build_instance(args, rng)
+    if args.algorithm == "none":
+        protectors = []
+        name = "NoBlocking"
+    else:
+        selector = _selector(args.algorithm, rng)
+        protectors = selector.select(context, budget=args.budget)
+        name = selector.name
+    model = make_model(args.model)
+    result = evaluate_protectors(
+        context,
+        protectors,
+        model,
+        runs=args.runs,
+        max_hops=args.hops,
+        rng=rng.fork("eval"),
+    )
+    print(
+        f"{name} with |P|={len(protectors)} under {model.name}: "
+        f"final infected={result.final_infected_mean:.1f}, "
+        f"protected bridge fraction={result.protected_bridge_fraction:.3f}"
+    )
+    series = result.infected_per_hop
+    print("infected per hop: " + " ".join(f"{v:.1f}" for v in series))
+    if args.chart:
+        from repro.utils.ascii_chart import line_chart
+
+        print(line_chart({name: series}, height=12, log_scale=True))
+    return 0
+
+
+def _run_one_experiment(key: str, args) -> dict:
+    config = paper_experiment(key)
+    overrides = {
+        field: getattr(args, field)
+        for field in ("scale", "runs", "draws", "seed")
+        if getattr(args, field) is not None and hasattr(config, field)
+    }
+    if overrides:
+        config = config.scaled(**overrides)
+    if isinstance(config, TableConfig):
+        result = run_table(config)
+        print(render_table(result))
+        return table_to_dict(result)
+    result = run_figure(config)
+    print(render_figure(result))
+    return figure_to_dict(result)
+
+
+def _cmd_experiment(args) -> int:
+    keys = sorted(PAPER_EXPERIMENTS) if args.key == "all" else [args.key]
+    payloads = []
+    for key in keys:
+        payloads.append(_run_one_experiment(key, args))
+        print()
+    if args.json_path:
+        document = payloads[0] if len(payloads) == 1 else {"experiments": payloads}
+        save_json(document, args.json_path)
+        print(f"saved JSON to {args.json_path}")
+    if args.markdown_path:
+        from repro.experiments.markdown import roster_markdown
+
+        with open(args.markdown_path, "w", encoding="utf-8") as handle:
+            handle.write(
+                roster_markdown(payloads, heading="Experiment report")
+            )
+        print(f"saved markdown to {args.markdown_path}")
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    from repro.lcrb.report import build_instance_report, render_instance_report
+
+    rng = RngStream(args.seed, name="cli-inspect")
+    _, context = _build_instance(args, rng)
+    print(render_instance_report(build_instance_report(context)))
+    return 0
+
+
+def _cmd_sources(args) -> int:
+    from repro.algorithms.source_detection import estimate_sources
+    from repro.diffusion.base import INFECTED, SeedSets
+    from repro.diffusion.doam import DOAMModel
+    from repro.graph.traversal import shortest_hop_distance
+
+    rng = RngStream(args.seed, name="cli-sources")
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    indexed = dataset.graph.to_indexed()
+    nodes = list(dataset.graph.nodes())
+    print(f"{'trial':>5} {'true source':>12} {'estimate':>12} {'hop error':>9}")
+    for trial in range(args.trials):
+        source = rng.fork("trial", trial).choice(nodes)
+        outcome = DOAMModel().run(
+            indexed,
+            SeedSets(rumors=[indexed.index(source)]),
+            max_hops=args.spread_hops,
+        )
+        infected = [
+            indexed.labels[i]
+            for i, state in enumerate(outcome.states)
+            if state == INFECTED
+        ]
+        if len(infected) < 3:
+            print(f"{trial:>5} {source!s:>12} {'(tiny spread)':>12} {'-':>9}")
+            continue
+        (estimate,) = estimate_sources(dataset.graph, infected, method=args.method)
+        hops = shortest_hop_distance(dataset.graph, estimate, source)
+        if hops is None:
+            hops = shortest_hop_distance(dataset.graph, source, estimate)
+        print(f"{trial:>5} {source!s:>12} {estimate!s:>12} {str(hops):>9}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.experiments.sweep import mixing_sweep
+    from repro.utils.tables import format_table
+
+    rows = mixing_sweep(
+        mixings=args.mixings, nodes=args.nodes, draws=args.draws, seed=args.seed
+    )
+    table_rows = [
+        [
+            f"{row['value']:.2f}",
+            row["boundary_edges"],
+            row["bridge_ends"],
+            row["scbg_protectors"],
+            row["proximity_protectors"],
+        ]
+        for row in rows
+    ]
+    print(
+        format_table(
+            ["mixing", "boundary edges", "|B|", "SCBG |P|", "Proximity |P|"],
+            table_rows,
+            title="Community-mixing sweep",
+        )
+    )
+    return 0
+
+
+_COMMANDS = {
+    "datasets": _cmd_datasets,
+    "stats": _cmd_stats,
+    "communities": _cmd_communities,
+    "select": _cmd_select,
+    "simulate": _cmd_simulate,
+    "inspect": _cmd_inspect,
+    "sources": _cmd_sources,
+    "sweep": _cmd_sweep,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    configure_logging(args.verbose)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""Girvan-Newman community detection (edge-betweenness removal).
+
+A third detector — classical, O(E²·V)-ish, so only practical on small
+graphs, but valuable as an independent cross-check of Louvain on toy and
+test instances (the comparative-analysis context of the paper's reference
+[32]). Repeatedly removes the highest-betweenness edge and keeps the weak-
+component partition with the best modularity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.community.modularity import modularity
+from repro.graph.betweenness import edge_betweenness
+from repro.graph.components import weakly_connected_components
+from repro.graph.digraph import DiGraph, Node
+from repro.utils.validation import check_positive
+
+__all__ = ["girvan_newman"]
+
+
+def _partition_of_components(graph: DiGraph) -> Dict[Node, int]:
+    membership: Dict[Node, int] = {}
+    for community_id, component in enumerate(weakly_connected_components(graph)):
+        for node in component:
+            membership[node] = community_id
+    return membership
+
+
+def girvan_newman(
+    graph: DiGraph,
+    max_communities: Optional[int] = None,
+) -> Dict[Node, int]:
+    """Detect communities by iterative highest-betweenness edge removal.
+
+    Args:
+        graph: input digraph (a working copy is mutated internally).
+        max_communities: stop splitting once this many weak components
+            exist; ``None`` = run until no edges remain and return the
+            best-modularity partition seen.
+
+    Returns:
+        node -> community id of the best-modularity partition encountered.
+    """
+    if max_communities is not None:
+        check_positive(max_communities, "max_communities")
+    if graph.node_count == 0:
+        return {}
+
+    working = graph.copy()
+    best_membership = _partition_of_components(working)
+    best_quality = modularity(graph, best_membership)
+
+    while working.edge_count > 0:
+        scores = edge_betweenness(working, normalized=False)
+        top_edge = max(scores.items(), key=lambda kv: (kv[1], repr(kv[0])))[0]
+        working.remove_edge(*top_edge)
+        membership = _partition_of_components(working)
+        quality = modularity(graph, membership)
+        if quality > best_quality:
+            best_quality = quality
+            best_membership = membership
+        communities = len(set(membership.values()))
+        if max_communities is not None and communities >= max_communities:
+            best_membership = membership
+            break
+
+    # Dense 0-based ids in first-seen order.
+    dense: Dict[int, int] = {}
+    result: Dict[Node, int] = {}
+    for node in graph.nodes():
+        community_id = best_membership[node]
+        if community_id not in dense:
+            dense[community_id] = len(dense)
+        result[node] = dense[community_id]
+    return result

@@ -1,0 +1,82 @@
+"""Newman modularity of a partition.
+
+Modularity is the objective Louvain (the paper's detector, reference [25])
+optimises. Following the original Louvain paper we compute it on the
+*symmetrised* weighted graph: each directed edge contributes its weight to
+the undirected multigraph, mutual edges sum.
+
+Q = (1 / 2m) * sum_ij [ A_ij - k_i k_j / (2m) ] δ(c_i, c_j)
+
+implemented, as usual, community-by-community:
+
+Q = sum_c [ Σ_in(c) / (2m) - (Σ_tot(c) / (2m))² ]
+
+where Σ_in(c) counts twice the internal undirected weight (self-loops count
+once... see code) and Σ_tot(c) the total degree mass of c.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.errors import CommunityError
+from repro.graph.digraph import DiGraph, Node
+
+__all__ = ["modularity", "modularity_from_weights"]
+
+
+def modularity(graph: DiGraph, membership: Mapping[Node, int]) -> float:
+    """Modularity of ``membership`` on the symmetrised view of ``graph``.
+
+    Args:
+        graph: directed graph; symmetrised internally.
+        membership: node -> community id, covering every node.
+
+    Returns:
+        Q in [-0.5, 1.0]; 0.0 for an empty/edgeless graph.
+    """
+    for node in graph.nodes():
+        if node not in membership:
+            raise CommunityError(f"node {node!r} lacks a community id")
+    return modularity_from_weights(graph.to_undirected_weights(), membership)
+
+
+def modularity_from_weights(
+    adjacency: Mapping[Node, Mapping[Node, float]],
+    membership: Mapping[Node, int],
+) -> float:
+    """Modularity over a symmetric weighted adjacency.
+
+    ``adjacency`` must be symmetric (``adjacency[u][v] == adjacency[v][u]``)
+    with self-loop weight stored once at ``adjacency[u][u]``.
+    """
+    two_m = 0.0
+    for node, neighbors in adjacency.items():
+        for neighbor, weight in neighbors.items():
+            if neighbor == node:
+                two_m += 2.0 * weight  # self-loop contributes its weight to both "ends"
+            else:
+                two_m += weight
+    if two_m == 0.0:
+        return 0.0
+
+    internal: Dict[int, float] = {}
+    total: Dict[int, float] = {}
+    for node, neighbors in adjacency.items():
+        community = membership[node]
+        node_degree = 0.0
+        for neighbor, weight in neighbors.items():
+            if neighbor == node:
+                node_degree += 2.0 * weight
+                internal[community] = internal.get(community, 0.0) + 2.0 * weight
+                continue
+            node_degree += weight
+            if membership[neighbor] == community:
+                internal[community] = internal.get(community, 0.0) + weight
+        total[community] = total.get(community, 0.0) + node_degree
+
+    quality = 0.0
+    for community, degree_mass in total.items():
+        quality += internal.get(community, 0.0) / two_m
+        quality -= (degree_mass / two_m) ** 2
+    return quality

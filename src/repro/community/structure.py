@@ -1,0 +1,186 @@
+"""The community cover of a social network (paper Definition 1).
+
+A :class:`CommunityStructure` is a validated partition of a graph's nodes
+into disjoint communities ``C = {C_1, ..., C_k}`` with
+``∪ V(C_r) = V``. On top of the raw partition it answers the queries the
+LCRB pipeline needs:
+
+* which community a node belongs to,
+* the *R-neighbor communities* of a rumor community (communities receiving
+  at least one direct edge from it — Section I),
+* community sizes and boundary edges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Set, Tuple
+
+from repro.errors import CommunityError, NodeNotFoundError
+from repro.graph.digraph import DiGraph, Node
+
+__all__ = ["CommunityStructure"]
+
+
+class CommunityStructure:
+    """A disjoint community cover bound to a graph.
+
+    Instances are immutable once constructed and validated; detection
+    algorithms (:func:`repro.community.louvain.louvain`) return the raw
+    membership mapping, which this class freezes and checks.
+
+    Example:
+        >>> g = DiGraph.from_edges([(0, 1), (1, 0), (2, 3), (1, 2)])
+        >>> cs = CommunityStructure(g, {0: 0, 1: 0, 2: 1, 3: 1})
+        >>> cs.community_of(2)
+        1
+        >>> sorted(cs.members(0))
+        [0, 1]
+    """
+
+    __slots__ = ("graph", "_membership", "_members")
+
+    def __init__(self, graph: DiGraph, membership: Mapping[Node, int]) -> None:
+        """Bind and validate a membership mapping against ``graph``.
+
+        Raises:
+            CommunityError: if the mapping does not cover exactly the
+                graph's node set or contains non-integer community ids.
+        """
+        self.graph = graph
+        missing = [node for node in graph.nodes() if node not in membership]
+        if missing:
+            raise CommunityError(
+                f"{len(missing)} node(s) lack a community (e.g. {missing[0]!r})"
+            )
+        extra = [node for node in membership if node not in graph]
+        if extra:
+            raise CommunityError(
+                f"{len(extra)} membership node(s) not in graph (e.g. {extra[0]!r})"
+            )
+        members: Dict[int, Set[Node]] = {}
+        frozen: Dict[Node, int] = {}
+        for node, community_id in membership.items():
+            if isinstance(community_id, bool) or not isinstance(community_id, int):
+                raise CommunityError(
+                    f"community id must be int, got {community_id!r} for {node!r}"
+                )
+            frozen[node] = community_id
+            members.setdefault(community_id, set()).add(node)
+        self._membership = frozen
+        self._members = {cid: frozenset(nodes) for cid, nodes in members.items()}
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_blocks(cls, graph: DiGraph, blocks: Iterable[Iterable[Node]]) -> "CommunityStructure":
+        """Build from explicit node groups (ids assigned by position)."""
+        membership: Dict[Node, int] = {}
+        for community_id, block in enumerate(blocks):
+            for node in block:
+                if node in membership:
+                    raise CommunityError(f"node {node!r} appears in two communities")
+                membership[node] = community_id
+        return cls(graph, membership)
+
+    # -- queries -----------------------------------------------------------------
+
+    @property
+    def community_ids(self) -> List[int]:
+        """Sorted list of community ids."""
+        return sorted(self._members)
+
+    @property
+    def community_count(self) -> int:
+        """Number of communities."""
+        return len(self._members)
+
+    def community_of(self, node: Node) -> int:
+        """Community id of ``node``."""
+        try:
+            return self._membership[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def members(self, community_id: int) -> FrozenSet[Node]:
+        """Node set of a community."""
+        try:
+            return self._members[community_id]
+        except KeyError:
+            raise CommunityError(f"no community with id {community_id!r}") from None
+
+    def size(self, community_id: int) -> int:
+        """Size of a community (the paper's |C|)."""
+        return len(self.members(community_id))
+
+    def sizes(self) -> Dict[int, int]:
+        """Mapping community id -> size."""
+        return {cid: len(nodes) for cid, nodes in self._members.items()}
+
+    def membership(self) -> Dict[Node, int]:
+        """Copy of the node -> community mapping."""
+        return dict(self._membership)
+
+    def same_community(self, u: Node, v: Node) -> bool:
+        """True if ``u`` and ``v`` share a community."""
+        return self.community_of(u) == self.community_of(v)
+
+    def iter_blocks(self) -> Iterator[Tuple[int, FrozenSet[Node]]]:
+        """Iterate ``(community_id, members)`` pairs in id order."""
+        for community_id in self.community_ids:
+            yield community_id, self._members[community_id]
+
+    # -- LCRB-specific queries ------------------------------------------------------
+
+    def neighbor_communities(self, community_id: int) -> Set[int]:
+        """R-neighbor communities: ids receiving a direct edge from ``community_id``.
+
+        Section I: "the neighbor communities of rumor community are called
+        R-neighbor communities" — communities that the rumor can step into
+        along a single boundary edge.
+        """
+        block = self.members(community_id)
+        neighbors: Set[int] = set()
+        for tail in block:
+            for head in self.graph.successors(tail):
+                head_community = self._membership[head]
+                if head_community != community_id:
+                    neighbors.add(head_community)
+        return neighbors
+
+    def outgoing_boundary(self, community_id: int) -> List[Tuple[Node, Node]]:
+        """Directed edges from ``community_id`` into other communities."""
+        block = self.members(community_id)
+        return [
+            (tail, head)
+            for tail in block
+            for head in self.graph.successors(tail)
+            if self._membership[head] != community_id
+        ]
+
+    def internal_edge_fraction(self, community_id: int) -> float:
+        """Fraction of the community's out-edges that stay internal.
+
+        A sanity metric for "dense inside, sparse across" (Section IV); the
+        experiment reports print it for the chosen rumor community.
+        """
+        block = self.members(community_id)
+        total = 0
+        internal = 0
+        for tail in block:
+            for head in self.graph.successors(tail):
+                total += 1
+                if self._membership[head] == community_id:
+                    internal += 1
+        return internal / total if total else 0.0
+
+    def largest_communities(self, count: int) -> List[int]:
+        """Ids of the ``count`` largest communities (ties by id)."""
+        return sorted(self._members, key=lambda cid: (-len(self._members[cid]), cid))[
+            :count
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"CommunityStructure(communities={self.community_count}, "
+            f"nodes={len(self._membership)})"
+        )

@@ -1,0 +1,29 @@
+"""Datasets: synthetic replicas of the paper's networks and toy graphs.
+
+The paper evaluates on two SNAP datasets that are not redistributable
+offline; :mod:`repro.datasets.synthetic` generates calibrated synthetic
+replicas (see DESIGN.md §4 for the substitution argument), and
+:mod:`repro.datasets.registry` names the exact configurations the
+benchmarks use. :mod:`repro.datasets.toy` hand-builds the small worked
+examples of the paper's Figures 1-3 for tests and documentation.
+"""
+
+from repro.datasets.registry import DatasetSpec, load_dataset, list_datasets
+from repro.datasets.synthetic import SyntheticNetwork, enron_like, hep_like
+from repro.datasets.toy import (
+    figure1_graph,
+    figure2_graph,
+    two_community_toy,
+)
+
+__all__ = [
+    "SyntheticNetwork",
+    "enron_like",
+    "hep_like",
+    "DatasetSpec",
+    "load_dataset",
+    "list_datasets",
+    "figure1_graph",
+    "figure2_graph",
+    "two_community_toy",
+]

@@ -1,0 +1,204 @@
+"""Named dataset configurations matching the paper's experiment settings.
+
+Section VI evaluates three (network, rumor community) pairs:
+
+=================  ======== ======= =======
+setting            |N|      |C|     |B|
+=================  ======== ======= =======
+Hep                15 233   308     387
+Enron (small C)    36 692   80      135
+Enron (large C)    36 692   2 631   2 250
+=================  ======== ======= =======
+
+:func:`load_dataset` builds the scaled synthetic replica, detects
+communities (Louvain, as the paper does — or uses the generator's planted
+partition), and picks the rumor community whose *relative* size is closest
+to the paper's ``|C| / |N|`` — preserving each setting's regime (tiny,
+small, large-and-dense) at any scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.community.louvain import louvain
+from repro.community.structure import CommunityStructure
+from repro.datasets.synthetic import SyntheticNetwork, enron_like, hep_like
+from repro.errors import DatasetError
+from repro.graph.digraph import DiGraph
+from repro.rng import RngStream
+from repro.utils.validation import check_positive
+
+__all__ = ["DatasetSpec", "LoadedDataset", "load_dataset", "list_datasets"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One of the paper's experiment settings.
+
+    Attributes:
+        name: registry key.
+        builder: synthetic-network factory taking ``(scale, rng)``.
+        community_fraction: the paper's ``|C| / |N|`` for this setting.
+        paper_nodes / paper_community / paper_bridge_ends: the original
+            statistics, for side-by-side reporting.
+        description: one-line summary.
+    """
+
+    name: str
+    builder: Callable[[float, RngStream], SyntheticNetwork]
+    community_fraction: float
+    paper_nodes: int
+    paper_community: int
+    paper_bridge_ends: int
+    description: str
+
+
+_REGISTRY: Dict[str, DatasetSpec] = {}
+
+
+def _register(spec: DatasetSpec) -> None:
+    _REGISTRY[spec.name] = spec
+
+
+_register(
+    DatasetSpec(
+        name="hep",
+        builder=lambda scale, rng: hep_like(scale=scale, rng=rng),
+        community_fraction=308 / 15233,
+        paper_nodes=15233,
+        paper_community=308,
+        paper_bridge_ends=387,
+        description="Hep collaboration replica, medium community (Fig. 4/7, Table I)",
+    )
+)
+_register(
+    DatasetSpec(
+        name="enron-small",
+        builder=lambda scale, rng: enron_like(scale=scale, rng=rng),
+        community_fraction=80 / 36692,
+        paper_nodes=36692,
+        paper_community=80,
+        paper_bridge_ends=135,
+        description="Enron e-mail replica, small community (Fig. 5/8, Table I)",
+    )
+)
+_register(
+    DatasetSpec(
+        name="enron-large",
+        builder=lambda scale, rng: enron_like(scale=scale, rng=rng),
+        community_fraction=2631 / 36692,
+        paper_nodes=36692,
+        paper_community=2631,
+        paper_bridge_ends=2250,
+        description="Enron e-mail replica, large dense community (Fig. 6/9, Table I)",
+    )
+)
+
+
+def list_datasets() -> List[DatasetSpec]:
+    """All registered dataset specs, in registration order."""
+    return list(_REGISTRY.values())
+
+
+class LoadedDataset:
+    """A materialised experiment setting.
+
+    Attributes:
+        spec: the originating :class:`DatasetSpec`.
+        graph: the replica network.
+        communities: the community cover actually used.
+        rumor_community: id of the chosen rumor community.
+    """
+
+    __slots__ = ("spec", "graph", "communities", "rumor_community")
+
+    def __init__(
+        self,
+        spec: DatasetSpec,
+        graph: DiGraph,
+        communities: CommunityStructure,
+        rumor_community: int,
+    ) -> None:
+        self.spec = spec
+        self.graph = graph
+        self.communities = communities
+        self.rumor_community = rumor_community
+
+    @property
+    def rumor_community_nodes(self):
+        """Node set of the rumor community."""
+        return self.communities.members(self.rumor_community)
+
+    def __repr__(self) -> str:
+        return (
+            f"LoadedDataset({self.spec.name!r}, |N|={self.graph.node_count}, "
+            f"|C|={self.communities.size(self.rumor_community)})"
+        )
+
+
+def _pick_rumor_community(
+    communities: CommunityStructure, target_fraction: float, total_nodes: int
+) -> int:
+    """Community whose relative size best matches the paper's fraction.
+
+    Communities smaller than 5 nodes are skipped — they cannot host the
+    paper's smallest rumor-seed draws (1% of |C| rounded up needs a
+    community with room for seeds *and* internal structure).
+    """
+    target = target_fraction * total_nodes
+    best_id: Optional[int] = None
+    best_gap: Optional[float] = None
+    for community_id, members in communities.iter_blocks():
+        size = len(members)
+        if size < 5:
+            continue
+        gap = abs(size - target)
+        if best_gap is None or gap < best_gap:
+            best_gap = gap
+            best_id = community_id
+    if best_id is None:
+        raise DatasetError("no community with >= 5 nodes; graph too fragmented")
+    return best_id
+
+
+def load_dataset(
+    name: str,
+    scale: float = 0.1,
+    seed: int = 13,
+    communities: str = "louvain",
+) -> LoadedDataset:
+    """Build a named experiment setting.
+
+    Args:
+        name: one of :func:`list_datasets`'s names.
+        scale: replica scale versus the original node count.
+        seed: master seed (generator and detector both derive from it).
+        communities: ``"louvain"`` (detect, as the paper does) or
+            ``"planted"`` (use the generator's ground truth).
+
+    Returns:
+        A :class:`LoadedDataset` with the rumor community chosen to match
+        the paper's relative community size.
+    """
+    check_positive(scale, "scale")
+    if name not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY))
+        raise DatasetError(f"unknown dataset {name!r}; known: {known}")
+    if communities not in ("louvain", "planted"):
+        raise DatasetError(
+            f"communities must be 'louvain' or 'planted', got {communities!r}"
+        )
+    spec = _REGISTRY[name]
+    rng = RngStream(seed, name=f"dataset-{name}")
+    network = spec.builder(scale, rng.fork("build"))
+    if communities == "louvain":
+        result = louvain(network.graph, rng=rng.fork("louvain"))
+        cover = CommunityStructure(network.graph, result.membership)
+    else:
+        cover = network.communities()
+    rumor_community = _pick_rumor_community(
+        cover, spec.community_fraction, network.graph.node_count
+    )
+    return LoadedDataset(spec, network.graph, cover, rumor_community)

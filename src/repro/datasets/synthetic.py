@@ -1,0 +1,138 @@
+"""Synthetic replicas of the paper's evaluation networks.
+
+The paper uses two SNAP datasets (Section VI.A):
+
+* **Enron e-mail** — 36 692 nodes, 367 662 directed edges, average node
+  degree 10.0; directed (i sent mail to j).
+* **Hep collaboration** — 15 233 nodes, 58 891 undirected edges
+  symmetrised into two directed edges each, average node degree 7.73.
+
+Neither is redistributable in this offline environment, so
+:func:`enron_like` / :func:`hep_like` generate replicas with the
+statistics the algorithms are actually sensitive to (DESIGN.md §4):
+directedness, average degree, heavy-tailed degrees, and heavy-tailed
+community structure with sparse inter-community edges. ``scale`` shrinks
+the node count (default 1/10) so every benchmark runs on a laptop; all
+headline ratios are preserved.
+
+If you have the real SNAP files, load them with
+:func:`repro.graph.io.read_edge_list` and run the same experiments — every
+harness accepts an arbitrary graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.community.structure import CommunityStructure
+from repro.errors import DatasetError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import powerlaw_community_digraph
+from repro.rng import RngStream
+from repro.utils.validation import check_positive
+
+__all__ = ["SyntheticNetwork", "enron_like", "hep_like"]
+
+#: Statistics of the originals, kept here as the calibration reference.
+ENRON_NODES = 36_692
+ENRON_AVG_DEGREE = 10.0
+HEP_NODES = 15_233
+HEP_AVG_DEGREE = 7.73
+
+
+class SyntheticNetwork:
+    """A generated network bundled with its planted community structure.
+
+    Attributes:
+        graph: the directed graph.
+        membership: node -> planted community id.
+        name: dataset name.
+    """
+
+    __slots__ = ("graph", "membership", "name")
+
+    def __init__(self, graph: DiGraph, membership: Dict[int, int], name: str) -> None:
+        self.graph = graph
+        self.membership = membership
+        self.name = name
+
+    def communities(self) -> CommunityStructure:
+        """The planted cover as a validated :class:`CommunityStructure`."""
+        return CommunityStructure(self.graph, self.membership)
+
+    def __repr__(self) -> str:
+        communities = len(set(self.membership.values()))
+        return (
+            f"SyntheticNetwork({self.name!r}, nodes={self.graph.node_count}, "
+            f"edges={self.graph.edge_count}, communities={communities})"
+        )
+
+
+def _scaled(base_nodes: int, scale: float) -> int:
+    nodes = int(round(base_nodes * scale))
+    if nodes < 50:
+        raise DatasetError(
+            f"scale {scale} gives only {nodes} nodes; use scale >= {50 / base_nodes:.4f}"
+        )
+    return nodes
+
+
+def enron_like(
+    scale: float = 0.1,
+    rng: Optional[RngStream] = None,
+    mixing: float = 0.08,
+    n_communities: Optional[int] = None,
+) -> SyntheticNetwork:
+    """Directed Enron-e-mail replica.
+
+    Args:
+        scale: node-count scale factor versus the original 36 692.
+        rng: random stream (fixed default seed when omitted).
+        mixing: fraction of edges crossing communities; 0.08 keeps
+            communities dense-inside/sparse-across, matching the premise
+            the paper builds on (Section IV).
+        n_communities: community count; default tracks the generator's
+            ``n // 120`` rule, which at scale 1 gives a few hundred
+            communities — the regime the paper's Enron partitions live in
+            (|C| from 80 to 2631 over 36 692 nodes).
+    """
+    check_positive(scale, "scale")
+    rng = rng or RngStream(name="enron-like")
+    nodes = _scaled(ENRON_NODES, scale)
+    graph, membership = powerlaw_community_digraph(
+        n=nodes,
+        avg_degree=ENRON_AVG_DEGREE,
+        mixing=mixing,
+        rng=rng.fork("enron", nodes),
+        n_communities=n_communities,
+        symmetric=False,
+        name=f"enron-like-{nodes}",
+    )
+    return SyntheticNetwork(graph, membership, name=f"enron-like-{nodes}")
+
+
+def hep_like(
+    scale: float = 0.1,
+    rng: Optional[RngStream] = None,
+    mixing: float = 0.06,
+    n_communities: Optional[int] = None,
+) -> SyntheticNetwork:
+    """Symmetrised Hep-collaboration replica (lower degree than Enron).
+
+    Collaboration edges are undirected; as in Section VI.A.2, each is
+    represented by two directed edges, so the generator samples undirected
+    pairs against half the degree budget and symmetrises.
+    """
+    check_positive(scale, "scale")
+    rng = rng or RngStream(name="hep-like")
+    nodes = _scaled(HEP_NODES, scale)
+    graph, membership = powerlaw_community_digraph(
+        n=nodes,
+        avg_degree=HEP_AVG_DEGREE,
+        mixing=mixing,
+        rng=rng.fork("hep", nodes),
+        n_communities=n_communities,
+        symmetric=True,
+        name=f"hep-like-{nodes}",
+    )
+    return SyntheticNetwork(graph, membership, name=f"hep-like-{nodes}")

@@ -1,0 +1,163 @@
+"""Hand-built toy graphs reproducing the paper's worked examples.
+
+* :func:`figure1_graph` — the Fig. 1 timestamp-assignment example: rumor
+  originators ``x`` and ``y``; after four scripted selection steps, edge
+  ``(u, w)`` carries exactly the preserved timestamps ``2_x`` and ``4_y``.
+* :func:`figure2_graph` — a three-community layout in the spirit of
+  Fig. 2/3: a rumor community hosting ``r1, r2`` and two R-neighbor
+  communities whose boundary nodes ``p1, p2, p3`` are the bridge ends.
+* :func:`two_community_toy` — a minimal deterministic two-community graph
+  used across unit tests.
+
+These return ``(graph, extras)`` with labelled nodes so tests can assert
+exact structural facts against the paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.community.structure import CommunityStructure
+from repro.graph.digraph import DiGraph
+
+__all__ = ["figure1_graph", "figure2_graph", "two_community_toy"]
+
+
+def figure1_graph() -> Tuple[DiGraph, List[Tuple[str, str]]]:
+    """The Fig. 1 topology plus the scripted choice sequence.
+
+    Nodes: rumor originators ``x, y``; intermediates ``u, v, z``; target
+    ``w``. The scripted schedule below makes cascade ``x`` reach ``w`` at
+    step 2 and cascade ``y`` reach it at step 4, so the preserved (Fig.
+    1(b)) timestamps on edge ``(u, w)`` are exactly ``{x: 2, y: 4}``.
+
+    Returns:
+        ``(graph, schedule)`` where ``schedule`` is the list of
+        ``(chooser, target)`` pairs per step, flattened in step order —
+        consumed by tests via a scripted chooser.
+    """
+    graph = DiGraph(name="figure-1")
+    graph.add_edges(
+        [
+            ("x", "u"),
+            ("y", "v"),
+            ("u", "w"),
+            ("v", "z"),
+            ("z", "u"),
+        ]
+    )
+    # Step 1: x -> u (timestamp 1_x), y -> v (1_y).
+    # Step 2: u -> w (2_x), v -> z (2_y); x and y repeat their selections.
+    # Step 3: z -> u (3_y) — cascade y reaches u.
+    # Step 4: u -> w again (4_y preserved; 4_x dropped in favour of 2_x).
+    schedule = [
+        ("x", "u"),  # step 1
+        ("y", "v"),
+        ("x", "u"),  # step 2 (repeat selection, Fig. 1 narrative)
+        ("y", "v"),
+        ("u", "w"),
+        ("v", "z"),
+        ("z", "u"),  # step 3
+        ("u", "w"),  # step 4
+    ]
+    return graph, schedule
+
+
+def figure2_graph() -> Tuple[DiGraph, CommunityStructure, Dict[str, object]]:
+    """A three-community instance in the spirit of Fig. 2/3.
+
+    Layout:
+
+    * Rumor community ``C0`` = {r1, r2, a1, a2, a3}; originators r1, r2.
+    * R-neighbor community ``C1`` = {p1, p2, q1, q2, v1} — bridge ends
+      p1, p2 (each has an in-edge from C0 and is rumor-reachable).
+    * R-neighbor community ``C2`` = {p3, s1, s2, R1} — bridge end p3.
+
+    ``v1`` can protect both p1 and p2 (one hop to each, inside their
+    rumor-arrival budgets), ``R1`` protects p3, and no single node covers
+    all three in time — so the minimum cover has size 2, mirroring Fig.
+    2(b)'s optimal protector set {v1, R1}.
+
+    Returns:
+        ``(graph, communities, info)`` with ``info`` carrying
+        ``rumor_seeds``, ``bridge_ends``, ``optimal_protectors`` (one
+        optimum; ties exist), and ``optimal_size``.
+    """
+    graph = DiGraph(name="figure-2")
+    # Rumor community internals: a directed ring through both originators,
+    # so the two R-neighbor communities hang off *different* rumor branches
+    # and no single internal node can cover all three bridge ends in time.
+    graph.add_edges(
+        [
+            ("r1", "a1"),
+            ("a1", "a2"),
+            ("a2", "r2"),
+            ("r2", "a3"),
+            ("a3", "r1"),
+        ]
+    )
+    # Boundary edges into C1: t_R(p1) = 2 (r1->a1->p1), t_R(p2) = 3.
+    graph.add_edges([("a1", "p1"), ("a2", "p2")])
+    # Boundary edge into C2: t_R(p3) = 2 (r2->a3->p3).
+    graph.add_edges([("a3", "p3")])
+    # C1 internals: v1 is one hop from both bridge ends.
+    graph.add_edges(
+        [
+            ("v1", "p1"),
+            ("v1", "p2"),
+            ("p1", "q1"),
+            ("p2", "q2"),
+            ("q1", "q2"),
+        ]
+    )
+    # C2 internals: R1 is one hop from p3.
+    graph.add_edges([("R1", "p3"), ("p3", "s1"), ("s1", "s2"), ("s2", "R1")])
+
+    communities = CommunityStructure.from_blocks(
+        graph,
+        [
+            ["r1", "r2", "a1", "a2", "a3"],
+            ["p1", "p2", "q1", "q2", "v1"],
+            ["p3", "s1", "s2", "R1"],
+        ],
+    )
+    info: Dict[str, object] = {
+        "rumor_community": 0,
+        "rumor_seeds": ("r1", "r2"),
+        "bridge_ends": frozenset({"p1", "p2", "p3"}),
+        "optimal_protectors": frozenset({"v1", "R1"}),
+        "optimal_size": 2,
+    }
+    return graph, communities, info
+
+
+def two_community_toy() -> Tuple[DiGraph, CommunityStructure, Dict[str, object]]:
+    """Minimal two-community instance for fast unit tests.
+
+    Rumor community {r, c1, c2}; neighbor community {b, d, e} with single
+    bridge end ``b`` (in-edge from c1, two rumor hops away); ``d`` is one
+    hop from ``b`` and can protect it.
+    """
+    graph = DiGraph(name="two-community-toy")
+    graph.add_edges(
+        [
+            ("r", "c1"),
+            ("c1", "c2"),
+            ("c2", "r"),
+            ("c1", "b"),  # boundary edge; t_R(b) = 2
+            ("b", "e"),
+            ("d", "b"),
+            ("e", "d"),
+        ]
+    )
+    communities = CommunityStructure.from_blocks(
+        graph, [["r", "c1", "c2"], ["b", "d", "e"]]
+    )
+    info: Dict[str, object] = {
+        "rumor_community": 0,
+        "rumor_seeds": ("r",),
+        "bridge_ends": frozenset({"b"}),
+        # BBST of b has depth t_R(b)=2: {b} ∪ {c1, d} ∪ {r, e}, minus S_R.
+        "protector_candidates": frozenset({"b", "c1", "d", "e"}),
+    }
+    return graph, communities, info

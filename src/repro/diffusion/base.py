@@ -1,0 +1,185 @@
+"""Shared diffusion-model infrastructure.
+
+Node states, validated seed sets, the outcome record, and the
+:class:`DiffusionModel` base class every model implements. All models run
+on an :class:`repro.graph.compact.IndexedDiGraph` (integer node ids) for
+speed; higher layers translate labels at the boundary.
+
+The three common properties of Section III are enforced here and tested
+property-based:
+
+1. both cascades start at step 0 (seeds are hop 0 of the trace);
+2. when R and P reach a node in the same step, P wins;
+3. activation is progressive — a state array entry only ever moves
+   ``INACTIVE -> {INFECTED, PROTECTED}`` and then never changes.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import FrozenSet, Iterable, List, Optional, Sequence
+
+from repro.errors import SeedError
+from repro.graph.compact import IndexedDiGraph
+from repro.diffusion.trace import HopTrace
+from repro.rng import RngStream
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "INACTIVE",
+    "INFECTED",
+    "PROTECTED",
+    "SeedSets",
+    "DiffusionOutcome",
+    "DiffusionModel",
+    "DEFAULT_MAX_HOPS",
+]
+
+#: Node states. Small ints rather than an Enum: the simulators index state
+#: arrays millions of times, and int compares are measurably faster.
+INACTIVE = 0
+INFECTED = 1
+PROTECTED = 2
+
+#: The paper runs OPOAO comparisons for 31 hops (Section VI.B.2).
+DEFAULT_MAX_HOPS = 31
+
+
+class SeedSets:
+    """Validated pair of disjoint seed sets (rumors ``S_R``, protectors ``S_P``).
+
+    Section III requires the two initial sets to be disjoint; rumor seeds
+    must be non-empty (there is no rumor-blocking problem without a rumor),
+    while protector seeds may be empty (the paper's NoBlocking baseline).
+    """
+
+    __slots__ = ("rumors", "protectors")
+
+    def __init__(self, rumors: Iterable[int], protectors: Iterable[int] = ()) -> None:
+        self.rumors: FrozenSet[int] = frozenset(rumors)
+        self.protectors: FrozenSet[int] = frozenset(protectors)
+        if not self.rumors:
+            raise SeedError("rumor seed set must not be empty")
+        overlap = self.rumors & self.protectors
+        if overlap:
+            raise SeedError(
+                f"seed sets must be disjoint; both contain {sorted(overlap)[:5]}"
+            )
+
+    def validate_against(self, graph: IndexedDiGraph) -> None:
+        """Check every seed id is a valid node of ``graph``."""
+        n = graph.node_count
+        for seed in self.rumors | self.protectors:
+            if not isinstance(seed, int) or isinstance(seed, bool) or not 0 <= seed < n:
+                raise SeedError(f"seed {seed!r} is not a node id in [0, {n})")
+
+    def __repr__(self) -> str:
+        return f"SeedSets(|R|={len(self.rumors)}, |P|={len(self.protectors)})"
+
+
+class DiffusionOutcome:
+    """Final state of one diffusion run.
+
+    Attributes:
+        states: per-node final state (INACTIVE/INFECTED/PROTECTED), indexed
+            by node id.
+        trace: the hop-by-hop :class:`~repro.diffusion.trace.HopTrace`.
+    """
+
+    __slots__ = ("states", "trace")
+
+    def __init__(self, states: Sequence[int], trace: HopTrace) -> None:
+        self.states: List[int] = list(states)
+        self.trace = trace
+
+    @property
+    def infected_count(self) -> int:
+        """Total infected nodes (seeds included)."""
+        return sum(1 for state in self.states if state == INFECTED)
+
+    @property
+    def protected_count(self) -> int:
+        """Total protected nodes (seeds included)."""
+        return sum(1 for state in self.states if state == PROTECTED)
+
+    def infected_ids(self) -> List[int]:
+        """Ids of infected nodes."""
+        return [node for node, state in enumerate(self.states) if state == INFECTED]
+
+    def protected_ids(self) -> List[int]:
+        """Ids of protected nodes."""
+        return [node for node, state in enumerate(self.states) if state == PROTECTED]
+
+    def state_of(self, node_id: int) -> int:
+        """Final state of one node."""
+        return self.states[node_id]
+
+    def __repr__(self) -> str:
+        return (
+            f"DiffusionOutcome(infected={self.infected_count}, "
+            f"protected={self.protected_count}, hops={self.trace.hops})"
+        )
+
+
+class DiffusionModel(abc.ABC):
+    """Base class for two-cascade diffusion models.
+
+    Subclasses implement :meth:`_spread`, receiving pre-validated inputs
+    and a pre-seeded state array; the template method :meth:`run` handles
+    validation and seeding so every model enforces the common Section III
+    properties identically.
+    """
+
+    #: human-readable name used in reports.
+    name: str = "diffusion"
+
+    #: whether the model consumes randomness (DOAM does not).
+    stochastic: bool = True
+
+    def run(
+        self,
+        graph: IndexedDiGraph,
+        seeds: SeedSets,
+        rng: Optional[RngStream] = None,
+        max_hops: int = DEFAULT_MAX_HOPS,
+    ) -> DiffusionOutcome:
+        """Run one realisation of the model.
+
+        Args:
+            graph: indexed graph to diffuse on.
+            seeds: validated (disjoint) seed sets, as node ids.
+            rng: random stream; required for stochastic models.
+            max_hops: horizon; diffusion also stops early once no further
+                activation is possible.
+
+        Returns:
+            The final :class:`DiffusionOutcome`.
+        """
+        check_positive(max_hops, "max_hops")
+        seeds.validate_against(graph)
+        if self.stochastic and rng is None:
+            raise ValueError(f"{self.name} is stochastic and needs an RngStream")
+        states = [INACTIVE] * graph.node_count
+        for node in seeds.protectors:  # P seeded first: P-priority at hop 0 too
+            states[node] = PROTECTED
+        for node in seeds.rumors:
+            states[node] = INFECTED
+        trace = HopTrace()
+        trace.record(sorted(seeds.rumors), sorted(seeds.protectors))
+        self._spread(graph, states, seeds, trace, rng, max_hops)
+        return DiffusionOutcome(states, trace)
+
+    @abc.abstractmethod
+    def _spread(
+        self,
+        graph: IndexedDiGraph,
+        states: List[int],
+        seeds: SeedSets,
+        trace: HopTrace,
+        rng: Optional[RngStream],
+        max_hops: int,
+    ) -> None:
+        """Advance the cascades in place, recording each hop on ``trace``."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

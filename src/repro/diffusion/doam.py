@@ -1,0 +1,80 @@
+"""The Deterministic One-Activate-Many (DOAM) model (Section III.B).
+
+Mechanics:
+
+* When a node first becomes active at step ``t``, **all** of its currently
+  inactive out-neighbors become active at ``t + 1``; each node influences
+  its neighbors exactly once (only the newly-active front spreads).
+* Simultaneous arrival of both cascades at a node: **P wins**.
+* Progressive activation; the process is fully deterministic given seeds —
+  it is a simultaneous two-source BFS with protector tie-priority, and the
+  rumor arrival time at any node equals its BFS distance from the nearest
+  rumor seed *unless* the protector front reaches it no later.
+
+The determinism is what makes LCRB-D reducible to Set Cover (Theorem 2):
+whether a candidate protector saves a bridge end depends only on hop
+distances, not on chance.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.diffusion.base import (
+    INACTIVE,
+    INFECTED,
+    PROTECTED,
+    DiffusionModel,
+    SeedSets,
+)
+from repro.diffusion.trace import HopTrace
+from repro.graph.compact import IndexedDiGraph
+from repro.rng import RngStream
+
+__all__ = ["DOAMModel"]
+
+
+class DOAMModel(DiffusionModel):
+    """Deterministic One-Activate-Many competitive diffusion."""
+
+    name = "DOAM"
+    stochastic = False
+
+    def _spread(
+        self,
+        graph: IndexedDiGraph,
+        states: List[int],
+        seeds: SeedSets,
+        trace: HopTrace,
+        rng: Optional[RngStream],
+        max_hops: int,
+    ) -> None:
+        out = graph.out
+        protected_front: List[int] = sorted(seeds.protectors)
+        infected_front: List[int] = sorted(seeds.rumors)
+
+        for _hop in range(max_hops):
+            if not protected_front and not infected_front:
+                break
+            protected_targets: Set[int] = set()
+            for node in protected_front:
+                for neighbor in out[node]:
+                    if states[neighbor] == INACTIVE:
+                        protected_targets.add(neighbor)
+            infected_targets: Set[int] = set()
+            for node in infected_front:
+                for neighbor in out[node]:
+                    if states[neighbor] == INACTIVE and neighbor not in protected_targets:
+                        infected_targets.add(neighbor)  # P-priority on ties
+
+            if not protected_targets and not infected_targets:
+                break  # fronts alive but nothing left to activate
+            new_protected = sorted(protected_targets)
+            new_infected = sorted(infected_targets)
+            for node in new_protected:
+                states[node] = PROTECTED
+            for node in new_infected:
+                states[node] = INFECTED
+            trace.record(new_infected, new_protected)
+            protected_front = new_protected
+            infected_front = new_infected

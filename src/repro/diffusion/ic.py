@@ -1,0 +1,118 @@
+"""Competitive Independent Cascade (extension model).
+
+The paper's related work ([14] Budak et al., [15] Bharathi et al.) studies
+rumor blocking under extensions of the Independent Cascade model; this
+module provides that substrate so the library's algorithms can be compared
+across models (the paper's Section VII suggests studying LCRB "under other
+influence diffusion models").
+
+Mechanics:
+
+* A newly active node ``u`` gets exactly one chance, the step after its
+  activation, to activate **each** currently inactive out-neighbor ``v``,
+  succeeding independently with probability ``p`` (uniform) — the classic
+  IC trial.
+* Both cascades run simultaneously; if a node is successfully activated by
+  both in the same step, **P wins**, matching the paper's common property 2.
+* Progressive activation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.diffusion.base import (
+    INACTIVE,
+    INFECTED,
+    PROTECTED,
+    DiffusionModel,
+    SeedSets,
+)
+from repro.diffusion.trace import HopTrace
+from repro.graph.compact import IndexedDiGraph
+from repro.rng import RngStream
+from repro.utils.validation import check_probability
+
+__all__ = ["CompetitiveICModel"]
+
+
+class CompetitiveICModel(DiffusionModel):
+    """Two-cascade Independent Cascade with protector priority.
+
+    Args:
+        probability: global per-edge activation probability ``p``; pass
+            ``None`` to use each edge's weight as its probability (weights
+            must then lie in [0, 1] — the weighted-IC convention).
+    """
+
+    name = "IC"
+    stochastic = True
+
+    def __init__(self, probability: Optional[float] = 0.1) -> None:
+        if probability is None:
+            self.probability = None
+            self.name = "IC-W"
+        else:
+            self.probability = check_probability(probability, "probability")
+
+    def _spread(
+        self,
+        graph: IndexedDiGraph,
+        states: List[int],
+        seeds: SeedSets,
+        trace: HopTrace,
+        rng: Optional[RngStream],
+        max_hops: int,
+    ) -> None:
+        assert rng is not None
+        out = graph.out
+        weights = graph.out_weights
+        fixed_p = self.probability
+
+        def edge_probability(node: int, position: int) -> float:
+            if fixed_p is not None:
+                return fixed_p
+            weight = weights[node][position]
+            if not 0.0 <= weight <= 1.0:
+                raise ValueError(
+                    f"weighted IC needs edge weights in [0, 1]; got {weight!r}"
+                )
+            return weight
+
+        protected_front: List[int] = sorted(seeds.protectors)
+        infected_front: List[int] = sorted(seeds.rumors)
+
+        for _hop in range(max_hops):
+            if not protected_front and not infected_front:
+                break
+            protected_targets: Set[int] = set()
+            for node in protected_front:
+                for position, neighbor in enumerate(out[node]):
+                    if states[neighbor] == INACTIVE and rng.random() < edge_probability(
+                        node, position
+                    ):
+                        protected_targets.add(neighbor)
+            infected_targets: Set[int] = set()
+            for node in infected_front:
+                for position, neighbor in enumerate(out[node]):
+                    if (
+                        states[neighbor] == INACTIVE
+                        and neighbor not in protected_targets
+                        and rng.random() < edge_probability(node, position)
+                    ):
+                        infected_targets.add(neighbor)
+
+            if not protected_targets and not infected_targets:
+                break  # fronts alive but no successful trials left
+            new_protected = sorted(protected_targets)
+            new_infected = sorted(infected_targets)
+            for node in new_protected:
+                states[node] = PROTECTED
+            for node in new_infected:
+                states[node] = INFECTED
+            trace.record(new_infected, new_protected)
+            protected_front = new_protected
+            infected_front = new_infected
+
+    def __repr__(self) -> str:
+        return f"CompetitiveICModel(probability={self.probability})"

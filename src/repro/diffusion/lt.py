@@ -1,0 +1,100 @@
+"""Competitive Linear Threshold (CLT) model (extension).
+
+He et al. [16] address influence-blocking maximisation under a competitive
+LT model; the paper adapts their proof technique for OPOAO submodularity.
+This module provides the CLT substrate itself:
+
+* Every node ``v`` draws a threshold ``θ_v ~ U[0, 1]`` once per run.
+* Incoming influence weight is ``b(u, v) = 1 / d_in(v)`` for every edge,
+  so weights into a node sum to exactly 1.
+* Thresholds are crossed **per cascade** (as in He et al.'s CLT): an
+  inactive node becomes protected when its *protected* in-weight alone
+  reaches ``θ_v``, infected when its *infected* in-weight alone does, and
+  protected when both cross in the same step (**P priority**, common
+  property 2). Cascades never subsidise each other's activation — without
+  this, seeding protectors near a rumor could perversely help the rumor
+  cross thresholds.
+* Progressive activation; the process stops when a sweep changes nothing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.diffusion.base import (
+    INACTIVE,
+    INFECTED,
+    PROTECTED,
+    DiffusionModel,
+    SeedSets,
+)
+from repro.diffusion.trace import HopTrace
+from repro.graph.compact import IndexedDiGraph
+from repro.rng import RngStream
+
+__all__ = ["CompetitiveLTModel"]
+
+
+class CompetitiveLTModel(DiffusionModel):
+    """Two-cascade Linear Threshold with protector tie-priority."""
+
+    name = "CLT"
+    stochastic = True
+
+    def _spread(
+        self,
+        graph: IndexedDiGraph,
+        states: List[int],
+        seeds: SeedSets,
+        trace: HopTrace,
+        rng: Optional[RngStream],
+        max_hops: int,
+    ) -> None:
+        assert rng is not None
+        n = graph.node_count
+        thresholds = [rng.random() for _ in range(n)]
+
+        # Track accumulated protected/infected in-weight per inactive node,
+        # fed only by the newly-activated front each step (LT influence is
+        # permanent, so accumulation is equivalent to re-summing).
+        protected_weight = [0.0] * n
+        infected_weight = [0.0] * n
+
+        def feed(front: List[int], weights: List[float]) -> Set[int]:
+            """Push the front's influence; return nodes whose total crossed θ."""
+            touched: Set[int] = set()
+            for node in front:
+                for neighbor in graph.out[node]:
+                    if states[neighbor] != INACTIVE:
+                        continue
+                    weights[neighbor] += 1.0 / max(1, graph.in_degree(neighbor))
+                    touched.add(neighbor)
+            return touched
+
+        protected_front: List[int] = sorted(seeds.protectors)
+        infected_front: List[int] = sorted(seeds.rumors)
+
+        for _hop in range(max_hops):
+            if not protected_front and not infected_front:
+                break
+            touched = feed(protected_front, protected_weight)
+            touched |= feed(infected_front, infected_weight)
+
+            new_protected: List[int] = []
+            new_infected: List[int] = []
+            for node in sorted(touched):
+                crosses_protected = protected_weight[node] + 1e-12 >= thresholds[node]
+                crosses_infected = infected_weight[node] + 1e-12 >= thresholds[node]
+                if crosses_protected:  # P priority when both cascades cross
+                    new_protected.append(node)
+                elif crosses_infected:
+                    new_infected.append(node)
+            if not new_protected and not new_infected:
+                break  # no threshold crossed; accumulation is frozen
+            for node in new_protected:
+                states[node] = PROTECTED
+            for node in new_infected:
+                states[node] = INFECTED
+            trace.record(new_infected, new_protected)
+            protected_front = new_protected
+            infected_front = new_infected

@@ -1,0 +1,157 @@
+"""The Opportunistic One-Activate-One (OPOAO) model (Section III.A).
+
+Mechanics, exactly as the paper describes them:
+
+* At every step, **every active node** ``u`` chooses one of its
+  out-neighbors uniformly at random (probability ``1/d_out(u)``) as its
+  activation target. The paper's Fig. 1 example shows seeds re-choosing at
+  step 2 ("x chooses u and y chooses v again") and Section III.A notes "the
+  speed of influence spread is slow under this model for the existence of
+  repeat selection" — so selection repeats every step and may land on
+  already-active neighbors, wasting the step.
+* A targeted inactive node becomes active at the next step with the
+  cascade of its activator; if both cascades target it in the same step,
+  **P wins** (common property 2).
+* Activation is progressive (common property 3).
+
+Implementation notes
+--------------------
+Active nodes whose out-neighborhoods contain no inactive node can never
+change the outcome; we keep a ``live`` set of active nodes that still have
+at least one inactive out-neighbor and only sample targets for those. The
+skipped nodes' picks are independent uniform draws that cannot hit an
+inactive node, so dropping them leaves the process distribution unchanged
+while making dense late-stage hops cheap. ``live`` is maintained
+incrementally via per-node inactive-out-neighbor counters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.diffusion.base import (
+    INACTIVE,
+    INFECTED,
+    PROTECTED,
+    DiffusionModel,
+    SeedSets,
+)
+from repro.diffusion.trace import HopTrace
+from repro.graph.compact import IndexedDiGraph
+from repro.rng import RngStream
+
+__all__ = ["OPOAOModel"]
+
+
+class OPOAOModel(DiffusionModel):
+    """Opportunistic One-Activate-One competitive diffusion.
+
+    Args:
+        weighted: pick each step's activation target proportionally to
+            edge weight instead of uniformly (extension for tie-strength
+            data; the paper's model is the uniform default).
+    """
+
+    name = "OPOAO"
+    stochastic = True
+
+    def __init__(self, weighted: bool = False) -> None:
+        self.weighted = bool(weighted)
+        if self.weighted:
+            self.name = "OPOAO-W"
+
+    def _pick(
+        self,
+        graph: IndexedDiGraph,
+        node: int,
+        rng: RngStream,
+        cumulative_cache: Dict[int, List[float]],
+    ) -> int:
+        neighbors = graph.out[node]
+        if not self.weighted or len(neighbors) == 1:
+            return neighbors[rng.randrange(len(neighbors))]
+        table = cumulative_cache.get(node)
+        if table is None:
+            running, table = 0.0, []
+            for weight in graph.out_weights[node]:
+                running += weight
+                table.append(running)
+            cumulative_cache[node] = table
+        target_mass = rng.random() * table[-1]
+        lo, hi = 0, len(table) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if table[mid] <= target_mass:
+                lo = mid + 1
+            else:
+                hi = mid
+        return neighbors[lo]
+
+    def _spread(
+        self,
+        graph: IndexedDiGraph,
+        states: List[int],
+        seeds: SeedSets,
+        trace: HopTrace,
+        rng: Optional[RngStream],
+        max_hops: int,
+    ) -> None:
+        assert rng is not None  # guaranteed by DiffusionModel.run
+        out = graph.out
+        cumulative_cache: Dict[int, List[float]] = {}
+
+        # inactive-out-neighbor counters for active nodes.
+        inactive_out: Dict[int, int] = {}
+        live: Set[int] = set()
+
+        def enroll(node: int) -> None:
+            """Start tracking a newly active node."""
+            count = sum(1 for neighbor in out[node] if states[neighbor] == INACTIVE)
+            if count > 0:
+                inactive_out[node] = count
+                live.add(node)
+
+        def on_activated(node: int) -> None:
+            """Update counters of active in-neighbors after ``node`` activates."""
+            for tail in graph.inn[node]:
+                remaining = inactive_out.get(tail)
+                if remaining is not None:
+                    if remaining == 1:
+                        del inactive_out[tail]
+                        live.discard(tail)
+                    else:
+                        inactive_out[tail] = remaining - 1
+
+        for seed in seeds.rumors | seeds.protectors:
+            enroll(seed)
+
+        for _hop in range(max_hops):
+            if not live:
+                break
+            protected_targets: Set[int] = set()
+            infected_targets: Set[int] = set()
+            # Deterministic iteration order (sorted) keeps runs reproducible
+            # under a fixed stream regardless of set-hash randomisation.
+            for node in sorted(live):
+                target = self._pick(graph, node, rng, cumulative_cache)
+                if states[target] != INACTIVE:
+                    continue  # repeat selection wasted on an active neighbor
+                if states[node] == PROTECTED:
+                    protected_targets.add(target)
+                else:
+                    infected_targets.add(target)
+            infected_targets -= protected_targets  # P-priority on conflicts
+
+            new_protected = sorted(protected_targets)
+            new_infected = sorted(infected_targets)
+            for node in new_protected:
+                states[node] = PROTECTED
+            for node in new_infected:
+                states[node] = INFECTED
+            for node in new_protected:
+                on_activated(node)
+                enroll(node)
+            for node in new_infected:
+                on_activated(node)
+                enroll(node)
+            trace.record(new_infected, new_protected)

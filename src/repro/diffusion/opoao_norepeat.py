@@ -1,0 +1,102 @@
+"""OPOAO without repeat selection (mechanism ablation).
+
+Section III.A attributes OPOAO's slowness to "the existence of repeat
+selection": an active node re-samples uniformly among *all* out-neighbors
+every step, wasting steps on already-active targets. This variant gives
+each node memory — it samples uniformly among out-neighbors it has not
+chosen before and falls silent once every neighbor has been chosen —
+isolating exactly how much of the model's slowness the memoryless
+re-sampling causes (benchmarked in
+``benchmarks/bench_ablation_repeat_selection.py``).
+
+All other mechanics (one target per step, activation next step,
+P-priority, progressiveness) match OPOAO.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.diffusion.base import (
+    INACTIVE,
+    INFECTED,
+    PROTECTED,
+    DiffusionModel,
+    SeedSets,
+)
+from repro.diffusion.trace import HopTrace
+from repro.graph.compact import IndexedDiGraph
+from repro.rng import RngStream
+
+__all__ = ["OPOAONoRepeatModel"]
+
+
+class OPOAONoRepeatModel(DiffusionModel):
+    """One-Activate-One with per-node memory of previous choices."""
+
+    name = "OPOAO-NoRepeat"
+    stochastic = True
+
+    def _spread(
+        self,
+        graph: IndexedDiGraph,
+        states: List[int],
+        seeds: SeedSets,
+        trace: HopTrace,
+        rng: Optional[RngStream],
+        max_hops: int,
+    ) -> None:
+        assert rng is not None
+        out = graph.out
+        # remaining[u]: out-neighbors u has not chosen yet.
+        remaining: Dict[int, List[int]] = {}
+        active: Set[int] = set()
+
+        def enroll(node: int) -> None:
+            choices = list(out[node])
+            if choices:
+                remaining[node] = choices
+                active.add(node)
+
+        for seed in seeds.rumors | seeds.protectors:
+            enroll(seed)
+
+        for _hop in range(max_hops):
+            if not active:
+                break
+            protected_targets: Set[int] = set()
+            infected_targets: Set[int] = set()
+            spent: List[int] = []
+            for node in sorted(active):
+                choices = remaining[node]
+                index = rng.randrange(len(choices))
+                target = choices[index]
+                # Swap-remove: each neighbor is chosen at most once.
+                choices[index] = choices[-1]
+                choices.pop()
+                if not choices:
+                    spent.append(node)
+                if states[target] != INACTIVE:
+                    continue
+                if states[node] == PROTECTED:
+                    protected_targets.add(target)
+                else:
+                    infected_targets.add(target)
+            for node in spent:
+                active.discard(node)
+                del remaining[node]
+            infected_targets -= protected_targets  # P-priority
+
+            new_protected = sorted(protected_targets)
+            new_infected = sorted(infected_targets)
+            if not new_protected and not new_infected and not active:
+                break
+            for node in new_protected:
+                states[node] = PROTECTED
+            for node in new_infected:
+                states[node] = INFECTED
+            for node in new_protected:
+                enroll(node)
+            for node in new_infected:
+                enroll(node)
+            trace.record(new_infected, new_protected)

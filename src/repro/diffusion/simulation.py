@@ -1,0 +1,174 @@
+"""Monte-Carlo simulation harness.
+
+The paper's OPOAO figures report "the average results obtained by repeated
+Monte Carlo simulation" (Section VI.B.2). :class:`MonteCarloSimulator`
+runs a diffusion model over many independent replica streams and
+aggregates per-hop infected/protected counts into a
+:class:`SimulationAggregate`; deterministic models (DOAM) short-circuit to
+a single run.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.diffusion.base import (
+    DEFAULT_MAX_HOPS,
+    DiffusionModel,
+    DiffusionOutcome,
+    SeedSets,
+)
+from repro.graph.compact import IndexedDiGraph
+from repro.rng import RngStream
+from repro.utils.stats import RunningStats
+from repro.utils.validation import check_positive
+
+__all__ = ["MonteCarloSimulator", "SimulationAggregate"]
+
+
+class SimulationAggregate:
+    """Replica-averaged diffusion statistics.
+
+    Attributes:
+        hops: the horizon all series are padded to.
+        runs: number of replicas aggregated.
+        infected_per_hop: mean cumulative infected nodes at each hop
+            (length ``hops + 1``; hop 0 = seeds).
+        protected_per_hop: mean cumulative protected nodes at each hop.
+        final_infected: :class:`RunningStats` of the final infected count.
+        final_protected: :class:`RunningStats` of the final protected count.
+    """
+
+    __slots__ = (
+        "hops",
+        "runs",
+        "_infected_stats",
+        "_protected_stats",
+        "final_infected",
+        "final_protected",
+    )
+
+    def __init__(self, hops: int) -> None:
+        self.hops = hops
+        self.runs = 0
+        self._infected_stats = [RunningStats() for _ in range(hops + 1)]
+        self._protected_stats = [RunningStats() for _ in range(hops + 1)]
+        self.final_infected = RunningStats()
+        self.final_protected = RunningStats()
+
+    def add(self, outcome: DiffusionOutcome) -> None:
+        """Fold one run's trace into the aggregate."""
+        self.runs += 1
+        for hop in range(self.hops + 1):
+            self._infected_stats[hop].add(outcome.trace.infected_at(hop))
+            self._protected_stats[hop].add(outcome.trace.protected_at(hop))
+        self.final_infected.add(outcome.infected_count)
+        self.final_protected.add(outcome.protected_count)
+
+    @property
+    def infected_per_hop(self) -> List[float]:
+        """Mean cumulative infected count per hop."""
+        return [stats.mean for stats in self._infected_stats]
+
+    @property
+    def protected_per_hop(self) -> List[float]:
+        """Mean cumulative protected count per hop."""
+        return [stats.mean for stats in self._protected_stats]
+
+    def infected_stats_at(self, hop: int) -> RunningStats:
+        """Full stats (mean/sd/min/max) of the infected count at a hop."""
+        return self._infected_stats[min(hop, self.hops)]
+
+    def merge(self, other: "SimulationAggregate") -> "SimulationAggregate":
+        """Combine two aggregates over the same horizon (parallel workers)."""
+        if other.hops != self.hops:
+            raise ValueError(
+                f"cannot merge aggregates with hops {self.hops} != {other.hops}"
+            )
+        merged = SimulationAggregate(self.hops)
+        merged.runs = self.runs + other.runs
+        merged._infected_stats = [
+            mine.merge(theirs)
+            for mine, theirs in zip(self._infected_stats, other._infected_stats)
+        ]
+        merged._protected_stats = [
+            mine.merge(theirs)
+            for mine, theirs in zip(self._protected_stats, other._protected_stats)
+        ]
+        merged.final_infected = self.final_infected.merge(other.final_infected)
+        merged.final_protected = self.final_protected.merge(other.final_protected)
+        return merged
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulationAggregate(runs={self.runs}, hops={self.hops}, "
+            f"final_infected={self.final_infected.mean:.1f})"
+        )
+
+
+class MonteCarloSimulator:
+    """Run a model repeatedly and aggregate its traces.
+
+    Args:
+        model: any :class:`~repro.diffusion.base.DiffusionModel`.
+        runs: replica count for stochastic models; deterministic models
+            always run once.
+        max_hops: horizon for every run (paper default: 31).
+
+    Example:
+        >>> # doctest setup omitted; see tests/diffusion/test_simulation.py
+    """
+
+    def __init__(
+        self,
+        model: DiffusionModel,
+        runs: int = 200,
+        max_hops: int = DEFAULT_MAX_HOPS,
+    ) -> None:
+        self.model = model
+        self.runs = int(check_positive(runs, "runs"))
+        self.max_hops = int(check_positive(max_hops, "max_hops"))
+
+    def simulate(
+        self,
+        graph: IndexedDiGraph,
+        seeds: SeedSets,
+        rng: Optional[RngStream] = None,
+        on_outcome: Optional[Callable[[DiffusionOutcome], None]] = None,
+    ) -> SimulationAggregate:
+        """Run the configured number of replicas and aggregate.
+
+        Args:
+            graph: indexed graph.
+            seeds: seed sets (node ids).
+            rng: base stream; replica ``i`` runs on ``rng.replica(i)`` so
+                results are independent of iteration order. Required for
+                stochastic models.
+            on_outcome: optional callback invoked with every outcome
+                (used by the evaluator to collect extra statistics without
+                a second pass).
+        """
+        aggregate = SimulationAggregate(self.max_hops)
+        if not self.model.stochastic:
+            outcome = self.model.run(graph, seeds, rng=None, max_hops=self.max_hops)
+            aggregate.add(outcome)
+            if on_outcome is not None:
+                on_outcome(outcome)
+            return aggregate
+
+        if rng is None:
+            raise ValueError(f"{self.model.name} is stochastic and needs an RngStream")
+        for replica_index in range(self.runs):
+            outcome = self.model.run(
+                graph, seeds, rng=rng.replica(replica_index), max_hops=self.max_hops
+            )
+            aggregate.add(outcome)
+            if on_outcome is not None:
+                on_outcome(outcome)
+        return aggregate
+
+    def __repr__(self) -> str:
+        return (
+            f"MonteCarloSimulator(model={self.model.name}, runs={self.runs}, "
+            f"max_hops={self.max_hops})"
+        )

@@ -1,0 +1,74 @@
+"""Hop-by-hop record of a diffusion run.
+
+The paper's OPOAO/DOAM figures (Fig. 4-9) plot the number of infected
+nodes per hop; :class:`HopTrace` is the per-run record those series are
+aggregated from. Hop 0 is the seeding step.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = ["HopTrace"]
+
+
+class HopTrace:
+    """Cumulative infected/protected counts per hop.
+
+    Attributes:
+        infected: ``infected[h]`` = total infected nodes after hop ``h``.
+        protected: same for protected nodes.
+        newly_infected: nodes first infected at each hop (ids).
+        newly_protected: nodes first protected at each hop (ids).
+    """
+
+    __slots__ = ("infected", "protected", "newly_infected", "newly_protected")
+
+    def __init__(self) -> None:
+        self.infected: List[int] = []
+        self.protected: List[int] = []
+        self.newly_infected: List[List[int]] = []
+        self.newly_protected: List[List[int]] = []
+
+    def record(self, new_infected: Sequence[int], new_protected: Sequence[int]) -> None:
+        """Append one hop's newly activated nodes."""
+        previous_infected = self.infected[-1] if self.infected else 0
+        previous_protected = self.protected[-1] if self.protected else 0
+        self.infected.append(previous_infected + len(new_infected))
+        self.protected.append(previous_protected + len(new_protected))
+        self.newly_infected.append(list(new_infected))
+        self.newly_protected.append(list(new_protected))
+
+    @property
+    def hops(self) -> int:
+        """Number of recorded hops (including hop 0, the seeding)."""
+        return len(self.infected)
+
+    def infected_at(self, hop: int) -> int:
+        """Cumulative infected count after ``hop`` (clamped to the last hop).
+
+        Diffusion may terminate before the requested horizon; the paper's
+        plots hold the final value flat afterwards, and so does this
+        accessor.
+        """
+        if not self.infected:
+            return 0
+        return self.infected[min(hop, len(self.infected) - 1)]
+
+    def protected_at(self, hop: int) -> int:
+        """Cumulative protected count after ``hop`` (clamped)."""
+        if not self.protected:
+            return 0
+        return self.protected[min(hop, len(self.protected) - 1)]
+
+    def padded_infected(self, hops: int) -> List[int]:
+        """Infected series padded/clamped to exactly ``hops + 1`` entries."""
+        return [self.infected_at(h) for h in range(hops + 1)]
+
+    def __repr__(self) -> str:
+        final_infected = self.infected[-1] if self.infected else 0
+        final_protected = self.protected[-1] if self.protected else 0
+        return (
+            f"HopTrace(hops={self.hops}, infected={final_infected}, "
+            f"protected={final_protected})"
+        )

@@ -1,0 +1,91 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch one type to handle any
+library-level failure while still letting programming errors
+(``TypeError`` from misuse of Python itself, etc.) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "NodeNotFoundError",
+    "EdgeNotFoundError",
+    "CommunityError",
+    "DiffusionError",
+    "SeedError",
+    "SelectionError",
+    "CoverageError",
+    "DatasetError",
+    "ExperimentError",
+    "ValidationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """A graph-level constraint was violated (bad edge, bad mutation)."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """A referenced node does not exist in the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+    def __str__(self) -> str:  # KeyError quotes its args; keep the message readable.
+        return self.args[0]
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """A referenced edge does not exist in the graph."""
+
+    def __init__(self, tail: object, head: object) -> None:
+        super().__init__(f"edge ({tail!r} -> {head!r}) is not in the graph")
+        self.tail = tail
+        self.head = head
+
+    def __str__(self) -> str:
+        return self.args[0]
+
+
+class CommunityError(ReproError):
+    """A community structure is malformed (overlap, missing nodes, bad id)."""
+
+
+class DiffusionError(ReproError):
+    """A diffusion model was configured or driven incorrectly."""
+
+
+class SeedError(DiffusionError):
+    """Seed sets are invalid (overlapping cascades, unknown nodes, empty)."""
+
+
+class SelectionError(ReproError):
+    """A protector-selection algorithm cannot produce a valid answer."""
+
+
+class CoverageError(SelectionError):
+    """Set-cover style selection cannot cover the required universe."""
+
+    def __init__(self, message: str, uncovered: frozenset = frozenset()) -> None:
+        super().__init__(message)
+        self.uncovered = frozenset(uncovered)
+
+
+class DatasetError(ReproError):
+    """A dataset could not be generated, loaded, or validated."""
+
+
+class ExperimentError(ReproError):
+    """An experiment configuration or run is invalid."""
+
+
+class ValidationError(ReproError, ValueError):
+    """A user-supplied parameter failed validation."""

@@ -1,0 +1,30 @@
+"""Experiment harness regenerating the paper's tables and figures.
+
+* :mod:`repro.experiments.config` — declarative configs for each
+  experiment family.
+* :mod:`repro.experiments.harness` — the runners: infected-per-hop figure
+  experiments (Fig. 4-9) and the protector-count table (Table I).
+* :mod:`repro.experiments.paper` — the exact configurations of every
+  table/figure in the paper, keyed ``fig4`` ... ``fig9``, ``table1``.
+* :mod:`repro.experiments.report` — plain-text and JSON rendering.
+"""
+
+from repro.experiments.config import FigureConfig, TableConfig
+from repro.experiments.harness import (
+    FigureResult,
+    TableResult,
+    run_figure,
+    run_table,
+)
+from repro.experiments.paper import PAPER_EXPERIMENTS, paper_experiment
+
+__all__ = [
+    "FigureConfig",
+    "TableConfig",
+    "FigureResult",
+    "TableResult",
+    "run_figure",
+    "run_table",
+    "PAPER_EXPERIMENTS",
+    "paper_experiment",
+]

@@ -1,0 +1,114 @@
+"""Comparing experiment results across runs, scales, or versions.
+
+Reproduction claims are *ordinal* (who wins, what grows faster); this
+module checks exactly those properties between two result documents (the
+JSON dicts produced by :mod:`repro.experiments.report`), so scale- and
+seed-sensitivity can be asserted mechanically:
+
+* :func:`figure_winner_order` — algorithms ranked by final infected.
+* :func:`compare_figures` — rank agreement + per-algorithm relative
+  deltas between two figure documents.
+* :func:`table_winners` / :func:`compare_tables` — per-cell winners and
+  their agreement between two table documents.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import ExperimentError
+
+__all__ = [
+    "figure_winner_order",
+    "compare_figures",
+    "table_winners",
+    "compare_tables",
+]
+
+_ALGORITHM_COLUMNS = ("SCBG", "Proximity", "MaxDegree")
+
+
+def figure_winner_order(figure_doc: dict) -> List[str]:
+    """Algorithms sorted by final infected count (best first).
+
+    The NoBlocking line is excluded — it is a reference, not a contender.
+    """
+    if figure_doc.get("kind") != "figure":
+        raise ExperimentError("expected a figure document")
+    finals = {
+        name: values[-1]
+        for name, values in figure_doc["series"].items()
+        if name != "NoBlocking"
+    }
+    return sorted(finals, key=lambda name: (finals[name], name))
+
+
+def compare_figures(left: dict, right: dict) -> Dict[str, object]:
+    """Compare two figure documents (e.g. two scales of the same config).
+
+    Returns:
+        dict with ``same_winner`` (best algorithm agrees), ``same_order``
+        (full ranking agrees), and ``relative_final`` — per-algorithm
+        final-infected ratio right/left.
+    """
+    left_order = figure_winner_order(left)
+    right_order = figure_winner_order(right)
+    if set(left_order) != set(right_order):
+        raise ExperimentError(
+            f"figure documents compare different algorithms: "
+            f"{sorted(left_order)} vs {sorted(right_order)}"
+        )
+    relative: Dict[str, float] = {}
+    for name in left_order:
+        left_final = left["series"][name][-1]
+        right_final = right["series"][name][-1]
+        relative[name] = right_final / left_final if left_final else float("inf")
+    return {
+        "same_winner": left_order[0] == right_order[0],
+        "same_order": left_order == right_order,
+        "left_order": left_order,
+        "right_order": right_order,
+        "relative_final": relative,
+    }
+
+
+def table_winners(table_doc: dict) -> Dict[Tuple[str, float], str]:
+    """Per-cell winning algorithm of a Table-I style document."""
+    if table_doc.get("kind") != "table":
+        raise ExperimentError("expected a table document")
+    winners: Dict[Tuple[str, float], str] = {}
+    for row in table_doc["rows"]:
+        cells = {name: row[name] for name in _ALGORITHM_COLUMNS if name in row}
+        if not cells:
+            raise ExperimentError("table row carries no algorithm columns")
+        winner = min(cells, key=lambda name: (cells[name], name))
+        winners[(row["dataset"], row["fraction"])] = winner
+    return winners
+
+
+def compare_tables(left: dict, right: dict) -> Dict[str, object]:
+    """Compare two table documents cell by cell.
+
+    Returns:
+        dict with ``agreement`` (fraction of common cells whose winner
+        matches), ``disagreements`` (list of cells), and ``common_cells``.
+    """
+    left_winners = table_winners(left)
+    right_winners = table_winners(right)
+    common = sorted(set(left_winners) & set(right_winners))
+    if not common:
+        raise ExperimentError("table documents share no cells")
+    disagreements = [
+        {
+            "cell": cell,
+            "left": left_winners[cell],
+            "right": right_winners[cell],
+        }
+        for cell in common
+        if left_winners[cell] != right_winners[cell]
+    ]
+    return {
+        "common_cells": len(common),
+        "agreement": 1.0 - len(disagreements) / len(common),
+        "disagreements": disagreements,
+    }

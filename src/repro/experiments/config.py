@@ -1,0 +1,122 @@
+"""Declarative experiment configurations.
+
+Two experiment families cover the paper's whole evaluation section:
+
+* :class:`FigureConfig` — infected-nodes-per-hop comparisons (Fig. 4-6
+  under OPOAO, Fig. 7-9 under DOAM).
+* :class:`TableConfig` — protector-count comparisons under DOAM
+  (Table I), sweeping the rumor-originator fraction.
+
+Configs are plain frozen dataclasses so they serialise cleanly into the
+experiment reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.errors import ExperimentError
+
+__all__ = ["FigureConfig", "TableConfig"]
+
+_VALID_MODELS = ("opoao", "doam", "ic", "lt")
+
+
+@dataclass(frozen=True)
+class FigureConfig:
+    """One infected-per-hop figure experiment.
+
+    Attributes:
+        name: experiment id (e.g. ``"fig4"``).
+        dataset: registry dataset name.
+        model: diffusion model key (``"opoao"`` / ``"doam"`` / ``"ic"`` /
+            ``"lt"``).
+        rumor_fraction: ``|R| / |C|``.
+        hops: horizon (the paper runs OPOAO for 31 hops).
+        runs: Monte-Carlo replicas per evaluation (per seed draw).
+        draws: independent rumor-seed draws to average over (important for
+            DOAM, which is deterministic given seeds).
+        scale: dataset replica scale.
+        seed: master seed.
+        greedy_runs: σ̂ replicas inside the greedy selector.
+        greedy_max_candidates: candidate-pool cap for greedy (tractability
+            knob; see :class:`repro.algorithms.greedy.GreedySelector`).
+        title: human-readable description.
+    """
+
+    name: str
+    dataset: str
+    model: str
+    rumor_fraction: float = 0.05
+    hops: int = 31
+    runs: int = 100
+    draws: int = 1
+    scale: float = 0.1
+    seed: int = 13
+    greedy_runs: int = 8
+    greedy_max_candidates: int = 200
+    title: str = ""
+
+    def __post_init__(self) -> None:
+        if self.model not in _VALID_MODELS:
+            raise ExperimentError(
+                f"model must be one of {_VALID_MODELS}, got {self.model!r}"
+            )
+        if not 0.0 < self.rumor_fraction <= 1.0:
+            raise ExperimentError(
+                f"rumor_fraction must be in (0, 1], got {self.rumor_fraction}"
+            )
+        for attr in ("hops", "runs", "draws", "greedy_runs", "greedy_max_candidates"):
+            if getattr(self, attr) <= 0:
+                raise ExperimentError(f"{attr} must be > 0")
+
+    def scaled(self, **overrides) -> "FigureConfig":
+        """Copy with overridden fields (benchmarks downscale this way)."""
+        from dataclasses import replace
+
+        return replace(self, **overrides)
+
+
+@dataclass(frozen=True)
+class TableConfig:
+    """The Table I experiment: protector counts under DOAM.
+
+    Attributes:
+        name: experiment id (``"table1"``).
+        rows: mapping dataset name -> tuple of rumor fractions, matching
+            the paper's row layout (Hep: 1/5/10 %; Enron small: 5/10/20 %;
+            Enron large: 1/5/10 %).
+        draws: random rumor-seed draws averaged per cell (the paper's
+            decimals are averages).
+        scale: dataset replica scale.
+        seed: master seed.
+    """
+
+    name: str = "table1"
+    rows: Dict[str, Tuple[float, ...]] = field(
+        default_factory=lambda: {
+            "hep": (0.01, 0.05, 0.10),
+            "enron-small": (0.05, 0.10, 0.20),
+            "enron-large": (0.01, 0.05, 0.10),
+        }
+    )
+    draws: int = 10
+    scale: float = 0.1
+    seed: int = 13
+
+    def __post_init__(self) -> None:
+        if self.draws <= 0:
+            raise ExperimentError("draws must be > 0")
+        for dataset, fractions in self.rows.items():
+            for fraction in fractions:
+                if not 0.0 < fraction <= 1.0:
+                    raise ExperimentError(
+                        f"rumor fraction {fraction} for {dataset!r} not in (0, 1]"
+                    )
+
+    def scaled(self, **overrides) -> "TableConfig":
+        """Copy with overridden fields."""
+        from dataclasses import replace
+
+        return replace(self, **overrides)

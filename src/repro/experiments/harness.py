@@ -1,0 +1,316 @@
+"""Experiment runners.
+
+:func:`run_figure` regenerates one infected-per-hop comparison (the
+paper's Fig. 4-9): load the dataset replica, draw rumor originators,
+select protectors with every algorithm under comparison, Monte-Carlo
+simulate, and average the per-hop infected series.
+
+:func:`run_table` regenerates Table I: for each (dataset, |R| fraction)
+cell, average each algorithm's protector-count "solution" over several
+random rumor-seed draws.
+
+Experiment-protocol details lifted from Section VI.B:
+
+* OPOAO figures fix ``|P| = |R|`` for every algorithm and include a
+  NoBlocking line.
+* DOAM figures predetermine ``|P|`` from SCBG's own solution size; the
+  heuristics compute their full solutions and then ``|P|`` protectors are
+  drawn at random from them.
+* Table I's cells are averages over repeated random rumor-originator
+  draws.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.algorithms.base import SelectionContext
+from repro.algorithms.celf import CELFGreedySelector
+from repro.algorithms.heuristics import MaxDegreeSelector, ProximitySelector
+from repro.algorithms.scbg import SCBGSelector
+from repro.datasets.registry import LoadedDataset, load_dataset
+from repro.diffusion.base import DiffusionModel
+from repro.diffusion.doam import DOAMModel
+from repro.diffusion.ic import CompetitiveICModel
+from repro.diffusion.lt import CompetitiveLTModel
+from repro.diffusion.opoao import OPOAOModel
+from repro.errors import ExperimentError
+from repro.experiments.config import FigureConfig, TableConfig
+from repro.graph.digraph import Node
+from repro.lcrb.evaluation import evaluate_protectors
+from repro.lcrb.pipeline import draw_rumor_seeds
+from repro.logging_utils import get_logger
+from repro.rng import RngStream
+from repro.utils.stats import RunningStats
+
+__all__ = ["FigureResult", "TableResult", "run_figure", "run_table"]
+
+logger = get_logger("experiments.harness")
+
+#: Algorithm display names, in the paper's plotting order.
+GREEDY, SCBG, PROXIMITY, MAXDEGREE, NOBLOCKING = (
+    "Greedy",
+    "SCBG",
+    "Proximity",
+    "MaxDegree",
+    "NoBlocking",
+)
+
+
+def make_model(key: str) -> DiffusionModel:
+    """Instantiate a diffusion model from its config key."""
+    if key == "opoao":
+        return OPOAOModel()
+    if key == "doam":
+        return DOAMModel()
+    if key == "ic":
+        return CompetitiveICModel()
+    if key == "lt":
+        return CompetitiveLTModel()
+    raise ExperimentError(f"unknown model key {key!r}")
+
+
+class FigureResult:
+    """Averaged per-hop infected series for one figure experiment.
+
+    Attributes:
+        config: the originating :class:`FigureConfig`.
+        series: algorithm name -> mean cumulative infected per hop.
+        protectors_used: algorithm name -> mean ``|P|`` actually seeded.
+        bridge_ends: mean ``|B|`` over draws.
+        rumor_seeds: ``|R|`` used.
+        community_size: ``|C|`` of the chosen rumor community.
+        nodes / edges: replica size.
+    """
+
+    __slots__ = (
+        "config",
+        "series",
+        "protectors_used",
+        "bridge_ends",
+        "rumor_seeds",
+        "community_size",
+        "nodes",
+        "edges",
+    )
+
+    def __init__(self, config: FigureConfig) -> None:
+        self.config = config
+        self.series: Dict[str, List[float]] = {}
+        self.protectors_used: Dict[str, float] = {}
+        self.bridge_ends = 0.0
+        self.rumor_seeds = 0
+        self.community_size = 0
+        self.nodes = 0
+        self.edges = 0
+
+    def final_infected(self, algorithm: str) -> float:
+        """Mean infected count at the last hop for one algorithm."""
+        return self.series[algorithm][-1]
+
+    def __repr__(self) -> str:
+        finals = {name: round(values[-1], 1) for name, values in self.series.items()}
+        return f"FigureResult({self.config.name}, final_infected={finals})"
+
+
+def _rumor_count(fraction: float, community_size: int) -> int:
+    """``|R|`` = ceil(fraction * |C|), clamped into [1, |C| - 1]."""
+    count = max(1, math.ceil(fraction * community_size))
+    return min(count, max(1, community_size - 1))
+
+
+def _draw_context(
+    dataset: LoadedDataset, rumor_count: int, rng: RngStream, attempts: int = 8
+) -> SelectionContext:
+    """Draw rumor seeds until the instance has at least one bridge end.
+
+    A draw can land on originators that cannot reach the community
+    boundary; such an instance is vacuous (nothing to protect), so we
+    re-draw a bounded number of times and accept the final draw either
+    way.
+    """
+    context: Optional[SelectionContext] = None
+    for attempt in range(attempts):
+        seeds = draw_rumor_seeds(
+            dataset.communities,
+            dataset.rumor_community,
+            rumor_count,
+            rng.fork("attempt", attempt),
+        )
+        context = SelectionContext(
+            dataset.graph, dataset.rumor_community_nodes, seeds
+        )
+        if context.bridge_ends:
+            return context
+    assert context is not None
+    logger.warning(
+        "no bridge ends after %d draws on %s; proceeding with empty B",
+        attempts,
+        dataset.spec.name,
+    )
+    return context
+
+
+def _sampled(solution: Sequence[Node], size: int, rng: RngStream) -> List[Node]:
+    """Random ``size``-subset of a heuristic's full solution (Section VI.B.2)."""
+    if size >= len(solution):
+        return list(solution)
+    return rng.sample(list(solution), size)
+
+
+def run_figure(config: FigureConfig) -> FigureResult:
+    """Run one infected-per-hop figure experiment (Fig. 4-9)."""
+    dataset = load_dataset(config.dataset, scale=config.scale, seed=config.seed)
+    rng = RngStream(config.seed, name=config.name)
+    result = FigureResult(config)
+    result.nodes = dataset.graph.node_count
+    result.edges = dataset.graph.edge_count
+    result.community_size = dataset.communities.size(dataset.rumor_community)
+    rumor_count = _rumor_count(config.rumor_fraction, result.community_size)
+    result.rumor_seeds = rumor_count
+
+    model = make_model(config.model)
+    hop_sums: Dict[str, List[float]] = {}
+    protector_stats: Dict[str, RunningStats] = {}
+    bridge_stats = RunningStats()
+
+    for draw in range(config.draws):
+        draw_rng = rng.fork("draw", draw)
+        context = _draw_context(dataset, rumor_count, draw_rng.fork("seeds"))
+        bridge_stats.add(len(context.bridge_ends))
+        assignments = _protector_assignments(config, context, draw_rng)
+        for algorithm, protectors in assignments.items():
+            evaluation = evaluate_protectors(
+                context,
+                protectors,
+                model,
+                runs=config.runs,
+                max_hops=config.hops,
+                rng=draw_rng.fork("eval", algorithm),
+            )
+            series = evaluation.infected_per_hop
+            bucket = hop_sums.setdefault(algorithm, [0.0] * (config.hops + 1))
+            for hop, value in enumerate(series):
+                bucket[hop] += value
+            protector_stats.setdefault(algorithm, RunningStats()).add(len(protectors))
+        logger.info("%s: draw %d/%d done", config.name, draw + 1, config.draws)
+
+    result.bridge_ends = bridge_stats.mean
+    for algorithm, sums in hop_sums.items():
+        result.series[algorithm] = [value / config.draws for value in sums]
+        result.protectors_used[algorithm] = protector_stats[algorithm].mean
+    return result
+
+
+def _protector_assignments(
+    config: FigureConfig, context: SelectionContext, rng: RngStream
+) -> Dict[str, List[Node]]:
+    """Choose each algorithm's protector set for one draw.
+
+    OPOAO (and the IC/LT extensions): budget ``|P| = |R|`` for everyone.
+    DOAM: ``|P|`` = SCBG's solution size; heuristics down-sampled from
+    their own full solutions.
+    """
+    assignments: Dict[str, List[Node]] = {}
+    if config.model == "doam":
+        scbg = SCBGSelector().select(context)
+        budget = len(scbg)
+        assignments[SCBG] = scbg
+        proximity_full = ProximitySelector(rng=rng.fork("proximity")).select(context)
+        maxdeg_full = MaxDegreeSelector().select(context)
+        assignments[PROXIMITY] = _sampled(proximity_full, budget, rng.fork("ps"))
+        assignments[MAXDEGREE] = _sampled(maxdeg_full, budget, rng.fork("ms"))
+    else:
+        budget = len(context.rumor_seeds)
+        greedy = CELFGreedySelector(
+            model=make_model(config.model),
+            runs=config.greedy_runs,
+            max_hops=config.hops,
+            max_candidates=config.greedy_max_candidates,
+            rng=rng.fork("greedy"),
+        )
+        assignments[GREEDY] = greedy.select(context, budget=budget)
+        assignments[PROXIMITY] = ProximitySelector(rng=rng.fork("proximity")).select(
+            context, budget=budget
+        )
+        assignments[MAXDEGREE] = MaxDegreeSelector().select(context, budget=budget)
+    assignments[NOBLOCKING] = []
+    return assignments
+
+
+class TableResult:
+    """Averaged protector counts per (dataset, |R| fraction) cell.
+
+    Attributes:
+        config: the originating :class:`TableConfig`.
+        rows: list of row dicts with keys ``dataset``, ``nodes``,
+            ``community``, ``fraction``, ``rumor_seeds``, and one mean
+            protector count per algorithm (``SCBG``, ``Proximity``,
+            ``MaxDegree``).
+    """
+
+    __slots__ = ("config", "rows")
+
+    def __init__(self, config: TableConfig) -> None:
+        self.config = config
+        self.rows: List[Dict[str, object]] = []
+
+    def cell(self, dataset: str, fraction: float, algorithm: str) -> float:
+        """Look up one cell's mean protector count."""
+        for row in self.rows:
+            if row["dataset"] == dataset and row["fraction"] == fraction:
+                return float(row[algorithm])  # type: ignore[arg-type]
+        raise KeyError(f"no row for ({dataset!r}, {fraction!r})")
+
+    def __repr__(self) -> str:
+        return f"TableResult({self.config.name}, rows={len(self.rows)})"
+
+
+def run_table(config: TableConfig) -> TableResult:
+    """Run the Table I experiment (protector counts under DOAM)."""
+    result = TableResult(config)
+    rng = RngStream(config.seed, name=config.name)
+    for dataset_name, fractions in config.rows.items():
+        dataset = load_dataset(dataset_name, scale=config.scale, seed=config.seed)
+        community_size = dataset.communities.size(dataset.rumor_community)
+        for fraction in fractions:
+            rumor_count = _rumor_count(fraction, community_size)
+            cells = {
+                SCBG: RunningStats(),
+                PROXIMITY: RunningStats(),
+                MAXDEGREE: RunningStats(),
+            }
+            for draw in range(config.draws):
+                draw_rng = rng.fork(dataset_name, fraction, draw)
+                context = _draw_context(dataset, rumor_count, draw_rng.fork("seeds"))
+                cells[SCBG].add(len(SCBGSelector().select(context)))
+                cells[PROXIMITY].add(
+                    len(
+                        ProximitySelector(rng=draw_rng.fork("proximity")).select(
+                            context
+                        )
+                    )
+                )
+                cells[MAXDEGREE].add(len(MaxDegreeSelector().select(context)))
+            result.rows.append(
+                {
+                    "dataset": dataset_name,
+                    "nodes": dataset.graph.node_count,
+                    "community": community_size,
+                    "fraction": fraction,
+                    "rumor_seeds": rumor_count,
+                    SCBG: cells[SCBG].mean,
+                    PROXIMITY: cells[PROXIMITY].mean,
+                    MAXDEGREE: cells[MAXDEGREE].mean,
+                }
+            )
+            logger.info(
+                "table cell %s @ %.0f%%: SCBG=%.1f Prox=%.1f MaxDeg=%.1f",
+                dataset_name,
+                fraction * 100,
+                cells[SCBG].mean,
+                cells[PROXIMITY].mean,
+                cells[MAXDEGREE].mean,
+            )
+    return result

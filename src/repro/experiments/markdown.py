@@ -1,0 +1,100 @@
+"""Markdown rendering of experiment results.
+
+EXPERIMENTS.md-style output generated mechanically from result documents,
+so a full roster run can produce an auditable report in one step::
+
+    repro experiment all --markdown report.md
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.errors import ExperimentError
+
+__all__ = ["figure_markdown", "table_markdown", "roster_markdown"]
+
+
+def _md_table(headers: List[str], rows: List[List[object]]) -> str:
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.1f}"
+        return str(value)
+
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(cell(v) for v in row) + " |")
+    return "\n".join(lines)
+
+
+def figure_markdown(doc: dict) -> str:
+    """Markdown section for one figure document."""
+    if doc.get("kind") != "figure":
+        raise ExperimentError("expected a figure document")
+    title = doc.get("title") or doc["name"]
+    meta = (
+        f"replica |N|={doc['nodes']}, |E|={doc['edges']}, "
+        f"|C|={doc['community_size']}, |B|={doc['bridge_ends']:.1f}, "
+        f"|R|={doc['rumor_seeds']}; model={doc['model']}, "
+        f"runs={doc['runs']}, draws={doc['draws']}, scale={doc['scale']}"
+    )
+    series = doc["series"]
+    finals = sorted(
+        ((name, values[-1]) for name, values in series.items()),
+        key=lambda kv: kv[1],
+    )
+    finals_table = _md_table(
+        ["algorithm", "final infected"], [[name, value] for name, value in finals]
+    )
+    hops = len(next(iter(series.values())))
+    quarter = max(1, (hops - 1) // 4)
+    sampled_hops = list(range(0, hops, quarter))
+    if sampled_hops[-1] != hops - 1:
+        sampled_hops.append(hops - 1)
+    series_table = _md_table(
+        ["hop", *series.keys()],
+        [[hop, *(series[name][hop] for name in series)] for hop in sampled_hops],
+    )
+    return (
+        f"## {title}\n\n{meta}\n\n{finals_table}\n\n"
+        f"Sampled series (full data in the JSON document):\n\n{series_table}"
+    )
+
+
+def table_markdown(doc: dict) -> str:
+    """Markdown section for one table document."""
+    if doc.get("kind") != "table":
+        raise ExperimentError("expected a table document")
+    headers = ["Dataset/|N|/|C|", "|R|", "SCBG", "Proximity", "MaxDegree"]
+    rows = [
+        [
+            f"{row['dataset']}/{row['nodes']}/{row['community']}",
+            f"{float(row['fraction']) * 100:.0f}%",
+            row["SCBG"],
+            row["Proximity"],
+            row["MaxDegree"],
+        ]
+        for row in doc["rows"]
+    ]
+    meta = f"draws={doc['draws']}, scale={doc['scale']}"
+    return f"## Table I — protectors under DOAM\n\n{meta}\n\n" + _md_table(
+        headers, rows
+    )
+
+
+def roster_markdown(documents: Iterable[dict], heading: str = "") -> str:
+    """Full report for a roster of result documents."""
+    sections = []
+    if heading:
+        sections.append(f"# {heading}")
+    for doc in documents:
+        if doc.get("kind") == "figure":
+            sections.append(figure_markdown(doc))
+        elif doc.get("kind") == "table":
+            sections.append(table_markdown(doc))
+        else:
+            raise ExperimentError(f"unknown document kind {doc.get('kind')!r}")
+    return "\n\n".join(sections) + "\n"

@@ -1,0 +1,94 @@
+"""The paper's exact experiment roster, keyed by table/figure id.
+
+Every entry regenerates one table or figure of Section VI. ``scale``,
+``runs`` and ``draws`` are sized so the full roster completes on a laptop;
+pass overrides through :func:`paper_experiment` (the benchmarks use the
+defaults; the CLI exposes ``--scale`` etc.).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+from repro.errors import ExperimentError
+from repro.experiments.config import FigureConfig, TableConfig
+
+__all__ = ["PAPER_EXPERIMENTS", "paper_experiment"]
+
+ExperimentConfig = Union[FigureConfig, TableConfig]
+
+PAPER_EXPERIMENTS: Dict[str, ExperimentConfig] = {
+    # -- OPOAO infected-per-hop figures (Section VI.B.2, 31 hops) ----------
+    "fig4": FigureConfig(
+        name="fig4",
+        dataset="hep",
+        model="opoao",
+        rumor_fraction=0.05,
+        hops=31,
+        runs=60,
+        draws=2,
+        title="Infected nodes under OPOAO, Hep collaboration network (Fig. 4)",
+    ),
+    "fig5": FigureConfig(
+        name="fig5",
+        dataset="enron-small",
+        model="opoao",
+        rumor_fraction=0.10,
+        hops=31,
+        runs=60,
+        draws=2,
+        title="Infected nodes under OPOAO, Enron network, small community (Fig. 5)",
+    ),
+    "fig6": FigureConfig(
+        name="fig6",
+        dataset="enron-large",
+        model="opoao",
+        rumor_fraction=0.05,
+        hops=31,
+        runs=60,
+        draws=2,
+        title="Infected nodes under OPOAO, Enron network, large community (Fig. 6)",
+    ),
+    # -- DOAM infected-per-step figures (Section VI.B.2) -------------------
+    "fig7": FigureConfig(
+        name="fig7",
+        dataset="hep",
+        model="doam",
+        rumor_fraction=0.05,
+        hops=12,
+        runs=1,  # DOAM is deterministic given seeds; average over draws
+        draws=10,
+        title="Infected nodes under DOAM, Hep collaboration network (Fig. 7)",
+    ),
+    "fig8": FigureConfig(
+        name="fig8",
+        dataset="enron-small",
+        model="doam",
+        rumor_fraction=0.10,
+        hops=12,
+        runs=1,
+        draws=10,
+        title="Infected nodes under DOAM, Enron network, small community (Fig. 8)",
+    ),
+    "fig9": FigureConfig(
+        name="fig9",
+        dataset="enron-large",
+        model="doam",
+        rumor_fraction=0.05,
+        hops=12,
+        runs=1,
+        draws=10,
+        title="Infected nodes under DOAM, Enron network, large community (Fig. 9)",
+    ),
+    # -- Table I (Section VI.B.2) ------------------------------------------
+    "table1": TableConfig(name="table1", draws=10),
+}
+
+
+def paper_experiment(key: str) -> ExperimentConfig:
+    """Look up a table/figure config by id (``fig4`` ... ``fig9``, ``table1``)."""
+    try:
+        return PAPER_EXPERIMENTS[key]
+    except KeyError:
+        known = ", ".join(sorted(PAPER_EXPERIMENTS))
+        raise ExperimentError(f"unknown experiment {key!r}; known: {known}") from None

@@ -1,0 +1,108 @@
+"""Rendering experiment results as text and JSON.
+
+The benchmarks print exactly the rows/series the paper reports (Table I's
+layout; Fig. 4-9's per-hop series), plus the replica-vs-paper header so a
+reader can compare regimes at a glance.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Union
+
+from repro.experiments.harness import (
+    FigureResult,
+    MAXDEGREE,
+    PROXIMITY,
+    SCBG,
+    TableResult,
+)
+from repro.utils.tables import format_series, format_table
+
+__all__ = [
+    "render_figure",
+    "render_table",
+    "figure_to_dict",
+    "table_to_dict",
+    "save_json",
+]
+
+
+def render_figure(result: FigureResult) -> str:
+    """Plain-text rendering of a figure experiment (series + header)."""
+    config = result.config
+    header = (
+        f"{config.title or config.name}\n"
+        f"replica: |N|={result.nodes} |E|={result.edges} "
+        f"|C|={result.community_size} |B|={result.bridge_ends:.1f} "
+        f"|R|={result.rumor_seeds} model={config.model} "
+        f"runs={config.runs} draws={config.draws}\n"
+        f"protectors: "
+        + " ".join(
+            f"{name}={count:.1f}"
+            for name, count in sorted(result.protectors_used.items())
+        )
+    )
+    body = format_series(result.series, x_label="hop")
+    return f"{header}\n{body}"
+
+
+def render_table(result: TableResult) -> str:
+    """Plain-text rendering in the paper's Table I layout."""
+    headers = ["Dataset/|N|/|C|", "|R|", SCBG, PROXIMITY, MAXDEGREE]
+    rows = []
+    for row in result.rows:
+        label = f"{row['dataset']}/{row['nodes']}/{row['community']}"
+        fraction = f"{float(row['fraction']) * 100:.0f}%"
+        rows.append(
+            [label, fraction, row[SCBG], row[PROXIMITY], row[MAXDEGREE]]
+        )
+    title = (
+        "COMPARISON RESULTS FOR THE DOAM MODEL "
+        f"(draws={result.config.draws}, scale={result.config.scale})"
+    )
+    return format_table(headers, rows, title=title)
+
+
+def figure_to_dict(result: FigureResult) -> dict:
+    """JSON-serialisable form of a figure result."""
+    config = result.config
+    return {
+        "kind": "figure",
+        "name": config.name,
+        "title": config.title,
+        "dataset": config.dataset,
+        "model": config.model,
+        "scale": config.scale,
+        "hops": config.hops,
+        "runs": config.runs,
+        "draws": config.draws,
+        "nodes": result.nodes,
+        "edges": result.edges,
+        "community_size": result.community_size,
+        "bridge_ends": result.bridge_ends,
+        "rumor_seeds": result.rumor_seeds,
+        "protectors_used": dict(result.protectors_used),
+        "series": {name: list(values) for name, values in result.series.items()},
+    }
+
+
+def table_to_dict(result: TableResult) -> dict:
+    """JSON-serialisable form of a table result."""
+    return {
+        "kind": "table",
+        "name": result.config.name,
+        "scale": result.config.scale,
+        "draws": result.config.draws,
+        "rows": [dict(row) for row in result.rows],
+    }
+
+
+def save_json(document: dict, target: Union[str, Path, IO[str]]) -> None:
+    """Write a result document as pretty-printed JSON."""
+    if hasattr(target, "write"):
+        json.dump(document, target, indent=2, sort_keys=True)  # type: ignore[arg-type]
+        return
+    with open(target, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)

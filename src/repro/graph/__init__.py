@@ -1,0 +1,35 @@
+"""Directed-graph substrate.
+
+Everything in the paper runs on a directed graph G = (N, E) (Section III);
+this package provides that substrate from scratch:
+
+* :mod:`repro.graph.digraph` — the :class:`DiGraph` container (weighted
+  directed multigraph-free graph with O(1) adjacency).
+* :mod:`repro.graph.compact` — :class:`IndexedDiGraph`, an immutable
+  integer-indexed snapshot used by the hot simulation loops.
+* :mod:`repro.graph.traversal` — BFS layers, multi-source BFS, hop
+  distances, reachability (the paper's workhorse, Section V).
+* :mod:`repro.graph.components` — weakly/strongly connected components.
+* :mod:`repro.graph.generators` — random-graph models used to synthesise
+  datasets (ER, BA, WS, planted partition, power-law communities).
+* :mod:`repro.graph.metrics` — density, degree statistics, clustering.
+* :mod:`repro.graph.io` — edge-list / adjacency / JSON persistence.
+* :mod:`repro.graph.subgraph` — induced subgraphs and boundary extraction.
+"""
+
+from repro.graph.betweenness import edge_betweenness, node_betweenness
+from repro.graph.compact import IndexedDiGraph
+from repro.graph.digraph import DiGraph
+from repro.graph.paths import dijkstra, shortest_weighted_path
+from repro.graph.subgraph import boundary_out_edges, induced_subgraph
+
+__all__ = [
+    "DiGraph",
+    "IndexedDiGraph",
+    "induced_subgraph",
+    "boundary_out_edges",
+    "dijkstra",
+    "shortest_weighted_path",
+    "node_betweenness",
+    "edge_betweenness",
+]

@@ -1,0 +1,119 @@
+"""Immutable integer-indexed graph snapshot for hot loops.
+
+Monte-Carlo diffusion simulates tens of thousands of BFS-like sweeps; doing
+that over ``dict``-keyed adjacency is needlessly slow. An
+:class:`IndexedDiGraph` freezes a :class:`repro.graph.digraph.DiGraph` into:
+
+* a stable node list (``labels``) and reverse index (``index_of``),
+* out- and in-adjacency as ``list[list[int]]`` (tuple-of-tuples, actually,
+  to guarantee immutability),
+
+so the simulators run on small-int arrays and convert back to labels only
+at the API boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.errors import NodeNotFoundError
+
+__all__ = ["IndexedDiGraph"]
+
+
+class IndexedDiGraph:
+    """Frozen integer view of a directed graph.
+
+    Attributes:
+        labels: tuple mapping node id -> original node label.
+        out: tuple of tuples; ``out[u]`` lists out-neighbor ids of ``u``.
+        inn: tuple of tuples; ``inn[u]`` lists in-neighbor ids of ``u``.
+    """
+
+    __slots__ = ("labels", "out", "inn", "out_weights", "_index_of", "edge_count")
+
+    def __init__(
+        self,
+        labels: Sequence[object],
+        out: Sequence[Sequence[int]],
+        inn: Sequence[Sequence[int]],
+        out_weights: Sequence[Sequence[float]] = None,
+    ) -> None:
+        if not (len(labels) == len(out) == len(inn)):
+            raise ValueError("labels/out/inn must have equal length")
+        self.labels: Tuple[object, ...] = tuple(labels)
+        self.out: Tuple[Tuple[int, ...], ...] = tuple(tuple(n) for n in out)
+        self.inn: Tuple[Tuple[int, ...], ...] = tuple(tuple(n) for n in inn)
+        if out_weights is None:
+            self.out_weights: Tuple[Tuple[float, ...], ...] = tuple(
+                (1.0,) * len(neighbors) for neighbors in self.out
+            )
+        else:
+            self.out_weights = tuple(tuple(w) for w in out_weights)
+            if len(self.out_weights) != len(self.out) or any(
+                len(weights) != len(neighbors)
+                for weights, neighbors in zip(self.out_weights, self.out)
+            ):
+                raise ValueError("out_weights must parallel out adjacency")
+        self._index_of: Dict[object, int] = {
+            label: index for index, label in enumerate(self.labels)
+        }
+        if len(self._index_of) != len(self.labels):
+            raise ValueError("node labels must be unique")
+        self.edge_count = sum(len(neighbors) for neighbors in self.out)
+
+    @classmethod
+    def from_digraph(cls, graph) -> "IndexedDiGraph":
+        """Snapshot a :class:`~repro.graph.digraph.DiGraph`.
+
+        Node ids follow the graph's insertion order, so repeated snapshots
+        of the same graph are identical — important for seeded
+        reproducibility of the simulators. Edge weights are carried along
+        (parallel to ``out``) for the weighted diffusion variants.
+        """
+        labels = list(graph.nodes())
+        position = {label: index for index, label in enumerate(labels)}
+        out: List[List[int]] = [[] for _ in labels]
+        inn: List[List[int]] = [[] for _ in labels]
+        weights: List[List[float]] = [[] for _ in labels]
+        for tail, head, weight in graph.weighted_edges():
+            out[position[tail]].append(position[head])
+            weights[position[tail]].append(weight)
+            inn[position[head]].append(position[tail])
+        return cls(labels, out, inn, out_weights=weights)
+
+    # -- basic accessors -------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes."""
+        return len(self.labels)
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def index(self, label: object) -> int:
+        """Node id for ``label``; raises :class:`NodeNotFoundError` if absent."""
+        try:
+            return self._index_of[label]
+        except KeyError:
+            raise NodeNotFoundError(label) from None
+
+    def indices(self, labels: Iterable[object]) -> List[int]:
+        """Node ids for many labels."""
+        return [self.index(label) for label in labels]
+
+    def label_set(self, ids: Iterable[int]) -> set:
+        """Original labels for a collection of node ids."""
+        return {self.labels[node_id] for node_id in ids}
+
+    def out_degree(self, node_id: int) -> int:
+        """Out-degree of ``node_id`` (the paper's ``d_out``)."""
+        return len(self.out[node_id])
+
+    def in_degree(self, node_id: int) -> int:
+        """In-degree of ``node_id``."""
+        return len(self.inn[node_id])
+
+    def __repr__(self) -> str:
+        return f"IndexedDiGraph(nodes={self.node_count}, edges={self.edge_count})"

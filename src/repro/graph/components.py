@@ -1,0 +1,120 @@
+"""Connected components of directed graphs.
+
+Weak components are used by the dataset generators (to guarantee a usable
+giant component) and by validation; strong components (Tarjan, iterative)
+are provided for completeness and used in tests of reachability reasoning.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.graph.digraph import DiGraph, Node
+
+__all__ = [
+    "weakly_connected_components",
+    "largest_weak_component",
+    "strongly_connected_components",
+    "is_weakly_connected",
+]
+
+
+def weakly_connected_components(graph: DiGraph) -> List[Set[Node]]:
+    """Weakly connected components (edge direction ignored).
+
+    Returns components sorted by size, largest first; ties broken by the
+    smallest insertion index of a member so output is deterministic.
+    """
+    order = {node: position for position, node in enumerate(graph.nodes())}
+    seen: Set[Node] = set()
+    components: List[Set[Node]] = []
+    for start in graph.nodes():
+        if start in seen:
+            continue
+        component: Set[Node] = {start}
+        stack = [start]
+        seen.add(start)
+        while stack:
+            node = stack.pop()
+            for neighbor in graph.successors(node):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    component.add(neighbor)
+                    stack.append(neighbor)
+            for neighbor in graph.predecessors(node):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    component.add(neighbor)
+                    stack.append(neighbor)
+        components.append(component)
+    components.sort(key=lambda comp: (-len(comp), min(order[n] for n in comp)))
+    return components
+
+
+def largest_weak_component(graph: DiGraph) -> Set[Node]:
+    """Node set of the largest weakly connected component (empty graph -> empty)."""
+    components = weakly_connected_components(graph)
+    return components[0] if components else set()
+
+
+def is_weakly_connected(graph: DiGraph) -> bool:
+    """True if the graph has exactly one weak component (and is non-empty)."""
+    return len(weakly_connected_components(graph)) == 1
+
+
+def strongly_connected_components(graph: DiGraph) -> List[Set[Node]]:
+    """Strongly connected components via iterative Tarjan.
+
+    Iterative (explicit stack) so large chains do not hit the recursion
+    limit. Components are returned in reverse topological order of the
+    condensation, then sorted largest-first for deterministic output.
+    """
+    index_counter = 0
+    indices: Dict[Node, int] = {}
+    lowlink: Dict[Node, int] = {}
+    on_stack: Set[Node] = set()
+    stack: List[Node] = []
+    components: List[Set[Node]] = []
+
+    for root in graph.nodes():
+        if root in indices:
+            continue
+        # Each frame: (node, iterator over successors).
+        work = [(root, iter(list(graph.successors(root))))]
+        indices[root] = lowlink[root] = index_counter
+        index_counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for neighbor in successors:
+                if neighbor not in indices:
+                    indices[neighbor] = lowlink[neighbor] = index_counter
+                    index_counter += 1
+                    stack.append(neighbor)
+                    on_stack.add(neighbor)
+                    work.append((neighbor, iter(list(graph.successors(neighbor)))))
+                    advanced = True
+                    break
+                if neighbor in on_stack:
+                    lowlink[node] = min(lowlink[node], indices[neighbor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == indices[node]:
+                component: Set[Node] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(component)
+
+    order = {node: position for position, node in enumerate(graph.nodes())}
+    components.sort(key=lambda comp: (-len(comp), min(order[n] for n in comp)))
+    return components

@@ -1,0 +1,122 @@
+"""Live set-like views over a graph's nodes, edges, and degrees.
+
+Ergonomics layer: the views stay attached to the graph (reflecting later
+mutations) and behave as real sets, so callers can intersect node sets
+with communities, diff edge sets between graphs, and sort by degree
+without materialising copies::
+
+    risky = graph.nodes_view() & communities.members(rumor_cid)
+    new_edges = mutated.edges_view() - original.edges_view()
+    hubs = sorted(graph.degree_view("out"), key=lambda kv: -kv[1])[:10]
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Set
+from typing import Iterator, Tuple
+
+from repro.graph.digraph import DiGraph, Edge, Node
+
+__all__ = ["NodeView", "EdgeView", "DegreeView"]
+
+
+class NodeView(Set):
+    """Set-like live view of a graph's nodes."""
+
+    __slots__ = ("_graph",)
+
+    def __init__(self, graph: DiGraph) -> None:
+        self._graph = graph
+
+    def __contains__(self, node: object) -> bool:
+        try:
+            return node in self._graph
+        except TypeError:
+            return False
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._graph.nodes())
+
+    def __len__(self) -> int:
+        return self._graph.node_count
+
+    @classmethod
+    def _from_iterable(cls, iterable):
+        # Set operations return plain frozensets, not live views.
+        return frozenset(iterable)
+
+    def __repr__(self) -> str:
+        return f"NodeView({self._graph!r})"
+
+
+class EdgeView(Set):
+    """Set-like live view of a graph's directed edges (``(tail, head)``)."""
+
+    __slots__ = ("_graph",)
+
+    def __init__(self, graph: DiGraph) -> None:
+        self._graph = graph
+
+    def __contains__(self, edge: object) -> bool:
+        if not isinstance(edge, tuple) or len(edge) != 2:
+            return False
+        tail, head = edge
+        try:
+            return self._graph.has_edge(tail, head)
+        except TypeError:
+            return False
+
+    def __iter__(self) -> Iterator[Edge]:
+        return self._graph.edges()
+
+    def __len__(self) -> int:
+        return self._graph.edge_count
+
+    def with_weights(self) -> Iterator[Tuple[Node, Node, float]]:
+        """Iterate ``(tail, head, weight)`` triples."""
+        return self._graph.weighted_edges()
+
+    @classmethod
+    def _from_iterable(cls, iterable):
+        return frozenset(iterable)
+
+    def __repr__(self) -> str:
+        return f"EdgeView({self._graph!r})"
+
+
+class DegreeView(Mapping):
+    """Mapping-like live view ``node -> degree``.
+
+    Args:
+        graph: the graph.
+        direction: ``"out"``, ``"in"``, or ``"total"``.
+    """
+
+    __slots__ = ("_graph", "_direction")
+
+    def __init__(self, graph: DiGraph, direction: str = "out") -> None:
+        if direction not in ("out", "in", "total"):
+            raise ValueError(f"direction must be out/in/total, got {direction!r}")
+        self._graph = graph
+        self._direction = direction
+
+    def __getitem__(self, node: Node) -> int:
+        if self._direction == "out":
+            return self._graph.out_degree(node)
+        if self._direction == "in":
+            return self._graph.in_degree(node)
+        return self._graph.degree(node)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._graph.nodes())
+
+    def __len__(self) -> int:
+        return self._graph.node_count
+
+    def items(self):
+        """Iterate ``(node, degree)`` pairs (live)."""
+        for node in self._graph.nodes():
+            yield node, self[node]
+
+    def __repr__(self) -> str:
+        return f"DegreeView({self._graph!r}, direction={self._direction!r})"

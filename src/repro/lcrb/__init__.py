@@ -1,0 +1,26 @@
+"""The Least Cost Rumor Blocking problem layer.
+
+* :mod:`repro.lcrb.problem` — the validated problem objects: LCRB-P
+  (protect an α fraction of bridge ends, OPOAO) and LCRB-D (protect all of
+  them, DOAM) — Definitions 2 and 3.
+* :mod:`repro.lcrb.evaluation` — protector-set evaluation: infected-per-
+  hop series, bridge-end protection statistics (the quantities plotted in
+  Fig. 4-9).
+* :mod:`repro.lcrb.pipeline` — the end-to-end flow: detect communities,
+  choose the rumor community, draw rumor seeds, find bridge ends, select
+  protectors, evaluate.
+"""
+
+from repro.lcrb.evaluation import EvaluationResult, evaluate_protectors
+from repro.lcrb.pipeline import build_context, draw_rumor_seeds
+from repro.lcrb.problem import LCRBDProblem, LCRBPProblem, LCRBProblem
+
+__all__ = [
+    "LCRBProblem",
+    "LCRBPProblem",
+    "LCRBDProblem",
+    "EvaluationResult",
+    "evaluate_protectors",
+    "build_context",
+    "draw_rumor_seeds",
+]

@@ -1,0 +1,130 @@
+"""LCRB problem objects (Definitions 2 and 3).
+
+An :class:`LCRBProblem` captures a full instance — network, community
+cover, rumor community, rumor originators, protection level α — validates
+it, and exposes the derived :class:`~repro.algorithms.base.SelectionContext`
+that the algorithms consume. The two concrete variants fix the model and
+α regime:
+
+* :class:`LCRBPProblem` — OPOAO, ``0 < α < 1``; solved by
+  :class:`~repro.algorithms.greedy.GreedySelector` (or CELF) with the
+  (1 - 1/e) guarantee of Theorem 1.
+* :class:`LCRBDProblem` — DOAM, ``α = 1``; solved by
+  :class:`~repro.algorithms.scbg.SCBGSelector` with the O(ln n) guarantee
+  of Theorem 2.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from repro.algorithms.base import SelectionContext
+from repro.community.structure import CommunityStructure
+from repro.errors import SeedError, ValidationError
+from repro.graph.digraph import DiGraph, Node
+from repro.utils.validation import check_fraction
+
+__all__ = ["LCRBProblem", "LCRBPProblem", "LCRBDProblem"]
+
+
+class LCRBProblem:
+    """A Least Cost Rumor Blocking instance (Definition 2).
+
+    Args:
+        graph: the social network ``G(V, E, C)``'s graph part.
+        communities: the disjoint cover ``C``.
+        rumor_community: id of the community the rumor originates in.
+        rumor_seeds: originators ``S_R ⊆ V(C_k)``.
+        alpha: required protected fraction of bridge ends, in ``[0, 1]``.
+    """
+
+    #: display name of the variant.
+    variant: str = "LCRB"
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        communities: CommunityStructure,
+        rumor_community: int,
+        rumor_seeds: Iterable[Node],
+        alpha: float = 1.0,
+    ) -> None:
+        if communities.graph is not graph:
+            raise ValidationError(
+                "communities must be bound to the same graph instance"
+            )
+        self.graph = graph
+        self.communities = communities
+        self.rumor_community = rumor_community
+        members = communities.members(rumor_community)  # validates the id
+        self.rumor_seeds: Tuple[Node, ...] = tuple(dict.fromkeys(rumor_seeds))
+        if not self.rumor_seeds:
+            raise SeedError("rumor seed set must not be empty")
+        outside = [s for s in self.rumor_seeds if s not in members]
+        if outside:
+            raise SeedError(
+                f"rumor seed(s) {outside[:5]!r} are outside community "
+                f"{rumor_community} (Definition 2: S_R ⊆ V(C_k))"
+            )
+        self.alpha = self._check_alpha(alpha)
+        self._context: Optional[SelectionContext] = None
+
+    def _check_alpha(self, alpha: float) -> float:
+        return check_fraction(alpha, "alpha")
+
+    @property
+    def context(self) -> SelectionContext:
+        """The resolved selection context (bridge ends computed lazily)."""
+        if self._context is None:
+            self._context = SelectionContext(
+                self.graph,
+                self.communities.members(self.rumor_community),
+                self.rumor_seeds,
+            )
+        return self._context
+
+    @property
+    def bridge_ends(self):
+        """The bridge end set ``B``."""
+        return self.context.bridge_ends
+
+    def protection_target(self) -> int:
+        """Number of bridge ends that must end up protected: ``⌈α |B|⌉``."""
+        import math
+
+        return math.ceil(self.alpha * len(self.bridge_ends))
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(community={self.rumor_community}, "
+            f"|S_R|={len(self.rumor_seeds)}, alpha={self.alpha})"
+        )
+
+
+class LCRBPProblem(LCRBProblem):
+    """LCRB-P: protect an α ∈ (0, 1) fraction of bridge ends under OPOAO."""
+
+    variant = "LCRB-P"
+
+    def _check_alpha(self, alpha: float) -> float:
+        return check_fraction(alpha, "alpha", exclusive=True)
+
+
+class LCRBDProblem(LCRBProblem):
+    """LCRB-D: protect **all** bridge ends under DOAM (α = 1)."""
+
+    variant = "LCRB-D"
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        communities: CommunityStructure,
+        rumor_community: int,
+        rumor_seeds: Iterable[Node],
+    ) -> None:
+        super().__init__(graph, communities, rumor_community, rumor_seeds, alpha=1.0)
+
+    def _check_alpha(self, alpha: float) -> float:
+        if alpha != 1.0:
+            raise ValidationError("LCRB-D fixes alpha = 1 (Definition 3)")
+        return 1.0

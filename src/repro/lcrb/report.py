@@ -1,0 +1,197 @@
+"""Human-readable diagnostics for an LCRB instance.
+
+Before committing a protector budget, an operator wants to see the shape
+of the problem: how leaky is the rumor community, how soon does the rumor
+hit each bridge end, how big are the backward trees SCBG will mine. The
+instance report gathers those numbers; the CLI's ``stats`` command and the
+examples print it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.algorithms.base import SelectionContext
+from repro.bridge.bbst import build_all_bbsts
+from repro.community.metrics import conductance
+from repro.community.structure import CommunityStructure
+from repro.graph.metrics import summarize
+from repro.utils.tables import format_table
+
+__all__ = [
+    "InstanceReport",
+    "build_instance_report",
+    "render_instance_report",
+    "render_cover_assessment",
+]
+
+
+class InstanceReport:
+    """Structured diagnostics of one LCRB instance.
+
+    Attributes:
+        graph_summary: headline graph statistics.
+        community_size / rumor_seeds / bridge_ends: instance sizes.
+        boundary_edges: directed edges leaving the rumor community.
+        internal_fraction: fraction of the community's out-edges staying
+            internal ("dense inside, sparse across").
+        community_conductance: directed conductance of the community.
+        arrival_histogram: ``t_R`` value -> number of bridge ends at that
+            rumor arrival time.
+        bbst_sizes: per-bridge-end backward-tree sizes (candidate supply).
+    """
+
+    __slots__ = (
+        "graph_summary",
+        "community_size",
+        "rumor_seeds",
+        "bridge_ends",
+        "boundary_edges",
+        "internal_fraction",
+        "community_conductance",
+        "arrival_histogram",
+        "bbst_sizes",
+    )
+
+    def __init__(self) -> None:
+        self.graph_summary = None
+        self.community_size = 0
+        self.rumor_seeds = 0
+        self.bridge_ends = 0
+        self.boundary_edges = 0
+        self.internal_fraction = 0.0
+        self.community_conductance = 0.0
+        self.arrival_histogram: Dict[int, int] = {}
+        self.bbst_sizes: List[int] = []
+
+    def as_dict(self) -> dict:
+        """JSON-friendly form."""
+        return {
+            "graph": self.graph_summary.as_dict() if self.graph_summary else None,
+            "community_size": self.community_size,
+            "rumor_seeds": self.rumor_seeds,
+            "bridge_ends": self.bridge_ends,
+            "boundary_edges": self.boundary_edges,
+            "internal_fraction": self.internal_fraction,
+            "community_conductance": self.community_conductance,
+            "arrival_histogram": dict(self.arrival_histogram),
+            "bbst_sizes": list(self.bbst_sizes),
+        }
+
+
+def build_instance_report(
+    context: SelectionContext,
+    communities: Optional[CommunityStructure] = None,
+) -> InstanceReport:
+    """Compute diagnostics for an instance.
+
+    Args:
+        context: the LCRB instance.
+        communities: optional full cover; supplies the internal-fraction
+            statistic (computed from the context's community set
+            otherwise).
+    """
+    report = InstanceReport()
+    graph = context.graph
+    report.graph_summary = summarize(graph)
+    report.community_size = len(context.rumor_community)
+    report.rumor_seeds = len(context.rumor_seeds)
+    report.bridge_ends = len(context.bridge_ends)
+
+    community = context.rumor_community
+    boundary = 0
+    internal = 0
+    total_out = 0
+    for tail in community:
+        for head in graph.successors(tail):
+            total_out += 1
+            if head in community:
+                internal += 1
+            else:
+                boundary += 1
+    report.boundary_edges = boundary
+    report.internal_fraction = internal / total_out if total_out else 0.0
+    report.community_conductance = conductance(graph, community)
+
+    arrival = context.rumor_arrival
+    for end in context.bridge_ends:
+        t = arrival[end]
+        report.arrival_histogram[t] = report.arrival_histogram.get(t, 0) + 1
+
+    if context.bridge_ends:
+        trees = build_all_bbsts(
+            graph,
+            sorted(context.bridge_ends, key=repr),
+            context.rumor_seeds,
+            rumor_arrival=arrival,
+        )
+        report.bbst_sizes = sorted(len(tree) for tree in trees)
+    return report
+
+
+def render_instance_report(report: InstanceReport) -> str:
+    """Plain-text rendering of an :class:`InstanceReport`."""
+    lines = [str(report.graph_summary)]
+    lines.append(
+        f"rumor community: |C|={report.community_size} |S_R|={report.rumor_seeds} "
+        f"|B|={report.bridge_ends} boundary_edges={report.boundary_edges}"
+    )
+    lines.append(
+        f"community cohesion: internal_fraction={report.internal_fraction:.2f} "
+        f"conductance={report.community_conductance:.3f}"
+    )
+    if report.arrival_histogram:
+        rows = [
+            [t, count]
+            for t, count in sorted(report.arrival_histogram.items())
+        ]
+        lines.append(
+            format_table(
+                ["t_R", "bridge ends"], rows, title="rumor arrival at bridge ends"
+            )
+        )
+    if report.bbst_sizes:
+        sizes = report.bbst_sizes
+        lines.append(
+            "BBST sizes (candidate supply): "
+            f"min={sizes[0]} median={sizes[len(sizes) // 2]} max={sizes[-1]}"
+        )
+    return "\n".join(lines)
+
+
+def render_cover_assessment(context: SelectionContext, protectors) -> str:
+    """Fragility assessment of a proposed protector set under DOAM.
+
+    Uses the closed-form arrival analysis to report, per bridge end, the
+    protection slack (rumor arrival minus protector arrival): slack 0
+    means the cover relies on a P-priority tie; negative slack means the
+    bridge end falls.
+    """
+    import math
+
+    from repro.diffusion.arrival import protection_slack
+
+    targets = sorted(context.bridge_ends, key=repr)
+    if not targets:
+        return "no bridge ends: nothing to assess"
+    slack = protection_slack(
+        context.graph, context.rumor_seeds, protectors, targets
+    )
+    falling = [t for t in targets if slack[t] < 0]
+    ties = [t for t in targets if slack[t] == 0]
+    comfortable = [t for t in targets if slack[t] > 0]
+    finite = [s for s in slack.values() if not math.isinf(s) and s >= 0]
+    lines = [
+        f"cover assessment for |P|={len(list(protectors))}: "
+        f"{len(comfortable)} safe with margin, {len(ties)} on a priority tie, "
+        f"{len(falling)} falling"
+    ]
+    if finite:
+        lines.append(
+            f"slack among protected ends: min={min(finite):.0f} "
+            f"max={max(finite):.0f} steps"
+        )
+    if falling:
+        preview = ", ".join(str(t) for t in falling[:5])
+        lines.append(f"falling bridge ends: {preview}" + (" ..." if len(falling) > 5 else ""))
+    return "\n".join(lines)

@@ -1,0 +1,129 @@
+"""Rumor-placement strategies: where do the originators sit?
+
+The paper draws rumor originators uniformly from the rumor community.
+A robustness question a downstream user will immediately ask is whether
+the algorithms' advantages survive *adversarial* placement — rumors
+started at the community's hubs, or right on its boundary. This module
+provides the placement strategies; the robustness benchmark
+(``benchmarks/bench_robustness_placement.py``) sweeps them.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.community.structure import CommunityStructure
+from repro.errors import SeedError, ValidationError
+from repro.graph.digraph import Node
+from repro.rng import RngStream
+from repro.utils.validation import check_positive
+
+__all__ = ["place_rumors", "PLACEMENTS"]
+
+
+def _members_sorted(communities: CommunityStructure, community_id: int) -> List[Node]:
+    return sorted(communities.members(community_id), key=repr)
+
+
+def _uniform(
+    communities: CommunityStructure, community_id: int, count: int, rng: RngStream
+) -> List[Node]:
+    """The paper's protocol: uniform draw from the community."""
+    return rng.sample(_members_sorted(communities, community_id), count)
+
+
+def _hubs(
+    communities: CommunityStructure, community_id: int, count: int, rng: RngStream
+) -> List[Node]:
+    """Highest out-degree members — a rumor started by influencers."""
+    graph = communities.graph
+    members = _members_sorted(communities, community_id)
+    members.sort(key=lambda node: (-graph.out_degree(node), repr(node)))
+    return members[:count]
+
+
+def _boundary(
+    communities: CommunityStructure, community_id: int, count: int, rng: RngStream
+) -> List[Node]:
+    """Members with out-edges leaving the community — worst case for
+    containment: the rumor starts one hop from the bridge ends. Falls back
+    to uniform members when the boundary is smaller than ``count``."""
+    graph = communities.graph
+    members = _members_sorted(communities, community_id)
+    boundary = [
+        node
+        for node in members
+        if any(
+            communities.community_of(head) != community_id
+            for head in graph.successors(node)
+        )
+    ]
+    rng.fork("order").shuffle(boundary)
+    if len(boundary) >= count:
+        return boundary[:count]
+    rest = [node for node in members if node not in set(boundary)]
+    rng.fork("fill").shuffle(rest)
+    return boundary + rest[: count - len(boundary)]
+
+
+def _deep(
+    communities: CommunityStructure, community_id: int, count: int, rng: RngStream
+) -> List[Node]:
+    """Members with no boundary out-edges — the easiest case (rumor must
+    travel through the community before escaping). Falls back to uniform
+    members when too few interior nodes exist."""
+    graph = communities.graph
+    members = _members_sorted(communities, community_id)
+    interior = [
+        node
+        for node in members
+        if all(
+            communities.community_of(head) == community_id
+            for head in graph.successors(node)
+        )
+    ]
+    rng.fork("order").shuffle(interior)
+    if len(interior) >= count:
+        return interior[:count]
+    rest = [node for node in members if node not in set(interior)]
+    rng.fork("fill").shuffle(rest)
+    return interior + rest[: count - len(interior)]
+
+
+PLACEMENTS = {
+    "uniform": _uniform,
+    "hubs": _hubs,
+    "boundary": _boundary,
+    "deep": _deep,
+}
+
+
+def place_rumors(
+    communities: CommunityStructure,
+    community_id: int,
+    count: int,
+    strategy: str = "uniform",
+    rng: RngStream = None,
+) -> List[Node]:
+    """Choose ``count`` rumor originators by a named placement strategy.
+
+    Args:
+        communities: community cover.
+        community_id: the rumor community.
+        count: number of originators.
+        strategy: one of ``uniform`` (paper protocol), ``hubs``,
+            ``boundary``, ``deep``.
+        rng: stream (required; strategies are deterministic given it).
+    """
+    check_positive(count, "count")
+    if strategy not in PLACEMENTS:
+        known = ", ".join(sorted(PLACEMENTS))
+        raise ValidationError(f"unknown placement {strategy!r}; known: {known}")
+    if rng is None:
+        raise ValidationError("place_rumors requires an RngStream")
+    members = communities.members(community_id)
+    if count > len(members):
+        raise SeedError(
+            f"cannot place {count} rumors in a community of {len(members)}"
+        )
+    return PLACEMENTS[strategy](communities, community_id, count, rng)

@@ -1,0 +1,67 @@
+"""Logging configuration helpers.
+
+The library logs through the standard :mod:`logging` module under the
+``"repro"`` namespace and never configures handlers on import (library code
+must not hijack the host application's logging). Scripts and the CLI call
+:func:`configure_logging` explicitly.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+__all__ = ["get_logger", "configure_logging"]
+
+_ROOT_LOGGER_NAME = "repro"
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_DATE_FORMAT = "%H:%M:%S"
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """Return a logger under the library's namespace.
+
+    Args:
+        name: dotted suffix, e.g. ``"algorithms.greedy"``. ``None`` returns
+            the library root logger.
+    """
+    if not name:
+        return logging.getLogger(_ROOT_LOGGER_NAME)
+    if name.startswith(_ROOT_LOGGER_NAME + ".") or name == _ROOT_LOGGER_NAME:
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_LOGGER_NAME}.{name}")
+
+
+def configure_logging(verbosity: int = 0, stream=None) -> logging.Logger:
+    """Configure console logging for scripts, examples, and the CLI.
+
+    Safe to call repeatedly; replaces any handler previously installed by
+    this function and leaves foreign handlers untouched.
+
+    Args:
+        verbosity: 0 = WARNING, 1 = INFO, 2+ = DEBUG.
+        stream: destination stream; defaults to ``sys.stderr``.
+
+    Returns:
+        The configured root library logger.
+    """
+    level = logging.WARNING
+    if verbosity == 1:
+        level = logging.INFO
+    elif verbosity >= 2:
+        level = logging.DEBUG
+
+    logger = logging.getLogger(_ROOT_LOGGER_NAME)
+    logger.setLevel(level)
+
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_installed", False):
+            logger.removeHandler(handler)
+
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT, _DATE_FORMAT))
+    handler._repro_installed = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger

@@ -1,0 +1,89 @@
+"""Terminal line charts for hop-indexed series.
+
+The paper's figures are log-scale line plots; in a terminal-only
+environment the closest faithful rendering is a character grid. The CLI's
+``simulate`` command and the examples use this to show curve *shapes*
+(crossovers, flattening) without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Mapping, Sequence
+
+__all__ = ["line_chart"]
+
+#: distinct plot glyphs, assigned to series in order.
+_GLYPHS = "*o+x#@%&"
+
+
+def line_chart(
+    series: Mapping[str, Sequence[float]],
+    height: int = 12,
+    log_scale: bool = False,
+    title: str = "",
+) -> str:
+    """Render series as an ASCII chart (x = index/hop, y = value).
+
+    Args:
+        series: name -> values; equal lengths required.
+        height: chart rows (y resolution).
+        log_scale: plot log10(1 + y), mirroring the paper's log-time
+            charts ("Since the number of infected nodes is large, we adopt
+            the log-time chart").
+        title: optional heading.
+
+    Returns:
+        The chart plus a legend, as one string.
+    """
+    if not series:
+        raise ValueError("line_chart needs at least one series")
+    lengths = {len(values) for values in series.values()}
+    if len(lengths) != 1:
+        raise ValueError(f"series lengths differ: {sorted(lengths)}")
+    (width,) = lengths
+    if width == 0:
+        raise ValueError("series must not be empty")
+    if height < 2:
+        raise ValueError("height must be >= 2")
+
+    def transform(value: float) -> float:
+        if log_scale:
+            return math.log10(1.0 + max(0.0, value))
+        return value
+
+    transformed = {
+        name: [transform(v) for v in values] for name, values in series.items()
+    }
+    top = max(max(values) for values in transformed.values())
+    bottom = min(min(values) for values in transformed.values())
+    span = top - bottom or 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(transformed.items()):
+        glyph = _GLYPHS[index % len(_GLYPHS)]
+        for x, value in enumerate(values):
+            y = int(round((value - bottom) / span * (height - 1)))
+            row = height - 1 - y
+            grid[row][x] = glyph
+
+    def y_label(row: int) -> float:
+        value = bottom + (height - 1 - row) / (height - 1) * span
+        if log_scale:
+            return 10.0**value - 1.0
+        return value
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row in range(height):
+        label = f"{y_label(row):>9.1f} |"
+        lines.append(label + "".join(grid[row]))
+    lines.append(" " * 10 + "+" + "-" * width)
+    axis = " " * 11 + "0" + " " * max(0, width - len(str(width - 1)) - 1) + str(width - 1)
+    lines.append(axis)
+    legend = "  ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 11 + legend)
+    return "\n".join(lines)

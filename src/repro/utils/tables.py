@@ -1,0 +1,84 @@
+"""Plain-text rendering of experiment tables and hop-by-hop series.
+
+The benchmark harness prints the same rows/series the paper reports; these
+formatters keep that output aligned and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table.
+
+    Args:
+        headers: column names.
+        rows: row cells; floats are formatted to one decimal, matching the
+            paper's Table I presentation.
+        title: optional title line above the table.
+
+    Returns:
+        The table as a single string (no trailing newline).
+    """
+    text_rows = [[_cell(value) for value in row] for row in rows]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} does not match header width {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    separator = "-+-".join("-" * w for w in widths)
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append(separator)
+    parts.extend(line(row) for row in text_rows)
+    return "\n".join(parts)
+
+
+def format_series(
+    series: Mapping[str, Sequence[float]],
+    x_label: str = "hop",
+    title: str = "",
+) -> str:
+    """Render hop-indexed series (one column per algorithm) as a table.
+
+    Args:
+        series: mapping from series name (e.g. ``"Greedy"``) to the per-hop
+            values; all series must have equal length.
+        x_label: name of the index column.
+        title: optional title line.
+    """
+    if not series:
+        raise ValueError("format_series() needs at least one series")
+    lengths = {len(values) for values in series.values()}
+    if len(lengths) != 1:
+        raise ValueError(f"series lengths differ: {sorted(lengths)}")
+    (length,) = lengths
+    headers = [x_label, *series.keys()]
+    rows = [
+        [hop, *(series[name][hop] for name in series)]
+        for hop in range(length)
+    ]
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,68 @@
+"""Unit tests for SelectionContext and the selector base class."""
+
+import pytest
+
+from repro.algorithms.base import ProtectorSelector, SelectionContext
+from repro.errors import SeedError, ValidationError
+from repro.graph.digraph import DiGraph
+
+
+class TestSelectionContext:
+    def test_bridge_ends_computed_when_omitted(self, toy):
+        graph, communities, info = toy
+        context = SelectionContext(graph, communities.members(0), info["rumor_seeds"])
+        assert context.bridge_ends == info["bridge_ends"]
+
+    def test_explicit_bridge_ends_respected(self, toy):
+        graph, communities, info = toy
+        context = SelectionContext(
+            graph, communities.members(0), info["rumor_seeds"], bridge_ends=["e"]
+        )
+        assert context.bridge_ends == frozenset({"e"})
+
+    def test_empty_seeds_rejected(self, toy):
+        graph, communities, _ = toy
+        with pytest.raises(SeedError):
+            SelectionContext(graph, communities.members(0), [])
+
+    def test_seed_outside_community_rejected(self, toy):
+        graph, communities, _ = toy
+        with pytest.raises(SeedError):
+            SelectionContext(graph, communities.members(0), ["b"])
+
+    def test_indexed_cached(self, toy_context):
+        assert toy_context.indexed is toy_context.indexed
+
+    def test_rumor_arrival(self, toy_context):
+        arrival = toy_context.rumor_arrival
+        assert arrival["r"] == 0
+        assert arrival["b"] == 2
+
+    def test_id_helpers(self, toy_context):
+        indexed = toy_context.indexed
+        assert toy_context.rumor_seed_ids() == [indexed.index("r")]
+        assert toy_context.bridge_end_ids() == [indexed.index("b")]
+
+    def test_eligibility(self, toy_context):
+        assert toy_context.eligible("d")
+        assert toy_context.eligible("c1")  # community members may protect
+        assert not toy_context.eligible("r")  # rumor seeds may not
+        assert not toy_context.eligible("ghost")
+
+    def test_duplicate_seeds_deduped(self, toy):
+        graph, communities, _ = toy
+        context = SelectionContext(graph, communities.members(0), ["r", "r"])
+        assert context.rumor_seeds == ("r",)
+
+    def test_repr(self, toy_context):
+        text = repr(toy_context)
+        assert "|B|=1" in text
+
+
+class TestBudgetValidation:
+    def test_check_budget(self):
+        assert ProtectorSelector._check_budget(None) is None
+        assert ProtectorSelector._check_budget(3) == 3
+        for bad in (-1, 1.5, True, "two"):
+            with pytest.raises(ValidationError):
+                ProtectorSelector._check_budget(bad)

@@ -1,0 +1,59 @@
+"""Unit tests for the CELF lazy greedy selector."""
+
+import pytest
+
+from repro.algorithms.celf import CELFGreedySelector
+from repro.algorithms.greedy import GreedySelector
+from repro.diffusion.doam import DOAMModel
+from repro.rng import RngStream
+
+
+class TestCelfMatchesGreedy:
+    def test_same_output_as_exhaustive_greedy_opoao(self, fig2_context):
+        greedy = GreedySelector(runs=15, rng=RngStream(8))
+        celf = CELFGreedySelector(runs=15, rng=RngStream(8))
+        assert greedy.select(fig2_context, budget=3) == celf.select(
+            fig2_context, budget=3
+        )
+
+    def test_same_output_under_doam(self, fig2_context):
+        greedy = GreedySelector(model=DOAMModel(), runs=1, rng=RngStream(9))
+        celf = CELFGreedySelector(model=DOAMModel(), runs=1, rng=RngStream(9))
+        assert greedy.select(fig2_context, budget=2) == celf.select(
+            fig2_context, budget=2
+        )
+
+    def test_fewer_evaluations_than_exhaustive(self, fig2_context):
+        greedy = GreedySelector(model=DOAMModel(), runs=1, rng=RngStream(10))
+        celf = CELFGreedySelector(model=DOAMModel(), runs=1, rng=RngStream(10))
+        g_picks = greedy.select(fig2_context, budget=3)
+        c_picks = celf.select(fig2_context, budget=3)
+        assert g_picks == c_picks
+        assert celf.last_evaluations < greedy.last_evaluations
+
+
+class TestCelfBehaviour:
+    def test_budget_zero(self, fig2_context):
+        celf = CELFGreedySelector(runs=5, rng=RngStream(11))
+        assert celf.select(fig2_context, budget=0) == []
+
+    def test_alpha_mode(self, fig2_context):
+        celf = CELFGreedySelector(alpha=0.6, runs=20, rng=RngStream(12))
+        picks = celf.select(fig2_context)
+        estimator = celf.make_estimator(fig2_context)
+        assert estimator.protected_fraction(picks) >= 0.6
+
+    def test_deterministic(self, fig2_context):
+        a = CELFGreedySelector(runs=10, rng=RngStream(13)).select(
+            fig2_context, budget=2
+        )
+        b = CELFGreedySelector(runs=10, rng=RngStream(13)).select(
+            fig2_context, budget=2
+        )
+        assert a == b
+
+    def test_no_duplicate_picks(self, fig2_context):
+        picks = CELFGreedySelector(runs=10, rng=RngStream(14)).select(
+            fig2_context, budget=4
+        )
+        assert len(picks) == len(set(picks))

@@ -1,0 +1,60 @@
+"""Unit tests for the DegreeDiscount selector."""
+
+import pytest
+
+from repro.algorithms.degree_discount import DegreeDiscountSelector
+from repro.algorithms.base import SelectionContext
+from repro.algorithms.heuristics import prefix_protects_all
+from repro.graph.digraph import DiGraph
+
+
+class TestDegreeDiscount:
+    def test_budget_and_eligibility(self, fig2_context):
+        picks = DegreeDiscountSelector().select(fig2_context, budget=3)
+        assert len(picks) == 3
+        assert not set(picks) & set(fig2_context.rumor_seeds)
+
+    def test_first_pick_is_max_degree(self, fig2_context):
+        graph = fig2_context.graph
+        (first,) = DegreeDiscountSelector().select(fig2_context, budget=1)
+        sym_degree = lambda n: len(
+            (set(graph.successors(n)) | set(graph.predecessors(n))) - {n}
+        )
+        best = sym_degree(first)
+        for node in graph.nodes():
+            if fig2_context.eligible(node):
+                assert sym_degree(node) <= best
+
+    def test_discount_spreads_picks_away_from_each_other(self):
+        # A hub with 5 leaves plus a disjoint hub with 4 leaves: after
+        # picking hub A, its leaves are discounted, so pick 2 is hub B —
+        # not one of A's leaves (which plain MaxDegree order could give
+        # under ties).
+        g = DiGraph()
+        for leaf in range(1, 6):
+            g.add_symmetric_edge("hubA", f"a{leaf}")
+        for leaf in range(1, 5):
+            g.add_symmetric_edge("hubB", f"b{leaf}")
+        g.add_edge("r", "a1")
+        g.add_edge("r2", "r")  # rumor community: {r, r2}
+        context = SelectionContext(g, ["r", "r2"], ["r"])
+        picks = DegreeDiscountSelector().select(context, budget=2)
+        assert picks[0] == "hubA"
+        assert picks[1] == "hubB"
+
+    def test_full_solution_protects_all(self, fig2_context):
+        solution = DegreeDiscountSelector().select(fig2_context)
+        assert prefix_protects_all(fig2_context, solution)
+
+    def test_probability_variant(self, fig2_context):
+        picks = DegreeDiscountSelector(probability=0.1).select(fig2_context, budget=3)
+        assert len(picks) == 3
+
+    def test_probability_validated(self):
+        with pytest.raises(Exception):
+            DegreeDiscountSelector(probability=2.0)
+
+    def test_deterministic(self, fig2_context):
+        a = DegreeDiscountSelector().select(fig2_context, budget=4)
+        b = DegreeDiscountSelector().select(fig2_context, budget=4)
+        assert a == b

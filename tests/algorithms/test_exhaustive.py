@@ -1,0 +1,58 @@
+"""Unit tests for the exact LCRB-D solver."""
+
+import pytest
+
+from repro.algorithms.exhaustive import (
+    exact_approximation_ratio,
+    optimal_protector_set,
+)
+from repro.algorithms.heuristics import prefix_protects_all
+from repro.errors import ValidationError
+
+
+class TestOptimalProtectorSet:
+    def test_fig2_optimum_is_two(self, fig2, fig2_context):
+        _, _, info = fig2
+        optimum = optimal_protector_set(fig2_context)
+        assert len(optimum) == info["optimal_size"]
+        assert prefix_protects_all(fig2_context, optimum)
+
+    def test_toy_optimum_is_one(self, toy_context):
+        optimum = optimal_protector_set(toy_context)
+        assert len(optimum) == 1
+
+    def test_no_bridge_ends_empty_optimum(self):
+        from repro.algorithms.base import SelectionContext
+        from repro.graph.digraph import DiGraph
+
+        g = DiGraph.from_edges([("r", "c"), ("c", "r")])
+        context = SelectionContext(g, ["r", "c"], ["r"])
+        assert optimal_protector_set(context) == []
+
+    def test_deterministic(self, fig2_context):
+        assert optimal_protector_set(fig2_context) == optimal_protector_set(
+            fig2_context
+        )
+
+    def test_explicit_candidates_respected(self, fig2_context):
+        optimum = optimal_protector_set(
+            fig2_context, candidates=["v1", "R1", "q1"], max_size=3
+        )
+        assert set(optimum) <= {"v1", "R1", "q1"}
+        assert prefix_protects_all(fig2_context, optimum)
+
+    def test_budget_guard(self, fig2_context, monkeypatch):
+        import repro.algorithms.exhaustive as exhaustive
+
+        monkeypatch.setattr(exhaustive, "_MAX_CHECKS", 2)
+        with pytest.raises(ValidationError, match="budget"):
+            optimal_protector_set(fig2_context, max_size=3)
+
+
+class TestApproximationRatio:
+    def test_ratio_at_least_one(self, fig2_context):
+        ratio = exact_approximation_ratio(fig2_context)
+        assert ratio >= 1.0
+
+    def test_fig2_scbg_is_optimal(self, fig2_context):
+        assert exact_approximation_ratio(fig2_context) == 1.0

@@ -1,0 +1,123 @@
+"""Unit tests for the Monte-Carlo greedy selector and σ estimator."""
+
+import pytest
+
+from repro.algorithms.base import SelectionContext
+from repro.algorithms.greedy import GreedySelector, SigmaEstimator, candidate_pool
+from repro.diffusion.doam import DOAMModel
+from repro.errors import SelectionError
+from repro.graph.digraph import DiGraph
+from repro.rng import RngStream
+
+
+class TestCandidatePool:
+    def test_bbst_pool_contains_known_savers(self, fig2_context):
+        pool = candidate_pool(fig2_context, "bbst")
+        assert "v1" in pool and "R1" in pool
+        assert not set(pool) & set(fig2_context.rumor_seeds)
+
+    def test_all_pool_is_every_eligible_node(self, fig2_context):
+        pool = candidate_pool(fig2_context, "all")
+        expected = {
+            node
+            for node in fig2_context.graph.nodes()
+            if node not in fig2_context.rumor_seeds
+        }
+        assert set(pool) == expected
+
+    def test_unknown_pool_rejected(self, fig2_context):
+        with pytest.raises(SelectionError):
+            candidate_pool(fig2_context, "everything")
+
+
+class TestSigmaEstimator:
+    def make(self, context, runs=20):
+        return SigmaEstimator(context, runs=runs, rng=RngStream(11))
+
+    def test_sigma_empty_set_is_zero(self, fig2_context):
+        estimator = self.make(fig2_context)
+        assert estimator.sigma([]) == 0.0
+
+    def test_sigma_nonnegative_and_bounded(self, fig2_context):
+        estimator = self.make(fig2_context)
+        value = estimator.sigma(["v1"])
+        assert 0.0 <= value <= len(fig2_context.bridge_ends)
+
+    def test_sigma_monotone_on_supersets(self, fig2_context):
+        estimator = self.make(fig2_context, runs=40)
+        small = estimator.sigma(["v1"])
+        large = estimator.sigma(["v1", "R1"])
+        assert large >= small
+
+    def test_deterministic_function_of_set(self, fig2_context):
+        estimator = self.make(fig2_context)
+        assert estimator.sigma(["v1"]) == estimator.sigma(["v1"])
+
+    def test_protector_overlapping_rumor_rejected(self, fig2_context):
+        estimator = self.make(fig2_context)
+        with pytest.raises(SelectionError):
+            estimator.sigma(["r1"])
+
+    def test_protected_fraction_increases_with_protectors(self, fig2_context):
+        estimator = self.make(fig2_context, runs=40)
+        base = estimator.protected_fraction([])
+        protected = estimator.protected_fraction(["v1", "R1"])
+        assert protected >= base
+
+    def test_doam_sigma_exact(self, fig2_context):
+        # Under deterministic DOAM the estimator needs no averaging: v1
+        # saves exactly p1 and p2.
+        estimator = SigmaEstimator(
+            fig2_context, model=DOAMModel(), runs=1, rng=RngStream(1)
+        )
+        assert estimator.sigma(["v1"]) == 2.0
+        assert estimator.sigma(["v1", "R1"]) == 3.0
+
+    def test_submodularity_spot_check_doam(self, fig2_context):
+        # σ(X ∪ {v}) - σ(X) >= σ(Y ∪ {v}) - σ(Y) for X ⊆ Y (DOAM: exact).
+        estimator = SigmaEstimator(
+            fig2_context, model=DOAMModel(), runs=1, rng=RngStream(1)
+        )
+        x_gain = estimator.sigma(["v1"]) - estimator.sigma([])
+        y_gain = estimator.sigma(["p1", "v1"]) - estimator.sigma(["p1"])
+        assert x_gain >= y_gain
+
+
+class TestGreedySelector:
+    def test_budget_mode_returns_exact_count(self, fig2_context):
+        selector = GreedySelector(runs=10, rng=RngStream(2))
+        picks = selector.select(fig2_context, budget=2)
+        assert len(picks) == 2
+        assert len(set(picks)) == 2
+
+    def test_budget_zero(self, fig2_context):
+        selector = GreedySelector(runs=5, rng=RngStream(2))
+        assert selector.select(fig2_context, budget=0) == []
+
+    def test_alpha_mode_reaches_target(self, fig2_context):
+        selector = GreedySelector(alpha=0.6, runs=20, rng=RngStream(3))
+        picks = selector.select(fig2_context)
+        estimator = selector.make_estimator(fig2_context)
+        assert estimator.protected_fraction(picks) >= 0.6
+
+    def test_deterministic_given_stream(self, fig2_context):
+        a = GreedySelector(runs=10, rng=RngStream(4)).select(fig2_context, budget=2)
+        b = GreedySelector(runs=10, rng=RngStream(4)).select(fig2_context, budget=2)
+        assert a == b
+
+    def test_doam_greedy_finds_optimal_cover_value(self, fig2_context):
+        # With DOAM σ is exact; two greedy picks must save all 3 ends.
+        selector = GreedySelector(model=DOAMModel(), runs=1, rng=RngStream(5))
+        picks = selector.select(fig2_context, budget=2)
+        estimator = selector.make_estimator(fig2_context)
+        assert estimator.sigma(picks) == 3.0
+
+    def test_max_candidates_cap(self, fig2_context):
+        selector = GreedySelector(runs=5, max_candidates=3, rng=RngStream(6))
+        assert len(selector.candidates(fig2_context)) == 3
+
+    def test_empty_bridge_ends_returns_empty(self):
+        g = DiGraph.from_edges([("r", "c"), ("c", "r")])
+        context = SelectionContext(g, ["r", "c"], ["r"])
+        selector = GreedySelector(runs=5, rng=RngStream(7))
+        assert selector.select(context, budget=3) == []

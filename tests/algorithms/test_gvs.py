@@ -1,0 +1,74 @@
+"""Unit tests for the Greedy Viral Stopper comparator."""
+
+import pytest
+
+from repro.algorithms.gvs import GreedyViralStopper, InfectionEstimator
+from repro.diffusion.opoao import OPOAOModel
+from repro.errors import SelectionError
+from repro.rng import RngStream
+
+
+class TestInfectionEstimator:
+    def test_doam_baseline_exact(self, fig2_context):
+        estimator = InfectionEstimator(fig2_context, rng=RngStream(1))
+        baseline = estimator.expected_infections([])
+        # DOAM from {r1, r2} floods the whole 14-node graph except v1
+        # (nothing points to it; R1 is reached via p3 -> s1 -> s2 -> R1).
+        assert baseline == 13.0
+
+    def test_protectors_reduce_infections(self, fig2_context):
+        estimator = InfectionEstimator(fig2_context, rng=RngStream(2))
+        assert estimator.expected_infections(["v1", "R1"]) < (
+            estimator.expected_infections([])
+        )
+
+    def test_deterministic_for_stochastic_model(self, fig2_context):
+        estimator = InfectionEstimator(
+            fig2_context, model=OPOAOModel(), runs=10, rng=RngStream(3)
+        )
+        a = estimator.expected_infections(["v1"])
+        b = estimator.expected_infections(["v1"])
+        assert a == b
+
+    def test_rumor_overlap_rejected(self, fig2_context):
+        estimator = InfectionEstimator(fig2_context, rng=RngStream(4))
+        with pytest.raises(SelectionError):
+            estimator.expected_infections(["r1"])
+
+
+class TestGreedyViralStopper:
+    def test_budget_mode(self, fig2_context):
+        selector = GreedyViralStopper(runs=1, rng=RngStream(5))
+        picks = selector.select(fig2_context, budget=2)
+        assert len(picks) == 2
+        assert selector.last_evaluations > 0
+
+    def test_budget_zero(self, fig2_context):
+        assert GreedyViralStopper(rng=RngStream(6)).select(fig2_context, budget=0) == []
+
+    def test_beta_mode_reaches_target(self, fig2_context):
+        selector = GreedyViralStopper(beta=0.7, runs=1, rng=RngStream(7))
+        picks = selector.select(fig2_context)
+        estimator = InfectionEstimator(fig2_context, rng=RngStream(7))
+        baseline = estimator.expected_infections([])
+        assert estimator.expected_infections(picks) <= 0.7 * baseline
+
+    def test_picks_reduce_infections_monotonically(self, fig2_context):
+        selector = GreedyViralStopper(runs=1, rng=RngStream(8))
+        picks = selector.select(fig2_context, budget=3)
+        estimator = InfectionEstimator(fig2_context, rng=RngStream(8))
+        values = [
+            estimator.expected_infections(picks[:k]) for k in range(len(picks) + 1)
+        ]
+        assert all(b <= a for a, b in zip(values, values[1:]))
+
+    def test_objective_differs_from_bridge_end_greedy(self, fig2_context):
+        # GVS optimises total infections; its first pick blocks the rumor
+        # community flood, which a bridge-end objective has no reason to do.
+        selector = GreedyViralStopper(runs=1, rng=RngStream(9))
+        (first,) = selector.select(fig2_context, budget=1)
+        estimator = InfectionEstimator(fig2_context, rng=RngStream(9))
+        gain = estimator.expected_infections([]) - estimator.expected_infections(
+            [first]
+        )
+        assert gain >= 3  # must save more than the 3 bridge ends alone

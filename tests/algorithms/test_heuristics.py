@@ -1,0 +1,156 @@
+"""Unit tests for the MaxDegree / Proximity / Random heuristics."""
+
+import pytest
+
+from repro.algorithms.base import SelectionContext
+from repro.algorithms.heuristics import (
+    MaxDegreeSelector,
+    ProximitySelector,
+    RandomSelector,
+    minimal_covering_prefix,
+    prefix_protects_all,
+)
+from repro.errors import CoverageError, SelectionError, ValidationError
+from repro.graph.digraph import DiGraph
+from repro.rng import RngStream
+
+
+class TestMaxDegree:
+    def test_ranks_by_out_degree(self, fig2_context):
+        picks = MaxDegreeSelector().select(fig2_context, budget=1)
+        graph = fig2_context.graph
+        best = picks[0]
+        best_degree = graph.out_degree(best)
+        for node in graph.nodes():
+            if fig2_context.eligible(node):
+                assert graph.out_degree(node) <= best_degree
+
+    def test_budget_respected(self, fig2_context):
+        assert len(MaxDegreeSelector().select(fig2_context, budget=3)) == 3
+
+    def test_rumor_seeds_excluded(self, fig2_context):
+        picks = MaxDegreeSelector().select(fig2_context, budget=100)
+        assert not set(picks) & set(fig2_context.rumor_seeds)
+
+    def test_direction_variants(self, fig2_context):
+        for direction in ("out", "in", "total"):
+            picks = MaxDegreeSelector(direction=direction).select(
+                fig2_context, budget=2
+            )
+            assert len(picks) == 2
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(SelectionError):
+            MaxDegreeSelector(direction="up")
+
+    def test_negative_budget_rejected(self, fig2_context):
+        with pytest.raises(ValidationError):
+            MaxDegreeSelector().select(fig2_context, budget=-1)
+
+    def test_full_solution_protects_all(self, fig2_context):
+        solution = MaxDegreeSelector().select(fig2_context)
+        assert prefix_protects_all(fig2_context, solution)
+
+    def test_full_solution_is_minimal_prefix(self, fig2_context):
+        solution = MaxDegreeSelector().select(fig2_context)
+        if len(solution) > 1:
+            assert not prefix_protects_all(fig2_context, solution[:-1])
+
+
+class TestProximity:
+    def test_budget_draws_from_first_ring_first(self, fig2_context):
+        graph = fig2_context.graph
+        first_ring = set()
+        for seed in fig2_context.rumor_seeds:
+            first_ring |= set(graph.successors(seed))
+        first_ring -= set(fig2_context.rumor_seeds)
+        picks = ProximitySelector(rng=RngStream(1)).select(
+            fig2_context, budget=len(first_ring)
+        )
+        assert set(picks) <= first_ring
+
+    def test_pool_extends_beyond_first_ring(self, fig2_context):
+        picks = ProximitySelector(rng=RngStream(1)).select(fig2_context, budget=8)
+        assert len(picks) == 8  # first ring has only 2 nodes (a1, a3)
+
+    def test_randomised_but_reproducible(self, fig2_context):
+        a = ProximitySelector(rng=RngStream(3)).select(fig2_context, budget=4)
+        b = ProximitySelector(rng=RngStream(3)).select(fig2_context, budget=4)
+        assert a == b
+
+    def test_full_solution_protects_all(self, fig2_context):
+        solution = ProximitySelector(rng=RngStream(2)).select(fig2_context)
+        assert prefix_protects_all(fig2_context, solution)
+
+
+class TestRandom:
+    def test_budget_and_eligibility(self, fig2_context):
+        picks = RandomSelector(rng=RngStream(4)).select(fig2_context, budget=5)
+        assert len(picks) == 5
+        assert not set(picks) & set(fig2_context.rumor_seeds)
+
+    def test_full_solution_protects_all(self, fig2_context):
+        solution = RandomSelector(rng=RngStream(5)).select(fig2_context)
+        assert prefix_protects_all(fig2_context, solution)
+
+
+class TestKCore:
+    def test_budget_and_eligibility(self, fig2_context):
+        from repro.algorithms.heuristics import KCoreSelector
+
+        picks = KCoreSelector().select(fig2_context, budget=4)
+        assert len(picks) == 4
+        assert not set(picks) & set(fig2_context.rumor_seeds)
+
+    def test_full_solution_protects_all(self, fig2_context):
+        from repro.algorithms.heuristics import KCoreSelector
+
+        solution = KCoreSelector().select(fig2_context)
+        assert prefix_protects_all(fig2_context, solution)
+
+    def test_ranks_by_core_number(self, fig2_context):
+        from repro.algorithms.heuristics import KCoreSelector
+        from repro.graph.kcore import core_numbers
+
+        picks = KCoreSelector().select(fig2_context, budget=1)
+        cores = core_numbers(fig2_context.graph)
+        best = cores[picks[0]]
+        for node in fig2_context.graph.nodes():
+            if fig2_context.eligible(node):
+                assert cores[node] <= best
+
+    def test_deterministic(self, fig2_context):
+        from repro.algorithms.heuristics import KCoreSelector
+
+        assert KCoreSelector().select(fig2_context, budget=3) == KCoreSelector().select(
+            fig2_context, budget=3
+        )
+
+
+class TestCoveringPrefix:
+    def test_empty_bridge_ends_need_nothing(self):
+        g = DiGraph.from_edges([("r", "c"), ("c", "r")])
+        context = SelectionContext(g, ["r", "c"], ["r"])
+        assert context.bridge_ends == frozenset()
+        assert minimal_covering_prefix(context, ["c"]) == []
+
+    def test_infeasible_candidates_raise(self, fig2_context):
+        # q2 alone cannot protect the bridge ends.
+        with pytest.raises(CoverageError):
+            minimal_covering_prefix(fig2_context, ["q2"])
+
+    def test_prefix_is_minimal(self, fig2_context):
+        # Candidates ordered bad-first: the minimal prefix must still end
+        # at the earliest feasible cut.
+        candidates = ["q2", "v1", "R1", "s1"]
+        prefix = minimal_covering_prefix(fig2_context, candidates)
+        assert prefix == ["q2", "v1", "R1"]
+
+    def test_monotonicity_assumption_holds_here(self, fig2_context):
+        # Feasibility as a function of prefix length is a step function.
+        candidates = ["q2", "v1", "R1", "s1"]
+        feasible = [
+            prefix_protects_all(fig2_context, candidates[:k])
+            for k in range(len(candidates) + 1)
+        ]
+        assert feasible == sorted(feasible)  # False... then True...

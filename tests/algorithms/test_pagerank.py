@@ -1,0 +1,56 @@
+"""Unit tests for PageRank and the PageRank selector."""
+
+import pytest
+
+from repro.algorithms.pagerank import PageRankSelector, pagerank
+from repro.graph.digraph import DiGraph
+
+
+class TestPageRank:
+    def test_scores_sum_to_one(self, diamond):
+        scores = pagerank(diamond)
+        assert sum(scores.values()) == pytest.approx(1.0)
+
+    def test_empty_graph(self):
+        assert pagerank(DiGraph()) == {}
+
+    def test_sink_receives_most_mass_in_funnel(self, diamond):
+        scores = pagerank(diamond)
+        assert scores["t"] == max(scores.values())
+
+    def test_symmetric_cycle_uniform(self, cycle):
+        scores = pagerank(cycle)
+        values = list(scores.values())
+        assert max(values) - min(values) < 1e-9
+
+    def test_dangling_mass_redistributed(self):
+        g = DiGraph.from_edges([(0, 1)])  # node 1 dangles
+        scores = pagerank(g)
+        assert sum(scores.values()) == pytest.approx(1.0)
+        assert scores[1] > scores[0]
+
+    def test_damping_zero_is_uniform(self, diamond):
+        scores = pagerank(diamond, damping=0.0)
+        assert all(v == pytest.approx(0.25) for v in scores.values())
+
+    def test_validation(self, diamond):
+        with pytest.raises(Exception):
+            pagerank(diamond, damping=2.0)
+
+
+class TestPageRankSelector:
+    def test_budget_and_eligibility(self, fig2_context):
+        picks = PageRankSelector().select(fig2_context, budget=3)
+        assert len(picks) == 3
+        assert not set(picks) & set(fig2_context.rumor_seeds)
+
+    def test_full_solution_protects_all(self, fig2_context):
+        from repro.algorithms.heuristics import prefix_protects_all
+
+        solution = PageRankSelector().select(fig2_context)
+        assert prefix_protects_all(fig2_context, solution)
+
+    def test_deterministic(self, fig2_context):
+        assert PageRankSelector().select(fig2_context, budget=2) == PageRankSelector().select(
+            fig2_context, budget=2
+        )

@@ -1,0 +1,59 @@
+"""Unit tests for the SCBG algorithm (Algorithm 3)."""
+
+import pytest
+
+from repro.algorithms.heuristics import prefix_protects_all
+from repro.algorithms.scbg import SCBGSelector
+from repro.errors import SelectionError
+
+
+class TestScbgOnFig2:
+    def test_cover_protects_all_bridge_ends(self, fig2_context):
+        cover = SCBGSelector().select(fig2_context)
+        assert prefix_protects_all(fig2_context, cover)
+
+    def test_cover_is_minimum_size(self, fig2, fig2_context):
+        _, _, info = fig2
+        cover = SCBGSelector().select(fig2_context)
+        assert len(cover) == info["optimal_size"]
+
+    def test_cover_excludes_rumor_seeds(self, fig2_context):
+        cover = SCBGSelector().select(fig2_context)
+        assert not set(cover) & set(fig2_context.rumor_seeds)
+
+    def test_budget_truncates(self, fig2_context):
+        cover = SCBGSelector().select(fig2_context, budget=1)
+        assert len(cover) == 1
+
+    def test_deterministic(self, fig2_context):
+        assert SCBGSelector().select(fig2_context) == SCBGSelector().select(
+            fig2_context
+        )
+
+    def test_exact_coverage_variant(self, fig2_context):
+        cover = SCBGSelector(coverage="exact").select(fig2_context)
+        assert prefix_protects_all(fig2_context, cover)
+
+    def test_bad_coverage_mode_rejected(self):
+        with pytest.raises(SelectionError):
+            SCBGSelector(coverage="magic")
+
+
+class TestScbgOnToy:
+    def test_single_bridge_end_single_protector(self, toy_context):
+        cover = SCBGSelector().select(toy_context)
+        assert len(cover) == 1
+        assert prefix_protects_all(toy_context, cover)
+
+    def test_empty_bridge_ends(self):
+        from repro.algorithms.base import SelectionContext
+        from repro.graph.digraph import DiGraph
+
+        g = DiGraph.from_edges([("r", "c"), ("c", "r")])
+        context = SelectionContext(g, ["r", "c"], ["r"])
+        assert SCBGSelector().select(context) == []
+
+    def test_coverage_map_exposed(self, toy_context):
+        coverage = SCBGSelector().coverage_map(toy_context)
+        assert coverage["d"] == frozenset({"b"})
+        assert coverage["b"] == frozenset({"b"})

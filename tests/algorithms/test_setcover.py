@@ -1,0 +1,75 @@
+"""Unit tests for greedy set cover (Definition 4 / Algorithm 2)."""
+
+import pytest
+
+from repro.algorithms.setcover import cover_deficit, greedy_set_cover
+from repro.errors import CoverageError
+
+
+class TestGreedySetCover:
+    def test_empty_universe_needs_nothing(self):
+        assert greedy_set_cover([], {"a": frozenset({1})}) == []
+
+    def test_single_covering_set(self):
+        cover = greedy_set_cover([1, 2], {"a": frozenset({1, 2})})
+        assert cover == ["a"]
+
+    def test_greedy_picks_largest_first(self):
+        sets = {
+            "small": frozenset({1}),
+            "big": frozenset({1, 2, 3}),
+            "rest": frozenset({4}),
+        }
+        cover = greedy_set_cover([1, 2, 3, 4], sets)
+        assert cover == ["big", "rest"]
+
+    def test_result_is_feasible(self):
+        sets = {
+            "a": frozenset({1, 2}),
+            "b": frozenset({2, 3}),
+            "c": frozenset({3, 4}),
+            "d": frozenset({4, 1}),
+        }
+        universe = [1, 2, 3, 4]
+        cover = greedy_set_cover(universe, sets)
+        covered = frozenset().union(*(sets[k] for k in cover))
+        assert set(universe) <= covered
+
+    def test_infeasible_raises_with_residue(self):
+        with pytest.raises(CoverageError) as excinfo:
+            greedy_set_cover([1, 2, 3], {"a": frozenset({1})})
+        assert excinfo.value.uncovered == frozenset({2, 3})
+
+    def test_tie_breaks_by_insertion_order(self):
+        sets = {"first": frozenset({1}), "second": frozenset({1})}
+        assert greedy_set_cover([1], sets) == ["first"]
+
+    def test_classic_greedy_suboptimality_bounded(self):
+        # The classic H_n example: greedy may pick the big set plus extras,
+        # but never more than H_n times optimal.
+        sets = {
+            "opt1": frozenset({1, 2, 3, 4}),
+            "opt2": frozenset({5, 6, 7, 8}),
+            "trap": frozenset({4, 5, 6, 7}),
+        }
+        cover = greedy_set_cover(range(1, 9), sets)
+        assert len(cover) <= 3  # optimal is 2; greedy stays within lnN factor
+
+    def test_elements_outside_universe_ignored(self):
+        sets = {"a": frozenset({1, 99})}
+        assert greedy_set_cover([1], sets) == ["a"]
+
+    def test_irrelevant_sets_never_chosen(self):
+        sets = {
+            "useless": frozenset({99}),
+            "useful": frozenset({1}),
+        }
+        assert greedy_set_cover([1], sets) == ["useful"]
+
+
+class TestCoverDeficit:
+    def test_empty_when_feasible(self):
+        assert cover_deficit([1], {"a": frozenset({1})}) == frozenset()
+
+    def test_reports_missing(self):
+        assert cover_deficit([1, 2], {"a": frozenset({1})}) == frozenset({2})

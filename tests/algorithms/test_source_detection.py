@@ -1,0 +1,118 @@
+"""Unit tests for rumor-source detection."""
+
+import pytest
+
+from repro.algorithms.source_detection import (
+    distance_center,
+    estimate_sources,
+    jordan_center,
+    rumor_centrality,
+)
+from repro.diffusion.base import INFECTED, SeedSets
+from repro.diffusion.doam import DOAMModel
+from repro.errors import SelectionError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import planted_partition
+from repro.rng import RngStream
+
+
+def star_snapshot():
+    """Star with infected center + leaves: the center is the clear source."""
+    g = DiGraph()
+    for leaf in range(1, 7):
+        g.add_symmetric_edge(0, leaf)
+    infected = list(range(7))
+    return g, infected
+
+
+def path_snapshot():
+    """Infected path 0-1-2-3-4: node 2 is the unique center."""
+    g = DiGraph()
+    for i in range(4):
+        g.add_symmetric_edge(i, i + 1)
+    return g, [0, 1, 2, 3, 4]
+
+
+class TestCenters:
+    def test_star_center_found_by_all_methods(self):
+        g, infected = star_snapshot()
+        assert jordan_center(g, infected)[0][0] == 0
+        assert distance_center(g, infected)[0][0] == 0
+        assert rumor_centrality(g, infected)[0][0] == 0
+
+    def test_path_center(self):
+        g, infected = path_snapshot()
+        assert jordan_center(g, infected)[0][0] == 2
+        assert distance_center(g, infected)[0][0] == 2
+        assert rumor_centrality(g, infected)[0][0] == 2
+
+    def test_scores_cover_all_infected(self):
+        g, infected = path_snapshot()
+        for method in (jordan_center, distance_center, rumor_centrality):
+            ranked = method(g, infected)
+            assert {node for node, _ in ranked} == set(infected)
+
+    def test_single_infected_node(self):
+        g, _ = star_snapshot()
+        assert estimate_sources(g, [3]) == [3]
+
+    def test_disconnected_snapshot_penalised(self):
+        g = DiGraph()
+        g.add_symmetric_edge(0, 1)
+        g.add_symmetric_edge(2, 3)
+        g.add_symmetric_edge(1, 2)
+        # Infected snapshot missing the connector 1-2 bridge node 1.
+        ranked = jordan_center(g, [0, 2, 3])
+        # 0 is isolated within the snapshot; it must rank last.
+        assert ranked[-1][0] == 0
+
+
+class TestValidation:
+    def test_empty_infected_rejected(self):
+        g, _ = star_snapshot()
+        with pytest.raises(SelectionError):
+            jordan_center(g, [])
+
+    def test_unknown_node_rejected(self):
+        g, _ = star_snapshot()
+        with pytest.raises(SelectionError):
+            jordan_center(g, ["ghost"])
+
+    def test_unknown_method_rejected(self):
+        g, infected = star_snapshot()
+        with pytest.raises(SelectionError):
+            estimate_sources(g, infected, method="oracle")
+
+    def test_bad_k_rejected(self):
+        g, infected = star_snapshot()
+        with pytest.raises(SelectionError):
+            estimate_sources(g, infected, k=0)
+
+
+class TestEndToEnd:
+    def test_recovers_doam_source_neighborhood(self):
+        # Spread a DOAM rumor from a hidden source, then locate it from
+        # the snapshot: the estimate should be at most 2 hops away.
+        graph, _ = planted_partition([30], 0.25, 0.0, RngStream(44), directed=False)
+        indexed = graph.to_indexed()
+        true_source = 7
+        outcome = DOAMModel().run(
+            indexed, SeedSets(rumors=[true_source]), max_hops=3
+        )
+        infected = [
+            indexed.labels[i]
+            for i, state in enumerate(outcome.states)
+            if state == INFECTED
+        ]
+        for method in ("jordan", "distance", "rumor"):
+            (estimate,) = estimate_sources(graph, infected, method=method)
+            from repro.graph.traversal import shortest_hop_distance
+
+            hops = shortest_hop_distance(graph, estimate, true_source)
+            assert hops is not None and hops <= 2
+
+    def test_k_candidates(self):
+        g, infected = path_snapshot()
+        top = estimate_sources(g, infected, method="distance", k=3)
+        assert len(top) == 3
+        assert top[0] == 2

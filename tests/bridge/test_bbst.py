@@ -1,0 +1,94 @@
+"""Unit tests for Bridge-end Backward Search Trees."""
+
+import pytest
+
+from repro.bridge.bbst import build_all_bbsts, build_bbst
+from repro.errors import NodeNotFoundError, SeedError
+from repro.graph.digraph import DiGraph
+
+
+class TestBuildBbst:
+    def test_toy_tree_contents(self, toy):
+        graph, _, info = toy
+        tree = build_bbst(graph, "b", rumor_arrival=2)
+        # Depth-2 backward tree: b (0); c1, d (1); r, e (2).
+        assert tree.distance_to_end == {"b": 0, "c1": 1, "d": 1, "r": 2, "e": 2}
+
+    def test_candidates_exclude_rumor_seeds(self, toy):
+        graph, _, info = toy
+        tree = build_bbst(graph, "b", rumor_arrival=2)
+        assert tree.candidates(info["rumor_seeds"]) == info["protector_candidates"]
+
+    def test_depth_zero_tree_is_just_the_root(self, toy):
+        graph, _, _ = toy
+        tree = build_bbst(graph, "b", rumor_arrival=0)
+        assert tree.distance_to_end == {"b": 0}
+
+    def test_negative_arrival_rejected(self, toy):
+        graph, _, _ = toy
+        with pytest.raises(SeedError):
+            build_bbst(graph, "b", rumor_arrival=-1)
+
+    def test_missing_bridge_end_rejected(self, toy):
+        graph, _, _ = toy
+        with pytest.raises(NodeNotFoundError):
+            build_bbst(graph, "ghost", rumor_arrival=2)
+
+    def test_len_and_contains(self, toy):
+        graph, _, _ = toy
+        tree = build_bbst(graph, "b", rumor_arrival=1)
+        assert len(tree) == 3
+        assert "d" in tree and "r" not in tree
+
+
+class TestBuildAllBbsts:
+    def test_one_tree_per_bridge_end(self, fig2):
+        graph, communities, info = fig2
+        trees = build_all_bbsts(
+            graph, sorted(info["bridge_ends"]), info["rumor_seeds"]
+        )
+        assert {t.bridge_end for t in trees} == set(info["bridge_ends"])
+
+    def test_depths_match_rumor_arrival(self, fig2):
+        graph, communities, info = fig2
+        trees = {
+            t.bridge_end: t
+            for t in build_all_bbsts(
+                graph, sorted(info["bridge_ends"]), info["rumor_seeds"]
+            )
+        }
+        assert trees["p1"].rumor_arrival == 2  # r1 -> a1 -> p1
+        assert trees["p2"].rumor_arrival == 3  # r1 -> a1 -> a2 -> p2
+        assert trees["p3"].rumor_arrival == 2  # r2 -> a3 -> p3
+
+    def test_precomputed_arrival_accepted(self, fig2):
+        graph, communities, info = fig2
+        from repro.graph.traversal import multi_source_distances
+
+        arrival = multi_source_distances(graph, info["rumor_seeds"])
+        trees = build_all_bbsts(
+            graph, sorted(info["bridge_ends"]), info["rumor_seeds"], arrival
+        )
+        assert len(trees) == 3
+
+    def test_unreachable_bridge_end_rejected(self):
+        g = DiGraph.from_edges([("r", "b")], nodes=["island"])
+        with pytest.raises(SeedError, match="not reachable"):
+            build_all_bbsts(g, ["island"], ["r"])
+
+    def test_empty_seeds_rejected(self, toy):
+        graph, _, _ = toy
+        with pytest.raises(SeedError):
+            build_all_bbsts(graph, ["b"], [])
+
+    def test_fig2_v1_in_both_c1_trees(self, fig2):
+        graph, communities, info = fig2
+        trees = {
+            t.bridge_end: t
+            for t in build_all_bbsts(
+                graph, sorted(info["bridge_ends"]), info["rumor_seeds"]
+            )
+        }
+        assert "v1" in trees["p1"] and "v1" in trees["p2"]
+        assert "v1" not in trees["p3"]
+        assert "R1" in trees["p3"]

@@ -1,0 +1,93 @@
+"""Unit tests for coverage maps (SW_u) and the blocking-aware variant."""
+
+import pytest
+
+from repro.bridge.bbst import build_all_bbsts
+from repro.bridge.coverage import blocking_aware_coverage, coverage_map_from_bbsts
+from repro.graph.digraph import DiGraph
+
+
+def fig2_coverage(fig2):
+    graph, communities, info = fig2
+    trees = build_all_bbsts(graph, sorted(info["bridge_ends"]), info["rumor_seeds"])
+    return coverage_map_from_bbsts(trees, info["rumor_seeds"]), info
+
+
+class TestCoverageMap:
+    def test_every_bridge_end_covers_itself(self, fig2):
+        coverage, info = fig2_coverage(fig2)
+        for end in info["bridge_ends"]:
+            assert end in coverage
+            assert end in coverage[end]
+
+    def test_v1_covers_both_c1_ends(self, fig2):
+        coverage, _ = fig2_coverage(fig2)
+        assert coverage["v1"] == frozenset({"p1", "p2"})
+
+    def test_r1_covers_p3_only(self, fig2):
+        coverage, _ = fig2_coverage(fig2)
+        assert coverage["R1"] == frozenset({"p3"})
+
+    def test_rumor_seeds_not_candidates(self, fig2):
+        coverage, info = fig2_coverage(fig2)
+        for seed in info["rumor_seeds"]:
+            assert seed not in coverage
+
+    def test_union_covers_all_ends(self, fig2):
+        coverage, info = fig2_coverage(fig2)
+        union = frozenset().union(*coverage.values())
+        assert union == info["bridge_ends"]
+
+
+class TestBlockingAwareCoverage:
+    def test_agrees_on_fig2(self, fig2):
+        graph, communities, info = fig2
+        bbst_cover, _ = fig2_coverage(fig2)
+        exact = blocking_aware_coverage(
+            graph,
+            info["rumor_seeds"],
+            sorted(bbst_cover),
+            sorted(info["bridge_ends"]),
+        )
+        # The BBST criterion is sound (SW_u ⊆ exact saved set); on this
+        # instance no candidate earns a rumor-delay bonus either, so the
+        # two coverages coincide exactly.
+        for candidate, ends in exact.items():
+            assert ends == bbst_cover[candidate]
+
+    def test_tie_at_intermediate_saved_by_priority(self):
+        # u's front and the rumor reach x simultaneously (step 2); P wins
+        # the tie, so u's cascade flows on through x and saves b.
+        g = DiGraph.from_edges(
+            [
+                ("r", "m"),
+                ("m", "x"),
+                ("x", "b"),  # t_R(b) = 3 via r -> m -> x -> b
+                ("u", "q"),
+                ("q", "x"),  # u -> q -> x -> b: also distance 3
+            ]
+        )
+        exact = blocking_aware_coverage(g, ["r"], ["u"], ["b"])
+        assert exact["u"] == frozenset({"b"})
+
+    def test_true_blocking_case(self):
+        # u's only route is through m; rumor owns m strictly earlier.
+        g = DiGraph.from_edges(
+            [
+                ("r", "m"),        # rumor at m: step 1
+                ("m", "b"),        # rumor at b: step 2
+                ("u", "q"),
+                ("q", "m"),        # u at m: step 2 (too late), so b falls
+            ]
+        )
+        exact = blocking_aware_coverage(g, ["r"], ["u", "q"], ["b"])
+        assert exact["u"] == frozenset()
+        # q reaches m at step 1 — a tie the protector wins — then b at 2,
+        # another P-priority tie: q does save b.
+        assert exact["q"] == frozenset({"b"})
+
+    def test_rumor_seed_candidates_skipped(self, toy):
+        graph, _, info = toy
+        exact = blocking_aware_coverage(graph, ["r"], ["r", "d"], ["b"])
+        assert "r" not in exact
+        assert "d" in exact

@@ -1,0 +1,54 @@
+"""Unit tests for the Girvan-Newman detector."""
+
+from repro.community.girvan_newman import girvan_newman
+from repro.community.louvain import louvain
+from repro.community.metrics import normalized_mutual_information
+from repro.graph.digraph import DiGraph
+from repro.rng import RngStream
+
+
+def two_cliques_bridged():
+    g = DiGraph()
+    for base in (0, 4):
+        for i in range(base, base + 4):
+            for j in range(i + 1, base + 4):
+                g.add_symmetric_edge(i, j)
+    g.add_symmetric_edge(0, 4)
+    return g
+
+
+class TestGirvanNewman:
+    def test_empty_graph(self):
+        assert girvan_newman(DiGraph()) == {}
+
+    def test_two_cliques_split(self):
+        g = two_cliques_bridged()
+        membership = girvan_newman(g)
+        left = {membership[i] for i in range(4)}
+        right = {membership[i] for i in range(4, 8)}
+        assert len(left) == 1 and len(right) == 1
+        assert left != right
+
+    def test_dense_ids(self):
+        g = two_cliques_bridged()
+        membership = girvan_newman(g)
+        ids = set(membership.values())
+        assert ids == set(range(len(ids)))
+
+    def test_max_communities_stops_early(self):
+        g = two_cliques_bridged()
+        membership = girvan_newman(g, max_communities=2)
+        assert len(set(membership.values())) >= 2
+
+    def test_agrees_with_louvain_on_clean_structure(self):
+        g = two_cliques_bridged()
+        gn = girvan_newman(g)
+        lv = louvain(g, rng=RngStream(3)).membership
+        assert normalized_mutual_information(gn, lv) == 1.0
+
+    def test_disconnected_components_separate(self):
+        g = DiGraph.from_edges([(0, 1), (1, 0), (2, 3), (3, 2)])
+        membership = girvan_newman(g)
+        assert membership[0] == membership[1]
+        assert membership[2] == membership[3]
+        assert membership[0] != membership[2]

@@ -1,0 +1,46 @@
+"""Unit tests for label propagation."""
+
+from repro.community.label_prop import label_propagation
+from repro.community.metrics import normalized_mutual_information
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import planted_partition
+from repro.rng import RngStream
+
+
+class TestLabelPropagation:
+    def test_empty_graph(self):
+        assert label_propagation(DiGraph()) == {}
+
+    def test_isolated_nodes_keep_own_labels(self):
+        g = DiGraph()
+        g.add_nodes([1, 2, 3])
+        membership = label_propagation(g)
+        assert len(set(membership.values())) == 3
+
+    def test_clique_converges_to_one_label(self):
+        g = DiGraph()
+        for i in range(5):
+            for j in range(i + 1, 5):
+                g.add_symmetric_edge(i, j)
+        membership = label_propagation(g, rng=RngStream(1))
+        assert len(set(membership.values())) == 1
+
+    def test_dense_ids(self):
+        g = DiGraph.from_edges([(0, 1), (1, 0), (2, 3), (3, 2)])
+        membership = label_propagation(g, rng=RngStream(2))
+        ids = set(membership.values())
+        assert ids == set(range(len(ids)))
+
+    def test_recovers_well_separated_blocks(self):
+        graph, truth = planted_partition(
+            [20, 20], 0.6, 0.005, RngStream(3), directed=False
+        )
+        membership = label_propagation(graph, rng=RngStream(4))
+        nmi = normalized_mutual_information(membership, truth)
+        assert nmi > 0.8
+
+    def test_deterministic_given_stream(self):
+        graph, _ = planted_partition([15, 15], 0.5, 0.02, RngStream(5))
+        a = label_propagation(graph, rng=RngStream(6))
+        b = label_propagation(graph, rng=RngStream(6))
+        assert a == b

@@ -1,0 +1,103 @@
+"""Unit tests for the from-scratch Louvain implementation."""
+
+import pytest
+
+from repro.community.louvain import louvain
+from repro.community.metrics import normalized_mutual_information
+from repro.community.modularity import modularity
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import planted_partition
+from repro.rng import RngStream
+
+
+def two_cliques_bridged() -> DiGraph:
+    g = DiGraph()
+    for base in (0, 5):
+        for i in range(base, base + 5):
+            for j in range(i + 1, base + 5):
+                g.add_symmetric_edge(i, j)
+    g.add_symmetric_edge(0, 5)
+    return g
+
+
+class TestLouvainBasics:
+    def test_empty_graph(self):
+        result = louvain(DiGraph())
+        assert result.membership == {}
+
+    def test_single_node(self):
+        g = DiGraph()
+        g.add_node("only")
+        result = louvain(g)
+        assert result.membership == {"only": 0}
+
+    def test_partition_is_valid_cover(self):
+        g = two_cliques_bridged()
+        result = louvain(g)
+        assert set(result.membership) == set(g.nodes())
+        ids = set(result.membership.values())
+        assert ids == set(range(len(ids)))  # dense 0-based
+
+    def test_two_cliques_found(self):
+        g = two_cliques_bridged()
+        result = louvain(g)
+        left = {result.membership[i] for i in range(5)}
+        right = {result.membership[i] for i in range(5, 10)}
+        assert len(left) == 1 and len(right) == 1
+        assert left != right
+
+    def test_deterministic_given_stream(self):
+        g = two_cliques_bridged()
+        a = louvain(g, rng=RngStream(9))
+        b = louvain(g, rng=RngStream(9))
+        assert a.membership == b.membership
+
+    def test_levels_history_recorded(self):
+        g = two_cliques_bridged()
+        result = louvain(g, rng=RngStream(10))
+        assert result.passes >= 1
+        # Each recorded level is a full cover of the node set.
+        for level in result.levels:
+            assert set(level) == set(g.nodes())
+        assert "communities=" in repr(result)
+
+    def test_levels_modularity_non_decreasing(self):
+        from repro.community.modularity import modularity
+
+        graph, _ = planted_partition([15, 15, 15], 0.4, 0.02, RngStream(11))
+        result = louvain(graph, rng=RngStream(12))
+        qualities = [modularity(graph, level) for level in result.levels]
+        qualities.append(modularity(graph, result.membership))
+        for earlier, later in zip(qualities, qualities[1:]):
+            assert later >= earlier - 1e-9
+
+
+class TestLouvainQuality:
+    def test_recovers_planted_partition(self):
+        graph, truth = planted_partition(
+            [25, 25, 25], 0.4, 0.01, RngStream(4), directed=True
+        )
+        result = louvain(graph, rng=RngStream(5))
+        nmi = normalized_mutual_information(result.membership, truth)
+        assert nmi > 0.9
+
+    def test_modularity_beats_singletons_and_whole(self):
+        graph, _ = planted_partition([20, 20], 0.5, 0.02, RngStream(6))
+        result = louvain(graph, rng=RngStream(7))
+        q_found = modularity(graph, result.membership)
+        q_single = modularity(graph, {n: 0 for n in graph.nodes()})
+        q_atoms = modularity(graph, {n: i for i, n in enumerate(graph.nodes())})
+        assert q_found > q_single
+        assert q_found > q_atoms
+
+    def test_resolution_validation(self):
+        g = two_cliques_bridged()
+        with pytest.raises(Exception):
+            louvain(g, resolution=0.0)
+
+    def test_disconnected_components_in_distinct_communities(self):
+        g = DiGraph.from_edges([(0, 1), (1, 0), (2, 3), (3, 2)])
+        result = louvain(g)
+        assert result.membership[0] == result.membership[1]
+        assert result.membership[2] == result.membership[3]
+        assert result.membership[0] != result.membership[2]

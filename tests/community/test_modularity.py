@@ -1,0 +1,78 @@
+"""Unit tests for modularity computation."""
+
+import pytest
+
+from repro.community.modularity import modularity, modularity_from_weights
+from repro.errors import CommunityError
+from repro.graph.digraph import DiGraph
+
+
+def two_cliques(bridge: bool = True) -> DiGraph:
+    """Two 4-cliques (symmetric edges), optionally bridged."""
+    g = DiGraph()
+    for base in (0, 4):
+        for i in range(base, base + 4):
+            for j in range(i + 1, base + 4):
+                g.add_symmetric_edge(i, j)
+    if bridge:
+        g.add_symmetric_edge(0, 4)
+    return g
+
+
+class TestModularity:
+    def test_good_partition_positive(self):
+        g = two_cliques()
+        membership = {i: 0 if i < 4 else 1 for i in range(8)}
+        assert modularity(g, membership) > 0.3
+
+    def test_all_one_community_is_zero(self):
+        g = two_cliques()
+        membership = {i: 0 for i in range(8)}
+        assert modularity(g, membership) == pytest.approx(0.0, abs=1e-12)
+
+    def test_good_beats_bad_partition(self):
+        g = two_cliques()
+        good = {i: 0 if i < 4 else 1 for i in range(8)}
+        bad = {i: i % 2 for i in range(8)}
+        assert modularity(g, good) > modularity(g, bad)
+
+    def test_empty_graph_zero(self):
+        assert modularity(DiGraph(), {}) == 0.0
+
+    def test_edgeless_graph_zero(self):
+        g = DiGraph()
+        g.add_nodes([1, 2])
+        assert modularity(g, {1: 0, 2: 1}) == 0.0
+
+    def test_missing_membership_raises(self):
+        g = DiGraph.from_edges([(1, 2)])
+        with pytest.raises(CommunityError):
+            modularity(g, {1: 0})
+
+    def test_bounded_above_by_one(self):
+        g = two_cliques(bridge=False)
+        membership = {i: 0 if i < 4 else 1 for i in range(8)}
+        assert modularity(g, membership) <= 1.0
+
+    def test_known_value_two_disconnected_cliques(self):
+        # Two equal disconnected cliques split correctly: Q = 1/2.
+        g = two_cliques(bridge=False)
+        membership = {i: 0 if i < 4 else 1 for i in range(8)}
+        assert modularity(g, membership) == pytest.approx(0.5)
+
+
+class TestFromWeights:
+    def test_self_loop_handling(self):
+        adjacency = {0: {0: 1.0, 1: 1.0}, 1: {0: 1.0}}
+        # One self loop at 0 plus symmetric edge 0-1; single community => 0.
+        assert modularity_from_weights(adjacency, {0: 0, 1: 0}) == pytest.approx(0.0)
+
+    def test_weight_scaling_invariance(self):
+        g = two_cliques()
+        membership = {i: 0 if i < 4 else 1 for i in range(8)}
+        base = modularity(g, membership)
+        scaled_adj = {
+            node: {nbr: 7.0 * w for nbr, w in nbrs.items()}
+            for node, nbrs in g.to_undirected_weights().items()
+        }
+        assert modularity_from_weights(scaled_adj, membership) == pytest.approx(base)

@@ -1,0 +1,104 @@
+"""Unit tests for CommunityStructure (paper Definition 1)."""
+
+import pytest
+
+from repro.community.structure import CommunityStructure
+from repro.errors import CommunityError, NodeNotFoundError
+from repro.graph.digraph import DiGraph
+
+
+@pytest.fixture
+def graph():
+    return DiGraph.from_edges(
+        [(0, 1), (1, 0), (1, 2), (2, 3), (3, 2), (3, 4), (4, 5), (5, 4)]
+    )
+
+
+@pytest.fixture
+def cover(graph):
+    return CommunityStructure(graph, {0: 0, 1: 0, 2: 1, 3: 1, 4: 2, 5: 2})
+
+
+class TestValidation:
+    def test_missing_node_rejected(self, graph):
+        with pytest.raises(CommunityError, match="lack a community"):
+            CommunityStructure(graph, {0: 0})
+
+    def test_extra_node_rejected(self, graph):
+        membership = {n: 0 for n in graph.nodes()}
+        membership["ghost"] = 1
+        with pytest.raises(CommunityError, match="not in graph"):
+            CommunityStructure(graph, membership)
+
+    def test_non_int_id_rejected(self, graph):
+        membership = {n: 0 for n in graph.nodes()}
+        membership[0] = "zero"
+        with pytest.raises(CommunityError, match="must be int"):
+            CommunityStructure(graph, membership)
+
+    def test_bool_id_rejected(self, graph):
+        membership = {n: 0 for n in graph.nodes()}
+        membership[0] = True
+        with pytest.raises(CommunityError):
+            CommunityStructure(graph, membership)
+
+    def test_from_blocks_overlap_rejected(self, graph):
+        with pytest.raises(CommunityError, match="two communities"):
+            CommunityStructure.from_blocks(graph, [[0, 1], [1, 2, 3, 4, 5]])
+
+
+class TestQueries:
+    def test_community_of(self, cover):
+        assert cover.community_of(0) == 0
+        assert cover.community_of(5) == 2
+
+    def test_community_of_missing_raises(self, cover):
+        with pytest.raises(NodeNotFoundError):
+            cover.community_of("ghost")
+
+    def test_members_and_size(self, cover):
+        assert cover.members(1) == frozenset({2, 3})
+        assert cover.size(1) == 2
+        assert cover.sizes() == {0: 2, 1: 2, 2: 2}
+
+    def test_unknown_community_raises(self, cover):
+        with pytest.raises(CommunityError):
+            cover.members(99)
+
+    def test_same_community(self, cover):
+        assert cover.same_community(0, 1)
+        assert not cover.same_community(1, 2)
+
+    def test_membership_copy_is_independent(self, cover):
+        membership = cover.membership()
+        membership[0] = 99
+        assert cover.community_of(0) == 0
+
+    def test_iter_blocks_ordered(self, cover):
+        ids = [cid for cid, _ in cover.iter_blocks()]
+        assert ids == [0, 1, 2]
+
+    def test_largest_communities(self, graph):
+        cover = CommunityStructure(graph, {0: 0, 1: 0, 2: 0, 3: 1, 4: 1, 5: 2})
+        assert cover.largest_communities(2) == [0, 1]
+
+
+class TestLcrbQueries:
+    def test_neighbor_communities(self, cover):
+        # Community 0 sends 1 -> 2 into community 1 only.
+        assert cover.neighbor_communities(0) == {1}
+        assert cover.neighbor_communities(1) == {2}
+        assert cover.neighbor_communities(2) == set()
+
+    def test_outgoing_boundary(self, cover):
+        assert cover.outgoing_boundary(0) == [(1, 2)]
+
+    def test_internal_edge_fraction(self, cover):
+        # Community 0 has edges 0->1, 1->0 internal and 1->2 external.
+        assert cover.internal_edge_fraction(0) == pytest.approx(2 / 3)
+
+    def test_internal_edge_fraction_edgeless(self):
+        g = DiGraph()
+        g.add_nodes([1, 2])
+        cover = CommunityStructure(g, {1: 0, 2: 1})
+        assert cover.internal_edge_fraction(0) == 0.0

@@ -1,0 +1,71 @@
+"""Unit tests for the dataset cache."""
+
+import json
+
+import pytest
+
+from repro.datasets.cache import cache_key, cached_load_dataset
+from repro.errors import DatasetError
+
+
+class TestCacheKey:
+    def test_stable(self):
+        assert cache_key("hep", 0.1, 13, "louvain") == cache_key(
+            "hep", 0.1, 13, "louvain"
+        )
+
+    def test_parameter_sensitivity(self):
+        base = cache_key("hep", 0.1, 13, "louvain")
+        assert cache_key("hep", 0.2, 13, "louvain") != base
+        assert cache_key("hep", 0.1, 14, "louvain") != base
+        assert cache_key("hep", 0.1, 13, "planted") != base
+        assert cache_key("enron-small", 0.1, 13, "louvain") != base
+
+
+class TestCachedLoad:
+    def test_round_trip_identical(self, tmp_path):
+        fresh = cached_load_dataset("hep", tmp_path, scale=0.02, seed=3)
+        cached = cached_load_dataset("hep", tmp_path, scale=0.02, seed=3)
+        assert cached.graph.node_count == fresh.graph.node_count
+        assert sorted(cached.graph.edges()) == sorted(fresh.graph.edges())
+        assert cached.rumor_community == fresh.rumor_community
+        assert cached.communities.membership() == fresh.communities.membership()
+        assert cached.spec.name == "hep"
+
+    def test_cache_files_created(self, tmp_path):
+        cached_load_dataset("hep", tmp_path, scale=0.02, seed=3)
+        bucket = tmp_path / cache_key("hep", 0.02, 3, "louvain")
+        assert (bucket / "graph.json").exists()
+        assert (bucket / "membership.txt").exists()
+        assert (bucket / "meta.json").exists()
+
+    def test_second_load_does_not_regenerate(self, tmp_path, monkeypatch):
+        cached_load_dataset("hep", tmp_path, scale=0.02, seed=3)
+        import repro.datasets.cache as cache_module
+
+        def boom(*args, **kwargs):
+            raise AssertionError("regenerated despite cache hit")
+
+        monkeypatch.setattr(cache_module, "load_dataset", boom)
+        cached = cached_load_dataset("hep", tmp_path, scale=0.02, seed=3)
+        assert cached.graph.node_count > 0
+
+    def test_corrupt_meta_is_loud(self, tmp_path):
+        cached_load_dataset("hep", tmp_path, scale=0.02, seed=3)
+        bucket = tmp_path / cache_key("hep", 0.02, 3, "louvain")
+        (bucket / "meta.json").write_text("{not json")
+        with pytest.raises(DatasetError, match="corrupt"):
+            cached_load_dataset("hep", tmp_path, scale=0.02, seed=3)
+
+    def test_mismatched_meta_is_loud(self, tmp_path):
+        cached_load_dataset("hep", tmp_path, scale=0.02, seed=3)
+        bucket = tmp_path / cache_key("hep", 0.02, 3, "louvain")
+        meta = json.loads((bucket / "meta.json").read_text())
+        meta["seed"] = 999
+        (bucket / "meta.json").write_text(json.dumps(meta))
+        with pytest.raises(DatasetError, match="does not match"):
+            cached_load_dataset("hep", tmp_path, scale=0.02, seed=3)
+
+    def test_unknown_dataset_rejected(self, tmp_path):
+        with pytest.raises(DatasetError):
+            cached_load_dataset("facebook", tmp_path)

@@ -1,0 +1,79 @@
+"""Unit tests for the external (SNAP-style) dataset loader."""
+
+import pytest
+
+from repro.datasets.external import ExternalDataset, load_external
+from repro.errors import DatasetError
+from repro.graph.generators import planted_partition
+from repro.graph.io import write_communities, write_edge_list
+from repro.rng import RngStream
+
+
+@pytest.fixture
+def snap_file(tmp_path):
+    graph, membership = planted_partition(
+        [15, 15, 15], 0.4, 0.02, RngStream(3), directed=True
+    )
+    edge_path = tmp_path / "net.txt"
+    write_edge_list(graph, edge_path)
+    community_path = tmp_path / "net.communities"
+    write_communities(membership, community_path)
+    return edge_path, community_path, graph, membership
+
+
+class TestLoadExternal:
+    def test_louvain_detection_path(self, snap_file):
+        edge_path, _, graph, _ = snap_file
+        dataset = load_external(edge_path, seed=5)
+        assert dataset.graph.node_count == graph.node_count
+        assert dataset.rumor_community in dataset.communities.community_ids
+        assert len(dataset.rumor_community_nodes) >= 5
+
+    def test_sidecar_communities_used(self, snap_file):
+        edge_path, community_path, _, membership = snap_file
+        dataset = load_external(edge_path, communities_path=community_path)
+        assert dataset.communities.membership() == membership
+
+    def test_community_size_targeting(self, snap_file):
+        edge_path, community_path, _, _ = snap_file
+        dataset = load_external(
+            edge_path, communities_path=community_path, community_size=15
+        )
+        assert dataset.communities.size(dataset.rumor_community) == 15
+
+    def test_symmetrize(self, snap_file):
+        edge_path, _, _, _ = snap_file
+        dataset = load_external(edge_path, symmetrize=True)
+        for tail, head in dataset.graph.edges():
+            assert dataset.graph.has_edge(head, tail)
+
+    def test_name_defaults_to_stem(self, snap_file):
+        edge_path, _, _, _ = snap_file
+        assert load_external(edge_path).name == "net"
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(DatasetError, match="not found"):
+            load_external(tmp_path / "nope.txt")
+
+    def test_edgeless_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing\n")
+        with pytest.raises(DatasetError, match="no edges"):
+            load_external(path)
+
+    def test_full_pipeline_on_loaded_data(self, snap_file):
+        edge_path, community_path, _, _ = snap_file
+        dataset = load_external(edge_path, communities_path=community_path)
+        from repro.algorithms.base import SelectionContext
+        from repro.algorithms.scbg import SCBGSelector
+        from repro.algorithms.heuristics import prefix_protects_all
+        from repro.lcrb.pipeline import draw_rumor_seeds
+
+        seeds = draw_rumor_seeds(
+            dataset.communities, dataset.rumor_community, 2, RngStream(6)
+        )
+        context = SelectionContext(
+            dataset.graph, dataset.rumor_community_nodes, seeds
+        )
+        cover = SCBGSelector().select(context)
+        assert prefix_protects_all(context, cover)

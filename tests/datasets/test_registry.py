@@ -1,0 +1,56 @@
+"""Unit tests for the experiment dataset registry."""
+
+import pytest
+
+from repro.datasets.registry import list_datasets, load_dataset
+from repro.errors import DatasetError
+
+
+class TestRegistry:
+    def test_three_settings_registered(self):
+        names = {spec.name for spec in list_datasets()}
+        assert names == {"hep", "enron-small", "enron-large"}
+
+    def test_paper_statistics_recorded(self):
+        specs = {spec.name: spec for spec in list_datasets()}
+        assert specs["hep"].paper_nodes == 15233
+        assert specs["enron-large"].paper_community == 2631
+        assert specs["enron-small"].paper_bridge_ends == 135
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(DatasetError, match="unknown dataset"):
+            load_dataset("facebook")
+
+    def test_bad_communities_mode_rejected(self):
+        with pytest.raises(DatasetError):
+            load_dataset("hep", communities="oracle")
+
+
+class TestLoadDataset:
+    def test_louvain_load(self):
+        dataset = load_dataset("hep", scale=0.03, seed=1)
+        assert dataset.graph.node_count == round(15233 * 0.03)
+        assert dataset.rumor_community in dataset.communities.community_ids
+        assert len(dataset.rumor_community_nodes) >= 5
+
+    def test_planted_load(self):
+        dataset = load_dataset("hep", scale=0.03, seed=1, communities="planted")
+        assert dataset.rumor_community in dataset.communities.community_ids
+
+    def test_community_size_tracks_paper_fraction(self):
+        dataset = load_dataset("enron-large", scale=0.05, seed=2, communities="planted")
+        n = dataset.graph.node_count
+        target = dataset.spec.community_fraction * n
+        size = dataset.communities.size(dataset.rumor_community)
+        gaps = [
+            abs(dataset.communities.size(c) - target)
+            for c in dataset.communities.community_ids
+            if dataset.communities.size(c) >= 5
+        ]
+        assert abs(size - target) == min(gaps)
+
+    def test_reproducible(self):
+        a = load_dataset("enron-small", scale=0.03, seed=3)
+        b = load_dataset("enron-small", scale=0.03, seed=3)
+        assert a.rumor_community == b.rumor_community
+        assert sorted(a.graph.edges()) == sorted(b.graph.edges())

@@ -1,0 +1,72 @@
+"""Unit tests for the synthetic dataset replicas."""
+
+import pytest
+
+from repro.datasets.synthetic import enron_like, hep_like
+from repro.errors import DatasetError
+from repro.graph.metrics import average_degree
+from repro.rng import RngStream
+
+
+class TestEnronLike:
+    def test_node_count_scales(self):
+        network = enron_like(scale=0.02, rng=RngStream(1))
+        assert network.graph.node_count == round(36692 * 0.02)
+
+    def test_average_degree_near_target(self):
+        network = enron_like(scale=0.05, rng=RngStream(2))
+        degree = average_degree(network.graph)
+        assert 8.0 <= degree <= 10.5  # target 10.0, duplicates may shave some
+
+    def test_directed_not_fully_symmetric(self):
+        network = enron_like(scale=0.02, rng=RngStream(3))
+        asymmetric = sum(
+            1
+            for tail, head in network.graph.edges()
+            if not network.graph.has_edge(head, tail)
+        )
+        assert asymmetric > 0
+
+    def test_membership_covers_graph(self):
+        network = enron_like(scale=0.02, rng=RngStream(4))
+        assert set(network.membership) == set(network.graph.nodes())
+
+    def test_communities_dense_inside(self):
+        network = enron_like(scale=0.05, rng=RngStream(5))
+        intra = sum(
+            1
+            for tail, head in network.graph.edges()
+            if network.membership[tail] == network.membership[head]
+        )
+        assert intra / network.graph.edge_count > 0.75
+
+    def test_reproducible(self):
+        a = enron_like(scale=0.02, rng=RngStream(6))
+        b = enron_like(scale=0.02, rng=RngStream(6))
+        assert sorted(a.graph.edges()) == sorted(b.graph.edges())
+
+    def test_too_small_scale_rejected(self):
+        with pytest.raises(DatasetError):
+            enron_like(scale=0.0005)
+
+    def test_communities_object(self):
+        network = enron_like(scale=0.02, rng=RngStream(7))
+        cover = network.communities()
+        assert cover.community_count == len(set(network.membership.values()))
+
+
+class TestHepLike:
+    def test_symmetrised(self):
+        network = hep_like(scale=0.02, rng=RngStream(8))
+        for tail, head in network.graph.edges():
+            assert network.graph.has_edge(head, tail)
+
+    def test_lower_degree_than_enron(self):
+        hep = hep_like(scale=0.05, rng=RngStream(9))
+        enron = enron_like(scale=0.05, rng=RngStream(9))
+        assert average_degree(hep.graph) < average_degree(enron.graph)
+
+    def test_average_degree_near_target(self):
+        network = hep_like(scale=0.05, rng=RngStream(10))
+        degree = average_degree(network.graph)
+        assert 6.0 <= degree <= 8.5  # target 7.73

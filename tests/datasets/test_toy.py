@@ -1,0 +1,62 @@
+"""Unit tests for the hand-built paper toy graphs."""
+
+from repro.algorithms.scbg import SCBGSelector
+from repro.algorithms.heuristics import prefix_protects_all
+from repro.datasets.toy import figure1_graph, figure2_graph, two_community_toy
+
+
+class TestFigure1:
+    def test_topology(self):
+        graph, schedule = figure1_graph()
+        assert graph.node_count == 6
+        assert graph.has_edge("x", "u") and graph.has_edge("u", "w")
+        assert graph.has_edge("z", "u")  # the route carrying 4_y to (u, w)
+
+    def test_schedule_choices_are_edges(self):
+        graph, schedule = figure1_graph()
+        for chooser, target in schedule:
+            assert graph.has_edge(chooser, target)
+
+
+class TestFigure2:
+    def test_communities_disjoint_and_total(self):
+        graph, communities, _ = figure2_graph()
+        assert communities.community_count == 3
+        assert sum(communities.sizes().values()) == graph.node_count
+
+    def test_bridge_end_properties(self):
+        graph, communities, info = figure2_graph()
+        rumor_nodes = communities.members(0)
+        for end in info["bridge_ends"]:
+            assert end not in rumor_nodes
+            assert any(p in rumor_nodes for p in graph.predecessors(end))
+
+    def test_optimal_protectors_protect_everything(self):
+        graph, communities, info = figure2_graph()
+        from repro.algorithms.base import SelectionContext
+
+        context = SelectionContext(graph, communities.members(0), info["rumor_seeds"])
+        assert prefix_protects_all(context, sorted(info["optimal_protectors"]))
+
+    def test_scbg_matches_optimal_size(self):
+        graph, communities, info = figure2_graph()
+        from repro.algorithms.base import SelectionContext
+
+        context = SelectionContext(graph, communities.members(0), info["rumor_seeds"])
+        cover = SCBGSelector().select(context)
+        assert len(cover) == info["optimal_size"]
+
+    def test_neighbor_communities(self):
+        _, communities, _ = figure2_graph()
+        assert communities.neighbor_communities(0) == {1, 2}
+
+
+class TestTwoCommunityToy:
+    def test_structure(self):
+        graph, communities, info = two_community_toy()
+        assert communities.community_count == 2
+        assert info["bridge_ends"] == frozenset({"b"})
+
+    def test_internal_density(self):
+        graph, communities, _ = two_community_toy()
+        assert communities.internal_edge_fraction(0) > 0.5

@@ -1,0 +1,97 @@
+"""Unit tests for the DOAM arrival-time fixpoint analysis."""
+
+import math
+
+import pytest
+
+from repro.diffusion.arrival import doam_arrival_times, protection_slack
+from repro.diffusion.base import INACTIVE, INFECTED, PROTECTED, SeedSets
+from repro.diffusion.doam import DOAMModel
+from repro.errors import SeedError
+from repro.graph.digraph import DiGraph
+
+
+class TestArrivalTimes:
+    def test_chain_times(self, chain):
+        t_p, t_r, status = doam_arrival_times(chain, rumors=[0])
+        assert t_r == {i: float(i) for i in range(6)}
+        assert all(math.isinf(v) for v in t_p.values())
+        assert all(state == INFECTED for state in status.values())
+
+    def test_tie_resolves_to_protector(self):
+        g = DiGraph.from_edges([("r", "m"), ("p", "m")])
+        t_p, t_r, status = doam_arrival_times(g, rumors=["r"], protectors=["p"])
+        assert t_p["m"] == t_r["m"] == 1.0
+        assert status["m"] == PROTECTED
+
+    def test_blocked_protector_path(self):
+        g = DiGraph.from_edges([("r", "m"), ("m", "b"), ("u", "q"), ("q", "m")])
+        _, _, status = doam_arrival_times(g, rumors=["r"], protectors=["u"])
+        assert status["m"] == INFECTED
+        assert status["b"] == INFECTED
+
+    def test_matches_simulator_on_fig2(self, fig2, fig2_context):
+        graph, _, info = fig2
+        protectors = ["v1", "R1"]
+        _, _, status = doam_arrival_times(
+            graph, rumors=info["rumor_seeds"], protectors=protectors
+        )
+        indexed = fig2_context.indexed
+        outcome = DOAMModel().run(
+            indexed,
+            SeedSets(
+                rumors=fig2_context.rumor_seed_ids(),
+                protectors=indexed.indices(protectors),
+            ),
+            max_hops=100,
+        )
+        for node_id, state in enumerate(outcome.states):
+            assert status[indexed.labels[node_id]] == state
+
+    def test_unreached_nodes_inactive(self):
+        g = DiGraph.from_edges([("r", "a")], nodes=["island"])
+        _, _, status = doam_arrival_times(g, rumors=["r"])
+        assert status["island"] == INACTIVE
+
+    def test_validation(self, chain):
+        with pytest.raises(SeedError):
+            doam_arrival_times(chain, rumors=[])
+        with pytest.raises(SeedError):
+            doam_arrival_times(chain, rumors=[0], protectors=[0])
+        with pytest.raises(SeedError):
+            doam_arrival_times(chain, rumors=["ghost"])
+
+
+class TestProtectionSlack:
+    def test_values(self, fig2):
+        graph, _, info = fig2
+        slack = protection_slack(
+            graph,
+            rumors=info["rumor_seeds"],
+            protectors=["v1", "R1"],
+            targets=sorted(info["bridge_ends"]),
+        )
+        # v1 -> p1 arrives at 1 vs rumor at 2: slack 1. p2: 1 vs 3: slack 2.
+        assert slack["p1"] == 1.0
+        assert slack["p2"] == 2.0
+        assert slack["p3"] == 1.0
+
+    def test_negative_slack_for_fallen_target(self, fig2):
+        graph, _, info = fig2
+        slack = protection_slack(
+            graph,
+            rumors=info["rumor_seeds"],
+            protectors=["v1"],  # p3 unprotected
+            targets=["p3"],
+        )
+        assert slack["p3"] == -math.inf
+
+    def test_never_at_risk_target(self):
+        g = DiGraph.from_edges([("r", "a")], nodes=["island"])
+        slack = protection_slack(g, ["r"], [], ["island"])
+        assert slack["island"] == math.inf
+
+    def test_unknown_target_rejected(self, fig2):
+        graph, _, info = fig2
+        with pytest.raises(SeedError):
+            protection_slack(graph, info["rumor_seeds"], [], ["ghost"])

@@ -1,0 +1,95 @@
+"""Unit tests for shared diffusion infrastructure (Section III properties)."""
+
+import pytest
+
+from repro.diffusion.base import (
+    INACTIVE,
+    INFECTED,
+    PROTECTED,
+    DiffusionOutcome,
+    SeedSets,
+)
+from repro.diffusion.doam import DOAMModel
+from repro.diffusion.opoao import OPOAOModel
+from repro.diffusion.trace import HopTrace
+from repro.errors import SeedError
+from repro.graph.digraph import DiGraph
+from repro.rng import RngStream
+
+
+class TestSeedSets:
+    def test_disjointness_enforced(self):
+        with pytest.raises(SeedError, match="disjoint"):
+            SeedSets(rumors=[1, 2], protectors=[2, 3])
+
+    def test_empty_rumors_rejected(self):
+        with pytest.raises(SeedError, match="empty"):
+            SeedSets(rumors=[])
+
+    def test_empty_protectors_allowed(self):
+        seeds = SeedSets(rumors=[1])
+        assert seeds.protectors == frozenset()
+
+    def test_validate_against_graph(self, diamond):
+        indexed = diamond.to_indexed()
+        SeedSets(rumors=[0], protectors=[1]).validate_against(indexed)
+        with pytest.raises(SeedError):
+            SeedSets(rumors=[99]).validate_against(indexed)
+        with pytest.raises(SeedError):
+            SeedSets(rumors=[-1]).validate_against(indexed)
+
+    def test_repr(self):
+        assert "|R|=2" in repr(SeedSets(rumors=[1, 2], protectors=[3]))
+
+
+class TestRunTemplate:
+    def test_seeds_present_at_hop_zero(self, chain):
+        indexed = chain.to_indexed()
+        outcome = DOAMModel().run(indexed, SeedSets(rumors=[0], protectors=[3]))
+        assert outcome.trace.infected[0] == 1
+        assert outcome.trace.protected[0] == 1
+
+    def test_stochastic_model_requires_rng(self, chain):
+        indexed = chain.to_indexed()
+        with pytest.raises(ValueError, match="stochastic"):
+            OPOAOModel().run(indexed, SeedSets(rumors=[0]))
+
+    def test_max_hops_validated(self, chain):
+        indexed = chain.to_indexed()
+        with pytest.raises(Exception):
+            DOAMModel().run(indexed, SeedSets(rumors=[0]), max_hops=0)
+
+    def test_outcome_counts(self, chain):
+        indexed = chain.to_indexed()
+        outcome = DOAMModel().run(indexed, SeedSets(rumors=[0]))
+        assert outcome.infected_count == 6
+        assert outcome.protected_count == 0
+        assert outcome.infected_ids() == list(range(6))
+        assert outcome.state_of(0) == INFECTED
+
+
+class TestHopTrace:
+    def test_record_accumulates(self):
+        trace = HopTrace()
+        trace.record([1, 2], [3])
+        trace.record([4], [])
+        assert trace.infected == [2, 3]
+        assert trace.protected == [1, 1]
+        assert trace.hops == 2
+
+    def test_clamped_accessors(self):
+        trace = HopTrace()
+        trace.record([1], [])
+        assert trace.infected_at(0) == 1
+        assert trace.infected_at(100) == 1
+        assert trace.protected_at(100) == 0
+
+    def test_empty_trace(self):
+        trace = HopTrace()
+        assert trace.infected_at(5) == 0
+        assert trace.padded_infected(3) == [0, 0, 0, 0]
+
+    def test_padded_series_length(self):
+        trace = HopTrace()
+        trace.record([1], [])
+        assert trace.padded_infected(4) == [1, 1, 1, 1, 1]

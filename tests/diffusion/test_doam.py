@@ -1,0 +1,110 @@
+"""Unit tests for the DOAM model (Section III.B)."""
+
+import pytest
+
+from repro.diffusion.base import INACTIVE, INFECTED, PROTECTED, SeedSets
+from repro.diffusion.doam import DOAMModel
+from repro.graph.digraph import DiGraph
+
+
+def run(graph, rumors, protectors=(), max_hops=100):
+    indexed = graph.to_indexed()
+    seeds = SeedSets(
+        rumors=indexed.indices(rumors), protectors=indexed.indices(protectors)
+    )
+    outcome = DOAMModel().run(indexed, seeds, max_hops=max_hops)
+    return indexed, outcome
+
+
+class TestSpread:
+    def test_chain_infects_everything(self, chain):
+        _, outcome = run(chain, rumors=[0])
+        assert outcome.infected_count == 6
+        # One node per hop: cumulative counts 1..6.
+        assert outcome.trace.infected[:6] == [1, 2, 3, 4, 5, 6]
+
+    def test_broadcast_one_activate_many(self):
+        star = DiGraph.from_edges([(0, i) for i in range(1, 6)])
+        _, outcome = run(star, rumors=[0])
+        assert outcome.trace.infected == [1, 6]  # all leaves in one hop
+
+    def test_single_chance_no_reinfluence(self):
+        # 0 -> 1 -> 2 and 0 -> 2: node 2 is taken at hop 1 via the direct
+        # edge; node 1's later influence must not re-activate anything.
+        g = DiGraph.from_edges([(0, 1), (1, 2), (0, 2)])
+        _, outcome = run(g, rumors=[0])
+        assert outcome.trace.infected == [1, 3]
+
+    def test_unreachable_stays_inactive(self):
+        g = DiGraph.from_edges([(0, 1)], nodes=[2])
+        indexed, outcome = run(g, rumors=[0])
+        assert outcome.states[indexed.index(2)] == INACTIVE
+
+    def test_max_hops_truncates(self, chain):
+        _, outcome = run(chain, rumors=[0], max_hops=2)
+        assert outcome.infected_count == 3
+
+
+class TestPriorityAndCompetition:
+    def test_p_wins_simultaneous_arrival(self):
+        # r -> m and p -> m arrive at the same step: P wins (property 2).
+        g = DiGraph.from_edges([("r", "m"), ("p", "m")])
+        indexed, outcome = run(g, rumors=["r"], protectors=["p"])
+        assert outcome.states[indexed.index("m")] == PROTECTED
+
+    def test_earlier_rumor_beats_protector(self):
+        # Rumor is 1 hop from m, protector is 2 hops.
+        g = DiGraph.from_edges([("r", "m"), ("p", "x"), ("x", "m")])
+        indexed, outcome = run(g, rumors=["r"], protectors=["p"])
+        assert outcome.states[indexed.index("m")] == INFECTED
+
+    def test_protector_blocks_downstream(self):
+        # Path r -> a -> b; protector sits adjacent to a, saving a and b.
+        g = DiGraph.from_edges([("r", "a"), ("a", "b"), ("p", "a")])
+        indexed, outcome = run(g, rumors=["r"], protectors=["p"])
+        assert outcome.states[indexed.index("a")] == PROTECTED
+        assert outcome.states[indexed.index("b")] == PROTECTED
+
+    def test_infected_node_blocks_protector_path(self):
+        # Protector's only route to t goes through m, which the rumor takes
+        # first: t must end infected.
+        g = DiGraph.from_edges(
+            [("r", "m"), ("m", "t"), ("p", "x"), ("x", "m")]
+        )
+        indexed, outcome = run(g, rumors=["r"], protectors=["p"])
+        assert outcome.states[indexed.index("m")] == INFECTED
+        assert outcome.states[indexed.index("t")] == INFECTED
+
+
+class TestDeterminismAndMonotonicity:
+    def test_deterministic(self, cycle):
+        _, a = run(cycle, rumors=[0], protectors=[2])
+        _, b = run(cycle, rumors=[0], protectors=[2])
+        assert a.states == b.states
+        assert a.trace.infected == b.trace.infected
+
+    def test_more_protectors_never_hurt(self):
+        g = DiGraph.from_edges(
+            [(0, 1), (1, 2), (2, 3), (3, 4), (5, 2), (6, 4), (1, 6)]
+        )
+        indexed = g.to_indexed()
+        small = DOAMModel().run(
+            indexed, SeedSets(rumors=[0], protectors=[5]), max_hops=50
+        )
+        large = DOAMModel().run(
+            indexed, SeedSets(rumors=[0], protectors=[5, 6]), max_hops=50
+        )
+        protected_small = set(small.protected_ids())
+        protected_large = set(large.protected_ids())
+        assert protected_small <= protected_large
+        assert large.infected_count <= small.infected_count
+
+    def test_progressive_no_state_reversal(self, cycle):
+        # Re-run hop by hop with growing horizons; cumulative counts must
+        # be non-decreasing prefixes of each other.
+        indexed = cycle.to_indexed()
+        seeds = SeedSets(rumors=[0], protectors=[3])
+        full = DOAMModel().run(indexed, seeds, max_hops=10)
+        for horizon in range(1, 10):
+            partial = DOAMModel().run(indexed, seeds, max_hops=horizon)
+            assert partial.trace.infected == full.trace.infected[: partial.trace.hops]

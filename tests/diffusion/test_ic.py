@@ -1,0 +1,63 @@
+"""Unit tests for the competitive Independent Cascade extension."""
+
+import pytest
+
+from repro.diffusion.base import INACTIVE, INFECTED, PROTECTED, SeedSets
+from repro.diffusion.ic import CompetitiveICModel
+from repro.graph.digraph import DiGraph
+from repro.rng import RngStream
+
+
+def run(graph, rumors, protectors=(), p=1.0, rng=None, max_hops=50):
+    indexed = graph.to_indexed()
+    seeds = SeedSets(
+        rumors=indexed.indices(rumors), protectors=indexed.indices(protectors)
+    )
+    outcome = CompetitiveICModel(probability=p).run(
+        indexed, seeds, rng=rng or RngStream(1), max_hops=max_hops
+    )
+    return indexed, outcome
+
+
+class TestIC:
+    def test_probability_validated(self):
+        with pytest.raises(Exception):
+            CompetitiveICModel(probability=1.5)
+
+    def test_p_one_behaves_like_doam_broadcast(self):
+        star = DiGraph.from_edges([(0, i) for i in range(1, 6)])
+        _, outcome = run(star, rumors=[0], p=1.0)
+        assert outcome.trace.infected == [1, 6]
+
+    def test_p_zero_never_spreads(self, chain):
+        _, outcome = run(chain, rumors=[0], p=0.0)
+        assert outcome.infected_count == 1
+
+    def test_single_chance_per_edge(self):
+        # With p=0 nothing activates; with p=1 each front node tries its
+        # neighbors exactly once — run long enough to see no re-tries.
+        g = DiGraph.from_edges([(0, 1), (1, 0)])
+        _, outcome = run(g, rumors=[0], p=1.0, max_hops=10)
+        assert outcome.trace.hops <= 3
+
+    def test_protector_priority_on_tie(self):
+        g = DiGraph.from_edges([("r", "m"), ("p", "m")])
+        indexed, outcome = run(g, rumors=["r"], protectors=["p"], p=1.0)
+        assert outcome.states[indexed.index("m")] == PROTECTED
+
+    def test_deterministic_given_stream(self):
+        g = DiGraph.from_edges([(0, i) for i in range(1, 10)])
+        _, a = run(g, rumors=[0], p=0.5, rng=RngStream(3))
+        _, b = run(g, rumors=[0], p=0.5, rng=RngStream(3))
+        assert a.states == b.states
+
+    def test_intermediate_probability_partial_spread(self):
+        g = DiGraph.from_edges([(0, i) for i in range(1, 30)])
+        _, outcome = run(g, rumors=[0], p=0.3, rng=RngStream(5))
+        assert 1 <= outcome.infected_count < 30
+
+    def test_progressive(self, rng):
+        g = DiGraph.from_edges([(i, j) for i in range(8) for j in range(8) if i != j])
+        _, outcome = run(g, rumors=[0], protectors=[1], p=0.4, rng=rng)
+        for earlier, later in zip(outcome.trace.infected, outcome.trace.infected[1:]):
+            assert later >= earlier

@@ -1,0 +1,80 @@
+"""Unit tests for the OPOAO no-repeat ablation model."""
+
+import pytest
+
+from repro.diffusion.base import INACTIVE, INFECTED, PROTECTED, SeedSets
+from repro.diffusion.opoao import OPOAOModel
+from repro.diffusion.opoao_norepeat import OPOAONoRepeatModel
+from repro.graph.digraph import DiGraph
+from repro.rng import RngStream
+
+
+def run(graph, rumors, protectors=(), rng=None, max_hops=200):
+    indexed = graph.to_indexed()
+    seeds = SeedSets(
+        rumors=indexed.indices(rumors), protectors=indexed.indices(protectors)
+    )
+    outcome = OPOAONoRepeatModel().run(
+        indexed, seeds, rng=rng or RngStream(1), max_hops=max_hops
+    )
+    return indexed, outcome
+
+
+class TestMechanics:
+    def test_star_center_finishes_in_exactly_leaf_count_hops(self):
+        # Without repeat selection the center picks a fresh leaf per step:
+        # all 7 leaves are infected after exactly 7 hops.
+        star = DiGraph.from_edges([(0, i) for i in range(1, 8)])
+        _, outcome = run(star, rumors=[0])
+        assert outcome.infected_count == 8
+        assert outcome.trace.infected.index(8) == 7
+
+    def test_never_slower_than_plain_opoao_on_star(self):
+        star = DiGraph.from_edges([(0, i) for i in range(1, 10)])
+        indexed = star.to_indexed()
+        seeds = SeedSets(rumors=[0])
+        for seed in range(5):
+            plain = OPOAOModel().run(
+                indexed, seeds, rng=RngStream(seed), max_hops=500
+            )
+            norepeat = OPOAONoRepeatModel().run(
+                indexed, seeds, rng=RngStream(seed), max_hops=500
+            )
+            plain_done = plain.trace.infected.index(plain.infected_count)
+            norepeat_done = norepeat.trace.infected.index(norepeat.infected_count)
+            assert norepeat.infected_count >= plain.infected_count
+            if norepeat.infected_count == plain.infected_count:
+                assert norepeat_done <= plain_done
+
+    def test_p_priority(self):
+        g = DiGraph.from_edges([("r", "m"), ("p", "m")])
+        indexed, outcome = run(g, rumors=["r"], protectors=["p"])
+        assert outcome.states[indexed.index("m")] == PROTECTED
+
+    def test_progressive(self, rng):
+        g = DiGraph.from_edges([(i, (i * 5 + 2) % 17) for i in range(17)])
+        _, outcome = run(g, rumors=[0], rng=rng)
+        series = outcome.trace.infected
+        assert all(b >= a for a, b in zip(series, series[1:]))
+
+    def test_deterministic_given_stream(self):
+        g = DiGraph.from_edges([(0, i) for i in range(1, 6)])
+        _, a = run(g, rumors=[0], rng=RngStream(4))
+        _, b = run(g, rumors=[0], rng=RngStream(4))
+        assert a.states == b.states
+
+    def test_terminates_without_horizon_pressure(self, cycle):
+        # Memory guarantees termination: every node exhausts its choices.
+        _, outcome = run(cycle, rumors=[0], max_hops=10_000)
+        assert outcome.trace.hops <= 2 * cycle.node_count + 2
+
+    def test_chain_identical_to_plain_opoao(self, chain):
+        indexed = chain.to_indexed()
+        seeds = SeedSets(rumors=[0])
+        plain = OPOAOModel().run(indexed, seeds, rng=RngStream(5), max_hops=50)
+        norepeat = OPOAONoRepeatModel().run(
+            indexed, seeds, rng=RngStream(5), max_hops=50
+        )
+        # Single out-neighbor everywhere: no repeat selection possible, so
+        # the cumulative infection curves coincide.
+        assert norepeat.trace.infected == plain.trace.infected

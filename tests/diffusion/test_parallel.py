@@ -1,0 +1,87 @@
+"""Unit tests for the parallel Monte-Carlo simulator."""
+
+import pytest
+
+from repro.diffusion.base import SeedSets
+from repro.diffusion.doam import DOAMModel
+from repro.diffusion.opoao import OPOAOModel
+from repro.diffusion.parallel import ParallelMonteCarloSimulator
+from repro.diffusion.simulation import MonteCarloSimulator, SimulationAggregate
+from repro.graph.digraph import DiGraph
+from repro.rng import RngStream
+
+
+@pytest.fixture
+def star():
+    return DiGraph.from_edges([(0, i) for i in range(1, 10)])
+
+
+class TestEquivalenceWithSerial:
+    def test_identical_aggregates(self, star):
+        indexed = star.to_indexed()
+        seeds = SeedSets(rumors=[0])
+        serial = MonteCarloSimulator(OPOAOModel(), runs=12, max_hops=6).simulate(
+            indexed, seeds, rng=RngStream(5)
+        )
+        parallel = ParallelMonteCarloSimulator(
+            OPOAOModel(), runs=12, max_hops=6, processes=3
+        ).simulate(indexed, seeds, rng=RngStream(5))
+        assert parallel.runs == serial.runs == 12
+        # Outcomes are bit-identical; aggregation merges in a different
+        # order, so means agree to float round-off only.
+        assert parallel.infected_per_hop == pytest.approx(serial.infected_per_hop)
+        assert parallel.final_infected.mean == pytest.approx(
+            serial.final_infected.mean
+        )
+        assert parallel.final_infected.minimum == serial.final_infected.minimum
+        assert parallel.final_infected.maximum == serial.final_infected.maximum
+
+    def test_single_process_path(self, star):
+        indexed = star.to_indexed()
+        seeds = SeedSets(rumors=[0])
+        parallel = ParallelMonteCarloSimulator(
+            OPOAOModel(), runs=5, max_hops=4, processes=1
+        ).simulate(indexed, seeds, rng=RngStream(6))
+        serial = MonteCarloSimulator(OPOAOModel(), runs=5, max_hops=4).simulate(
+            indexed, seeds, rng=RngStream(6)
+        )
+        assert parallel.infected_per_hop == serial.infected_per_hop
+
+    def test_deterministic_model_single_run(self, chain):
+        indexed = chain.to_indexed()
+        aggregate = ParallelMonteCarloSimulator(
+            DOAMModel(), runs=99, processes=4
+        ).simulate(indexed, SeedSets(rumors=[0]))
+        assert aggregate.runs == 1
+        assert aggregate.final_infected.mean == 6
+
+    def test_rng_required(self, star):
+        simulator = ParallelMonteCarloSimulator(OPOAOModel(), runs=3, processes=2)
+        with pytest.raises(ValueError):
+            simulator.simulate(star.to_indexed(), SeedSets(rumors=[0]))
+
+
+class TestAggregateMerge:
+    def test_merge_equals_combined(self, star):
+        indexed = star.to_indexed()
+        seeds = SeedSets(rumors=[0])
+        model = OPOAOModel()
+        rng = RngStream(7)
+        left = SimulationAggregate(5)
+        right = SimulationAggregate(5)
+        both = SimulationAggregate(5)
+        for replica in range(8):
+            outcome = model.run(indexed, seeds, rng=rng.replica(replica), max_hops=5)
+            (left if replica < 4 else right).add(outcome)
+            rng_copy = rng.replica(replica)
+            both.add(model.run(indexed, seeds, rng=rng_copy, max_hops=5))
+        merged = left.merge(right)
+        assert merged.runs == both.runs
+        assert merged.infected_per_hop == pytest.approx(both.infected_per_hop)
+        assert merged.final_infected.variance == pytest.approx(
+            both.final_infected.variance
+        )
+
+    def test_merge_horizon_mismatch(self):
+        with pytest.raises(ValueError):
+            SimulationAggregate(3).merge(SimulationAggregate(4))

@@ -1,0 +1,144 @@
+"""Tests for the timestamp machinery — including the exact reconstruction
+of the paper's Fig. 1 worked example."""
+
+import pytest
+
+from repro.datasets.toy import figure1_graph
+from repro.diffusion.timestamps import (
+    CascadeRecord,
+    protected_by_timestamps,
+    record_cascade,
+)
+from repro.errors import SeedError
+from repro.graph.digraph import DiGraph
+from repro.rng import RngStream
+
+
+def scripted_chooser(schedule_per_step):
+    """Build a chooser that replays ``{step: {node: target}}``."""
+
+    def chooser(node, neighbors, step):
+        return schedule_per_step.get(step, {}).get(node)
+
+    return chooser
+
+
+class TestFigure1Reconstruction:
+    """Replays Fig. 1(a) and checks the preserved timestamps of Fig. 1(b)."""
+
+    def setup_method(self):
+        graph, _ = figure1_graph()
+        self.indexed = graph.to_indexed()
+        self.ids = {label: self.indexed.index(label) for label in "xyuvwz"}
+
+    def run_schedule(self):
+        ids = self.ids
+        # Step-by-step choices exactly as narrated in Section V.A.1.
+        schedule = {
+            1: {ids["x"]: ids["u"], ids["y"]: ids["v"]},
+            2: {ids["x"]: ids["u"], ids["y"]: ids["v"], ids["u"]: ids["w"], ids["v"]: ids["z"]},
+            3: {ids["z"]: ids["u"]},
+            4: {ids["u"]: ids["w"]},
+        }
+        return record_cascade(
+            self.indexed,
+            seeds=[ids["x"], ids["y"]],
+            steps=4,
+            chooser=scripted_chooser(schedule),
+        )
+
+    def test_edge_uw_preserved_timestamps(self):
+        record = self.run_schedule()
+        ids = self.ids
+        stamps = record.edge_timestamps[(ids["u"], ids["w"])]
+        # Fig. 1(b): "only two timestamps 2_x, 4_y are preserved on (u, w)".
+        assert stamps == {ids["x"]: 2, ids["y"]: 4}
+
+    def test_edge_xu_keeps_smallest(self):
+        record = self.run_schedule()
+        ids = self.ids
+        stamps = record.edge_timestamps[(ids["x"], ids["u"])]
+        assert stamps == {ids["x"]: 1}  # step-2 repeat does not overwrite
+
+    def test_arrivals(self):
+        record = self.run_schedule()
+        ids = self.ids
+        assert record.arrival[ids["u"]] == {ids["x"]: 1, ids["y"]: 3}
+        assert record.arrival[ids["w"]] == {ids["x"]: 2, ids["y"]: 4}
+        assert record.earliest_arrival(ids["w"]) == 2
+
+    def test_min_in_timestamp_matches_lemma1(self):
+        record = self.run_schedule()
+        ids = self.ids
+        w = ids["w"]
+        assert record.min_in_timestamp(w, self.indexed.inn[w]) == 2
+
+
+class TestRecordCascade:
+    def test_requires_rng_or_chooser(self, chain):
+        with pytest.raises(ValueError):
+            record_cascade(chain.to_indexed(), seeds=[0], steps=3)
+
+    def test_empty_seeds_rejected(self, chain):
+        with pytest.raises(SeedError):
+            record_cascade(chain.to_indexed(), seeds=[], steps=3, rng=RngStream(1))
+
+    def test_bad_seed_rejected(self, chain):
+        with pytest.raises(SeedError):
+            record_cascade(chain.to_indexed(), seeds=[99], steps=3, rng=RngStream(1))
+
+    def test_chooser_must_pick_neighbor(self, chain):
+        indexed = chain.to_indexed()
+        with pytest.raises(ValueError, match="not an out-neighbor"):
+            record_cascade(
+                indexed, seeds=[0], steps=1, chooser=lambda n, nbrs, s: 5
+            )
+
+    def test_random_run_reaches_chain_end(self, chain):
+        indexed = chain.to_indexed()
+        record = record_cascade(indexed, seeds=[0], steps=10, rng=RngStream(2))
+        assert record.reached(5)
+        assert record.arrival[5][0] == 5  # deterministic on a chain
+
+    def test_newly_activated_waits_one_step(self):
+        # A node activated at step t chooses from step t+1 (Fig. 1: u is
+        # chosen at step 1 and makes its first choice at step 2).
+        g = DiGraph.from_edges([(0, 1), (1, 2)])
+        indexed = g.to_indexed()
+        record = record_cascade(indexed, seeds=[0], steps=2, rng=RngStream(1))
+        assert record.arrival[1] == {0: 1}
+        assert record.arrival[2] == {0: 2}
+
+
+class TestProtectedByTimestamps:
+    def test_lemma2_tie_goes_to_protector(self):
+        g = DiGraph.from_edges([("r", "m"), ("p", "m")])
+        indexed = g.to_indexed()
+        r, p, m = indexed.index("r"), indexed.index("p"), indexed.index("m")
+        rumor = record_cascade(indexed, seeds=[r], steps=3, rng=RngStream(1))
+        protector = record_cascade(indexed, seeds=[p], steps=3, rng=RngStream(2))
+        saved = protected_by_timestamps(rumor, protector, indexed, [m])
+        assert saved == {m}  # both arrive at step 1; P wins
+
+    def test_late_protector_does_not_save(self):
+        g = DiGraph.from_edges([("r", "m"), ("p", "x"), ("x", "m")])
+        indexed = g.to_indexed()
+        ids = {lbl: indexed.index(lbl) for lbl in "rpxm"}
+        rumor = record_cascade(indexed, seeds=[ids["r"]], steps=5, rng=RngStream(1))
+        protector = record_cascade(indexed, seeds=[ids["p"]], steps=5, rng=RngStream(2))
+        saved = protected_by_timestamps(rumor, protector, indexed, [ids["m"]])
+        assert saved == set()
+
+    def test_unreached_by_rumor_not_counted(self):
+        g = DiGraph.from_edges([("p", "m")], nodes=["r"])
+        g.add_edge("r", "other")
+        indexed = g.to_indexed()
+        m = indexed.index("m")
+        rumor = record_cascade(
+            indexed, seeds=[indexed.index("r")], steps=3, rng=RngStream(1)
+        )
+        protector = record_cascade(
+            indexed, seeds=[indexed.index("p")], steps=3, rng=RngStream(2)
+        )
+        saved = protected_by_timestamps(rumor, protector, indexed, [m])
+        assert saved == set()  # m was never at risk

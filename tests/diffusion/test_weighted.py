@@ -1,0 +1,111 @@
+"""Unit tests for the weighted diffusion variants."""
+
+import pytest
+
+from repro.diffusion.base import INACTIVE, INFECTED, SeedSets
+from repro.diffusion.ic import CompetitiveICModel
+from repro.diffusion.opoao import OPOAOModel
+from repro.graph.digraph import DiGraph
+from repro.rng import RngStream
+
+
+class TestIndexedWeights:
+    def test_weights_carried_by_snapshot(self):
+        g = DiGraph()
+        g.add_edge(0, 1, weight=2.5)
+        g.add_edge(0, 2, weight=0.5)
+        indexed = g.to_indexed()
+        zero = indexed.index(0)
+        pairs = dict(zip(indexed.out[zero], indexed.out_weights[zero]))
+        assert pairs == {indexed.index(1): 2.5, indexed.index(2): 0.5}
+
+    def test_default_weights_are_unit(self):
+        from repro.graph.compact import IndexedDiGraph
+
+        indexed = IndexedDiGraph(["a", "b"], [[1], []], [[], [0]])
+        assert indexed.out_weights == ((1.0,), ())
+
+    def test_mismatched_weights_rejected(self):
+        from repro.graph.compact import IndexedDiGraph
+
+        with pytest.raises(ValueError):
+            IndexedDiGraph(["a", "b"], [[1], []], [[], [0]], out_weights=[[1.0, 2.0], []])
+
+
+class TestWeightedOpoao:
+    def test_heavy_edge_dominates_first_pick(self):
+        # 0 -> 1 with weight 1000, 0 -> 2 with weight 0.001: the first
+        # activation is node 1 in essentially every realisation.
+        g = DiGraph()
+        g.add_edge(0, 1, weight=1000.0)
+        g.add_edge(0, 2, weight=0.001)
+        indexed = g.to_indexed()
+        model = OPOAOModel(weighted=True)
+        first_picks = set()
+        for seed in range(20):
+            outcome = model.run(
+                indexed, SeedSets(rumors=[indexed.index(0)]),
+                rng=RngStream(seed), max_hops=1,
+            )
+            first_picks.update(outcome.trace.newly_infected[1])
+        assert first_picks == {indexed.index(1)}
+
+    def test_uniform_weights_match_plain_opoao(self, chain):
+        indexed = chain.to_indexed()
+        seeds = SeedSets(rumors=[0])
+        plain = OPOAOModel().run(indexed, seeds, rng=RngStream(3), max_hops=30)
+        weighted = OPOAOModel(weighted=True).run(
+            indexed, seeds, rng=RngStream(3), max_hops=30
+        )
+        # On a chain each node has one neighbor: identical behaviour.
+        assert plain.states == weighted.states
+
+    def test_name_reflects_variant(self):
+        assert OPOAOModel().name == "OPOAO"
+        assert OPOAOModel(weighted=True).name == "OPOAO-W"
+
+
+class TestWeightedIC:
+    def test_weight_one_edges_always_fire(self):
+        g = DiGraph()
+        g.add_edge(0, 1, weight=1.0)
+        indexed = g.to_indexed()
+        outcome = CompetitiveICModel(probability=None).run(
+            indexed, SeedSets(rumors=[indexed.index(0)]), rng=RngStream(1)
+        )
+        assert outcome.states[indexed.index(1)] == INFECTED
+
+    def test_near_zero_weight_rarely_fires(self):
+        g = DiGraph()
+        g.add_edge(0, 1, weight=1e-9)
+        indexed = g.to_indexed()
+        model = CompetitiveICModel(probability=None)
+        fired = sum(
+            model.run(
+                indexed, SeedSets(rumors=[indexed.index(0)]), rng=RngStream(seed)
+            ).states[indexed.index(1)]
+            == INFECTED
+            for seed in range(50)
+        )
+        assert fired == 0
+
+    def test_out_of_range_weight_rejected(self):
+        g = DiGraph()
+        g.add_edge(0, 1, weight=5.0)
+        indexed = g.to_indexed()
+        with pytest.raises(ValueError, match="\\[0, 1\\]"):
+            CompetitiveICModel(probability=None).run(
+                indexed, SeedSets(rumors=[indexed.index(0)]), rng=RngStream(2)
+            )
+
+    def test_fixed_probability_ignores_weights(self):
+        g = DiGraph()
+        g.add_edge(0, 1, weight=1e-9)
+        indexed = g.to_indexed()
+        outcome = CompetitiveICModel(probability=1.0).run(
+            indexed, SeedSets(rumors=[indexed.index(0)]), rng=RngStream(3)
+        )
+        assert outcome.states[indexed.index(1)] == INFECTED
+
+    def test_name_reflects_variant(self):
+        assert CompetitiveICModel(probability=None).name == "IC-W"

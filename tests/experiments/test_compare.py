@@ -1,0 +1,99 @@
+"""Unit tests for result comparison utilities."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.compare import (
+    compare_figures,
+    compare_tables,
+    figure_winner_order,
+    table_winners,
+)
+
+
+def figure_doc(finals):
+    return {
+        "kind": "figure",
+        "series": {name: [0.0, value] for name, value in finals.items()},
+    }
+
+
+def table_doc(rows):
+    return {"kind": "table", "rows": rows}
+
+
+class TestFigureComparison:
+    def test_winner_order_excludes_noblocking(self):
+        doc = figure_doc({"Greedy": 10, "MaxDegree": 20, "NoBlocking": 99})
+        assert figure_winner_order(doc) == ["Greedy", "MaxDegree"]
+
+    def test_compare_same_order(self):
+        left = figure_doc({"Greedy": 10, "MaxDegree": 20})
+        right = figure_doc({"Greedy": 100, "MaxDegree": 250})
+        result = compare_figures(left, right)
+        assert result["same_winner"] and result["same_order"]
+        assert result["relative_final"]["Greedy"] == pytest.approx(10.0)
+
+    def test_compare_flipped_order(self):
+        left = figure_doc({"Greedy": 10, "MaxDegree": 20})
+        right = figure_doc({"Greedy": 30, "MaxDegree": 25})
+        result = compare_figures(left, right)
+        assert not result["same_winner"]
+
+    def test_algorithm_mismatch_rejected(self):
+        with pytest.raises(ExperimentError):
+            compare_figures(
+                figure_doc({"Greedy": 1}), figure_doc({"MaxDegree": 1})
+            )
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ExperimentError):
+            figure_winner_order({"kind": "table"})
+
+
+class TestTableComparison:
+    def rows(self, scbg, proximity):
+        return [
+            {
+                "dataset": "hep",
+                "fraction": 0.05,
+                "SCBG": scbg,
+                "Proximity": proximity,
+                "MaxDegree": 99.0,
+            }
+        ]
+
+    def test_winners(self):
+        doc = table_doc(self.rows(3.0, 10.0))
+        assert table_winners(doc) == {("hep", 0.05): "SCBG"}
+
+    def test_agreement(self):
+        left = table_doc(self.rows(3.0, 10.0))
+        right = table_doc(self.rows(5.0, 30.0))
+        result = compare_tables(left, right)
+        assert result["agreement"] == 1.0
+        assert result["disagreements"] == []
+
+    def test_disagreement_reported(self):
+        left = table_doc(self.rows(3.0, 10.0))
+        right = table_doc(self.rows(12.0, 10.0))
+        result = compare_tables(left, right)
+        assert result["agreement"] == 0.0
+        assert result["disagreements"][0]["left"] == "SCBG"
+        assert result["disagreements"][0]["right"] == "Proximity"
+
+    def test_no_common_cells_rejected(self):
+        left = table_doc(self.rows(1.0, 2.0))
+        right = table_doc(
+            [
+                {
+                    "dataset": "enron-small",
+                    "fraction": 0.1,
+                    "SCBG": 1.0,
+                    "Proximity": 2.0,
+                    "MaxDegree": 3.0,
+                }
+            ]
+        )
+        with pytest.raises(ExperimentError):
+            compare_tables(left, right)

@@ -1,0 +1,57 @@
+"""Unit tests for experiment configs."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.config import FigureConfig, TableConfig
+
+
+class TestFigureConfig:
+    def test_valid(self):
+        config = FigureConfig(name="x", dataset="hep", model="opoao")
+        assert config.hops == 31
+
+    def test_bad_model_rejected(self):
+        with pytest.raises(ExperimentError):
+            FigureConfig(name="x", dataset="hep", model="sir")
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ExperimentError):
+            FigureConfig(name="x", dataset="hep", model="doam", rumor_fraction=0.0)
+
+    def test_bad_counts_rejected(self):
+        with pytest.raises(ExperimentError):
+            FigureConfig(name="x", dataset="hep", model="doam", runs=0)
+
+    def test_scaled_override(self):
+        config = FigureConfig(name="x", dataset="hep", model="opoao")
+        smaller = config.scaled(runs=5, scale=0.02)
+        assert smaller.runs == 5
+        assert smaller.scale == 0.02
+        assert smaller.dataset == "hep"
+        assert config.runs == 100  # original untouched
+
+    def test_frozen(self):
+        config = FigureConfig(name="x", dataset="hep", model="opoao")
+        with pytest.raises(Exception):
+            config.runs = 7
+
+
+class TestTableConfig:
+    def test_default_rows_match_paper(self):
+        config = TableConfig()
+        assert config.rows["hep"] == (0.01, 0.05, 0.10)
+        assert config.rows["enron-small"] == (0.05, 0.10, 0.20)
+        assert config.rows["enron-large"] == (0.01, 0.05, 0.10)
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ExperimentError):
+            TableConfig(rows={"hep": (0.0,)})
+
+    def test_bad_draws_rejected(self):
+        with pytest.raises(ExperimentError):
+            TableConfig(draws=0)
+
+    def test_scaled_override(self):
+        config = TableConfig().scaled(draws=2)
+        assert config.draws == 2

@@ -1,0 +1,132 @@
+"""Integration-level tests for the experiment harness (small scales)."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.config import FigureConfig, TableConfig
+from repro.experiments.harness import (
+    GREEDY,
+    MAXDEGREE,
+    NOBLOCKING,
+    PROXIMITY,
+    SCBG,
+    make_model,
+    run_figure,
+    run_table,
+)
+
+
+@pytest.fixture(scope="module")
+def opoao_result():
+    config = FigureConfig(
+        name="mini-opoao",
+        dataset="enron-small",
+        model="opoao",
+        rumor_fraction=0.1,
+        hops=10,
+        runs=8,
+        draws=1,
+        scale=0.02,
+        greedy_runs=3,
+        greedy_max_candidates=25,
+        seed=21,
+    )
+    return run_figure(config)
+
+
+@pytest.fixture(scope="module")
+def doam_result():
+    config = FigureConfig(
+        name="mini-doam",
+        dataset="enron-small",
+        model="doam",
+        rumor_fraction=0.1,
+        hops=8,
+        runs=1,
+        draws=2,
+        scale=0.02,
+        seed=22,
+    )
+    return run_figure(config)
+
+
+class TestMakeModel:
+    def test_all_keys(self):
+        for key in ("opoao", "doam", "ic", "lt"):
+            assert make_model(key).name
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ExperimentError):
+            make_model("sir")
+
+
+class TestOpoaoFigure:
+    def test_series_present_for_all_algorithms(self, opoao_result):
+        assert set(opoao_result.series) == {GREEDY, PROXIMITY, MAXDEGREE, NOBLOCKING}
+
+    def test_series_lengths(self, opoao_result):
+        for values in opoao_result.series.values():
+            assert len(values) == opoao_result.config.hops + 1
+
+    def test_budget_is_rumor_count(self, opoao_result):
+        for name in (GREEDY, PROXIMITY, MAXDEGREE):
+            assert opoao_result.protectors_used[name] == opoao_result.rumor_seeds
+        assert opoao_result.protectors_used[NOBLOCKING] == 0
+
+    def test_noblocking_is_worst(self, opoao_result):
+        worst = opoao_result.final_infected(NOBLOCKING)
+        for name in (GREEDY, PROXIMITY, MAXDEGREE):
+            assert opoao_result.final_infected(name) <= worst
+
+    def test_series_monotone(self, opoao_result):
+        for values in opoao_result.series.values():
+            assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_metadata(self, opoao_result):
+        assert opoao_result.nodes == round(36692 * 0.02)
+        assert opoao_result.rumor_seeds >= 1
+        assert opoao_result.bridge_ends >= 0
+
+
+class TestDoamFigure:
+    def test_scbg_in_series(self, doam_result):
+        assert SCBG in doam_result.series
+        assert GREEDY not in doam_result.series
+
+    def test_heuristics_use_scbg_budget(self, doam_result):
+        budget = doam_result.protectors_used[SCBG]
+        assert doam_result.protectors_used[PROXIMITY] <= budget
+        assert doam_result.protectors_used[MAXDEGREE] <= budget
+
+    def test_scbg_protects_most(self, doam_result):
+        # SCBG's whole purpose: fewest infected at the end.
+        scbg_final = doam_result.final_infected(SCBG)
+        assert scbg_final <= doam_result.final_infected(NOBLOCKING)
+
+
+class TestTable:
+    def test_rows_and_shape(self):
+        config = TableConfig(
+            rows={"enron-small": (0.05, 0.10)}, draws=2, scale=0.02, seed=23
+        )
+        result = run_table(config)
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert row[SCBG] >= 0
+            assert row[PROXIMITY] >= 0
+            assert row[MAXDEGREE] >= 0
+
+    def test_cell_lookup(self):
+        config = TableConfig(rows={"enron-small": (0.05,)}, draws=1, scale=0.02)
+        result = run_table(config)
+        assert result.cell("enron-small", 0.05, SCBG) == result.rows[0][SCBG]
+        with pytest.raises(KeyError):
+            result.cell("hep", 0.05, SCBG)
+
+    def test_scbg_uses_fewest_protectors_typically(self):
+        config = TableConfig(
+            rows={"enron-small": (0.10,)}, draws=3, scale=0.03, seed=24
+        )
+        result = run_table(config)
+        row = result.rows[0]
+        assert row[SCBG] <= row[PROXIMITY]

@@ -1,0 +1,44 @@
+"""Unit tests for harness internals (counting/sampling rules)."""
+
+import pytest
+
+from repro.experiments.harness import _rumor_count, _sampled
+from repro.rng import RngStream
+
+
+class TestRumorCount:
+    def test_ceil_of_fraction(self):
+        # The paper's |R| = 1% of |C| = 308 gives 3.08 -> 4 with ceil?
+        # Table I reports "3 rumor originators" for 1% of 308, i.e. floor
+        # -- but ceil(0.01 * 308) = 4. We use ceil for small communities
+        # where floor would give 0; document the difference:
+        assert _rumor_count(0.01, 308) == 4
+        assert _rumor_count(0.05, 308) == 16
+
+    def test_at_least_one(self):
+        assert _rumor_count(0.01, 10) == 1
+
+    def test_leaves_room_for_non_seeds(self):
+        assert _rumor_count(1.0, 10) == 9
+        assert _rumor_count(0.99, 2) == 1
+
+    def test_single_member_community(self):
+        assert _rumor_count(0.5, 1) == 1
+
+
+class TestSampled:
+    def test_subset_of_solution(self):
+        solution = list(range(20))
+        picks = _sampled(solution, 5, RngStream(1))
+        assert len(picks) == 5
+        assert set(picks) <= set(solution)
+
+    def test_whole_solution_when_budget_exceeds(self):
+        solution = [1, 2, 3]
+        assert _sampled(solution, 10, RngStream(2)) == [1, 2, 3]
+
+    def test_reproducible(self):
+        solution = list(range(30))
+        assert _sampled(solution, 7, RngStream(3)) == _sampled(
+            solution, 7, RngStream(3)
+        )

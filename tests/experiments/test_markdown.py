@@ -1,0 +1,98 @@
+"""Unit tests for markdown report rendering."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.markdown import (
+    figure_markdown,
+    roster_markdown,
+    table_markdown,
+)
+
+
+@pytest.fixture
+def figure_doc():
+    return {
+        "kind": "figure",
+        "name": "figX",
+        "title": "Demo figure",
+        "model": "opoao",
+        "runs": 10,
+        "draws": 1,
+        "scale": 0.1,
+        "nodes": 100,
+        "edges": 500,
+        "community_size": 20,
+        "bridge_ends": 7.0,
+        "rumor_seeds": 2,
+        "series": {
+            "Greedy": [2.0, 3.0, 4.0, 5.0, 6.0],
+            "NoBlocking": [2.0, 10.0, 20.0, 30.0, 40.0],
+        },
+    }
+
+
+@pytest.fixture
+def table_doc():
+    return {
+        "kind": "table",
+        "name": "table1",
+        "draws": 5,
+        "scale": 0.1,
+        "rows": [
+            {
+                "dataset": "hep",
+                "nodes": 1523,
+                "community": 55,
+                "fraction": 0.05,
+                "SCBG": 2.7,
+                "Proximity": 13.3,
+                "MaxDegree": 14.1,
+            }
+        ],
+    }
+
+
+class TestFigureMarkdown:
+    def test_contains_title_meta_and_finals(self, figure_doc):
+        text = figure_markdown(figure_doc)
+        assert text.startswith("## Demo figure")
+        assert "|N|=100" in text
+        assert "| Greedy | 6.0 |" in text
+
+    def test_finals_sorted_best_first(self, figure_doc):
+        text = figure_markdown(figure_doc)
+        assert text.index("Greedy") < text.index("NoBlocking")
+
+    def test_series_sampled_includes_endpoints(self, figure_doc):
+        text = figure_markdown(figure_doc)
+        assert "| 0 |" in text
+        assert "| 4 |" in text
+
+    def test_wrong_kind_rejected(self, table_doc):
+        with pytest.raises(ExperimentError):
+            figure_markdown(table_doc)
+
+
+class TestTableMarkdown:
+    def test_layout(self, table_doc):
+        text = table_markdown(table_doc)
+        assert "hep/1523/55" in text
+        assert "| 5% |" in text
+        assert "13.3" in text
+
+    def test_wrong_kind_rejected(self, figure_doc):
+        with pytest.raises(ExperimentError):
+            table_markdown(figure_doc)
+
+
+class TestRoster:
+    def test_mixed_roster(self, figure_doc, table_doc):
+        text = roster_markdown([figure_doc, table_doc], heading="Report")
+        assert text.startswith("# Report")
+        assert "## Demo figure" in text
+        assert "## Table I" in text
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ExperimentError):
+            roster_markdown([{"kind": "mystery"}])

@@ -1,0 +1,128 @@
+"""Unit tests for experiment result rendering."""
+
+import io
+import json
+
+import pytest
+
+from repro.experiments.config import FigureConfig, TableConfig
+from repro.experiments.harness import FigureResult, TableResult, SCBG, PROXIMITY, MAXDEGREE
+from repro.experiments.report import (
+    figure_to_dict,
+    render_figure,
+    render_table,
+    save_json,
+    table_to_dict,
+)
+
+
+@pytest.fixture
+def figure_result():
+    config = FigureConfig(
+        name="figX", dataset="hep", model="opoao", hops=3, title="Demo figure"
+    )
+    result = FigureResult(config)
+    result.nodes, result.edges = 100, 800
+    result.community_size, result.rumor_seeds = 10, 2
+    result.bridge_ends = 5.0
+    result.series = {
+        "Greedy": [2.0, 3.0, 4.0, 5.0],
+        "NoBlocking": [2.0, 6.0, 9.0, 12.0],
+    }
+    result.protectors_used = {"Greedy": 2.0, "NoBlocking": 0.0}
+    return result
+
+
+@pytest.fixture
+def table_result():
+    config = TableConfig(rows={"hep": (0.01,)}, draws=2)
+    result = TableResult(config)
+    result.rows.append(
+        {
+            "dataset": "hep",
+            "nodes": 1523,
+            "community": 31,
+            "fraction": 0.01,
+            "rumor_seeds": 1,
+            SCBG: 3.5,
+            PROXIMITY: 7.0,
+            MAXDEGREE: 14.2,
+        }
+    )
+    return result
+
+
+class TestRenderFigure:
+    def test_contains_header_and_series(self, figure_result):
+        text = render_figure(figure_result)
+        assert "Demo figure" in text
+        assert "|N|=100" in text
+        assert "Greedy" in text and "NoBlocking" in text
+        assert "12.0" in text
+
+    def test_final_infected_accessor(self, figure_result):
+        assert figure_result.final_infected("Greedy") == 5.0
+
+
+class TestRenderTable:
+    def test_paper_layout(self, table_result):
+        text = render_table(table_result)
+        assert "hep/1523/31" in text
+        assert "1%" in text
+        assert "3.5" in text and "14.2" in text
+        assert "DOAM" in text
+
+
+class TestSerialisation:
+    def test_figure_round_trip(self, figure_result):
+        payload = figure_to_dict(figure_result)
+        assert payload["kind"] == "figure"
+        assert payload["series"]["Greedy"] == [2.0, 3.0, 4.0, 5.0]
+        json.dumps(payload)  # must be JSON-safe
+
+    def test_table_round_trip(self, table_result):
+        payload = table_to_dict(table_result)
+        assert payload["kind"] == "table"
+        assert payload["rows"][0][SCBG] == 3.5
+        json.dumps(payload)
+
+    def test_save_json_path_and_handle(self, tmp_path, table_result):
+        payload = table_to_dict(table_result)
+        path = tmp_path / "out.json"
+        save_json(payload, path)
+        assert json.loads(path.read_text())["kind"] == "table"
+        buffer = io.StringIO()
+        save_json(payload, buffer)
+        assert json.loads(buffer.getvalue())["kind"] == "table"
+
+
+class TestPaperRoster:
+    def test_all_experiments_present(self):
+        from repro.experiments.paper import PAPER_EXPERIMENTS, paper_experiment
+
+        assert set(PAPER_EXPERIMENTS) == {
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "table1",
+        }
+        assert paper_experiment("fig4").dataset == "hep"
+
+    def test_unknown_experiment_rejected(self):
+        from repro.errors import ExperimentError
+        from repro.experiments.paper import paper_experiment
+
+        with pytest.raises(ExperimentError):
+            paper_experiment("fig99")
+
+    def test_model_assignment_matches_paper(self):
+        from repro.experiments.paper import PAPER_EXPERIMENTS
+
+        for key in ("fig4", "fig5", "fig6"):
+            assert PAPER_EXPERIMENTS[key].model == "opoao"
+            assert PAPER_EXPERIMENTS[key].hops == 31
+        for key in ("fig7", "fig8", "fig9"):
+            assert PAPER_EXPERIMENTS[key].model == "doam"

@@ -1,0 +1,47 @@
+"""Unit tests for the parameter-sweep harness."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.sweep import mixing_sweep, run_sweep
+
+
+class TestRunSweep:
+    def test_rows_and_averaging(self):
+        calls = []
+
+        def metric(value, rng):
+            calls.append(value)
+            return {"double": 2 * value, "noise": rng.random()}
+
+        rows = run_sweep([1, 2, 3], metric, draws=4, seed=5)
+        assert [row["value"] for row in rows] == [1, 2, 3]
+        assert rows[1]["double"] == 4.0
+        assert calls.count(2) == 4
+
+    def test_reproducible(self):
+        def metric(value, rng):
+            return {"x": rng.random()}
+
+        a = run_sweep([1, 2], metric, draws=2, seed=9)
+        b = run_sweep([1, 2], metric, draws=2, seed=9)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            run_sweep([], lambda v, r: {}, draws=1)
+        with pytest.raises(ExperimentError):
+            run_sweep([1], lambda v, r: {}, draws=0)
+
+
+class TestMixingSweep:
+    def test_small_sweep_shapes(self):
+        rows = mixing_sweep(
+            mixings=(0.05, 0.30), nodes=400, draws=2, seed=11
+        )
+        assert len(rows) == 2
+        for row in rows:
+            assert row["scbg_protectors"] >= 0
+            assert row["bridge_ends"] >= 0
+        # Blurrier communities leak more: boundary edges must grow.
+        assert rows[1]["boundary_edges"] > rows[0]["boundary_edges"]

@@ -1,0 +1,66 @@
+"""Unit tests for Brandes betweenness centrality."""
+
+import pytest
+
+from repro.graph.betweenness import edge_betweenness, node_betweenness
+from repro.graph.digraph import DiGraph
+
+
+@pytest.fixture
+def barbell():
+    """Two triangles joined by a bridge edge in both directions."""
+    g = DiGraph()
+    for base in (0, 3):
+        nodes = [base, base + 1, base + 2]
+        for i in nodes:
+            for j in nodes:
+                if i != j:
+                    g.add_edge(i, j)
+    g.add_symmetric_edge(2, 3)
+    return g
+
+
+class TestNodeBetweenness:
+    def test_path_center_highest(self):
+        g = DiGraph.from_edges([(0, 1), (1, 2)])
+        scores = node_betweenness(g, normalized=False)
+        assert scores[1] == 1.0  # the single path 0->2 passes through 1
+        assert scores[0] == scores[2] == 0.0
+
+    def test_bridge_nodes_dominate_barbell(self, barbell):
+        scores = node_betweenness(barbell, normalized=False)
+        bridge = {2, 3}
+        for node in barbell.nodes():
+            if node not in bridge:
+                assert scores[node] < scores[2]
+                assert scores[node] < scores[3]
+
+    def test_normalization(self):
+        g = DiGraph.from_edges([(0, 1), (1, 2)])
+        raw = node_betweenness(g, normalized=False)
+        normed = node_betweenness(g, normalized=True)
+        n = 3
+        assert normed[1] == pytest.approx(raw[1] / ((n - 1) * (n - 2)))
+
+    def test_complete_graph_zero(self):
+        g = DiGraph.from_edges([(i, j) for i in range(4) for j in range(4) if i != j])
+        scores = node_betweenness(g, normalized=False)
+        assert all(value == 0.0 for value in scores.values())
+
+
+class TestEdgeBetweenness:
+    def test_chain_edge_counts(self):
+        g = DiGraph.from_edges([(0, 1), (1, 2)])
+        scores = edge_betweenness(g, normalized=False)
+        # (0,1) lies on paths 0->1 and 0->2; (1,2) on 1->2 and 0->2.
+        assert scores[(0, 1)] == 2.0
+        assert scores[(1, 2)] == 2.0
+
+    def test_bridge_edge_dominates_barbell(self, barbell):
+        scores = edge_betweenness(barbell, normalized=False)
+        top_edge = max(scores, key=scores.get)
+        assert top_edge in {(2, 3), (3, 2)}
+
+    def test_all_edges_scored(self, barbell):
+        scores = edge_betweenness(barbell)
+        assert set(scores) == set(barbell.edges())

@@ -1,0 +1,73 @@
+"""Unit tests for the IndexedDiGraph snapshot."""
+
+import pytest
+
+from repro.errors import NodeNotFoundError
+from repro.graph.compact import IndexedDiGraph
+from repro.graph.digraph import DiGraph
+
+
+class TestFromDigraph:
+    def test_snapshot_preserves_structure(self, diamond):
+        indexed = diamond.to_indexed()
+        assert indexed.node_count == 4
+        assert indexed.edge_count == 4
+        s = indexed.index("s")
+        t = indexed.index("t")
+        assert len(indexed.out[s]) == 2
+        assert len(indexed.inn[t]) == 2
+        assert indexed.out_degree(s) == 2
+        assert indexed.in_degree(t) == 2
+
+    def test_labels_follow_insertion_order(self):
+        g = DiGraph()
+        for node in ("c", "a", "b"):
+            g.add_node(node)
+        indexed = g.to_indexed()
+        assert indexed.labels == ("c", "a", "b")
+
+    def test_repeated_snapshots_identical(self, diamond):
+        first = diamond.to_indexed()
+        second = diamond.to_indexed()
+        assert first.labels == second.labels
+        assert first.out == second.out
+        assert first.inn == second.inn
+
+    def test_round_trip_edges(self, chain):
+        indexed = chain.to_indexed()
+        rebuilt = {
+            (indexed.labels[u], indexed.labels[v])
+            for u in range(indexed.node_count)
+            for v in indexed.out[u]
+        }
+        assert rebuilt == set(chain.edges())
+
+
+class TestAccessors:
+    def test_index_of_missing_label_raises(self, diamond):
+        indexed = diamond.to_indexed()
+        with pytest.raises(NodeNotFoundError):
+            indexed.index("ghost")
+
+    def test_indices_and_label_set(self, diamond):
+        indexed = diamond.to_indexed()
+        ids = indexed.indices(["a", "b"])
+        assert indexed.label_set(ids) == {"a", "b"}
+
+    def test_len(self, diamond):
+        assert len(diamond.to_indexed()) == 4
+
+
+class TestValidation:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            IndexedDiGraph(labels=["a"], out=[[], []], inn=[[]])
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ValueError):
+            IndexedDiGraph(labels=["a", "a"], out=[[], []], inn=[[], []])
+
+    def test_immutability_via_tuples(self, diamond):
+        indexed = diamond.to_indexed()
+        assert isinstance(indexed.out, tuple)
+        assert all(isinstance(row, tuple) for row in indexed.out)

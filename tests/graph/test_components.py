@@ -1,0 +1,75 @@
+"""Unit tests for connected-component algorithms."""
+
+from repro.graph.components import (
+    is_weakly_connected,
+    largest_weak_component,
+    strongly_connected_components,
+    weakly_connected_components,
+)
+from repro.graph.digraph import DiGraph
+
+
+class TestWeakComponents:
+    def test_single_component(self, diamond):
+        components = weakly_connected_components(diamond)
+        assert len(components) == 1
+        assert components[0] == {"s", "a", "b", "t"}
+
+    def test_direction_ignored(self):
+        g = DiGraph.from_edges([(0, 1), (2, 1)])  # 2 -> 1 <- 0
+        assert len(weakly_connected_components(g)) == 1
+
+    def test_two_components_sorted_by_size(self):
+        g = DiGraph.from_edges([(0, 1), (1, 2), (10, 11)])
+        components = weakly_connected_components(g)
+        assert [len(c) for c in components] == [3, 2]
+
+    def test_isolated_nodes_are_singletons(self):
+        g = DiGraph()
+        g.add_nodes([1, 2, 3])
+        assert len(weakly_connected_components(g)) == 3
+
+    def test_largest_component_empty_graph(self):
+        assert largest_weak_component(DiGraph()) == set()
+
+    def test_is_weakly_connected(self, chain):
+        assert is_weakly_connected(chain)
+        chain.add_node("lonely")
+        assert not is_weakly_connected(chain)
+
+
+class TestStrongComponents:
+    def test_cycle_is_one_scc(self, cycle):
+        components = strongly_connected_components(cycle)
+        assert len(components) == 1
+        assert components[0] == set(range(5))
+
+    def test_chain_is_all_singletons(self, chain):
+        components = strongly_connected_components(chain)
+        assert len(components) == 6
+        assert all(len(c) == 1 for c in components)
+
+    def test_mixed_graph(self):
+        # SCC {0,1,2} feeding a tail 3 -> 4.
+        g = DiGraph.from_edges([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)])
+        components = strongly_connected_components(g)
+        sizes = sorted(len(c) for c in components)
+        assert sizes == [1, 1, 3]
+        assert {0, 1, 2} in components
+
+    def test_two_sccs_connected_one_way(self):
+        g = DiGraph.from_edges([(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)])
+        components = strongly_connected_components(g)
+        assert {0, 1} in components
+        assert {2, 3} in components
+
+    def test_self_loop_single_scc(self):
+        g = DiGraph.from_edges([(0, 0), (0, 1)])
+        components = strongly_connected_components(g)
+        assert {0} in components and {1} in components
+
+    def test_deep_chain_no_recursion_error(self):
+        n = 5000
+        g = DiGraph.from_edges([(i, i + 1) for i in range(n)])
+        components = strongly_connected_components(g)
+        assert len(components) == n + 1

@@ -1,0 +1,206 @@
+"""Unit tests for the core DiGraph container."""
+
+import pytest
+
+from repro.errors import EdgeNotFoundError, GraphError, NodeNotFoundError
+from repro.graph.digraph import DiGraph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = DiGraph()
+        assert g.node_count == 0
+        assert g.edge_count == 0
+        assert list(g.nodes()) == []
+        assert list(g.edges()) == []
+
+    def test_from_edges(self):
+        g = DiGraph.from_edges([(1, 2), (2, 3)])
+        assert g.node_count == 3
+        assert g.edge_count == 2
+        assert g.has_edge(1, 2) and g.has_edge(2, 3)
+        assert not g.has_edge(2, 1)
+
+    def test_from_edges_with_isolated_nodes(self):
+        g = DiGraph.from_edges([(1, 2)], nodes=[7, 8])
+        assert g.node_count == 4
+        assert g.has_node(7) and g.has_node(8)
+        assert g.out_degree(7) == 0
+
+    def test_from_adjacency(self):
+        g = DiGraph.from_adjacency({"a": ["b", "c"], "b": [], "d": ["a"]})
+        assert g.node_count == 4
+        assert sorted(g.successors("a")) == ["b", "c"]
+        assert g.in_degree("a") == 1
+
+    def test_name_round_trips(self):
+        g = DiGraph(name="net")
+        assert g.name == "net"
+        assert "net" in repr(g)
+
+
+class TestMutation:
+    def test_add_node_idempotent(self):
+        g = DiGraph()
+        g.add_node(1)
+        g.add_node(1)
+        assert g.node_count == 1
+
+    def test_add_edge_creates_endpoints(self):
+        g = DiGraph()
+        g.add_edge("x", "y")
+        assert g.has_node("x") and g.has_node("y")
+
+    def test_readding_edge_keeps_count_updates_weight(self):
+        g = DiGraph()
+        g.add_edge(1, 2, weight=1.0)
+        g.add_edge(1, 2, weight=5.0)
+        assert g.edge_count == 1
+        assert g.edge_weight(1, 2) == 5.0
+
+    def test_non_positive_weight_rejected(self):
+        g = DiGraph()
+        with pytest.raises(GraphError):
+            g.add_edge(1, 2, weight=0.0)
+        with pytest.raises(GraphError):
+            g.add_edge(1, 2, weight=-1.0)
+
+    def test_symmetric_edge(self):
+        g = DiGraph()
+        g.add_symmetric_edge("u", "v")
+        assert g.has_edge("u", "v") and g.has_edge("v", "u")
+        assert g.edge_count == 2
+
+    def test_remove_edge(self):
+        g = DiGraph.from_edges([(1, 2), (2, 1)])
+        g.remove_edge(1, 2)
+        assert not g.has_edge(1, 2)
+        assert g.has_edge(2, 1)
+        assert g.edge_count == 1
+
+    def test_remove_missing_edge_raises(self):
+        g = DiGraph.from_edges([(1, 2)])
+        with pytest.raises(EdgeNotFoundError):
+            g.remove_edge(2, 1)
+
+    def test_remove_node_removes_incident_edges(self):
+        g = DiGraph.from_edges([(1, 2), (2, 3), (3, 1), (2, 2)])
+        g.remove_node(2)
+        assert not g.has_node(2)
+        assert g.edge_count == 1  # only 3 -> 1 remains
+        g.validate()
+
+    def test_remove_missing_node_raises(self):
+        g = DiGraph()
+        with pytest.raises(NodeNotFoundError):
+            g.remove_node("ghost")
+
+    def test_self_loop(self):
+        g = DiGraph()
+        g.add_edge(1, 1)
+        assert g.has_edge(1, 1)
+        assert g.out_degree(1) == 1
+        assert g.in_degree(1) == 1
+        g.validate()
+
+
+class TestAccessors:
+    def test_successors_predecessors(self, diamond):
+        assert sorted(diamond.successors("s")) == ["a", "b"]
+        assert sorted(diamond.predecessors("t")) == ["a", "b"]
+        assert list(diamond.predecessors("s")) == []
+
+    def test_degrees(self, diamond):
+        assert diamond.out_degree("s") == 2
+        assert diamond.in_degree("s") == 0
+        assert diamond.degree("a") == 2
+
+    def test_missing_node_queries_raise(self):
+        g = DiGraph()
+        for call in (
+            lambda: list(g.successors("x")),
+            lambda: list(g.predecessors("x")),
+            lambda: g.out_degree("x"),
+            lambda: g.in_degree("x"),
+            lambda: g.edge_weight("x", "y"),
+        ):
+            with pytest.raises(NodeNotFoundError):
+                call()
+
+    def test_edge_weight_missing_edge(self):
+        g = DiGraph.from_edges([(1, 2)])
+        with pytest.raises(EdgeNotFoundError):
+            g.edge_weight(2, 1)
+
+    def test_contains_len_iter(self):
+        g = DiGraph.from_edges([(1, 2)])
+        assert 1 in g and 3 not in g
+        assert len(g) == 2
+        assert sorted(g) == [1, 2]
+
+    def test_weighted_edges(self):
+        g = DiGraph()
+        g.add_edge(1, 2, weight=2.5)
+        assert list(g.weighted_edges()) == [(1, 2, 2.5)]
+        assert g.total_weight() == 2.5
+
+    def test_in_out_weight(self):
+        g = DiGraph()
+        g.add_edge(1, 2, weight=2.0)
+        g.add_edge(1, 3, weight=3.0)
+        g.add_edge(3, 2, weight=4.0)
+        assert g.out_weight(1) == 5.0
+        assert g.in_weight(2) == 6.0
+
+
+class TestCopyReverse:
+    def test_copy_is_independent(self, diamond):
+        clone = diamond.copy()
+        clone.add_edge("t", "s")
+        assert not diamond.has_edge("t", "s")
+        assert diamond.edge_count == 4
+        assert clone.edge_count == 5
+
+    def test_reverse_flips_edges(self, chain):
+        rev = chain.reverse()
+        assert rev.has_edge(1, 0)
+        assert not rev.has_edge(0, 1)
+        assert rev.edge_count == chain.edge_count
+        rev.validate()
+
+    def test_double_reverse_identity(self, diamond):
+        twice = diamond.reverse().reverse()
+        assert sorted(twice.edges()) == sorted(diamond.edges())
+
+
+class TestUndirectedWeights:
+    def test_symmetrisation_sums_mutual_edges(self):
+        g = DiGraph()
+        g.add_edge("a", "b", weight=1.0)
+        g.add_edge("b", "a", weight=2.0)
+        sym = g.to_undirected_weights()
+        assert sym["a"]["b"] == 3.0
+        assert sym["b"]["a"] == 3.0
+
+    def test_one_directional_edge_kept(self):
+        g = DiGraph.from_edges([("a", "b")])
+        sym = g.to_undirected_weights()
+        assert sym["a"]["b"] == 1.0
+        assert sym["b"]["a"] == 1.0
+
+    def test_self_loop_counted_once(self):
+        g = DiGraph()
+        g.add_edge("a", "a", weight=4.0)
+        sym = g.to_undirected_weights()
+        assert sym["a"]["a"] == 4.0
+
+
+class TestValidate:
+    def test_validate_passes_on_consistent_graph(self, diamond):
+        diamond.validate()  # must not raise
+
+    def test_validate_detects_corruption(self):
+        g = DiGraph.from_edges([(1, 2)])
+        g._edge_count = 99  # simulate corruption
+        with pytest.raises(GraphError):
+            g.validate()

@@ -1,0 +1,202 @@
+"""Unit tests for random-graph generators."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.graph.generators import (
+    barabasi_albert,
+    erdos_renyi,
+    planted_partition,
+    powerlaw_community_digraph,
+    powerlaw_sizes,
+    watts_strogatz,
+)
+from repro.rng import RngStream
+
+
+class TestErdosRenyi:
+    def test_p_zero_no_edges(self, rng):
+        g = erdos_renyi(20, 0.0, rng)
+        assert g.node_count == 20
+        assert g.edge_count == 0
+
+    def test_p_one_complete(self, rng):
+        g = erdos_renyi(6, 1.0, rng)
+        assert g.edge_count == 6 * 5
+
+    def test_undirected_symmetric(self, rng):
+        g = erdos_renyi(15, 0.5, rng, directed=False)
+        for tail, head in g.edges():
+            assert g.has_edge(head, tail)
+
+    def test_deterministic_given_stream(self):
+        a = erdos_renyi(30, 0.2, RngStream(5))
+        b = erdos_renyi(30, 0.2, RngStream(5))
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_invalid_params(self, rng):
+        with pytest.raises(ValidationError):
+            erdos_renyi(0, 0.5, rng)
+        with pytest.raises(ValidationError):
+            erdos_renyi(10, 1.5, rng)
+
+
+class TestBarabasiAlbert:
+    def test_node_and_min_edge_counts(self, rng):
+        g = barabasi_albert(50, 3, rng)
+        assert g.node_count == 50
+        # Each of the 50 - 4 late nodes adds m=3 symmetric edges.
+        assert g.edge_count >= 2 * 3 * (50 - 4)
+
+    def test_symmetric(self, rng):
+        g = barabasi_albert(30, 2, rng)
+        for tail, head in g.edges():
+            assert g.has_edge(head, tail)
+
+    def test_heavy_tail_exists(self, rng):
+        g = barabasi_albert(300, 2, rng)
+        max_degree = max(g.out_degree(n) for n in g.nodes())
+        assert max_degree >= 15  # hubs emerge
+
+    def test_m_ge_n_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            barabasi_albert(5, 5, rng)
+
+
+class TestWattsStrogatz:
+    def test_no_rewiring_is_lattice(self, rng):
+        g = watts_strogatz(12, 4, 0.0, rng)
+        for u in range(12):
+            assert g.has_edge(u, (u + 1) % 12)
+            assert g.has_edge(u, (u + 2) % 12)
+
+    def test_rewired_graph_same_node_count(self, rng):
+        g = watts_strogatz(20, 4, 0.5, rng)
+        assert g.node_count == 20
+        g.validate()
+
+    def test_odd_k_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            watts_strogatz(10, 3, 0.1, rng)
+
+
+class TestPlantedPartition:
+    def test_membership_matches_sizes(self, rng):
+        _, membership = planted_partition([4, 6], 0.9, 0.05, rng)
+        counts = {}
+        for cid in membership.values():
+            counts[cid] = counts.get(cid, 0) + 1
+        assert counts == {0: 4, 1: 6}
+
+    def test_extremes_give_disconnected_cliques(self, rng):
+        g, membership = planted_partition([5, 5], 1.0, 0.0, rng)
+        for tail, head in g.edges():
+            assert membership[tail] == membership[head]
+        # Each block is a complete directed subgraph.
+        assert g.edge_count == 2 * 5 * 4
+
+    def test_intra_denser_than_inter(self, rng):
+        g, membership = planted_partition([30, 30], 0.3, 0.02, rng)
+        intra = sum(1 for t, h in g.edges() if membership[t] == membership[h])
+        inter = g.edge_count - intra
+        assert intra > inter
+
+    def test_bad_sizes_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            planted_partition([], 0.5, 0.1, rng)
+        with pytest.raises(ValidationError):
+            planted_partition([3, 0], 0.5, 0.1, rng)
+
+
+class TestPowerlawSizes:
+    def test_sum_exact(self, rng):
+        sizes = powerlaw_sizes(1000, 12, rng)
+        assert sum(sizes) == 1000
+        assert len(sizes) == 12
+
+    def test_minimum_respected(self, rng):
+        sizes = powerlaw_sizes(500, 20, rng, minimum=5)
+        assert min(sizes) >= 5
+
+    def test_infeasible_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            powerlaw_sizes(10, 20, rng, minimum=3)
+
+    def test_heterogeneous(self, rng):
+        sizes = powerlaw_sizes(2000, 15, rng)
+        assert max(sizes) > 2 * min(sizes)
+
+
+class TestForestFire:
+    def test_node_count_and_connectivity(self, rng):
+        from repro.graph.components import is_weakly_connected
+        from repro.graph.generators import forest_fire
+
+        g = forest_fire(60, 0.35, 0.2, rng)
+        assert g.node_count == 60
+        assert is_weakly_connected(g)  # every arrival links to an ambassador
+
+    def test_densification_with_higher_p(self):
+        from repro.graph.generators import forest_fire
+
+        sparse = forest_fire(80, 0.1, 0.1, RngStream(1))
+        dense = forest_fire(80, 0.45, 0.3, RngStream(1))
+        assert dense.edge_count > sparse.edge_count
+
+    def test_deterministic(self):
+        from repro.graph.generators import forest_fire
+
+        a = forest_fire(40, 0.3, 0.2, RngStream(2))
+        b = forest_fire(40, 0.3, 0.2, RngStream(2))
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_forward_prob_one_rejected(self, rng):
+        from repro.graph.generators import forest_fire
+
+        with pytest.raises(ValidationError):
+            forest_fire(10, 1.0, 0.2, rng)
+
+    def test_single_node(self, rng):
+        from repro.graph.generators import forest_fire
+
+        g = forest_fire(1, 0.3, 0.2, rng)
+        assert g.node_count == 1
+        assert g.edge_count == 0
+
+
+class TestPowerlawCommunityDigraph:
+    def test_basic_statistics(self, rng):
+        g, membership = powerlaw_community_digraph(
+            400, avg_degree=8.0, mixing=0.1, rng=rng
+        )
+        assert g.node_count == 400
+        assert set(membership) == set(range(400))
+        # Duplicate-resampling may fall slightly short of the edge budget.
+        assert g.edge_count > 0.8 * 400 * 8
+
+    def test_mixing_fraction_roughly_honoured(self, rng):
+        g, membership = powerlaw_community_digraph(
+            500, avg_degree=8.0, mixing=0.1, rng=rng
+        )
+        inter = sum(1 for t, h in g.edges() if membership[t] != membership[h])
+        fraction = inter / g.edge_count
+        assert 0.04 <= fraction <= 0.2
+
+    def test_symmetric_mode(self, rng):
+        g, _ = powerlaw_community_digraph(
+            200, avg_degree=6.0, mixing=0.1, rng=rng, symmetric=True
+        )
+        for tail, head in g.edges():
+            assert g.has_edge(head, tail)
+
+    def test_deterministic_given_stream(self):
+        a, ma = powerlaw_community_digraph(150, 6.0, 0.1, RngStream(3))
+        b, mb = powerlaw_community_digraph(150, 6.0, 0.1, RngStream(3))
+        assert sorted(a.edges()) == sorted(b.edges())
+        assert ma == mb
+
+    def test_explicit_community_count(self, rng):
+        _, membership = powerlaw_community_digraph(
+            300, 6.0, 0.1, rng, n_communities=7
+        )
+        assert len(set(membership.values())) == 7

@@ -1,0 +1,100 @@
+"""Unit tests for graph persistence."""
+
+import io
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.graph.digraph import DiGraph
+from repro.graph.io import (
+    read_communities,
+    read_edge_list,
+    read_json,
+    write_communities,
+    write_edge_list,
+    write_json,
+)
+
+
+class TestEdgeList:
+    def test_round_trip_via_path(self, tmp_path, diamond):
+        path = tmp_path / "g.edges"
+        write_edge_list(diamond, path)
+        loaded = read_edge_list(path, node_type=str)
+        assert sorted(loaded.edges()) == sorted(diamond.edges())
+
+    def test_round_trip_via_handle(self, chain):
+        buffer = io.StringIO()
+        write_edge_list(chain, buffer)
+        buffer.seek(0)
+        loaded = read_edge_list(buffer)
+        assert sorted(loaded.edges()) == sorted(chain.edges())
+
+    def test_comments_and_blanks_skipped(self):
+        text = "# header\n\n1 2\n# mid\n2 3\n"
+        loaded = read_edge_list(io.StringIO(text))
+        assert loaded.edge_count == 2
+
+    def test_bad_line_raises_with_line_number(self):
+        with pytest.raises(DatasetError, match="line 2"):
+            read_edge_list(io.StringIO("1 2\n1 2 3\n"))
+
+    def test_bad_token_raises(self):
+        with pytest.raises(DatasetError):
+            read_edge_list(io.StringIO("a b\n"))  # default node_type=int
+
+    def test_isolated_nodes_lost_in_edge_list(self, tmp_path):
+        # Documented format limitation: edge lists carry edges only.
+        g = DiGraph.from_edges([(1, 2)], nodes=[9])
+        path = tmp_path / "g.edges"
+        write_edge_list(g, path)
+        loaded = read_edge_list(path)
+        assert not loaded.has_node(9)
+
+
+class TestJson:
+    def test_round_trip_preserves_everything(self, tmp_path):
+        g = DiGraph(name="demo")
+        g.add_edge(1, 2, weight=2.5)
+        g.add_node(9)  # isolated
+        path = tmp_path / "g.json"
+        write_json(g, path)
+        loaded = read_json(path)
+        assert loaded.name == "demo"
+        assert loaded.has_node(9)
+        assert loaded.edge_weight(1, 2) == 2.5
+
+    def test_invalid_json_raises(self):
+        with pytest.raises(DatasetError):
+            read_json(io.StringIO("not json"))
+
+    def test_missing_key_raises(self):
+        with pytest.raises(DatasetError, match="missing key"):
+            read_json(io.StringIO('{"name": "x", "nodes": []}'))
+
+    def test_bad_edge_entry_raises(self):
+        doc = '{"name": "x", "nodes": [1, 2], "edges": [[1, 2]]}'
+        with pytest.raises(DatasetError, match="bad edge"):
+            read_json(io.StringIO(doc))
+
+    def test_non_scalar_node_rejected(self):
+        doc = '{"name": "x", "nodes": [[1, 2]], "edges": []}'
+        with pytest.raises(DatasetError, match="non-scalar"):
+            read_json(io.StringIO(doc))
+
+
+class TestCommunities:
+    def test_round_trip(self, tmp_path):
+        membership = {1: 0, 2: 0, 3: 1}
+        path = tmp_path / "m.communities"
+        write_communities(membership, path)
+        assert read_communities(path) == membership
+
+    def test_node_type_conversion(self):
+        buffer = io.StringIO("# c\nalice 0\nbob 1\n")
+        loaded = read_communities(buffer, node_type=str)
+        assert loaded == {"alice": 0, "bob": 1}
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(DatasetError, match="line 1"):
+            read_communities(io.StringIO("1 2 3\n"))

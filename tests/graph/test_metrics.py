@@ -1,0 +1,94 @@
+"""Unit tests for graph metrics."""
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.metrics import (
+    average_clustering,
+    average_degree,
+    degree_histogram,
+    density,
+    local_clustering,
+    reciprocity,
+    summarize,
+)
+
+
+class TestDegreeStats:
+    def test_average_degree(self, diamond):
+        assert average_degree(diamond) == 1.0  # 4 edges / 4 nodes
+
+    def test_average_degree_empty(self):
+        assert average_degree(DiGraph()) == 0.0
+
+    def test_density(self, diamond):
+        assert density(diamond) == pytest.approx(4 / (4 * 3))
+
+    def test_density_tiny(self):
+        g = DiGraph()
+        g.add_node(1)
+        assert density(g) == 0.0
+
+    def test_degree_histogram_out(self, diamond):
+        histogram = degree_histogram(diamond, "out")
+        # s has out 2; a, b have out 1; t has out 0.
+        assert histogram == [1, 2, 1]
+
+    def test_degree_histogram_in(self, diamond):
+        assert degree_histogram(diamond, "in") == [1, 2, 1]
+
+    def test_degree_histogram_total(self, diamond):
+        assert degree_histogram(diamond, "total") == [0, 0, 4]
+
+    def test_degree_histogram_bad_direction(self, diamond):
+        with pytest.raises(ValueError):
+            degree_histogram(diamond, "sideways")
+
+    def test_degree_histogram_empty(self):
+        assert degree_histogram(DiGraph()) == []
+
+
+class TestReciprocity:
+    def test_fully_reciprocal(self):
+        g = DiGraph()
+        g.add_symmetric_edge(1, 2)
+        assert reciprocity(g) == 1.0
+
+    def test_no_reciprocity(self, chain):
+        assert reciprocity(chain) == 0.0
+
+    def test_empty(self):
+        assert reciprocity(DiGraph()) == 0.0
+
+
+class TestClustering:
+    def test_triangle_clusters_fully(self):
+        g = DiGraph.from_edges([(0, 1), (1, 2), (2, 0)])
+        assert local_clustering(g, 0) == 1.0
+        assert average_clustering(g) == 1.0
+
+    def test_star_has_zero_clustering(self):
+        g = DiGraph.from_edges([(0, i) for i in range(1, 5)])
+        assert local_clustering(g, 0) == 0.0
+
+    def test_degree_below_two_is_zero(self, chain):
+        assert local_clustering(chain, 0) == 0.0
+
+    def test_average_clustering_empty(self):
+        assert average_clustering(DiGraph()) == 0.0
+
+
+class TestSummary:
+    def test_summarize_fields(self, diamond):
+        summary = summarize(diamond)
+        assert summary.nodes == 4
+        assert summary.edges == 4
+        assert summary.average_degree == 1.0
+        assert 0 < summary.density < 1
+        assert summary.reciprocity == 0.0
+
+    def test_as_dict_and_str(self, diamond):
+        summary = summarize(diamond)
+        payload = summary.as_dict()
+        assert payload["nodes"] == 4
+        assert "|N|=4" in str(summary)

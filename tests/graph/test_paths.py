@@ -1,0 +1,83 @@
+"""Unit tests for weighted shortest paths."""
+
+import pytest
+
+from repro.errors import NodeNotFoundError
+from repro.graph.digraph import DiGraph
+from repro.graph.paths import dijkstra, shortest_weighted_path, weighted_eccentricity
+
+
+@pytest.fixture
+def weighted():
+    g = DiGraph()
+    g.add_edge("s", "a", weight=1.0)
+    g.add_edge("s", "b", weight=4.0)
+    g.add_edge("a", "b", weight=1.0)
+    g.add_edge("b", "t", weight=1.0)
+    g.add_edge("a", "t", weight=5.0)
+    return g
+
+
+class TestDijkstra:
+    def test_distances(self, weighted):
+        distances, parents = dijkstra(weighted, ["s"])
+        assert distances == {"s": 0.0, "a": 1.0, "b": 2.0, "t": 3.0}
+        assert parents["b"] == "a"  # cheaper via a than direct
+
+    def test_multi_source(self, weighted):
+        distances, _ = dijkstra(weighted, ["s", "b"])
+        assert distances["t"] == 1.0
+
+    def test_reverse(self, weighted):
+        distances, _ = dijkstra(weighted, ["t"], reverse=True)
+        assert distances["s"] == 3.0
+
+    def test_cutoff(self, weighted):
+        distances, _ = dijkstra(weighted, ["s"], cutoff=1.5)
+        assert "t" not in distances
+        assert distances["a"] == 1.0
+
+    def test_unreachable_absent(self):
+        g = DiGraph.from_edges([("a", "b")], nodes=["z"])
+        distances, _ = dijkstra(g, ["a"])
+        assert "z" not in distances
+
+    def test_missing_source_raises(self, weighted):
+        with pytest.raises(NodeNotFoundError):
+            dijkstra(weighted, ["ghost"])
+
+    def test_empty_sources_rejected(self, weighted):
+        with pytest.raises(ValueError):
+            dijkstra(weighted, [])
+
+    def test_matches_bfs_on_unit_weights(self, diamond):
+        from repro.graph.traversal import bfs_distances
+
+        distances, _ = dijkstra(diamond, ["s"])
+        assert distances == {k: float(v) for k, v in bfs_distances(diamond, "s").items()}
+
+
+class TestPathReconstruction:
+    def test_path(self, weighted):
+        assert shortest_weighted_path(weighted, "s", "t") == ["s", "a", "b", "t"]
+
+    def test_trivial_path(self, weighted):
+        assert shortest_weighted_path(weighted, "s", "s") == ["s"]
+
+    def test_unreachable_none(self):
+        g = DiGraph.from_edges([("a", "b")], nodes=["z"])
+        assert shortest_weighted_path(g, "a", "z") is None
+
+    def test_missing_target_raises(self, weighted):
+        with pytest.raises(NodeNotFoundError):
+            shortest_weighted_path(weighted, "s", "ghost")
+
+
+class TestEccentricity:
+    def test_value(self, weighted):
+        assert weighted_eccentricity(weighted, "s") == 3.0
+
+    def test_isolated(self):
+        g = DiGraph()
+        g.add_node("x")
+        assert weighted_eccentricity(g, "x") == 0.0

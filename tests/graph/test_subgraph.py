@@ -1,0 +1,68 @@
+"""Unit tests for induced subgraphs and boundary extraction."""
+
+import pytest
+
+from repro.errors import NodeNotFoundError
+from repro.graph.digraph import DiGraph
+from repro.graph.subgraph import (
+    boundary_in_edges,
+    boundary_out_edges,
+    edge_cut,
+    induced_subgraph,
+)
+
+
+@pytest.fixture
+def split_graph():
+    """Two halves {0,1,2} and {3,4} with cross edges 2->3 and 4->0."""
+    return DiGraph.from_edges(
+        [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3), (4, 0)]
+    )
+
+
+class TestInducedSubgraph:
+    def test_keeps_internal_edges_only(self, split_graph):
+        sub = induced_subgraph(split_graph, [0, 1, 2])
+        assert sub.node_count == 3
+        assert sorted(sub.edges()) == [(0, 1), (1, 2), (2, 0)]
+
+    def test_isolated_member_kept(self, split_graph):
+        sub = induced_subgraph(split_graph, [0, 3])
+        assert sub.node_count == 2
+        assert sub.edge_count == 0
+
+    def test_missing_node_raises(self, split_graph):
+        with pytest.raises(NodeNotFoundError):
+            induced_subgraph(split_graph, [0, 99])
+
+    def test_weights_preserved(self):
+        g = DiGraph()
+        g.add_edge(1, 2, weight=3.0)
+        sub = induced_subgraph(g, [1, 2])
+        assert sub.edge_weight(1, 2) == 3.0
+
+
+class TestBoundaries:
+    def test_out_edges(self, split_graph):
+        assert boundary_out_edges(split_graph, [0, 1, 2]) == [(2, 3)]
+
+    def test_in_edges(self, split_graph):
+        assert boundary_in_edges(split_graph, [0, 1, 2]) == [(4, 0)]
+
+    def test_whole_graph_has_no_boundary(self, split_graph):
+        assert boundary_out_edges(split_graph, list(split_graph.nodes())) == []
+
+    def test_missing_node_raises(self, split_graph):
+        with pytest.raises(NodeNotFoundError):
+            boundary_out_edges(split_graph, [99])
+
+
+class TestEdgeCut:
+    def test_counts_both_directions(self, split_graph):
+        forward, backward = edge_cut(split_graph, [0, 1, 2], [3, 4])
+        assert forward == 1  # 2 -> 3
+        assert backward == 1  # 4 -> 0
+
+    def test_overlap_rejected(self, split_graph):
+        with pytest.raises(ValueError):
+            edge_cut(split_graph, [0, 1], [1, 2])

@@ -1,0 +1,78 @@
+"""Unit tests for live graph views."""
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.views import DegreeView, EdgeView, NodeView
+
+
+class TestNodeView:
+    def test_set_semantics(self, diamond):
+        view = diamond.nodes_view()
+        assert "s" in view
+        assert "ghost" not in view
+        assert len(view) == 4
+        assert set(view) == {"s", "a", "b", "t"}
+
+    def test_set_operations_return_frozensets(self, diamond):
+        view = diamond.nodes_view()
+        overlap = view & {"s", "x"}
+        assert overlap == frozenset({"s"})
+        union = view | {"x"}
+        assert "x" in union and "t" in union
+        assert isinstance(overlap, frozenset)
+
+    def test_live_after_mutation(self, diamond):
+        view = diamond.nodes_view()
+        diamond.add_node("new")
+        assert "new" in view
+        assert len(view) == 5
+
+    def test_unhashable_membership_is_false(self, diamond):
+        assert ["s"] not in diamond.nodes_view()
+
+
+class TestEdgeView:
+    def test_set_semantics(self, diamond):
+        view = diamond.edges_view()
+        assert ("s", "a") in view
+        assert ("a", "s") not in view
+        assert ("s",) not in view
+        assert "sa" not in view
+        assert len(view) == 4
+
+    def test_difference_between_graphs(self, diamond):
+        mutated = diamond.copy()
+        mutated.add_edge("t", "s")
+        fresh = mutated.edges_view() - diamond.edges_view()
+        assert fresh == frozenset({("t", "s")})
+
+    def test_with_weights(self):
+        g = DiGraph()
+        g.add_edge(1, 2, weight=2.0)
+        assert list(g.edges_view().with_weights()) == [(1, 2, 2.0)]
+
+    def test_live(self, diamond):
+        view = diamond.edges_view()
+        diamond.add_edge("t", "s")
+        assert ("t", "s") in view
+
+
+class TestDegreeView:
+    def test_mapping_semantics(self, diamond):
+        view = diamond.degree_view("out")
+        assert view["s"] == 2
+        assert len(view) == 4
+        assert dict(view.items())["t"] == 0
+
+    def test_directions(self, diamond):
+        assert diamond.degree_view("in")["t"] == 2
+        assert diamond.degree_view("total")["a"] == 2
+
+    def test_bad_direction(self, diamond):
+        with pytest.raises(ValueError):
+            DegreeView(diamond, "sideways")
+
+    def test_sorting_by_degree(self, diamond):
+        ranked = sorted(diamond.degree_view("out").items(), key=lambda kv: -kv[1])
+        assert ranked[0][0] == "s"

@@ -1,0 +1,29 @@
+"""Integration: the experiment harness under the extension models."""
+
+import pytest
+
+from repro.experiments.config import FigureConfig
+from repro.experiments.harness import GREEDY, NOBLOCKING, run_figure
+
+
+@pytest.mark.parametrize("model_key", ["ic", "lt"])
+def test_figure_harness_under_extension_models(model_key):
+    config = FigureConfig(
+        name=f"mini-{model_key}",
+        dataset="hep",
+        model=model_key,
+        rumor_fraction=0.1,
+        hops=8,
+        runs=6,
+        draws=1,
+        scale=0.02,
+        greedy_runs=3,
+        greedy_max_candidates=20,
+        seed=29,
+    )
+    result = run_figure(config)
+    assert GREEDY in result.series and NOBLOCKING in result.series
+    assert len(result.series[GREEDY]) == config.hops + 1
+    assert result.final_infected(GREEDY) <= result.final_infected(NOBLOCKING)
+    for series in result.series.values():
+        assert all(b >= a - 1e-9 for a, b in zip(series, series[1:]))

@@ -1,0 +1,120 @@
+"""End-to-end integration tests on planted-partition networks.
+
+These exercise the complete paper pipeline — generation, detection,
+bridge-end discovery, selection, simulation — and assert the paper's
+qualitative claims on instances with known ground truth.
+"""
+
+import pytest
+
+from repro.algorithms.base import SelectionContext
+from repro.algorithms.celf import CELFGreedySelector
+from repro.algorithms.heuristics import (
+    MaxDegreeSelector,
+    ProximitySelector,
+    RandomSelector,
+    prefix_protects_all,
+)
+from repro.algorithms.scbg import SCBGSelector
+from repro.community.louvain import louvain
+from repro.community.metrics import normalized_mutual_information
+from repro.community.structure import CommunityStructure
+from repro.diffusion.doam import DOAMModel
+from repro.diffusion.opoao import OPOAOModel
+from repro.graph.generators import planted_partition
+from repro.lcrb.evaluation import evaluate_protectors
+from repro.lcrb.pipeline import build_context, draw_rumor_seeds
+from repro.rng import RngStream
+
+
+@pytest.fixture(scope="module")
+def planted():
+    graph, truth = planted_partition(
+        [40, 40, 40], 0.25, 0.01, RngStream(17), directed=True
+    )
+    return graph, truth
+
+
+@pytest.fixture(scope="module")
+def instance(planted):
+    graph, truth = planted
+    cover = CommunityStructure(graph, truth)
+    seeds = draw_rumor_seeds(cover, 0, 4, RngStream(18))
+    context = SelectionContext(graph, cover.members(0), seeds)
+    return context
+
+
+class TestDetectionToSelection:
+    def test_louvain_matches_planted(self, planted):
+        graph, truth = planted
+        detected = louvain(graph, rng=RngStream(19)).membership
+        assert normalized_mutual_information(detected, truth) > 0.85
+
+    def test_full_default_pipeline_runs(self, planted):
+        graph, _ = planted
+        context, cover, community_id = build_context(graph, rng=RngStream(20))
+        assert context.bridge_ends is not None
+        protectors = SCBGSelector().select(context)
+        assert prefix_protects_all(context, protectors)
+
+
+class TestScbgClaims:
+    def test_scbg_protects_all_bridge_ends(self, instance):
+        cover = SCBGSelector().select(instance)
+        result = evaluate_protectors(instance, cover, DOAMModel(), runs=1)
+        assert result.protected_bridge_fraction == 1.0
+
+    def test_scbg_cheaper_than_heuristics(self, instance):
+        scbg_size = len(SCBGSelector().select(instance))
+        proximity_size = len(
+            ProximitySelector(rng=RngStream(21)).select(instance)
+        )
+        maxdeg_size = len(MaxDegreeSelector().select(instance))
+        assert scbg_size <= proximity_size
+        assert scbg_size <= maxdeg_size
+
+    def test_scbg_scales_slowly_with_rumor_size(self, planted):
+        # Table I's headline: |P| grows much slower than |R| for SCBG.
+        graph, truth = planted
+        cover = CommunityStructure(graph, truth)
+        sizes = []
+        for count in (2, 8):
+            seeds = draw_rumor_seeds(cover, 0, count, RngStream(22))
+            context = SelectionContext(graph, cover.members(0), seeds)
+            sizes.append(len(SCBGSelector().select(context)))
+        growth = sizes[1] - sizes[0]
+        assert growth <= 6 * 4  # far below the rumor-seed growth x community scale
+
+
+class TestOpoaoClaims:
+    def test_any_blocking_beats_noblocking(self, instance):
+        budget = len(instance.rumor_seeds)
+        protectors = CELFGreedySelector(
+            runs=6, max_candidates=40, rng=RngStream(23)
+        ).select(instance, budget=budget)
+        blocked = evaluate_protectors(
+            instance, protectors, OPOAOModel(), runs=40, rng=RngStream(24)
+        )
+        unblocked = evaluate_protectors(
+            instance, [], OPOAOModel(), runs=40, rng=RngStream(24)
+        )
+        assert blocked.final_infected_mean < unblocked.final_infected_mean
+
+    def test_greedy_protects_bridge_ends_better_than_random(self, instance):
+        budget = max(2, len(instance.rumor_seeds))
+        greedy = CELFGreedySelector(
+            runs=6, max_candidates=40, rng=RngStream(25)
+        ).select(instance, budget=budget)
+        random_picks = RandomSelector(rng=RngStream(26)).select(
+            instance, budget=budget
+        )
+        greedy_eval = evaluate_protectors(
+            instance, greedy, OPOAOModel(), runs=60, rng=RngStream(27)
+        )
+        random_eval = evaluate_protectors(
+            instance, random_picks, OPOAOModel(), runs=60, rng=RngStream(27)
+        )
+        assert (
+            greedy_eval.protected_bridge_fraction
+            >= random_eval.protected_bridge_fraction
+        )

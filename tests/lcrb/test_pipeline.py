@@ -1,0 +1,140 @@
+"""Unit tests for the end-to-end pipeline helpers."""
+
+import pytest
+
+from repro.community.structure import CommunityStructure
+from repro.errors import SeedError, ValidationError
+from repro.graph.generators import planted_partition
+from repro.lcrb.pipeline import build_context, detect_communities, draw_rumor_seeds
+from repro.rng import RngStream
+
+
+@pytest.fixture
+def blocks():
+    graph, membership = planted_partition(
+        [20, 20, 20], 0.4, 0.02, RngStream(1), directed=True
+    )
+    return graph, membership
+
+
+class TestDetectCommunities:
+    def test_cover_is_valid(self, blocks):
+        graph, _ = blocks
+        cover = detect_communities(graph, rng=RngStream(2))
+        assert set(cover.membership()) == set(graph.nodes())
+
+
+class TestDrawRumorSeeds:
+    def test_draws_from_requested_community(self, blocks):
+        graph, membership = blocks
+        cover = CommunityStructure(graph, membership)
+        seeds = draw_rumor_seeds(cover, 1, 5, RngStream(3))
+        assert len(seeds) == 5
+        assert all(cover.community_of(s) == 1 for s in seeds)
+
+    def test_distinct(self, blocks):
+        graph, membership = blocks
+        cover = CommunityStructure(graph, membership)
+        seeds = draw_rumor_seeds(cover, 0, 10, RngStream(4))
+        assert len(set(seeds)) == 10
+
+    def test_too_many_rejected(self, blocks):
+        graph, membership = blocks
+        cover = CommunityStructure(graph, membership)
+        with pytest.raises(SeedError):
+            draw_rumor_seeds(cover, 0, 21, RngStream(5))
+
+    def test_reproducible(self, blocks):
+        graph, membership = blocks
+        cover = CommunityStructure(graph, membership)
+        assert draw_rumor_seeds(cover, 0, 4, RngStream(6)) == draw_rumor_seeds(
+            cover, 0, 4, RngStream(6)
+        )
+
+
+class TestBuildContext:
+    def test_fully_defaulted(self, blocks):
+        graph, _ = blocks
+        context, cover, community_id = build_context(graph, rng=RngStream(7))
+        assert community_id in cover.community_ids
+        assert set(context.rumor_seeds) <= cover.members(community_id)
+
+    def test_explicit_everything(self, blocks):
+        graph, membership = blocks
+        cover = CommunityStructure(graph, membership)
+        context, out_cover, community_id = build_context(
+            graph,
+            communities=cover,
+            rumor_community=2,
+            rumor_seeds=[40, 41],
+        )
+        assert out_cover is cover
+        assert community_id == 2
+        assert context.rumor_seeds == (40, 41)
+
+    def test_rumor_fraction_controls_seed_count(self, blocks):
+        graph, membership = blocks
+        cover = CommunityStructure(graph, membership)
+        context, _, _ = build_context(
+            graph,
+            communities=cover,
+            rumor_community=0,
+            rumor_fraction=0.25,
+            rng=RngStream(8),
+        )
+        assert len(context.rumor_seeds) == 5  # 25% of 20
+
+    def test_foreign_communities_rejected(self, blocks, toy):
+        graph, _ = blocks
+        _, toy_cover, _ = toy
+        with pytest.raises(ValidationError):
+            build_context(graph, communities=toy_cover)
+
+
+class TestMultiCommunityContext:
+    def test_zone_is_union_of_seed_communities(self, blocks):
+        from repro.lcrb.pipeline import build_multi_community_context
+
+        graph, membership = blocks
+        cover = CommunityStructure(graph, membership)
+        # Seeds in communities 0 and 2 (nodes 0..19 and 40..59).
+        context = build_multi_community_context(graph, cover, [3, 45])
+        assert context.rumor_community == cover.members(0) | cover.members(2)
+
+    def test_bridge_ends_outside_every_rumor_community(self, blocks):
+        from repro.lcrb.pipeline import build_multi_community_context
+
+        graph, membership = blocks
+        cover = CommunityStructure(graph, membership)
+        context = build_multi_community_context(graph, cover, [3, 45])
+        for end in context.bridge_ends:
+            assert cover.community_of(end) == 1  # the only non-rumor block
+
+    def test_single_community_degenerates_to_definition2(self, blocks):
+        from repro.algorithms.base import SelectionContext
+        from repro.lcrb.pipeline import build_multi_community_context
+
+        graph, membership = blocks
+        cover = CommunityStructure(graph, membership)
+        multi = build_multi_community_context(graph, cover, [3, 7])
+        single = SelectionContext(graph, cover.members(0), [3, 7])
+        assert multi.bridge_ends == single.bridge_ends
+
+    def test_scbg_runs_on_multi_context(self, blocks):
+        from repro.algorithms.heuristics import prefix_protects_all
+        from repro.algorithms.scbg import SCBGSelector
+        from repro.lcrb.pipeline import build_multi_community_context
+
+        graph, membership = blocks
+        cover = CommunityStructure(graph, membership)
+        context = build_multi_community_context(graph, cover, [3, 45])
+        cover_set = SCBGSelector().select(context)
+        assert prefix_protects_all(context, cover_set)
+
+    def test_empty_seeds_rejected(self, blocks):
+        from repro.lcrb.pipeline import build_multi_community_context
+
+        graph, membership = blocks
+        cover = CommunityStructure(graph, membership)
+        with pytest.raises(SeedError):
+            build_multi_community_context(graph, cover, [])

@@ -1,0 +1,65 @@
+"""Unit tests for LCRB problem objects (Definitions 2-3)."""
+
+import pytest
+
+from repro.errors import SeedError, ValidationError
+from repro.lcrb.problem import LCRBDProblem, LCRBPProblem, LCRBProblem
+
+
+class TestLCRBProblem:
+    def test_valid_instance(self, fig2):
+        graph, communities, info = fig2
+        problem = LCRBProblem(graph, communities, 0, info["rumor_seeds"], alpha=0.5)
+        assert problem.bridge_ends == info["bridge_ends"]
+        assert problem.protection_target() == 2  # ceil(0.5 * 3)
+
+    def test_seed_outside_community_rejected(self, fig2):
+        graph, communities, _ = fig2
+        with pytest.raises(SeedError):
+            LCRBProblem(graph, communities, 0, ["p1"])
+
+    def test_empty_seeds_rejected(self, fig2):
+        graph, communities, _ = fig2
+        with pytest.raises(SeedError):
+            LCRBProblem(graph, communities, 0, [])
+
+    def test_unknown_community_rejected(self, fig2):
+        graph, communities, info = fig2
+        with pytest.raises(Exception):
+            LCRBProblem(graph, communities, 99, info["rumor_seeds"])
+
+    def test_foreign_communities_rejected(self, fig2, toy):
+        graph, _, info = fig2
+        _, other_communities, _ = toy
+        with pytest.raises(ValidationError):
+            LCRBProblem(graph, other_communities, 0, info["rumor_seeds"])
+
+    def test_context_cached(self, fig2):
+        graph, communities, info = fig2
+        problem = LCRBProblem(graph, communities, 0, info["rumor_seeds"])
+        assert problem.context is problem.context
+
+    def test_alpha_validated(self, fig2):
+        graph, communities, info = fig2
+        with pytest.raises(ValidationError):
+            LCRBProblem(graph, communities, 0, info["rumor_seeds"], alpha=1.5)
+
+
+class TestVariants:
+    def test_lcrb_p_requires_open_interval(self, fig2):
+        graph, communities, info = fig2
+        LCRBPProblem(graph, communities, 0, info["rumor_seeds"], alpha=0.7)
+        for bad in (0.0, 1.0):
+            with pytest.raises(ValidationError):
+                LCRBPProblem(graph, communities, 0, info["rumor_seeds"], alpha=bad)
+
+    def test_lcrb_d_fixes_alpha_one(self, fig2):
+        graph, communities, info = fig2
+        problem = LCRBDProblem(graph, communities, 0, info["rumor_seeds"])
+        assert problem.alpha == 1.0
+        assert problem.protection_target() == len(info["bridge_ends"])
+
+    def test_variant_names(self, fig2):
+        graph, communities, info = fig2
+        assert LCRBPProblem(graph, communities, 0, info["rumor_seeds"], alpha=0.5).variant == "LCRB-P"
+        assert LCRBDProblem(graph, communities, 0, info["rumor_seeds"]).variant == "LCRB-D"

@@ -1,0 +1,64 @@
+"""Unit tests for instance diagnostics."""
+
+import json
+
+from repro.lcrb.report import build_instance_report, render_instance_report
+
+
+class TestInstanceReport:
+    def test_fig2_numbers(self, fig2_context):
+        report = build_instance_report(fig2_context)
+        assert report.community_size == 5
+        assert report.rumor_seeds == 2
+        assert report.bridge_ends == 3
+        assert report.boundary_edges == 3  # a1->p1, a2->p2, a3->p3
+        # Ring of 5 internal edges out of 8 community out-edges.
+        assert report.internal_fraction == 5 / 8
+        assert report.arrival_histogram == {2: 2, 3: 1}
+        assert len(report.bbst_sizes) == 3
+
+    def test_as_dict_json_safe(self, fig2_context):
+        payload = build_instance_report(fig2_context).as_dict()
+        json.dumps(payload)
+        assert payload["bridge_ends"] == 3
+
+    def test_render_contains_key_facts(self, fig2_context):
+        text = render_instance_report(build_instance_report(fig2_context))
+        assert "|B|=3" in text
+        assert "t_R" in text
+        assert "BBST sizes" in text
+
+    def test_cover_assessment_full_cover(self, fig2_context):
+        from repro.lcrb.report import render_cover_assessment
+
+        text = render_cover_assessment(fig2_context, ["v1", "R1"])
+        assert "0 falling" in text
+        assert "slack" in text
+
+    def test_cover_assessment_partial_cover(self, fig2_context):
+        from repro.lcrb.report import render_cover_assessment
+
+        text = render_cover_assessment(fig2_context, ["v1"])
+        assert "1 falling" in text
+        assert "p3" in text
+
+    def test_cover_assessment_no_bridge_ends(self):
+        from repro.algorithms.base import SelectionContext
+        from repro.graph.digraph import DiGraph
+        from repro.lcrb.report import render_cover_assessment
+
+        g = DiGraph.from_edges([("r", "c"), ("c", "r")])
+        context = SelectionContext(g, ["r", "c"], ["r"])
+        assert "nothing to assess" in render_cover_assessment(context, [])
+
+    def test_no_bridge_ends_instance(self):
+        from repro.algorithms.base import SelectionContext
+        from repro.graph.digraph import DiGraph
+
+        g = DiGraph.from_edges([("r", "c"), ("c", "r")])
+        context = SelectionContext(g, ["r", "c"], ["r"])
+        report = build_instance_report(context)
+        assert report.bridge_ends == 0
+        assert report.bbst_sizes == []
+        text = render_instance_report(report)
+        assert "|B|=0" in text

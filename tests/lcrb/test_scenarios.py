@@ -1,0 +1,74 @@
+"""Unit tests for rumor-placement strategies."""
+
+import pytest
+
+from repro.community.structure import CommunityStructure
+from repro.errors import SeedError, ValidationError
+from repro.graph.generators import planted_partition
+from repro.lcrb.scenarios import PLACEMENTS, place_rumors
+from repro.rng import RngStream
+
+
+@pytest.fixture(scope="module")
+def cover():
+    graph, membership = planted_partition(
+        [25, 25], 0.3, 0.03, RngStream(61), directed=True
+    )
+    return CommunityStructure(graph, membership)
+
+
+class TestPlacements:
+    @pytest.mark.parametrize("strategy", sorted(PLACEMENTS))
+    def test_all_strategies_return_members(self, cover, strategy):
+        seeds = place_rumors(cover, 0, 4, strategy=strategy, rng=RngStream(62))
+        assert len(seeds) == 4
+        assert len(set(seeds)) == 4
+        assert all(cover.community_of(node) == 0 for node in seeds)
+
+    @pytest.mark.parametrize("strategy", sorted(PLACEMENTS))
+    def test_deterministic(self, cover, strategy):
+        a = place_rumors(cover, 0, 3, strategy=strategy, rng=RngStream(63))
+        b = place_rumors(cover, 0, 3, strategy=strategy, rng=RngStream(63))
+        assert a == b
+
+    def test_hubs_are_highest_degree(self, cover):
+        seeds = place_rumors(cover, 0, 3, strategy="hubs", rng=RngStream(64))
+        graph = cover.graph
+        cutoff = min(graph.out_degree(node) for node in seeds)
+        others = [n for n in cover.members(0) if n not in set(seeds)]
+        assert all(graph.out_degree(node) <= cutoff for node in others)
+
+    def test_boundary_members_have_escape_edges(self, cover):
+        seeds = place_rumors(cover, 0, 3, strategy="boundary", rng=RngStream(65))
+        graph = cover.graph
+        boundary_count = sum(
+            1
+            for node in seeds
+            if any(cover.community_of(h) != 0 for h in graph.successors(node))
+        )
+        assert boundary_count == len(seeds)  # planted graph has a big boundary
+
+    def test_deep_prefers_interior(self, cover):
+        graph = cover.graph
+        interior = [
+            node
+            for node in cover.members(0)
+            if all(cover.community_of(h) == 0 for h in graph.successors(node))
+        ]
+        if interior:
+            seeds = place_rumors(
+                cover, 0, min(2, len(interior)), strategy="deep", rng=RngStream(66)
+            )
+            assert set(seeds) <= set(interior)
+
+    def test_unknown_strategy_rejected(self, cover):
+        with pytest.raises(ValidationError):
+            place_rumors(cover, 0, 2, strategy="oracle", rng=RngStream(67))
+
+    def test_missing_rng_rejected(self, cover):
+        with pytest.raises(ValidationError):
+            place_rumors(cover, 0, 2)
+
+    def test_oversized_count_rejected(self, cover):
+        with pytest.raises(SeedError):
+            place_rumors(cover, 0, 26, rng=RngStream(68))

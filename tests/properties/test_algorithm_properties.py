@@ -1,0 +1,150 @@
+"""Property-based tests for selection algorithms and set cover."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.base import SelectionContext
+from repro.algorithms.scbg import SCBGSelector
+from repro.algorithms.setcover import cover_deficit, greedy_set_cover
+from repro.algorithms.heuristics import prefix_protects_all
+from repro.bridge.rfst import find_bridge_ends
+from repro.errors import CoverageError
+from repro.graph.digraph import DiGraph
+
+
+@st.composite
+def cover_instances(draw):
+    """Random (universe, sets) pairs, not necessarily feasible."""
+    universe = draw(st.sets(st.integers(0, 15), max_size=10))
+    n_sets = draw(st.integers(min_value=0, max_value=8))
+    sets = {}
+    for index in range(n_sets):
+        members = draw(st.sets(st.integers(0, 15), max_size=6))
+        sets[f"s{index}"] = frozenset(members)
+    return universe, sets
+
+
+@st.composite
+def lcrb_instances(draw):
+    """Random two-block community graphs with rumor seeds in block 0."""
+    block_a = draw(st.integers(min_value=2, max_value=5))
+    block_b = draw(st.integers(min_value=2, max_value=5))
+    n = block_a + block_b
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            max_size=25,
+        )
+    )
+    graph = DiGraph()
+    graph.add_nodes(range(n))
+    for tail, head in edges:
+        if tail != head:
+            graph.add_edge(tail, head)
+    community = set(range(block_a))
+    seeds = draw(
+        st.sets(st.integers(0, block_a - 1), min_size=1, max_size=2)
+    )
+    return graph, community, sorted(seeds)
+
+
+class TestSetCoverProperties:
+    @given(cover_instances())
+    @settings(max_examples=80, deadline=None)
+    def test_feasible_instances_get_feasible_covers(self, instance):
+        universe, sets = instance
+        if cover_deficit(universe, sets):
+            try:
+                greedy_set_cover(universe, sets)
+                assert False, "expected CoverageError"
+            except CoverageError as exc:
+                assert exc.uncovered == cover_deficit(universe, sets)
+            return
+        cover = greedy_set_cover(universe, sets)
+        covered = set()
+        for key in cover:
+            covered |= sets[key]
+        assert universe <= covered
+        assert len(cover) == len(set(cover))
+
+    @given(cover_instances())
+    @settings(max_examples=80, deadline=None)
+    def test_no_redundant_final_pick(self, instance):
+        # Greedy never picks a set contributing zero new elements.
+        universe, sets = instance
+        assume(not cover_deficit(universe, sets))
+        cover = greedy_set_cover(universe, sets)
+        covered = set()
+        for key in cover:
+            fresh = (sets[key] & universe) - covered
+            assert fresh or not universe
+            covered |= sets[key]
+
+
+class TestBridgeEndProperties:
+    @given(lcrb_instances())
+    @settings(max_examples=80, deadline=None)
+    def test_bridge_end_definition_holds(self, instance):
+        graph, community, seeds = instance
+        ends = find_bridge_ends(graph, community, seeds)
+        from repro.graph.traversal import multi_source_distances
+
+        reachable = set(multi_source_distances(graph, seeds))
+        for end in ends:
+            assert end not in community
+            assert end in reachable
+            assert any(p in community for p in graph.predecessors(end))
+
+    @given(lcrb_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_scbg_cover_always_protects_all(self, instance):
+        graph, community, seeds = instance
+        context = SelectionContext(graph, community, seeds)
+        cover = SCBGSelector().select(context)
+        assert prefix_protects_all(context, cover)
+
+    @given(lcrb_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_scbg_never_selects_rumor_seeds(self, instance):
+        graph, community, seeds = instance
+        context = SelectionContext(graph, community, seeds)
+        cover = SCBGSelector().select(context)
+        assert not set(cover) & set(seeds)
+
+    @given(lcrb_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_scbg_cover_has_nonnegative_slack(self, instance):
+        # The closed-form arrival analysis must agree that every bridge
+        # end protected by the SCBG cover has slack >= 0 (P wins ties).
+        graph, community, seeds = instance
+        context = SelectionContext(graph, community, seeds)
+        if not context.bridge_ends:
+            return
+        from repro.diffusion.arrival import protection_slack
+
+        cover = SCBGSelector().select(context)
+        slack = protection_slack(
+            graph, seeds, cover, sorted(context.bridge_ends, key=repr)
+        )
+        for end, value in slack.items():
+            assert value >= 0, (end, value)
+
+    @given(lcrb_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_bbst_coverage_is_sound(self, instance):
+        # Every bridge end the BBST criterion credits to a candidate is
+        # genuinely saved when that candidate alone is seeded (the
+        # triangle-inequality argument in repro.bridge.coverage).
+        graph, community, seeds = instance
+        context = SelectionContext(graph, community, seeds)
+        if not context.bridge_ends:
+            return
+        from repro.bridge.coverage import blocking_aware_coverage
+
+        selector = SCBGSelector()
+        claimed = selector.coverage_map(context)
+        exact = blocking_aware_coverage(
+            graph, seeds, sorted(claimed, key=repr), sorted(context.bridge_ends, key=repr)
+        )
+        for candidate, ends in claimed.items():
+            assert ends <= exact[candidate]

@@ -1,0 +1,214 @@
+"""Property-based tests for the diffusion models' Section III invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diffusion.base import INACTIVE, INFECTED, PROTECTED, SeedSets
+from repro.diffusion.doam import DOAMModel
+from repro.diffusion.ic import CompetitiveICModel
+from repro.diffusion.lt import CompetitiveLTModel
+from repro.diffusion.opoao import OPOAOModel
+from repro.graph.digraph import DiGraph
+from repro.graph.traversal import multi_source_distances
+from repro.rng import RngStream
+
+
+@st.composite
+def diffusion_instances(draw):
+    """(graph, rumor_ids, protector_ids) with disjoint non-empty rumors."""
+    n = draw(st.integers(min_value=2, max_value=12))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            max_size=36,
+        )
+    )
+    graph = DiGraph()
+    graph.add_nodes(range(n))
+    for tail, head in edges:
+        if tail != head:
+            graph.add_edge(tail, head)
+    rumors = draw(st.sets(st.integers(0, n - 1), min_size=1, max_size=3))
+    protectors = draw(st.sets(st.integers(0, n - 1), max_size=3)) - rumors
+    return graph, sorted(rumors), sorted(protectors)
+
+
+MODELS = [
+    lambda: OPOAOModel(),
+    lambda: DOAMModel(),
+    lambda: CompetitiveICModel(probability=0.6),
+    lambda: CompetitiveLTModel(),
+]
+
+
+class TestCommonProperties:
+    @given(diffusion_instances(), st.integers(0, 3), st.integers(0, 100))
+    @settings(max_examples=60, deadline=None)
+    def test_seeds_keep_their_status(self, instance, model_index, seed):
+        graph, rumors, protectors = instance
+        model = MODELS[model_index]()
+        outcome = model.run(
+            graph.to_indexed(),
+            SeedSets(rumors=rumors, protectors=protectors),
+            rng=RngStream(seed),
+            max_hops=20,
+        )
+        for node in rumors:
+            assert outcome.states[node] == INFECTED
+        for node in protectors:
+            assert outcome.states[node] == PROTECTED
+
+    @given(diffusion_instances(), st.integers(0, 3), st.integers(0, 100))
+    @settings(max_examples=60, deadline=None)
+    def test_trace_counts_match_final_states(self, instance, model_index, seed):
+        graph, rumors, protectors = instance
+        model = MODELS[model_index]()
+        outcome = model.run(
+            graph.to_indexed(),
+            SeedSets(rumors=rumors, protectors=protectors),
+            rng=RngStream(seed),
+            max_hops=20,
+        )
+        assert outcome.trace.infected[-1] == outcome.infected_count
+        assert outcome.trace.protected[-1] == outcome.protected_count
+
+    @given(diffusion_instances(), st.integers(0, 3), st.integers(0, 100))
+    @settings(max_examples=60, deadline=None)
+    def test_progressive_cumulative_counts(self, instance, model_index, seed):
+        graph, rumors, protectors = instance
+        model = MODELS[model_index]()
+        outcome = model.run(
+            graph.to_indexed(),
+            SeedSets(rumors=rumors, protectors=protectors),
+            rng=RngStream(seed),
+            max_hops=20,
+        )
+        for series in (outcome.trace.infected, outcome.trace.protected):
+            assert all(b >= a for a, b in zip(series, series[1:]))
+
+    @given(diffusion_instances(), st.integers(0, 3), st.integers(0, 100))
+    @settings(max_examples=60, deadline=None)
+    def test_activation_only_within_reachability(self, instance, model_index, seed):
+        graph, rumors, protectors = instance
+        model = MODELS[model_index]()
+        indexed = graph.to_indexed()
+        outcome = model.run(
+            indexed,
+            SeedSets(rumors=rumors, protectors=protectors),
+            rng=RngStream(seed),
+            max_hops=20,
+        )
+        reachable = set(multi_source_distances(graph, rumors + protectors))
+        for node in range(indexed.node_count):
+            if outcome.states[node] != INACTIVE:
+                assert node in reachable
+
+
+def _doam_oracle(graph, rumors, protectors):
+    """Independent DOAM oracle: Bellman-Ford fixpoint on arrival times.
+
+    A node spreads P once protected (t_P <= t_R) and R once infected
+    (t_R < t_P); arrivals relax along edges until stable. This formulation
+    never simulates fronts, so agreement with the step simulator is a real
+    cross-check, not a tautology.
+    """
+    INF = float("inf")
+    t_p = {node: INF for node in graph.nodes()}
+    t_r = {node: INF for node in graph.nodes()}
+    for node in protectors:
+        t_p[node] = 0.0
+    for node in rumors:
+        t_r[node] = 0.0
+    changed = True
+    while changed:
+        changed = False
+        for tail, head in graph.edges():
+            if t_p[tail] <= t_r[tail] and t_p[tail] + 1 < t_p[head]:
+                t_p[head] = t_p[tail] + 1
+                changed = True
+            if t_r[tail] < t_p[tail] and t_r[tail] + 1 < t_r[head]:
+                t_r[head] = t_r[tail] + 1
+                changed = True
+    status = {}
+    for node in graph.nodes():
+        if t_p[node] <= t_r[node] and t_p[node] < INF:
+            status[node] = PROTECTED
+        elif t_r[node] < t_p[node]:
+            status[node] = INFECTED
+        else:
+            status[node] = INACTIVE
+    return status
+
+
+class TestDoamOracle:
+    @given(diffusion_instances())
+    @settings(max_examples=100, deadline=None)
+    def test_simulator_matches_fixpoint_oracle(self, instance):
+        graph, rumors, protectors = instance
+        indexed = graph.to_indexed()
+        outcome = DOAMModel().run(
+            indexed, SeedSets(rumors=rumors, protectors=protectors), max_hops=50
+        )
+        oracle = _doam_oracle(graph, set(rumors), set(protectors))
+        for node_id in range(indexed.node_count):
+            label = indexed.labels[node_id]
+            assert outcome.states[node_id] == oracle[label], label
+
+
+class TestOpoaoSpecifics:
+    @given(diffusion_instances(), st.integers(0, 100))
+    @settings(max_examples=60, deadline=None)
+    def test_one_activation_per_active_node_per_step(self, instance, seed):
+        # Each active node targets at most one neighbor per step, so the
+        # newly-activated count per hop is bounded by the previously
+        # active count.
+        graph, rumors, protectors = instance
+        outcome = OPOAOModel().run(
+            graph.to_indexed(),
+            SeedSets(rumors=rumors, protectors=protectors),
+            rng=RngStream(seed),
+            max_hops=15,
+        )
+        trace = outcome.trace
+        for hop in range(1, trace.hops):
+            active_before = trace.infected[hop - 1] + trace.protected[hop - 1]
+            newly = len(trace.newly_infected[hop]) + len(trace.newly_protected[hop])
+            assert newly <= active_before
+
+
+class TestDoamSpecifics:
+    @given(diffusion_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_doam_arrival_bounded_by_bfs_distance(self, instance):
+        # No cascade moves faster than one hop per step: a node first
+        # activates no earlier than its BFS distance from the seeds.
+        graph, rumors, protectors = instance
+        indexed = graph.to_indexed()
+        outcome = DOAMModel().run(
+            indexed, SeedSets(rumors=rumors, protectors=protectors), max_hops=30
+        )
+        distances = multi_source_distances(graph, rumors + protectors)
+        for hop, batch in enumerate(outcome.trace.newly_infected):
+            for node in batch:
+                assert distances[node] <= hop
+        for hop, batch in enumerate(outcome.trace.newly_protected):
+            for node in batch:
+                assert distances[node] <= hop
+
+    @given(diffusion_instances(), st.integers(0, 11))
+    @settings(max_examples=60, deadline=None)
+    def test_doam_protector_monotonicity(self, instance, extra):
+        graph, rumors, protectors = instance
+        if extra in rumors or extra >= graph.node_count:
+            return
+        indexed = graph.to_indexed()
+        base = DOAMModel().run(
+            indexed, SeedSets(rumors=rumors, protectors=protectors), max_hops=30
+        )
+        grown = DOAMModel().run(
+            indexed,
+            SeedSets(rumors=rumors, protectors=set(protectors) | {extra}),
+            max_hops=30,
+        )
+        assert set(base.protected_ids()) <= set(grown.protected_ids())
+        assert grown.infected_count <= base.infected_count

@@ -1,0 +1,114 @@
+"""Approximation-guarantee property tests against brute force.
+
+On instances small enough to solve exactly, the approximation bounds the
+paper proves must hold numerically:
+
+* greedy set cover within ``H_n`` of the optimum (Theorem 2's engine);
+* SCBG's protector count within ``H_{|B|}`` of the smallest protector set
+  that protects every bridge end under DOAM.
+"""
+
+import itertools
+import math
+
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.base import SelectionContext
+from repro.algorithms.heuristics import prefix_protects_all
+from repro.algorithms.scbg import SCBGSelector
+from repro.algorithms.setcover import cover_deficit, greedy_set_cover
+from repro.graph.digraph import DiGraph
+
+
+def harmonic(n: int) -> float:
+    return sum(1.0 / i for i in range(1, n + 1)) if n > 0 else 1.0
+
+
+@st.composite
+def tiny_cover_instances(draw):
+    universe = draw(st.sets(st.integers(0, 7), min_size=1, max_size=7))
+    n_sets = draw(st.integers(min_value=1, max_value=6))
+    sets = {}
+    for index in range(n_sets):
+        members = draw(st.sets(st.sampled_from(sorted(universe)), max_size=5))
+        sets[f"s{index}"] = frozenset(members)
+    return universe, sets
+
+
+def brute_force_cover_size(universe, sets):
+    keys = list(sets)
+    for size in range(len(keys) + 1):
+        for combo in itertools.combinations(keys, size):
+            covered = set()
+            for key in combo:
+                covered |= sets[key]
+            if universe <= covered:
+                return size
+    return None
+
+
+class TestSetCoverRatio:
+    @given(tiny_cover_instances())
+    @settings(max_examples=120, deadline=None)
+    def test_greedy_within_harmonic_of_optimum(self, instance):
+        universe, sets = instance
+        assume(not cover_deficit(universe, sets))
+        greedy = greedy_set_cover(universe, sets)
+        optimum = brute_force_cover_size(universe, sets)
+        assert optimum is not None
+        assert len(greedy) <= harmonic(len(universe)) * optimum + 1e-9
+
+
+@st.composite
+def tiny_lcrb_instances(draw):
+    """Two-block graphs with <= 8 nodes: block 0 holds the rumor seed."""
+    block_a = draw(st.integers(min_value=1, max_value=4))
+    block_b = draw(st.integers(min_value=1, max_value=4))
+    n = block_a + block_b
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            max_size=16,
+        )
+    )
+    graph = DiGraph()
+    graph.add_nodes(range(n))
+    for tail, head in edges:
+        if tail != head:
+            graph.add_edge(tail, head)
+    seed = draw(st.integers(0, block_a - 1))
+    return graph, set(range(block_a)), [seed]
+
+
+class TestScbgRatio:
+    @given(tiny_lcrb_instances())
+    @settings(max_examples=80, deadline=None)
+    def test_scbg_within_harmonic_of_optimum(self, instance):
+        from repro.algorithms.exhaustive import optimal_protector_set
+
+        graph, community, seeds = instance
+        context = SelectionContext(graph, community, seeds)
+        assume(context.bridge_ends)
+        cover = SCBGSelector().select(context)
+        candidates = [node for node in graph.nodes() if context.eligible(node)]
+        optimum = optimal_protector_set(
+            context, candidates=candidates, max_size=len(cover)
+        )
+        bound = harmonic(len(context.bridge_ends)) * max(len(optimum), 1)
+        assert len(cover) <= bound + 1e-9
+
+    @given(tiny_lcrb_instances())
+    @settings(
+        max_examples=80,
+        deadline=None,
+        derandomize=True,  # |B| == 1 is a narrow filter; keep the search reproducible
+        suppress_health_check=[HealthCheck.filter_too_much],
+    )
+    def test_scbg_matches_optimum_for_singleton_bridge_sets(self, instance):
+        # With |B| = 1, H_1 = 1: greedy set cover must be exactly optimal.
+        graph, community, seeds = instance
+        context = SelectionContext(graph, community, seeds)
+        assume(len(context.bridge_ends) == 1)
+        cover = SCBGSelector().select(context)
+        assert len(cover) == 1  # a single bridge end always has a 1-cover

@@ -1,0 +1,180 @@
+"""Unit tests for the CLI (in-process, small scales)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_keys_restricted(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_verbosity_flag(self):
+        args = build_parser().parse_args(["-vv", "datasets"])
+        assert args.verbose == 2
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "hep" in out and "enron-large" in out
+
+    def test_stats(self, capsys):
+        assert main(["stats", "--dataset", "hep", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "|N|=" in out and "rumor community" in out
+
+    def test_communities(self, capsys):
+        assert main(["communities", "--dataset", "hep", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "communities detected" in out
+
+    def test_select_scbg(self, capsys):
+        code = main(
+            [
+                "select",
+                "--dataset",
+                "enron-small",
+                "--scale",
+                "0.02",
+                "--algorithm",
+                "scbg",
+            ]
+        )
+        assert code == 0
+        assert "SCBG selected" in capsys.readouterr().out
+
+    def test_simulate_noblocking(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--dataset",
+                "enron-small",
+                "--scale",
+                "0.02",
+                "--model",
+                "doam",
+                "--algorithm",
+                "none",
+                "--runs",
+                "1",
+                "--hops",
+                "6",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "NoBlocking" in out
+        assert "infected per hop" in out
+
+    def test_simulate_with_chart(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--dataset",
+                "enron-small",
+                "--scale",
+                "0.02",
+                "--model",
+                "doam",
+                "--algorithm",
+                "maxdegree",
+                "--budget",
+                "2",
+                "--runs",
+                "1",
+                "--hops",
+                "6",
+                "--chart",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MaxDegree" in out
+        assert "+------" in out  # the chart's x-axis line
+
+    def test_select_greedy_path(self, capsys):
+        code = main(
+            [
+                "select",
+                "--dataset",
+                "enron-small",
+                "--scale",
+                "0.02",
+                "--algorithm",
+                "greedy",
+                "--budget",
+                "1",
+            ]
+        )
+        assert code == 0
+        assert "selected 1 protector" in capsys.readouterr().out
+
+    def test_inspect(self, capsys):
+        code = main(["inspect", "--dataset", "hep", "--scale", "0.02"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rumor community" in out
+        assert "conductance" in out
+
+    def test_sources(self, capsys):
+        code = main(
+            [
+                "sources",
+                "--dataset",
+                "hep",
+                "--scale",
+                "0.02",
+                "--trials",
+                "2",
+                "--spread-hops",
+                "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "true source" in out
+
+    def test_sweep(self, capsys):
+        code = main(
+            ["sweep", "--nodes", "300", "--draws", "1", "--mixings", "0.05", "0.2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Community-mixing sweep" in out
+        assert "SCBG |P|" in out
+
+    def test_experiment_table_with_json_and_markdown(self, tmp_path, capsys):
+        json_path = tmp_path / "table.json"
+        md_path = tmp_path / "table.md"
+        code = main(
+            [
+                "experiment",
+                "table1",
+                "--scale",
+                "0.02",
+                "--draws",
+                "1",
+                "--json",
+                str(json_path),
+                "--markdown",
+                str(md_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "DOAM" in out
+        payload = json.loads(json_path.read_text())
+        assert payload["kind"] == "table"
+        assert len(payload["rows"]) == 9
+        markdown = md_path.read_text()
+        assert markdown.startswith("# Experiment report")
+        assert "Table I" in markdown

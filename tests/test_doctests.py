@@ -1,0 +1,18 @@
+"""Run the doctests embedded in library docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.rng
+import repro.utils.stats
+import repro.utils.timer
+
+MODULES = [repro.rng, repro.utils.stats, repro.utils.timer]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failure(s) in {module.__name__}"
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"

@@ -1,0 +1,36 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in errors.__all__:
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_node_not_found_is_key_error(self):
+        exc = errors.NodeNotFoundError("x")
+        assert isinstance(exc, KeyError)
+        assert "x" in str(exc)
+        assert exc.node == "x"
+
+    def test_edge_not_found_message(self):
+        exc = errors.EdgeNotFoundError("a", "b")
+        assert "'a'" in str(exc) and "'b'" in str(exc)
+        assert exc.tail == "a" and exc.head == "b"
+
+    def test_validation_error_is_value_error(self):
+        assert issubclass(errors.ValidationError, ValueError)
+
+    def test_coverage_error_carries_residue(self):
+        exc = errors.CoverageError("nope", uncovered={1, 2})
+        assert exc.uncovered == frozenset({1, 2})
+
+    def test_coverage_error_default_residue(self):
+        assert errors.CoverageError("nope").uncovered == frozenset()
+
+    def test_seed_error_is_diffusion_error(self):
+        assert issubclass(errors.SeedError, errors.DiffusionError)

@@ -1,0 +1,62 @@
+"""Smoke tests for the example scripts.
+
+Full executions are exercised manually / by the docs; here each script is
+compiled and its module-level structure checked, so a broken import or
+syntax error in an example fails the suite immediately.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_expected_examples_present():
+    names = {path.name for path in EXAMPLE_FILES}
+    assert {
+        "quickstart.py",
+        "earthquake_rumor.py",
+        "viral_misinformation.py",
+        "custom_diffusion_model.py",
+        "locate_rumor_source.py",
+        "bring_your_own_network.py",
+    } <= names
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_parses_and_has_main(path):
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    functions = {
+        node.name for node in ast.walk(tree) if isinstance(node, ast.FunctionDef)
+    }
+    assert "main" in functions, f"{path.name} lacks a main()"
+    # Must be runnable as a script.
+    assert any(
+        isinstance(node, ast.If)
+        and isinstance(node.test, ast.Compare)
+        and getattr(node.test.left, "id", "") == "__name__"
+        for node in tree.body
+    ), f"{path.name} lacks a __main__ guard"
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_imports_resolve(path):
+    """Every `from repro...` / `import repro...` target must exist."""
+    import importlib
+
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module and (
+            node.module == "repro" or node.module.startswith("repro.")
+        ):
+            module = importlib.import_module(node.module)
+            for alias in node.names:
+                assert hasattr(module, alias.name), (
+                    f"{path.name}: {node.module}.{alias.name} missing"
+                )
+
+    docstring = ast.get_docstring(tree)
+    assert docstring and "Run:" in docstring, f"{path.name} lacks run instructions"

@@ -1,0 +1,39 @@
+"""Unit tests for logging configuration."""
+
+import io
+import logging
+
+from repro.logging_utils import configure_logging, get_logger
+
+
+class TestGetLogger:
+    def test_namespacing(self):
+        assert get_logger().name == "repro"
+        assert get_logger("algorithms").name == "repro.algorithms"
+        assert get_logger("repro.graph").name == "repro.graph"
+
+
+class TestConfigureLogging:
+    def test_levels(self):
+        assert configure_logging(0).level == logging.WARNING
+        assert configure_logging(1).level == logging.INFO
+        assert configure_logging(2).level == logging.DEBUG
+        assert configure_logging(9).level == logging.DEBUG
+
+    def test_idempotent_handler_install(self):
+        logger = configure_logging(1)
+        first = len(logger.handlers)
+        configure_logging(1)
+        assert len(logger.handlers) == first
+
+    def test_output_goes_to_stream(self):
+        stream = io.StringIO()
+        logger = configure_logging(1, stream=stream)
+        logger.info("hello-world-marker")
+        assert "hello-world-marker" in stream.getvalue()
+
+    def test_warning_suppresses_info(self):
+        stream = io.StringIO()
+        logger = configure_logging(0, stream=stream)
+        logger.info("should-not-appear")
+        assert "should-not-appear" not in stream.getvalue()

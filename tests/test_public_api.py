@@ -1,0 +1,30 @@
+"""The public API surface stays importable and complete."""
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_quickstart_symbols(self):
+        # The README's quickstart imports must exist.
+        for name in (
+            "DiGraph",
+            "build_context",
+            "SCBGSelector",
+            "GreedySelector",
+            "CELFGreedySelector",
+            "DOAMModel",
+            "OPOAOModel",
+            "evaluate_protectors",
+            "RngStream",
+        ):
+            assert hasattr(repro, name)
+
+    def test_docstring_mentions_paper(self):
+        assert "Rumor Blocking" in repro.__doc__

@@ -1,0 +1,67 @@
+"""Unit tests for seeded RNG streams."""
+
+import pytest
+
+from repro.rng import DEFAULT_SEED, RngStream, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_path_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+        assert derive_seed(1, "a", 1) != derive_seed(1, "a", 2)
+        assert derive_seed(1) != derive_seed(2)
+
+    def test_non_negative_63_bit(self):
+        for seed in range(20):
+            value = derive_seed(seed, "x")
+            assert 0 <= value < 2**63
+
+
+class TestRngStream:
+    def test_default_seed_is_fixed(self):
+        assert RngStream().seed == DEFAULT_SEED
+        assert RngStream().randrange(10**9) == RngStream().randrange(10**9)
+
+    def test_same_seed_same_draws(self):
+        a, b = RngStream(42), RngStream(42)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_fork_independent_of_consumption(self):
+        a, b = RngStream(42), RngStream(42)
+        a.random()  # consume some entropy
+        assert a.fork("child").randrange(10**9) == b.fork("child").randrange(10**9)
+
+    def test_fork_label_distinguishes(self):
+        root = RngStream(42)
+        assert root.fork("x").seed != root.fork("y").seed
+
+    def test_replicas_distinct(self):
+        root = RngStream(42)
+        seeds = {replica.seed for replica in root.replicas(50)}
+        assert len(seeds) == 50
+
+    def test_restart_replays(self):
+        stream = RngStream(7)
+        first = [stream.random() for _ in range(4)]
+        stream.restart()
+        assert [stream.random() for _ in range(4)] == first
+
+    def test_draw_helpers(self):
+        stream = RngStream(3)
+        assert 0 <= stream.randint(0, 5) <= 5
+        assert stream.choice(["a"]) == "a"
+        sample = stream.sample(list(range(10)), 4)
+        assert len(set(sample)) == 4
+        items = [1, 2, 3]
+        stream.shuffle(items)
+        assert sorted(items) == [1, 2, 3]
+        assert 1.0 <= stream.uniform(1.0, 2.0) <= 2.0
+        assert stream.expovariate(2.0) >= 0.0
+        assert stream.paretovariate(2.0) >= 1.0
+
+    def test_name_tracks_forks(self):
+        stream = RngStream(1, name="root").fork("louvain", 3)
+        assert stream.name == "root/louvain/3"

@@ -1,0 +1,43 @@
+"""Unit tests for the ASCII line chart."""
+
+import pytest
+
+from repro.utils.ascii_chart import line_chart
+
+
+class TestLineChart:
+    def test_basic_structure(self):
+        text = line_chart({"A": [0, 1, 2, 3]}, height=4, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len(lines) == 1 + 4 + 2 + 1  # title + rows + axis + legend
+        assert "*=A" in lines[-1]
+
+    def test_multiple_series_distinct_glyphs(self):
+        text = line_chart({"A": [0, 1], "B": [1, 0]}, height=3)
+        assert "*" in text and "o" in text
+        assert "*=A" in text and "o=B" in text
+
+    def test_monotone_series_has_glyph_top_right(self):
+        text = line_chart({"A": [0, 1, 2, 3, 4]}, height=5)
+        rows = [line for line in text.splitlines() if "|" in line]
+        top_row = rows[0].split("|", 1)[1]
+        assert top_row.rstrip().endswith("*")
+
+    def test_log_scale_labels_positive(self):
+        text = line_chart({"A": [0, 10, 1000]}, height=4, log_scale=True)
+        assert "999" in text or "1000" in text.replace(" ", "")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+        with pytest.raises(ValueError):
+            line_chart({"A": [1], "B": [1, 2]})
+        with pytest.raises(ValueError):
+            line_chart({"A": []})
+        with pytest.raises(ValueError):
+            line_chart({"A": [1, 2]}, height=1)
+
+    def test_constant_series(self):
+        text = line_chart({"A": [5, 5, 5]}, height=3)
+        assert "*" in text

@@ -1,0 +1,46 @@
+"""Unit tests for the bootstrap mean-difference helper."""
+
+import pytest
+
+from repro.rng import RngStream
+from repro.utils.stats import bootstrap_mean_diff
+
+
+class TestBootstrapMeanDiff:
+    def test_clear_separation_resolved(self):
+        left = [1.0] * 30
+        right = [10.0] * 30
+        observed, (lo, hi), p = bootstrap_mean_diff(left, right, RngStream(1))
+        assert observed == -9.0
+        assert hi < 0
+        assert p == 1.0
+
+    def test_identical_samples_unresolved(self):
+        samples = [5.0, 6.0, 7.0] * 10
+        observed, (lo, hi), p = bootstrap_mean_diff(samples, samples, RngStream(2))
+        assert observed == 0.0
+        assert lo <= 0 <= hi
+
+    def test_interval_contains_observed_for_noisy_data(self):
+        rng = RngStream(3)
+        left = [rng.uniform(0, 10) for _ in range(40)]
+        right = [rng.uniform(0, 10) for _ in range(40)]
+        observed, (lo, hi), _ = bootstrap_mean_diff(
+            left, right, RngStream(4), iterations=500
+        )
+        assert lo <= observed <= hi
+
+    def test_deterministic_given_stream(self):
+        left = [1.0, 2.0, 3.0]
+        right = [2.0, 3.0, 4.0]
+        a = bootstrap_mean_diff(left, right, RngStream(5), iterations=200)
+        b = bootstrap_mean_diff(left, right, RngStream(5), iterations=200)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_diff([], [1.0], RngStream(6))
+        with pytest.raises(ValueError):
+            bootstrap_mean_diff([1.0], [1.0], RngStream(6), confidence=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_mean_diff([1.0], [1.0], RngStream(6), iterations=5)

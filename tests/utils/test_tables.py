@@ -1,0 +1,48 @@
+"""Unit tests for ASCII table rendering."""
+
+import pytest
+
+from repro.utils.tables import format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(
+            ["name", "count"], [["alpha", 1], ["b", 22]], title="Demo"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "name" in lines[1] and "count" in lines[1]
+        assert "-+-" in lines[2]
+        assert "alpha" in lines[3]
+
+    def test_floats_one_decimal(self):
+        text = format_table(["v"], [[3.14159]])
+        assert "3.1" in text
+        assert "3.14" not in text
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_no_trailing_whitespace(self):
+        text = format_table(["a", "bee"], [["x", "y"]])
+        for line in text.splitlines():
+            assert line == line.rstrip()
+
+
+class TestFormatSeries:
+    def test_hop_column(self):
+        text = format_series({"X": [1.0, 2.0], "Y": [3.0, 4.0]})
+        lines = text.splitlines()
+        assert lines[0].startswith("hop")
+        assert lines[2].startswith("0")
+        assert "4.0" in lines[3]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            format_series({})
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            format_series({"X": [1.0], "Y": [1.0, 2.0]})
