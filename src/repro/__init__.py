@@ -31,6 +31,7 @@ from repro.algorithms import (
     ProtectorSelector,
     ProximitySelector,
     RandomSelector,
+    RISGreedySelector,
     SCBGSelector,
     SelectionContext,
     SigmaEstimator,
@@ -59,6 +60,7 @@ from repro.lcrb import (
     evaluate_protectors,
 )
 from repro.rng import RngStream
+from repro.sketch import SketchSigmaEstimator, SketchStore
 
 __version__ = "1.0.0"
 
@@ -91,7 +93,11 @@ __all__ = [
     "CELFGreedySelector",
     "SigmaEstimator",
     "SCBGSelector",
+    "RISGreedySelector",
     "greedy_set_cover",
+    # sketch
+    "SketchStore",
+    "SketchSigmaEstimator",
     "MaxDegreeSelector",
     "ProximitySelector",
     "RandomSelector",

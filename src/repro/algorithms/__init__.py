@@ -10,6 +10,9 @@ The paper's two algorithms and the heuristics they are compared against
   names greedy's cost as the open problem — this is the standard answer).
 * :mod:`repro.algorithms.scbg` — Set Cover Based Greedy for LCRB-D under
   DOAM (Algorithms 2 + 3); O(ln n)-approximation by Theorem 2.
+* :mod:`repro.algorithms.ris_greedy` — sketch-greedy max coverage over
+  RR sets (:mod:`repro.sketch`); the sampling-based answer to the same
+  open problem, (1 - 1/e - ε)-quality at a fraction of the cost.
 * :mod:`repro.algorithms.setcover` — the generic greedy set cover SCBG
   reduces to (Definition 4).
 * :mod:`repro.algorithms.heuristics` — MaxDegree, Proximity, Random
@@ -29,6 +32,7 @@ from repro.algorithms.heuristics import (
     RandomSelector,
 )
 from repro.algorithms.pagerank import PageRankSelector, pagerank
+from repro.algorithms.ris_greedy import RISGreedySelector
 from repro.algorithms.scbg import SCBGSelector
 from repro.algorithms.setcover import greedy_set_cover
 from repro.algorithms.source_detection import estimate_sources
@@ -39,6 +43,7 @@ __all__ = [
     "GreedySelector",
     "SigmaEstimator",
     "CELFGreedySelector",
+    "RISGreedySelector",
     "SCBGSelector",
     "greedy_set_cover",
     "MaxDegreeSelector",

@@ -75,6 +75,16 @@ def build_parser() -> argparse.ArgumentParser:
     add_dataset_args(communities)
     communities.add_argument("--top", type=int, default=10, help="communities to show")
 
+    def add_sketch_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--epsilon", type=float, default=0.1,
+            help="ris-greedy: relative precision of the sketch stopping rule",
+        )
+        p.add_argument(
+            "--delta", type=float, default=0.05,
+            help="ris-greedy: confidence parameter of the stopping rule",
+        )
+
     select = sub.add_parser("select", help="select protector originators")
     add_dataset_args(select)
     select.add_argument(
@@ -83,6 +93,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[
             "scbg",
             "greedy",
+            "ris-greedy",
             "gvs",
             "maxdegree",
             "degreediscount",
@@ -94,6 +105,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     select.add_argument("--rumor-fraction", type=float, default=0.05)
     select.add_argument("--budget", type=int, default=None)
+    add_sketch_args(select)
 
     simulate = sub.add_parser("simulate", help="select then simulate a diffusion")
     add_dataset_args(simulate)
@@ -103,6 +115,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[
             "scbg",
             "greedy",
+            "ris-greedy",
             "gvs",
             "maxdegree",
             "degreediscount",
@@ -116,6 +129,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--model", default="doam", choices=["opoao", "doam", "ic", "lt"])
     simulate.add_argument("--rumor-fraction", type=float, default=0.05)
     simulate.add_argument("--budget", type=int, default=None)
+    add_sketch_args(simulate)
     simulate.add_argument("--runs", type=int, default=100)
     simulate.add_argument("--hops", type=int, default=31)
     simulate.add_argument(
@@ -174,9 +188,21 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _selector(name: str, rng: RngStream):
+def _selector(name: str, rng: RngStream, args=None):
     if name == "scbg":
         return SCBGSelector()
+    if name == "ris-greedy":
+        from repro.algorithms.ris_greedy import RISGreedySelector
+
+        # Sketch under the semantics being simulated; OPOAO sketches also
+        # stand in for the stochastic extension models (ic/lt).
+        semantics = "doam" if getattr(args, "model", "doam") == "doam" else "opoao"
+        return RISGreedySelector(
+            semantics=semantics,
+            epsilon=getattr(args, "epsilon", 0.1),
+            delta=getattr(args, "delta", 0.05),
+            rng=rng.fork("ris-greedy"),
+        )
     if name == "gvs":
         from repro.algorithms.gvs import GreedyViralStopper
 
@@ -262,7 +288,7 @@ def _cmd_communities(args) -> int:
 def _cmd_select(args) -> int:
     rng = RngStream(args.seed, name="cli-select")
     dataset, context = _build_instance(args, rng)
-    selector = _selector(args.algorithm, rng)
+    selector = _selector(args.algorithm, rng, args)
     protectors = selector.select(context, budget=args.budget)
     print(
         f"instance: |C|={len(context.rumor_community)} |S_R|={len(context.rumor_seeds)} "
@@ -283,7 +309,7 @@ def _cmd_simulate(args) -> int:
         protectors = []
         name = "NoBlocking"
     else:
-        selector = _selector(args.algorithm, rng)
+        selector = _selector(args.algorithm, rng, args)
         protectors = selector.select(context, budget=args.budget)
         name = selector.name
     model = make_model(args.model)

@@ -15,7 +15,7 @@ the serial simulator does.
 from __future__ import annotations
 
 import multiprocessing
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.diffusion.base import (
     DEFAULT_MAX_HOPS,
@@ -29,13 +29,35 @@ from repro.utils.validation import check_positive
 
 __all__ = ["ParallelMonteCarloSimulator"]
 
+# Per-worker simulation state, installed once by the pool initializer.
+# Shipping the graph inside every chunk payload pickled it once per chunk;
+# the initializer route pickles it once per *worker*, and each chunk
+# message shrinks to a list of replica indices.
+_WORKER: Dict[str, object] = {}
 
-def _run_chunk(
-    payload: Tuple[DiffusionModel, IndexedDiGraph, SeedSets, int, int, Sequence[int]]
-) -> SimulationAggregate:
+
+def _init_worker(
+    model: DiffusionModel,
+    graph: IndexedDiGraph,
+    seeds: SeedSets,
+    base_seed: int,
+    max_hops: int,
+) -> None:
+    """Pool initializer: stash the shared run state in this worker process."""
+    _WORKER["model"] = model
+    _WORKER["graph"] = graph
+    _WORKER["seeds"] = seeds
+    _WORKER["base"] = RngStream(base_seed, name="parallel-worker")
+    _WORKER["max_hops"] = max_hops
+
+
+def _run_chunk(replica_indices: Sequence[int]) -> SimulationAggregate:
     """Worker: run a slice of replica indices and return a partial aggregate."""
-    model, graph, seeds, base_seed, max_hops, replica_indices = payload
-    base = RngStream(base_seed, name="parallel-worker")
+    model: DiffusionModel = _WORKER["model"]
+    graph: IndexedDiGraph = _WORKER["graph"]
+    seeds: SeedSets = _WORKER["seeds"]
+    base: RngStream = _WORKER["base"]
+    max_hops: int = _WORKER["max_hops"]
     aggregate = SimulationAggregate(max_hops)
     for replica_index in replica_indices:
         outcome = model.run(
@@ -96,15 +118,20 @@ class ParallelMonteCarloSimulator:
         worker_count = self.processes or multiprocessing.cpu_count()
         worker_count = max(1, min(worker_count, self.runs))
         chunks = self._chunks(worker_count)
-        payloads = [
-            (self.model, graph, seeds, rng.seed, self.max_hops, chunk)
-            for chunk in chunks
-        ]
+        init_args = (self.model, graph, seeds, rng.seed, self.max_hops)
         if worker_count == 1:
-            partials = [_run_chunk(payloads[0])]
+            saved = dict(_WORKER)
+            try:
+                _init_worker(*init_args)
+                partials = [_run_chunk(chunks[0])]
+            finally:
+                _WORKER.clear()
+                _WORKER.update(saved)
         else:
-            with multiprocessing.Pool(processes=worker_count) as pool:
-                partials = pool.map(_run_chunk, payloads)
+            with multiprocessing.Pool(
+                processes=worker_count, initializer=_init_worker, initargs=init_args
+            ) as pool:
+                partials = pool.map(_run_chunk, chunks)
 
         merged = partials[0]
         for partial in partials[1:]:

@@ -1,0 +1,39 @@
+"""RR-set sketch engine: sampling-based σ estimation for rumor blocking.
+
+The Monte-Carlo estimators in :mod:`repro.algorithms` pay a full
+diffusion simulation per candidate evaluation; this package replaces
+that with Reverse Influence Sampling (Tong et al., arXiv:1701.02368
+brought the technique to rumor blocking): sample random worlds once,
+keep one reverse-reachable (RR) set per at-risk bridge end, and score
+any protector set by sketch coverage. Three layers:
+
+* :mod:`repro.sketch.rrset` — samplers producing the RR sets under the
+  paper's two semantics (OPOAO timestamp process, DOAM arrival times).
+* :mod:`repro.sketch.store` — :class:`SketchStore`: flat-array set
+  storage, inverted node index, incremental doubling with an (ε, δ)
+  stopping rule.
+* :mod:`repro.sketch.estimator` — :class:`SketchSigmaEstimator`, a
+  drop-in for the Monte-Carlo σ estimator seam.
+
+The selector built on top lives in :mod:`repro.algorithms.ris_greedy`.
+"""
+
+from repro.sketch.estimator import SketchSigmaEstimator
+from repro.sketch.rrset import (
+    SKETCH_SEMANTICS,
+    DOAMRRSampler,
+    OPOAORRSampler,
+    WorldSample,
+    sampler_for,
+)
+from repro.sketch.store import SketchStore
+
+__all__ = [
+    "SKETCH_SEMANTICS",
+    "WorldSample",
+    "OPOAORRSampler",
+    "DOAMRRSampler",
+    "sampler_for",
+    "SketchStore",
+    "SketchSigmaEstimator",
+]

@@ -1,0 +1,139 @@
+"""RR-sketch σ estimator, drop-in compatible with the Monte-Carlo seam.
+
+:class:`SketchSigmaEstimator` exposes the same surface as
+:class:`repro.algorithms.greedy.SigmaEstimator` and
+:class:`repro.algorithms.sigma_timestamp.TimestampSigmaEstimator` —
+``sigma(protectors)``, ``protected_fraction(protectors)``, and an
+``evaluations`` counter — so anything written against that seam (greedy
+loops, ablation benches, reports) can swap in sketches unchanged.
+
+The crucial cost difference: the Monte-Carlo estimators re-simulate
+diffusion for **every** candidate set, while this one samples worlds
+**once** into a :class:`repro.sketch.store.SketchStore` and answers each
+σ̂ query with an inverted-index coverage count. Evaluations after the
+first are near-free, which is what makes sketch-greedy selection fast.
+
+Under DOAM the estimate is exact (one deterministic world). Under OPOAO
+it is an unbiased estimate of the submodularity proof's timestamped
+``(G_R, G_P)`` construction (Section V.A.1) — the same quantity
+:class:`TimestampSigmaEstimator` measures — which tracks the interacting
+simulation closely on community-structured instances (see
+``docs/sketch.md`` and ``tests/properties/test_sketch_unbiased.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.algorithms.base import SelectionContext
+from repro.diffusion.base import DEFAULT_MAX_HOPS
+from repro.errors import SelectionError
+from repro.graph.digraph import Node
+from repro.rng import RngStream
+from repro.sketch.rrset import sampler_for
+from repro.sketch.store import SketchStore
+from repro.utils.validation import check_fraction, check_positive
+
+__all__ = ["SketchSigmaEstimator"]
+
+
+class SketchSigmaEstimator:
+    """σ̂(A) via RR-set coverage over a (possibly shared) sketch store.
+
+    Args:
+        context: the LCRB instance.
+        semantics: ``"opoao"`` or ``"doam"``.
+        worlds: sketch sample size (deterministic semantics clamp to 1).
+        steps: diffusion horizon per world (paper: 31).
+        epsilon: optional relative-precision target; when given together
+            with ``delta``, each σ̂ query doubles the store until the
+            (ε, δ) stopping rule is met (capped at ``max_worlds``).
+        delta: confidence parameter for the stopping rule.
+        max_worlds: hard cap for adaptive growth.
+        rng: base stream for world sampling.
+        store: pre-built :class:`SketchStore` to reuse (its sampler wins
+            over ``semantics``/``steps``/``rng``); sharing one store
+            across estimators amortises sampling entirely.
+    """
+
+    def __init__(
+        self,
+        context: SelectionContext,
+        semantics: str = "opoao",
+        worlds: int = 128,
+        steps: int = DEFAULT_MAX_HOPS,
+        epsilon: Optional[float] = None,
+        delta: float = 0.05,
+        max_worlds: int = 4096,
+        rng: Optional[RngStream] = None,
+        store: Optional[SketchStore] = None,
+    ) -> None:
+        self.context = context
+        self.worlds = int(check_positive(worlds, "worlds"))
+        if epsilon is not None:
+            epsilon = check_fraction(epsilon, "epsilon", exclusive=True)
+        self.epsilon = epsilon
+        self.delta = check_fraction(delta, "delta", exclusive=True)
+        self.max_worlds = int(check_positive(max_worlds, "max_worlds"))
+        if store is None:
+            sampler = sampler_for(
+                semantics, context, steps=steps, rng=rng or RngStream(name="sketch")
+            )
+            store = SketchStore(sampler)
+        self.store = store
+        self._rumor_ids = frozenset(context.rumor_seed_ids())
+        self._end_count = len(context.bridge_end_ids())
+        #: σ̂ calls made, mirroring the Monte-Carlo estimators' counter.
+        self.evaluations = 0
+
+    def _resolve(self, protectors: Iterable[Node]) -> List[int]:
+        ids = self.context.indexed.indices(dict.fromkeys(protectors))
+        overlap = set(ids) & self._rumor_ids
+        if overlap:
+            raise SelectionError(
+                f"protectors overlap rumor seeds: {sorted(overlap)[:5]}"
+            )
+        return ids
+
+    def _ensure_sampled(self, ids: List[int]) -> None:
+        self.store.ensure_worlds(self.worlds)
+        if self.epsilon is None or not self.store.sampler.stochastic:
+            return
+        while (
+            not self.store.precision_ok(ids, self.epsilon, self.delta)
+            and self.store.worlds < self.max_worlds
+        ):
+            self.store.ensure_worlds(min(self.max_worlds, 2 * self.store.worlds))
+
+    def sigma(self, protectors: Iterable[Node]) -> float:
+        """Expected saved bridge ends |PB(A)|, by RR-set coverage."""
+        ids = self._resolve(protectors)
+        self.evaluations += 1
+        if not ids:
+            self.store.ensure_worlds(self.worlds)
+            return 0.0
+        self._ensure_sampled(ids)
+        return self.store.sigma(ids)
+
+    def protected_fraction(self, protectors: Iterable[Node]) -> float:
+        """Mean fraction of bridge ends the rumor does not take.
+
+        Per world: ends never reached by the rumor are safe for free,
+        at-risk ends are safe iff covered — Definition 2's protection
+        level, estimated from the same sketches as :meth:`sigma`.
+        """
+        if self._end_count == 0:
+            return 1.0
+        ids = self._resolve(protectors)
+        self.evaluations += 1
+        self._ensure_sampled(ids)
+        store = self.store
+        safe = store.worlds * self._end_count - store.at_risk_total
+        safe += store.coverage_count(ids)
+        return safe / (store.worlds * self._end_count)
+
+    def __repr__(self) -> str:
+        return (
+            f"SketchSigmaEstimator(sampler={self.store.sampler.name}, "
+            f"worlds={self.store.worlds}, |B|={self._end_count})"
+        )

@@ -1,0 +1,304 @@
+"""Reverse-reachable (RR) set samplers for the paper's two semantics.
+
+Reverse Influence Sampling (Borgs et al.; Tong et al., arXiv:1701.02368
+for the rumor-blocking variant) turns protector evaluation inside out:
+instead of forward-simulating every candidate set, sample random *worlds*
+once, extract for each at-risk bridge end the set of nodes that could
+have saved it in that world, and score any protector set by how many of
+those RR sets it intersects. Coverage of the sampled sets is an unbiased
+estimator of σ(A), and maximising coverage is plain weighted max
+coverage — submodular, lazily greedifiable, and embarrassingly cheap per
+candidate compared to Monte-Carlo simulation.
+
+Two samplers, one per diffusion semantics:
+
+* :class:`OPOAORRSampler` — the OPOAO selection process, proof-style
+  (Section V.A.1): each world draws an independent rumor record via
+  :func:`repro.diffusion.timestamps.record_cascade` (``G_R``) and one
+  *shared* protector choice table (``G_P``): a per-node row of uniform
+  out-neighbor picks, one per step, lazily sampled during reverse
+  traversal. A node ``u`` belongs to ``RR(v)`` exactly when a protector
+  cascade seeded at ``u`` alone would, under that choice table, reach
+  ``v`` no later than the rumor does in ``G_R`` (Lemma 2's timestamp
+  comparison; P wins ties). Because the whole table is shared, the
+  arrival of a protector *set* is the min over its members, so
+  ``A ∩ RR(v) ≠ ∅  ⇔  A saves v`` holds world by world.
+* :class:`DOAMRRSampler` — DOAM is deterministic, so there is exactly
+  one world: the rumor front arrives at ``v`` at its BFS distance
+  ``t_R(v)`` from the nearest rumor seed (the fixpoint of
+  :mod:`repro.diffusion.arrival`), and ``u`` saves ``v`` iff
+  ``d(u → v) <= t_R(v)`` (Theorem 2's coverage criterion). ``RR(v)`` is
+  a reverse BFS of depth ``t_R(v)`` — the BBST of ``v``, flattened.
+
+Both samplers derive every random draw from ``rng.replica(index)``, so
+world ``i`` is identical no matter when, in what order, or in which
+process it is sampled — the property that makes
+:class:`repro.sketch.store.SketchStore` incrementally extendable and
+parallel-safe.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from heapq import heappop, heappush
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.diffusion.base import DEFAULT_MAX_HOPS
+from repro.diffusion.timestamps import record_cascade
+from repro.errors import SeedError, ValidationError
+from repro.graph.compact import IndexedDiGraph
+from repro.rng import RngStream
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "WorldSample",
+    "OPOAORRSampler",
+    "DOAMRRSampler",
+    "sampler_for",
+    "SKETCH_SEMANTICS",
+]
+
+#: semantics names accepted by :func:`sampler_for` (and the CLI).
+SKETCH_SEMANTICS = ("opoao", "doam")
+
+
+class WorldSample:
+    """One sampled world: an RR set per bridge end the rumor reaches.
+
+    Attributes:
+        index: the replica index the world was derived from.
+        rr_sets: ``(root, members)`` pairs — ``root`` is the at-risk
+            bridge end, ``members`` the sorted node ids whose singleton
+            protector cascade saves it in this world.
+    """
+
+    __slots__ = ("index", "rr_sets")
+
+    def __init__(
+        self, index: int, rr_sets: Sequence[Tuple[int, Tuple[int, ...]]]
+    ) -> None:
+        self.index = index
+        self.rr_sets = list(rr_sets)
+
+    def __repr__(self) -> str:
+        return f"WorldSample(index={self.index}, rr_sets={len(self.rr_sets)})"
+
+
+def _check_ids(graph: IndexedDiGraph, ids: Sequence[int], name: str) -> List[int]:
+    out = sorted(set(ids))
+    for node in out:
+        if not isinstance(node, int) or isinstance(node, bool) or not (
+            0 <= node < graph.node_count
+        ):
+            raise SeedError(f"{name} id {node!r} is not a node id")
+    return out
+
+
+class OPOAORRSampler:
+    """RR sets under the OPOAO selection-process (timestamp) semantics.
+
+    Args:
+        graph: indexed graph.
+        rumor_ids: rumor originators (node ids; non-empty).
+        bridge_end_ids: the bridge ends ``B`` (node ids).
+        steps: selection-step horizon (paper: 31).
+        rng: base stream; world ``i`` draws only from ``rng.replica(i)``.
+    """
+
+    name = "OPOAO-RR"
+    stochastic = True
+
+    def __init__(
+        self,
+        graph: IndexedDiGraph,
+        rumor_ids: Sequence[int],
+        bridge_end_ids: Sequence[int],
+        steps: int = DEFAULT_MAX_HOPS,
+        rng: Optional[RngStream] = None,
+    ) -> None:
+        self.graph = graph
+        self.rumor_ids = _check_ids(graph, rumor_ids, "rumor seed")
+        if not self.rumor_ids:
+            raise SeedError("rumor seed set must not be empty")
+        self.end_ids = _check_ids(graph, bridge_end_ids, "bridge end")
+        self.steps = int(check_positive(steps, "steps"))
+        self.rng = rng or RngStream(name="opoao-rr")
+
+    def _choice_row(self, world: RngStream, node: int) -> Tuple[int, ...]:
+        """The node's out-neighbor pick for every step of this world.
+
+        Drawn from a stream forked off the world by node id, so the row
+        is identical regardless of the order reverse traversals touch it.
+        """
+        neighbors = self.graph.out[node]
+        stream = world.fork("choices", node)
+        count = len(neighbors)
+        return tuple(neighbors[stream.randrange(count)] for _ in range(self.steps))
+
+    def _reverse_reachable(
+        self,
+        end: int,
+        deadline: int,
+        rows: Dict[int, Tuple[int, ...]],
+        world: RngStream,
+    ) -> Tuple[int, ...]:
+        """Nodes whose singleton cascade reaches ``end`` by ``deadline``.
+
+        Runs a max-slack Dijkstra backwards from ``end``: ``slack(x)`` is
+        the latest step a cascade may *arrive* at ``x`` and still be
+        relayed to ``end`` by the deadline. A node belongs to the RR set
+        iff its slack is >= 0 (a seed arrives at itself at step 0).
+        """
+        graph = self.graph
+        slack: Dict[int, int] = {end: deadline}
+        heap: List[Tuple[int, int]] = [(-deadline, end)]
+        while heap:
+            negative, node = heappop(heap)
+            arrive_by = -negative
+            if arrive_by < slack.get(node, -1):
+                continue  # stale heap entry
+            if arrive_by < 1:
+                continue  # cannot relay further: choices happen at steps >= 1
+            for tail in graph.inn[node]:
+                row = rows.get(tail)
+                if row is None:
+                    row = self._choice_row(world, tail)
+                    rows[tail] = row
+                # Latest step t <= arrive_by at which `tail` picks `node`;
+                # the cascade must have arrived at `tail` strictly before t.
+                candidate = -1
+                for step in range(min(arrive_by, self.steps), 0, -1):
+                    if row[step - 1] == node:
+                        candidate = step - 1
+                        break
+                if candidate > slack.get(tail, -1):
+                    slack[tail] = candidate
+                    heappush(heap, (-candidate, tail))
+        return tuple(sorted(slack))
+
+    def sample_world(self, index: int) -> WorldSample:
+        """Sample world ``index``: one rumor record, one RR set per at-risk end."""
+        world = self.rng.replica(index)
+        rumor = record_cascade(
+            self.graph, self.rumor_ids, steps=self.steps, rng=world.fork("rumor")
+        )
+        rows: Dict[int, Tuple[int, ...]] = {}
+        rr_sets: List[Tuple[int, Tuple[int, ...]]] = []
+        for end in self.end_ids:
+            deadline = rumor.min_in_timestamp(end, self.graph.inn[end])
+            if deadline is None:
+                continue  # the rumor never arrives; nothing to save
+            rr_sets.append((end, self._reverse_reachable(end, deadline, rows, world)))
+        return WorldSample(index, rr_sets)
+
+    def __repr__(self) -> str:
+        return (
+            f"OPOAORRSampler(|R|={len(self.rumor_ids)}, |B|={len(self.end_ids)}, "
+            f"steps={self.steps})"
+        )
+
+
+class DOAMRRSampler:
+    """RR sets under DOAM: the flattened BBST of each at-risk bridge end.
+
+    DOAM consumes no randomness, so every world index yields the same
+    sample; the sets are computed once and cached. ``rng`` is accepted
+    for interface symmetry and ignored.
+    """
+
+    name = "DOAM-RR"
+    stochastic = False
+
+    def __init__(
+        self,
+        graph: IndexedDiGraph,
+        rumor_ids: Sequence[int],
+        bridge_end_ids: Sequence[int],
+        max_hops: int = DEFAULT_MAX_HOPS,
+        rng: Optional[RngStream] = None,
+    ) -> None:
+        self.graph = graph
+        self.rumor_ids = _check_ids(graph, rumor_ids, "rumor seed")
+        if not self.rumor_ids:
+            raise SeedError("rumor seed set must not be empty")
+        self.end_ids = _check_ids(graph, bridge_end_ids, "bridge end")
+        self.max_hops = int(check_positive(max_hops, "max_hops"))
+        self.rng = rng
+        self._cached: Optional[List[Tuple[int, Tuple[int, ...]]]] = None
+
+    def _rumor_arrival(self) -> Dict[int, int]:
+        """Multi-source BFS hop distance from the nearest rumor seed."""
+        distance: Dict[int, int] = {seed: 0 for seed in self.rumor_ids}
+        queue = deque(self.rumor_ids)
+        while queue:
+            node = queue.popleft()
+            hops = distance[node]
+            if hops >= self.max_hops:
+                continue
+            for head in self.graph.out[node]:
+                if head not in distance:
+                    distance[head] = hops + 1
+                    queue.append(head)
+        return distance
+
+    def _reverse_ball(self, end: int, depth: int) -> Tuple[int, ...]:
+        """All nodes within ``depth`` reverse hops of ``end``."""
+        distance: Dict[int, int] = {end: 0}
+        queue = deque([end])
+        while queue:
+            node = queue.popleft()
+            hops = distance[node]
+            if hops >= depth:
+                continue
+            for tail in self.graph.inn[node]:
+                if tail not in distance:
+                    distance[tail] = hops + 1
+                    queue.append(tail)
+        return tuple(sorted(distance))
+
+    def sample_world(self, index: int) -> WorldSample:
+        """The (unique) DOAM world, whatever ``index`` is passed."""
+        if self._cached is None:
+            arrival = self._rumor_arrival()
+            self._cached = [
+                (end, self._reverse_ball(end, arrival[end]))
+                for end in self.end_ids
+                if end in arrival
+            ]
+        return WorldSample(index, self._cached)
+
+    def __repr__(self) -> str:
+        return (
+            f"DOAMRRSampler(|R|={len(self.rumor_ids)}, |B|={len(self.end_ids)}, "
+            f"max_hops={self.max_hops})"
+        )
+
+
+def sampler_for(
+    semantics: str,
+    context,
+    steps: int = DEFAULT_MAX_HOPS,
+    rng: Optional[RngStream] = None,
+):
+    """Build the RR sampler for a resolved LCRB instance.
+
+    Args:
+        semantics: ``"opoao"`` or ``"doam"``.
+        context: a :class:`repro.algorithms.base.SelectionContext`.
+        steps: horizon (OPOAO selection steps / DOAM hops).
+        rng: base stream (OPOAO only).
+
+    Returns:
+        An :class:`OPOAORRSampler` or :class:`DOAMRRSampler` bound to the
+        context's indexed graph, rumor seeds, and bridge ends.
+    """
+    if semantics not in SKETCH_SEMANTICS:
+        raise ValidationError(
+            f"semantics must be one of {SKETCH_SEMANTICS}, got {semantics!r}"
+        )
+    graph = context.indexed
+    rumor_ids = context.rumor_seed_ids()
+    end_ids = context.bridge_end_ids()
+    if semantics == "opoao":
+        return OPOAORRSampler(graph, rumor_ids, end_ids, steps=steps, rng=rng)
+    return DOAMRRSampler(graph, rumor_ids, end_ids, max_hops=steps, rng=rng)

@@ -1,0 +1,200 @@
+"""Flat-array storage for sampled RR sets, with adaptive sample control.
+
+A :class:`SketchStore` owns the RR sets produced by a
+:mod:`repro.sketch.rrset` sampler and answers the two queries selection
+needs fast:
+
+* **membership** — which RR sets contain node ``u`` (the inverted
+  ``node -> set ids`` index; lazy-greedy max coverage is heap pops over
+  these lists), and
+* **coverage** — how many sets (per world) a candidate protector set
+  intersects, which is the σ̂ estimate.
+
+Sets are stored structure-of-arrays style: one flat int array of member
+ids plus an offsets array, rather than a list of Python sets — compact,
+cache-friendly, and cheap to extend. Worlds are append-only and derived
+purely from their replica index, so a store can **double** its sample
+size in place (IMM-style sample-size control) without disturbing the
+sets already drawn: growing a store from 32 to 64 worlds yields the same
+arrays as sampling 64 worlds up front, which also makes stores safely
+shareable across selector calls.
+
+The stopping rule is the classic relative-precision test: keep doubling
+until the empirical (1 - δ)-confidence half-width of σ̂(A) is at most
+ε · max(σ̂(A), 1). Deterministic samplers (DOAM) need exactly one world
+and always report sufficient precision.
+"""
+
+from __future__ import annotations
+
+import math
+from array import array
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.errors import ValidationError
+from repro.utils.validation import check_fraction, check_positive
+
+__all__ = ["SketchStore"]
+
+
+class SketchStore:
+    """Append-only RR-set store with an inverted node index.
+
+    Args:
+        sampler: an object with ``sample_world(index) -> WorldSample``
+            and a ``stochastic`` flag (see :mod:`repro.sketch.rrset`).
+    """
+
+    __slots__ = (
+        "sampler",
+        "worlds",
+        "_members",
+        "_offsets",
+        "_roots",
+        "_world_of",
+        "_sets_per_world",
+        "_index",
+    )
+
+    def __init__(self, sampler) -> None:
+        self.sampler = sampler
+        #: number of worlds sampled so far.
+        self.worlds = 0
+        self._members = array("q")  # all RR-set members, concatenated
+        self._offsets = array("q", [0])  # set i = members[offsets[i]:offsets[i+1]]
+        self._roots = array("q")  # bridge end each set was grown from
+        self._world_of = array("q")  # world index each set belongs to
+        self._sets_per_world = array("q")
+        self._index: Dict[int, array] = {}  # node id -> array of set ids
+
+    # -- growth -----------------------------------------------------------------
+
+    def ensure_worlds(self, count: int) -> "SketchStore":
+        """Sample worlds up to ``count`` (no-op when already there)."""
+        check_positive(count, "count")
+        if not self.sampler.stochastic:
+            count = min(count, 1)  # a deterministic sampler has one world
+        for index in range(self.worlds, count):
+            self._append_world(self.sampler.sample_world(index))
+        return self
+
+    def double(self, minimum: int = 32) -> "SketchStore":
+        """IMM-style growth step: at least ``minimum``, else twice the worlds."""
+        self.ensure_worlds(max(minimum, 2 * self.worlds))
+        return self
+
+    def _append_world(self, world) -> None:
+        for root, members in world.rr_sets:
+            set_id = len(self._roots)
+            self._roots.append(root)
+            self._world_of.append(self.worlds)
+            self._members.extend(members)
+            self._offsets.append(len(self._members))
+            for node in members:
+                bucket = self._index.get(node)
+                if bucket is None:
+                    bucket = array("q")
+                    self._index[node] = bucket
+                bucket.append(set_id)
+        self._sets_per_world.append(len(world.rr_sets))
+        self.worlds += 1
+
+    # -- inspection -------------------------------------------------------------
+
+    @property
+    def set_count(self) -> int:
+        """Total RR sets across all worlds."""
+        return len(self._roots)
+
+    @property
+    def at_risk_total(self) -> int:
+        """Sum over worlds of the number of at-risk bridge ends."""
+        return len(self._roots)
+
+    def members(self, set_id: int) -> Tuple[int, ...]:
+        """Sorted member ids of one RR set."""
+        lo, hi = self._offsets[set_id], self._offsets[set_id + 1]
+        return tuple(self._members[lo:hi])
+
+    def root(self, set_id: int) -> int:
+        """The bridge end RR set ``set_id`` was grown from."""
+        return self._roots[set_id]
+
+    def world_of(self, set_id: int) -> int:
+        """The world index RR set ``set_id`` belongs to."""
+        return self._world_of[set_id]
+
+    def sets_containing(self, node: int) -> Sequence[int]:
+        """Ids of the RR sets that contain ``node`` (empty if none)."""
+        return self._index.get(node, ())
+
+    def nodes(self) -> List[int]:
+        """All node ids appearing in at least one RR set, ascending."""
+        return sorted(self._index)
+
+    # -- estimation -------------------------------------------------------------
+
+    def coverage_count(self, node_ids: Iterable[int]) -> int:
+        """Number of distinct RR sets intersecting ``node_ids``."""
+        covered = set()
+        for node in node_ids:
+            covered.update(self._index.get(node, ()))
+        return len(covered)
+
+    def per_world_covered(self, node_ids: Iterable[int]) -> List[int]:
+        """Per-world count of RR sets intersecting ``node_ids``."""
+        counts = [0] * self.worlds
+        covered = set()
+        for node in node_ids:
+            covered.update(self._index.get(node, ()))
+        for set_id in covered:
+            counts[self._world_of[set_id]] += 1
+        return counts
+
+    def sigma(self, node_ids: Iterable[int]) -> float:
+        """σ̂: mean covered (= saved) bridge ends per world."""
+        if self.worlds == 0:
+            raise ValidationError("store holds no worlds; call ensure_worlds first")
+        return self.coverage_count(node_ids) / self.worlds
+
+    def sigma_interval(
+        self, node_ids: Iterable[int], delta: float = 0.05
+    ) -> Tuple[float, float]:
+        """``(σ̂, half_width)`` of a (1 - δ)-confidence interval.
+
+        Uses the per-world covered counts' empirical variance with the
+        sub-Gaussian critical value ``sqrt(2 ln(1/δ))``. Deterministic
+        samplers have zero variance and return half-width 0.
+        """
+        check_fraction(delta, "delta", exclusive=True)
+        samples = self.per_world_covered(node_ids)
+        count = len(samples)
+        if count == 0:
+            raise ValidationError("store holds no worlds; call ensure_worlds first")
+        mean = sum(samples) / count
+        if count == 1:
+            return mean, (0.0 if not self.sampler.stochastic else math.inf)
+        variance = sum((value - mean) ** 2 for value in samples) / (count - 1)
+        critical = math.sqrt(2.0 * math.log(1.0 / delta))
+        return mean, critical * math.sqrt(variance / count)
+
+    def precision_ok(
+        self, node_ids: Iterable[int], epsilon: float = 0.1, delta: float = 0.05
+    ) -> bool:
+        """True when σ̂(node_ids) meets the (ε, δ) relative-precision target.
+
+        The target half-width is ``ε · max(σ̂, 1)`` — relative for sets
+        with real influence, with an absolute floor of ε so zero-gain
+        sets terminate too.
+        """
+        check_fraction(epsilon, "epsilon", exclusive=True)
+        if not self.sampler.stochastic:
+            return self.worlds >= 1
+        mean, half_width = self.sigma_interval(node_ids, delta)
+        return half_width <= epsilon * max(mean, 1.0)
+
+    def __repr__(self) -> str:
+        return (
+            f"SketchStore(sampler={self.sampler.name}, worlds={self.worlds}, "
+            f"sets={self.set_count}, nodes={len(self._index)})"
+        )

@@ -1,0 +1,129 @@
+"""Unit tests for the sketch-greedy (RIS) protector selector."""
+
+import pytest
+
+from repro.algorithms.base import SelectionContext
+from repro.algorithms.ris_greedy import RISGreedySelector
+from repro.algorithms.scbg import SCBGSelector
+from repro.diffusion.doam import DOAMModel
+from repro.errors import ValidationError
+from repro.lcrb import evaluate_protectors
+from repro.rng import RngStream
+
+
+class TestDOAMSelection:
+    def test_full_cover_matches_optimal_size(self, fig2_context, fig2):
+        _, _, info = fig2
+        selector = RISGreedySelector(semantics="doam", alpha=1.0)
+        protectors = selector.select(fig2_context, budget=None)
+        assert len(protectors) == info["optimal_size"]
+        # The chosen set must actually save every bridge end under DOAM.
+        report = evaluate_protectors(fig2_context, protectors, DOAMModel())
+        assert report.protected_bridge_fraction == 1.0
+
+    def test_budget_is_honored(self, fig2_context):
+        selector = RISGreedySelector(semantics="doam")
+        assert len(selector.select(fig2_context, budget=1)) == 1
+        assert selector.select(fig2_context, budget=0) == []
+
+    def test_budget_one_picks_max_coverage_node(self, fig2_context):
+        # a1 and v1 both cover {p1, p2}; the node-id tie-break prefers a1
+        # (inserted first), and nothing covers all three ends alone.
+        selector = RISGreedySelector(semantics="doam")
+        assert selector.select(fig2_context, budget=1) == ["a1"]
+
+    def test_never_selects_rumor_seeds(self, fig2_context, fig2):
+        _, _, info = fig2
+        selector = RISGreedySelector(semantics="doam", alpha=1.0)
+        picked = selector.select(fig2_context, budget=None)
+        assert not set(picked) & set(info["rumor_seeds"])
+
+    def test_short_set_when_sketches_exhaust_budget(self, toy_context):
+        # One bridge end: a single node covers everything; asking for 5
+        # protectors returns the useful prefix only.
+        selector = RISGreedySelector(semantics="doam")
+        picked = selector.select(toy_context, budget=5)
+        assert 1 <= len(picked) <= 2
+
+    def test_saves_as_much_as_scbg_on_toy(self, toy_context):
+        ris = RISGreedySelector(semantics="doam", alpha=1.0)
+        scbg = SCBGSelector()
+        ris_report = evaluate_protectors(
+            toy_context, ris.select(toy_context), DOAMModel()
+        )
+        scbg_report = evaluate_protectors(
+            toy_context, scbg.select(toy_context), DOAMModel()
+        )
+        assert (
+            ris_report.protected_bridge_fraction
+            >= scbg_report.protected_bridge_fraction
+        )
+
+    def test_last_worlds_is_one_for_deterministic(self, fig2_context):
+        selector = RISGreedySelector(semantics="doam")
+        selector.select(fig2_context, budget=1)
+        assert selector.last_worlds == 1
+
+
+class TestOPOAOSelection:
+    def test_deterministic_under_fixed_seed(self, fig2_context):
+        pick = lambda: RISGreedySelector(
+            semantics="opoao", initial_worlds=32, rng=RngStream(21)
+        ).select(fig2_context, budget=2)
+        assert pick() == pick()
+
+    def test_budget_mode_returns_requested_size(self, fig2_context):
+        selector = RISGreedySelector(
+            semantics="opoao", initial_worlds=32, rng=RngStream(21)
+        )
+        assert len(selector.select(fig2_context, budget=2)) == 2
+
+    def test_adaptive_growth_capped(self, fig2_context):
+        selector = RISGreedySelector(
+            semantics="opoao",
+            epsilon=0.01,  # unreachable at this cap: forces doubling
+            initial_worlds=8,
+            max_worlds=64,
+            rng=RngStream(4),
+        )
+        selector.select(fig2_context, budget=1)
+        assert 8 < selector.last_worlds <= 64
+
+
+class TestStoreCache:
+    def test_store_reused_across_calls(self, fig2_context):
+        selector = RISGreedySelector(semantics="doam")
+        first = selector.make_store(fig2_context)
+        selector.select(fig2_context, budget=1)
+        selector.select(fig2_context, budget=2)
+        assert selector.make_store(fig2_context) is first
+
+    def test_distinct_contexts_get_distinct_stores(self, fig2, toy):
+        graph_a, communities_a, info_a = fig2
+        graph_b, communities_b, info_b = toy
+        ctx_a = SelectionContext(
+            graph_a,
+            communities_a.members(info_a["rumor_community"]),
+            info_a["rumor_seeds"],
+        )
+        ctx_b = SelectionContext(
+            graph_b,
+            communities_b.members(info_b["rumor_community"]),
+            info_b["rumor_seeds"],
+        )
+        selector = RISGreedySelector(semantics="doam")
+        assert selector.make_store(ctx_a) is not selector.make_store(ctx_b)
+
+
+class TestValidation:
+    def test_rejects_bad_constructor_args(self):
+        with pytest.raises(ValidationError):
+            RISGreedySelector(epsilon=0.0)
+        with pytest.raises(ValidationError):
+            RISGreedySelector(delta=2.0)
+        with pytest.raises(ValidationError):
+            RISGreedySelector(initial_worlds=0)
+
+    def test_rejects_negative_budget(self, fig2_context):
+        with pytest.raises(ValidationError):
+            RISGreedySelector(semantics="doam").select(fig2_context, budget=-1)

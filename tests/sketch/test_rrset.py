@@ -1,0 +1,179 @@
+"""Unit tests for the RR-set samplers (both semantics)."""
+
+import pytest
+
+from repro.errors import SeedError, ValidationError
+from repro.graph.digraph import DiGraph
+from repro.rng import RngStream
+from repro.sketch.rrset import (
+    SKETCH_SEMANTICS,
+    DOAMRRSampler,
+    OPOAORRSampler,
+    sampler_for,
+)
+from repro.sketch.store import SketchStore
+
+
+def _ids(indexed, labels):
+    return indexed.indices(list(labels))
+
+
+class TestDOAMSampler:
+    def test_toy_rr_set_is_bbst_ball(self, toy_context):
+        indexed = toy_context.indexed
+        sampler = DOAMRRSampler(
+            indexed, toy_context.rumor_seed_ids(), toy_context.bridge_end_ids()
+        )
+        world = sampler.sample_world(0)
+        assert len(world.rr_sets) == 1
+        root, members = world.rr_sets[0]
+        assert indexed.labels[root] == "b"
+        # t_R(b) = 2, so RR(b) is the reverse ball of depth 2 around b.
+        labels = {indexed.labels[node] for node in members}
+        assert labels == {"b", "c1", "d", "r", "e"}
+
+    def test_figure2_coverage_criterion(self, fig2_context):
+        indexed = fig2_context.indexed
+        sampler = DOAMRRSampler(
+            indexed, fig2_context.rumor_seed_ids(), fig2_context.bridge_end_ids()
+        )
+        world = sampler.sample_world(0)
+        by_root = {
+            indexed.labels[root]: {indexed.labels[m] for m in members}
+            for root, members in world.rr_sets
+        }
+        # d(u -> p) <= t_R(p) exactly characterises membership (Theorem 2).
+        assert by_root["p1"] == {"p1", "a1", "v1", "r1"}
+        assert by_root["p2"] == {"p2", "a2", "v1", "a1", "r1"}
+        assert by_root["p3"] == {"p3", "a3", "R1", "r2", "s2"}
+
+    def test_every_world_identical(self, toy_context):
+        sampler = DOAMRRSampler(
+            toy_context.indexed,
+            toy_context.rumor_seed_ids(),
+            toy_context.bridge_end_ids(),
+        )
+        assert not sampler.stochastic
+        assert sampler.sample_world(0).rr_sets == sampler.sample_world(7).rr_sets
+
+    def test_unreachable_end_produces_no_set(self):
+        # 0 -> 1, isolated pair 2 -> 3: the rumor never reaches end 3.
+        graph = DiGraph.from_edges([(0, 1), (2, 3)]).to_indexed()
+        sampler = DOAMRRSampler(graph, [0], [1, 3])
+        world = sampler.sample_world(0)
+        assert [root for root, _ in world.rr_sets] == [1]
+
+    def test_max_hops_bounds_rumor_reach(self):
+        chain = DiGraph.from_edges([(i, i + 1) for i in range(5)]).to_indexed()
+        sampler = DOAMRRSampler(chain, [0], [5], max_hops=3)
+        # The rumor stops 3 hops in; end 5 is never at risk.
+        assert sampler.sample_world(0).rr_sets == []
+
+
+class TestOPOAOSampler:
+    def test_forced_chain_is_exact(self):
+        # Out-degree <= 1 everywhere: all choices are forced, so the
+        # sampled world is the unique OPOAO trajectory. The rumor reaches
+        # node 5 at step 5 and every upstream node relays in time.
+        chain = DiGraph.from_edges([(i, i + 1) for i in range(5)]).to_indexed()
+        sampler = OPOAORRSampler(chain, [0], [5], steps=10, rng=RngStream(1))
+        world = sampler.sample_world(0)
+        assert len(world.rr_sets) == 1
+        root, members = world.rr_sets[0]
+        assert root == 5
+        assert members == (0, 1, 2, 3, 4, 5)
+
+    def test_steps_horizon_cuts_chain(self):
+        chain = DiGraph.from_edges([(i, i + 1) for i in range(5)]).to_indexed()
+        sampler = OPOAORRSampler(chain, [0], [5], steps=4, rng=RngStream(1))
+        # The rumor needs 5 steps to reach node 5; within 4 it never does.
+        assert sampler.sample_world(0).rr_sets == []
+
+    def test_end_always_in_own_rr_set(self, toy_context):
+        sampler = OPOAORRSampler(
+            toy_context.indexed,
+            toy_context.rumor_seed_ids(),
+            toy_context.bridge_end_ids(),
+            rng=RngStream(3),
+        )
+        for index in range(20):
+            for root, members in sampler.sample_world(index).rr_sets:
+                # Seeding the end itself always saves it (step 0 <= any
+                # rumor arrival; P wins ties).
+                assert root in members
+
+    def test_same_index_same_world(self, fig2_context):
+        make = lambda: OPOAORRSampler(
+            fig2_context.indexed,
+            fig2_context.rumor_seed_ids(),
+            fig2_context.bridge_end_ids(),
+            rng=RngStream(99),
+        )
+        first, second = make(), make()
+        for index in (0, 3, 11):
+            assert (
+                first.sample_world(index).rr_sets
+                == second.sample_world(index).rr_sets
+            )
+
+    def test_distinct_indices_vary(self, fig2_context):
+        sampler = OPOAORRSampler(
+            fig2_context.indexed,
+            fig2_context.rumor_seed_ids(),
+            fig2_context.bridge_end_ids(),
+            rng=RngStream(99),
+        )
+        worlds = [sampler.sample_world(i).rr_sets for i in range(16)]
+        assert any(w != worlds[0] for w in worlds[1:])
+
+    def test_rejects_empty_rumor_seeds(self, toy_context):
+        with pytest.raises(SeedError):
+            OPOAORRSampler(toy_context.indexed, [], toy_context.bridge_end_ids())
+
+    def test_rejects_bad_ids(self, toy_context):
+        with pytest.raises(SeedError):
+            OPOAORRSampler(toy_context.indexed, [999], [0])
+        with pytest.raises(SeedError):
+            DOAMRRSampler(toy_context.indexed, [0], [-1])
+
+
+class TestDeterminism:
+    """Acceptance criterion: same seed => byte-identical sketches."""
+
+    @pytest.mark.parametrize("semantics", SKETCH_SEMANTICS)
+    def test_same_seed_stores_identical(self, fig2_context, semantics):
+        def build(worlds):
+            sampler = sampler_for(semantics, fig2_context, rng=RngStream(42))
+            return SketchStore(sampler).ensure_worlds(worlds)
+
+        first, second = build(24), build(24)
+        assert first.set_count == second.set_count
+        for set_id in range(first.set_count):
+            assert first.root(set_id) == second.root(set_id)
+            assert first.world_of(set_id) == second.world_of(set_id)
+            assert first.members(set_id) == second.members(set_id)
+
+    @pytest.mark.parametrize("semantics", SKETCH_SEMANTICS)
+    def test_incremental_growth_matches_direct(self, fig2_context, semantics):
+        grown = SketchStore(
+            sampler_for(semantics, fig2_context, rng=RngStream(42))
+        )
+        grown.ensure_worlds(7)
+        grown.ensure_worlds(20)
+        direct = SketchStore(
+            sampler_for(semantics, fig2_context, rng=RngStream(42))
+        ).ensure_worlds(20)
+        assert grown.set_count == direct.set_count
+        assert all(
+            grown.members(i) == direct.members(i) for i in range(grown.set_count)
+        )
+
+
+class TestSamplerFactory:
+    def test_dispatch(self, toy_context):
+        assert isinstance(sampler_for("opoao", toy_context), OPOAORRSampler)
+        assert isinstance(sampler_for("doam", toy_context), DOAMRRSampler)
+
+    def test_unknown_semantics(self, toy_context):
+        with pytest.raises(ValidationError):
+            sampler_for("telepathy", toy_context)

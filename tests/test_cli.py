@@ -52,6 +52,48 @@ class TestCommands:
         assert code == 0
         assert "SCBG selected" in capsys.readouterr().out
 
+    def test_select_ris_greedy(self, capsys):
+        code = main(
+            [
+                "select",
+                "--dataset",
+                "enron-small",
+                "--scale",
+                "0.02",
+                "--algorithm",
+                "ris-greedy",
+                "--budget",
+                "3",
+                "--epsilon",
+                "0.2",
+                "--delta",
+                "0.1",
+            ]
+        )
+        assert code == 0
+        assert "RIS-Greedy selected" in capsys.readouterr().out
+
+    def test_simulate_ris_greedy_opoao(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--dataset",
+                "enron-small",
+                "--scale",
+                "0.02",
+                "--model",
+                "opoao",
+                "--algorithm",
+                "ris-greedy",
+                "--budget",
+                "2",
+                "--runs",
+                "5",
+            ]
+        )
+        assert code == 0
+        assert "RIS-Greedy" in capsys.readouterr().out
+
     def test_simulate_noblocking(self, capsys):
         code = main(
             [
