@@ -4,11 +4,19 @@ Not a paper figure — these measure the substrate itself (runs/second of
 each model on a replica-scale graph), using pytest-benchmark's real
 multi-round statistics. Useful for catching performance regressions in
 the hot loops the Monte-Carlo experiments hammer.
+
+Each test additionally replays a **fixed, seeded** workload under a
+:class:`benchmarks.conftest.BenchMetrics` collector and emits its work
+counters (node/edge visits, rounds) as ``BENCH_perf_<model>.json`` —
+the deterministic signal the CI regression gate compares against
+``benchmarks/baselines/``. The pytest-benchmark timing calls stay
+*outside* the collector: their adaptive round counts would make the
+counters nondeterministic.
 """
 
 import pytest
 
-from benchmarks.conftest import SCALE
+from benchmarks.conftest import FAST, SCALE
 from repro.datasets.registry import load_dataset
 from repro.diffusion.base import SeedSets
 from repro.diffusion.doam import DOAMModel
@@ -17,6 +25,9 @@ from repro.diffusion.lt import CompetitiveLTModel
 from repro.diffusion.opoao import OPOAOModel
 from repro.lcrb.pipeline import draw_rumor_seeds
 from repro.rng import RngStream
+
+#: Replicas replayed for counter collection (fixed, not adaptive).
+METRIC_RUNS = 5 if FAST else 20
 
 
 @pytest.fixture(scope="module")
@@ -36,14 +47,27 @@ def instance():
     return indexed, SeedSets(rumors=rumors, protectors=protectors)
 
 
-def test_perf_doam_run(benchmark, instance):
+def _collect_counters(bench_metrics, name, model, indexed, seeds, *,
+                      seed, max_hops):
+    """Replay METRIC_RUNS fixed replicas under the collector and emit."""
+    rng = RngStream(seed, name="perf-metrics")
+    with bench_metrics.collect():
+        for replica in range(METRIC_RUNS):
+            model.run(indexed, seeds, rng=rng.replica(replica), max_hops=max_hops)
+    return bench_metrics.emit(name, context={"metric_runs": METRIC_RUNS})
+
+
+def test_perf_doam_run(benchmark, instance, bench_metrics):
     indexed, seeds = instance
     model = DOAMModel()
     result = benchmark(lambda: model.run(indexed, seeds, max_hops=64))
     assert result.infected_count > 0
+    _collect_counters(
+        bench_metrics, "perf_doam", model, indexed, seeds, seed=152, max_hops=64
+    )
 
 
-def test_perf_opoao_run(benchmark, instance):
+def test_perf_opoao_run(benchmark, instance, bench_metrics):
     indexed, seeds = instance
     model = OPOAOModel()
     rng = RngStream(52)
@@ -54,9 +78,12 @@ def test_perf_opoao_run(benchmark, instance):
 
     result = benchmark(run_once)
     assert result.infected_count > 0
+    _collect_counters(
+        bench_metrics, "perf_opoao", model, indexed, seeds, seed=252, max_hops=31
+    )
 
 
-def test_perf_ic_run(benchmark, instance):
+def test_perf_ic_run(benchmark, instance, bench_metrics):
     indexed, seeds = instance
     model = CompetitiveICModel(probability=0.1)
     rng = RngStream(53)
@@ -67,9 +94,12 @@ def test_perf_ic_run(benchmark, instance):
 
     result = benchmark(run_once)
     assert result.infected_count > 0
+    _collect_counters(
+        bench_metrics, "perf_ic", model, indexed, seeds, seed=253, max_hops=31
+    )
 
 
-def test_perf_lt_run(benchmark, instance):
+def test_perf_lt_run(benchmark, instance, bench_metrics):
     indexed, seeds = instance
     model = CompetitiveLTModel()
     rng = RngStream(54)
@@ -80,6 +110,9 @@ def test_perf_lt_run(benchmark, instance):
 
     result = benchmark(run_once)
     assert result.infected_count > 0
+    _collect_counters(
+        bench_metrics, "perf_lt", model, indexed, seeds, seed=254, max_hops=31
+    )
 
 
 def test_perf_indexing_snapshot(benchmark):

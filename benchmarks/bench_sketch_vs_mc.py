@@ -28,6 +28,19 @@ from repro.utils.timer import Timer
 
 BUDGET = 3 if FAST else 5
 POOL_CAP = 60 if FAST else 150
+#: RIS sketch sizing, FAST-aware like the Monte-Carlo knobs above (DOAM
+#: clamps to one deterministic world, but OPOAO-semantics reruns and the
+#: adaptive doubling cap both honour these).
+RIS_WORLDS = 16 if FAST else 64
+RIS_MAX_WORLDS = 512 if FAST else 4096
+
+
+def _ris_selector() -> RISGreedySelector:
+    return RISGreedySelector(
+        semantics="doam",
+        initial_worlds=RIS_WORLDS,
+        max_worlds=RIS_MAX_WORLDS,
+    )
 
 
 def _instance(name: str) -> SelectionContext:
@@ -51,7 +64,7 @@ def _run_selectors(context: SelectionContext) -> dict:
         "celf": CELFGreedySelector(
             model=DOAMModel(), runs=1, max_candidates=POOL_CAP, rng=RngStream(7)
         ),
-        "ris_greedy": RISGreedySelector(semantics="doam"),
+        "ris_greedy": _ris_selector(),
     }
     referee = SigmaEstimator(context, model=DOAMModel(), runs=1, rng=RngStream(91))
     out = {}
@@ -86,14 +99,19 @@ def _render(name: str, results: dict) -> str:
     )
 
 
-def test_sketch_vs_mc_enron_small(benchmark, report_result):
+def test_sketch_vs_mc_enron_small(benchmark, report_result, bench_metrics):
     context = _instance("enron-small")
-    results = _run_selectors(context)
+    with bench_metrics.collect():
+        results = _run_selectors(context)
+    bench_metrics.emit(
+        "sketch_vs_mc_enron_small",
+        context={"dataset": "enron-small", "budget": BUDGET},
+    )
 
     # Re-time the sketch selection under pytest-benchmark statistics (a
     # fresh selector: the store cache would otherwise hide sampling cost).
     benchmark.pedantic(
-        lambda: RISGreedySelector(semantics="doam").select(context, budget=BUDGET),
+        lambda: _ris_selector().select(context, budget=BUDGET),
         rounds=1,
         iterations=1,
     )
@@ -119,9 +137,13 @@ def test_sketch_vs_mc_enron_small(benchmark, report_result):
     )
 
 
-def test_sketch_vs_mc_hep(report_result):
+def test_sketch_vs_mc_hep(report_result, bench_metrics):
     context = _instance("hep")
-    results = _run_selectors(context)
+    with bench_metrics.collect():
+        results = _run_selectors(context)
+    bench_metrics.emit(
+        "sketch_vs_mc_hep", context={"dataset": "hep", "budget": BUDGET}
+    )
 
     ris, celf = results["ris_greedy"], results["celf"]
     assert ris["sigma"] >= 0.90 * celf["sigma"] - 0.5

@@ -12,12 +12,23 @@ uses the paper-shaped defaults.
 
 from __future__ import annotations
 
+import json
 import os
+import time
+from contextlib import contextmanager
 from pathlib import Path
 
 import pytest
 
+from repro.obs import MetricsRegistry, use_registry
+
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Checked-in work-counter baselines for the CI regression gate.
+BASELINES_DIR = Path(__file__).parent / "baselines"
+
+#: Schema tag of the emitted ``BENCH_<name>.json`` documents.
+BENCH_SCHEMA = "repro.bench/v1"
 
 #: Set REPRO_BENCH_FAST=1 for a fast smoke pass of every benchmark.
 FAST = os.environ.get("REPRO_BENCH_FAST", "0") == "1"
@@ -41,6 +52,67 @@ def table_overrides() -> dict:
     if FAST:
         overrides.update(draws=3)
     return overrides
+
+
+class BenchMetrics:
+    """Deterministic work-counter collection for one benchmark.
+
+    Usage: run the *deterministic* workload (fixed seeds, fixed
+    replica counts — never pytest-benchmark's adaptive timing rounds)
+    inside ``collect()``, then ``emit(name)`` to write
+    ``benchmarks/results/BENCH_<name>.json``. The CI regression gate
+    (``benchmarks/check_regression.py``) compares the counters — not
+    the wall clock, which is runner noise — against the checked-in
+    baselines in ``benchmarks/baselines/``.
+    """
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+        self.wall_clock_seconds = 0.0
+
+    @contextmanager
+    def collect(self):
+        """Route ``repro.obs`` metrics from the body into this registry."""
+        started = time.perf_counter()
+        try:
+            with use_registry(self.registry):
+                yield self.registry
+        finally:
+            self.wall_clock_seconds += time.perf_counter() - started
+
+    def document(self, name: str, context: dict = None) -> dict:
+        snapshot = self.registry.to_dict()
+        document = {
+            "schema": BENCH_SCHEMA,
+            "name": name,
+            "fast": FAST,
+            "scale": SCALE,
+            "wall_clock_seconds": self.wall_clock_seconds,
+            "counters": snapshot["counters"],
+            "gauges": snapshot["gauges"],
+            "histograms": snapshot["histograms"],
+            "timers": snapshot["timers"],
+        }
+        if context:
+            document["context"] = context
+        return document
+
+    def emit(self, name: str, context: dict = None) -> Path:
+        """Write the ``BENCH_<name>.json`` document; returns its path."""
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"BENCH_{name}.json"
+        path.write_text(
+            json.dumps(self.document(name, context), indent=2, sort_keys=True)
+            + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+
+@pytest.fixture
+def bench_metrics():
+    """A fresh :class:`BenchMetrics` collector per benchmark test."""
+    return BenchMetrics()
 
 
 @pytest.fixture

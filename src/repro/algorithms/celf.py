@@ -25,6 +25,7 @@ from repro.algorithms.base import SelectionContext
 from repro.algorithms.greedy import GreedySelector
 from repro.errors import SelectionError
 from repro.graph.digraph import Node
+from repro.obs.registry import metrics
 
 __all__ = ["CELFGreedySelector"]
 
@@ -52,12 +53,16 @@ class CELFGreedySelector(GreedySelector):
 
         chosen: List[Node] = []
         current_sigma = 0.0
+        marginal_calls = 0
+        queue_hits = 0
+        reevaluations = 0
         # Heap entries: (-gain, insertion_order, node, round_evaluated).
         # insertion_order keeps ties deterministic and matches exhaustive
         # greedy's first-in-pool-order tie-break.
         heap: List[Tuple[float, int, Node, int]] = []
         for order, node in enumerate(pool):
             gain = estimator.sigma([node]) - 0.0
+            marginal_calls += 1
             heap.append((-gain, order, node, 0))
         heapq.heapify(heap)
 
@@ -74,10 +79,20 @@ class CELFGreedySelector(GreedySelector):
             while True:
                 neg_gain, order, node, evaluated_round = heapq.heappop(heap)
                 if evaluated_round == round_index:
+                    # Lazy hit: the stale bound survived re-evaluation on
+                    # top, so the rest of the queue was never touched.
                     chosen.append(node)
                     current_sigma += -neg_gain
+                    queue_hits += 1
                     break
                 fresh_gain = estimator.sigma(chosen + [node]) - current_sigma
+                marginal_calls += 1
+                reevaluations += 1
                 heapq.heappush(heap, (-fresh_gain, order, node, round_index))
         self.last_evaluations = estimator.evaluations
+        registry = metrics()
+        if registry.enabled:
+            registry.counter("selector.celf_queue_hits").add(queue_hits)
+            registry.counter("selector.celf_reevaluations").add(reevaluations)
+            registry.counter("selector.marginal_gain_calls").add(marginal_calls)
         return chosen

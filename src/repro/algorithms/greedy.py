@@ -39,6 +39,7 @@ from repro.diffusion.base import DEFAULT_MAX_HOPS, INFECTED, DiffusionModel, See
 from repro.diffusion.opoao import OPOAOModel
 from repro.errors import SelectionError
 from repro.graph.digraph import Node
+from repro.obs.registry import metrics
 from repro.rng import RngStream
 from repro.utils.validation import check_fraction, check_positive
 
@@ -133,6 +134,7 @@ class SigmaEstimator:
         if overlap:
             raise SelectionError(f"protectors overlap rumor seeds: {sorted(overlap)[:5]}")
         self.evaluations += 1
+        metrics().inc("selector.sigma_evaluations")
         saved_total = 0
         for replica, at_risk in enumerate(self.baseline):
             infected_now = self._infected_ends(protector_ids, replica)
@@ -150,6 +152,7 @@ class SigmaEstimator:
             return 1.0
         protector_ids = self.context.indexed.indices(dict.fromkeys(protectors))
         self.evaluations += 1
+        metrics().inc("selector.sigma_evaluations")
         safe_total = 0
         for replica in range(self.runs):
             infected_now = self._infected_ends(protector_ids, replica)
@@ -260,6 +263,7 @@ class GreedySelector(ProtectorSelector):
 
         chosen: List[Node] = []
         chosen_set: Set[Node] = set()
+        marginal_calls = 0
         while not self._stop(estimator, chosen, budget):
             if len(chosen) >= len(pool):
                 if budget is None:
@@ -274,6 +278,7 @@ class GreedySelector(ProtectorSelector):
                 if node in chosen_set:
                     continue
                 sigma = estimator.sigma(chosen + [node])
+                marginal_calls += 1
                 if sigma > best_sigma:
                     best_sigma = sigma
                     best_node = node
@@ -281,6 +286,9 @@ class GreedySelector(ProtectorSelector):
             chosen.append(best_node)
             chosen_set.add(best_node)
         self.last_evaluations = estimator.evaluations
+        registry = metrics()
+        if registry.enabled:
+            registry.counter("selector.marginal_gain_calls").add(marginal_calls)
         return chosen
 
     def __repr__(self) -> str:

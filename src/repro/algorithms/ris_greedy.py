@@ -36,6 +36,7 @@ from repro.algorithms.base import ProtectorSelector, SelectionContext
 from repro.diffusion.base import DEFAULT_MAX_HOPS
 from repro.errors import SelectionError
 from repro.graph.digraph import Node
+from repro.obs.registry import metrics
 from repro.rng import RngStream
 from repro.sketch.rrset import sampler_for
 from repro.sketch.store import SketchStore
@@ -158,6 +159,12 @@ class RISGreedySelector(ProtectorSelector):
                 heap.append((-count, node))
         heapq.heapify(heap)
 
+        # Coverage-gain queries play the role σ̂ evaluations play in the
+        # Monte-Carlo selectors; the initial exact gains count too.
+        sigma_evaluations = len(heap)
+        queue_hits = 0
+        reevaluations = 0
+
         picked: List[int] = []
 
         def done() -> bool:
@@ -175,8 +182,11 @@ class RISGreedySelector(ProtectorSelector):
                 gain = sum(
                     1 for set_id in store.sets_containing(node) if not covered[set_id]
                 )
+                sigma_evaluations += 1
                 if not heap or gain >= -heap[0][0]:
+                    queue_hits += 1
                     break  # fresh gain still on top -> true argmax
+                reevaluations += 1
                 if gain:
                     heapq.heappush(heap, (-gain, node))
             else:
@@ -194,6 +204,12 @@ class RISGreedySelector(ProtectorSelector):
                 if not covered[set_id]:
                     covered[set_id] = 1
                     covered_total += 1
+        registry = metrics()
+        if registry.enabled:
+            registry.counter("selector.sigma_evaluations").add(sigma_evaluations)
+            registry.counter("selector.marginal_gain_calls").add(sigma_evaluations)
+            registry.counter("selector.celf_queue_hits").add(queue_hits)
+            registry.counter("selector.celf_reevaluations").add(reevaluations)
         return picked
 
     def __repr__(self) -> str:

@@ -34,6 +34,7 @@ from repro.diffusion.timestamps import (
 )
 from repro.errors import SelectionError
 from repro.graph.digraph import Node
+from repro.obs.registry import metrics
 from repro.rng import RngStream
 from repro.utils.validation import check_positive
 
@@ -103,6 +104,7 @@ class TimestampSigmaEstimator:
                 f"protectors overlap rumor seeds: {sorted(overlap)[:5]}"
             )
         self.evaluations += 1
+        metrics().inc("selector.sigma_evaluations")
         if not protector_ids:
             return 0.0
         key = tuple(sorted(protector_ids))

@@ -7,11 +7,18 @@ Subcommands::
     repro communities --dataset hep     # detect + summarise communities
     repro select --dataset hep --algorithm scbg
     repro simulate --dataset hep --model doam --algorithm scbg
+    repro bench --dataset enron-small --model doam --runs 50
     repro experiment table1 [--scale 0.1] [--json out.json]
     repro experiment fig4 ...
 
 Every subcommand accepts ``--seed`` and ``-v/-vv`` verbosity. The
 ``experiment`` subcommand regenerates any of the paper's tables/figures.
+
+``select``, ``simulate``, and ``bench`` accept ``--metrics-out PATH``:
+the command then runs with a real :class:`repro.obs.MetricsRegistry`
+installed and writes every work counter, gauge, histogram, and stage
+timer it accumulated as machine-readable JSON (see
+``docs/observability.md`` for the schema and metric names).
 """
 
 from __future__ import annotations
@@ -45,6 +52,7 @@ from repro.lcrb.evaluation import evaluate_protectors
 from repro.lcrb.pipeline import draw_rumor_seeds
 from repro.algorithms.base import SelectionContext
 from repro.logging_utils import configure_logging
+from repro.obs import MetricsRegistry, metrics, use_registry
 from repro.rng import RngStream
 
 __all__ = ["main", "build_parser"]
@@ -74,6 +82,15 @@ def build_parser() -> argparse.ArgumentParser:
     communities = sub.add_parser("communities", help="summarise detected communities")
     add_dataset_args(communities)
     communities.add_argument("--top", type=int, default=10, help="communities to show")
+
+    def add_metrics_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--metrics-out",
+            default=None,
+            metavar="PATH",
+            help="run with a real metrics registry and write work counters, "
+            "histograms, and stage timers to PATH as JSON",
+        )
 
     def add_sketch_args(p: argparse.ArgumentParser) -> None:
         p.add_argument(
@@ -106,6 +123,7 @@ def build_parser() -> argparse.ArgumentParser:
     select.add_argument("--rumor-fraction", type=float, default=0.05)
     select.add_argument("--budget", type=int, default=None)
     add_sketch_args(select)
+    add_metrics_arg(select)
 
     simulate = sub.add_parser("simulate", help="select then simulate a diffusion")
     add_dataset_args(simulate)
@@ -137,6 +155,16 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="render the infected-per-hop curve as an ASCII chart (log scale)",
     )
+    add_metrics_arg(simulate)
+
+    bench = sub.add_parser(
+        "bench", help="micro-benchmark a diffusion model on a dataset replica"
+    )
+    add_dataset_args(bench)
+    bench.add_argument("--model", default="doam", choices=["opoao", "doam", "ic", "lt"])
+    bench.add_argument("--runs", type=int, default=50, help="replicas to simulate")
+    bench.add_argument("--hops", type=int, default=31)
+    add_metrics_arg(bench)
 
     inspect = sub.add_parser(
         "inspect", help="draw an LCRB instance and print its diagnostics"
@@ -229,7 +257,8 @@ def _selector(name: str, rng: RngStream, args=None):
 
 
 def _build_instance(args, rng: RngStream):
-    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    with metrics().timer("stage.load"):
+        dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     community_size = dataset.communities.size(dataset.rumor_community)
     count = max(1, round(getattr(args, "rumor_fraction", 0.05) * community_size))
     count = min(count, community_size - 1) or 1
@@ -289,7 +318,8 @@ def _cmd_select(args) -> int:
     rng = RngStream(args.seed, name="cli-select")
     dataset, context = _build_instance(args, rng)
     selector = _selector(args.algorithm, rng, args)
-    protectors = selector.select(context, budget=args.budget)
+    with metrics().timer("stage.select"):
+        protectors = selector.select(context, budget=args.budget)
     print(
         f"instance: |C|={len(context.rumor_community)} |S_R|={len(context.rumor_seeds)} "
         f"|B|={len(context.bridge_ends)}"
@@ -310,17 +340,19 @@ def _cmd_simulate(args) -> int:
         name = "NoBlocking"
     else:
         selector = _selector(args.algorithm, rng, args)
-        protectors = selector.select(context, budget=args.budget)
+        with metrics().timer("stage.select"):
+            protectors = selector.select(context, budget=args.budget)
         name = selector.name
     model = make_model(args.model)
-    result = evaluate_protectors(
-        context,
-        protectors,
-        model,
-        runs=args.runs,
-        max_hops=args.hops,
-        rng=rng.fork("eval"),
-    )
+    with metrics().timer("stage.evaluate"):
+        result = evaluate_protectors(
+            context,
+            protectors,
+            model,
+            runs=args.runs,
+            max_hops=args.hops,
+            rng=rng.fork("eval"),
+        )
     print(
         f"{name} with |P|={len(protectors)} under {model.name}: "
         f"final infected={result.final_infected_mean:.1f}, "
@@ -371,6 +403,43 @@ def _cmd_experiment(args) -> int:
                 roster_markdown(payloads, heading="Experiment report")
             )
         print(f"saved markdown to {args.markdown_path}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    """Micro-benchmark: fixed-replica diffusion runs on one dataset replica.
+
+    Prints runs/second; under ``--metrics-out`` the work counters
+    (node/edge visits, rounds, activations) land in the JSON, giving a
+    machine-readable work-per-run record for regression tracking.
+    """
+    from repro.diffusion.base import SeedSets
+    from repro.utils.timer import Timer
+
+    rng = RngStream(args.seed, name="cli-bench")
+    _dataset, context = _build_instance(args, rng)
+    model = make_model(args.model)
+    seeds = SeedSets(rumors=context.rumor_seed_ids())
+    indexed = context.indexed
+    timer = Timer("bench")
+    with timer:
+        with metrics().timer("stage.bench"):
+            for replica in range(args.runs):
+                model.run(
+                    indexed,
+                    seeds,
+                    rng=rng.replica(replica) if model.stochastic else None,
+                    max_hops=args.hops,
+                )
+    rate = args.runs / max(timer.elapsed, 1e-9)
+    print(
+        f"{model.name} on {args.dataset} (scale={args.scale}): "
+        f"{args.runs} runs in {timer.elapsed:.3f}s = {rate:.1f} runs/s"
+    )
+    registry = metrics()
+    if registry.enabled:
+        for metric_name, value in sorted(registry.counter_values().items()):
+            print(f"  {metric_name} = {value}")
     return 0
 
 
@@ -450,6 +519,7 @@ _COMMANDS = {
     "communities": _cmd_communities,
     "select": _cmd_select,
     "simulate": _cmd_simulate,
+    "bench": _cmd_bench,
     "inspect": _cmd_inspect,
     "sources": _cmd_sources,
     "sweep": _cmd_sweep,
@@ -462,7 +532,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     configure_logging(args.verbose)
-    return _COMMANDS[args.command](args)
+    command = _COMMANDS[args.command]
+    metrics_path = getattr(args, "metrics_out", None)
+    if metrics_path is None:
+        return command(args)
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        code = command(args)
+    registry.write_json(
+        metrics_path,
+        extra={
+            "command": args.command,
+            "dataset": getattr(args, "dataset", None),
+            "seed": getattr(args, "seed", None),
+        },
+    )
+    print(f"wrote metrics JSON to {metrics_path}")
+    return code
 
 
 if __name__ == "__main__":

@@ -22,6 +22,7 @@ from typing import FrozenSet, Iterable, List, Optional, Sequence
 from repro.errors import SeedError
 from repro.graph.compact import IndexedDiGraph
 from repro.diffusion.trace import HopTrace
+from repro.obs.registry import metrics
 from repro.rng import RngStream
 from repro.utils.validation import check_positive
 
@@ -167,7 +168,14 @@ class DiffusionModel(abc.ABC):
         trace = HopTrace()
         trace.record(sorted(seeds.rumors), sorted(seeds.protectors))
         self._spread(graph, states, seeds, trace, rng, max_hops)
-        return DiffusionOutcome(states, trace)
+        outcome = DiffusionOutcome(states, trace)
+        registry = metrics()
+        if registry.enabled:
+            registry.counter("sim.runs").add(1)
+            registry.counter("sim.rounds").add(trace.hops - 1)
+            registry.counter("sim.activations.infected").add(outcome.infected_count)
+            registry.counter("sim.activations.protected").add(outcome.protected_count)
+        return outcome
 
     @abc.abstractmethod
     def _spread(

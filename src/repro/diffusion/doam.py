@@ -29,6 +29,7 @@ from repro.diffusion.base import (
 )
 from repro.diffusion.trace import HopTrace
 from repro.graph.compact import IndexedDiGraph
+from repro.obs.registry import metrics
 from repro.rng import RngStream
 
 __all__ = ["DOAMModel"]
@@ -53,9 +54,20 @@ class DOAMModel(DiffusionModel):
         protected_front: List[int] = sorted(seeds.protectors)
         infected_front: List[int] = sorted(seeds.rumors)
 
+        # Work accounting, guarded per hop so the null-registry cost is
+        # one boolean check per hop, not per node/edge.
+        registry = metrics()
+        track = registry.enabled
+        node_visits = 0
+        edge_visits = 0
+
         for _hop in range(max_hops):
             if not protected_front and not infected_front:
                 break
+            if track:
+                node_visits += len(protected_front) + len(infected_front)
+                edge_visits += sum(len(out[node]) for node in protected_front)
+                edge_visits += sum(len(out[node]) for node in infected_front)
             protected_targets: Set[int] = set()
             for node in protected_front:
                 for neighbor in out[node]:
@@ -78,3 +90,7 @@ class DOAMModel(DiffusionModel):
             trace.record(new_infected, new_protected)
             protected_front = new_protected
             infected_front = new_infected
+
+        if track:
+            registry.counter("sim.node_visits").add(node_visits)
+            registry.counter("sim.edge_visits").add(edge_visits)

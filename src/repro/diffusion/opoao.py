@@ -38,6 +38,7 @@ from repro.diffusion.base import (
 )
 from repro.diffusion.trace import HopTrace
 from repro.graph.compact import IndexedDiGraph
+from repro.obs.registry import metrics
 from repro.rng import RngStream
 
 __all__ = ["OPOAOModel"]
@@ -125,9 +126,17 @@ class OPOAOModel(DiffusionModel):
         for seed in seeds.rumors | seeds.protectors:
             enroll(seed)
 
+        # Work accounting, guarded per hop (every live node examines one
+        # sampled out-edge per step under OPOAO).
+        registry = metrics()
+        track = registry.enabled
+        node_visits = 0
+
         for _hop in range(max_hops):
             if not live:
                 break
+            if track:
+                node_visits += len(live)
             protected_targets: Set[int] = set()
             infected_targets: Set[int] = set()
             # Deterministic iteration order (sorted) keeps runs reproducible
@@ -155,3 +164,7 @@ class OPOAOModel(DiffusionModel):
                 on_activated(node)
                 enroll(node)
             trace.record(new_infected, new_protected)
+
+        if track:
+            registry.counter("sim.node_visits").add(node_visits)
+            registry.counter("sim.edge_visits").add(node_visits)

@@ -15,7 +15,7 @@ the serial simulator does.
 from __future__ import annotations
 
 import multiprocessing
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.diffusion.base import (
     DEFAULT_MAX_HOPS,
@@ -24,6 +24,7 @@ from repro.diffusion.base import (
 )
 from repro.diffusion.simulation import MonteCarloSimulator, SimulationAggregate
 from repro.graph.compact import IndexedDiGraph
+from repro.obs.registry import MetricsRegistry, metrics, use_registry
 from repro.rng import RngStream
 from repro.utils.validation import check_positive
 
@@ -42,6 +43,7 @@ def _init_worker(
     seeds: SeedSets,
     base_seed: int,
     max_hops: int,
+    collect_metrics: bool = False,
 ) -> None:
     """Pool initializer: stash the shared run state in this worker process."""
     _WORKER["model"] = model
@@ -49,22 +51,42 @@ def _init_worker(
     _WORKER["seeds"] = seeds
     _WORKER["base"] = RngStream(base_seed, name="parallel-worker")
     _WORKER["max_hops"] = max_hops
+    _WORKER["collect_metrics"] = collect_metrics
 
 
-def _run_chunk(replica_indices: Sequence[int]) -> SimulationAggregate:
-    """Worker: run a slice of replica indices and return a partial aggregate."""
+def _run_chunk(
+    replica_indices: Sequence[int],
+) -> Tuple[SimulationAggregate, Optional[Dict[str, Any]]]:
+    """Worker: run a slice of replicas; return (partial aggregate, metrics).
+
+    When the parent simulates under a real registry, each worker
+    accumulates into its own :class:`MetricsRegistry` and ships a
+    picklable snapshot home — the snapshot-and-merge protocol that keeps
+    parallel work counters identical to a serial run's.
+    """
     model: DiffusionModel = _WORKER["model"]
     graph: IndexedDiGraph = _WORKER["graph"]
     seeds: SeedSets = _WORKER["seeds"]
     base: RngStream = _WORKER["base"]
     max_hops: int = _WORKER["max_hops"]
+    collect: bool = bool(_WORKER.get("collect_metrics", False))
     aggregate = SimulationAggregate(max_hops)
-    for replica_index in replica_indices:
-        outcome = model.run(
-            graph, seeds, rng=base.replica(replica_index), max_hops=max_hops
-        )
-        aggregate.add(outcome)
-    return aggregate
+
+    def run_all() -> None:
+        for replica_index in replica_indices:
+            outcome = model.run(
+                graph, seeds, rng=base.replica(replica_index), max_hops=max_hops
+            )
+            aggregate.add(outcome)
+
+    if not collect:
+        run_all()
+        return aggregate, None
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        run_all()
+    registry.counter("sim.worlds").add(len(replica_indices))
+    return aggregate, registry.snapshot()
 
 
 class ParallelMonteCarloSimulator:
@@ -115,27 +137,34 @@ class ParallelMonteCarloSimulator:
         if rng is None:
             raise ValueError(f"{self.model.name} is stochastic and needs an RngStream")
 
+        registry = metrics()
         worker_count = self.processes or multiprocessing.cpu_count()
         worker_count = max(1, min(worker_count, self.runs))
         chunks = self._chunks(worker_count)
-        init_args = (self.model, graph, seeds, rng.seed, self.max_hops)
-        if worker_count == 1:
-            saved = dict(_WORKER)
-            try:
-                _init_worker(*init_args)
-                partials = [_run_chunk(chunks[0])]
-            finally:
-                _WORKER.clear()
-                _WORKER.update(saved)
-        else:
-            with multiprocessing.Pool(
-                processes=worker_count, initializer=_init_worker, initargs=init_args
-            ) as pool:
-                partials = pool.map(_run_chunk, chunks)
+        init_args = (
+            self.model, graph, seeds, rng.seed, self.max_hops, registry.enabled
+        )
+        with registry.timer("time.simulate.parallel"):
+            if worker_count == 1:
+                saved = dict(_WORKER)
+                try:
+                    _init_worker(*init_args)
+                    partials = [_run_chunk(chunks[0])]
+                finally:
+                    _WORKER.clear()
+                    _WORKER.update(saved)
+            else:
+                with multiprocessing.Pool(
+                    processes=worker_count, initializer=_init_worker, initargs=init_args
+                ) as pool:
+                    partials = pool.map(_run_chunk, chunks)
 
-        merged = partials[0]
-        for partial in partials[1:]:
+        merged = partials[0][0]
+        for partial, _snapshot in partials[1:]:
             merged = merged.merge(partial)
+        for _partial, snapshot in partials:
+            if snapshot is not None:
+                registry.merge_snapshot(snapshot)
         return merged
 
     def __repr__(self) -> str:

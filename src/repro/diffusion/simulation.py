@@ -19,6 +19,7 @@ from repro.diffusion.base import (
     SeedSets,
 )
 from repro.graph.compact import IndexedDiGraph
+from repro.obs.registry import metrics
 from repro.rng import RngStream
 from repro.utils.stats import RunningStats
 from repro.utils.validation import check_positive
@@ -148,23 +149,30 @@ class MonteCarloSimulator:
                 (used by the evaluator to collect extra statistics without
                 a second pass).
         """
+        registry = metrics()
         aggregate = SimulationAggregate(self.max_hops)
         if not self.model.stochastic:
-            outcome = self.model.run(graph, seeds, rng=None, max_hops=self.max_hops)
+            with registry.timer("time.simulate"):
+                outcome = self.model.run(graph, seeds, rng=None, max_hops=self.max_hops)
             aggregate.add(outcome)
+            if registry.enabled:
+                registry.counter("sim.worlds").add(1)
             if on_outcome is not None:
                 on_outcome(outcome)
             return aggregate
 
         if rng is None:
             raise ValueError(f"{self.model.name} is stochastic and needs an RngStream")
-        for replica_index in range(self.runs):
-            outcome = self.model.run(
-                graph, seeds, rng=rng.replica(replica_index), max_hops=self.max_hops
-            )
-            aggregate.add(outcome)
-            if on_outcome is not None:
-                on_outcome(outcome)
+        with registry.timer("time.simulate"):
+            for replica_index in range(self.runs):
+                outcome = self.model.run(
+                    graph, seeds, rng=rng.replica(replica_index), max_hops=self.max_hops
+                )
+                aggregate.add(outcome)
+                if on_outcome is not None:
+                    on_outcome(outcome)
+        if registry.enabled:
+            registry.counter("sim.worlds").add(self.runs)
         return aggregate
 
     def __repr__(self) -> str:

@@ -41,6 +41,7 @@ from repro.graph.digraph import Node
 from repro.lcrb.evaluation import evaluate_protectors
 from repro.lcrb.pipeline import draw_rumor_seeds
 from repro.logging_utils import get_logger
+from repro.obs.registry import metrics
 from repro.rng import RngStream
 from repro.utils.stats import RunningStats
 
@@ -161,7 +162,9 @@ def _sampled(solution: Sequence[Node], size: int, rng: RngStream) -> List[Node]:
 
 def run_figure(config: FigureConfig) -> FigureResult:
     """Run one infected-per-hop figure experiment (Fig. 4-9)."""
-    dataset = load_dataset(config.dataset, scale=config.scale, seed=config.seed)
+    registry = metrics()
+    with registry.timer("stage.load"):
+        dataset = load_dataset(config.dataset, scale=config.scale, seed=config.seed)
     rng = RngStream(config.seed, name=config.name)
     result = FigureResult(config)
     result.nodes = dataset.graph.node_count
@@ -179,16 +182,18 @@ def run_figure(config: FigureConfig) -> FigureResult:
         draw_rng = rng.fork("draw", draw)
         context = _draw_context(dataset, rumor_count, draw_rng.fork("seeds"))
         bridge_stats.add(len(context.bridge_ends))
-        assignments = _protector_assignments(config, context, draw_rng)
+        with registry.timer("stage.select"):
+            assignments = _protector_assignments(config, context, draw_rng)
         for algorithm, protectors in assignments.items():
-            evaluation = evaluate_protectors(
-                context,
-                protectors,
-                model,
-                runs=config.runs,
-                max_hops=config.hops,
-                rng=draw_rng.fork("eval", algorithm),
-            )
+            with registry.timer("stage.evaluate"):
+                evaluation = evaluate_protectors(
+                    context,
+                    protectors,
+                    model,
+                    runs=config.runs,
+                    max_hops=config.hops,
+                    rng=draw_rng.fork("eval", algorithm),
+                )
             series = evaluation.infected_per_hop
             bucket = hop_sums.setdefault(algorithm, [0.0] * (config.hops + 1))
             for hop, value in enumerate(series):
@@ -270,9 +275,11 @@ class TableResult:
 def run_table(config: TableConfig) -> TableResult:
     """Run the Table I experiment (protector counts under DOAM)."""
     result = TableResult(config)
+    registry = metrics()
     rng = RngStream(config.seed, name=config.name)
     for dataset_name, fractions in config.rows.items():
-        dataset = load_dataset(dataset_name, scale=config.scale, seed=config.seed)
+        with registry.timer("stage.load"):
+            dataset = load_dataset(dataset_name, scale=config.scale, seed=config.seed)
         community_size = dataset.communities.size(dataset.rumor_community)
         for fraction in fractions:
             rumor_count = _rumor_count(fraction, community_size)
@@ -284,15 +291,16 @@ def run_table(config: TableConfig) -> TableResult:
             for draw in range(config.draws):
                 draw_rng = rng.fork(dataset_name, fraction, draw)
                 context = _draw_context(dataset, rumor_count, draw_rng.fork("seeds"))
-                cells[SCBG].add(len(SCBGSelector().select(context)))
-                cells[PROXIMITY].add(
-                    len(
-                        ProximitySelector(rng=draw_rng.fork("proximity")).select(
-                            context
+                with registry.timer("stage.select"):
+                    cells[SCBG].add(len(SCBGSelector().select(context)))
+                    cells[PROXIMITY].add(
+                        len(
+                            ProximitySelector(rng=draw_rng.fork("proximity")).select(
+                                context
+                            )
                         )
                     )
-                )
-                cells[MAXDEGREE].add(len(MaxDegreeSelector().select(context)))
+                    cells[MAXDEGREE].add(len(MaxDegreeSelector().select(context)))
             result.rows.append(
                 {
                     "dataset": dataset_name,

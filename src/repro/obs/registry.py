@@ -1,0 +1,428 @@
+"""Zero-dependency metrics registry: counters, gauges, histograms, timers.
+
+The paper's evaluation is a *cost accounting* argument — Monte-Carlo
+greedy spends orders of magnitude more simulation work than the
+heuristics, and the RIS literature bounds runtime by counting RR-set
+traversal work. This module is the measurement substrate those claims
+run on: every hot path in the library reports **work counters** (nodes
+visited, worlds sampled, gain evaluations, lazy-queue hits) alongside
+wall-clock, so perf numbers are reproducible and CI can diff them.
+
+Design rules:
+
+* **Null by default.** The process-wide active registry starts as
+  :data:`NULL_REGISTRY`, whose operations are no-ops; instrumented code
+  guards per-hop accumulation behind ``registry.enabled`` so the
+  disabled cost is one attribute check per run/hop, not per event.
+* **Snapshot and merge.** A registry's :meth:`~MetricsRegistry.snapshot`
+  is a plain picklable dict; :meth:`~MetricsRegistry.merge_snapshot`
+  folds one in additively (counters/timers add, gauges take the max,
+  histograms concatenate). Parallel workers each accumulate into their
+  own registry and ship snapshots back through the pool — no locks on
+  the hot path, serial/parallel counter totals are identical.
+* **Machine-readable.** :meth:`~MetricsRegistry.to_dict` /
+  :meth:`~MetricsRegistry.write_json` emit the stable ``repro.obs/v1``
+  schema the CLI's ``--metrics-out`` and the benchmark-regression gate
+  consume (documented in ``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from repro.obs.timers import NULL_TIMER, NullTimer, Timer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_REGISTRY",
+    "SCHEMA_VERSION",
+    "metrics",
+    "set_registry",
+    "use_registry",
+]
+
+Number = Union[int, float]
+
+#: Schema tag stamped into every serialized metrics document.
+SCHEMA_VERSION = "repro.obs/v1"
+
+
+class Counter:
+    """Monotonically increasing work counter (events, visits, calls)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        """Increment by ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
+        self.value += amount
+
+    def merge(self, value: int) -> None:
+        """Fold a snapshot value in (additive)."""
+        self.value += value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """Last-written level (sizes of live structures, watermarks).
+
+    Merge semantics are **max**: when parallel workers report the same
+    gauge, the high-water mark wins, keeping merges commutative.
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: Number) -> None:
+        """Overwrite the current level."""
+        self.value = float(value)
+
+    def merge(self, value: Number) -> None:
+        """Fold a snapshot value in (max)."""
+        self.value = max(self.value, float(value))
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """Distribution of observed values (RR-set sizes, front widths).
+
+    Keeps the raw observations (merges concatenate them), so percentiles
+    are exact and order-independent: a merged histogram reports the same
+    quantiles however the observations were partitioned across workers.
+    """
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.values: List[float] = []
+
+    def observe(self, value: Number) -> None:
+        """Record one observation."""
+        self.values.append(float(value))
+
+    def merge(self, values: List[float]) -> None:
+        """Fold a snapshot's observations in (concatenate)."""
+        self.values.extend(values)
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        """Sum of observations."""
+        return sum(self.values)
+
+    @property
+    def mean(self) -> float:
+        """Mean observation (0.0 when empty)."""
+        return self.total / len(self.values) if self.values else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile, ``q`` in [0, 100] (0.0 when empty)."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self.values:
+            return 0.0
+        ordered = sorted(self.values)
+        if q == 0.0:
+            return ordered[0]
+        rank = math.ceil(q / 100.0 * len(ordered))
+        return ordered[min(rank, len(ordered)) - 1]
+
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-ready summary: count/mean/min/max and p50/p90/p99."""
+        if not self.values:
+            return {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
+                    "p50": 0.0, "p90": 0.0, "p99": 0.0}
+        return {
+            "count": len(self.values),
+            "mean": self.mean,
+            "min": min(self.values),
+            "max": max(self.values),
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}, count={self.count}, mean={self.mean:.2f})"
+
+
+class MetricsRegistry:
+    """Named metric store with get-or-create accessors.
+
+    A registry is cheap to construct and meant to be scoped: per CLI
+    invocation, per benchmark, per pool worker. Metric creation is
+    lock-guarded (safe under threads); increments on an existing metric
+    are plain attribute updates — the intended concurrency protocol is
+    *one registry per worker, merge snapshots at the join point*, not
+    shared-registry hammering.
+    """
+
+    #: False only on the null registry; hot paths branch on this once
+    #: per run or hop to skip accumulation entirely.
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._timers: Dict[str, Timer] = {}
+
+    # -- get-or-create accessors ----------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created on first use)."""
+        found = self._counters.get(name)
+        if found is None:
+            with self._lock:
+                found = self._counters.setdefault(name, Counter(name))
+        return found
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (created on first use)."""
+        found = self._gauges.get(name)
+        if found is None:
+            with self._lock:
+                found = self._gauges.setdefault(name, Gauge(name))
+        return found
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram registered under ``name`` (created on first use)."""
+        found = self._histograms.get(name)
+        if found is None:
+            with self._lock:
+                found = self._histograms.setdefault(name, Histogram(name))
+        return found
+
+    def timer(self, name: str) -> Union[Timer, NullTimer]:
+        """The accumulating timer registered under ``name``."""
+        found = self._timers.get(name)
+        if found is None:
+            with self._lock:
+                found = self._timers.setdefault(name, Timer(name))
+        return found
+
+    # -- convenience shorthands ------------------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """``counter(name).add(amount)``."""
+        self.counter(name).add(amount)
+
+    def observe(self, name: str, value: Number) -> None:
+        """``histogram(name).observe(value)``."""
+        self.histogram(name).observe(value)
+
+    def set_gauge(self, name: str, value: Number) -> None:
+        """``gauge(name).set(value)``."""
+        self.gauge(name).set(value)
+
+    # -- inspection -------------------------------------------------------------
+
+    def counter_value(self, name: str) -> int:
+        """Current value of a counter (0 when never touched)."""
+        found = self._counters.get(name)
+        return found.value if found is not None else 0
+
+    def counter_values(self) -> Dict[str, int]:
+        """All counters as a plain ``name -> value`` dict."""
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    # -- snapshot-and-merge protocol --------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Picklable value-copy of every metric (workers ship these)."""
+        with self._lock:
+            return {
+                "counters": {n: c.value for n, c in self._counters.items()},
+                "gauges": {n: g.value for n, g in self._gauges.items()},
+                "histograms": {n: list(h.values) for n, h in self._histograms.items()},
+                "timers": {
+                    n: {"seconds": t.elapsed, "calls": t.calls}
+                    for n, t in self._timers.items()
+                },
+            }
+
+    def merge_snapshot(self, snap: Dict[str, Any]) -> None:
+        """Fold a snapshot in: counters/timers add, gauges max, histograms extend."""
+        for name, value in snap.get("counters", {}).items():
+            self.counter(name).merge(value)
+        for name, value in snap.get("gauges", {}).items():
+            self.gauge(name).merge(value)
+        for name, values in snap.get("histograms", {}).items():
+            self.histogram(name).merge(values)
+        for name, record in snap.get("timers", {}).items():
+            timer = self.timer(name)
+            if isinstance(timer, Timer):
+                timer.elapsed += record["seconds"]
+                timer.calls += int(record["calls"])
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in via its snapshot."""
+        self.merge_snapshot(other.snapshot())
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The stable ``repro.obs/v1`` JSON document (histograms summarized)."""
+        with self._lock:
+            return {
+                "schema": SCHEMA_VERSION,
+                "counters": {n: c.value for n, c in sorted(self._counters.items())},
+                "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+                "histograms": {
+                    n: h.to_dict() for n, h in sorted(self._histograms.items())
+                },
+                "timers": {n: t.to_dict() for n, t in sorted(self._timers.items())},
+            }
+
+    def write_json(self, path: str, extra: Optional[Dict[str, Any]] = None) -> None:
+        """Serialize :meth:`to_dict` (plus ``extra`` top-level keys) to ``path``."""
+        document = self.to_dict()
+        if extra:
+            for key, value in extra.items():
+                document.setdefault(key, value)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def clear(self) -> None:
+        """Drop every registered metric."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+            self._timers.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(counters={len(self._counters)}, "
+            f"gauges={len(self._gauges)}, histograms={len(self._histograms)}, "
+            f"timers={len(self._timers)})"
+        )
+
+
+class _NullCounter(Counter):
+    """Counter whose ``add`` does nothing (shared by the null registry)."""
+
+    __slots__ = ()
+
+    def add(self, amount: int = 1) -> None:
+        return None
+
+    def merge(self, value: int) -> None:
+        return None
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: Number) -> None:
+        return None
+
+    def merge(self, value: Number) -> None:
+        return None
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: Number) -> None:
+        return None
+
+    def merge(self, values: List[float]) -> None:
+        return None
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """The default, do-nothing registry.
+
+    Every accessor returns a shared no-op metric, so instrumented code
+    can call ``metrics().counter(...).add(...)`` unconditionally; hot
+    loops should still branch on :attr:`enabled` to skip accumulation.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._null_counter = _NullCounter("null")
+        self._null_gauge = _NullGauge("null")
+        self._null_histogram = _NullHistogram("null")
+
+    def counter(self, name: str) -> Counter:
+        return self._null_counter
+
+    def gauge(self, name: str) -> Gauge:
+        return self._null_gauge
+
+    def histogram(self, name: str) -> Histogram:
+        return self._null_histogram
+
+    def timer(self, name: str) -> Union[Timer, NullTimer]:
+        return NULL_TIMER
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        return None
+
+    def observe(self, name: str, value: Number) -> None:
+        return None
+
+    def set_gauge(self, name: str, value: Number) -> None:
+        return None
+
+    def merge_snapshot(self, snap: Dict[str, Any]) -> None:
+        return None
+
+
+#: Process-wide default: metrics are off until a real registry is installed.
+NULL_REGISTRY = NullMetricsRegistry()
+
+_ACTIVE: MetricsRegistry = NULL_REGISTRY
+
+
+def metrics() -> MetricsRegistry:
+    """The currently active registry (the null registry by default)."""
+    return _ACTIVE
+
+
+def set_registry(registry: Optional[MetricsRegistry]) -> MetricsRegistry:
+    """Install ``registry`` (``None`` = null) and return the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = registry if registry is not None else NULL_REGISTRY
+    return previous
+
+
+@contextmanager
+def use_registry(registry: Optional[MetricsRegistry]) -> Iterator[MetricsRegistry]:
+    """Scope ``registry`` as the active one for the duration of the block."""
+    previous = set_registry(registry)
+    try:
+        yield metrics()
+    finally:
+        set_registry(previous)

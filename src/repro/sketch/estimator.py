@@ -29,6 +29,7 @@ from repro.algorithms.base import SelectionContext
 from repro.diffusion.base import DEFAULT_MAX_HOPS
 from repro.errors import SelectionError
 from repro.graph.digraph import Node
+from repro.obs.registry import metrics
 from repro.rng import RngStream
 from repro.sketch.rrset import sampler_for
 from repro.sketch.store import SketchStore
@@ -109,6 +110,7 @@ class SketchSigmaEstimator:
         """Expected saved bridge ends |PB(A)|, by RR-set coverage."""
         ids = self._resolve(protectors)
         self.evaluations += 1
+        metrics().inc("selector.sigma_evaluations")
         if not ids:
             self.store.ensure_worlds(self.worlds)
             return 0.0
@@ -126,6 +128,7 @@ class SketchSigmaEstimator:
             return 1.0
         ids = self._resolve(protectors)
         self.evaluations += 1
+        metrics().inc("selector.sigma_evaluations")
         self._ensure_sampled(ids)
         store = self.store
         safe = store.worlds * self._end_count - store.at_risk_total

@@ -32,6 +32,7 @@ from array import array
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.errors import ValidationError
+from repro.obs.registry import metrics
 from repro.utils.validation import check_fraction, check_positive
 
 __all__ = ["SketchStore"]
@@ -74,6 +75,8 @@ class SketchStore:
         check_positive(count, "count")
         if not self.sampler.stochastic:
             count = min(count, 1)  # a deterministic sampler has one world
+        if count > self.worlds > 0:
+            metrics().inc("sketch.store_doublings")
         for index in range(self.worlds, count):
             self._append_world(self.sampler.sample_world(index))
         return self
@@ -84,6 +87,8 @@ class SketchStore:
         return self
 
     def _append_world(self, world) -> None:
+        registry = metrics()
+        track = registry.enabled
         for root, members in world.rr_sets:
             set_id = len(self._roots)
             self._roots.append(root)
@@ -96,8 +101,18 @@ class SketchStore:
                     bucket = array("q")
                     self._index[node] = bucket
                 bucket.append(set_id)
-        self._sets_per_world.append(len(world.rr_sets))
+            if track:
+                registry.histogram("sketch.rrset_size").observe(len(members))
         self.worlds += 1
+        self._sets_per_world.append(len(world.rr_sets))
+        if track:
+            registry.counter("sketch.worlds_sampled").add(1)
+            registry.counter("sketch.rrsets_sampled").add(len(world.rr_sets))
+            registry.counter("sketch.rrset_members_stored").add(
+                self._offsets[-1] - self._offsets[-1 - len(world.rr_sets)]
+            )
+            registry.set_gauge("sketch.index_nodes", len(self._index))
+            registry.set_gauge("sketch.set_count", len(self._roots))
 
     # -- inspection -------------------------------------------------------------
 

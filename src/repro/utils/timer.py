@@ -1,58 +1,20 @@
-"""Wall-clock timing for experiments.
+"""Wall-clock timing for experiments (compatibility shim).
 
-:class:`Timer` is a context manager that records elapsed seconds; it can be
-re-entered to accumulate across several timed sections, which is how the
-experiment harness attributes time to pipeline stages.
+The :class:`Timer` implementation moved to :mod:`repro.obs.timers`,
+where it doubles as the timer metric of the observability registry;
+this module re-exports it so existing imports keep working.
+
+Example:
+    >>> from repro.utils.timer import Timer
+    >>> timer = Timer("selection")
+    >>> with timer:
+    ...     _ = sum(range(1000))
+    >>> timer.calls
+    1
 """
 
 from __future__ import annotations
 
-import time
-from typing import Optional
+from repro.obs.timers import Timer
 
 __all__ = ["Timer"]
-
-
-class Timer:
-    """Accumulating wall-clock timer.
-
-    Example:
-        >>> timer = Timer("selection")
-        >>> with timer:
-        ...     _ = sum(range(1000))
-        >>> timer.elapsed >= 0.0
-        True
-    """
-
-    __slots__ = ("name", "elapsed", "calls", "_started_at")
-
-    def __init__(self, name: str = "") -> None:
-        self.name = name
-        self.elapsed = 0.0
-        self.calls = 0
-        self._started_at: Optional[float] = None
-
-    def __enter__(self) -> "Timer":
-        self._started_at = time.perf_counter()
-        return self
-
-    def __exit__(self, *exc_info: object) -> None:
-        assert self._started_at is not None, "Timer exited without entering"
-        self.elapsed += time.perf_counter() - self._started_at
-        self.calls += 1
-        self._started_at = None
-
-    @property
-    def running(self) -> bool:
-        """True while inside a ``with`` block."""
-        return self._started_at is not None
-
-    def reset(self) -> None:
-        """Zero the accumulated time and call count."""
-        self.elapsed = 0.0
-        self.calls = 0
-        self._started_at = None
-
-    def __repr__(self) -> str:
-        label = self.name or "timer"
-        return f"Timer({label}: {self.elapsed:.3f}s over {self.calls} call(s))"

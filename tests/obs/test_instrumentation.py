@@ -1,0 +1,89 @@
+"""Instrumentation behavior: serial/parallel equality and null-default no-ops."""
+
+import pytest
+
+from repro.diffusion.base import SeedSets
+from repro.diffusion.doam import DOAMModel
+from repro.diffusion.opoao import OPOAOModel
+from repro.diffusion.parallel import ParallelMonteCarloSimulator
+from repro.diffusion.simulation import MonteCarloSimulator
+from repro.graph.digraph import DiGraph
+from repro.obs import NULL_REGISTRY, MetricsRegistry, metrics, use_registry
+from repro.rng import RngStream
+
+
+@pytest.fixture
+def star():
+    return DiGraph.from_edges([(0, i) for i in range(1, 12)])
+
+
+class TestSerialParallelEquality:
+    def test_identical_work_counters(self, star):
+        """One registry per worker + snapshot merge == one serial registry."""
+        indexed = star.to_indexed()
+        seeds = SeedSets(rumors=[0])
+        serial_registry = MetricsRegistry()
+        with use_registry(serial_registry):
+            MonteCarloSimulator(OPOAOModel(), runs=12, max_hops=6).simulate(
+                indexed, seeds, rng=RngStream(5)
+            )
+        parallel_registry = MetricsRegistry()
+        with use_registry(parallel_registry):
+            ParallelMonteCarloSimulator(
+                OPOAOModel(), runs=12, max_hops=6, processes=3
+            ).simulate(indexed, seeds, rng=RngStream(5))
+        assert (
+            parallel_registry.counter_values() == serial_registry.counter_values()
+        )
+        assert serial_registry.counter_value("sim.worlds") == 12
+        assert serial_registry.counter_value("sim.runs") == 12
+
+    def test_single_process_inline_path_counts_too(self, star):
+        indexed = star.to_indexed()
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            ParallelMonteCarloSimulator(
+                OPOAOModel(), runs=5, max_hops=4, processes=1
+            ).simulate(indexed, SeedSets(rumors=[0]), rng=RngStream(6))
+        assert registry.counter_value("sim.worlds") == 5
+        assert registry.counter_value("sim.node_visits") > 0
+
+    def test_disabled_parent_ships_no_snapshots(self, star):
+        indexed = star.to_indexed()
+        assert metrics() is NULL_REGISTRY
+        aggregate = ParallelMonteCarloSimulator(
+            OPOAOModel(), runs=6, max_hops=4, processes=2
+        ).simulate(indexed, SeedSets(rumors=[0]), rng=RngStream(9))
+        assert aggregate.runs == 6
+        assert NULL_REGISTRY.to_dict()["counters"] == {}
+
+
+class TestNullDefaultNoOp:
+    def test_simulation_outcome_unaffected_by_registry(self, star):
+        """Instrumentation must never change simulation results."""
+        indexed = star.to_indexed()
+        seeds = SeedSets(rumors=[0])
+        simulator = MonteCarloSimulator(OPOAOModel(), runs=8, max_hops=5)
+        bare = simulator.simulate(indexed, seeds, rng=RngStream(3))
+        with use_registry(MetricsRegistry()):
+            instrumented = simulator.simulate(indexed, seeds, rng=RngStream(3))
+        assert bare.infected_per_hop == instrumented.infected_per_hop
+        assert bare.final_infected.mean == instrumented.final_infected.mean
+
+    def test_doam_counters_flow_when_enabled(self, star):
+        indexed = star.to_indexed()
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            DOAMModel().run(indexed, SeedSets(rumors=[0]), max_hops=8)
+        counters = registry.counter_values()
+        assert counters["sim.runs"] == 1
+        assert counters["sim.node_visits"] > 0
+        assert counters["sim.edge_visits"] > 0
+
+    def test_null_registry_untouched_by_default_run(self, star):
+        indexed = star.to_indexed()
+        assert metrics() is NULL_REGISTRY
+        DOAMModel().run(indexed, SeedSets(rumors=[0]), max_hops=8)
+        document = NULL_REGISTRY.to_dict()
+        assert document["counters"] == {}
+        assert document["timers"] == {}

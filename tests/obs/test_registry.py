@@ -1,0 +1,215 @@
+"""Unit tests for the observability layer's registry primitives."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.obs import (
+    NULL_REGISTRY,
+    SCHEMA_VERSION,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    metrics,
+    set_registry,
+    use_registry,
+)
+
+
+class TestCounter:
+    def test_add_and_value(self):
+        registry = MetricsRegistry()
+        registry.inc("work", 3)
+        registry.inc("work")
+        assert registry.counter_value("work") == 4
+
+    def test_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("work").add(-1)
+
+    def test_untouched_counter_reads_zero(self):
+        assert MetricsRegistry().counter_value("never") == 0
+
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("level", 5)
+        registry.set_gauge("level", 2)
+        assert registry.gauge("level").value == 2.0
+
+    def test_merge_takes_max(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("level", 7)
+        registry.gauge("level").merge(3)
+        assert registry.gauge("level").value == 7.0
+        registry.gauge("level").merge(11)
+        assert registry.gauge("level").value == 11.0
+
+
+class TestHistogramPercentiles:
+    def test_nearest_rank_exact(self):
+        histogram = Histogram("sizes")
+        for value in [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]:
+            histogram.observe(value)
+        assert histogram.percentile(0) == 1
+        assert histogram.percentile(50) == 5
+        assert histogram.percentile(90) == 9
+        assert histogram.percentile(100) == 10
+
+    def test_single_value(self):
+        histogram = Histogram("one")
+        histogram.observe(42)
+        for q in (0, 50, 99, 100):
+            assert histogram.percentile(q) == 42
+
+    def test_empty_is_zero(self):
+        assert Histogram("empty").percentile(50) == 0.0
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            Histogram("bad").percentile(101)
+
+    def test_summary_dict(self):
+        histogram = Histogram("sizes")
+        for value in (2, 4, 6):
+            histogram.observe(value)
+        summary = histogram.to_dict()
+        assert summary["count"] == 3
+        assert summary["mean"] == pytest.approx(4.0)
+        assert summary["min"] == 2 and summary["max"] == 6
+
+    def test_partition_invariance(self):
+        """Merged histograms report the same quantiles as undivided ones."""
+        values = [float(v) for v in range(100, 0, -1)]
+        whole = Histogram("whole")
+        left, right = Histogram("left"), Histogram("right")
+        for index, value in enumerate(values):
+            whole.observe(value)
+            (left if index % 2 else right).observe(value)
+        left.merge(right.values)
+        for q in (1, 25, 50, 90, 99):
+            assert left.percentile(q) == whole.percentile(q)
+
+
+class TestMergeSemantics:
+    def _worker(self, counter, gauge, observations):
+        registry = MetricsRegistry()
+        registry.inc("work", counter)
+        registry.set_gauge("size", gauge)
+        for value in observations:
+            registry.observe("dist", value)
+        with registry.timer("stage"):
+            pass
+        return registry
+
+    def test_counters_add_gauges_max_histograms_concat(self):
+        parent = MetricsRegistry()
+        parent.merge(self._worker(3, 10, [1.0, 2.0]))
+        parent.merge(self._worker(4, 7, [3.0]))
+        assert parent.counter_value("work") == 7
+        assert parent.gauge("size").value == 10.0
+        assert parent.histogram("dist").values == [1.0, 2.0, 3.0]
+        assert parent.timer("stage").calls == 2
+
+    def test_merge_snapshot_is_picklable_roundtrip(self):
+        snapshot = self._worker(5, 2, [9.0]).snapshot()
+        restored = pickle.loads(pickle.dumps(snapshot))
+        parent = MetricsRegistry()
+        parent.merge_snapshot(restored)
+        assert parent.counter_value("work") == 5
+        assert parent.histogram("dist").values == [9.0]
+
+    def test_merge_order_independent_for_counters(self):
+        a, b = self._worker(2, 1, []), self._worker(9, 4, [])
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        forward.merge(a)
+        forward.merge(b)
+        backward.merge(b)
+        backward.merge(a)
+        assert forward.counter_values() == backward.counter_values()
+        assert forward.gauge("size").value == backward.gauge("size").value
+
+
+class TestNullRegistry:
+    def test_default_active_registry_is_null(self):
+        assert metrics() is NULL_REGISTRY
+        assert not metrics().enabled
+
+    def test_null_operations_accumulate_nothing(self):
+        null = NullMetricsRegistry()
+        null.inc("work", 100)
+        null.counter("work").add(5)
+        null.observe("dist", 1.5)
+        null.set_gauge("size", 9)
+        with null.timer("stage"):
+            pass
+        null.merge_snapshot({"counters": {"work": 3}})
+        document = null.to_dict()
+        assert document["counters"] == {}
+        assert document["gauges"] == {}
+        assert document["histograms"] == {}
+        assert document["timers"] == {}
+
+    def test_shared_null_metrics_are_cheap_singletons(self):
+        null = NullMetricsRegistry()
+        assert null.counter("a") is null.counter("b")
+        assert null.timer("a") is null.timer("b")
+
+
+class TestActiveRegistryPlumbing:
+    def test_use_registry_scopes_and_restores(self):
+        registry = MetricsRegistry()
+        assert metrics() is NULL_REGISTRY
+        with use_registry(registry) as active:
+            assert active is registry
+            assert metrics() is registry
+            metrics().inc("inside")
+        assert metrics() is NULL_REGISTRY
+        assert registry.counter_value("inside") == 1
+
+    def test_use_registry_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with use_registry(MetricsRegistry()):
+                raise RuntimeError("boom")
+        assert metrics() is NULL_REGISTRY
+
+    def test_set_registry_none_means_null(self):
+        previous = set_registry(None)
+        assert previous is NULL_REGISTRY
+        assert metrics() is NULL_REGISTRY
+
+
+class TestSerialization:
+    def test_write_json_schema(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.inc("work", 2)
+        registry.observe("dist", 3.5)
+        with registry.timer("stage"):
+            pass
+        path = tmp_path / "metrics.json"
+        registry.write_json(str(path), extra={"command": "select"})
+        document = json.loads(path.read_text())
+        assert document["schema"] == SCHEMA_VERSION
+        assert document["command"] == "select"
+        assert document["counters"] == {"work": 2}
+        assert document["histograms"]["dist"]["count"] == 1
+        assert document["timers"]["stage"]["calls"] == 1
+
+    def test_extra_does_not_override_schema_keys(self, tmp_path):
+        registry = MetricsRegistry()
+        path = tmp_path / "metrics.json"
+        registry.write_json(str(path), extra={"schema": "bogus"})
+        assert json.loads(path.read_text())["schema"] == SCHEMA_VERSION
+
+    def test_clear(self):
+        registry = MetricsRegistry()
+        registry.inc("work")
+        registry.clear()
+        assert registry.counter_values() == {}

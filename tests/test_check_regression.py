@@ -1,0 +1,130 @@
+"""Unit tests for the benchmark-regression gate (benchmarks/check_regression.py)."""
+
+import json
+
+import pytest
+
+from benchmarks.check_regression import (
+    DEFAULT_TOLERANCE,
+    check,
+    compare_documents,
+    main,
+    update,
+)
+
+
+def _document(counters, name="perf_demo", fast=True, scale=0.05):
+    return {
+        "schema": "repro.bench/v1",
+        "name": name,
+        "fast": fast,
+        "scale": scale,
+        "wall_clock_seconds": 0.1,
+        "counters": counters,
+    }
+
+
+class TestCompareDocuments:
+    def test_identical_passes(self):
+        doc = _document({"sim.edge_visits": 1000})
+        failures, notes = compare_documents(doc, doc)
+        assert failures == [] and notes == []
+
+    def test_growth_within_tolerance_passes(self):
+        base = _document({"sim.edge_visits": 1000})
+        current = _document({"sim.edge_visits": 1099})
+        failures, _ = compare_documents(base, current)
+        assert failures == []
+
+    def test_growth_beyond_ten_percent_fails(self):
+        base = _document({"sim.edge_visits": 1000})
+        current = _document({"sim.edge_visits": 1101})
+        failures, _ = compare_documents(base, current)
+        assert len(failures) == 1
+        assert "sim.edge_visits" in failures[0]
+        assert "regressed" in failures[0]
+
+    def test_growth_from_zero_fails(self):
+        failures, _ = compare_documents(
+            _document({"new.work": 0}), _document({"new.work": 1})
+        )
+        assert len(failures) == 1
+
+    def test_missing_counter_fails(self):
+        failures, _ = compare_documents(
+            _document({"sim.rounds": 5}), _document({})
+        )
+        assert failures and "missing" in failures[0]
+
+    def test_shrunk_counter_is_informational(self):
+        failures, notes = compare_documents(
+            _document({"sim.rounds": 100}), _document({"sim.rounds": 50})
+        )
+        assert failures == []
+        assert notes and "improved" in notes[0]
+
+    def test_new_counter_is_informational(self):
+        failures, notes = compare_documents(
+            _document({}), _document({"sketch.rrsets_sampled": 3})
+        )
+        assert failures == []
+        assert notes and "no baseline" in notes[0]
+
+    def test_config_mismatch_fails_before_counters(self):
+        base = _document({"sim.rounds": 10}, scale=0.05)
+        current = _document({"sim.rounds": 10**6}, scale=0.02)
+        failures, _ = compare_documents(base, current)
+        assert len(failures) == 1
+        assert "config mismatch" in failures[0]
+
+    def test_custom_tolerance(self):
+        base = _document({"sim.rounds": 100})
+        current = _document({"sim.rounds": 140})
+        assert compare_documents(base, current, tolerance=0.5)[0] == []
+        assert compare_documents(base, current, tolerance=0.1)[0] != []
+
+    def test_default_tolerance_is_ten_percent(self):
+        assert DEFAULT_TOLERANCE == pytest.approx(0.10)
+
+
+class TestCheckAndUpdate:
+    def _write(self, directory, counters, name="perf_demo"):
+        directory.mkdir(exist_ok=True)
+        path = directory / f"BENCH_{name}.json"
+        path.write_text(json.dumps(_document(counters, name=name)))
+        return path
+
+    def test_check_passes_and_fails(self, tmp_path):
+        baselines, results = tmp_path / "baselines", tmp_path / "results"
+        self._write(baselines, {"sim.edge_visits": 1000})
+        self._write(results, {"sim.edge_visits": 1000})
+        assert check(baselines, results, 0.10) == 0
+        self._write(results, {"sim.edge_visits": 2000})
+        assert check(baselines, results, 0.10) == 1
+
+    def test_check_fails_on_missing_result(self, tmp_path):
+        baselines, results = tmp_path / "baselines", tmp_path / "results"
+        self._write(baselines, {"sim.rounds": 5})
+        results.mkdir()
+        assert check(baselines, results, 0.10) == 1
+
+    def test_check_errors_without_baselines(self, tmp_path):
+        (tmp_path / "baselines").mkdir()
+        (tmp_path / "results").mkdir()
+        assert check(tmp_path / "baselines", tmp_path / "results", 0.10) == 2
+
+    def test_update_then_check_roundtrip(self, tmp_path):
+        baselines, results = tmp_path / "baselines", tmp_path / "results"
+        self._write(results, {"sim.edge_visits": 777})
+        assert update(baselines, results) == 0
+        assert check(baselines, results, 0.10) == 0
+
+    def test_main_cli_flags(self, tmp_path):
+        baselines, results = tmp_path / "baselines", tmp_path / "results"
+        self._write(results, {"sim.rounds": 9})
+        argv = ["--baselines", str(baselines), "--results", str(results)]
+        assert main(argv + ["--update"]) == 0
+        assert main(argv) == 0
+        self._write(results, {"sim.rounds": 90})
+        assert main(argv) == 1
+        assert main(argv + ["--tolerance", "20.0"]) == 0

@@ -220,3 +220,99 @@ class TestCommands:
         markdown = md_path.read_text()
         assert markdown.startswith("# Experiment report")
         assert "Table I" in markdown
+
+
+class TestMetricsOut:
+    def test_select_ris_greedy_emits_schema(self, tmp_path, capsys):
+        """Golden-schema check for --metrics-out (the acceptance criterion)."""
+        path = tmp_path / "metrics.json"
+        code = main(
+            [
+                "select",
+                "--dataset",
+                "enron-small",
+                "--scale",
+                "0.02",
+                "--algorithm",
+                "ris-greedy",
+                "--budget",
+                "2",
+                "--metrics-out",
+                str(path),
+            ]
+        )
+        assert code == 0
+        assert "wrote metrics JSON" in capsys.readouterr().out
+        document = json.loads(path.read_text())
+        assert document["schema"] == "repro.obs/v1"
+        assert document["command"] == "select"
+        assert document["dataset"] == "enron-small"
+        assert set(document) >= {"counters", "gauges", "histograms", "timers"}
+        counters = document["counters"]
+        assert counters["sketch.rrsets_sampled"] > 0
+        assert counters["selector.sigma_evaluations"] > 0
+        assert counters["selector.celf_queue_hits"] > 0
+        assert document["timers"]["stage.load"]["calls"] == 1
+        assert document["timers"]["stage.select"]["calls"] == 1
+
+    def test_simulate_metrics_include_world_counters(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        code = main(
+            [
+                "simulate",
+                "--dataset",
+                "enron-small",
+                "--scale",
+                "0.02",
+                "--model",
+                "opoao",
+                "--algorithm",
+                "maxdegree",
+                "--budget",
+                "2",
+                "--runs",
+                "4",
+                "--hops",
+                "6",
+                "--metrics-out",
+                str(path),
+            ]
+        )
+        assert code == 0
+        counters = json.loads(path.read_text())["counters"]
+        assert counters["sim.worlds"] == 4
+        assert counters["sim.runs"] == 4
+        assert counters["sim.node_visits"] > 0
+
+    def test_bench_subcommand(self, tmp_path, capsys):
+        path = tmp_path / "metrics.json"
+        code = main(
+            [
+                "bench",
+                "--dataset",
+                "enron-small",
+                "--scale",
+                "0.02",
+                "--model",
+                "doam",
+                "--runs",
+                "3",
+                "--hops",
+                "6",
+                "--metrics-out",
+                str(path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "runs/s" in out
+        counters = json.loads(path.read_text())["counters"]
+        assert counters["sim.runs"] == 3
+        assert counters["sim.edge_visits"] > 0
+
+    def test_metrics_off_by_default(self, capsys):
+        from repro.obs import NULL_REGISTRY, metrics
+
+        assert main(["datasets"]) == 0
+        assert metrics() is NULL_REGISTRY
+        assert NULL_REGISTRY.to_dict()["counters"] == {}
