@@ -188,6 +188,14 @@ class GreedySelector(ProtectorSelector):
             tractability knob; ``None`` = no cap).
         rng: base stream (forked internally; the selector never mutates
             the caller's stream position).
+        backend: ``None`` estimates σ with the per-replica
+            :class:`SigmaEstimator`; a kernel backend name (``"python"``/
+            ``"numpy"``/``"auto"``) swaps in the batched
+            :class:`~repro.kernels.sigma.BatchedSigmaEvaluator` (same
+            coupled-worlds semantics, one vectorized sweep per σ̂ call).
+        world_source: world sampler for the batched estimator —
+            ``"native"`` (fastest) or ``"shared"`` (bit-identical across
+            backends). Ignored when ``backend`` is ``None``.
     """
 
     name = "Greedy"
@@ -201,6 +209,8 @@ class GreedySelector(ProtectorSelector):
         pool: str = "bbst",
         max_candidates: Optional[int] = None,
         rng: Optional[RngStream] = None,
+        backend: Optional[str] = None,
+        world_source: str = "native",
     ) -> None:
         self.model = model or OPOAOModel()
         self.runs = int(check_positive(runs, "runs"))
@@ -211,6 +221,8 @@ class GreedySelector(ProtectorSelector):
             max_candidates = int(check_positive(max_candidates, "max_candidates"))
         self.max_candidates = max_candidates
         self.rng = rng or RngStream(name="greedy")
+        self.backend = backend
+        self.world_source = world_source
         #: σ̂ evaluations consumed by the most recent select() call — the
         #: quantity the CELF-vs-greedy ablation bench compares.
         self.last_evaluations = 0
@@ -218,7 +230,26 @@ class GreedySelector(ProtectorSelector):
     # -- shared machinery (CELF subclasses reuse these) -------------------------
 
     def make_estimator(self, context: SelectionContext) -> SigmaEstimator:
-        """Build the σ estimator bound to this selector's settings."""
+        """Build the σ estimator bound to this selector's settings.
+
+        With a kernel ``backend`` configured this returns a
+        :class:`~repro.kernels.sigma.BatchedSigmaEvaluator`, which is
+        duck-compatible with :class:`SigmaEstimator` for everything the
+        selection loop consumes (``sigma``, ``protected_fraction``,
+        ``evaluations``).
+        """
+        if self.backend is not None:
+            from repro.kernels.sigma import BatchedSigmaEvaluator
+
+            return BatchedSigmaEvaluator(
+                context,
+                model=self.model,
+                runs=self.runs,
+                max_hops=self.max_hops,
+                rng=self.rng.fork("sigma"),
+                backend=self.backend,
+                world_source=self.world_source,
+            )
         return SigmaEstimator(
             context,
             model=self.model,

@@ -59,6 +59,13 @@ class RISGreedySelector(ProtectorSelector):
             (deterministic semantics need exactly one world).
         max_worlds: hard cap on adaptive doubling.
         rng: base stream for world sampling.
+        verify_backend: optional kernel backend name; when set, every
+            ``select`` cross-checks the picked set with an independent
+            batched simulation (:class:`~repro.kernels.sigma.\
+BatchedSigmaEvaluator`) and records the achieved protected fraction in
+            :attr:`last_kernel_protected_fraction` and the
+            ``ris.kernel_protected_fraction`` gauge.
+        verify_runs: coupled worlds for the verification estimate.
     """
 
     name = "RIS-Greedy"
@@ -73,6 +80,8 @@ class RISGreedySelector(ProtectorSelector):
         initial_worlds: int = 64,
         max_worlds: int = 4096,
         rng: Optional[RngStream] = None,
+        verify_backend: Optional[str] = None,
+        verify_runs: int = 64,
     ) -> None:
         self.semantics = semantics
         self.epsilon = check_fraction(epsilon, "epsilon", exclusive=True)
@@ -82,8 +91,13 @@ class RISGreedySelector(ProtectorSelector):
         self.initial_worlds = int(check_positive(initial_worlds, "initial_worlds"))
         self.max_worlds = int(check_positive(max_worlds, "max_worlds"))
         self.rng = rng or RngStream(name="ris-greedy")
+        self.verify_backend = verify_backend
+        self.verify_runs = int(check_positive(verify_runs, "verify_runs"))
         #: worlds held by the store after the most recent select() call.
         self.last_worlds = 0
+        #: protected fraction the kernel verification measured for the
+        #: most recent select() call (None when verification is off).
+        self.last_kernel_protected_fraction: Optional[float] = None
         #: per-context sketch cache: id(context) -> (context, store).
         self._stores: Dict[int, Tuple[SelectionContext, SketchStore]] = {}
 
@@ -128,7 +142,31 @@ class RISGreedySelector(ProtectorSelector):
             store.ensure_worlds(min(self.max_worlds, 2 * store.worlds))
         self.last_worlds = store.worlds
         labels = context.indexed.labels
-        return [labels[node] for node in picked]
+        chosen = [labels[node] for node in picked]
+        if self.verify_backend is not None:
+            self._verify(context, chosen)
+        return chosen
+
+    def _verify(self, context: SelectionContext, chosen: List[Node]) -> None:
+        """Cross-check the sketch pick with an independent kernel race."""
+        from repro.diffusion.doam import DOAMModel
+        from repro.diffusion.opoao import OPOAOModel
+        from repro.kernels.sigma import BatchedSigmaEvaluator
+
+        model = DOAMModel() if self.semantics == "doam" else OPOAOModel()
+        evaluator = BatchedSigmaEvaluator(
+            context,
+            model=model,
+            runs=self.verify_runs,
+            max_hops=self.steps,
+            rng=self.rng.fork("verify"),
+            backend=self.verify_backend,
+        )
+        fraction = evaluator.protected_fraction(chosen)
+        self.last_kernel_protected_fraction = fraction
+        registry = metrics()
+        if registry.enabled:
+            registry.set_gauge("ris.kernel_protected_fraction", fraction)
 
     def _protected_fraction(self, store: SketchStore, covered_total: int,
                             end_count: int) -> float:

@@ -92,6 +92,15 @@ def build_parser() -> argparse.ArgumentParser:
             "histograms, and stage timers to PATH as JSON",
         )
 
+    def add_backend_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--backend",
+            default=None,
+            choices=["auto", "python", "numpy"],
+            help="run diffusion through a batched kernel backend "
+            "(default: the per-replica reference path)",
+        )
+
     def add_sketch_args(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--epsilon", type=float, default=0.1,
@@ -122,6 +131,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     select.add_argument("--rumor-fraction", type=float, default=0.05)
     select.add_argument("--budget", type=int, default=None)
+    add_backend_arg(select)
     add_sketch_args(select)
     add_metrics_arg(select)
 
@@ -147,6 +157,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--model", default="doam", choices=["opoao", "doam", "ic", "lt"])
     simulate.add_argument("--rumor-fraction", type=float, default=0.05)
     simulate.add_argument("--budget", type=int, default=None)
+    add_backend_arg(simulate)
     add_sketch_args(simulate)
     simulate.add_argument("--runs", type=int, default=100)
     simulate.add_argument("--hops", type=int, default=31)
@@ -161,9 +172,25 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="micro-benchmark a diffusion model on a dataset replica"
     )
     add_dataset_args(bench)
-    bench.add_argument("--model", default="doam", choices=["opoao", "doam", "ic", "lt"])
+    bench.add_argument(
+        "--model",
+        default=None,
+        choices=["opoao", "doam", "ic", "lt"],
+        help="defaults to doam; with --backend, to opoao (the stochastic "
+        "model the batched kernels are built for)",
+    )
     bench.add_argument("--runs", type=int, default=50, help="replicas to simulate")
     bench.add_argument("--hops", type=int, default=31)
+    bench.add_argument(
+        "--rumor-fraction", type=float, default=0.05, help=argparse.SUPPRESS
+    )
+    add_backend_arg(bench)
+    bench.add_argument(
+        "--candidates",
+        type=int,
+        default=10,
+        help="with --backend: protector candidates to time sigma over",
+    )
     add_metrics_arg(bench)
 
     inspect = sub.add_parser(
@@ -230,13 +257,19 @@ def _selector(name: str, rng: RngStream, args=None):
             epsilon=getattr(args, "epsilon", 0.1),
             delta=getattr(args, "delta", 0.05),
             rng=rng.fork("ris-greedy"),
+            verify_backend=getattr(args, "backend", None),
         )
     if name == "gvs":
         from repro.algorithms.gvs import GreedyViralStopper
 
         return GreedyViralStopper(runs=8, max_candidates=150, rng=rng.fork("gvs"))
     if name == "greedy":
-        return CELFGreedySelector(runs=8, max_candidates=150, rng=rng.fork("greedy"))
+        return CELFGreedySelector(
+            runs=8,
+            max_candidates=150,
+            rng=rng.fork("greedy"),
+            backend=getattr(args, "backend", None),
+        )
     if name == "maxdegree":
         return MaxDegreeSelector()
     if name == "degreediscount":
@@ -352,6 +385,7 @@ def _cmd_simulate(args) -> int:
             runs=args.runs,
             max_hops=args.hops,
             rng=rng.fork("eval"),
+            backend=args.backend,
         )
     print(
         f"{name} with |P|={len(protectors)} under {model.name}: "
@@ -406,19 +440,72 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _bench_sigma(args, context, model, rng: RngStream) -> int:
+    """Sigma-estimation throughput through a kernel backend.
+
+    Times σ̂ over a slice of the greedy candidate pool — one batched
+    kernel sweep per candidate over ``--runs`` coupled worlds — which is
+    exactly the work greedy/CELF spend their time on. Compare
+    ``--backend python`` against ``--backend numpy`` for the speedup.
+    """
+    from repro.algorithms.greedy import candidate_pool
+    from repro.kernels import BatchedSigmaEvaluator
+    from repro.utils.timer import Timer
+
+    evaluator = BatchedSigmaEvaluator(
+        context,
+        model=model,
+        runs=args.runs,
+        max_hops=args.hops,
+        rng=rng.fork("sigma"),
+        backend=args.backend,
+    )
+    candidates = candidate_pool(context) or candidate_pool(context, "all")
+    candidates = candidates[: args.candidates]
+    if not candidates:
+        print("no eligible protector candidates; nothing to benchmark")
+        return 1
+    evaluator.baseline  # sample worlds + baseline race outside the timer
+    timer = Timer("bench-sigma")
+    with timer:
+        with metrics().timer("stage.bench"):
+            for candidate in candidates:
+                evaluator.sigma([candidate])
+    evaluations = len(candidates)
+    rate = evaluations / max(timer.elapsed, 1e-9)
+    worlds = evaluations * evaluator.runs
+    print(
+        f"sigma[{model.name}] on {args.dataset} (scale={args.scale}) via "
+        f"backend={evaluator.backend.name}: {evaluations} evaluations x "
+        f"{evaluator.runs} worlds in {timer.elapsed:.3f}s = "
+        f"{rate:.2f} sigma/s ({worlds / max(timer.elapsed, 1e-9):.1f} worlds/s)"
+    )
+    registry = metrics()
+    if registry.enabled:
+        for metric_name, value in sorted(registry.counter_values().items()):
+            print(f"  {metric_name} = {value}")
+    return 0
+
+
 def _cmd_bench(args) -> int:
     """Micro-benchmark: fixed-replica diffusion runs on one dataset replica.
 
     Prints runs/second; under ``--metrics-out`` the work counters
     (node/edge visits, rounds, activations) land in the JSON, giving a
     machine-readable work-per-run record for regression tracking.
+    With ``--backend`` the benchmark switches to sigma-estimation
+    throughput through the named kernel backend (see ``docs/kernels.md``).
     """
     from repro.diffusion.base import SeedSets
     from repro.utils.timer import Timer
 
     rng = RngStream(args.seed, name="cli-bench")
     _dataset, context = _build_instance(args, rng)
+    if args.model is None:
+        args.model = "opoao" if args.backend is not None else "doam"
     model = make_model(args.model)
+    if args.backend is not None:
+        return _bench_sigma(args, context, model, rng)
     seeds = SeedSets(rumors=context.rumor_seed_ids())
     indexed = context.indexed
     timer = Timer("bench")

@@ -157,11 +157,17 @@ class OPOAOModel(DiffusionModel):
                 states[node] = PROTECTED
             for node in new_infected:
                 states[node] = INFECTED
+            # All counter decrements must land before any enroll: enroll
+            # counts with post-activation states, so running on_activated
+            # for a co-activated out-neighbor afterwards would decrement
+            # the same edge twice and silence a still-live node.
             for node in new_protected:
                 on_activated(node)
-                enroll(node)
             for node in new_infected:
                 on_activated(node)
+            for node in new_protected:
+                enroll(node)
+            for node in new_infected:
                 enroll(node)
             trace.record(new_infected, new_protected)
 

@@ -24,7 +24,7 @@ from repro.rng import RngStream
 from repro.utils.stats import RunningStats
 from repro.utils.validation import check_positive
 
-__all__ = ["MonteCarloSimulator", "SimulationAggregate"]
+__all__ = ["MonteCarloSimulator", "SimulationAggregate", "WorldOutcomeView"]
 
 
 class SimulationAggregate:
@@ -65,6 +65,21 @@ class SimulationAggregate:
             self._protected_stats[hop].add(outcome.trace.protected_at(hop))
         self.final_infected.add(outcome.infected_count)
         self.final_protected.add(outcome.protected_count)
+
+    def add_batch(self, batch) -> None:
+        """Fold a kernel :class:`~repro.kernels.base.BatchOutcome` in.
+
+        Every world contributes the same per-hop cumulative series a
+        :meth:`add` call would, so mixing batched and per-run replicas in
+        one aggregate is sound.
+        """
+        for world in range(batch.batch):
+            self.runs += 1
+            for hop in range(self.hops + 1):
+                self._infected_stats[hop].add(batch.infected_at(world, hop))
+                self._protected_stats[hop].add(batch.protected_at(world, hop))
+            self.final_infected.add(batch.final_infected(world))
+            self.final_protected.add(batch.final_protected(world))
 
     @property
     def infected_per_hop(self) -> List[float]:
@@ -107,6 +122,22 @@ class SimulationAggregate:
         )
 
 
+class WorldOutcomeView:
+    """One world of a kernel batch, shaped like a ``DiffusionOutcome``.
+
+    Exposes exactly the surface callers of ``on_outcome`` consume
+    (``states`` plus the final counts), so batched simulations can feed
+    the same collection callbacks as the per-replica path.
+    """
+
+    __slots__ = ("states", "infected_count", "protected_count")
+
+    def __init__(self, batch, world: int) -> None:
+        self.states = batch.states_row(world)
+        self.infected_count = batch.final_infected(world)
+        self.protected_count = batch.final_protected(world)
+
+
 class MonteCarloSimulator:
     """Run a model repeatedly and aggregate its traces.
 
@@ -115,6 +146,10 @@ class MonteCarloSimulator:
         runs: replica count for stochastic models; deterministic models
             always run once.
         max_hops: horizon for every run (paper default: 31).
+        backend: ``None`` runs the model per replica (the reference
+            path); a kernel backend name (``"python"``/``"numpy"``/
+            ``"auto"``) races all replicas in one batched kernel call
+            instead. The model must be reducible to a kernel spec.
 
     Example:
         >>> # doctest setup omitted; see tests/diffusion/test_simulation.py
@@ -125,10 +160,50 @@ class MonteCarloSimulator:
         model: DiffusionModel,
         runs: int = 200,
         max_hops: int = DEFAULT_MAX_HOPS,
+        backend: Optional[str] = None,
     ) -> None:
         self.model = model
         self.runs = int(check_positive(runs, "runs"))
         self.max_hops = int(check_positive(max_hops, "max_hops"))
+        self.backend = backend
+
+    def _simulate_batched(
+        self,
+        graph: IndexedDiGraph,
+        seeds: SeedSets,
+        rng: Optional[RngStream],
+        on_outcome: Optional[Callable],
+    ) -> SimulationAggregate:
+        # Imported here (and from the leaf modules) so the zero-dependency
+        # per-replica path never touches the kernels package.
+        from repro.kernels.registry import resolve_backend
+        from repro.kernels.spec import spec_for_model
+        from repro.rng import derive_seed
+
+        registry = metrics()
+        spec = spec_for_model(self.model)
+        backend = resolve_backend(self.backend)
+        batch = self.runs if spec.stochastic else 1
+        if spec.stochastic and rng is None:
+            raise ValueError(
+                f"{self.model.name} is stochastic and needs an RngStream"
+            )
+        seed = derive_seed(rng.seed, "mc-worlds") if rng is not None else 0
+        with registry.timer("time.simulate"):
+            worlds = backend.sample_worlds(
+                graph, spec, batch, max_hops=self.max_hops, seed=seed
+            )
+            outcome = backend.run_worlds(
+                graph, spec, worlds, seeds, self.max_hops
+            )
+        aggregate = SimulationAggregate(self.max_hops)
+        aggregate.add_batch(outcome)
+        if registry.enabled:
+            registry.counter("sim.worlds").add(batch)
+        if on_outcome is not None:
+            for world in range(batch):
+                on_outcome(WorldOutcomeView(outcome, world))
+        return aggregate
 
     def simulate(
         self,
@@ -147,8 +222,11 @@ class MonteCarloSimulator:
                 stochastic models.
             on_outcome: optional callback invoked with every outcome
                 (used by the evaluator to collect extra statistics without
-                a second pass).
+                a second pass). On the batched path the callback receives
+                a :class:`WorldOutcomeView` per world.
         """
+        if self.backend is not None:
+            return self._simulate_batched(graph, seeds, rng, on_outcome)
         registry = metrics()
         aggregate = SimulationAggregate(self.max_hops)
         if not self.model.stochastic:
@@ -176,7 +254,8 @@ class MonteCarloSimulator:
         return aggregate
 
     def __repr__(self) -> str:
+        backend = f", backend={self.backend!r}" if self.backend else ""
         return (
             f"MonteCarloSimulator(model={self.model.name}, runs={self.runs}, "
-            f"max_hops={self.max_hops})"
+            f"max_hops={self.max_hops}{backend})"
         )

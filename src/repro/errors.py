@@ -21,6 +21,9 @@ __all__ = [
     "DatasetError",
     "ExperimentError",
     "ValidationError",
+    "KernelError",
+    "BackendUnavailableError",
+    "UnsupportedModelError",
 ]
 
 
@@ -89,3 +92,20 @@ class ExperimentError(ReproError):
 
 class ValidationError(ReproError, ValueError):
     """A user-supplied parameter failed validation."""
+
+
+class KernelError(ReproError):
+    """A batched diffusion kernel was configured or driven incorrectly."""
+
+
+class BackendUnavailableError(KernelError):
+    """A requested kernel backend's dependency is not installed.
+
+    Raised instead of ``ImportError`` so callers get an actionable
+    message (the ``perf`` extra) and so ``backend="auto"`` can fall back
+    to the pure-Python backend without special-casing import machinery.
+    """
+
+
+class UnsupportedModelError(KernelError):
+    """A diffusion model has no batched-kernel equivalent."""

@@ -14,7 +14,7 @@ experiment reports.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.errors import ExperimentError
 
@@ -42,6 +42,9 @@ class FigureConfig:
         greedy_runs: σ̂ replicas inside the greedy selector.
         greedy_max_candidates: candidate-pool cap for greedy (tractability
             knob; see :class:`repro.algorithms.greedy.GreedySelector`).
+        backend: optional kernel backend (``"python"``/``"numpy"``/
+            ``"auto"``) used for greedy σ̂ estimation and Monte-Carlo
+            evaluation; ``None`` keeps the per-replica reference path.
         title: human-readable description.
     """
 
@@ -56,6 +59,7 @@ class FigureConfig:
     seed: int = 13
     greedy_runs: int = 8
     greedy_max_candidates: int = 200
+    backend: Optional[str] = None
     title: str = ""
 
     def __post_init__(self) -> None:

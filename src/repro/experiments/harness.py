@@ -193,6 +193,7 @@ def run_figure(config: FigureConfig) -> FigureResult:
                     runs=config.runs,
                     max_hops=config.hops,
                     rng=draw_rng.fork("eval", algorithm),
+                    backend=config.backend,
                 )
             series = evaluation.infected_per_hop
             bucket = hop_sums.setdefault(algorithm, [0.0] * (config.hops + 1))
@@ -234,6 +235,7 @@ def _protector_assignments(
             max_hops=config.hops,
             max_candidates=config.greedy_max_candidates,
             rng=rng.fork("greedy"),
+            backend=config.backend,
         )
         assignments[GREEDY] = greedy.select(context, budget=budget)
         assignments[PROXIMITY] = ProximitySelector(rng=rng.fork("proximity")).select(

@@ -14,11 +14,75 @@ at the API boundary.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.errors import NodeNotFoundError
+from repro.errors import GraphError, NodeNotFoundError
 
-__all__ = ["IndexedDiGraph"]
+__all__ = ["CSRArrays", "IndexedDiGraph"]
+
+
+class CSRArrays:
+    """Compressed-sparse-row snapshot of the out-adjacency.
+
+    The flat-array form the batched diffusion kernels
+    (:mod:`repro.kernels`) consume: ``indices[indptr[u]:indptr[u + 1]]``
+    are the out-neighbor ids of node ``u`` and ``weights`` is parallel to
+    ``indices``. All three are plain tuples of Python numbers so the core
+    stays zero-dependency; the NumPy backend converts them with
+    ``np.asarray`` on first use.
+
+    Attributes:
+        indptr: row-pointer tuple of length ``node_count + 1``.
+        indices: flat out-neighbor ids, ``edge_count`` long.
+        weights: flat edge weights, parallel to ``indices``.
+    """
+
+    __slots__ = ("indptr", "indices", "weights")
+
+    def __init__(
+        self,
+        indptr: Sequence[int],
+        indices: Sequence[int],
+        weights: Sequence[float],
+    ) -> None:
+        self.indptr: Tuple[int, ...] = tuple(int(p) for p in indptr)
+        self.indices: Tuple[int, ...] = tuple(int(i) for i in indices)
+        self.weights: Tuple[float, ...] = tuple(float(w) for w in weights)
+        if len(self.weights) != len(self.indices):
+            raise GraphError(
+                f"weights ({len(self.weights)}) must parallel indices "
+                f"({len(self.indices)})"
+            )
+
+    @property
+    def node_count(self) -> int:
+        """Number of rows."""
+        return len(self.indptr) - 1
+
+    @property
+    def edge_count(self) -> int:
+        """Number of stored edges."""
+        return len(self.indices)
+
+    def row(self, node_id: int) -> Tuple[int, ...]:
+        """Out-neighbor ids of one node."""
+        return self.indices[self.indptr[node_id]: self.indptr[node_id + 1]]
+
+    def out_degrees(self) -> List[int]:
+        """Out-degree of every node, in id order."""
+        return [
+            self.indptr[u + 1] - self.indptr[u] for u in range(self.node_count)
+        ]
+
+    def in_degrees(self) -> List[int]:
+        """In-degree of every node, in id order (bincount of ``indices``)."""
+        counts = [0] * self.node_count
+        for head in self.indices:
+            counts[head] += 1
+        return counts
+
+    def __repr__(self) -> str:
+        return f"CSRArrays(nodes={self.node_count}, edges={self.edge_count})"
 
 
 class IndexedDiGraph:
@@ -30,7 +94,15 @@ class IndexedDiGraph:
         inn: tuple of tuples; ``inn[u]`` lists in-neighbor ids of ``u``.
     """
 
-    __slots__ = ("labels", "out", "inn", "out_weights", "_index_of", "edge_count")
+    __slots__ = (
+        "labels",
+        "out",
+        "inn",
+        "out_weights",
+        "_index_of",
+        "edge_count",
+        "_csr",
+    )
 
     def __init__(
         self,
@@ -61,6 +133,7 @@ class IndexedDiGraph:
         if len(self._index_of) != len(self.labels):
             raise ValueError("node labels must be unique")
         self.edge_count = sum(len(neighbors) for neighbors in self.out)
+        self._csr: Optional[CSRArrays] = None
 
     @classmethod
     def from_digraph(cls, graph) -> "IndexedDiGraph":
@@ -81,6 +154,97 @@ class IndexedDiGraph:
             weights[position[tail]].append(weight)
             inn[position[head]].append(position[tail])
         return cls(labels, out, inn, out_weights=weights)
+
+    @classmethod
+    def from_csr(
+        cls,
+        labels: Sequence[object],
+        indptr: Sequence[int],
+        indices: Sequence[int],
+        weights: Optional[Sequence[float]] = None,
+    ) -> "IndexedDiGraph":
+        """Build a graph from validated CSR arrays (the kernel ingest path).
+
+        The inverse of :meth:`csr`: ``IndexedDiGraph.from_csr(g.labels,
+        *astuple(g.csr()))`` reproduces ``g`` exactly. Validation is
+        strict because raw arrays carry none of :class:`DiGraph`'s
+        invariants:
+
+        * ``indptr`` must start at 0, be non-decreasing, have one entry
+          per node plus one, and end at ``len(indices)``;
+        * every index must be a valid node id;
+        * self-loops and duplicate edges within a row are rejected (the
+          diffusion kernels treat a self-loop as an always-wasted trial,
+          so one in raw input almost certainly means corrupted data);
+        * ``weights``, when given, must parallel ``indices`` and be
+          strictly positive (matching :meth:`DiGraph.add_edge`).
+        """
+        n = len(labels)
+        if len(indptr) != n + 1:
+            raise GraphError(
+                f"indptr must have {n + 1} entries for {n} labels, "
+                f"got {len(indptr)}"
+            )
+        if n and indptr[0] != 0:
+            raise GraphError(f"indptr must start at 0, got {indptr[0]!r}")
+        if not n and len(indices):
+            raise GraphError("indices non-empty but there are no nodes")
+        if n and indptr[-1] != len(indices):
+            raise GraphError(
+                f"indptr must end at len(indices)={len(indices)}, "
+                f"got {indptr[-1]!r}"
+            )
+        if weights is not None and len(weights) != len(indices):
+            raise GraphError(
+                f"weights ({len(weights)}) must parallel indices "
+                f"({len(indices)})"
+            )
+        out: List[List[int]] = []
+        inn: List[List[int]] = [[] for _ in range(n)]
+        row_weights: List[List[float]] = []
+        for u in range(n):
+            lo, hi = indptr[u], indptr[u + 1]
+            if hi < lo:
+                raise GraphError(f"indptr decreases at row {u}: {lo} -> {hi}")
+            row: List[int] = []
+            seen = set()
+            wrow: List[float] = []
+            for position in range(lo, hi):
+                head = int(indices[position])
+                if not 0 <= head < n:
+                    raise GraphError(
+                        f"edge index {head} out of range [0, {n}) in row {u}"
+                    )
+                if head == u:
+                    raise GraphError(f"self-loop on node id {u} rejected")
+                if head in seen:
+                    raise GraphError(f"duplicate edge {u} -> {head} rejected")
+                seen.add(head)
+                row.append(head)
+                weight = 1.0 if weights is None else float(weights[position])
+                if weight <= 0:
+                    raise GraphError(
+                        f"edge weight must be > 0, got {weight!r} on "
+                        f"{u} -> {head}"
+                    )
+                wrow.append(weight)
+                inn[head].append(u)
+            out.append(row)
+            row_weights.append(wrow)
+        return cls(labels, out, inn, out_weights=row_weights)
+
+    def csr(self) -> CSRArrays:
+        """The cached CSR snapshot of the out-adjacency (see :class:`CSRArrays`)."""
+        if self._csr is None:
+            indptr = [0]
+            indices: List[int] = []
+            weights: List[float] = []
+            for neighbors, row_weights in zip(self.out, self.out_weights):
+                indices.extend(neighbors)
+                weights.extend(row_weights)
+                indptr.append(len(indices))
+            self._csr = CSRArrays(indptr, indices, weights)
+        return self._csr
 
     # -- basic accessors -------------------------------------------------------
 

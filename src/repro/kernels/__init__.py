@@ -1,0 +1,48 @@
+"""Batched diffusion kernels behind a pluggable backend registry.
+
+Public API:
+
+* :func:`~repro.kernels.registry.resolve_backend` /
+  :func:`~repro.kernels.registry.available_backends` — pick an engine
+  (``"python"`` always works; ``"numpy"`` needs the ``perf`` extra;
+  ``"auto"`` prefers the fastest available).
+* :class:`~repro.kernels.spec.KernelSpec` /
+  :func:`~repro.kernels.spec.spec_for_model` — reduce a diffusion model
+  to its world-sample semantics.
+* :class:`~repro.kernels.worlds.WorldBatch` /
+  :func:`~repro.kernels.worlds.sample_shared_worlds` — pre-sampled
+  randomness, portable across backends.
+* :class:`~repro.kernels.base.KernelBackend` /
+  :class:`~repro.kernels.base.BatchOutcome` — the engine contract.
+* :class:`~repro.kernels.sigma.BatchedSigmaEvaluator` — kernel-backed
+  σ(A) estimation for the greedy/CELF selectors.
+
+See ``docs/kernels.md`` for backend selection and the bit-identical vs
+statistically-equivalent guarantees.
+"""
+
+from repro.kernels.base import BatchOutcome, KernelBackend
+from repro.kernels.registry import (
+    BACKEND_AUTO,
+    available_backends,
+    register_backend,
+    resolve_backend,
+)
+from repro.kernels.sigma import BatchedSigmaEvaluator
+from repro.kernels.spec import KERNEL_KINDS, KernelSpec, spec_for_model
+from repro.kernels.worlds import WorldBatch, sample_shared_worlds
+
+__all__ = [
+    "BACKEND_AUTO",
+    "BatchOutcome",
+    "BatchedSigmaEvaluator",
+    "KERNEL_KINDS",
+    "KernelBackend",
+    "KernelSpec",
+    "WorldBatch",
+    "available_backends",
+    "register_backend",
+    "resolve_backend",
+    "sample_shared_worlds",
+    "spec_for_model",
+]

@@ -1,0 +1,224 @@
+"""Backend-shared kernel infrastructure.
+
+A kernel backend runs **B diffusion worlds at once** over one graph: it
+consumes a :class:`~repro.kernels.worlds.WorldBatch` (the entire
+randomness of every world, pre-sampled) plus one seed configuration and
+returns a :class:`BatchOutcome` — final per-world node states and the
+per-hop cumulative activation series the simulation aggregate needs.
+
+:class:`KernelBackend` is the template: :meth:`KernelBackend.run_worlds`
+validates inputs, times the run (``time.kernel``), and reports the obs
+counters (``kernel.worlds``, ``kernel.batches``, ``kernel.hops``,
+``kernel.activations``, histogram ``kernel.batch_worlds``); concrete
+backends implement only :meth:`KernelBackend._run` (and may override
+:meth:`KernelBackend.sample_worlds` with a faster *native* sampler).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import FrozenSet, Iterable, List, Sequence
+
+from repro.diffusion.base import (
+    DEFAULT_MAX_HOPS,
+    INFECTED,
+    PROTECTED,
+    SeedSets,
+)
+from repro.graph.compact import IndexedDiGraph
+from repro.kernels.spec import KernelSpec
+from repro.kernels.worlds import WorldBatch, sample_shared_worlds
+from repro.obs.registry import metrics
+from repro.utils.validation import check_positive
+
+__all__ = ["BatchOutcome", "KernelBackend"]
+
+
+class BatchOutcome:
+    """Final states and per-hop series of a batched kernel run.
+
+    Attributes:
+        kind: model kind that produced the batch.
+        batch: number of worlds.
+        node_count: nodes per world.
+        states: per-world final node states; ``states[b][v]`` is INACTIVE,
+            INFECTED, or PROTECTED. Backend-native storage (nested lists or
+            a NumPy ``int8`` matrix) — use the accessors, which normalise
+            to plain Python values.
+        infected_hops: hop-major cumulative infected counts;
+            ``infected_hops[h][b]`` is world ``b``'s total infected nodes
+            after hop ``h`` (hop 0 = seeds). The series ends at the last
+            hop *any* world was still spreading.
+        protected_hops: same for protected counts.
+    """
+
+    __slots__ = (
+        "kind",
+        "batch",
+        "node_count",
+        "states",
+        "infected_hops",
+        "protected_hops",
+    )
+
+    def __init__(
+        self,
+        kind: str,
+        node_count: int,
+        states: Sequence[Sequence[int]],
+        infected_hops: Sequence[Sequence[int]],
+        protected_hops: Sequence[Sequence[int]],
+    ) -> None:
+        self.kind = kind
+        self.node_count = int(node_count)
+        self.states = states
+        self.batch = len(states)
+        self.infected_hops = infected_hops
+        self.protected_hops = protected_hops
+
+    @property
+    def hops(self) -> int:
+        """Hops actually executed (series length minus the seed entry)."""
+        return len(self.infected_hops) - 1
+
+    def infected_at(self, world: int, hop: int) -> int:
+        """World ``world``'s cumulative infected count at ``hop`` (clamped)."""
+        return int(self.infected_hops[min(hop, self.hops)][world])
+
+    def protected_at(self, world: int, hop: int) -> int:
+        """World ``world``'s cumulative protected count at ``hop`` (clamped)."""
+        return int(self.protected_hops[min(hop, self.hops)][world])
+
+    def final_infected(self, world: int) -> int:
+        """World ``world``'s final infected count."""
+        return int(self.infected_hops[-1][world])
+
+    def final_protected(self, world: int) -> int:
+        """World ``world``'s final protected count."""
+        return int(self.protected_hops[-1][world])
+
+    def state_of(self, world: int, node_id: int) -> int:
+        """Final state of one node in one world, as a plain int."""
+        return int(self.states[world][node_id])
+
+    def infected_members(
+        self, world: int, node_ids: Iterable[int]
+    ) -> FrozenSet[int]:
+        """Which of ``node_ids`` ended INFECTED in ``world``."""
+        row = self.states[world]
+        return frozenset(node for node in node_ids if int(row[node]) == INFECTED)
+
+    def states_row(self, world: int) -> List[int]:
+        """One world's final states as a plain list of ints."""
+        return [int(state) for state in self.states[world]]
+
+    def total_activations(self) -> int:
+        """Infected + protected totals summed over all worlds."""
+        return int(
+            sum(self.infected_hops[-1]) + sum(self.protected_hops[-1])
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchOutcome(kind={self.kind!r}, batch={self.batch}, "
+            f"nodes={self.node_count}, hops={self.hops})"
+        )
+
+
+class KernelBackend(abc.ABC):
+    """A batched diffusion engine.
+
+    Concrete backends implement :meth:`_run` — the hop loop consuming a
+    sampled :class:`WorldBatch` — and inherit validation, timing, and obs
+    reporting from :meth:`run_worlds`. Two backends given the *same*
+    world batch must return bit-identical outcomes; that contract is what
+    ``tests/kernels/test_backend_equivalence.py`` enforces.
+    """
+
+    #: registry key (``"python"``, ``"numpy"``).
+    name: str = "abstract"
+
+    def sample_worlds(
+        self,
+        graph: IndexedDiGraph,
+        spec: KernelSpec,
+        batch: int,
+        max_hops: int = DEFAULT_MAX_HOPS,
+        seed: int = 0,
+    ) -> WorldBatch:
+        """Sample a world batch this backend can run.
+
+        The base implementation uses the backend-agnostic shared sampler
+        (:func:`~repro.kernels.worlds.sample_shared_worlds`), so batches
+        are portable across backends; fast backends may override this with
+        a native sampler that is only *statistically* equivalent.
+        """
+        return sample_shared_worlds(graph.csr(), spec, batch, max_hops, seed)
+
+    def run_worlds(
+        self,
+        graph: IndexedDiGraph,
+        spec: KernelSpec,
+        worlds: WorldBatch,
+        seeds: SeedSets,
+        max_hops: int = DEFAULT_MAX_HOPS,
+    ) -> BatchOutcome:
+        """Run every world in ``worlds`` under one seed configuration.
+
+        Args:
+            graph: the indexed graph (backends read its CSR snapshot).
+            spec: which model semantics to race.
+            worlds: pre-sampled randomness; must match ``spec.kind`` and
+                cover ``max_hops``.
+            seeds: validated rumor/protector seed ids.
+            max_hops: horizon per world.
+
+        Returns:
+            The :class:`BatchOutcome` over all ``worlds.batch`` worlds.
+        """
+        check_positive(max_hops, "max_hops")
+        seeds.validate_against(graph)
+        worlds.check_run(spec.kind, max_hops)
+        registry = metrics()
+        with registry.timer("time.kernel"):
+            outcome = self._run(graph, spec, worlds, seeds, max_hops)
+        if registry.enabled:
+            registry.counter("kernel.batches").add(1)
+            registry.counter("kernel.worlds").add(outcome.batch)
+            registry.counter("kernel.hops").add(outcome.hops)
+            registry.counter("kernel.activations").add(
+                outcome.total_activations()
+            )
+            registry.histogram("kernel.batch_worlds").observe(outcome.batch)
+        return outcome
+
+    @abc.abstractmethod
+    def _run(
+        self,
+        graph: IndexedDiGraph,
+        spec: KernelSpec,
+        worlds: WorldBatch,
+        seeds: SeedSets,
+        max_hops: int,
+    ) -> BatchOutcome:
+        """Race the cascades through every world (inputs pre-validated)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def seeded_counts(seeds: SeedSets, batch: int) -> tuple:
+    """Hop-0 series entries shared by all backends: seed counts per world."""
+    infected0 = [len(seeds.rumors)] * batch
+    protected0 = [len(seeds.protectors)] * batch
+    return infected0, protected0
+
+
+def seeded_states(node_count: int, seeds: SeedSets) -> List[int]:
+    """One world's initial state row (P seeded first, then R — disjoint)."""
+    states = [0] * node_count
+    for node in seeds.protectors:
+        states[node] = PROTECTED
+    for node in seeds.rumors:
+        states[node] = INFECTED
+    return states

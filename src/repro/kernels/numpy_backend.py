@@ -1,0 +1,470 @@
+"""Vectorized NumPy kernel backend.
+
+Runs all B worlds of a batch simultaneously: node states live in a
+``B × N`` int8 matrix and each hop processes every world's frontier in a
+handful of array operations. Everything stays *sparse*: IC/LT/DOAM track
+frontiers as ``world * n + node`` keys (IC/DOAM additionally race over a
+flattened live adjacency built once per batch), and OPOAO tracks only
+its *live* pickers — active nodes that still have an inactive
+out-neighbor — via reverse-adjacency bookkeeping, so per-hop cost
+follows the work actually left in each world rather than ``B × N``. No
+per-world Python loop survives on the hot path, which is where the
+sigma-throughput win over the reference backend comes from.
+
+Bit-identical equivalence with the pure-Python backend on a shared
+:class:`~repro.kernels.worlds.WorldBatch` is maintained by matching its
+operation *order* wherever floats accumulate: LT in-weights are added
+with unbuffered ``np.add.at`` in (world, node, edge-position) order —
+exactly the reference backend's loop order — and OPOAO pick indices use
+the same ``floor(r * d_out)`` IEEE arithmetic.
+
+This module imports ``numpy`` at import time; it is only loaded through
+:mod:`repro.kernels.registry`, which converts an ``ImportError`` into
+:class:`~repro.errors.BackendUnavailableError` (install the ``perf``
+extra) and can fall back to the reference backend.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.diffusion.base import (
+    DEFAULT_MAX_HOPS,
+    INACTIVE,
+    INFECTED,
+    PROTECTED,
+    SeedSets,
+)
+from repro.errors import KernelError
+from repro.graph.compact import IndexedDiGraph
+from repro.kernels.base import BatchOutcome, KernelBackend
+from repro.kernels.spec import KernelSpec
+from repro.kernels.worlds import WorldBatch
+from repro.rng import derive_seed
+
+__all__ = ["NumpyKernelBackend"]
+
+#: Graph-array cache capacity (distinct graphs kept vectorized at once).
+_CACHE_LIMIT = 8
+
+#: Largest ``batch * node_count`` the flattened live adjacency may span
+#: (its indptr takes 8 bytes per key; 2^25 keys ~ 256 MiB of index).
+_MAX_FLAT_KEYS = 1 << 25
+
+_EMPTY = np.zeros(0, dtype=np.int64)
+
+
+class _GraphArrays:
+    """NumPy views of one graph's CSR snapshot, built once per graph."""
+
+    __slots__ = (
+        "indptr",
+        "indices",
+        "weights",
+        "out_deg",
+        "inv_indeg",
+        "edge_tails",
+        "in_indptr",
+        "in_tails",
+    )
+
+    def __init__(self, graph: IndexedDiGraph) -> None:
+        csr = graph.csr()
+        n = csr.node_count
+        self.indptr = np.asarray(csr.indptr, dtype=np.int64)
+        self.indices = np.asarray(csr.indices, dtype=np.int64)
+        self.weights = np.asarray(csr.weights, dtype=np.float64)
+        self.out_deg = self.indptr[1:] - self.indptr[:-1]
+        in_deg = np.bincount(self.indices, minlength=n) if n else np.zeros(0)
+        self.inv_indeg = 1.0 / np.maximum(1, in_deg).astype(np.float64)
+        self.edge_tails = np.repeat(
+            np.arange(n, dtype=np.int64), self.out_deg
+        )
+        # Reverse adjacency (in-neighbors per node), for OPOAO's
+        # inactive-out-neighbor accounting.
+        order = np.argsort(self.indices, kind="stable")
+        self.in_tails = self.edge_tails[order]
+        self.in_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(in_deg, out=self.in_indptr[1:])
+
+
+class NumpyKernelBackend(KernelBackend):
+    """Batched bit-matrix diffusion kernels over CSR arrays."""
+
+    name = "numpy"
+
+    def __init__(self) -> None:
+        self._cache: Dict[int, Tuple[IndexedDiGraph, _GraphArrays]] = {}
+
+    def _arrays(self, graph: IndexedDiGraph) -> _GraphArrays:
+        key = id(graph)
+        hit = self._cache.get(key)
+        if hit is not None and hit[0] is graph:
+            return hit[1]
+        arrays = _GraphArrays(graph)
+        if len(self._cache) >= _CACHE_LIMIT:
+            self._cache.pop(next(iter(self._cache)))
+        self._cache[key] = (graph, arrays)
+        return arrays
+
+    # -- native (fast, statistically-equivalent) world sampling ----------------
+
+    def sample_worlds(
+        self,
+        graph: IndexedDiGraph,
+        spec: KernelSpec,
+        batch: int,
+        max_hops: int = DEFAULT_MAX_HOPS,
+        seed: int = 0,
+    ) -> WorldBatch:
+        """Sample worlds with NumPy's PCG64 instead of the shared sampler.
+
+        Same distribution as
+        :func:`~repro.kernels.worlds.sample_shared_worlds`, different
+        stream: results agree with the python backend statistically, not
+        bit-for-bit. Use the shared sampler when exact cross-backend
+        agreement matters (the differential tests do).
+        """
+        if spec.kind == "doam":
+            return WorldBatch("doam", batch, max_hops, {})
+        arrays = self._arrays(graph)
+        rng = np.random.default_rng(derive_seed(seed, "kernel-native", spec.kind))
+        n = graph.node_count
+        if spec.kind == "ic":
+            probabilities = self._edge_probabilities(arrays, spec)
+            live = rng.random((batch, arrays.indices.size)) < probabilities
+            return WorldBatch("ic", batch, max_hops, {"live": live})
+        if spec.kind == "lt":
+            thresholds = rng.random((batch, n))
+            return WorldBatch("lt", batch, max_hops, {"thresholds": thresholds})
+        picks = rng.random((batch, max_hops, n))
+        return WorldBatch("opoao", batch, max_hops, {"picks": picks})
+
+    @staticmethod
+    def _edge_probabilities(arrays: _GraphArrays, spec: KernelSpec):
+        if spec.probability is not None:
+            return spec.probability
+        weights = arrays.weights
+        if weights.size and (weights.min() < 0.0 or weights.max() > 1.0):
+            raise KernelError("weighted IC needs edge weights in [0, 1]")
+        return weights
+
+    # -- the batched race -------------------------------------------------------
+
+    def _run(
+        self,
+        graph: IndexedDiGraph,
+        spec: KernelSpec,
+        worlds: WorldBatch,
+        seeds: SeedSets,
+        max_hops: int,
+    ) -> BatchOutcome:
+        arrays = self._arrays(graph)
+        batch = worlds.batch
+        n = graph.node_count
+        states = np.zeros((batch, n), dtype=np.int8)
+        protectors = sorted(seeds.protectors)
+        rumors = sorted(seeds.rumors)
+        if protectors:
+            states[:, protectors] = PROTECTED
+        states[:, rumors] = INFECTED
+        if spec.kind in ("ic", "doam"):
+            live = None
+            if spec.kind == "ic":
+                live = _batch_array(worlds, "live", np.bool_)
+            return self._race(arrays, states, seeds, live, max_hops, worlds)
+        if spec.kind == "lt":
+            thresholds = _batch_array(worlds, "thresholds", np.float64)
+            return self._lt(arrays, states, seeds, thresholds, max_hops)
+        picks = _batch_array(worlds, "picks", np.float64)
+        return self._opoao(arrays, states, seeds, picks, max_hops)
+
+    def _race(
+        self, arrays, states, seeds, live, max_hops, worlds=None
+    ) -> BatchOutcome:
+        """IC (live-edge mask) and DOAM (``live=None``): BFS race, P wins ties.
+
+        The race runs on a *flattened* live adjacency — one virtual graph
+        of ``batch * n`` nodes whose node ``w * n + u`` carries world
+        ``w``'s live out-edges of ``u`` — built once per world batch and
+        cached, so every σ̂ replay skips the per-edge coin lookups
+        entirely and BFS expansion only ever touches live edges.
+        """
+        batch, n = states.shape
+        # The flattened adjacency needs O(batch * n) index space; past the
+        # cap, fall back to per-hop live-mask filtering instead.
+        flat = None
+        if batch * n <= _MAX_FLAT_KEYS:
+            flat = self._flat_adjacency(worlds, live, arrays, batch, n)
+        flat_states = states.reshape(-1)
+        front_p = _seed_keys(seeds.protectors, batch, n)
+        front_i = _seed_keys(seeds.rumors, batch, n)
+        infected = np.full(batch, len(seeds.rumors), dtype=np.int64)
+        protected = np.full(batch, len(seeds.protectors), dtype=np.int64)
+        infected_hops = [infected.copy()]
+        protected_hops = [protected.copy()]
+        for _hop in range(max_hops):
+            if front_p.size == 0 and front_i.size == 0:
+                break
+            if flat is not None:
+                keys_p = _reach_flat(front_p, flat, flat_states)
+                keys_i = _reach_flat(front_i, flat, flat_states)
+            else:
+                keys_p = _reach_masked(front_p, live, arrays, flat_states, n)
+                keys_i = _reach_masked(front_i, live, arrays, flat_states, n)
+            if keys_p.size and keys_i.size:
+                keys_i = keys_i[~np.isin(keys_i, keys_p, assume_unique=True)]
+            if keys_p.size == 0 and keys_i.size == 0:
+                break
+            flat_states[keys_p] = PROTECTED
+            flat_states[keys_i] = INFECTED
+            protected = protected + np.bincount(keys_p // n, minlength=batch)
+            infected = infected + np.bincount(keys_i // n, minlength=batch)
+            infected_hops.append(infected.copy())
+            protected_hops.append(protected.copy())
+            front_p, front_i = keys_p, keys_i
+        kind = "doam" if live is None else "ic"
+        return BatchOutcome(kind, n, states, infected_hops, protected_hops)
+
+    @staticmethod
+    def _flat_adjacency(worlds, live, arrays, batch: int, n: int):
+        """``(indptr, head_keys)`` of the flattened live adjacency.
+
+        For IC the structure is cached inside the :class:`WorldBatch`
+        payload (keyed by the graph arrays), because sigma evaluation
+        replays the same batch once per candidate. DOAM (``live=None``)
+        replicates the full CSR, which for its single world is cheap.
+        """
+        cached = worlds.data.get("_flat") if worlds is not None else None
+        if cached is not None and cached[0] is arrays:
+            return cached[1]
+        if live is None:
+            edge_count = arrays.indices.size
+            worlds_offset = np.repeat(
+                np.arange(batch, dtype=np.int64) * n, edge_count
+            )
+            head_keys = worlds_offset + np.tile(arrays.indices, batch)
+            counts = np.tile(arrays.out_deg, batch)
+        else:
+            live_w, live_e = np.nonzero(live)
+            # live_e ascends within each world and CSR edges sort by tail,
+            # so head_keys lands grouped by (world, tail) in edge order.
+            tail_keys = live_w * n + arrays.edge_tails[live_e]
+            head_keys = live_w * n + arrays.indices[live_e]
+            counts = np.bincount(tail_keys, minlength=batch * n)
+        indptr = np.zeros(counts.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        flat = (indptr, head_keys)
+        if worlds is not None:
+            worlds.data["_flat"] = (arrays, flat)
+        return flat
+
+    def _lt(self, arrays, states, seeds, thresholds, max_hops) -> BatchOutcome:
+        batch, n = states.shape
+        weight_p = np.zeros((batch, n), dtype=np.float64)
+        weight_i = np.zeros((batch, n), dtype=np.float64)
+        front_p = _seed_pairs(seeds.protectors, batch)
+        front_i = _seed_pairs(seeds.rumors, batch)
+        infected = np.full(batch, len(seeds.rumors), dtype=np.int64)
+        protected = np.full(batch, len(seeds.protectors), dtype=np.int64)
+        infected_hops = [infected.copy()]
+        protected_hops = [protected.copy()]
+        for _hop in range(max_hops):
+            if front_p[0].size == 0 and front_i[0].size == 0:
+                break
+            keys_tp = _feed(front_p, weight_p, arrays, states, n)
+            keys_ti = _feed(front_i, weight_i, arrays, states, n)
+            touched = np.unique(np.concatenate((keys_tp, keys_ti)))
+            if touched.size == 0:
+                break
+            tw, tu = touched // n, touched % n
+            theta = thresholds[tw, tu]
+            crosses_p = weight_p[tw, tu] + 1e-12 >= theta
+            # P priority when both cascades cross in the same hop.
+            crosses_i = (weight_i[tw, tu] + 1e-12 >= theta) & ~crosses_p
+            if not crosses_p.any() and not crosses_i.any():
+                break
+            front_p = (tw[crosses_p], tu[crosses_p])
+            front_i = (tw[crosses_i], tu[crosses_i])
+            states[front_p] = PROTECTED
+            states[front_i] = INFECTED
+            protected = protected + np.bincount(front_p[0], minlength=batch)
+            infected = infected + np.bincount(front_i[0], minlength=batch)
+            infected_hops.append(infected.copy())
+            protected_hops.append(protected.copy())
+        return BatchOutcome("lt", n, states, infected_hops, protected_hops)
+
+    def _opoao(self, arrays, states, seeds, picks, max_hops) -> BatchOutcome:
+        """OPOAO: *live* pickers tracked as sparse ``world * n + node`` keys.
+
+        Each live picker reads its pick with the same ``floor(r * d)``
+        IEEE arithmetic as the reference backend, just gathered for all
+        worlds at once. ``remaining`` counts every active node's inactive
+        out-neighbors (maintained via the reverse adjacency), so dead
+        pickers — whose picks never land, hence never matter — are pruned
+        permanently and late-game saturated worlds cost almost nothing.
+        It also makes termination exact for free: a live picker exists
+        iff some world still has an active -> inactive edge, which is
+        precisely the reference backend's stop condition.
+        """
+        batch, n = states.shape
+        indptr, indices, out_deg = arrays.indptr, arrays.indices, arrays.out_deg
+        infected = np.full(batch, len(seeds.rumors), dtype=np.int64)
+        protected = np.full(batch, len(seeds.protectors), dtype=np.int64)
+        infected_hops = [infected.copy()]
+        protected_hops = [protected.copy()]
+        if indices.size == 0:
+            return BatchOutcome("opoao", n, states, infected_hops, protected_hops)
+        flat_states = states.reshape(-1)
+        seed_ids = np.asarray(
+            sorted(seeds.rumors | seeds.protectors), dtype=np.int64
+        )
+        # Inactive-out-neighbor counts per (world, node): seeds are the
+        # same in every world, so compute once and tile.
+        seed_mask = np.zeros(n, dtype=bool)
+        seed_mask[seed_ids] = True
+        seeded_out = np.bincount(
+            arrays.edge_tails[seed_mask[indices]], minlength=n
+        )
+        remaining = np.tile(out_deg - seeded_out, batch)
+        picker_ids = seed_ids[out_deg[seed_ids] > 0]
+        act_keys = (
+            np.repeat(np.arange(batch, dtype=np.int64) * n, picker_ids.size)
+            + np.tile(picker_ids, batch)
+        )
+        act_keys = act_keys[remaining[act_keys] > 0]
+        for hop in range(max_hops):
+            if act_keys.size == 0:
+                break  # no live picker anywhere <=> no live edge anywhere
+            act_u = act_keys % n
+            draws = picks[act_keys // n, hop, act_u]
+            degrees = out_deg[act_u]
+            offsets = (draws * degrees).astype(np.int64)
+            np.minimum(offsets, degrees - 1, out=offsets)
+            target_keys = act_keys - act_u + indices[indptr[act_u] + offsets]
+            hit = flat_states[target_keys] == INACTIVE
+            if hit.any():
+                hit_keys = target_keys[hit]
+                from_p = flat_states[act_keys[hit]] == PROTECTED
+                keys_p = np.unique(hit_keys[from_p])
+                keys_i = np.unique(hit_keys[~from_p])
+                if keys_p.size and keys_i.size:  # P-priority on conflicts
+                    keys_i = keys_i[~np.isin(keys_i, keys_p, assume_unique=True)]
+                flat_states[keys_p] = PROTECTED
+                flat_states[keys_i] = INFECTED
+                protected = protected + np.bincount(keys_p // n, minlength=batch)
+                infected = infected + np.bincount(keys_i // n, minlength=batch)
+                new_keys = np.concatenate((keys_p, keys_i))
+                dec_w, _, dec_tails = _edges_of(
+                    new_keys // n, new_keys % n,
+                    arrays.in_indptr, arrays.in_tails,
+                )
+                np.subtract.at(remaining, dec_w * n + dec_tails, 1)
+                act_keys = np.concatenate(
+                    (act_keys, new_keys[out_deg[new_keys % n] > 0])
+                )
+            # Zero-hit hops are wasted repeat-selection steps: recorded,
+            # and the race continues (there is still a live picker).
+            infected_hops.append(infected.copy())
+            protected_hops.append(protected.copy())
+            act_keys = act_keys[remaining[act_keys] > 0]
+        return BatchOutcome("opoao", n, states, infected_hops, protected_hops)
+
+
+def _batch_array(worlds: WorldBatch, key: str, dtype) -> np.ndarray:
+    """The batch payload as an ndarray, converted once and cached in place
+    (sigma evaluation replays the same batch hundreds of times)."""
+    data = worlds.data[key]
+    if not isinstance(data, np.ndarray) or data.dtype != dtype:
+        data = np.asarray(data, dtype=dtype)
+        worlds.data[key] = data
+    return data
+
+
+def _seed_pairs(nodes, batch: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Seed frontier as sorted ``(world, node)`` index pairs."""
+    ids = np.asarray(sorted(nodes), dtype=np.int64)
+    worlds_idx = np.repeat(np.arange(batch, dtype=np.int64), ids.size)
+    return worlds_idx, np.tile(ids, batch)
+
+
+def _seed_keys(nodes, batch: int, n: int) -> np.ndarray:
+    """Seed frontier as sorted flat ``world * n + node`` keys."""
+    worlds_idx, ids = _seed_pairs(nodes, batch)
+    return worlds_idx * n + ids
+
+
+def _edges_of(
+    worlds_idx: np.ndarray,
+    nodes: np.ndarray,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Ragged CSR gather: all out-edges of ``(world, node)`` pairs.
+
+    Returns ``(world, edge_position, head)`` triples, one per out-edge,
+    in (world, node, edge-position) order — the reference backend's loop
+    order, which matters when the caller accumulates floats.
+    """
+    counts = indptr[nodes + 1] - indptr[nodes]
+    total = int(counts.sum())
+    if total == 0:
+        return _EMPTY, _EMPTY, _EMPTY
+    cumulative = np.cumsum(counts)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(
+        cumulative - counts, counts
+    )
+    positions = np.repeat(indptr[nodes], counts) + offsets
+    return np.repeat(worlds_idx, counts), positions, indices[positions]
+
+
+def _reach_masked(front_keys, live, arrays, flat_states, n: int) -> np.ndarray:
+    """BFS step filtering the live-edge mask per hop (large-batch fallback)."""
+    edge_w, edge_pos, heads = _edges_of(
+        front_keys // n, front_keys % n, arrays.indptr, arrays.indices
+    )
+    if edge_w.size == 0:
+        return _EMPTY
+    keys = edge_w * n + heads
+    ok = flat_states[keys] == INACTIVE
+    if live is not None:
+        ok &= live[edge_w, edge_pos]
+    return np.unique(keys[ok])
+
+
+def _reach_flat(front_keys, flat, flat_states) -> np.ndarray:
+    """One BFS step on the flattened live adjacency: unique keys of
+    inactive nodes reached from the frontier keys."""
+    if front_keys.size == 0:
+        return _EMPTY
+    indptr, head_keys = flat
+    counts = indptr[front_keys + 1] - indptr[front_keys]
+    total = int(counts.sum())
+    if total == 0:
+        return _EMPTY
+    cumulative = np.cumsum(counts)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(
+        cumulative - counts, counts
+    )
+    heads = head_keys[np.repeat(indptr[front_keys], counts) + offsets]
+    return np.unique(heads[flat_states[heads] == INACTIVE])
+
+
+def _feed(front, weights, arrays, states, n: int) -> np.ndarray:
+    """LT influence push: add ``1/d_in`` from front nodes to their inactive
+    out-neighbors (unbuffered, in reference loop order). Returns the
+    ``world * n + node`` keys of the touched targets (with duplicates)."""
+    front_w, front_u = front
+    if front_w.size == 0:
+        return _EMPTY
+    edge_w, _, heads = _edges_of(
+        front_w, front_u, arrays.indptr, arrays.indices
+    )
+    if edge_w.size == 0:
+        return _EMPTY
+    ok = states[edge_w, heads] == INACTIVE
+    edge_w, heads = edge_w[ok], heads[ok]
+    np.add.at(weights, (edge_w, heads), arrays.inv_indeg[heads])
+    return edge_w * n + heads

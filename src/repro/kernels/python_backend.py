@@ -1,0 +1,266 @@
+"""Pure-Python reference kernel backend.
+
+Runs each world of the batch as an explicit deterministic race over the
+pre-sampled randomness. This is the semantic ground truth the NumPy
+backend is tested against — every rule here (P-priority, the LT
+``+1e-12`` crossing tolerance, OPOAO's repeat selection and liveness
+termination) mirrors the per-run models in :mod:`repro.diffusion`, just
+driven by a :class:`~repro.kernels.worlds.WorldBatch` instead of a live
+RNG. It is also the fallback engine when NumPy is not installed, keeping
+the core zero-dependency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set, Tuple
+
+from repro.diffusion.base import INACTIVE, INFECTED, PROTECTED, SeedSets
+from repro.graph.compact import IndexedDiGraph
+from repro.kernels.base import BatchOutcome, KernelBackend, seeded_states
+from repro.kernels.spec import KernelSpec
+from repro.kernels.worlds import WorldBatch
+
+__all__ = ["PythonKernelBackend"]
+
+#: (final states, cumulative infected per hop, cumulative protected per hop)
+WorldRun = Tuple[List[int], List[int], List[int]]
+
+
+class PythonKernelBackend(KernelBackend):
+    """Zero-dependency reference implementation of the batched kernels."""
+
+    name = "python"
+
+    def _run(
+        self,
+        graph: IndexedDiGraph,
+        spec: KernelSpec,
+        worlds: WorldBatch,
+        seeds: SeedSets,
+        max_hops: int,
+    ) -> BatchOutcome:
+        runs: List[WorldRun] = []
+        if spec.kind in ("ic", "doam"):
+            live = worlds.data.get("live")
+            for world in range(worlds.batch):
+                live_row = None if live is None else live[world]
+                runs.append(_race_world(graph, live_row, seeds, max_hops))
+        elif spec.kind == "lt":
+            thresholds = worlds.data["thresholds"]
+            for world in range(worlds.batch):
+                runs.append(
+                    _lt_world(graph, thresholds[world], seeds, max_hops)
+                )
+        else:  # opoao (spec validated upstream)
+            picks = worlds.data["picks"]
+            for world in range(worlds.batch):
+                runs.append(_opoao_world(graph, picks[world], seeds, max_hops))
+        return _assemble(spec.kind, graph.node_count, runs)
+
+
+def _assemble(
+    kind: str, node_count: int, runs: Sequence[WorldRun]
+) -> BatchOutcome:
+    """Transpose per-world series to the hop-major layout, padding short
+    worlds with their final (frozen) counts so every hop has one entry per
+    world — the same shape the vectorized backend produces natively."""
+    length = max(len(infected) for _, infected, _ in runs)
+    infected_hops: List[List[int]] = []
+    protected_hops: List[List[int]] = []
+    for hop in range(length):
+        infected_hops.append(
+            [inf[min(hop, len(inf) - 1)] for _, inf, _ in runs]
+        )
+        protected_hops.append(
+            [prot[min(hop, len(prot) - 1)] for _, _, prot in runs]
+        )
+    states = [run_states for run_states, _, _ in runs]
+    return BatchOutcome(kind, node_count, states, infected_hops, protected_hops)
+
+
+def _race_world(
+    graph: IndexedDiGraph,
+    live_row,
+    seeds: SeedSets,
+    max_hops: int,
+) -> WorldRun:
+    """IC/DOAM: simultaneous BFS race on the live subgraph, P wins ties.
+
+    ``live_row`` is indexed by CSR edge position (``None`` = every edge
+    live, which is exactly DOAM).
+    """
+    out = graph.out
+    indptr = graph.csr().indptr
+    states = seeded_states(graph.node_count, seeds)
+    infected_total = len(seeds.rumors)
+    protected_total = len(seeds.protectors)
+    infected_series = [infected_total]
+    protected_series = [protected_total]
+    protected_front: List[int] = sorted(seeds.protectors)
+    infected_front: List[int] = sorted(seeds.rumors)
+
+    for _hop in range(max_hops):
+        if not protected_front and not infected_front:
+            break
+        protected_targets: Set[int] = set()
+        for node in protected_front:
+            base = indptr[node]
+            for position, neighbor in enumerate(out[node]):
+                if states[neighbor] == INACTIVE and (
+                    live_row is None or live_row[base + position]
+                ):
+                    protected_targets.add(neighbor)
+        infected_targets: Set[int] = set()
+        for node in infected_front:
+            base = indptr[node]
+            for position, neighbor in enumerate(out[node]):
+                if (
+                    states[neighbor] == INACTIVE
+                    and neighbor not in protected_targets
+                    and (live_row is None or live_row[base + position])
+                ):
+                    infected_targets.add(neighbor)
+        if not protected_targets and not infected_targets:
+            break
+        for node in protected_targets:
+            states[node] = PROTECTED
+        for node in infected_targets:
+            states[node] = INFECTED
+        protected_total += len(protected_targets)
+        infected_total += len(infected_targets)
+        infected_series.append(infected_total)
+        protected_series.append(protected_total)
+        protected_front = sorted(protected_targets)
+        infected_front = sorted(infected_targets)
+    return states, infected_series, protected_series
+
+
+def _lt_world(
+    graph: IndexedDiGraph,
+    thresholds,
+    seeds: SeedSets,
+    max_hops: int,
+) -> WorldRun:
+    """Competitive LT on fixed thresholds (per-cascade crossing, P priority).
+
+    The accumulation order (protected front fed first, fronts walked in
+    ascending node order, out-rows in CSR order) is part of the contract:
+    the NumPy backend reproduces the same float addition order so shared
+    worlds give bit-identical sums.
+    """
+    n = graph.node_count
+    out = graph.out
+    states = seeded_states(n, seeds)
+    protected_weight = [0.0] * n
+    infected_weight = [0.0] * n
+
+    def feed(front: List[int], weights: List[float]) -> Set[int]:
+        touched: Set[int] = set()
+        for node in front:
+            for neighbor in out[node]:
+                if states[neighbor] != INACTIVE:
+                    continue
+                weights[neighbor] += 1.0 / max(1, graph.in_degree(neighbor))
+                touched.add(neighbor)
+        return touched
+
+    infected_total = len(seeds.rumors)
+    protected_total = len(seeds.protectors)
+    infected_series = [infected_total]
+    protected_series = [protected_total]
+    protected_front: List[int] = sorted(seeds.protectors)
+    infected_front: List[int] = sorted(seeds.rumors)
+
+    for _hop in range(max_hops):
+        if not protected_front and not infected_front:
+            break
+        touched = feed(protected_front, protected_weight)
+        touched |= feed(infected_front, infected_weight)
+        new_protected: List[int] = []
+        new_infected: List[int] = []
+        for node in sorted(touched):
+            crosses_protected = (
+                protected_weight[node] + 1e-12 >= thresholds[node]
+            )
+            crosses_infected = infected_weight[node] + 1e-12 >= thresholds[node]
+            if crosses_protected:  # P priority when both cascades cross
+                new_protected.append(node)
+            elif crosses_infected:
+                new_infected.append(node)
+        if not new_protected and not new_infected:
+            break
+        for node in new_protected:
+            states[node] = PROTECTED
+        for node in new_infected:
+            states[node] = INFECTED
+        protected_total += len(new_protected)
+        infected_total += len(new_infected)
+        infected_series.append(infected_total)
+        protected_series.append(protected_total)
+        protected_front = new_protected
+        infected_front = new_infected
+    return states, infected_series, protected_series
+
+
+def _opoao_world(
+    graph: IndexedDiGraph,
+    picks,
+    seeds: SeedSets,
+    max_hops: int,
+) -> WorldRun:
+    """OPOAO on a fixed pick table: ``picks[hop][node]`` is the node's
+    uniform draw for that step, mapped to out-neighbor ``floor(r * d_out)``.
+
+    A step with zero successful activations does **not** end the run
+    (repeat selection may succeed later); the run ends when no active
+    node has an inactive out-neighbor left. Every active node reads its
+    pick every step — a node whose out-neighbors are all active picks a
+    wasted target, which is what the vectorized backend computes too, so
+    both backends consume the table identically.
+    """
+    out = graph.out
+    states = seeded_states(graph.node_count, seeds)
+    active: List[int] = sorted(seeds.rumors | seeds.protectors)
+
+    infected_total = len(seeds.rumors)
+    protected_total = len(seeds.protectors)
+    infected_series = [infected_total]
+    protected_series = [protected_total]
+
+    for hop in range(max_hops):
+        row = picks[hop]
+        alive = False
+        protected_targets: Set[int] = set()
+        infected_targets: Set[int] = set()
+        for node in active:
+            neighbors = out[node]
+            if not neighbors:
+                continue
+            if not alive and any(
+                states[neighbor] == INACTIVE for neighbor in neighbors
+            ):
+                alive = True
+            degree = len(neighbors)
+            index = int(row[node] * degree)
+            if index >= degree:  # r == 1.0 cannot happen, but stay safe
+                index = degree - 1
+            target = neighbors[index]
+            if states[target] != INACTIVE:
+                continue  # repeat selection wasted on an active neighbor
+            if states[node] == PROTECTED:
+                protected_targets.add(target)
+            else:
+                infected_targets.add(target)
+        if not alive:
+            break  # no active node can ever activate anything again
+        infected_targets -= protected_targets  # P-priority on conflicts
+        for node in protected_targets:
+            states[node] = PROTECTED
+        for node in infected_targets:
+            states[node] = INFECTED
+        active.extend(sorted(protected_targets | infected_targets))
+        protected_total += len(protected_targets)
+        infected_total += len(infected_targets)
+        infected_series.append(infected_total)
+        protected_series.append(protected_total)
+    return states, infected_series, protected_series

@@ -1,0 +1,139 @@
+"""Explicit world samples for the batched diffusion kernels.
+
+A *world* is the entire randomness one diffusion run consumes, drawn up
+front so the run itself becomes deterministic:
+
+* **IC** — one liveness bit per edge (the classic live-edge graph; under
+  weighted IC each edge's weight is its liveness probability);
+* **LT** — one threshold per node;
+* **OPOAO** — one uniform float per (hop, node), mapped to an out-neighbor
+  pick via ``floor(r * d_out)``;
+* **DOAM** — nothing (the model is deterministic).
+
+A :class:`WorldBatch` holds ``batch`` such worlds. Because worlds are
+plain data, the *same* batch can be fed to any backend, and two backends
+given the same batch must produce **bit-identical** outcomes — the
+property the differential test suite pins down. Batches sampled here, via
+:func:`sample_shared_worlds`, use the library's :class:`~repro.rng.RngStream`
+(world ``b`` draws from ``rng.replica(b)``), so they are reproducible on
+any machine with or without NumPy; backends may additionally offer faster
+*native* samplers that are only statistically equivalent across backends
+(see ``docs/kernels.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.errors import KernelError
+from repro.graph.compact import CSRArrays
+from repro.kernels.spec import KernelSpec
+from repro.rng import RngStream
+from repro.utils.validation import check_positive
+
+__all__ = ["WorldBatch", "sample_shared_worlds"]
+
+
+class WorldBatch:
+    """A batch of pre-sampled diffusion worlds.
+
+    Attributes:
+        kind: model kind the worlds were sampled for.
+        batch: number of worlds.
+        max_hops: horizon the worlds cover (only OPOAO consumes per-hop
+            randomness, but every batch records the horizon it was
+            sampled for so a mismatched run fails loudly).
+        data: per-kind payload —
+            ``{"live": ...}`` (``batch × edge_count`` bools) for IC,
+            ``{"thresholds": ...}`` (``batch × node_count`` floats) for LT,
+            ``{"picks": ...}`` (``batch × max_hops × node_count`` floats)
+            for OPOAO, ``{}`` for DOAM. Values are nested lists when
+            sampled by :func:`sample_shared_worlds` and NumPy arrays when
+            sampled natively by the NumPy backend; backends accept both.
+    """
+
+    __slots__ = ("kind", "batch", "max_hops", "data")
+
+    def __init__(
+        self, kind: str, batch: int, max_hops: int, data: Dict[str, Any]
+    ) -> None:
+        self.kind = kind
+        self.batch = int(check_positive(batch, "batch"))
+        self.max_hops = int(check_positive(max_hops, "max_hops"))
+        self.data = data
+
+    def check_run(self, kind: str, max_hops: int) -> None:
+        """Fail loudly when a batch is replayed under mismatched settings."""
+        if kind != self.kind:
+            raise KernelError(
+                f"world batch sampled for {self.kind!r} cannot run {kind!r}"
+            )
+        if max_hops > self.max_hops:
+            raise KernelError(
+                f"world batch covers {self.max_hops} hops; asked to run "
+                f"{max_hops}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"WorldBatch(kind={self.kind!r}, batch={self.batch}, "
+            f"max_hops={self.max_hops})"
+        )
+
+
+def sample_shared_worlds(
+    csr: CSRArrays,
+    spec: KernelSpec,
+    batch: int,
+    max_hops: int,
+    seed: int,
+) -> WorldBatch:
+    """Sample a backend-agnostic :class:`WorldBatch` with :class:`RngStream`.
+
+    World ``b`` draws exclusively from ``RngStream(seed).replica(b)``:
+
+    * IC — one uniform per edge, in CSR edge order; live iff ``r < p_e``;
+    * LT — one threshold per node, in node-id order;
+    * OPOAO — ``max_hops × node_count`` uniforms, hop-major.
+
+    The draw order is part of the batch's contract: any sampler claiming
+    to be "shared" must reproduce it exactly.
+    """
+    rng = RngStream(seed, name="kernel-worlds")
+    n = csr.node_count
+    if spec.kind == "doam":
+        return WorldBatch("doam", batch, max_hops, {})
+    if spec.kind == "ic":
+        probabilities = _edge_probabilities(csr, spec)
+        live: List[List[bool]] = []
+        for world in range(batch):
+            stream = rng.replica(world)
+            live.append([stream.random() < p for p in probabilities])
+        return WorldBatch("ic", batch, max_hops, {"live": live})
+    if spec.kind == "lt":
+        thresholds = [
+            [rng.replica(world).random() for _ in range(n)]
+            for world in range(batch)
+        ]
+        return WorldBatch("lt", batch, max_hops, {"thresholds": thresholds})
+    if spec.kind == "opoao":
+        picks: List[List[List[float]]] = []
+        for world in range(batch):
+            stream = rng.replica(world)
+            picks.append(
+                [[stream.random() for _ in range(n)] for _ in range(max_hops)]
+            )
+        return WorldBatch("opoao", batch, max_hops, {"picks": picks})
+    raise KernelError(f"unknown kernel kind {spec.kind!r}")
+
+
+def _edge_probabilities(csr: CSRArrays, spec: KernelSpec) -> List[float]:
+    """Per-edge liveness probabilities for IC, in CSR edge order."""
+    if spec.probability is not None:
+        return [spec.probability] * csr.edge_count
+    for weight in csr.weights:
+        if not 0.0 <= weight <= 1.0:
+            raise KernelError(
+                f"weighted IC needs edge weights in [0, 1]; got {weight!r}"
+            )
+    return list(csr.weights)

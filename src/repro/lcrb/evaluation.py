@@ -96,6 +96,7 @@ def evaluate_protectors(
     runs: int = 200,
     max_hops: int = DEFAULT_MAX_HOPS,
     rng: Optional[RngStream] = None,
+    backend: Optional[str] = None,
 ) -> EvaluationResult:
     """Simulate an instance with a given protector set and aggregate.
 
@@ -108,13 +109,17 @@ def evaluate_protectors(
         runs: Monte-Carlo replicas (deterministic models run once).
         max_hops: horizon (paper: 31 for OPOAO).
         rng: base stream (required for stochastic models).
+        backend: optional kernel backend name for batched simulation
+            (see :class:`~repro.diffusion.simulation.MonteCarloSimulator`).
     """
     indexed = context.indexed
     protector_ids = indexed.indices(dict.fromkeys(protectors))
     seeds = SeedSets(rumors=context.rumor_seed_ids(), protectors=protector_ids)
     end_ids = context.bridge_end_ids()
 
-    simulator = MonteCarloSimulator(model, runs=runs, max_hops=max_hops)
+    simulator = MonteCarloSimulator(
+        model, runs=runs, max_hops=max_hops, backend=backend
+    )
     result = EvaluationResult(
         SimulationAggregate(max_hops), bridge_total=len(end_ids)
     )

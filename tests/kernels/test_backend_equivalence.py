@@ -1,0 +1,182 @@
+"""Differential tests: NumPy kernels vs the pure-Python reference.
+
+Two layers of agreement, matching the backend contract:
+
+* **bit-identical** — both backends consuming the *same*
+  :class:`~repro.kernels.worlds.WorldBatch` (the shared sampler) must
+  return byte-for-byte equal final states and per-hop series, for every
+  model kind;
+* **statistical** — each backend estimating sigma with its own *native*
+  sampler must agree within confidence-interval bounds.
+"""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.algorithms.base import SelectionContext
+from repro.diffusion.base import SeedSets
+from repro.diffusion.doam import DOAMModel
+from repro.diffusion.ic import CompetitiveICModel
+from repro.diffusion.lt import CompetitiveLTModel
+from repro.diffusion.opoao import OPOAOModel
+from repro.graph.digraph import DiGraph
+from repro.kernels.numpy_backend import NumpyKernelBackend
+from repro.kernels.python_backend import PythonKernelBackend
+from repro.kernels.sigma import BatchedSigmaEvaluator
+from repro.kernels.spec import KernelSpec
+from repro.kernels.worlds import sample_shared_worlds
+from repro.rng import RngStream
+
+SPECS = [
+    KernelSpec("ic", probability=0.4),
+    KernelSpec("ic"),  # weighted IC: edge weights are probabilities
+    KernelSpec("lt"),
+    KernelSpec("opoao"),
+    KernelSpec("doam"),
+]
+
+MODELS = [
+    CompetitiveICModel(probability=0.4),
+    CompetitiveLTModel(),
+    OPOAOModel(),
+    DOAMModel(),
+]
+
+
+def random_graph(nodes: int, edges: int, seed: int, weighted: bool = False):
+    """A seeded random digraph (labels == ids, insertion order fixed)."""
+    rng = RngStream(seed, name="equiv-graph")
+    graph = DiGraph()
+    graph.add_nodes(range(nodes))
+    seen = set()
+    while len(seen) < edges:
+        tail = rng.randrange(nodes)
+        head = rng.randrange(nodes)
+        if tail == head or (tail, head) in seen:
+            continue
+        seen.add((tail, head))
+        weight = rng.random() if weighted else 1.0
+        graph.add_edge(tail, head, weight=max(weight, 0.05))
+    return graph
+
+
+@pytest.fixture(scope="module")
+def backends():
+    return PythonKernelBackend(), NumpyKernelBackend()
+
+
+@pytest.fixture(scope="module")
+def instance():
+    """A mid-size weighted digraph with rumor and protector seeds."""
+    graph = random_graph(40, 160, seed=7, weighted=True).to_indexed()
+    seeds = SeedSets(rumors=[0, 3, 11], protectors=[5, 8])
+    return graph, seeds
+
+
+class TestBitIdenticalOnSharedWorlds:
+    @pytest.mark.parametrize("spec", SPECS, ids=lambda s: repr(s))
+    def test_states_and_series_identical(self, backends, instance, spec):
+        python_backend, numpy_backend = backends
+        graph, seeds = instance
+        worlds = sample_shared_worlds(graph.csr(), spec, 10, 16, seed=99)
+        reference = python_backend.run_worlds(graph, spec, worlds, seeds, 16)
+        vectorized = numpy_backend.run_worlds(graph, spec, worlds, seeds, 16)
+        assert vectorized.hops == reference.hops
+        assert vectorized.batch == reference.batch
+        for world in range(reference.batch):
+            assert vectorized.states_row(world) == reference.states_row(world)
+            for hop in range(reference.hops + 1):
+                assert vectorized.infected_at(world, hop) == reference.infected_at(
+                    world, hop
+                )
+                assert vectorized.protected_at(
+                    world, hop
+                ) == reference.protected_at(world, hop)
+
+    @pytest.mark.parametrize("spec", SPECS, ids=lambda s: repr(s))
+    def test_no_protector_baseline_identical(self, backends, instance, spec):
+        python_backend, numpy_backend = backends
+        graph, _ = instance
+        seeds = SeedSets(rumors=[0, 3, 11])
+        worlds = sample_shared_worlds(graph.csr(), spec, 6, 16, seed=4242)
+        reference = python_backend.run_worlds(graph, spec, worlds, seeds, 16)
+        vectorized = numpy_backend.run_worlds(graph, spec, worlds, seeds, 16)
+        for world in range(reference.batch):
+            assert vectorized.states_row(world) == reference.states_row(world)
+
+    def test_replay_is_idempotent(self, backends, instance):
+        """Replaying one batch twice (the sigma pattern) must not mutate it."""
+        _, numpy_backend = backends
+        graph, seeds = instance
+        spec = KernelSpec("ic", probability=0.4)
+        worlds = sample_shared_worlds(graph.csr(), spec, 8, 16, seed=5)
+        first = numpy_backend.run_worlds(graph, spec, worlds, seeds, 16)
+        second = numpy_backend.run_worlds(graph, spec, worlds, seeds, 16)
+        for world in range(first.batch):
+            assert first.states_row(world) == second.states_row(world)
+
+
+class TestSharedWorldSigmaSets:
+    @pytest.mark.parametrize("model", MODELS, ids=lambda m: m.name)
+    def test_blocked_and_protected_sets_identical(self, fig2_context, model):
+        """Per-world infected bridge-end *sets* match exactly on shared worlds."""
+        evaluators = [
+            BatchedSigmaEvaluator(
+                fig2_context,
+                model=model,
+                runs=24,
+                max_hops=16,
+                rng=RngStream(77, name="sigma"),
+                backend=name,
+                world_source="shared",
+            )
+            for name in ("python", "numpy")
+        ]
+        protectors = sorted(fig2_context.bridge_ends)[:2]
+        py, vec = evaluators
+        assert py.baseline == vec.baseline
+        assert py.infected_end_sets(
+            py._protector_ids(protectors)
+        ) == vec.infected_end_sets(vec._protector_ids(protectors))
+        assert py.sigma(protectors) == vec.sigma(protectors)
+        assert py.protected_fraction(protectors) == vec.protected_fraction(
+            protectors
+        )
+
+
+class TestNativeSamplingStatistics:
+    """Native samplers differ (RngStream vs PCG64); estimates must not."""
+
+    @pytest.mark.parametrize("model", MODELS, ids=lambda m: m.name)
+    def test_sigma_agrees_within_ci(self, fig2_context, model):
+        runs = 600
+        estimates = {}
+        for name in ("python", "numpy"):
+            evaluator = BatchedSigmaEvaluator(
+                fig2_context,
+                model=model,
+                runs=runs,
+                max_hops=16,
+                rng=RngStream(3, name="sigma"),
+                backend=name,
+                world_source="native",
+            )
+            protectors = sorted(fig2_context.bridge_ends)[:2]
+            estimates[name] = (
+                evaluator.sigma(protectors),
+                evaluator.protected_fraction(protectors),
+            )
+        end_count = len(fig2_context.bridge_ends)
+        if not model.stochastic:
+            assert estimates["python"] == estimates["numpy"]
+            return
+        # sigma is a mean of per-world counts in [0, |B|]: half-width
+        # bounded by ~4 * |B| / (2 sqrt(runs)) for each estimator.
+        bound = 4.0 * end_count / (2.0 * runs**0.5)
+        assert abs(estimates["python"][0] - estimates["numpy"][0]) <= 2 * bound
+        fraction_bound = 4.0 / (2.0 * runs**0.5)
+        assert (
+            abs(estimates["python"][1] - estimates["numpy"][1])
+            <= 2 * fraction_bound
+        )

@@ -1,0 +1,142 @@
+"""Hypothesis properties of the CSR export on :class:`IndexedDiGraph`.
+
+The CSR snapshot is the kernels' only view of the graph, so its contract
+is load-bearing: a lossless round trip ``IndexedDiGraph <-> (indptr,
+indices, weights)``, strict validation on ingest (self-loops, duplicate
+edges, weight parallelism), and correct handling of isolated nodes.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph.compact import CSRArrays, IndexedDiGraph
+from repro.graph.digraph import DiGraph
+
+
+@st.composite
+def random_digraphs(draw):
+    """Digraphs with <= 8 nodes, random weighted edges, isolated nodes kept."""
+    n = draw(st.integers(min_value=0, max_value=8))
+    pairs = [(u, v) for u in range(n) for v in range(n) if u != v]
+    chosen = draw(st.lists(st.sampled_from(pairs), max_size=12, unique=True)) if pairs else []
+    graph = DiGraph()
+    graph.add_nodes(range(n))
+    for tail, head in chosen:
+        weight = draw(
+            st.floats(min_value=0.1, max_value=4.0, allow_nan=False)
+        )
+        graph.add_edge(tail, head, weight=weight)
+    return graph
+
+
+class TestCsrRoundTrip:
+    @given(random_digraphs())
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip_reproduces_graph_exactly(self, graph):
+        indexed = graph.to_indexed()
+        csr = indexed.csr()
+        rebuilt = IndexedDiGraph.from_csr(
+            indexed.labels, csr.indptr, csr.indices, csr.weights
+        )
+        assert rebuilt.labels == indexed.labels
+        assert rebuilt.out == indexed.out
+        assert rebuilt.out_weights == indexed.out_weights
+        # in-adjacency is derived, but membership must match (order may
+        # differ: from_csr appends in row-scan order).
+        assert [sorted(row) for row in rebuilt.inn] == [
+            sorted(row) for row in indexed.inn
+        ]
+        again = rebuilt.csr()
+        assert again.indptr == csr.indptr
+        assert again.indices == csr.indices
+        assert again.weights == csr.weights
+
+    @given(random_digraphs())
+    @settings(max_examples=100, deadline=None)
+    def test_indptr_invariants(self, graph):
+        csr = graph.to_indexed().csr()
+        assert len(csr.indptr) == csr.node_count + 1
+        assert csr.node_count == graph.node_count
+        assert csr.edge_count == graph.edge_count
+        if csr.node_count:
+            assert csr.indptr[0] == 0
+            assert csr.indptr[-1] == csr.edge_count
+        assert all(
+            csr.indptr[i] <= csr.indptr[i + 1] for i in range(csr.node_count)
+        )
+
+    @given(random_digraphs())
+    @settings(max_examples=100, deadline=None)
+    def test_weights_parallel_indices_and_match_source_edges(self, graph):
+        indexed = graph.to_indexed()
+        csr = indexed.csr()
+        assert len(csr.weights) == len(csr.indices)
+        expected = {
+            (indexed.index(tail), indexed.index(head)): weight
+            for tail, head, weight in graph.weighted_edges()
+        }
+        seen = {}
+        for u in range(csr.node_count):
+            for position in range(csr.indptr[u], csr.indptr[u + 1]):
+                seen[(u, csr.indices[position])] = csr.weights[position]
+        assert seen == expected
+
+    @given(random_digraphs())
+    @settings(max_examples=100, deadline=None)
+    def test_out_degrees_sum_to_edge_count(self, graph):
+        csr = graph.to_indexed().csr()
+        assert sum(csr.out_degrees()) == csr.edge_count
+        assert sum(csr.in_degrees()) == csr.edge_count
+
+
+class TestIsolatedNodes:
+    def test_all_isolated(self):
+        graph = DiGraph()
+        graph.add_nodes(range(5))
+        csr = graph.to_indexed().csr()
+        assert csr.node_count == 5
+        assert csr.edge_count == 0
+        assert csr.indptr == (0, 0, 0, 0, 0, 0)
+
+    def test_isolated_node_has_empty_row(self):
+        graph = DiGraph()
+        graph.add_nodes([0, 1, 2])
+        graph.add_edge(0, 2)
+        csr = graph.to_indexed().csr()
+        assert csr.row(0) == (2,)
+        assert csr.row(1) == ()
+        assert csr.row(2) == ()
+
+
+class TestFromCsrValidation:
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError, match="self-loop"):
+            IndexedDiGraph.from_csr(["a", "b"], [0, 1, 2], [0, 0])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(GraphError, match="duplicate"):
+            IndexedDiGraph.from_csr(["a", "b"], [0, 2, 2], [1, 1])
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(GraphError, match="out of range"):
+            IndexedDiGraph.from_csr(["a", "b"], [0, 1, 1], [5])
+
+    def test_weight_length_mismatch_rejected(self):
+        with pytest.raises(GraphError, match="parallel"):
+            IndexedDiGraph.from_csr(
+                ["a", "b"], [0, 1, 1], [1], weights=[0.5, 0.5]
+            )
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(GraphError, match="> 0"):
+            IndexedDiGraph.from_csr(["a", "b"], [0, 1, 1], [1], weights=[0.0])
+
+    def test_decreasing_indptr_rejected(self):
+        with pytest.raises(GraphError):
+            IndexedDiGraph.from_csr(["a", "b", "c"], [0, 2, 1, 2], [1, 2, 0])
+
+    def test_csr_arrays_weight_parallelism_enforced(self):
+        with pytest.raises(GraphError, match="parallel"):
+            CSRArrays([0, 1], [0], [])

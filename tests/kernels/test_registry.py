@@ -1,0 +1,117 @@
+"""Backend registry: resolution, graceful degradation, spec mapping."""
+
+import pytest
+
+from repro.diffusion.doam import DOAMModel
+from repro.diffusion.ic import CompetitiveICModel
+from repro.diffusion.lt import CompetitiveLTModel
+from repro.diffusion.opoao import OPOAOModel
+from repro.errors import BackendUnavailableError, KernelError, UnsupportedModelError
+from repro.kernels.python_backend import PythonKernelBackend
+from repro.kernels.registry import (
+    available_backends,
+    register_backend,
+    resolve_backend,
+)
+from repro.kernels.spec import KernelSpec, spec_for_model
+from repro.kernels.worlds import WorldBatch
+
+
+def numpy_importable() -> bool:
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+class TestResolveBackend:
+    def test_python_always_resolves(self):
+        backend = resolve_backend("python")
+        assert isinstance(backend, PythonKernelBackend)
+        assert backend.name == "python"
+
+    def test_instances_are_cached(self):
+        assert resolve_backend("python") is resolve_backend("python")
+
+    def test_unknown_name_raises_kernel_error(self):
+        with pytest.raises(KernelError, match="unknown kernel backend"):
+            resolve_backend("fortran")
+
+    def test_auto_resolves_to_fastest_available(self):
+        backend = resolve_backend("auto")
+        expected = "numpy" if numpy_importable() else "python"
+        assert backend.name == expected
+
+    def test_none_means_auto(self):
+        assert resolve_backend(None) is resolve_backend("auto")
+
+    def test_available_backends_lists_python(self):
+        names = available_backends()
+        assert "python" in names
+        assert ("numpy" in names) == numpy_importable()
+
+    def test_missing_dependency_reported_with_install_hint(self, monkeypatch):
+        from repro.kernels import registry as registry_module
+
+        def broken():
+            raise ImportError("no such module")
+
+        monkeypatch.setitem(registry_module._FACTORIES, "broken", broken)
+        monkeypatch.delitem(
+            registry_module._INSTANCES, "broken", raising=False
+        )
+        with pytest.raises(BackendUnavailableError, match="perf"):
+            resolve_backend("broken")
+        assert "broken" not in available_backends()
+
+    def test_register_backend_replaces_and_resolves(self, monkeypatch):
+        from repro.kernels import registry as registry_module
+
+        monkeypatch.setattr(
+            registry_module, "_FACTORIES", dict(registry_module._FACTORIES)
+        )
+        monkeypatch.setattr(
+            registry_module, "_INSTANCES", dict(registry_module._INSTANCES)
+        )
+        register_backend("custom", PythonKernelBackend)
+        assert isinstance(resolve_backend("custom"), PythonKernelBackend)
+
+
+class TestSpecForModel:
+    def test_doam(self):
+        spec = spec_for_model(DOAMModel())
+        assert spec == KernelSpec("doam")
+        assert not spec.stochastic
+
+    def test_ic_carries_probability(self):
+        spec = spec_for_model(CompetitiveICModel(probability=0.25))
+        assert spec.kind == "ic"
+        assert spec.probability == 0.25
+        assert spec.stochastic
+
+    def test_lt(self):
+        assert spec_for_model(CompetitiveLTModel()) == KernelSpec("lt")
+
+    def test_opoao(self):
+        assert spec_for_model(OPOAOModel()) == KernelSpec("opoao")
+
+    def test_weighted_opoao_unsupported(self):
+        with pytest.raises(UnsupportedModelError):
+            spec_for_model(OPOAOModel(weighted=True))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(UnsupportedModelError):
+            KernelSpec("sir")
+
+
+class TestWorldBatchContract:
+    def test_kind_mismatch_fails_loudly(self):
+        batch = WorldBatch("ic", 2, 4, {"live": [[], []]})
+        with pytest.raises(KernelError, match="cannot run"):
+            batch.check_run("lt", 4)
+
+    def test_horizon_overrun_fails_loudly(self):
+        batch = WorldBatch("opoao", 1, 4, {"picks": [[[0.0]] * 4]})
+        with pytest.raises(KernelError, match="hops"):
+            batch.check_run("opoao", 5)

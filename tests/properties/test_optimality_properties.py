@@ -5,12 +5,15 @@ paper proves must hold numerically:
 
 * greedy set cover within ``H_n`` of the optimum (Theorem 2's engine);
 * SCBG's protector count within ``H_{|B|}`` of the smallest protector set
-  that protects every bridge end under DOAM.
+  that protects every bridge end under DOAM;
+* the batched kernel backends' DOAM sigma is *exact*, so every available
+  backend must report the value the per-run reference model computes.
 """
 
 import itertools
 import math
 
+import pytest
 from hypothesis import HealthCheck, assume, given, settings
 from hypothesis import strategies as st
 
@@ -19,6 +22,7 @@ from repro.algorithms.heuristics import prefix_protects_all
 from repro.algorithms.scbg import SCBGSelector
 from repro.algorithms.setcover import cover_deficit, greedy_set_cover
 from repro.graph.digraph import DiGraph
+from repro.kernels.registry import available_backends
 
 
 def harmonic(n: int) -> float:
@@ -112,3 +116,47 @@ class TestScbgRatio:
         assume(len(context.bridge_ends) == 1)
         cover = SCBGSelector().select(context)
         assert len(cover) == 1  # a single bridge end always has a 1-cover
+
+
+class TestKernelSigmaExactUnderDoam:
+    """DOAM is deterministic, so every kernel backend's sigma must equal
+    the count of bridge ends the per-run reference model says are saved."""
+
+    @staticmethod
+    def reference_saved_ends(context, protectors) -> int:
+        from repro.diffusion.base import INFECTED, SeedSets
+        from repro.diffusion.doam import DOAMModel
+
+        indexed = context.indexed
+        end_ids = context.bridge_end_ids()
+
+        def infected_ends(protector_labels):
+            seeds = SeedSets(
+                rumors=context.rumor_seed_ids(),
+                protectors=indexed.indices(protector_labels),
+            )
+            outcome = DOAMModel().run(indexed, seeds, max_hops=16)
+            return {
+                end for end in end_ids if outcome.states[end] == INFECTED
+            }
+
+        return len(infected_ends([]) - infected_ends(protectors))
+
+    @pytest.mark.parametrize("backend_name", available_backends())
+    @given(instance=tiny_lcrb_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_backend_sigma_matches_reference(self, backend_name, instance):
+        from repro.diffusion.doam import DOAMModel
+        from repro.kernels.sigma import BatchedSigmaEvaluator
+
+        graph, community, seeds = instance
+        context = SelectionContext(graph, community, seeds)
+        assume(context.bridge_ends)
+        cover = SCBGSelector().select(context)
+        assume(cover)
+        evaluator = BatchedSigmaEvaluator(
+            context, model=DOAMModel(), max_hops=16, backend=backend_name
+        )
+        assert evaluator.sigma(cover) == self.reference_saved_ends(
+            context, cover
+        )
