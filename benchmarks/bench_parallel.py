@@ -1,0 +1,150 @@
+"""Throughput and determinism benchmark of the repro.exec worker pool.
+
+Measures the ISSUE-4 tentpole: σ̂ candidate rounds fanned out over the
+shared-memory process pool on the enron-small replica under OPOAO. One
+timing pass runs the same candidate round serially and at
+``TIMING_WORKERS`` workers and records speedup and parallel efficiency
+(speedup / workers) in the emitted document's ``context``; wall clock is
+runner-dependent and **not** gated.
+
+The regression gate consumes the deterministic counter pass: the same
+workload replayed at two workers under the
+:class:`benchmarks.conftest.BenchMetrics` collector. The execution
+layer's contract makes the merged counters equal a serial run's
+(asserted here, together with bit-identical σ̂ values), so the counters
+in ``BENCH_parallel.json`` are exactly as stable as the serial
+benchmarks'.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import FAST, SCALE
+from repro.algorithms.base import SelectionContext
+from repro.algorithms.greedy import candidate_pool
+from repro.datasets.registry import load_dataset
+from repro.diffusion.base import SeedSets
+from repro.diffusion.opoao import OPOAOModel
+from repro.diffusion.parallel import ParallelMonteCarloSimulator
+from repro.diffusion.simulation import MonteCarloSimulator
+from repro.kernels.sigma import BatchedSigmaEvaluator
+from repro.lcrb.pipeline import draw_rumor_seeds
+from repro.rng import RngStream
+
+#: Coupled worlds per sigma evaluation.
+RUNS = 16 if FAST else 50
+
+#: Candidate protectors per sigma round.
+CANDIDATES = 8 if FAST else 16
+
+#: Monte-Carlo replicas for the simulator pass.
+REPLICAS = 12 if FAST else 48
+
+MAX_HOPS = 31
+
+#: Worker count for the timing comparison (the acceptance measurement).
+TIMING_WORKERS = 4
+
+#: Worker count for the gated deterministic counter pass.
+GATE_WORKERS = 2
+
+
+@pytest.fixture(scope="module")
+def instance():
+    dataset = load_dataset("enron-small", scale=SCALE, seed=13)
+    size = dataset.communities.size(dataset.rumor_community)
+    rumor_labels = draw_rumor_seeds(
+        dataset.communities,
+        dataset.rumor_community,
+        max(2, size // 10),
+        RngStream(51, name="parallel-bench"),
+    )
+    context = SelectionContext(
+        dataset.graph, dataset.rumor_community_nodes, rumor_labels
+    )
+    candidates = candidate_pool(context) or candidate_pool(context, "all")
+    return context, candidates[:CANDIDATES]
+
+
+def make_evaluator(context, workers=None):
+    return BatchedSigmaEvaluator(
+        context,
+        model=OPOAOModel(),
+        runs=RUNS,
+        max_hops=MAX_HOPS,
+        rng=RngStream(13, name="parallel-sigma"),
+        backend="python",
+        workers=workers,
+    )
+
+
+def timed(function):
+    started = time.perf_counter()
+    result = function()
+    return result, time.perf_counter() - started
+
+
+def test_parallel_sigma_throughput(instance, bench_metrics):
+    context, candidates = instance
+    assert candidates, "enron-small replica must yield candidate protectors"
+    sets = [[candidate] for candidate in candidates]
+
+    # Timing pass: worlds + baseline warmed outside the timed region in
+    # both legs, exactly like the serial kernel benchmark.
+    serial_evaluator = make_evaluator(context)
+    serial_evaluator.baseline
+    serial_sigmas, serial_seconds = timed(
+        lambda: serial_evaluator.sigma_many(sets)
+    )
+    parallel_evaluator = make_evaluator(context, workers=TIMING_WORKERS)
+    parallel_evaluator.baseline
+    parallel_sigmas, parallel_seconds = timed(
+        lambda: parallel_evaluator.sigma_many(sets)
+    )
+    assert parallel_sigmas == serial_sigmas  # bit-identical, per contract
+    speedup = serial_seconds / max(parallel_seconds, 1e-9)
+
+    # Deterministic counter pass for the regression gate: a fresh
+    # two-worker evaluator plus a two-worker replica sweep; the merged
+    # counters equal a serial run's, so the gate sees stable numbers.
+    with bench_metrics.collect():
+        gated = make_evaluator(context, workers=GATE_WORKERS)
+        gated_sigmas = gated.sigma_many(sets)
+        simulator = ParallelMonteCarloSimulator(
+            OPOAOModel(),
+            runs=REPLICAS,
+            max_hops=MAX_HOPS,
+            processes=GATE_WORKERS,
+        )
+        aggregate = simulator.simulate(
+            context.indexed,
+            SeedSets(rumors=context.rumor_seed_ids()),
+            rng=RngStream(29, name="parallel-mc"),
+        )
+    assert gated_sigmas == serial_sigmas
+    serial_aggregate = MonteCarloSimulator(
+        OPOAOModel(), runs=REPLICAS, max_hops=MAX_HOPS
+    ).simulate(
+        context.indexed,
+        SeedSets(rumors=context.rumor_seed_ids()),
+        rng=RngStream(29, name="parallel-mc"),
+    )
+    assert aggregate.infected_per_hop == serial_aggregate.infected_per_hop
+
+    bench_metrics.emit(
+        "parallel",
+        context={
+            "backend": "python",
+            "runs": RUNS,
+            "candidates": len(candidates),
+            "replicas": REPLICAS,
+            "max_hops": MAX_HOPS,
+            "timing_workers": TIMING_WORKERS,
+            "gate_workers": GATE_WORKERS,
+            "serial_seconds": serial_seconds,
+            "parallel_seconds": parallel_seconds,
+            "speedup": speedup,
+            "efficiency": speedup / TIMING_WORKERS,
+        },
+    )

@@ -59,9 +59,14 @@ class CELFGreedySelector(GreedySelector):
         # Heap entries: (-gain, insertion_order, node, round_evaluated).
         # insertion_order keeps ties deterministic and matches exhaustive
         # greedy's first-in-pool-order tie-break.
+        # The initial round evaluates every pool node — the one
+        # embarrassingly parallel part of CELF, batched so a configured
+        # worker pool can fan it out. The lazy rounds below are
+        # inherently sequential (each pop depends on the last) and stay
+        # serial.
+        initial_gains = self._sigma_batch(estimator, [[node] for node in pool])
         heap: List[Tuple[float, int, Node, int]] = []
-        for order, node in enumerate(pool):
-            gain = estimator.sigma([node]) - 0.0
+        for order, (node, gain) in enumerate(zip(pool, initial_gains)):
             marginal_calls += 1
             heap.append((-gain, order, node, 0))
         heapq.heapify(heap)

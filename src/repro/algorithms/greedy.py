@@ -196,6 +196,10 @@ class GreedySelector(ProtectorSelector):
         world_source: world sampler for the batched estimator —
             ``"native"`` (fastest) or ``"shared"`` (bit-identical across
             backends). Ignored when ``backend`` is ``None``.
+        workers: worker request for parallel σ̂ rounds (``None``/``1``
+            serial, ``0`` one per CPU). Only the batched estimator can
+            fan out, so this needs ``backend``; selections are
+            bit-identical whatever the worker count.
     """
 
     name = "Greedy"
@@ -211,6 +215,7 @@ class GreedySelector(ProtectorSelector):
         rng: Optional[RngStream] = None,
         backend: Optional[str] = None,
         world_source: str = "native",
+        workers: Optional[int] = None,
     ) -> None:
         self.model = model or OPOAOModel()
         self.runs = int(check_positive(runs, "runs"))
@@ -223,6 +228,7 @@ class GreedySelector(ProtectorSelector):
         self.rng = rng or RngStream(name="greedy")
         self.backend = backend
         self.world_source = world_source
+        self.workers = workers
         #: σ̂ evaluations consumed by the most recent select() call — the
         #: quantity the CELF-vs-greedy ablation bench compares.
         self.last_evaluations = 0
@@ -249,6 +255,7 @@ class GreedySelector(ProtectorSelector):
                 rng=self.rng.fork("sigma"),
                 backend=self.backend,
                 world_source=self.world_source,
+                workers=self.workers,
             )
         return SigmaEstimator(
             context,
@@ -267,6 +274,20 @@ class GreedySelector(ProtectorSelector):
             nodes.sort(key=lambda node: (-coverage.get(node, 0), order[node]))
             nodes = nodes[: self.max_candidates]
         return nodes
+
+    @staticmethod
+    def _sigma_batch(estimator, candidate_sets: List[List[Node]]) -> List[float]:
+        """σ̂ for a whole round of candidate sets, in order.
+
+        Routed through the estimator's ``sigma_many`` when it has one
+        (the batched evaluator fans the round out over its worker pool);
+        otherwise a plain per-set loop. Both paths return the same
+        values in the same order, so the selection below is identical.
+        """
+        batched = getattr(estimator, "sigma_many", None)
+        if batched is not None:
+            return batched(candidate_sets)
+        return [estimator.sigma(candidate) for candidate in candidate_sets]
 
     def _stop(
         self,
@@ -303,13 +324,16 @@ class GreedySelector(ProtectorSelector):
                         f"{estimator.protected_fraction(chosen):.3f} < alpha={self.alpha}"
                     )
                 break
+            remaining = [node for node in pool if node not in chosen_set]
+            sigmas = self._sigma_batch(
+                estimator, [chosen + [node] for node in remaining]
+            )
+            marginal_calls += len(remaining)
             best_node: Optional[Node] = None
             best_sigma = -1.0
-            for node in pool:
-                if node in chosen_set:
-                    continue
-                sigma = estimator.sigma(chosen + [node])
-                marginal_calls += 1
+            # Strict > keeps the first-in-pool-order tie-break of the
+            # original per-node loop.
+            for node, sigma in zip(remaining, sigmas):
                 if sigma > best_sigma:
                     best_sigma = sigma
                     best_node = node

@@ -66,6 +66,10 @@ BatchedSigmaEvaluator`) and records the achieved protected fraction in
             :attr:`last_kernel_protected_fraction` and the
             ``ris.kernel_protected_fraction`` gauge.
         verify_runs: coupled worlds for the verification estimate.
+        workers: worker request for parallel RR-set sampling (``None``/
+            ``1`` serial, ``0`` one per CPU); forwarded to the
+            :class:`~repro.sketch.store.SketchStore` so every doubling
+            round fans out. Selections are bit-identical regardless.
     """
 
     name = "RIS-Greedy"
@@ -82,6 +86,7 @@ BatchedSigmaEvaluator`) and records the achieved protected fraction in
         rng: Optional[RngStream] = None,
         verify_backend: Optional[str] = None,
         verify_runs: int = 64,
+        workers: Optional[int] = None,
     ) -> None:
         self.semantics = semantics
         self.epsilon = check_fraction(epsilon, "epsilon", exclusive=True)
@@ -93,6 +98,7 @@ BatchedSigmaEvaluator`) and records the achieved protected fraction in
         self.rng = rng or RngStream(name="ris-greedy")
         self.verify_backend = verify_backend
         self.verify_runs = int(check_positive(verify_runs, "verify_runs"))
+        self.workers = workers
         #: worlds held by the store after the most recent select() call.
         self.last_worlds = 0
         #: protected fraction the kernel verification measured for the
@@ -117,7 +123,7 @@ BatchedSigmaEvaluator`) and records the achieved protected fraction in
         sampler = sampler_for(
             self.semantics, context, steps=self.steps, rng=self.rng.fork("worlds")
         )
-        store = SketchStore(sampler)
+        store = SketchStore(sampler, workers=self.workers)
         self._stores[key] = (context, store)
         return store
 

@@ -101,6 +101,17 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: the per-replica reference path)",
         )
 
+    def add_workers_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            metavar="N",
+            help="fan work out over N processes (0 = one per CPU); results "
+            "are bit-identical to serial. greedy needs --backend for its "
+            "batched sigma path",
+        )
+
     def add_sketch_args(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--epsilon", type=float, default=0.1,
@@ -133,6 +144,7 @@ def build_parser() -> argparse.ArgumentParser:
     select.add_argument("--budget", type=int, default=None)
     add_backend_arg(select)
     add_sketch_args(select)
+    add_workers_arg(select)
     add_metrics_arg(select)
 
     simulate = sub.add_parser("simulate", help="select then simulate a diffusion")
@@ -159,6 +171,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--budget", type=int, default=None)
     add_backend_arg(simulate)
     add_sketch_args(simulate)
+    add_workers_arg(simulate)
     simulate.add_argument("--runs", type=int, default=100)
     simulate.add_argument("--hops", type=int, default=31)
     simulate.add_argument(
@@ -191,6 +204,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=10,
         help="with --backend: protector candidates to time sigma over",
     )
+    add_workers_arg(bench)
     add_metrics_arg(bench)
 
     inspect = sub.add_parser(
@@ -258,6 +272,7 @@ def _selector(name: str, rng: RngStream, args=None):
             delta=getattr(args, "delta", 0.05),
             rng=rng.fork("ris-greedy"),
             verify_backend=getattr(args, "backend", None),
+            workers=getattr(args, "workers", None),
         )
     if name == "gvs":
         from repro.algorithms.gvs import GreedyViralStopper
@@ -269,6 +284,7 @@ def _selector(name: str, rng: RngStream, args=None):
             max_candidates=150,
             rng=rng.fork("greedy"),
             backend=getattr(args, "backend", None),
+            workers=getattr(args, "workers", None),
         )
     if name == "maxdegree":
         return MaxDegreeSelector()
@@ -386,6 +402,7 @@ def _cmd_simulate(args) -> int:
             max_hops=args.hops,
             rng=rng.fork("eval"),
             backend=args.backend,
+            workers=args.workers,
         )
     print(
         f"{name} with |P|={len(protectors)} under {model.name}: "
@@ -440,6 +457,18 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _print_parallel_line(
+    workers: int, serial_seconds: float, parallel_seconds: float, what: str
+) -> None:
+    """Satellite of ``repro bench``: workers used + parallel efficiency."""
+    speedup = serial_seconds / max(parallel_seconds, 1e-9)
+    print(
+        f"parallel[{what}] workers={workers}: {parallel_seconds:.3f}s "
+        f"vs {serial_seconds:.3f}s serial = {speedup:.2f}x speedup, "
+        f"efficiency={speedup / max(workers, 1):.2f}"
+    )
+
+
 def _bench_sigma(args, context, model, rng: RngStream) -> int:
     """Sigma-estimation throughput through a kernel backend.
 
@@ -480,6 +509,18 @@ def _bench_sigma(args, context, model, rng: RngStream) -> int:
         f"{evaluator.runs} worlds in {timer.elapsed:.3f}s = "
         f"{rate:.2f} sigma/s ({worlds / max(timer.elapsed, 1e-9):.1f} worlds/s)"
     )
+    if args.workers is not None:
+        from repro.exec.pool import resolve_workers
+
+        worker_count = resolve_workers(args.workers, evaluations)
+        evaluator.workers = worker_count
+        parallel_timer = Timer("bench-sigma-parallel")
+        with parallel_timer:
+            with metrics().timer("stage.bench.parallel"):
+                evaluator.sigma_many([[candidate] for candidate in candidates])
+        _print_parallel_line(
+            worker_count, timer.elapsed, parallel_timer.elapsed, "sigma"
+        )
     registry = metrics()
     if registry.enabled:
         for metric_name, value in sorted(registry.counter_values().items()):
@@ -523,6 +564,21 @@ def _cmd_bench(args) -> int:
         f"{model.name} on {args.dataset} (scale={args.scale}): "
         f"{args.runs} runs in {timer.elapsed:.3f}s = {rate:.1f} runs/s"
     )
+    if args.workers is not None and model.stochastic:
+        from repro.diffusion.parallel import ParallelMonteCarloSimulator
+        from repro.exec.pool import resolve_workers
+
+        worker_count = resolve_workers(args.workers, args.runs)
+        simulator = ParallelMonteCarloSimulator(
+            model, runs=args.runs, max_hops=args.hops, processes=worker_count
+        )
+        parallel_timer = Timer("bench-parallel")
+        with parallel_timer:
+            with metrics().timer("stage.bench.parallel"):
+                simulator.simulate(indexed, seeds, rng=rng)
+        _print_parallel_line(
+            worker_count, timer.elapsed, parallel_timer.elapsed, model.name
+        )
     registry = metrics()
     if registry.enabled:
         for metric_name, value in sorted(registry.counter_values().items()):

@@ -1,12 +1,16 @@
 """Parallel Monte-Carlo simulation across processes.
 
 The OPOAO experiments average hundreds of independent replicas; replicas
-never communicate, so they parallelise perfectly. This module fans a
-:class:`~repro.diffusion.simulation.MonteCarloSimulator`-equivalent run
-out over a :mod:`multiprocessing` pool while preserving **bit-identical
-results**: replica ``i`` always runs on ``rng.replica(i)`` no matter which
-worker executes it, so serial and parallel runs aggregate exactly the same
-outcomes (tested in ``tests/diffusion/test_parallel.py``).
+never communicate, so they parallelise perfectly. This module fans the
+replica loop of :class:`~repro.diffusion.simulation.MonteCarloSimulator`
+out over the :mod:`repro.exec` execution layer while preserving
+**bit-identical results**: replica ``i`` always runs on
+``rng.replica(i)`` no matter which worker executes it, workers ship each
+replica home as a compact :class:`ReplicaRecord`, and the parent folds
+the records into the aggregate **in replica order** — so the resulting
+:class:`~repro.diffusion.simulation.SimulationAggregate` is exactly the
+one a serial run produces (same means, same Welford variance, tested in
+``tests/diffusion/test_parallel.py``).
 
 Deterministic models short-circuit to a single in-process run, exactly as
 the serial simulator does.
@@ -14,79 +18,92 @@ the serial simulator does.
 
 from __future__ import annotations
 
-import multiprocessing
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import List, NamedTuple, Optional, Sequence, Tuple, Union
 
 from repro.diffusion.base import (
     DEFAULT_MAX_HOPS,
+    INFECTED,
+    PROTECTED,
     DiffusionModel,
     SeedSets,
 )
 from repro.diffusion.simulation import MonteCarloSimulator, SimulationAggregate
+from repro.exec.pool import ParallelExecutor, resolve_workers, split_chunks
 from repro.graph.compact import IndexedDiGraph
-from repro.obs.registry import MetricsRegistry, metrics, use_registry
+from repro.obs.registry import metrics
 from repro.rng import RngStream
 from repro.utils.validation import check_positive
 
-__all__ = ["ParallelMonteCarloSimulator"]
-
-# Per-worker simulation state, installed once by the pool initializer.
-# Shipping the graph inside every chunk payload pickled it once per chunk;
-# the initializer route pickles it once per *worker*, and each chunk
-# message shrinks to a list of replica indices.
-_WORKER: Dict[str, object] = {}
+__all__ = ["ParallelMonteCarloSimulator", "ReplicaRecord"]
 
 
-def _init_worker(
-    model: DiffusionModel,
-    graph: IndexedDiGraph,
-    seeds: SeedSets,
-    base_seed: int,
-    max_hops: int,
-    collect_metrics: bool = False,
-) -> None:
-    """Pool initializer: stash the shared run state in this worker process."""
-    _WORKER["model"] = model
-    _WORKER["graph"] = graph
-    _WORKER["seeds"] = seeds
-    _WORKER["base"] = RngStream(base_seed, name="parallel-worker")
-    _WORKER["max_hops"] = max_hops
-    _WORKER["collect_metrics"] = collect_metrics
+class ReplicaRecord(NamedTuple):
+    """One replica's outcome, reduced to the integers aggregation needs.
 
-
-def _run_chunk(
-    replica_indices: Sequence[int],
-) -> Tuple[SimulationAggregate, Optional[Dict[str, Any]]]:
-    """Worker: run a slice of replicas; return (partial aggregate, metrics).
-
-    When the parent simulates under a real registry, each worker
-    accumulates into its own :class:`MetricsRegistry` and ships a
-    picklable snapshot home — the snapshot-and-merge protocol that keeps
-    parallel work counters identical to a serial run's.
+    Workers ship these instead of full outcome objects: the pickled
+    payload stays small and the parent can rebuild serial-identical
+    aggregates and bridge-end statistics without re-touching the states.
     """
-    model: DiffusionModel = _WORKER["model"]
-    graph: IndexedDiGraph = _WORKER["graph"]
-    seeds: SeedSets = _WORKER["seeds"]
-    base: RngStream = _WORKER["base"]
-    max_hops: int = _WORKER["max_hops"]
-    collect: bool = bool(_WORKER.get("collect_metrics", False))
-    aggregate = SimulationAggregate(max_hops)
 
-    def run_all() -> None:
-        for replica_index in replica_indices:
-            outcome = model.run(
-                graph, seeds, rng=base.replica(replica_index), max_hops=max_hops
-            )
-            aggregate.add(outcome)
+    #: cumulative infected count at hop 0..max_hops (clamped like the trace).
+    infected_series: Tuple[int, ...]
+    #: cumulative protected count at hop 0..max_hops.
+    protected_series: Tuple[int, ...]
+    final_infected: int
+    final_protected: int
+    #: (infected, protected, untouched) counts over the requested bridge ends.
+    end_counts: Tuple[int, int, int]
 
-    if not collect:
-        run_all()
-        return aggregate, None
-    registry = MetricsRegistry()
-    with use_registry(registry):
-        run_all()
-    registry.counter("sim.worlds").add(len(replica_indices))
-    return aggregate, registry.snapshot()
+
+def record_outcome(outcome, max_hops: int, end_ids: Sequence[int]) -> ReplicaRecord:
+    """Reduce one diffusion outcome to its :class:`ReplicaRecord`."""
+    trace = outcome.trace
+    infected = protected = untouched = 0
+    for end in end_ids:
+        state = outcome.states[end]
+        if state == INFECTED:
+            infected += 1
+        elif state == PROTECTED:
+            protected += 1
+        else:
+            untouched += 1
+    return ReplicaRecord(
+        tuple(trace.infected_at(hop) for hop in range(max_hops + 1)),
+        tuple(trace.protected_at(hop) for hop in range(max_hops + 1)),
+        outcome.infected_count,
+        outcome.protected_count,
+        (infected, protected, untouched),
+    )
+
+
+def _simulate_worker_setup(graph, payload):
+    """Pool worker set-up: the shared run state, keyed off the shipped seed."""
+    return {
+        "model": payload["model"],
+        "graph": graph,
+        "seeds": payload["seeds"],
+        "base": RngStream(payload["seed"], name="parallel-worker"),
+        "max_hops": payload["max_hops"],
+        "end_ids": payload["end_ids"],
+    }
+
+
+def _simulate_worker_chunk(state, replica_indices) -> List[ReplicaRecord]:
+    """Pool worker task: run a chunk of replicas on their index streams."""
+    model: DiffusionModel = state["model"]
+    records = []
+    for replica_index in replica_indices:
+        outcome = model.run(
+            state["graph"],
+            state["seeds"],
+            rng=state["base"].replica(replica_index),
+            max_hops=state["max_hops"],
+        )
+        records.append(record_outcome(outcome, state["max_hops"], state["end_ids"]))
+    registry = metrics()
+    if registry.enabled:
+        registry.counter("sim.worlds").add(len(replica_indices))
+    return records
 
 
 class ParallelMonteCarloSimulator:
@@ -97,11 +114,14 @@ class ParallelMonteCarloSimulator:
         runs: replica count (stochastic models).
         max_hops: horizon per run.
         processes: worker count; default = CPU count, capped at ``runs``.
+        share: graph publication mode for the pool (see
+            :func:`repro.exec.shm.publish_graph`).
 
     Note:
         The callback-per-outcome hook of the serial simulator is not
-        offered here (outcomes stay in the workers); use the serial
-        simulator when per-run inspection is needed.
+        offered here (outcomes stay in the workers); callers needing
+        per-replica data use :meth:`simulate_detailed`, which returns
+        the workers' :class:`ReplicaRecord` list in replica order.
     """
 
     def __init__(
@@ -110,6 +130,7 @@ class ParallelMonteCarloSimulator:
         runs: int = 200,
         max_hops: int = DEFAULT_MAX_HOPS,
         processes: Optional[int] = None,
+        share: str = "auto",
     ) -> None:
         self.model = model
         self.runs = int(check_positive(runs, "runs"))
@@ -117,12 +138,7 @@ class ParallelMonteCarloSimulator:
         if processes is not None:
             processes = int(check_positive(processes, "processes"))
         self.processes = processes
-
-    def _chunks(self, worker_count: int) -> List[List[int]]:
-        chunks: List[List[int]] = [[] for _ in range(worker_count)]
-        for replica_index in range(self.runs):
-            chunks[replica_index % worker_count].append(replica_index)
-        return [chunk for chunk in chunks if chunk]
+        self.share = share
 
     def simulate(
         self,
@@ -130,42 +146,69 @@ class ParallelMonteCarloSimulator:
         seeds: SeedSets,
         rng: Optional[RngStream] = None,
     ) -> SimulationAggregate:
-        """Run all replicas across the pool and merge the aggregates."""
+        """Run all replicas across the pool and aggregate in replica order."""
+        aggregate, _records = self.simulate_detailed(graph, seeds, rng=rng)
+        return aggregate
+
+    def simulate_detailed(
+        self,
+        graph: IndexedDiGraph,
+        seeds: SeedSets,
+        rng: Optional[RngStream] = None,
+        end_ids: Sequence[int] = (),
+    ) -> Tuple[SimulationAggregate, List[ReplicaRecord]]:
+        """Like :meth:`simulate`, also returning every replica's record.
+
+        ``end_ids`` names the bridge ends whose final states each record
+        classifies (``end_counts``); evaluation uses this to rebuild
+        serial-identical bridge statistics without shipping full state
+        arrays home.
+        """
+        end_ids = tuple(end_ids)
         if not self.model.stochastic:
             serial = MonteCarloSimulator(self.model, runs=1, max_hops=self.max_hops)
-            return serial.simulate(graph, seeds, rng=rng)
+            records: List[ReplicaRecord] = []
+
+            def collect(outcome) -> None:
+                records.append(record_outcome(outcome, self.max_hops, end_ids))
+
+            aggregate = serial.simulate(graph, seeds, rng=rng, on_outcome=collect)
+            return aggregate, records
         if rng is None:
             raise ValueError(f"{self.model.name} is stochastic and needs an RngStream")
 
         registry = metrics()
-        worker_count = self.processes or multiprocessing.cpu_count()
-        worker_count = max(1, min(worker_count, self.runs))
-        chunks = self._chunks(worker_count)
-        init_args = (
-            self.model, graph, seeds, rng.seed, self.max_hops, registry.enabled
+        workers: Union[int, str] = (
+            self.processes if self.processes is not None else "auto"
         )
+        executor = ParallelExecutor(workers, share=self.share)
+        payload = {
+            "model": self.model,
+            "seeds": seeds,
+            "seed": rng.seed,
+            "max_hops": self.max_hops,
+            "end_ids": end_ids,
+        }
+        worker_count = resolve_workers(workers, self.runs)
+        chunks = split_chunks(list(range(self.runs)), worker_count)
         with registry.timer("time.simulate.parallel"):
-            if worker_count == 1:
-                saved = dict(_WORKER)
-                try:
-                    _init_worker(*init_args)
-                    partials = [_run_chunk(chunks[0])]
-                finally:
-                    _WORKER.clear()
-                    _WORKER.update(saved)
-            else:
-                with multiprocessing.Pool(
-                    processes=worker_count, initializer=_init_worker, initargs=init_args
-                ) as pool:
-                    partials = pool.map(_run_chunk, chunks)
-
-        merged = partials[0][0]
-        for partial, _snapshot in partials[1:]:
-            merged = merged.merge(partial)
-        for _partial, snapshot in partials:
-            if snapshot is not None:
-                registry.merge_snapshot(snapshot)
-        return merged
+            chunk_results = executor.map_chunks(
+                _simulate_worker_setup,
+                _simulate_worker_chunk,
+                payload,
+                chunks,
+                graph=graph,
+            )
+        records = [record for chunk in chunk_results for record in chunk]
+        aggregate = SimulationAggregate(self.max_hops)
+        for record in records:  # replica order -> bit-identical to serial
+            aggregate.add_series(
+                record.infected_series,
+                record.protected_series,
+                record.final_infected,
+                record.final_protected,
+            )
+        return aggregate, records
 
     def __repr__(self) -> str:
         return (

@@ -10,7 +10,7 @@ a single run.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence
 
 from repro.diffusion.base import (
     DEFAULT_MAX_HOPS,
@@ -65,6 +65,33 @@ class SimulationAggregate:
             self._protected_stats[hop].add(outcome.trace.protected_at(hop))
         self.final_infected.add(outcome.infected_count)
         self.final_protected.add(outcome.protected_count)
+
+    def add_series(
+        self,
+        infected_series: Sequence[int],
+        protected_series: Sequence[int],
+        final_infected: int,
+        final_protected: int,
+    ) -> None:
+        """Fold one replica's pre-extracted series in.
+
+        The parallel simulator's workers ship each replica as plain
+        integer series (already clamped to ``hops + 1`` entries); folding
+        them here in replica order feeds the same values to the same
+        :class:`RunningStats` sequence as :meth:`add` would on the
+        original outcomes — the aggregate is bit-identical to serial.
+        """
+        if len(infected_series) != self.hops + 1:
+            raise ValueError(
+                f"series must have {self.hops + 1} entries, "
+                f"got {len(infected_series)}"
+            )
+        self.runs += 1
+        for hop in range(self.hops + 1):
+            self._infected_stats[hop].add(infected_series[hop])
+            self._protected_stats[hop].add(protected_series[hop])
+        self.final_infected.add(final_infected)
+        self.final_protected.add(final_protected)
 
     def add_batch(self, batch) -> None:
         """Fold a kernel :class:`~repro.kernels.base.BatchOutcome` in.

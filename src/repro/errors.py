@@ -24,6 +24,7 @@ __all__ = [
     "KernelError",
     "BackendUnavailableError",
     "UnsupportedModelError",
+    "ExecError",
 ]
 
 
@@ -109,3 +110,7 @@ class BackendUnavailableError(KernelError):
 
 class UnsupportedModelError(KernelError):
     """A diffusion model has no batched-kernel equivalent."""
+
+
+class ExecError(ReproError):
+    """The parallel execution layer was configured or driven incorrectly."""

@@ -1,0 +1,27 @@
+"""Shared-memory multicore execution layer.
+
+``repro.exec`` fans deterministic work out over a process pool while
+keeping results **bit-identical** to a serial run:
+
+* :func:`~repro.exec.shm.publish_graph` ships one immutable
+  :class:`~repro.graph.compact.IndexedDiGraph` to every worker — through
+  ``multiprocessing.shared_memory`` CSR segments when NumPy is present,
+  or pickled once per worker otherwise;
+* :class:`~repro.exec.pool.ParallelExecutor` schedules contiguous,
+  index-ordered chunks, merges results in chunk order, and folds worker
+  metrics back through the :mod:`repro.obs` snapshot-and-merge protocol.
+
+See ``docs/parallel.md`` for the determinism contract.
+"""
+
+from repro.exec.pool import ParallelExecutor, resolve_workers, split_chunks
+from repro.exec.shm import GraphPublication, materialize_graph, publish_graph
+
+__all__ = [
+    "GraphPublication",
+    "ParallelExecutor",
+    "materialize_graph",
+    "publish_graph",
+    "resolve_workers",
+    "split_chunks",
+]

@@ -1,0 +1,197 @@
+"""Deterministic chunked scheduling over a process pool.
+
+The execution contract every consumer (batched σ̂ evaluation, RR-set
+sampling, Monte-Carlo replicas) relies on:
+
+* **Work item ``i`` is self-describing.** Chunks carry the items
+  themselves (candidate id lists, world indices, replica indices) and
+  every task derives its randomness from the item — ``rng.replica(i)``,
+  world stream ``i`` — never from which worker runs it or in what order.
+* **Chunks are contiguous and merged in index order.** ``pool.map``
+  preserves input order, so flattening the chunk results reproduces the
+  serial iteration order exactly; serial and parallel runs are
+  bit-identical.
+* **Worker set-up work is never counted.** The initializer installs the
+  null metrics registry and runs the consumer's ``setup`` under it:
+  redundant per-worker preparation (attaching the graph, re-sampling the
+  shared world batch, re-running a baseline race) would otherwise
+  multiply work counters by the worker count. Each *chunk* then runs
+  under a fresh registry whose snapshot ships home and is merged in
+  chunk order — total counters equal a serial run's.
+
+The pool start method is the platform default (``fork`` on Linux);
+worker state lives in the module-level ``_WORKER_STATE`` dict, which the
+initializer clears first — a forked worker inherits the parent's (or a
+previous pool's) module state, and stale entries must never leak into a
+new pool (regression-tested in ``tests/exec/test_pool.py``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ExecError
+from repro.exec.shm import materialize_graph, publish_graph
+from repro.obs.registry import MetricsRegistry, metrics, set_registry, use_registry
+
+__all__ = ["ParallelExecutor", "resolve_workers", "split_chunks"]
+
+#: items each worker should see across a map, on average; more chunks
+#: than workers smooths imbalance without shrinking chunks to nothing.
+CHUNKS_PER_WORKER = 4
+
+# Per-worker state installed by the pool initializer. Module-level so
+# the (picklable) _run_chunk function can reach it.
+_WORKER_STATE: Dict[str, Any] = {}
+
+
+def resolve_workers(
+    workers: Union[int, str, None], items: Optional[int] = None
+) -> int:
+    """Turn a worker request into a concrete count.
+
+    ``None`` and ``1`` mean serial; ``0`` and ``"auto"`` mean one worker
+    per CPU; any other positive int is taken literally. When ``items``
+    is given the count is capped by it (no point spawning idle workers).
+    """
+    if workers is None:
+        count = 1
+    elif workers == "auto" or workers == 0:
+        count = multiprocessing.cpu_count()
+    else:
+        count = int(workers)
+        if count < 0:
+            raise ExecError(f"workers must be >= 0, got {workers!r}")
+    if items is not None:
+        count = min(count, items)
+    return max(1, count)
+
+
+def split_chunks(
+    items: Sequence[Any],
+    worker_count: int,
+    per_worker: int = CHUNKS_PER_WORKER,
+) -> List[List[Any]]:
+    """Deterministic contiguous split of ``items`` into balanced chunks.
+
+    Aims for ``worker_count * per_worker`` chunks (never more than
+    ``len(items)``); sizes differ by at most one and concatenating the
+    chunks reproduces ``items`` exactly — the property the executor's
+    index-order merge relies on.
+    """
+    items = list(items)
+    if not items:
+        return []
+    chunk_count = max(1, min(len(items), worker_count * per_worker))
+    base, extra = divmod(len(items), chunk_count)
+    chunks: List[List[Any]] = []
+    start = 0
+    for position in range(chunk_count):
+        size = base + (1 if position < extra else 0)
+        chunks.append(items[start:start + size])
+        start += size
+    return chunks
+
+
+def _init_worker(setup, task, payload, graph_handle, collect) -> None:
+    """Pool initializer: build this worker's state from the shipped payload."""
+    # A forked worker inherits the parent's module state (and, if the
+    # process hosted an earlier pool, its leftovers): start clean so no
+    # previous graph or task can leak into this pool.
+    _WORKER_STATE.clear()
+    set_registry(None)  # set-up work is uncounted; chunks opt back in
+    graph = materialize_graph(graph_handle)
+    state = setup(graph, payload)
+    _WORKER_STATE["task"] = task
+    _WORKER_STATE["state"] = state
+    _WORKER_STATE["collect"] = bool(collect)
+
+
+def _run_chunk(chunk) -> Tuple[Any, Optional[Dict[str, Any]]]:
+    """Worker: run one chunk; return (result, metrics snapshot or None)."""
+    task = _WORKER_STATE["task"]
+    state = _WORKER_STATE["state"]
+    if not _WORKER_STATE["collect"]:
+        return task(state, chunk), None
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        result = task(state, chunk)
+    return result, registry.snapshot()
+
+
+class ParallelExecutor:
+    """Deterministic fan-out of chunked work over a process pool.
+
+    Args:
+        workers: worker request (see :func:`resolve_workers`); ``None``
+            or ``1`` runs everything inline with zero pool overhead.
+        share: graph publication mode (see
+            :func:`~repro.exec.shm.publish_graph`).
+
+    The consumer supplies two picklable module-level functions:
+
+    * ``setup(graph, payload) -> state`` — runs once per worker under
+      the null registry (uncounted);
+    * ``task(state, chunk) -> result`` — runs once per chunk under a
+      fresh registry whose snapshot is merged home in chunk order.
+    """
+
+    __slots__ = ("workers", "share")
+
+    def __init__(
+        self, workers: Union[int, str, None] = None, share: str = "auto"
+    ) -> None:
+        self.workers = workers
+        self.share = share
+
+    def map_chunks(
+        self,
+        setup: Callable[[Any, Any], Any],
+        task: Callable[[Any, Any], Any],
+        payload: Any,
+        chunks: Sequence[Any],
+        graph=None,
+    ) -> List[Any]:
+        """Run ``task`` over every chunk; results come back in chunk order.
+
+        Serial (one effective worker) and parallel execution produce
+        identical result lists and — via snapshot merging — identical
+        metric totals in the caller's registry.
+        """
+        chunks = list(chunks)
+        if not chunks:
+            return []
+        registry = metrics()
+        worker_count = resolve_workers(self.workers, len(chunks))
+        if worker_count <= 1:
+            # Inline path: same code, no pool. Set-up stays uncounted
+            # (exactly as in a worker); chunks run under the caller's
+            # registry directly, which is what a serial run does.
+            with use_registry(None):
+                state = setup(graph, payload)
+            return [task(state, chunk) for chunk in chunks]
+
+        publication = publish_graph(graph, self.share)
+        try:
+            with registry.timer("time.exec.pool"):
+                with multiprocessing.Pool(
+                    processes=worker_count,
+                    initializer=_init_worker,
+                    initargs=(
+                        setup, task, payload, publication.handle,
+                        registry.enabled,
+                    ),
+                ) as pool:
+                    pairs = pool.map(_run_chunk, chunks)
+        finally:
+            publication.close()
+        results = []
+        for result, snapshot in pairs:  # chunk order == index order
+            results.append(result)
+            if snapshot is not None:
+                registry.merge_snapshot(snapshot)
+        return results
+
+    def __repr__(self) -> str:
+        return f"ParallelExecutor(workers={self.workers!r}, share={self.share!r})"

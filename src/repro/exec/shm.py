@@ -1,0 +1,193 @@
+"""Graph publication: ship one immutable graph to many pool workers.
+
+The graphs the simulators and samplers traverse are frozen
+:class:`~repro.graph.compact.IndexedDiGraph` snapshots. Pickling one
+into every worker costs O(E) bytes per worker *through a pipe*; for the
+enron-scale replicas that serialization dominates pool start-up. With
+NumPy available the graph's :class:`~repro.graph.compact.CSRArrays`
+export is instead written once into ``multiprocessing.shared_memory``
+segments (``indptr``/``indices`` as int64, ``weights`` as float64) and
+workers rebuild the graph from the mapped arrays — the only pickled
+payload is the label tuple and three segment names.
+
+Without NumPy the handle simply carries the graph and pickles once per
+worker (the PR-1 initializer behavior) — same results, slower start-up.
+
+Round-tripping is exact: ``materialize_graph(publish_graph(g).handle)``
+reproduces ``g``'s labels, adjacency, and weights bit-for-bit (float64
+survives the segment unchanged), which is what keeps parallel runs
+bit-identical to serial ones.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import ExecError
+from repro.graph.compact import IndexedDiGraph
+
+try:  # pragma: no cover - exercised via both CI matrix legs
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+
+__all__ = [
+    "SHARE_MODES",
+    "GraphPublication",
+    "publish_graph",
+    "materialize_graph",
+]
+
+#: accepted ``share`` modes: ``"auto"`` picks shm when NumPy is present.
+SHARE_MODES = ("auto", "shm", "pickle")
+
+
+class _PickleHandle:
+    """Fallback handle: the graph itself rides in the initargs pickle."""
+
+    __slots__ = ("graph",)
+
+    def __init__(self, graph: IndexedDiGraph) -> None:
+        self.graph = graph
+
+
+class _ShmHandle:
+    """Names and shapes of the shared CSR segments (cheap to pickle)."""
+
+    __slots__ = ("labels", "node_count", "edge_count", "segment_names")
+
+    def __init__(
+        self,
+        labels: Tuple[object, ...],
+        node_count: int,
+        edge_count: int,
+        segment_names: Tuple[str, str, str],
+    ) -> None:
+        self.labels = labels
+        self.node_count = node_count
+        self.edge_count = edge_count
+        self.segment_names = segment_names
+
+
+class GraphPublication:
+    """Owns the shared segments backing a published graph.
+
+    The parent keeps the publication alive for the pool's lifetime and
+    calls :meth:`close` after the pool has joined; workers only ever
+    attach read-only and close their mapping. Usable as a context
+    manager.
+    """
+
+    __slots__ = ("handle", "_segments")
+
+    def __init__(self, handle, segments) -> None:
+        self.handle = handle
+        self._segments = list(segments)
+
+    def close(self) -> None:
+        """Release and unlink every owned segment (idempotent)."""
+        segments, self._segments = self._segments, []
+        for segment in segments:
+            try:
+                segment.close()
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "GraphPublication":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _share_segments(graph: IndexedDiGraph) -> GraphPublication:
+    from multiprocessing import shared_memory
+
+    csr = graph.csr()
+    segments = []
+    names = []
+    try:
+        for values, dtype in (
+            (csr.indptr, np.int64),
+            (csr.indices, np.int64),
+            (csr.weights, np.float64),
+        ):
+            source = np.asarray(values, dtype=dtype)
+            segment = shared_memory.SharedMemory(
+                create=True, size=max(1, source.nbytes)
+            )
+            view = np.ndarray(source.shape, dtype=dtype, buffer=segment.buf)
+            view[:] = source
+            segments.append(segment)
+            names.append(segment.name)
+    except BaseException:
+        GraphPublication(None, segments).close()
+        raise
+    handle = _ShmHandle(
+        graph.labels, graph.node_count, graph.edge_count, tuple(names)
+    )
+    return GraphPublication(handle, segments)
+
+
+def publish_graph(
+    graph: Optional[IndexedDiGraph], share: str = "auto"
+) -> GraphPublication:
+    """Prepare ``graph`` for distribution to pool workers.
+
+    Args:
+        graph: the graph to publish, or ``None`` (graph-free workloads).
+        share: ``"shm"`` (requires NumPy), ``"pickle"``, or ``"auto"``
+            (shm when NumPy is importable, else pickle).
+
+    Returns:
+        A :class:`GraphPublication` whose picklable ``handle`` goes into
+        the pool initargs; the publication must stay open until the pool
+        has joined, then be :meth:`~GraphPublication.close`\\ d.
+    """
+    if share not in SHARE_MODES:
+        raise ExecError(f"share must be one of {SHARE_MODES}, got {share!r}")
+    if graph is None:
+        return GraphPublication(None, ())
+    if share == "pickle" or (share == "auto" and np is None):
+        return GraphPublication(_PickleHandle(graph), ())
+    if np is None:
+        raise ExecError(
+            "share='shm' requires NumPy; install the 'perf' extra or use "
+            "share='pickle'"
+        )
+    return _share_segments(graph)
+
+
+def materialize_graph(handle) -> Optional[IndexedDiGraph]:
+    """Rebuild the published graph inside a worker process.
+
+    Shared-memory handles attach each segment, copy the arrays out, and
+    close the mapping immediately (the parent owns the segment lifetime);
+    pickle handles just return the graph they carry.
+    """
+    if handle is None:
+        return None
+    if isinstance(handle, _PickleHandle):
+        return handle.graph
+    if not isinstance(handle, _ShmHandle):
+        raise ExecError(f"not a graph handle: {handle!r}")
+    if np is None:  # pragma: no cover - shm handles imply NumPy existed
+        raise ExecError("cannot attach shared CSR segments without NumPy")
+    from multiprocessing import shared_memory
+
+    shapes = (handle.node_count + 1, handle.edge_count, handle.edge_count)
+    dtypes = (np.int64, np.int64, np.float64)
+    arrays: List[list] = []
+    attached = []
+    try:
+        for name, shape, dtype in zip(handle.segment_names, shapes, dtypes):
+            segment = shared_memory.SharedMemory(name=name)
+            attached.append(segment)
+            view = np.ndarray((shape,), dtype=dtype, buffer=segment.buf)
+            arrays.append(view.tolist())  # copy out before the buffer closes
+    finally:
+        for segment in attached:
+            segment.close()
+    indptr, indices, weights = arrays
+    return IndexedDiGraph.from_csr(handle.labels, indptr, indices, weights)

@@ -9,12 +9,20 @@ through one kernel call. Greedy/CELF then spend one vectorized sweep per
 candidate instead of ``runs`` Python simulations, which is where the
 sigma-throughput acceptance number comes from.
 
+With ``workers`` configured, :meth:`BatchedSigmaEvaluator.sigma_many`
+fans a whole candidate round out over a :class:`repro.exec.pool.\
+ParallelExecutor`: every worker re-derives the *same* coupled world
+batch from the evaluator's seed (world sampling is a pure function of
+``(seed, spec, runs)``), races its candidate chunk against it, and the
+per-candidate σ̂ values come back in submission order — bit-identical to
+calling :meth:`~BatchedSigmaEvaluator.sigma` in a loop.
+
 Deterministic models (DOAM) collapse to a single world, making σ̂ exact.
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Union
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Union
 
 from repro.algorithms.base import SelectionContext
 from repro.diffusion.base import DEFAULT_MAX_HOPS, DiffusionModel, SeedSets
@@ -23,13 +31,89 @@ from repro.errors import KernelError, SelectionError
 from repro.graph.digraph import Node
 from repro.kernels.base import BatchOutcome, KernelBackend
 from repro.kernels.registry import BACKEND_AUTO, resolve_backend
-from repro.kernels.spec import spec_for_model
+from repro.kernels.spec import KernelSpec, spec_for_model
 from repro.kernels.worlds import WorldBatch, sample_shared_worlds
 from repro.obs.registry import metrics
 from repro.rng import RngStream, derive_seed
 from repro.utils.validation import check_positive
 
 __all__ = ["BatchedSigmaEvaluator"]
+
+
+def _sample_worlds(backend, graph, spec, runs, max_hops, seed, world_source):
+    """The evaluator's world batch — a pure function of its arguments.
+
+    Both the parent evaluator and every pool worker call this with the
+    same seed, so all processes replay identical coupled worlds.
+    """
+    if world_source == "shared":
+        return sample_shared_worlds(graph.csr(), spec, runs, max_hops, seed)
+    return backend.sample_worlds(graph, spec, runs, max_hops, seed)
+
+
+def _race_end_sets(
+    backend, graph, spec, worlds, rumor_ids, protector_ids, end_ids, max_hops
+) -> List[FrozenSet[int]]:
+    """Per-world sets of bridge ends the rumor takes under ``protector_ids``.
+
+    The single code path every σ̂ evaluation goes through — serial calls
+    and pool workers run exactly these kernel invocations, which is what
+    keeps their work counters and results identical.
+    """
+    seeds = SeedSets(rumors=rumor_ids, protectors=protector_ids)
+    outcome = backend.run_worlds(graph, spec, worlds, seeds, max_hops)
+    return [
+        outcome.infected_members(world, end_ids)
+        for world in range(outcome.batch)
+    ]
+
+
+def _sigma_from_race(state: Dict[str, object], protector_ids) -> float:
+    """One σ̂ evaluation against a prepared race state (shared with workers)."""
+    metrics().inc("selector.sigma_evaluations")
+    infected_now_per_world = _race_end_sets(
+        state["backend"], state["graph"], state["spec"], state["worlds"],
+        state["rumor_ids"], protector_ids, state["end_ids"], state["max_hops"],
+    )
+    saved_total = 0
+    for at_risk, infected_now in zip(state["baseline"], infected_now_per_world):
+        saved_total += len(at_risk - infected_now)
+    return saved_total / state["runs"]
+
+
+def _sigma_worker_setup(graph, payload):
+    """Pool worker set-up: rebuild the race state from primitives.
+
+    Runs under the null registry (see :mod:`repro.exec.pool`): the
+    re-derived world sample and baseline race are redundant per-worker
+    preparation and must not inflate the merged work counters.
+    """
+    backend = resolve_backend(payload["backend"])
+    spec = KernelSpec(payload["kind"], payload["probability"])
+    worlds = _sample_worlds(
+        backend, graph, spec, payload["runs"], payload["max_hops"],
+        payload["seed"], payload["world_source"],
+    )
+    state = {
+        "backend": backend,
+        "graph": graph,
+        "spec": spec,
+        "worlds": worlds,
+        "rumor_ids": payload["rumor_ids"],
+        "end_ids": payload["end_ids"],
+        "max_hops": payload["max_hops"],
+        "runs": payload["runs"],
+    }
+    state["baseline"] = _race_end_sets(
+        backend, graph, spec, worlds, payload["rumor_ids"], (),
+        payload["end_ids"], payload["max_hops"],
+    )
+    return state
+
+
+def _sigma_worker_chunk(state, chunk):
+    """Pool worker task: σ̂ for a chunk of resolved protector-id lists."""
+    return [_sigma_from_race(state, protector_ids) for protector_ids in chunk]
 
 
 class BatchedSigmaEvaluator:
@@ -49,6 +133,11 @@ class BatchedSigmaEvaluator:
         world_source: ``"native"`` (the backend's fastest sampler) or
             ``"shared"`` (the backend-agnostic sampler, bit-identical
             across backends — what the differential tests use).
+        workers: worker request for :meth:`sigma_many` (``None``/``1``
+            serial, ``0`` one per CPU); parallel evaluation is
+            bit-identical to serial, see ``docs/parallel.md``.
+        share: graph publication mode for the pool (``"auto"``/``"shm"``/
+            ``"pickle"``).
     """
 
     def __init__(
@@ -60,6 +149,8 @@ class BatchedSigmaEvaluator:
         rng: Optional[RngStream] = None,
         backend: Union[str, KernelBackend, None] = BACKEND_AUTO,
         world_source: str = "native",
+        workers: Union[int, str, None] = None,
+        share: str = "auto",
     ) -> None:
         self.context = context
         self.model = model or OPOAOModel()
@@ -78,6 +169,8 @@ class BatchedSigmaEvaluator:
                 f"got {world_source!r}"
             )
         self.world_source = world_source
+        self.workers = workers
+        self.share = share
         self.rng = rng or RngStream(name="sigma")
         self._rumor_ids = context.rumor_seed_ids()
         self._end_ids = context.bridge_end_ids()
@@ -89,23 +182,15 @@ class BatchedSigmaEvaluator:
     def worlds(self) -> WorldBatch:
         """The lazily-sampled coupled world batch (sampled exactly once)."""
         if self._worlds is None:
-            seed = derive_seed(self.rng.seed, "sigma-worlds")
-            if self.world_source == "shared":
-                self._worlds = sample_shared_worlds(
-                    self.context.indexed.csr(),
-                    self.spec,
-                    self.runs,
-                    self.max_hops,
-                    seed,
-                )
-            else:
-                self._worlds = self.backend.sample_worlds(
-                    self.context.indexed,
-                    self.spec,
-                    self.runs,
-                    self.max_hops,
-                    seed,
-                )
+            self._worlds = _sample_worlds(
+                self.backend,
+                self.context.indexed,
+                self.spec,
+                self.runs,
+                self.max_hops,
+                derive_seed(self.rng.seed, "sigma-worlds"),
+                self.world_source,
+            )
         return self._worlds
 
     def run_batch(self, protector_ids: Sequence[int]) -> BatchOutcome:
@@ -119,11 +204,10 @@ class BatchedSigmaEvaluator:
         self, protector_ids: Sequence[int]
     ) -> List[FrozenSet[int]]:
         """Per-world sets of bridge ends the rumor takes under ``A``."""
-        outcome = self.run_batch(protector_ids)
-        return [
-            outcome.infected_members(world, self._end_ids)
-            for world in range(outcome.batch)
-        ]
+        return _race_end_sets(
+            self.backend, self.context.indexed, self.spec, self.worlds,
+            self._rumor_ids, protector_ids, self._end_ids, self.max_hops,
+        )
 
     @property
     def baseline(self) -> List[FrozenSet[int]]:
@@ -141,17 +225,72 @@ class BatchedSigmaEvaluator:
             )
         return protector_ids
 
+    def _race_state(self) -> Dict[str, object]:
+        """This evaluator's own race state, in worker-state shape."""
+        return {
+            "backend": self.backend,
+            "graph": self.context.indexed,
+            "spec": self.spec,
+            "worlds": self.worlds,
+            "rumor_ids": self._rumor_ids,
+            "end_ids": self._end_ids,
+            "max_hops": self.max_hops,
+            "runs": self.runs,
+            "baseline": self.baseline,
+        }
+
+    def _worker_payload(self) -> Dict[str, object]:
+        """Primitives a pool worker rebuilds the race state from."""
+        return {
+            "backend": self.backend.name,
+            "kind": self.spec.kind,
+            "probability": self.spec.probability,
+            "runs": self.runs,
+            "max_hops": self.max_hops,
+            "seed": derive_seed(self.rng.seed, "sigma-worlds"),
+            "world_source": self.world_source,
+            "rumor_ids": list(self._rumor_ids),
+            "end_ids": list(self._end_ids),
+        }
+
     def sigma(self, protectors: Iterable[Node]) -> float:
         """σ̂(A): mean size of the protector blocking set over the worlds."""
         protector_ids = self._protector_ids(protectors)
         self.evaluations += 1
-        metrics().inc("selector.sigma_evaluations")
-        saved_total = 0
-        for at_risk, infected_now in zip(
-            self.baseline, self.infected_end_sets(protector_ids)
-        ):
-            saved_total += len(at_risk - infected_now)
-        return saved_total / self.runs
+        return _sigma_from_race(self._race_state(), protector_ids)
+
+    def sigma_many(
+        self, protector_sets: Sequence[Iterable[Node]]
+    ) -> List[float]:
+        """σ̂ for many candidate sets, fanned out over the worker pool.
+
+        Bit-identical to ``[self.sigma(s) for s in protector_sets]`` in
+        values, order, and merged work counters: the parent races its
+        own baseline exactly once (counted, as in serial), workers
+        re-derive worlds and baseline silently, and each candidate's
+        race is counted exactly once in whichever process runs it.
+        """
+        id_sets = [self._protector_ids(sets) for sets in protector_sets]
+        if not id_sets:
+            return []
+        from repro.exec.pool import ParallelExecutor, resolve_workers, split_chunks
+
+        worker_count = resolve_workers(self.workers, len(id_sets))
+        if worker_count <= 1:
+            state = self._race_state()
+            self.evaluations += len(id_sets)
+            return [_sigma_from_race(state, ids) for ids in id_sets]
+        self.baseline  # noqa: B018 - parent samples + races once, counted
+        executor = ParallelExecutor(worker_count, share=self.share)
+        chunk_results = executor.map_chunks(
+            _sigma_worker_setup,
+            _sigma_worker_chunk,
+            self._worker_payload(),
+            split_chunks(id_sets, worker_count),
+            graph=self.context.indexed,
+        )
+        self.evaluations += len(id_sets)
+        return [value for chunk in chunk_results for value in chunk]
 
     def protected_fraction(self, protectors: Iterable[Node]) -> float:
         """Mean fraction of bridge ends not infected at the end."""
@@ -169,5 +308,5 @@ class BatchedSigmaEvaluator:
         return (
             f"BatchedSigmaEvaluator(model={self.model.name}, "
             f"backend={self.backend.name}, runs={self.runs}, "
-            f"max_hops={self.max_hops})"
+            f"max_hops={self.max_hops}, workers={self.workers!r})"
         )

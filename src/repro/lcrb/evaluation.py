@@ -97,6 +97,7 @@ def evaluate_protectors(
     max_hops: int = DEFAULT_MAX_HOPS,
     rng: Optional[RngStream] = None,
     backend: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> EvaluationResult:
     """Simulate an instance with a given protector set and aggregate.
 
@@ -111,11 +112,23 @@ def evaluate_protectors(
         rng: base stream (required for stochastic models).
         backend: optional kernel backend name for batched simulation
             (see :class:`~repro.diffusion.simulation.MonteCarloSimulator`).
+        workers: worker request for process-parallel replicas (``None``/
+            ``1`` serial, ``0`` one per CPU); results are bit-identical
+            to the serial per-replica path. Ignored with ``backend``
+            (the batched kernel already races all replicas at once).
     """
     indexed = context.indexed
     protector_ids = indexed.indices(dict.fromkeys(protectors))
     seeds = SeedSets(rumors=context.rumor_seed_ids(), protectors=protector_ids)
     end_ids = context.bridge_end_ids()
+
+    if workers is not None and backend is None and model.stochastic:
+        from repro.exec.pool import resolve_workers
+
+        if resolve_workers(workers, runs) > 1:
+            return _evaluate_parallel(
+                indexed, seeds, end_ids, model, runs, max_hops, rng, workers
+            )
 
     simulator = MonteCarloSimulator(
         model, runs=runs, max_hops=max_hops, backend=backend
@@ -140,6 +153,33 @@ def evaluate_protectors(
         result.bridge_untouched.add(untouched)
 
     result.aggregate = simulator.simulate(indexed, seeds, rng=rng, on_outcome=collect)
+    return result
+
+
+def _evaluate_parallel(
+    indexed, seeds, end_ids, model, runs, max_hops, rng, workers
+) -> EvaluationResult:
+    """Process-parallel evaluation, bit-identical to the serial path.
+
+    Workers ship per-replica :class:`~repro.diffusion.parallel.\
+ReplicaRecord` data; folding it here in replica order feeds the exact
+    per-replica values the serial ``collect`` callback would have seen.
+    """
+    from repro.diffusion.parallel import ParallelMonteCarloSimulator
+
+    simulator = ParallelMonteCarloSimulator(
+        model, runs=runs, max_hops=max_hops, processes=None if workers == 0 else workers
+    )
+    aggregate, records = simulator.simulate_detailed(
+        indexed, seeds, rng=rng, end_ids=end_ids
+    )
+    result = EvaluationResult(aggregate, bridge_total=len(end_ids))
+    for record in records:
+        result.final_infected_samples.append(record.final_infected)
+        infected, protected, untouched = record.end_counts
+        result.bridge_infected.add(infected)
+        result.bridge_protected.add(protected)
+        result.bridge_untouched.add(untouched)
     return result
 
 

@@ -55,6 +55,7 @@ __all__ = [
     "OPOAORRSampler",
     "DOAMRRSampler",
     "sampler_for",
+    "rebuild_sampler",
     "SKETCH_SEMANTICS",
 ]
 
@@ -176,6 +177,21 @@ class OPOAORRSampler:
                     heappush(heap, (-candidate, tail))
         return tuple(sorted(slack))
 
+    def worker_payload(self) -> Dict[str, object]:
+        """Graph-free description a pool worker rebuilds this sampler from.
+
+        Only the base seed matters for reproduction: world ``i`` derives
+        everything from ``rng.replica(i)``, so a rebuilt sampler yields
+        bit-identical :class:`WorldSample`\\ s for every index.
+        """
+        return {
+            "semantics": "opoao",
+            "rumor_ids": list(self.rumor_ids),
+            "end_ids": list(self.end_ids),
+            "steps": self.steps,
+            "seed": self.rng.seed,
+        }
+
     def sample_world(self, index: int) -> WorldSample:
         """Sample world ``index``: one rumor record, one RR set per at-risk end."""
         world = self.rng.replica(index)
@@ -256,6 +272,16 @@ class DOAMRRSampler:
                     queue.append(tail)
         return tuple(sorted(distance))
 
+    def worker_payload(self) -> Dict[str, object]:
+        """Graph-free description a pool worker rebuilds this sampler from."""
+        return {
+            "semantics": "doam",
+            "rumor_ids": list(self.rumor_ids),
+            "end_ids": list(self.end_ids),
+            "steps": self.max_hops,
+            "seed": None,
+        }
+
     def sample_world(self, index: int) -> WorldSample:
         """The (unique) DOAM world, whatever ``index`` is passed."""
         if self._cached is None:
@@ -302,3 +328,29 @@ def sampler_for(
     if semantics == "opoao":
         return OPOAORRSampler(graph, rumor_ids, end_ids, steps=steps, rng=rng)
     return DOAMRRSampler(graph, rumor_ids, end_ids, max_hops=steps, rng=rng)
+
+
+def rebuild_sampler(graph: IndexedDiGraph, payload: Dict[str, object]):
+    """Reconstruct a sampler from its :meth:`worker_payload` in a worker.
+
+    The stream *name* is cosmetic (only the seed feeds
+    :func:`repro.rng.derive_seed`), so the rebuilt sampler's worlds are
+    bit-identical to the original's.
+    """
+    semantics = payload["semantics"]
+    if semantics == "opoao":
+        return OPOAORRSampler(
+            graph,
+            payload["rumor_ids"],
+            payload["end_ids"],
+            steps=payload["steps"],
+            rng=RngStream(payload["seed"], name="opoao-rr"),
+        )
+    if semantics == "doam":
+        return DOAMRRSampler(
+            graph,
+            payload["rumor_ids"],
+            payload["end_ids"],
+            max_hops=payload["steps"],
+        )
+    raise ValidationError(f"unknown sampler semantics {semantics!r}")

@@ -23,6 +23,15 @@ The stopping rule is the classic relative-precision test: keep doubling
 until the empirical (1 - δ)-confidence half-width of σ̂(A) is at most
 ε · max(σ̂(A), 1). Deterministic samplers (DOAM) need exactly one world
 and always report sufficient precision.
+
+Because world ``i`` is a pure function of its index, a growth step is
+embarrassingly parallel: with ``workers`` configured, each doubling
+round fans contiguous index chunks out over a
+:class:`repro.exec.pool.ParallelExecutor` (workers rebuild the sampler
+from its graph-free payload) and appends the returned
+:class:`~repro.sketch.rrset.WorldSample`\\ s **in index order** in the
+parent — arrays, inverted index, and ``sketch.*`` metrics come out
+bit-identical to a serial store.
 """
 
 from __future__ import annotations
@@ -38,16 +47,35 @@ from repro.utils.validation import check_fraction, check_positive
 __all__ = ["SketchStore"]
 
 
+def _sampler_worker_setup(graph, payload):
+    """Pool worker set-up: rebuild the RR sampler against the shared graph."""
+    from repro.sketch.rrset import rebuild_sampler
+
+    return rebuild_sampler(graph, payload)
+
+
+def _sampler_worker_chunk(sampler, indices):
+    """Pool worker task: sample a contiguous chunk of world indices."""
+    return [sampler.sample_world(index) for index in indices]
+
+
 class SketchStore:
     """Append-only RR-set store with an inverted node index.
 
     Args:
         sampler: an object with ``sample_world(index) -> WorldSample``
             and a ``stochastic`` flag (see :mod:`repro.sketch.rrset`).
+        workers: worker request for parallel world sampling (``None``/
+            ``1`` serial, ``0`` one per CPU). Needs a sampler exposing
+            ``worker_payload()``; contents are bit-identical either way.
+        share: graph publication mode for the pool (see
+            :func:`repro.exec.shm.publish_graph`).
     """
 
     __slots__ = (
         "sampler",
+        "workers",
+        "share",
         "worlds",
         "_members",
         "_offsets",
@@ -57,8 +85,10 @@ class SketchStore:
         "_index",
     )
 
-    def __init__(self, sampler) -> None:
+    def __init__(self, sampler, workers=None, share: str = "auto") -> None:
         self.sampler = sampler
+        self.workers = workers
+        self.share = share
         #: number of worlds sampled so far.
         self.worlds = 0
         self._members = array("q")  # all RR-set members, concatenated
@@ -77,9 +107,37 @@ class SketchStore:
             count = min(count, 1)  # a deterministic sampler has one world
         if count > self.worlds > 0:
             metrics().inc("sketch.store_doublings")
-        for index in range(self.worlds, count):
-            self._append_world(self.sampler.sample_world(index))
+        for world in self._sample_range(range(self.worlds, count)):
+            self._append_world(world)
         return self
+
+    def _sample_range(self, indices) -> List:
+        """Worlds for ``indices`` in order, via the pool when configured.
+
+        Falls back to serial sampling when the round is trivial, the
+        sampler is deterministic (one cached world — nothing to fan
+        out), or it cannot describe itself for worker-side rebuilding.
+        """
+        from repro.exec.pool import ParallelExecutor, resolve_workers, split_chunks
+
+        worker_count = resolve_workers(self.workers, len(indices))
+        payload_fn = getattr(self.sampler, "worker_payload", None)
+        if (
+            worker_count <= 1
+            or len(indices) < 2
+            or payload_fn is None
+            or not self.sampler.stochastic
+        ):
+            return [self.sampler.sample_world(index) for index in indices]
+        executor = ParallelExecutor(worker_count, share=self.share)
+        chunk_results = executor.map_chunks(
+            _sampler_worker_setup,
+            _sampler_worker_chunk,
+            payload_fn(),
+            split_chunks(list(indices), worker_count),
+            graph=self.sampler.graph,
+        )
+        return [world for chunk in chunk_results for world in chunk]
 
     def double(self, minimum: int = 32) -> "SketchStore":
         """IMM-style growth step: at least ``minimum``, else twice the worlds."""

@@ -1,0 +1,159 @@
+"""Unit tests for the deterministic chunked process-pool executor."""
+
+import pytest
+
+from repro.errors import ExecError
+from repro.exec.pool import (
+    _WORKER_STATE,
+    _init_worker,
+    CHUNKS_PER_WORKER,
+    ParallelExecutor,
+    resolve_workers,
+    split_chunks,
+)
+from repro.obs import MetricsRegistry, use_registry
+
+
+# Worker functions must be module-level so the pool can pickle them.
+def null_setup(graph, payload):
+    return payload
+
+
+def scale_task(state, chunk):
+    """Multiply every item by the payload; count items processed."""
+    from repro.obs.registry import metrics
+
+    registry = metrics()
+    if registry.enabled:
+        registry.counter("test.items").add(len(chunk))
+    return [state * item for item in chunk]
+
+
+def graph_degree_setup(graph, payload):
+    return graph
+
+
+def graph_degree_task(graph, chunk):
+    return [graph.out_degree(node) for node in chunk]
+
+
+class TestResolveWorkers:
+    def test_none_and_one_are_serial(self):
+        assert resolve_workers(None) == 1
+        assert resolve_workers(1) == 1
+
+    def test_zero_and_auto_mean_cpu_count(self):
+        import multiprocessing
+
+        assert resolve_workers(0) == multiprocessing.cpu_count()
+        assert resolve_workers("auto") == multiprocessing.cpu_count()
+
+    def test_explicit_count(self):
+        assert resolve_workers(3) == 3
+
+    def test_capped_by_items(self):
+        assert resolve_workers(8, items=3) == 3
+        assert resolve_workers(2, items=100) == 2
+
+    def test_zero_items_still_one_worker(self):
+        assert resolve_workers(4, items=0) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ExecError):
+            resolve_workers(-1)
+
+
+class TestSplitChunks:
+    def test_concatenation_reproduces_items(self):
+        items = list(range(37))
+        chunks = split_chunks(items, 3)
+        assert [x for chunk in chunks for x in chunk] == items
+
+    def test_contiguous_and_balanced(self):
+        chunks = split_chunks(list(range(10)), 2, per_worker=2)
+        assert len(chunks) == 4
+        sizes = [len(chunk) for chunk in chunks]
+        assert max(sizes) - min(sizes) <= 1
+        assert chunks[0] == [0, 1, 2]
+
+    def test_never_more_chunks_than_items(self):
+        chunks = split_chunks([1, 2, 3], 8)
+        assert len(chunks) == 3
+        assert all(len(chunk) == 1 for chunk in chunks)
+
+    def test_empty(self):
+        assert split_chunks([], 4) == []
+
+    def test_default_chunks_per_worker(self):
+        chunks = split_chunks(list(range(100)), 2)
+        assert len(chunks) == 2 * CHUNKS_PER_WORKER
+
+
+class TestMapChunks:
+    def test_inline_matches_pool(self):
+        chunks = split_chunks(list(range(20)), 2)
+        inline = ParallelExecutor(1).map_chunks(null_setup, scale_task, 3, chunks)
+        pooled = ParallelExecutor(2).map_chunks(null_setup, scale_task, 3, chunks)
+        assert pooled == inline
+        assert [x for chunk in pooled for x in chunk] == [3 * i for i in range(20)]
+
+    def test_empty_chunks(self):
+        assert ParallelExecutor(2).map_chunks(null_setup, scale_task, 1, []) == []
+
+    def test_graph_ships_to_workers(self, chain):
+        indexed = chain.to_indexed()
+        chunks = [[0, 1], [2, 3], [4, 5]]
+        degrees = ParallelExecutor(2).map_chunks(
+            graph_degree_setup, graph_degree_task, None, chunks, graph=indexed
+        )
+        assert [d for chunk in degrees for d in chunk] == [1, 1, 1, 1, 1, 0]
+
+    def test_pickle_share_mode(self, chain):
+        indexed = chain.to_indexed()
+        degrees = ParallelExecutor(2, share="pickle").map_chunks(
+            graph_degree_setup, graph_degree_task, None, [[0], [5]], graph=indexed
+        )
+        assert degrees == [[1], [0]]
+
+    def test_snapshot_merge_equals_serial_counters(self):
+        chunks = split_chunks(list(range(24)), 2)
+        serial = MetricsRegistry()
+        with use_registry(serial):
+            ParallelExecutor(1).map_chunks(null_setup, scale_task, 2, chunks)
+        parallel = MetricsRegistry()
+        with use_registry(parallel):
+            ParallelExecutor(2).map_chunks(null_setup, scale_task, 2, chunks)
+        assert parallel.counter_values()["test.items"] == 24
+        assert parallel.counter_values()["test.items"] == (
+            serial.counter_values()["test.items"]
+        )
+
+    def test_disabled_registry_ships_no_snapshots(self):
+        # Outside any use_registry block the null registry is active;
+        # workers must then skip snapshot collection entirely.
+        chunks = split_chunks(list(range(8)), 2)
+        result = ParallelExecutor(2).map_chunks(null_setup, scale_task, 1, chunks)
+        assert [x for chunk in result for x in chunk] == list(range(8))
+
+
+class TestWorkerStateReset:
+    def test_init_worker_clears_stale_state(self):
+        # Regression: a forked worker inherits module state; a previous
+        # pool's leftovers (the old _WORKER dict bug) must never survive
+        # into a new pool's initializer.
+        _WORKER_STATE["stale"] = "leftover"
+        try:
+            _init_worker(null_setup, scale_task, 7, None, False)
+            assert "stale" not in _WORKER_STATE
+            assert _WORKER_STATE["state"] == 7
+            assert _WORKER_STATE["task"] is scale_task
+            assert _WORKER_STATE["collect"] is False
+        finally:
+            _WORKER_STATE.clear()
+
+    def test_consecutive_pools_do_not_interfere(self):
+        chunks = [[1, 2], [3, 4]]
+        first = ParallelExecutor(2).map_chunks(null_setup, scale_task, 10, chunks)
+        second = ParallelExecutor(2).map_chunks(null_setup, scale_task, 100, chunks)
+        assert first == [[10, 20], [30, 40]]
+        assert second == [[100, 200], [300, 400]]

@@ -1,0 +1,115 @@
+"""Unit tests for graph publication (shared memory + pickle fallback)."""
+
+import pytest
+
+from repro.errors import ExecError
+from repro.exec.shm import (
+    SHARE_MODES,
+    GraphPublication,
+    materialize_graph,
+    publish_graph,
+)
+from repro.exec import shm as shm_module
+from repro.graph.digraph import DiGraph
+
+
+@pytest.fixture
+def weighted():
+    graph = DiGraph()
+    graph.add_edge("a", "b", weight=0.25)
+    graph.add_edge("a", "c", weight=1.5)
+    graph.add_edge("b", "c", weight=3.0)
+    return graph.to_indexed()
+
+
+def assert_same_graph(rebuilt, original):
+    assert rebuilt.labels == original.labels
+    assert rebuilt.out == original.out
+    assert rebuilt.inn == original.inn
+    assert rebuilt.out_weights == original.out_weights
+
+
+class TestPublishGraph:
+    def test_none_graph(self):
+        publication = publish_graph(None)
+        assert publication.handle is None
+        assert materialize_graph(None) is None
+        publication.close()
+
+    def test_pickle_round_trip(self, weighted):
+        with publish_graph(weighted, share="pickle") as publication:
+            rebuilt = materialize_graph(publication.handle)
+        assert_same_graph(rebuilt, weighted)
+
+    def test_auto_round_trip(self, weighted):
+        # Exercises shm when NumPy is importable, pickle otherwise —
+        # both legs of the CI matrix take this test.
+        with publish_graph(weighted, share="auto") as publication:
+            rebuilt = materialize_graph(publication.handle)
+        assert_same_graph(rebuilt, weighted)
+
+    def test_shm_round_trip(self, weighted):
+        if shm_module.np is None:
+            with pytest.raises(ExecError):
+                publish_graph(weighted, share="shm")
+            return
+        with publish_graph(weighted, share="shm") as publication:
+            handle = publication.handle
+            assert handle.node_count == weighted.node_count
+            assert handle.edge_count == weighted.edge_count
+            assert len(handle.segment_names) == 3
+            rebuilt = materialize_graph(handle)
+        assert_same_graph(rebuilt, weighted)
+
+    def test_weights_survive_exactly(self, weighted):
+        with publish_graph(weighted) as publication:
+            rebuilt = materialize_graph(publication.handle)
+        assert rebuilt.csr().weights == weighted.csr().weights
+
+    def test_unknown_mode_rejected(self, weighted):
+        with pytest.raises(ExecError):
+            publish_graph(weighted, share="mmap")
+        assert "mmap" not in SHARE_MODES
+
+    def test_bad_handle_rejected(self):
+        with pytest.raises(ExecError):
+            materialize_graph(object())
+
+
+class TestGraphPublicationLifetime:
+    def test_close_is_idempotent(self, weighted):
+        publication = publish_graph(weighted)
+        publication.close()
+        publication.close()  # second close must be a no-op
+
+    def test_shm_segments_unlinked_after_close(self, weighted):
+        if shm_module.np is None:
+            pytest.skip("shared memory path requires NumPy")
+        from multiprocessing import shared_memory
+
+        publication = publish_graph(weighted, share="shm")
+        names = publication.handle.segment_names
+        publication.close()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_materialize_works_while_open(self, weighted):
+        # Workers attach while the parent holds the publication open;
+        # a second attach (another worker) must also succeed.
+        with publish_graph(weighted) as publication:
+            first = materialize_graph(publication.handle)
+            second = materialize_graph(publication.handle)
+        assert_same_graph(first, weighted)
+        assert_same_graph(second, weighted)
+
+
+class TestEmptyGraph:
+    def test_single_node_no_edges(self):
+        graph = DiGraph()
+        graph.add_node("only")
+        indexed = graph.to_indexed()
+        with publish_graph(indexed) as publication:
+            rebuilt = materialize_graph(publication.handle)
+        assert rebuilt.labels == ("only",)
+        assert rebuilt.edge_count == 0

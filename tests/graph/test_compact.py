@@ -71,3 +71,28 @@ class TestValidation:
         indexed = diamond.to_indexed()
         assert isinstance(indexed.out, tuple)
         assert all(isinstance(row, tuple) for row in indexed.out)
+
+
+class TestCSRMemoization:
+    def test_csr_returns_cached_instance(self, diamond):
+        # The CSR export feeds every kernel call and every graph
+        # publication; rebuilding it per call would dominate small runs.
+        indexed = diamond.to_indexed()
+        assert indexed.csr() is indexed.csr()
+
+    def test_cached_csr_matches_adjacency(self, chain):
+        indexed = chain.to_indexed()
+        csr = indexed.csr()
+        for node in range(indexed.node_count):
+            assert csr.row(node) == indexed.out[node]
+
+    def test_from_csr_round_trip_uses_fresh_cache(self, diamond):
+        indexed = diamond.to_indexed()
+        csr = indexed.csr()
+        rebuilt = IndexedDiGraph.from_csr(
+            indexed.labels, csr.indptr, csr.indices, csr.weights
+        )
+        assert rebuilt.csr() is not csr
+        assert rebuilt.csr().indptr == csr.indptr
+        assert rebuilt.csr().indices == csr.indices
+        assert rebuilt.csr().weights == csr.weights
