@@ -51,8 +51,21 @@ class CELFGreedySelector(GreedySelector):
         if not pool:
             raise SelectionError("candidate pool is empty")
 
-        chosen: List[Node] = []
-        current_sigma = 0.0
+        from repro.exec.checkpoint import as_store
+
+        store = as_store(self.checkpoint)
+        key = "" if store is None else self._checkpoint_key(context)
+        chosen: List[Node] = (
+            [] if store is None
+            else self._restore_chosen(store, key, context, budget)
+        )
+        chosen_set = set(chosen)
+        # Resuming from a checkpointed prefix: σ̂ is deterministic given
+        # the set, so re-racing the prefix and re-seeding the heap with
+        # fresh gains reproduces the uninterrupted run's remaining picks
+        # (CELF == exhaustive greedy under the coupled estimator, and
+        # greedy restarted from its own prefix picks the same suffix).
+        current_sigma = estimator.sigma(chosen) if chosen else 0.0
         marginal_calls = 0
         queue_hits = 0
         reevaluations = 0
@@ -64,12 +77,20 @@ class CELFGreedySelector(GreedySelector):
         # worker pool can fan it out. The lazy rounds below are
         # inherently sequential (each pop depends on the last) and stay
         # serial.
-        initial_gains = self._sigma_batch(estimator, [[node] for node in pool])
         heap: List[Tuple[float, int, Node, int]] = []
-        for order, (node, gain) in enumerate(zip(pool, initial_gains)):
-            marginal_calls += 1
-            heap.append((-gain, order, node, 0))
-        heapq.heapify(heap)
+        if budget is None or len(chosen) < budget:
+            remaining = [
+                (order, node)
+                for order, node in enumerate(pool)
+                if node not in chosen_set
+            ]
+            initial_gains = self._sigma_batch(
+                estimator, [chosen + [node] for _, node in remaining]
+            )
+            for (order, node), sigma in zip(remaining, initial_gains):
+                marginal_calls += 1
+                heap.append((current_sigma - sigma, order, node, 0))
+            heapq.heapify(heap)
 
         round_index = 0
         while not self._stop(estimator, chosen, budget):
@@ -89,6 +110,8 @@ class CELFGreedySelector(GreedySelector):
                     chosen.append(node)
                     current_sigma += -neg_gain
                     queue_hits += 1
+                    if store is not None:
+                        self._save_chosen(store, key, context, chosen)
                     break
                 fresh_gain = estimator.sigma(chosen + [node]) - current_sigma
                 marginal_calls += 1

@@ -200,6 +200,14 @@ class GreedySelector(ProtectorSelector):
             serial, ``0`` one per CPU). Only the batched estimator can
             fan out, so this needs ``backend``; selections are
             bit-identical whatever the worker count.
+        chunk_timeout: per-chunk pool deadline in seconds for parallel
+            σ̂ rounds (``None`` waits forever; see ``docs/parallel.md``).
+        chunk_retries: deterministic resubmission budget per failed
+            chunk (``None`` uses the executor default).
+        checkpoint: a path or :class:`~repro.exec.checkpoint.\
+            CheckpointStore`; when set, every completed selection round
+            is saved, and a matching checkpoint resumes from its chosen
+            prefix — finishing bit-identical to an uninterrupted run.
     """
 
     name = "Greedy"
@@ -216,6 +224,9 @@ class GreedySelector(ProtectorSelector):
         backend: Optional[str] = None,
         world_source: str = "native",
         workers: Optional[int] = None,
+        chunk_timeout: Optional[float] = None,
+        chunk_retries: Optional[int] = None,
+        checkpoint=None,
     ) -> None:
         self.model = model or OPOAOModel()
         self.runs = int(check_positive(runs, "runs"))
@@ -229,6 +240,9 @@ class GreedySelector(ProtectorSelector):
         self.backend = backend
         self.world_source = world_source
         self.workers = workers
+        self.chunk_timeout = chunk_timeout
+        self.chunk_retries = chunk_retries
+        self.checkpoint = checkpoint
         #: σ̂ evaluations consumed by the most recent select() call — the
         #: quantity the CELF-vs-greedy ablation bench compares.
         self.last_evaluations = 0
@@ -256,6 +270,8 @@ class GreedySelector(ProtectorSelector):
                 backend=self.backend,
                 world_source=self.world_source,
                 workers=self.workers,
+                chunk_timeout=self.chunk_timeout,
+                chunk_retries=self.chunk_retries,
             )
         return SigmaEstimator(
             context,
@@ -299,6 +315,62 @@ class GreedySelector(ProtectorSelector):
             return len(chosen) >= budget
         return estimator.protected_fraction(chosen) >= self.alpha
 
+    # -- checkpointing (shared with the CELF subclass) ---------------------------
+
+    def _checkpoint_key(self, context: SelectionContext) -> str:
+        """Run-key fingerprint for greedy-family checkpoints.
+
+        Deliberately excludes ``budget`` and ``alpha``: greedy selection
+        is prefix-consistent in the budget (round ``k`` picks the same
+        node whatever the eventual stopping point), so a shorter run's
+        checkpoint seeds a longer one. CELF shares the kind and the key
+        — under the coupled deterministic σ̂ it picks the same prefix as
+        exhaustive greedy.
+        """
+        from repro.exec.checkpoint import run_key
+
+        return run_key(
+            kind="greedy",
+            model=self.model.name,
+            runs=self.runs,
+            max_hops=self.max_hops,
+            seed=self.rng.seed,
+            pool=self.pool,
+            max_candidates=self.max_candidates,
+            backend=self.backend or "",
+            world_source=self.world_source,
+            nodes=context.indexed.node_count,
+            edges=context.indexed.edge_count,
+            rumors=sorted(context.rumor_seed_ids()),
+            ends=sorted(context.bridge_end_ids()),
+        )
+
+    def _restore_chosen(
+        self, store, key: str, context: SelectionContext, budget: Optional[int]
+    ) -> List[Node]:
+        """The checkpointed chosen prefix (possibly truncated to budget)."""
+        entry = store.load("greedy", key)
+        if entry is None:
+            return []
+        ids = [int(node_id) for node_id in entry["state"]["chosen_ids"]]
+        if budget is not None:
+            ids = ids[:budget]
+        labels = context.indexed.labels
+        chosen = [labels[node_id] for node_id in ids]
+        if chosen:
+            metrics().inc("exec.resumed_rounds", len(chosen))
+        return chosen
+
+    def _save_chosen(
+        self, store, key: str, context: SelectionContext, chosen: List[Node]
+    ) -> None:
+        store.save(
+            "greedy",
+            key,
+            {"chosen_ids": context.indexed.indices(chosen)},
+            rounds=len(chosen),
+        )
+
     # -- the algorithm -----------------------------------------------------------
 
     def select(
@@ -313,8 +385,15 @@ class GreedySelector(ProtectorSelector):
         if not pool:
             raise SelectionError("candidate pool is empty")
 
-        chosen: List[Node] = []
-        chosen_set: Set[Node] = set()
+        from repro.exec.checkpoint import as_store
+
+        store = as_store(self.checkpoint)
+        key = "" if store is None else self._checkpoint_key(context)
+        chosen: List[Node] = (
+            [] if store is None
+            else self._restore_chosen(store, key, context, budget)
+        )
+        chosen_set: Set[Node] = set(chosen)
         marginal_calls = 0
         while not self._stop(estimator, chosen, budget):
             if len(chosen) >= len(pool):
@@ -340,6 +419,8 @@ class GreedySelector(ProtectorSelector):
             assert best_node is not None
             chosen.append(best_node)
             chosen_set.add(best_node)
+            if store is not None:
+                self._save_chosen(store, key, context, chosen)
         self.last_evaluations = estimator.evaluations
         registry = metrics()
         if registry.enabled:

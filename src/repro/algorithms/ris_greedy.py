@@ -70,6 +70,15 @@ BatchedSigmaEvaluator`) and records the achieved protected fraction in
             ``1`` serial, ``0`` one per CPU); forwarded to the
             :class:`~repro.sketch.store.SketchStore` so every doubling
             round fans out. Selections are bit-identical regardless.
+        chunk_timeout: per-chunk pool deadline in seconds for parallel
+            sampling (``None`` waits forever; see ``docs/parallel.md``).
+        chunk_retries: deterministic resubmission budget per failed
+            chunk (``None`` uses the executor default).
+        checkpoint: a path or :class:`~repro.exec.checkpoint.\
+            CheckpointStore`; when set, the store's sampled worlds are
+            saved after every growth round, and a matching checkpoint
+            restores them — worlds are pure functions of their index, so
+            the restored arrays are bit-identical to resampling.
     """
 
     name = "RIS-Greedy"
@@ -87,6 +96,9 @@ BatchedSigmaEvaluator`) and records the achieved protected fraction in
         verify_backend: Optional[str] = None,
         verify_runs: int = 64,
         workers: Optional[int] = None,
+        chunk_timeout: Optional[float] = None,
+        chunk_retries: Optional[int] = None,
+        checkpoint=None,
     ) -> None:
         self.semantics = semantics
         self.epsilon = check_fraction(epsilon, "epsilon", exclusive=True)
@@ -99,6 +111,9 @@ BatchedSigmaEvaluator`) and records the achieved protected fraction in
         self.verify_backend = verify_backend
         self.verify_runs = int(check_positive(verify_runs, "verify_runs"))
         self.workers = workers
+        self.chunk_timeout = chunk_timeout
+        self.chunk_retries = chunk_retries
+        self.checkpoint = checkpoint
         #: worlds held by the store after the most recent select() call.
         self.last_worlds = 0
         #: protected fraction the kernel verification measured for the
@@ -123,9 +138,49 @@ BatchedSigmaEvaluator`) and records the achieved protected fraction in
         sampler = sampler_for(
             self.semantics, context, steps=self.steps, rng=self.rng.fork("worlds")
         )
-        store = SketchStore(sampler, workers=self.workers)
+        store = SketchStore(
+            sampler,
+            workers=self.workers,
+            chunk_timeout=self.chunk_timeout,
+            chunk_retries=self.chunk_retries,
+        )
         self._stores[key] = (context, store)
         return store
+
+    # -- checkpointing ----------------------------------------------------------
+
+    def _checkpoint_key(self, context: SelectionContext) -> str:
+        """Run-key fingerprint for sketch checkpoints.
+
+        Excludes budget, alpha, and the (ε, δ) precision targets: worlds
+        are pure functions of their index, so any run over the same
+        instance and sampling configuration shares the sampled prefix.
+        """
+        from repro.exec.checkpoint import run_key
+
+        return run_key(
+            kind="sketch",
+            semantics=self.semantics,
+            steps=self.steps,
+            seed=self.rng.seed,
+            nodes=context.indexed.node_count,
+            edges=context.indexed.edge_count,
+            rumors=sorted(context.rumor_seed_ids()),
+            ends=sorted(context.bridge_end_ids()),
+        )
+
+    def _restore_store(self, ckpt, key: str, store: SketchStore) -> None:
+        if store.worlds:  # cached store already holds sampled worlds
+            return
+        entry = ckpt.load("sketch", key)
+        if entry is None:
+            return
+        store.load_state(entry["state"])
+        metrics().inc("exec.resumed_rounds", int(entry["rounds"]))
+
+    @staticmethod
+    def _save_store(ckpt, key: str, store: SketchStore) -> None:
+        ckpt.save("sketch", key, store.state_dict(), rounds=store.worlds)
 
     # -- the algorithm -----------------------------------------------------------
 
@@ -135,8 +190,16 @@ BatchedSigmaEvaluator`) and records the achieved protected fraction in
         budget = self._check_budget(budget)
         if budget == 0 or not context.bridge_ends:
             return []
+        from repro.exec.checkpoint import as_store
+
         store = self.make_store(context)
+        ckpt = as_store(self.checkpoint)
+        key = "" if ckpt is None else self._checkpoint_key(context)
+        if ckpt is not None:
+            self._restore_store(ckpt, key, store)
         store.ensure_worlds(self.initial_worlds)
+        if ckpt is not None:
+            self._save_store(ckpt, key, store)
         while True:
             picked = self._max_coverage(store, context, budget)
             if not store.sampler.stochastic:
@@ -146,6 +209,8 @@ BatchedSigmaEvaluator`) and records the achieved protected fraction in
             if store.worlds >= self.max_worlds:
                 break
             store.ensure_worlds(min(self.max_worlds, 2 * store.worlds))
+            if ckpt is not None:
+                self._save_store(ckpt, key, store)
         self.last_worlds = store.worlds
         labels = context.indexed.labels
         chosen = [labels[node] for node in picked]

@@ -111,6 +111,38 @@ def build_parser() -> argparse.ArgumentParser:
             "are bit-identical to serial. greedy needs --backend for its "
             "batched sigma path",
         )
+        p.add_argument(
+            "--chunk-timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="per-chunk deadline for pool work; a chunk that misses it "
+            "is retried deterministically (default: wait forever)",
+        )
+        p.add_argument(
+            "--chunk-retries",
+            type=int,
+            default=None,
+            metavar="K",
+            help="resubmissions per failed chunk before degrading to "
+            "inline execution (default: 2); see docs/parallel.md",
+        )
+
+    def add_checkpoint_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--checkpoint",
+            default=None,
+            metavar="PATH",
+            help="save selection/evaluation round state to PATH "
+            "(repro.ckpt/v1 JSON) after every completed round",
+        )
+        p.add_argument(
+            "--resume",
+            action="store_true",
+            help="with --checkpoint: resume from PATH when it exists and "
+            "matches this run's configuration (results are bit-identical "
+            "to an uninterrupted run)",
+        )
 
     def add_sketch_args(p: argparse.ArgumentParser) -> None:
         p.add_argument(
@@ -145,6 +177,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_backend_arg(select)
     add_sketch_args(select)
     add_workers_arg(select)
+    add_checkpoint_args(select)
     add_metrics_arg(select)
 
     simulate = sub.add_parser("simulate", help="select then simulate a diffusion")
@@ -172,6 +205,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_backend_arg(simulate)
     add_sketch_args(simulate)
     add_workers_arg(simulate)
+    add_checkpoint_args(simulate)
     simulate.add_argument("--runs", type=int, default=100)
     simulate.add_argument("--hops", type=int, default=31)
     simulate.add_argument(
@@ -257,7 +291,17 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _selector(name: str, rng: RngStream, args=None):
+def _checkpoint_store(args):
+    """The run's checkpoint store, from ``--checkpoint``/``--resume``."""
+    path = getattr(args, "checkpoint", None)
+    if path is None:
+        return None
+    from repro.exec.checkpoint import CheckpointStore
+
+    return CheckpointStore(path, resume=getattr(args, "resume", False))
+
+
+def _selector(name: str, rng: RngStream, args=None, checkpoint=None):
     if name == "scbg":
         return SCBGSelector()
     if name == "ris-greedy":
@@ -273,6 +317,9 @@ def _selector(name: str, rng: RngStream, args=None):
             rng=rng.fork("ris-greedy"),
             verify_backend=getattr(args, "backend", None),
             workers=getattr(args, "workers", None),
+            chunk_timeout=getattr(args, "chunk_timeout", None),
+            chunk_retries=getattr(args, "chunk_retries", None),
+            checkpoint=checkpoint,
         )
     if name == "gvs":
         from repro.algorithms.gvs import GreedyViralStopper
@@ -285,6 +332,9 @@ def _selector(name: str, rng: RngStream, args=None):
             rng=rng.fork("greedy"),
             backend=getattr(args, "backend", None),
             workers=getattr(args, "workers", None),
+            chunk_timeout=getattr(args, "chunk_timeout", None),
+            chunk_retries=getattr(args, "chunk_retries", None),
+            checkpoint=checkpoint,
         )
     if name == "maxdegree":
         return MaxDegreeSelector()
@@ -366,7 +416,7 @@ def _cmd_communities(args) -> int:
 def _cmd_select(args) -> int:
     rng = RngStream(args.seed, name="cli-select")
     dataset, context = _build_instance(args, rng)
-    selector = _selector(args.algorithm, rng, args)
+    selector = _selector(args.algorithm, rng, args, checkpoint=_checkpoint_store(args))
     with metrics().timer("stage.select"):
         protectors = selector.select(context, budget=args.budget)
     print(
@@ -384,11 +434,12 @@ def _cmd_select(args) -> int:
 def _cmd_simulate(args) -> int:
     rng = RngStream(args.seed, name="cli-simulate")
     dataset, context = _build_instance(args, rng)
+    checkpoint = _checkpoint_store(args)
     if args.algorithm == "none":
         protectors = []
         name = "NoBlocking"
     else:
-        selector = _selector(args.algorithm, rng, args)
+        selector = _selector(args.algorithm, rng, args, checkpoint=checkpoint)
         with metrics().timer("stage.select"):
             protectors = selector.select(context, budget=args.budget)
         name = selector.name
@@ -403,6 +454,9 @@ def _cmd_simulate(args) -> int:
             rng=rng.fork("eval"),
             backend=args.backend,
             workers=args.workers,
+            checkpoint=checkpoint,
+            chunk_timeout=args.chunk_timeout,
+            chunk_retries=args.chunk_retries,
         )
     print(
         f"{name} with |P|={len(protectors)} under {model.name}: "

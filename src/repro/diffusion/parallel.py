@@ -76,6 +76,35 @@ def record_outcome(outcome, max_hops: int, end_ids: Sequence[int]) -> ReplicaRec
     )
 
 
+def _records_to_state(records: List[ReplicaRecord]) -> dict:
+    """JSON-serialisable checkpoint state for a replica-record prefix."""
+    return {
+        "records": [
+            [
+                list(record.infected_series),
+                list(record.protected_series),
+                record.final_infected,
+                record.final_protected,
+                list(record.end_counts),
+            ]
+            for record in records
+        ]
+    }
+
+
+def _records_from_state(state: dict) -> List[ReplicaRecord]:
+    return [
+        ReplicaRecord(
+            tuple(int(value) for value in row[0]),
+            tuple(int(value) for value in row[1]),
+            int(row[2]),
+            int(row[3]),
+            tuple(int(value) for value in row[4]),
+        )
+        for row in state["records"]
+    ]
+
+
 def _simulate_worker_setup(graph, payload):
     """Pool worker set-up: the shared run state, keyed off the shipped seed."""
     return {
@@ -116,6 +145,16 @@ class ParallelMonteCarloSimulator:
         processes: worker count; default = CPU count, capped at ``runs``.
         share: graph publication mode for the pool (see
             :func:`repro.exec.shm.publish_graph`).
+        chunk_timeout: per-chunk pool deadline in seconds (``None``
+            waits forever; see ``docs/parallel.md``).
+        chunk_retries: deterministic resubmission budget per failed
+            chunk (``None`` uses the executor default).
+        checkpoint: a path or :class:`~repro.exec.checkpoint.\
+            CheckpointStore`; when set, completed replica batches are
+            saved and a matching checkpoint resumes after its prefix —
+            replica ``i`` always runs on ``rng.replica(i)``, so the
+            resumed aggregate is bit-identical to an uninterrupted run.
+        checkpoint_every: replicas per checkpointed batch.
 
     Note:
         The callback-per-outcome hook of the serial simulator is not
@@ -131,6 +170,10 @@ class ParallelMonteCarloSimulator:
         max_hops: int = DEFAULT_MAX_HOPS,
         processes: Optional[int] = None,
         share: str = "auto",
+        chunk_timeout: Optional[float] = None,
+        chunk_retries: Optional[int] = None,
+        checkpoint=None,
+        checkpoint_every: int = 64,
     ) -> None:
         self.model = model
         self.runs = int(check_positive(runs, "runs"))
@@ -139,6 +182,12 @@ class ParallelMonteCarloSimulator:
             processes = int(check_positive(processes, "processes"))
         self.processes = processes
         self.share = share
+        self.chunk_timeout = chunk_timeout
+        self.chunk_retries = chunk_retries
+        self.checkpoint = checkpoint
+        self.checkpoint_every = int(
+            check_positive(checkpoint_every, "checkpoint_every")
+        )
 
     def simulate(
         self,
@@ -181,7 +230,12 @@ class ParallelMonteCarloSimulator:
         workers: Union[int, str] = (
             self.processes if self.processes is not None else "auto"
         )
-        executor = ParallelExecutor(workers, share=self.share)
+        executor = ParallelExecutor(
+            workers,
+            share=self.share,
+            timeout=self.chunk_timeout,
+            retries=self.chunk_retries,
+        )
         payload = {
             "model": self.model,
             "seeds": seeds,
@@ -189,17 +243,46 @@ class ParallelMonteCarloSimulator:
             "max_hops": self.max_hops,
             "end_ids": end_ids,
         }
-        worker_count = resolve_workers(workers, self.runs)
-        chunks = split_chunks(list(range(self.runs)), worker_count)
+        from repro.exec.checkpoint import as_store
+
+        ckpt = as_store(self.checkpoint)
+        records: List[ReplicaRecord] = []
+        key = ""
+        if ckpt is not None:
+            key = self._checkpoint_key(graph, seeds, rng, end_ids)
+            entry = ckpt.load("mc", key)
+            if entry is not None:
+                # ``runs`` is outside the key on purpose: replica i is a
+                # pure function of rng.replica(i), so a shorter run's
+                # prefix seeds a longer one (and a longer one truncates).
+                records = _records_from_state(entry["state"])[: self.runs]
+                if records:
+                    registry.inc("exec.resumed_rounds", len(records))
         with registry.timer("time.simulate.parallel"):
-            chunk_results = executor.map_chunks(
-                _simulate_worker_setup,
-                _simulate_worker_chunk,
-                payload,
-                chunks,
-                graph=graph,
-            )
-        records = [record for chunk in chunk_results for record in chunk]
+            start = len(records)
+            while start < self.runs:
+                stop = (
+                    self.runs
+                    if ckpt is None
+                    else min(self.runs, start + self.checkpoint_every)
+                )
+                indices = list(range(start, stop))
+                worker_count = resolve_workers(workers, len(indices))
+                chunk_results = executor.map_chunks(
+                    _simulate_worker_setup,
+                    _simulate_worker_chunk,
+                    payload,
+                    split_chunks(indices, worker_count),
+                    graph=graph,
+                )
+                records.extend(
+                    record for chunk in chunk_results for record in chunk
+                )
+                start = stop
+                if ckpt is not None:
+                    ckpt.save(
+                        "mc", key, _records_to_state(records), rounds=len(records)
+                    )
         aggregate = SimulationAggregate(self.max_hops)
         for record in records:  # replica order -> bit-identical to serial
             aggregate.add_series(
@@ -209,6 +292,22 @@ class ParallelMonteCarloSimulator:
                 record.final_protected,
             )
         return aggregate, records
+
+    def _checkpoint_key(self, graph, seeds, rng, end_ids) -> str:
+        """Run-key fingerprint for Monte-Carlo checkpoints (sans runs)."""
+        from repro.exec.checkpoint import run_key
+
+        return run_key(
+            kind="mc",
+            model=self.model.name,
+            seed=rng.seed,
+            max_hops=self.max_hops,
+            nodes=graph.node_count,
+            edges=graph.edge_count,
+            rumors=sorted(seeds.rumors),
+            protectors=sorted(seeds.protectors),
+            ends=list(end_ids),
+        )
 
     def __repr__(self) -> str:
         return (

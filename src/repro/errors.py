@@ -25,6 +25,7 @@ __all__ = [
     "BackendUnavailableError",
     "UnsupportedModelError",
     "ExecError",
+    "CheckpointError",
 ]
 
 
@@ -114,3 +115,12 @@ class UnsupportedModelError(KernelError):
 
 class ExecError(ReproError):
     """The parallel execution layer was configured or driven incorrectly."""
+
+
+class CheckpointError(ExecError):
+    """A checkpoint file is unreadable or belongs to a different run.
+
+    Raised instead of silently resuming from foreign state: a checkpoint
+    written under different run parameters (seed, model, instance) would
+    otherwise corrupt the determinism guarantees resume relies on.
+    """

@@ -9,19 +9,42 @@ keeping results **bit-identical** to a serial run:
   or pickled once per worker otherwise;
 * :class:`~repro.exec.pool.ParallelExecutor` schedules contiguous,
   index-ordered chunks, merges results in chunk order, and folds worker
-  metrics back through the :mod:`repro.obs` snapshot-and-merge protocol.
+  metrics back through the :mod:`repro.obs` snapshot-and-merge protocol —
+  with per-chunk timeouts, deterministic retries, and graceful
+  degradation to inline execution when the pool keeps failing;
+* :class:`~repro.exec.resilience.FaultPlan` scripts worker failures
+  (kill/hang/raise) for the fault-injection test suites, ambiently via
+  the ``REPRO_EXEC_FAULTS`` environment variable;
+* :class:`~repro.exec.checkpoint.CheckpointStore` persists the long
+  loops' round state as ``repro.ckpt/v1`` JSON so interrupted runs
+  resume bit-identical.
 
-See ``docs/parallel.md`` for the determinism contract.
+See ``docs/parallel.md`` for the determinism contract and the failure
+semantics.
 """
 
+from repro.exec.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    CheckpointStore,
+    as_store,
+    run_key,
+)
 from repro.exec.pool import ParallelExecutor, resolve_workers, split_chunks
+from repro.exec.resilience import ChunkFault, FaultInjected, FaultPlan
 from repro.exec.shm import GraphPublication, materialize_graph, publish_graph
 
 __all__ = [
+    "CHECKPOINT_SCHEMA",
+    "CheckpointStore",
+    "ChunkFault",
+    "FaultInjected",
+    "FaultPlan",
     "GraphPublication",
     "ParallelExecutor",
+    "as_store",
     "materialize_graph",
     "publish_graph",
     "resolve_workers",
+    "run_key",
     "split_chunks",
 ]

@@ -7,10 +7,10 @@ sampling, Monte-Carlo replicas) relies on:
   themselves (candidate id lists, world indices, replica indices) and
   every task derives its randomness from the item — ``rng.replica(i)``,
   world stream ``i`` — never from which worker runs it or in what order.
-* **Chunks are contiguous and merged in index order.** ``pool.map``
-  preserves input order, so flattening the chunk results reproduces the
-  serial iteration order exactly; serial and parallel runs are
-  bit-identical.
+* **Chunks are contiguous and merged in index order.** Results are
+  collected by chunk index and flattened in ascending index order, so
+  the serial iteration order is reproduced exactly; serial and parallel
+  runs are bit-identical.
 * **Worker set-up work is never counted.** The initializer installs the
   null metrics registry and runs the consumer's ``setup`` under it:
   redundant per-worker preparation (attaching the graph, re-sampling the
@@ -18,6 +18,30 @@ sampling, Monte-Carlo replicas) relies on:
   multiply work counters by the worker count. Each *chunk* then runs
   under a fresh registry whose snapshot ships home and is merged in
   chunk order — total counters equal a serial run's.
+
+Failure semantics (docs/parallel.md, "Failure semantics"):
+
+* a chunk whose task raises is retried up to ``retries`` times — chunks
+  are self-describing, so a retry is bit-identical to the first attempt
+  — and then surfaces as :class:`~repro.errors.ExecError` naming the
+  chunk index and a preview of its items, chaining the original;
+* with a ``timeout`` configured, an attempt that produces no result
+  within ``timeout`` seconds of the previous completion (a hung task,
+  or a worker killed mid-chunk — the pool loses such a task silently
+  either way) is abandoned and its missing chunks retried in a fresh
+  pool;
+* when pool-level failures outlive the retry budget the executor
+  *degrades*: the still-missing chunks run inline in the parent, which
+  is bit-identical by the same self-describing-chunks argument. Only
+  deterministic task errors (a chunk that raised on every attempt with
+  no pool failure in sight) raise instead of degrading.
+
+Retry/timeout/degradation events increment ``exec.chunks.retried``,
+``exec.chunks.timeout``, and ``exec.degraded``; the counters are created
+only when the events actually occur, so an unfaulted parallel run's
+counter *set* still equals a serial run's. Fault injection for tests
+comes from :mod:`repro.exec.resilience` (``REPRO_EXEC_FAULTS`` or an
+explicit :class:`~repro.exec.resilience.FaultPlan`).
 
 The pool start method is the platform default (``fork`` on Linux);
 worker state lives in the module-level ``_WORKER_STATE`` dict, which the
@@ -29,9 +53,11 @@ new pool (regression-tested in ``tests/exec/test_pool.py``).
 from __future__ import annotations
 
 import multiprocessing
+import pickle
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ExecError
+from repro.exec.resilience import FaultPlan
 from repro.exec.shm import materialize_graph, publish_graph
 from repro.obs.registry import MetricsRegistry, metrics, set_registry, use_registry
 
@@ -40,6 +66,9 @@ __all__ = ["ParallelExecutor", "resolve_workers", "split_chunks"]
 #: items each worker should see across a map, on average; more chunks
 #: than workers smooths imbalance without shrinking chunks to nothing.
 CHUNKS_PER_WORKER = 4
+
+#: default retry budget per map (attempts = retries + 1).
+DEFAULT_RETRIES = 2
 
 # Per-worker state installed by the pool initializer. Module-level so
 # the (picklable) _run_chunk function can reach it.
@@ -94,7 +123,44 @@ def split_chunks(
     return chunks
 
 
-def _init_worker(setup, task, payload, graph_handle, collect) -> None:
+def _preview_items(chunk) -> str:
+    """Short human-readable preview of a chunk's items for error messages."""
+    try:
+        items = list(chunk)
+    except TypeError:
+        return repr(chunk)
+    shown = ", ".join(repr(item) for item in items[:3])
+    if len(items) > 3:
+        shown += f", ... ({len(items)} items)"
+    return f"[{shown}]"
+
+
+def _chunk_error(
+    index: int, chunk, attempts: int, cause: Optional[BaseException]
+) -> ExecError:
+    """Build the :class:`ExecError` a failed chunk surfaces as."""
+    what = (
+        f"{type(cause).__name__}: {cause}" if cause is not None
+        else "timed out or its worker was lost"
+    )
+    error = ExecError(
+        f"chunk {index} (items {_preview_items(chunk)}) failed after "
+        f"{attempts} attempt(s): {what}"
+    )
+    error.__cause__ = cause
+    return error
+
+
+def _shippable(exc: BaseException) -> BaseException:
+    """An exception safe to send back through the pool's result pipe."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return ExecError(f"unpicklable task error {type(exc).__name__}: {exc}")
+
+
+def _init_worker(setup, task, payload, graph_handle, collect, faults=None) -> None:
     """Pool initializer: build this worker's state from the shipped payload."""
     # A forked worker inherits the parent's module state (and, if the
     # process hosted an earlier pool, its leftovers): start clean so no
@@ -106,28 +172,60 @@ def _init_worker(setup, task, payload, graph_handle, collect) -> None:
     _WORKER_STATE["task"] = task
     _WORKER_STATE["state"] = state
     _WORKER_STATE["collect"] = bool(collect)
+    _WORKER_STATE["faults"] = faults
 
 
-def _run_chunk(chunk) -> Tuple[Any, Optional[Dict[str, Any]]]:
-    """Worker: run one chunk; return (result, metrics snapshot or None)."""
-    task = _WORKER_STATE["task"]
-    state = _WORKER_STATE["state"]
-    if not _WORKER_STATE["collect"]:
-        return task(state, chunk), None
-    registry = MetricsRegistry()
-    with use_registry(registry):
-        result = task(state, chunk)
-    return result, registry.snapshot()
+def _run_chunk(message) -> Tuple[int, Optional[BaseException], Any, Optional[dict]]:
+    """Worker: run one ``(index, attempt, chunk)`` message.
+
+    Returns ``(index, error, result, snapshot)``. Task exceptions come
+    back as values rather than raising through the pool: the parent
+    needs the chunk index to retry deterministically, and
+    ``imap_unordered`` would otherwise re-raise with no indication of
+    which chunk failed. A failed attempt ships no snapshot — partially
+    counted work must not pollute the merged totals.
+    """
+    index, attempt, chunk = message
+    try:
+        faults: Optional[FaultPlan] = _WORKER_STATE.get("faults")
+        if faults is not None:
+            faults.apply(index, attempt)
+        task = _WORKER_STATE["task"]
+        state = _WORKER_STATE["state"]
+        if not _WORKER_STATE["collect"]:
+            return index, None, task(state, chunk), None
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            result = task(state, chunk)
+        return index, None, result, registry.snapshot()
+    except Exception as exc:
+        return index, _shippable(exc), None, None
 
 
 class ParallelExecutor:
-    """Deterministic fan-out of chunked work over a process pool.
+    """Deterministic, fault-tolerant fan-out of chunked work over a pool.
 
     Args:
         workers: worker request (see :func:`resolve_workers`); ``None``
             or ``1`` runs everything inline with zero pool overhead.
         share: graph publication mode (see
             :func:`~repro.exec.shm.publish_graph`).
+        timeout: per-chunk deadline in seconds, measured from the
+            previous completed chunk (``None`` = wait forever, the
+            pre-resilience behavior). A timeout is also how a worker
+            killed mid-chunk is detected — the pool loses such a task
+            silently, so without a timeout the map blocks forever.
+        retries: how many times failed chunks are re-executed before the
+            executor gives up on the pool (``None`` = the default
+            budget of :data:`DEFAULT_RETRIES`). Retries are
+            bit-identical because chunks are self-describing.
+        degrade: whether pool-level failures that outlive the retry
+            budget fall back to running the missing chunks inline in the
+            parent (``True``, the default) or raise.
+        faults: an explicit :class:`~repro.exec.resilience.FaultPlan`
+            for tests; ``None`` reads the ambient ``REPRO_EXEC_FAULTS``
+            plan. Faults fire only inside pool workers, never on the
+            inline or degraded path.
 
     The consumer supplies two picklable module-level functions:
 
@@ -137,13 +235,30 @@ class ParallelExecutor:
       fresh registry whose snapshot is merged home in chunk order.
     """
 
-    __slots__ = ("workers", "share")
+    __slots__ = ("workers", "share", "timeout", "retries", "degrade", "faults")
 
     def __init__(
-        self, workers: Union[int, str, None] = None, share: str = "auto"
+        self,
+        workers: Union[int, str, None] = None,
+        share: str = "auto",
+        timeout: Optional[float] = None,
+        retries: Optional[int] = None,
+        degrade: bool = True,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         self.workers = workers
         self.share = share
+        if timeout is not None and float(timeout) <= 0:
+            raise ExecError(f"timeout must be > 0 seconds, got {timeout!r}")
+        self.timeout = None if timeout is None else float(timeout)
+        retries = DEFAULT_RETRIES if retries is None else int(retries)
+        if retries < 0:
+            raise ExecError(f"retries must be >= 0, got {retries!r}")
+        self.retries = retries
+        self.degrade = bool(degrade)
+        self.faults = faults
+
+    # -- the map ----------------------------------------------------------------
 
     def map_chunks(
         self,
@@ -157,7 +272,8 @@ class ParallelExecutor:
 
         Serial (one effective worker) and parallel execution produce
         identical result lists and — via snapshot merging — identical
-        metric totals in the caller's registry.
+        metric totals in the caller's registry, whether or not chunks
+        were retried, timed out, or degraded along the way.
         """
         chunks = list(chunks)
         if not chunks:
@@ -170,28 +286,122 @@ class ParallelExecutor:
             # registry directly, which is what a serial run does.
             with use_registry(None):
                 state = setup(graph, payload)
-            return [task(state, chunk) for chunk in chunks]
+            return [
+                self._run_inline(task, state, index, chunk)
+                for index, chunk in enumerate(chunks)
+            ]
+
+        faults = self.faults if self.faults is not None else FaultPlan.from_env()
+        results: Dict[int, Any] = {}
+        snapshots: Dict[int, Optional[dict]] = {}
+        pending: Dict[int, Any] = dict(enumerate(chunks))
+        last_errors: Dict[int, BaseException] = {}
+        pool_failures = 0
 
         publication = publish_graph(graph, self.share)
         try:
             with registry.timer("time.exec.pool"):
-                with multiprocessing.Pool(
-                    processes=worker_count,
-                    initializer=_init_worker,
-                    initargs=(
-                        setup, task, payload, publication.handle,
-                        registry.enabled,
-                    ),
-                ) as pool:
-                    pairs = pool.map(_run_chunk, chunks)
+                for attempt in range(self.retries + 1):
+                    if not pending:
+                        break
+                    if attempt > 0:
+                        registry.counter("exec.chunks.retried").add(len(pending))
+                    pool_failures += self._run_attempt(
+                        setup, task, payload, publication.handle, registry,
+                        faults, worker_count, attempt, pending, results,
+                        snapshots, last_errors,
+                    )
         finally:
             publication.close()
-        results = []
-        for result, snapshot in pairs:  # chunk order == index order
-            results.append(result)
+
+        if pending:
+            first = min(pending)
+            # Degrade only when the *pool* misbehaved: a chunk that
+            # raised deterministically on every attempt would fail
+            # inline too, so surface it with its context instead.
+            task_failure_only = pool_failures == 0 and all(
+                index in last_errors for index in pending
+            )
+            if task_failure_only or not self.degrade:
+                raise _chunk_error(
+                    first, pending[first], self.retries + 1,
+                    last_errors.get(first),
+                )
+            registry.counter("exec.degraded").add(1)
+            with use_registry(None):
+                state = setup(graph, payload)
+            for index in sorted(pending):
+                results[index] = self._run_inline(
+                    task, state, index, pending[index]
+                )
+                snapshots[index] = None
+            pending.clear()
+
+        ordered: List[Any] = []
+        for index in range(len(chunks)):  # merge in chunk (= serial) order
+            ordered.append(results[index])
+            snapshot = snapshots.get(index)
             if snapshot is not None:
                 registry.merge_snapshot(snapshot)
-        return results
+        return ordered
+
+    def _run_attempt(
+        self, setup, task, payload, handle, registry, faults, worker_count,
+        attempt, pending, results, snapshots, last_errors,
+    ) -> int:
+        """One pool pass over the pending chunks.
+
+        Completed chunks move from ``pending`` into ``results``; task
+        errors are recorded in ``last_errors`` (the chunk stays
+        pending). Returns the number of pool-level failures observed
+        (0 or 1): on a timeout the whole attempt is abandoned — the
+        pool's workers may be hung or dead — and the next attempt runs
+        everything still pending in a fresh pool.
+        """
+        messages = [(i, attempt, pending[i]) for i in sorted(pending)]
+        pool = multiprocessing.Pool(
+            processes=min(worker_count, len(messages)),
+            initializer=_init_worker,
+            initargs=(setup, task, payload, handle, registry.enabled, faults),
+        )
+        received = 0
+        try:
+            iterator = pool.imap_unordered(_run_chunk, messages)
+            for _ in range(len(messages)):
+                try:
+                    index, error, result, snapshot = iterator.next(self.timeout)
+                except multiprocessing.TimeoutError:
+                    registry.counter("exec.chunks.timeout").add(
+                        len(messages) - received
+                    )
+                    return 1
+                received += 1
+                if error is not None:
+                    last_errors[index] = error
+                    continue
+                results[index] = result
+                snapshots[index] = snapshot
+                del pending[index]
+        finally:
+            # terminate, not close: hung or fault-killed workers would
+            # make a graceful join wait forever.
+            pool.terminate()
+            pool.join()
+        return 0
+
+    @staticmethod
+    def _run_inline(task, state, index, chunk):
+        """Run one chunk in-process, wrapping task errors with context."""
+        try:
+            return task(state, chunk)
+        except ExecError:
+            raise
+        except Exception as exc:
+            raise _chunk_error(index, chunk, 1, exc) from exc
 
     def __repr__(self) -> str:
-        return f"ParallelExecutor(workers={self.workers!r}, share={self.share!r})"
+        return (
+            f"ParallelExecutor(workers={self.workers!r}, share={self.share!r}, "
+            f"timeout={self.timeout}, retries={self.retries}, "
+            f"degrade={self.degrade})"
+        )

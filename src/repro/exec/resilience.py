@@ -1,0 +1,173 @@
+"""Deterministic fault injection for the parallel execution layer.
+
+Real worker failures — an OOM kill, a wedged NFS read, a task bug — are
+rare and non-reproducible, which makes the retry/timeout/degradation
+machinery in :mod:`repro.exec.pool` exactly the kind of code that rots
+untested. A :class:`FaultPlan` makes failures *scriptable*: it maps
+``(chunk index, attempt)`` pairs to one of three actions executed inside
+the worker just before the chunk's task runs:
+
+* ``kill`` — ``os._exit``: the worker vanishes mid-chunk, exactly like
+  an OOM kill (the pool repopulates the worker but the chunk's result is
+  silently lost, so only a configured timeout can detect it);
+* ``hang`` — sleep for the fault's duration: the chunk exceeds its
+  deadline;
+* ``raise`` — raise :class:`FaultInjected` from the task.
+
+Plans parse from the ``REPRO_EXEC_FAULTS`` environment variable (so a
+whole test suite can run under ambient faults — the CI fault-injection
+leg does) or are passed directly to
+:class:`~repro.exec.pool.ParallelExecutor`. The grammar, comma-separated::
+
+    action@chunk[xCOUNT][:SECONDS]
+
+    kill@2          kill the worker running chunk 2, first attempt only
+    raise@0x2       raise in chunk 0 on attempts 0 and 1
+    hang@1:0.5      sleep 0.5s in chunk 1, first attempt only
+
+A fault fires only while ``attempt < count`` (count defaults to 1), so a
+retried chunk eventually runs clean — which is what lets the fault
+suites assert that a faulted run ends bit-identical to a serial one.
+Faults are applied **only inside pool workers**, never on the inline or
+degraded path (a ``kill`` there would take down the parent process).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import time
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.errors import ExecError
+
+__all__ = ["FAULT_ACTIONS", "ChunkFault", "FaultInjected", "FaultPlan"]
+
+#: environment variable holding an ambient fault plan.
+FAULTS_ENV = "REPRO_EXEC_FAULTS"
+
+#: recognised fault actions.
+FAULT_ACTIONS = ("kill", "hang", "raise")
+
+#: how long a ``hang`` sleeps when no duration is given — effectively
+#: forever relative to any sane chunk timeout.
+DEFAULT_HANG_SECONDS = 3600.0
+
+_SPEC_PATTERN = re.compile(
+    r"^(?P<action>kill|hang|raise)@(?P<chunk>\d+)"
+    r"(?:x(?P<count>\d+))?(?::(?P<seconds>\d+(?:\.\d+)?))?$"
+)
+
+
+class FaultInjected(RuntimeError):
+    """The exception a ``raise`` fault throws inside the worker task."""
+
+
+class ChunkFault:
+    """One scripted failure: ``action`` in ``chunk`` for ``count`` attempts."""
+
+    __slots__ = ("action", "chunk", "count", "seconds")
+
+    def __init__(
+        self, action: str, chunk: int, count: int = 1,
+        seconds: Optional[float] = None,
+    ) -> None:
+        if action not in FAULT_ACTIONS:
+            raise ExecError(
+                f"fault action must be one of {FAULT_ACTIONS}, got {action!r}"
+            )
+        self.action = action
+        self.chunk = int(chunk)
+        self.count = int(count)
+        if self.chunk < 0 or self.count < 1:
+            raise ExecError(
+                f"fault needs chunk >= 0 and count >= 1, "
+                f"got chunk={chunk!r} count={count!r}"
+            )
+        self.seconds = (
+            DEFAULT_HANG_SECONDS if seconds is None else float(seconds)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ChunkFault({self.action}@{self.chunk}x{self.count}"
+            f":{self.seconds})"
+        )
+
+
+class FaultPlan:
+    """A picklable set of :class:`ChunkFault`\\ s keyed by chunk index.
+
+    The plan ships to workers through the pool initargs; workers call
+    :meth:`apply` with their chunk's ``(index, attempt)`` right before
+    running the task. Because the lookup depends only on those two
+    integers, fault firing is exactly as deterministic as the chunks
+    themselves.
+    """
+
+    __slots__ = ("_by_chunk",)
+
+    def __init__(self, faults: Sequence[ChunkFault] = ()) -> None:
+        self._by_chunk: Dict[int, ChunkFault] = {}
+        for fault in faults:
+            if fault.chunk in self._by_chunk:
+                raise ExecError(
+                    f"duplicate fault for chunk {fault.chunk}: {fault!r}"
+                )
+            self._by_chunk[fault.chunk] = fault
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse a comma-separated ``action@chunk[xN][:S]`` spec string."""
+        faults = []
+        for part in filter(None, (p.strip() for p in spec.split(","))):
+            match = _SPEC_PATTERN.match(part)
+            if match is None:
+                raise ExecError(
+                    f"bad fault spec {part!r}; expected "
+                    f"action@chunk[xCOUNT][:SECONDS] with action in "
+                    f"{FAULT_ACTIONS}"
+                )
+            faults.append(
+                ChunkFault(
+                    match["action"],
+                    int(match["chunk"]),
+                    int(match["count"] or 1),
+                    float(match["seconds"]) if match["seconds"] else None,
+                )
+            )
+        return cls(faults)
+
+    @classmethod
+    def from_env(cls) -> Optional["FaultPlan"]:
+        """The ambient plan from ``REPRO_EXEC_FAULTS``, or ``None``."""
+        spec = os.environ.get(FAULTS_ENV, "").strip()
+        return cls.parse(spec) if spec else None
+
+    def lookup(self, chunk: int, attempt: int) -> Optional[ChunkFault]:
+        """The fault to fire for this ``(chunk, attempt)``, if any."""
+        fault = self._by_chunk.get(chunk)
+        if fault is not None and attempt < fault.count:
+            return fault
+        return None
+
+    def apply(self, chunk: int, attempt: int) -> None:
+        """Fire the scheduled fault, if any. Worker-side only."""
+        fault = self.lookup(chunk, attempt)
+        if fault is None:
+            return
+        if fault.action == "kill":
+            # Mimic an OOM kill: no exception, no cleanup, no result.
+            os._exit(86)
+        if fault.action == "hang":
+            time.sleep(fault.seconds)
+            return
+        raise FaultInjected(
+            f"injected fault in chunk {chunk} (attempt {attempt})"
+        )
+
+    def __bool__(self) -> bool:
+        return bool(self._by_chunk)
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({sorted(self._by_chunk.values(), key=lambda f: f.chunk)!r})"

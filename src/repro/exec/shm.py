@@ -8,7 +8,11 @@ NumPy available the graph's :class:`~repro.graph.compact.CSRArrays`
 export is instead written once into ``multiprocessing.shared_memory``
 segments (``indptr``/``indices`` as int64, ``weights`` as float64) and
 workers rebuild the graph from the mapped arrays — the only pickled
-payload is the label tuple and three segment names.
+payload is the label tuple and three segment names. The copy-out stays
+in NumPy: each worker materialises ndarray-backed CSR arrays (one
+``memcpy`` per segment) and hands them to
+:meth:`~repro.graph.compact.IndexedDiGraph.from_csr`'s vectorized
+fast path, so rebuilding never round-trips through O(E) Python lists.
 
 Without NumPy the handle simply carries the graph and pickles once per
 worker (the PR-1 initializer behavior) — same results, slower start-up.
@@ -17,10 +21,18 @@ Round-tripping is exact: ``materialize_graph(publish_graph(g).handle)``
 reproduces ``g``'s labels, adjacency, and weights bit-for-bit (float64
 survives the segment unchanged), which is what keeps parallel runs
 bit-identical to serial ones.
+
+Segment lifetime: the parent owns the segments for the pool's lifetime
+and calls :meth:`GraphPublication.close` after the pool joins. Cleanup
+is additionally registered through ``weakref.finalize``, so the
+segments are unlinked even when the parent dies between ``publish`` and
+``close`` (interpreter teardown runs finalizers) — a leaked segment
+would otherwise survive in ``/dev/shm`` until reboot.
 """
 
 from __future__ import annotations
 
+import weakref
 from typing import List, Optional, Tuple
 
 from repro.errors import ExecError
@@ -69,30 +81,44 @@ class _ShmHandle:
         self.segment_names = segment_names
 
 
+def _release_segments(segments: List[object]) -> None:
+    """Close and unlink segments (module-level so finalizers can hold it)."""
+    while segments:
+        segment = segments.pop()
+        try:
+            segment.close()
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
 class GraphPublication:
     """Owns the shared segments backing a published graph.
 
     The parent keeps the publication alive for the pool's lifetime and
     calls :meth:`close` after the pool has joined; workers only ever
     attach read-only and close their mapping. Usable as a context
-    manager.
+    manager. Cleanup is backed by ``weakref.finalize``: if the parent
+    never reaches ``close()`` (crash, ``sys.exit``, dropped reference),
+    the segments are still unlinked at garbage collection or interpreter
+    exit rather than leaking in ``/dev/shm``.
     """
 
-    __slots__ = ("handle", "_segments")
+    __slots__ = ("handle", "_finalizer", "__weakref__")
 
     def __init__(self, handle, segments) -> None:
         self.handle = handle
-        self._segments = list(segments)
+        # The callback must not reference self (that would keep the
+        # publication alive forever); it owns the segment list directly.
+        self._finalizer = weakref.finalize(
+            self, _release_segments, list(segments)
+        )
 
     def close(self) -> None:
         """Release and unlink every owned segment (idempotent)."""
-        segments, self._segments = self._segments, []
-        for segment in segments:
-            try:
-                segment.close()
-                segment.unlink()
-            except FileNotFoundError:  # pragma: no cover - already gone
-                pass
+        # Calling a finalizer runs it at most once, which is exactly the
+        # idempotence close() promises.
+        self._finalizer()
 
     def __enter__(self) -> "GraphPublication":
         return self
@@ -122,7 +148,7 @@ def _share_segments(graph: IndexedDiGraph) -> GraphPublication:
             segments.append(segment)
             names.append(segment.name)
     except BaseException:
-        GraphPublication(None, segments).close()
+        _release_segments(segments)
         raise
     handle = _ShmHandle(
         graph.labels, graph.node_count, graph.edge_count, tuple(names)
@@ -162,9 +188,11 @@ def publish_graph(
 def materialize_graph(handle) -> Optional[IndexedDiGraph]:
     """Rebuild the published graph inside a worker process.
 
-    Shared-memory handles attach each segment, copy the arrays out, and
-    close the mapping immediately (the parent owns the segment lifetime);
-    pickle handles just return the graph they carry.
+    Shared-memory handles attach each segment, copy the arrays out **as
+    NumPy arrays**, and close the mapping immediately (the parent owns
+    the segment lifetime); the rebuilt graph's CSR export stays
+    ndarray-backed, so NumPy-kernel workers never pay an O(E) Python
+    list rebuild. Pickle handles just return the graph they carry.
     """
     if handle is None:
         return None
@@ -178,14 +206,17 @@ def materialize_graph(handle) -> Optional[IndexedDiGraph]:
 
     shapes = (handle.node_count + 1, handle.edge_count, handle.edge_count)
     dtypes = (np.int64, np.int64, np.float64)
-    arrays: List[list] = []
+    arrays = []
     attached = []
     try:
         for name, shape, dtype in zip(handle.segment_names, shapes, dtypes):
             segment = shared_memory.SharedMemory(name=name)
             attached.append(segment)
             view = np.ndarray((shape,), dtype=dtype, buffer=segment.buf)
-            arrays.append(view.tolist())  # copy out before the buffer closes
+            # One memcpy detaches the data before the buffer closes —
+            # never .tolist(), which would rebuild O(E) Python objects
+            # per worker and defeat the shm fast path.
+            arrays.append(np.array(view, copy=True))
     finally:
         for segment in attached:
             segment.close()

@@ -10,6 +10,14 @@ that over ``dict``-keyed adjacency is needlessly slow. An
 
 so the simulators run on small-int arrays and convert back to labels only
 at the API boundary.
+
+Two ingest paths exist for raw CSR arrays (:meth:`IndexedDiGraph.from_csr`):
+the zero-dependency path validates element by element and builds the
+adjacency eagerly, while NumPy-array inputs (the shared-memory worker
+rebuild in :mod:`repro.exec.shm`) are validated **vectorized** and keep
+the arrays as the graph's CSR export directly — the Python tuple
+adjacency is then built lazily, only if something actually walks
+``graph.out``/``graph.inn`` (the NumPy kernels never do).
 """
 
 from __future__ import annotations
@@ -18,7 +26,20 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import GraphError, NodeNotFoundError
 
+try:  # pragma: no cover - exercised via both CI matrix legs
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None  # type: ignore[assignment]
+
 __all__ = ["CSRArrays", "IndexedDiGraph"]
+
+
+def _is_ndarray_triple(indptr, indices, weights) -> bool:
+    """True when all inputs are NumPy arrays (the vectorized ingest path)."""
+    if _np is None:
+        return False
+    arrays = (indptr, indices) + (() if weights is None else (weights,))
+    return all(isinstance(a, _np.ndarray) for a in arrays)
 
 
 class CSRArrays:
@@ -27,12 +48,13 @@ class CSRArrays:
     The flat-array form the batched diffusion kernels
     (:mod:`repro.kernels`) consume: ``indices[indptr[u]:indptr[u + 1]]``
     are the out-neighbor ids of node ``u`` and ``weights`` is parallel to
-    ``indices``. All three are plain tuples of Python numbers so the core
-    stays zero-dependency; the NumPy backend converts them with
-    ``np.asarray`` on first use.
+    ``indices``. By default all three are plain tuples of Python numbers
+    so the core stays zero-dependency; NumPy-array inputs are kept as
+    int64/float64 arrays instead (same values, no per-element boxing) —
+    the form shared-memory workers rebuild graphs from.
 
     Attributes:
-        indptr: row-pointer tuple of length ``node_count + 1``.
+        indptr: row pointers, length ``node_count + 1``.
         indices: flat out-neighbor ids, ``edge_count`` long.
         weights: flat edge weights, parallel to ``indices``.
     """
@@ -45,9 +67,14 @@ class CSRArrays:
         indices: Sequence[int],
         weights: Sequence[float],
     ) -> None:
-        self.indptr: Tuple[int, ...] = tuple(int(p) for p in indptr)
-        self.indices: Tuple[int, ...] = tuple(int(i) for i in indices)
-        self.weights: Tuple[float, ...] = tuple(float(w) for w in weights)
+        if _is_ndarray_triple(indptr, indices, weights):
+            self.indptr = _np.asarray(indptr, dtype=_np.int64)
+            self.indices = _np.asarray(indices, dtype=_np.int64)
+            self.weights = _np.asarray(weights, dtype=_np.float64)
+        else:
+            self.indptr = tuple(int(p) for p in indptr)
+            self.indices = tuple(int(i) for i in indices)
+            self.weights = tuple(float(w) for w in weights)
         if len(self.weights) != len(self.indices):
             raise GraphError(
                 f"weights ({len(self.weights)}) must parallel indices "
@@ -65,13 +92,15 @@ class CSRArrays:
         return len(self.indices)
 
     def row(self, node_id: int) -> Tuple[int, ...]:
-        """Out-neighbor ids of one node."""
-        return self.indices[self.indptr[node_id]: self.indptr[node_id + 1]]
+        """Out-neighbor ids of one node, as a tuple of Python ints."""
+        lo, hi = self.indptr[node_id], self.indptr[node_id + 1]
+        return tuple(int(i) for i in self.indices[lo:hi])
 
     def out_degrees(self) -> List[int]:
         """Out-degree of every node, in id order."""
         return [
-            self.indptr[u + 1] - self.indptr[u] for u in range(self.node_count)
+            int(self.indptr[u + 1] - self.indptr[u])
+            for u in range(self.node_count)
         ]
 
     def in_degrees(self) -> List[int]:
@@ -85,6 +114,50 @@ class CSRArrays:
         return f"CSRArrays(nodes={self.node_count}, edges={self.edge_count})"
 
 
+def _validate_csr_ndarrays(n: int, indptr, indices, weights) -> None:
+    """Vectorized equivalent of the scalar ``from_csr`` validation loop.
+
+    Raises the same :class:`GraphError` messages as the element-wise
+    path, found via the first offending position, so callers cannot tell
+    which path rejected their input.
+    """
+    steps = _np.diff(indptr)
+    if _np.any(steps < 0):
+        u = int(_np.argmax(steps < 0))
+        raise GraphError(
+            f"indptr decreases at row {u}: {int(indptr[u])} -> "
+            f"{int(indptr[u + 1])}"
+        )
+    if len(indices) == 0:
+        return
+    rows = _np.repeat(_np.arange(n, dtype=_np.int64), steps)
+    out_of_range = (indices < 0) | (indices >= n)
+    if _np.any(out_of_range):
+        position = int(_np.argmax(out_of_range))
+        raise GraphError(
+            f"edge index {int(indices[position])} out of range [0, {n}) "
+            f"in row {int(rows[position])}"
+        )
+    loops = indices == rows
+    if _np.any(loops):
+        raise GraphError(
+            f"self-loop on node id {int(rows[int(_np.argmax(loops))])} "
+            f"rejected"
+        )
+    # Duplicate edges within a row = duplicate (row, head) keys.
+    keys = _np.sort(rows * _np.int64(n) + indices)
+    duplicate = keys[1:] == keys[:-1]
+    if _np.any(duplicate):
+        key = int(keys[int(_np.argmax(duplicate))])
+        raise GraphError(f"duplicate edge {key // n} -> {key % n} rejected")
+    if weights is not None and _np.any(weights <= 0):
+        position = int(_np.argmax(weights <= 0))
+        raise GraphError(
+            f"edge weight must be > 0, got {float(weights[position])!r} on "
+            f"{int(rows[position])} -> {int(indices[position])}"
+        )
+
+
 class IndexedDiGraph:
     """Frozen integer view of a directed graph.
 
@@ -92,13 +165,18 @@ class IndexedDiGraph:
         labels: tuple mapping node id -> original node label.
         out: tuple of tuples; ``out[u]`` lists out-neighbor ids of ``u``.
         inn: tuple of tuples; ``inn[u]`` lists in-neighbor ids of ``u``.
+
+    ``out``/``inn``/``out_weights`` are materialised lazily when the
+    graph was built from validated NumPy CSR arrays (see
+    :meth:`from_csr`); every other construction path builds them
+    eagerly, exactly as before.
     """
 
     __slots__ = (
         "labels",
-        "out",
-        "inn",
-        "out_weights",
+        "_out",
+        "_inn",
+        "_out_weights",
         "_index_of",
         "edge_count",
         "_csr",
@@ -114,17 +192,21 @@ class IndexedDiGraph:
         if not (len(labels) == len(out) == len(inn)):
             raise ValueError("labels/out/inn must have equal length")
         self.labels: Tuple[object, ...] = tuple(labels)
-        self.out: Tuple[Tuple[int, ...], ...] = tuple(tuple(n) for n in out)
-        self.inn: Tuple[Tuple[int, ...], ...] = tuple(tuple(n) for n in inn)
+        self._out: Optional[Tuple[Tuple[int, ...], ...]] = tuple(
+            tuple(n) for n in out
+        )
+        self._inn: Optional[Tuple[Tuple[int, ...], ...]] = tuple(
+            tuple(n) for n in inn
+        )
         if out_weights is None:
-            self.out_weights: Tuple[Tuple[float, ...], ...] = tuple(
-                (1.0,) * len(neighbors) for neighbors in self.out
+            self._out_weights: Optional[Tuple[Tuple[float, ...], ...]] = tuple(
+                (1.0,) * len(neighbors) for neighbors in self._out
             )
         else:
-            self.out_weights = tuple(tuple(w) for w in out_weights)
-            if len(self.out_weights) != len(self.out) or any(
+            self._out_weights = tuple(tuple(w) for w in out_weights)
+            if len(self._out_weights) != len(self._out) or any(
                 len(weights) != len(neighbors)
-                for weights, neighbors in zip(self.out_weights, self.out)
+                for weights, neighbors in zip(self._out_weights, self._out)
             ):
                 raise ValueError("out_weights must parallel out adjacency")
         self._index_of: Dict[object, int] = {
@@ -132,8 +214,51 @@ class IndexedDiGraph:
         }
         if len(self._index_of) != len(self.labels):
             raise ValueError("node labels must be unique")
-        self.edge_count = sum(len(neighbors) for neighbors in self.out)
+        self.edge_count = sum(len(neighbors) for neighbors in self._out)
         self._csr: Optional[CSRArrays] = None
+
+    # -- lazy adjacency ----------------------------------------------------------
+
+    @property
+    def out(self) -> Tuple[Tuple[int, ...], ...]:
+        """Out-adjacency tuples (built on first access for CSR-born graphs)."""
+        if self._out is None:
+            self._build_adjacency()
+        return self._out
+
+    @property
+    def inn(self) -> Tuple[Tuple[int, ...], ...]:
+        """In-adjacency tuples (built on first access for CSR-born graphs)."""
+        if self._inn is None:
+            self._build_adjacency()
+        return self._inn
+
+    @property
+    def out_weights(self) -> Tuple[Tuple[float, ...], ...]:
+        """Edge weights parallel to :attr:`out`."""
+        if self._out_weights is None:
+            self._build_adjacency()
+        return self._out_weights
+
+    def _build_adjacency(self) -> None:
+        """Materialise the Python adjacency tuples from the CSR arrays."""
+        csr = self._csr
+        indptr = [int(p) for p in csr.indptr]
+        indices = [int(i) for i in csr.indices]
+        weights = [float(w) for w in csr.weights]
+        n = len(self.labels)
+        out: List[Tuple[int, ...]] = []
+        wout: List[Tuple[float, ...]] = []
+        inn: List[List[int]] = [[] for _ in range(n)]
+        for u in range(n):
+            lo, hi = indptr[u], indptr[u + 1]
+            out.append(tuple(indices[lo:hi]))
+            wout.append(tuple(weights[lo:hi]))
+            for head in indices[lo:hi]:
+                inn[head].append(u)
+        self._out = tuple(out)
+        self._out_weights = tuple(wout)
+        self._inn = tuple(tuple(heads) for heads in inn)
 
     @classmethod
     def from_digraph(cls, graph) -> "IndexedDiGraph":
@@ -178,6 +303,12 @@ class IndexedDiGraph:
           so one in raw input almost certainly means corrupted data);
         * ``weights``, when given, must parallel ``indices`` and be
           strictly positive (matching :meth:`DiGraph.add_edge`).
+
+        NumPy-array inputs take a vectorized path: the same checks run
+        as array operations, the arrays become the graph's CSR export
+        directly, and the Python adjacency tuples are built lazily on
+        first access — which is what lets shared-memory pool workers
+        rebuild a graph in O(1) Python work (see :mod:`repro.exec.shm`).
         """
         n = len(labels)
         if len(indptr) != n + 1:
@@ -198,6 +329,17 @@ class IndexedDiGraph:
             raise GraphError(
                 f"weights ({len(weights)}) must parallel indices "
                 f"({len(indices)})"
+            )
+        if _is_ndarray_triple(indptr, indices, weights):
+            indptr = _np.asarray(indptr, dtype=_np.int64)
+            indices = _np.asarray(indices, dtype=_np.int64)
+            if weights is None:
+                weights = _np.ones(len(indices), dtype=_np.float64)
+            else:
+                weights = _np.asarray(weights, dtype=_np.float64)
+            _validate_csr_ndarrays(n, indptr, indices, weights)
+            return cls._from_csr_arrays(
+                labels, CSRArrays(indptr, indices, weights)
             )
         out: List[List[int]] = []
         inn: List[List[int]] = [[] for _ in range(n)]
@@ -232,6 +374,25 @@ class IndexedDiGraph:
             out.append(row)
             row_weights.append(wrow)
         return cls(labels, out, inn, out_weights=row_weights)
+
+    @classmethod
+    def _from_csr_arrays(
+        cls, labels: Sequence[object], csr: CSRArrays
+    ) -> "IndexedDiGraph":
+        """Internal: wrap already-validated CSR arrays without adjacency."""
+        graph = cls.__new__(cls)
+        graph.labels = tuple(labels)
+        graph._out = None
+        graph._inn = None
+        graph._out_weights = None
+        graph._index_of = {
+            label: index for index, label in enumerate(graph.labels)
+        }
+        if len(graph._index_of) != len(graph.labels):
+            raise ValueError("node labels must be unique")
+        graph.edge_count = int(csr.edge_count)
+        graph._csr = csr
+        return graph
 
     def csr(self) -> CSRArrays:
         """The cached CSR snapshot of the out-adjacency (see :class:`CSRArrays`)."""

@@ -138,6 +138,11 @@ class BatchedSigmaEvaluator:
             bit-identical to serial, see ``docs/parallel.md``.
         share: graph publication mode for the pool (``"auto"``/``"shm"``/
             ``"pickle"``).
+        chunk_timeout: per-chunk deadline in seconds for the pool
+            (``None`` waits forever); see the failure-semantics section
+            of ``docs/parallel.md``.
+        chunk_retries: deterministic resubmission budget per failed
+            chunk (``None`` uses the executor default).
     """
 
     def __init__(
@@ -151,6 +156,8 @@ class BatchedSigmaEvaluator:
         world_source: str = "native",
         workers: Union[int, str, None] = None,
         share: str = "auto",
+        chunk_timeout: Optional[float] = None,
+        chunk_retries: Optional[int] = None,
     ) -> None:
         self.context = context
         self.model = model or OPOAOModel()
@@ -171,6 +178,8 @@ class BatchedSigmaEvaluator:
         self.world_source = world_source
         self.workers = workers
         self.share = share
+        self.chunk_timeout = chunk_timeout
+        self.chunk_retries = chunk_retries
         self.rng = rng or RngStream(name="sigma")
         self._rumor_ids = context.rumor_seed_ids()
         self._end_ids = context.bridge_end_ids()
@@ -281,7 +290,12 @@ class BatchedSigmaEvaluator:
             self.evaluations += len(id_sets)
             return [_sigma_from_race(state, ids) for ids in id_sets]
         self.baseline  # noqa: B018 - parent samples + races once, counted
-        executor = ParallelExecutor(worker_count, share=self.share)
+        executor = ParallelExecutor(
+            worker_count,
+            share=self.share,
+            timeout=self.chunk_timeout,
+            retries=self.chunk_retries,
+        )
         chunk_results = executor.map_chunks(
             _sigma_worker_setup,
             _sigma_worker_chunk,

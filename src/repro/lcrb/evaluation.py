@@ -98,6 +98,9 @@ def evaluate_protectors(
     rng: Optional[RngStream] = None,
     backend: Optional[str] = None,
     workers: Optional[int] = None,
+    checkpoint=None,
+    chunk_timeout: Optional[float] = None,
+    chunk_retries: Optional[int] = None,
 ) -> EvaluationResult:
     """Simulate an instance with a given protector set and aggregate.
 
@@ -116,6 +119,14 @@ def evaluate_protectors(
             ``1`` serial, ``0`` one per CPU); results are bit-identical
             to the serial per-replica path. Ignored with ``backend``
             (the batched kernel already races all replicas at once).
+        checkpoint: a path or :class:`~repro.exec.checkpoint.\
+            CheckpointStore` for the parallel path's replica batches
+            (see :class:`~repro.diffusion.parallel.\
+ParallelMonteCarloSimulator`); ignored on the serial/backend paths.
+        chunk_timeout: per-chunk pool deadline in seconds for the
+            parallel path (see ``docs/parallel.md``).
+        chunk_retries: deterministic resubmission budget per failed
+            chunk (``None`` uses the executor default).
     """
     indexed = context.indexed
     protector_ids = indexed.indices(dict.fromkeys(protectors))
@@ -127,7 +138,10 @@ def evaluate_protectors(
 
         if resolve_workers(workers, runs) > 1:
             return _evaluate_parallel(
-                indexed, seeds, end_ids, model, runs, max_hops, rng, workers
+                indexed, seeds, end_ids, model, runs, max_hops, rng, workers,
+                checkpoint=checkpoint,
+                chunk_timeout=chunk_timeout,
+                chunk_retries=chunk_retries,
             )
 
     simulator = MonteCarloSimulator(
@@ -157,7 +171,8 @@ def evaluate_protectors(
 
 
 def _evaluate_parallel(
-    indexed, seeds, end_ids, model, runs, max_hops, rng, workers
+    indexed, seeds, end_ids, model, runs, max_hops, rng, workers,
+    checkpoint=None, chunk_timeout=None, chunk_retries=None,
 ) -> EvaluationResult:
     """Process-parallel evaluation, bit-identical to the serial path.
 
@@ -168,7 +183,13 @@ ReplicaRecord` data; folding it here in replica order feeds the exact
     from repro.diffusion.parallel import ParallelMonteCarloSimulator
 
     simulator = ParallelMonteCarloSimulator(
-        model, runs=runs, max_hops=max_hops, processes=None if workers == 0 else workers
+        model,
+        runs=runs,
+        max_hops=max_hops,
+        processes=None if workers == 0 else workers,
+        chunk_timeout=chunk_timeout,
+        chunk_retries=chunk_retries,
+        checkpoint=checkpoint,
     )
     aggregate, records = simulator.simulate_detailed(
         indexed, seeds, rng=rng, end_ids=end_ids

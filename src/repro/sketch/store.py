@@ -70,12 +70,18 @@ class SketchStore:
             ``worker_payload()``; contents are bit-identical either way.
         share: graph publication mode for the pool (see
             :func:`repro.exec.shm.publish_graph`).
+        chunk_timeout: per-chunk pool deadline in seconds (``None``
+            waits forever); see ``docs/parallel.md``.
+        chunk_retries: deterministic resubmission budget per failed
+            chunk (``None`` uses the executor default).
     """
 
     __slots__ = (
         "sampler",
         "workers",
         "share",
+        "chunk_timeout",
+        "chunk_retries",
         "worlds",
         "_members",
         "_offsets",
@@ -85,10 +91,19 @@ class SketchStore:
         "_index",
     )
 
-    def __init__(self, sampler, workers=None, share: str = "auto") -> None:
+    def __init__(
+        self,
+        sampler,
+        workers=None,
+        share: str = "auto",
+        chunk_timeout=None,
+        chunk_retries=None,
+    ) -> None:
         self.sampler = sampler
         self.workers = workers
         self.share = share
+        self.chunk_timeout = chunk_timeout
+        self.chunk_retries = chunk_retries
         #: number of worlds sampled so far.
         self.worlds = 0
         self._members = array("q")  # all RR-set members, concatenated
@@ -129,7 +144,12 @@ class SketchStore:
             or not self.sampler.stochastic
         ):
             return [self.sampler.sample_world(index) for index in indices]
-        executor = ParallelExecutor(worker_count, share=self.share)
+        executor = ParallelExecutor(
+            worker_count,
+            share=self.share,
+            timeout=self.chunk_timeout,
+            retries=self.chunk_retries,
+        )
         chunk_results = executor.map_chunks(
             _sampler_worker_setup,
             _sampler_worker_chunk,
@@ -171,6 +191,55 @@ class SketchStore:
             )
             registry.set_gauge("sketch.index_nodes", len(self._index))
             registry.set_gauge("sketch.set_count", len(self._roots))
+
+    # -- checkpointing ----------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-serialisable snapshot of the sampled worlds.
+
+        Captures the flat arrays only — the sampler itself is rebuilt by
+        the resuming run from its own configuration, and the inverted
+        index is re-derived in :meth:`load_state`. Because worlds are
+        pure functions of their index, a restored store is bit-identical
+        to one that sampled the same rounds itself.
+        """
+        return {
+            "worlds": self.worlds,
+            "members": list(self._members),
+            "offsets": list(self._offsets),
+            "roots": list(self._roots),
+            "world_of": list(self._world_of),
+            "sets_per_world": list(self._sets_per_world),
+        }
+
+    def load_state(self, state: Dict[str, object]) -> "SketchStore":
+        """Restore a :meth:`state_dict` snapshot into this (empty) store.
+
+        Restoration deliberately does **not** replay the ``sketch.*``
+        metrics — the interrupted run already counted that sampling
+        work; the resumed run only counts what it samples itself.
+        """
+        if self.worlds or self._roots:
+            raise ValidationError(
+                "load_state requires an empty store; build a fresh one"
+            )
+        self.worlds = int(state["worlds"])
+        self._members = array("q", (int(v) for v in state["members"]))
+        self._offsets = array("q", (int(v) for v in state["offsets"]))
+        self._roots = array("q", (int(v) for v in state["roots"]))
+        self._world_of = array("q", (int(v) for v in state["world_of"]))
+        self._sets_per_world = array(
+            "q", (int(v) for v in state["sets_per_world"])
+        )
+        for set_id in range(len(self._roots)):
+            lo, hi = self._offsets[set_id], self._offsets[set_id + 1]
+            for node in self._members[lo:hi]:
+                bucket = self._index.get(node)
+                if bucket is None:
+                    bucket = array("q")
+                    self._index[node] = bucket
+                bucket.append(set_id)
+        return self
 
     # -- inspection -------------------------------------------------------------
 

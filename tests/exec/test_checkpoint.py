@@ -1,0 +1,282 @@
+"""Checkpoint/resume tests: interrupted runs finish bit-identical.
+
+The contract (``docs/parallel.md``): every checkpointed loop — greedy/
+CELF selection rounds, sketch-store doubling, Monte-Carlo replica
+batches — is prefix-deterministic, so a run resumed from round ``k``
+produces exactly the selections, arrays, and aggregates an uninterrupted
+run produces.
+"""
+
+import json
+
+import pytest
+
+from repro.algorithms.celf import CELFGreedySelector
+from repro.algorithms.greedy import GreedySelector
+from repro.algorithms.ris_greedy import RISGreedySelector
+from repro.diffusion.base import SeedSets
+from repro.diffusion.opoao import OPOAOModel
+from repro.diffusion.parallel import ParallelMonteCarloSimulator
+from repro.errors import CheckpointError
+from repro.exec.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    CheckpointStore,
+    as_store,
+    run_key,
+)
+from repro.obs import MetricsRegistry, use_registry
+from repro.rng import RngStream
+
+
+class TestRunKey:
+    def test_deterministic(self):
+        assert run_key(a=1, b="x") == run_key(a=1, b="x")
+        assert run_key(b="x", a=1) == run_key(a=1, b="x")  # sorted keys
+
+    def test_sensitive_to_every_part(self):
+        base = run_key(model="opoao", seed=3)
+        assert run_key(model="opoao", seed=4) != base
+        assert run_key(model="doam", seed=3) != base
+        assert run_key(model="opoao", seed=3, extra=None) != base
+
+    def test_non_json_values_fingerprint_via_repr(self):
+        assert run_key(ids=(1, 2)) == run_key(ids=(1, 2))
+
+
+class TestCheckpointStore:
+    def test_round_trip(self, tmp_path):
+        store = CheckpointStore(tmp_path / "run.ckpt")
+        store.save("greedy", "k1", {"chosen_ids": [4, 7]}, rounds=2)
+        entry = store.load("greedy", "k1")
+        assert entry == {"key": "k1", "rounds": 2, "state": {"chosen_ids": [4, 7]}}
+
+    def test_missing_file_loads_none(self, tmp_path):
+        assert CheckpointStore(tmp_path / "absent.ckpt").load("greedy", "k") is None
+
+    def test_missing_kind_loads_none(self, tmp_path):
+        store = CheckpointStore(tmp_path / "run.ckpt")
+        store.save("mc", "k", {}, rounds=1)
+        assert store.load("greedy", "k") is None
+
+    def test_resume_false_never_loads(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        CheckpointStore(path).save("greedy", "k", {"chosen_ids": []}, rounds=0)
+        assert CheckpointStore(path, resume=False).load("greedy", "k") is None
+
+    def test_key_mismatch_raises(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        CheckpointStore(path).save("greedy", "old-key", {}, rounds=1)
+        with pytest.raises(CheckpointError):
+            CheckpointStore(path).load("greedy", "new-key")
+
+    def test_foreign_file_raises(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"something": "else"}))
+        with pytest.raises(CheckpointError):
+            CheckpointStore(path).load("greedy", "k")
+        path.write_text("not json at all {")
+        with pytest.raises(CheckpointError):
+            CheckpointStore(path).load("greedy", "k")
+
+    def test_kinds_share_one_file(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        store = CheckpointStore(path)
+        store.save("greedy", "gk", {"chosen_ids": [1]}, rounds=1)
+        store.save("mc", "mk", {"records": []}, rounds=0)
+        assert store.load("greedy", "gk")["state"] == {"chosen_ids": [1]}
+        assert store.load("mc", "mk")["rounds"] == 0
+        document = json.loads(path.read_text())
+        assert document["schema"] == CHECKPOINT_SCHEMA
+        assert set(document["entries"]) == {"greedy", "mc"}
+
+    def test_clear(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        store = CheckpointStore(path)
+        store.save("greedy", "k", {}, rounds=1)
+        store.clear()
+        assert not path.exists()
+        store.clear()  # idempotent
+
+    def test_as_store(self, tmp_path):
+        assert as_store(None) is None
+        existing = CheckpointStore(tmp_path / "a.ckpt", resume=False)
+        assert as_store(existing) is existing
+        from_path = as_store(tmp_path / "b.ckpt")
+        assert isinstance(from_path, CheckpointStore)
+        assert from_path.resume is True
+
+
+def make_greedy(tmp_path=None, cls=CELFGreedySelector):
+    return cls(
+        runs=8,
+        max_hops=8,
+        rng=RngStream(3, name="ckpt-greedy"),
+        backend="python",
+        checkpoint=None if tmp_path is None else tmp_path / "run.ckpt",
+    )
+
+
+class TestGreedyResume:
+    def test_interrupted_run_resumes_bit_identical(self, fig2_context, tmp_path):
+        uninterrupted = make_greedy().select(fig2_context, budget=3)
+        # "Interrupt" after round 2: a budgeted run that checkpoints.
+        prefix = make_greedy(tmp_path).select(fig2_context, budget=2)
+        assert prefix == uninterrupted[:2]
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            resumed = make_greedy(tmp_path).select(fig2_context, budget=3)
+        assert resumed == uninterrupted
+        assert registry.counter_values()["exec.resumed_rounds"] == 2
+
+    def test_exhaustive_greedy_resumes_too(self, fig2_context, tmp_path):
+        uninterrupted = make_greedy(cls=GreedySelector).select(
+            fig2_context, budget=3
+        )
+        make_greedy(tmp_path, cls=GreedySelector).select(fig2_context, budget=2)
+        resumed = make_greedy(tmp_path, cls=GreedySelector).select(
+            fig2_context, budget=3
+        )
+        assert resumed == uninterrupted
+
+    def test_longer_checkpoint_truncates_to_budget(self, fig2_context, tmp_path):
+        full = make_greedy(tmp_path).select(fig2_context, budget=3)
+        truncated = make_greedy(tmp_path).select(fig2_context, budget=2)
+        assert truncated == full[:2]
+
+    def test_different_config_is_rejected(self, fig2_context, tmp_path):
+        make_greedy(tmp_path).select(fig2_context, budget=2)
+        other = CELFGreedySelector(
+            runs=8,
+            max_hops=8,
+            rng=RngStream(99, name="ckpt-greedy"),  # different seed
+            backend="python",
+            checkpoint=tmp_path / "run.ckpt",
+        )
+        with pytest.raises(CheckpointError):
+            other.select(fig2_context, budget=2)
+
+    def test_no_resume_store_starts_fresh(self, fig2_context, tmp_path):
+        make_greedy(tmp_path).select(fig2_context, budget=2)
+        fresh_store = CheckpointStore(tmp_path / "run.ckpt", resume=False)
+        selector = make_greedy()
+        selector.checkpoint = fresh_store
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            result = selector.select(fig2_context, budget=2)
+        assert result == make_greedy().select(fig2_context, budget=2)
+        assert "exec.resumed_rounds" not in registry.counter_values()
+
+
+class TestRISResume:
+    def make_selector(self, tmp_path=None):
+        return RISGreedySelector(
+            semantics="opoao",
+            initial_worlds=8,
+            max_worlds=32,
+            rng=RngStream(5, name="ckpt-ris"),
+            checkpoint=None if tmp_path is None else tmp_path / "run.ckpt",
+        )
+
+    def test_restored_store_is_bit_identical(self, fig2_context, tmp_path):
+        first = self.make_selector(tmp_path)
+        picks = first.select(fig2_context, budget=2)
+        sampled = first.make_store(fig2_context).state_dict()
+        assert sampled["worlds"] >= 8
+
+        resumed = self.make_selector(tmp_path)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            resumed_picks = resumed.select(fig2_context, budget=2)
+        assert resumed_picks == picks
+        assert resumed.make_store(fig2_context).state_dict() == sampled
+        assert registry.counter_values()["exec.resumed_rounds"] == (
+            sampled["worlds"]
+        )
+
+    def test_matches_uncheckpointed_run(self, fig2_context, tmp_path):
+        plain = self.make_selector().select(fig2_context, budget=2)
+        checkpointed = self.make_selector(tmp_path).select(fig2_context, budget=2)
+        assert checkpointed == plain
+
+
+class TestMonteCarloResume:
+    def simulator(self, runs, tmp_path=None, processes=2):
+        return ParallelMonteCarloSimulator(
+            OPOAOModel(),
+            runs=runs,
+            max_hops=5,
+            processes=processes,
+            checkpoint=None if tmp_path is None else tmp_path / "run.ckpt",
+            checkpoint_every=4,
+        )
+
+    def test_interrupted_run_resumes_bit_identical(self, chain, tmp_path):
+        indexed = chain.to_indexed()
+        seeds = SeedSets(rumors=[0])
+
+        def run(simulator):
+            return simulator.simulate_detailed(
+                indexed, seeds, rng=RngStream(11), end_ids=(4, 5)
+            )
+
+        full_aggregate, full_records = run(self.simulator(12))
+        # "Interrupt" after 6 replicas, then resume out to 12.
+        run(self.simulator(6, tmp_path))
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            resumed_aggregate, resumed_records = run(self.simulator(12, tmp_path))
+        assert resumed_records == full_records
+        assert resumed_aggregate.infected_per_hop == full_aggregate.infected_per_hop
+        assert (
+            resumed_aggregate.final_infected.mean
+            == full_aggregate.final_infected.mean
+        )
+        assert registry.counter_values()["exec.resumed_rounds"] == 6
+
+    def test_longer_checkpoint_truncates(self, chain, tmp_path):
+        indexed = chain.to_indexed()
+        seeds = SeedSets(rumors=[0])
+        _, full_records = self.simulator(12, tmp_path).simulate_detailed(
+            indexed, seeds, rng=RngStream(11)
+        )
+        _, short_records = self.simulator(6, tmp_path).simulate_detailed(
+            indexed, seeds, rng=RngStream(11)
+        )
+        assert short_records == full_records[:6]
+
+    def test_different_seeds_rejected(self, chain, tmp_path):
+        indexed = chain.to_indexed()
+        seeds = SeedSets(rumors=[0])
+        self.simulator(6, tmp_path).simulate_detailed(
+            indexed, seeds, rng=RngStream(11)
+        )
+        with pytest.raises(CheckpointError):
+            self.simulator(6, tmp_path).simulate_detailed(
+                indexed, seeds, rng=RngStream(12)
+            )
+
+
+class TestCLICheckpointFlags:
+    def test_select_checkpoint_and_resume(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "cli.ckpt"
+        argv = [
+            "select",
+            "--dataset", "enron-small",
+            "--scale", "0.02",
+            "--algorithm", "greedy",
+            "--budget", "2",
+            "--seed", "13",
+            "--checkpoint", str(path),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert path.exists()
+        document = json.loads(path.read_text())
+        assert document["schema"] == CHECKPOINT_SCHEMA
+        assert document["entries"]["greedy"]["rounds"] == 2
+        # Resuming re-selects the same protectors from the saved rounds.
+        assert main(argv + ["--resume"]) == 0
+        resumed = capsys.readouterr().out
+        assert resumed == first

@@ -64,7 +64,23 @@ class TestPublishGraph:
     def test_weights_survive_exactly(self, weighted):
         with publish_graph(weighted) as publication:
             rebuilt = materialize_graph(publication.handle)
-        assert rebuilt.csr().weights == weighted.csr().weights
+        # tuple() normalises both the scalar and the ndarray-backed CSR
+        # export to comparable Python floats.
+        assert tuple(rebuilt.csr().weights) == tuple(weighted.csr().weights)
+
+    def test_shm_rebuild_is_ndarray_backed(self, weighted):
+        # Satellite fix: workers must copy segments out as NumPy arrays,
+        # not .tolist() them into O(E) Python objects.
+        if shm_module.np is None:
+            pytest.skip("shared memory path requires NumPy")
+        with publish_graph(weighted, share="shm") as publication:
+            rebuilt = materialize_graph(publication.handle)
+        csr = rebuilt.csr()
+        assert isinstance(csr.indptr, shm_module.np.ndarray)
+        assert isinstance(csr.indices, shm_module.np.ndarray)
+        assert isinstance(csr.weights, shm_module.np.ndarray)
+        # ...while staying value-identical to the eagerly-built graph.
+        assert_same_graph(rebuilt, weighted)
 
     def test_unknown_mode_rejected(self, weighted):
         with pytest.raises(ExecError):
@@ -90,6 +106,24 @@ class TestGraphPublicationLifetime:
         publication = publish_graph(weighted, share="shm")
         names = publication.handle.segment_names
         publication.close()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_dropped_publication_unlinks_segments(self, weighted):
+        # Satellite fix: an abandoned publication (crash, sys.exit, a
+        # dropped reference) must not leak /dev/shm segments — cleanup
+        # rides a weakref.finalize, which garbage collection triggers.
+        if shm_module.np is None:
+            pytest.skip("shared memory path requires NumPy")
+        import gc
+
+        from multiprocessing import shared_memory
+
+        publication = publish_graph(weighted, share="shm")
+        names = publication.handle.segment_names
+        del publication
+        gc.collect()
         for name in names:
             with pytest.raises(FileNotFoundError):
                 shared_memory.SharedMemory(name=name)

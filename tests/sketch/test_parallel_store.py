@@ -27,10 +27,12 @@ def store_arrays(store):
 
 
 def counters_only(registry):
+    # Drop timers (never deterministic) and exec.* fault-bookkeeping
+    # counters (present only under the CI fault-injection leg).
     return {
         name: value
         for name, value in registry.counter_values().items()
-        if not name.startswith("time.")
+        if not name.startswith("time.") and not name.startswith("exec.")
     }
 
 
