@@ -131,6 +131,18 @@ def check(
             exit_code = 1
         else:
             print("  ok")
+    baseline_names = {path.name for path in baselines}
+    for result_path in sorted(results_dir.glob("BENCH_*.json")):
+        # A result with no checked-in baseline yet is a warning, not a
+        # failure: a freshly added benchmark must be able to run in CI
+        # before its first baseline lands.
+        if result_path.name not in baseline_names:
+            print(f"== {result_path.name}")
+            print(
+                f"  warn: no baseline for {result_path.name}; run "
+                f"'python benchmarks/check_regression.py --update' and "
+                f"commit benchmarks/baselines/{result_path.name}"
+            )
     return exit_code
 
 

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Scenario: blocking a rumor that spreads by gossip, not by cascade.
+
+The paper's models advance whole frontiers one hop per step. In a
+gossip deployment (push rumor mongering, Demers/Karp style) every node
+instead contacts one random peer per round, pays per message, and loses
+interest once the rumor stops being news — so a protector set is judged
+on a different axis: how many *messages* the network spends versus how
+many nodes the rumor still reaches.
+
+This example draws an LCRB instance on a synthetic Enron-like network,
+then runs the gossip blocking study: no blocking, Random, and MaxDegree
+protector sets under a push protocol with the lose-interest stop rule,
+printing the messages-sent versus final-infected table and the
+per-round infection curves.
+
+Run:  python examples/gossip_blocking.py
+"""
+
+from repro import MaxDegreeSelector, RngStream, SelectionContext
+from repro.algorithms.heuristics import RandomSelector
+from repro.datasets import enron_like
+from repro.gossip import GossipConfig
+from repro.lcrb.gossip_blocking import GossipBlockingScenario
+from repro.lcrb.pipeline import detect_communities, draw_rumor_seeds
+from repro.utils.tables import format_series
+
+REPLICAS = 30
+PROTECTOR_BUDGET = 3
+
+
+def main() -> None:
+    rng = RngStream(77, name="gossip-example")
+
+    network = enron_like(scale=0.04, rng=rng.fork("net"))
+    graph = network.graph
+    communities = detect_communities(graph, rng=rng.fork("louvain"))
+    rumor_community = communities.largest_communities(1)[0]
+    size = communities.size(rumor_community)
+    rumor_count = max(2, round(0.05 * size))
+    seeds = draw_rumor_seeds(communities, rumor_community, rumor_count, rng.fork("s"))
+    context = SelectionContext(graph, communities.members(rumor_community), seeds)
+    print(
+        f"{graph.node_count} nodes; rumor community of {size} with "
+        f"|S_R|={len(context.rumor_seeds)}; protector budget "
+        f"|P|={PROTECTOR_BUDGET}"
+    )
+
+    config = GossipConfig(
+        protocol="push",
+        fanout=2,
+        rumor_budget=6,
+        stop_rule="lose-interest",
+        stop_k=3,
+        max_rounds=25,
+        protector_delay=2.0,
+    )
+    scenario = GossipBlockingScenario(
+        config, runs=REPLICAS, budget=PROTECTOR_BUDGET
+    )
+    selectors = {
+        "none": None,
+        "random": RandomSelector(rng=rng.fork("sel", "random")),
+        "maxdegree": MaxDegreeSelector(),
+    }
+    result = scenario.run(context, rng.fork("study"), selectors=selectors)
+
+    print()
+    print(result.to_table())
+    print()
+    curves = {
+        row.strategy: [round(value, 1) for value in row.infected_series]
+        for row in result.rows
+    }
+    print(format_series(curves, x_label="round", title="mean infected per round"))
+    baseline = result.row("none")
+    best = min(result.rows[1:], key=lambda row: row.mean_infected)
+    saved = baseline.mean_infected - best.mean_infected
+    print(
+        f"\nbest strategy: {best.strategy} — saves {saved:.1f} nodes per "
+        f"replica at ~{best.mean_messages:.0f} messages "
+        f"(baseline {baseline.mean_messages:.0f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -270,6 +270,79 @@ def build_parser() -> argparse.ArgumentParser:
         default=[0.02, 0.05, 0.10, 0.20],
     )
 
+    gossip = sub.add_parser(
+        "gossip",
+        help="run the discrete-event gossip workload (rumor mongering)",
+    )
+    add_dataset_args(gossip)
+    gossip.add_argument(
+        "--protocol",
+        default="push",
+        choices=["push", "pull", "push-pull"],
+        help="rumor-mongering variant (who initiates a round's exchanges)",
+    )
+    gossip.add_argument(
+        "--fanout", type=int, default=1, help="peers contacted per node per round"
+    )
+    gossip.add_argument(
+        "--rumor-budget",
+        type=int,
+        default=8,
+        help="rounds an informed node actively forwards before stopping",
+    )
+    gossip.add_argument(
+        "--stop-rule",
+        default="budget",
+        choices=["budget", "lose-interest", "counter"],
+        help="when spreaders stop: fixed budget, lose interest with "
+        "probability 1/k on an informed contact, or after k informed contacts",
+    )
+    gossip.add_argument(
+        "--stop-k", type=int, default=4, help="the k of lose-interest/counter"
+    )
+    gossip.add_argument(
+        "--rounds", type=int, default=30, help="simulation horizon in rounds"
+    )
+    gossip.add_argument(
+        "--anti-entropy-every",
+        type=int,
+        default=0,
+        help="anti-entropy reconciliation period in rounds (0 = off)",
+    )
+    gossip.add_argument(
+        "--protector-delay",
+        type=float,
+        default=2.0,
+        help="rounds before the protector cascade is injected",
+    )
+    gossip.add_argument(
+        "--protector-budget",
+        type=int,
+        default=None,
+        help="protector spreaders' round budget (default: --rumor-budget)",
+    )
+    gossip.add_argument("--rumor-fraction", type=float, default=0.05)
+    gossip.add_argument(
+        "--protector-selector",
+        default="maxdegree",
+        choices=["ris-greedy", "maxdegree", "random", "none"],
+        help="how the protector seed set is chosen",
+    )
+    gossip.add_argument(
+        "--protectors", type=int, default=2, help="protector seed-set size"
+    )
+    gossip.add_argument("--runs", type=int, default=50, help="gossip replicas")
+    gossip.add_argument(
+        "--compare",
+        action="store_true",
+        help="run the blocking study instead: none/random/maxdegree/"
+        "ris-greedy protector sets on messages-sent vs final-infected",
+    )
+    add_sketch_args(gossip)
+    add_workers_arg(gossip)
+    add_checkpoint_args(gossip)
+    add_metrics_arg(gossip)
+
     experiment = sub.add_parser(
         "experiment", help="regenerate a paper table/figure"
     )
@@ -710,6 +783,88 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_gossip(args) -> int:
+    from repro.gossip import GossipConfig, GossipMonteCarlo
+
+    rng = RngStream(args.seed, name="cli-gossip")
+    dataset, context = _build_instance(args, rng)
+    config = GossipConfig(
+        protocol=args.protocol,
+        fanout=args.fanout,
+        rumor_budget=args.rumor_budget,
+        stop_rule=args.stop_rule,
+        stop_k=args.stop_k,
+        max_rounds=args.rounds,
+        anti_entropy_every=args.anti_entropy_every,
+        protector_delay=args.protector_delay,
+        protector_budget=args.protector_budget,
+    )
+    checkpoint = _checkpoint_store(args)
+    if args.compare:
+        from repro.lcrb.gossip_blocking import GossipBlockingScenario
+
+        scenario = GossipBlockingScenario(
+            config,
+            runs=args.runs,
+            budget=args.protectors,
+            processes=args.workers,
+            chunk_timeout=args.chunk_timeout,
+            chunk_retries=args.chunk_retries,
+            checkpoint=checkpoint,
+        )
+        with metrics().timer("stage.gossip"):
+            result = scenario.run(context, rng.fork("blocking"))
+        print(result.to_table())
+        return 0
+    if args.protector_selector == "none":
+        protector_ids: List[int] = []
+        name = "NoBlocking"
+    else:
+        selector = _selector(
+            args.protector_selector, rng, args, checkpoint=checkpoint
+        )
+        with metrics().timer("stage.select"):
+            chosen = selector.select(context, budget=args.protectors)
+        protector_ids = sorted(context.indexed.indices(chosen))
+        name = selector.name
+    runner = GossipMonteCarlo(
+        config,
+        runs=args.runs,
+        processes=args.workers,
+        chunk_timeout=args.chunk_timeout,
+        chunk_retries=args.chunk_retries,
+        checkpoint=checkpoint,
+    )
+    with metrics().timer("stage.gossip"):
+        aggregate = runner.run(
+            context.indexed,
+            context.rumor_seed_ids(),
+            protector_ids,
+            rng=rng.fork("gossip"),
+        )
+    print(
+        f"{config.protocol} gossip on {args.dataset} "
+        f"({aggregate.replicas} replicas, {name}, |P|={len(protector_ids)}): "
+        f"mean infected={aggregate.mean_infected:.2f}, "
+        f"mean protected={aggregate.mean_protected:.2f}, "
+        f"worst infected={aggregate.max_infected}"
+    )
+    print(
+        f"messages/replica={aggregate.mean_messages:.1f} "
+        f"(total={aggregate.messages_total}); "
+        f"events={aggregate.events}, node-rounds={aggregate.rounds}"
+    )
+    by_kind = " ".join(
+        f"{kind}={count}"
+        for kind, count in sorted(aggregate.messages.items())
+        if count
+    )
+    print(f"messages by kind: {by_kind or 'none'}")
+    series = aggregate.mean_series()
+    print("infected per round: " + " ".join(f"{value:.1f}" for value in series))
+    return 0
+
+
 _COMMANDS = {
     "datasets": _cmd_datasets,
     "stats": _cmd_stats,
@@ -720,6 +875,7 @@ _COMMANDS = {
     "inspect": _cmd_inspect,
     "sources": _cmd_sources,
     "sweep": _cmd_sweep,
+    "gossip": _cmd_gossip,
     "experiment": _cmd_experiment,
 }
 

@@ -61,14 +61,25 @@ def doam_arrival_times(
     for node in rumor_set:
         t_r[node] = 0.0
 
-    # Worklist relaxation; the system is monotone, so this terminates with
-    # the unique least fixpoint.
-    from collections import deque
+    # Event-ordered relaxation: a heap keyed by the node's earliest known
+    # arrival (stable ties via EventOrder seq) processes fronts in
+    # Dijkstra order — each node settles once per improvement instead of
+    # churning through FIFO re-visits. The system is monotone, so this
+    # terminates with the same unique least fixpoint as any worklist
+    # order would.
+    import heapq
 
-    queue = deque(sorted(rumor_set | protector_set, key=repr))
-    queued = set(queue)
-    while queue:
-        node = queue.popleft()
+    from repro.rng import EventOrder
+
+    order = EventOrder()
+    heap = [
+        order.key(0.0) + (node,)
+        for node in sorted(rumor_set | protector_set, key=repr)
+    ]
+    heapq.heapify(heap)
+    queued = {entry[-1] for entry in heap}
+    while heap:
+        node = heapq.heappop(heap)[-1]
         queued.discard(node)
         relays_p = t_p[node] <= t_r[node] and t_p[node] < math.inf
         relays_r = t_r[node] < t_p[node]
@@ -81,7 +92,9 @@ def doam_arrival_times(
                 t_r[head] = t_r[node] + 1
                 changed = True
             if changed and head not in queued:
-                queue.append(head)
+                heapq.heappush(
+                    heap, order.key(min(t_p[head], t_r[head])) + (head,)
+                )
                 queued.add(head)
 
     status: Dict[Node, int] = {}

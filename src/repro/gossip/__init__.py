@@ -1,0 +1,50 @@
+"""Discrete-event gossip-protocol workload (rumor mongering + anti-entropy).
+
+The paper evaluates rumor blocking on batched, synchronous cascade models;
+real dissemination in distributed systems is message-passing gossip. This
+package simulates that setting over the existing graph engine:
+
+* :mod:`repro.gossip.config` — :class:`GossipConfig`: protocol
+  (push / pull / push-pull), fanout, per-rumor budgets, stop rules
+  (budget, lose-interest-with-probability-1/k, seen-counter),
+  anti-entropy period, protector-cascade injection delay.
+* :mod:`repro.gossip.events` — the event queue, keyed by
+  :class:`repro.rng.EventOrder` ``(time, priority, jitter, seq)`` keys so
+  replica runs are deterministic and serialisable.
+* :mod:`repro.gossip.sim` — :class:`GossipEngine`, the single-replica
+  discrete-event simulator, with ``state_dict``/``load_state`` so an
+  in-flight event queue checkpoints through
+  :mod:`repro.exec.checkpoint` and resumes bit-identical.
+* :mod:`repro.gossip.runner` — :class:`GossipMonteCarlo`: replica
+  fan-out through :class:`repro.exec.pool.ParallelExecutor` with
+  serial-vs-parallel bit-identity, replica-batch checkpointing, and
+  ``repro.obs`` counters for events, messages, rounds, and
+  residual-infected gauges.
+
+The blocking study lives in :mod:`repro.lcrb.gossip_blocking`
+(:class:`~repro.lcrb.gossip_blocking.GossipBlockingScenario`); the CLI
+front-end is ``repro gossip`` (see ``docs/gossip.md``).
+"""
+
+from repro.gossip.config import GossipConfig, PROTOCOLS, STOP_RULES
+from repro.gossip.events import EventQueue, GossipEvent
+from repro.gossip.runner import (
+    GossipAggregate,
+    GossipMonteCarlo,
+    GossipReplicaRecord,
+)
+from repro.gossip.sim import GossipEngine, GossipOutcome, run_gossip
+
+__all__ = [
+    "GossipAggregate",
+    "GossipConfig",
+    "GossipEngine",
+    "GossipEvent",
+    "GossipMonteCarlo",
+    "GossipOutcome",
+    "GossipReplicaRecord",
+    "EventQueue",
+    "PROTOCOLS",
+    "STOP_RULES",
+    "run_gossip",
+]

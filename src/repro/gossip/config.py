@@ -1,0 +1,115 @@
+"""Gossip-workload configuration.
+
+One frozen dataclass describes a full protocol instance — rumor mongering
+variant, budgets, stop rule, anti-entropy cadence, and the protector
+cascade's injection parameters — so the engine, the replica runner, the
+checkpoint run-key, the CLI, and the benchmarks all share one vocabulary.
+
+The protocol semantics follow the classic rumor-mongering literature
+(Demers et al. anti-entropy; Karp et al. push-pull with
+lose-interest-with-probability-1/k) as implemented by message-passing
+replica simulators; see ``docs/gossip.md`` for the normative description.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Dict, Optional
+
+from repro.errors import ValidationError
+from repro.utils.validation import check_positive
+
+__all__ = ["GossipConfig", "PROTOCOLS", "STOP_RULES"]
+
+#: Rumor-mongering variants: who initiates a round's exchanges.
+PROTOCOLS = ("push", "pull", "push-pull")
+
+#: When an informed node stops forwarding the rumor:
+#: ``budget`` — after spending its per-rumor round budget;
+#: ``lose-interest`` — after contacting an already-informed peer, with
+#: probability ``1/k`` (Karp et al.'s coin variant);
+#: ``counter`` — after ``k`` already-informed contacts (counter variant).
+STOP_RULES = ("budget", "lose-interest", "counter")
+
+
+@dataclass(frozen=True)
+class GossipConfig:
+    """Parameters of one gossip workload.
+
+    Attributes:
+        protocol: ``push`` (informed nodes forward), ``pull``
+            (uninformed nodes query), or ``push-pull`` (both).
+        fanout: peers contacted per node per round.
+        rumor_budget: rounds an informed node actively forwards before
+            stopping (the ``budget`` stop rule's budget; also the hard
+            cap under the other rules).
+        stop_rule: one of :data:`STOP_RULES`.
+        stop_k: the ``k`` of the ``lose-interest`` and ``counter`` rules.
+        max_rounds: simulation horizon in rounds (events beyond it are
+            dropped; every run terminates).
+        anti_entropy_every: run an anti-entropy reconciliation sweep
+            every this many rounds (``0`` disables it).
+        protector_delay: time at which the protector cascade is
+            injected (rounds; the rumor starts at 0).
+        protector_budget: round budget of protector-cascade spreaders
+            (``None`` = same as ``rumor_budget``).
+        count_acks: whether feedback replies ("seen"/"new" acks) count
+            toward the message totals, as real gossip transports would.
+    """
+
+    protocol: str = "push"
+    fanout: int = 1
+    rumor_budget: int = 8
+    stop_rule: str = "budget"
+    stop_k: int = 4
+    max_rounds: int = 30
+    anti_entropy_every: int = 0
+    protector_delay: float = 2.0
+    protector_budget: Optional[int] = None
+    count_acks: bool = True
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOLS:
+            raise ValidationError(
+                f"unknown protocol {self.protocol!r}; known: {', '.join(PROTOCOLS)}"
+            )
+        if self.stop_rule not in STOP_RULES:
+            raise ValidationError(
+                f"unknown stop rule {self.stop_rule!r}; known: {', '.join(STOP_RULES)}"
+            )
+        check_positive(self.fanout, "fanout")
+        check_positive(self.rumor_budget, "rumor_budget")
+        check_positive(self.stop_k, "stop_k")
+        check_positive(self.max_rounds, "max_rounds")
+        if self.anti_entropy_every < 0:
+            raise ValidationError(
+                f"anti_entropy_every must be >= 0, got {self.anti_entropy_every!r}"
+            )
+        if self.protector_delay < 0:
+            raise ValidationError(
+                f"protector_delay must be >= 0, got {self.protector_delay!r}"
+            )
+        if self.protector_budget is not None:
+            check_positive(self.protector_budget, "protector_budget")
+
+    @property
+    def effective_protector_budget(self) -> int:
+        """The protector cascade's round budget (defaults to the rumor's)."""
+        return (
+            self.rumor_budget
+            if self.protector_budget is None
+            else self.protector_budget
+        )
+
+    def with_overrides(self, **overrides: Any) -> "GossipConfig":
+        """A copy with the named fields replaced (re-validated)."""
+        return replace(self, **overrides)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form, used by checkpoint run-keys and JSON reports."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "GossipConfig":
+        """Rebuild a config from :meth:`to_dict` output."""
+        return cls(**data)

@@ -1,0 +1,373 @@
+"""Replica fan-out for the gossip engine.
+
+Gossip replicas never communicate, so they parallelise exactly like the
+diffusion Monte-Carlo loop (:mod:`repro.diffusion.parallel`): replica
+``i`` always runs on ``rng.replica(i)`` no matter which worker executes
+it, workers ship compact :class:`GossipReplicaRecord` rows home, and the
+parent folds them into the :class:`GossipAggregate` in replica order —
+serial (``processes=1``, the pool's inline path) and parallel runs are
+bit-identical.
+
+Completed replica batches checkpoint through
+:mod:`repro.exec.checkpoint` under kind ``"gossip"``; ``runs`` is kept
+out of the run-key on purpose so a shorter run's prefix seeds a longer
+one. Workers report ``gossip.*`` counters, a ``gossip.final_infected``
+histogram, and a ``gossip.residual_infected`` gauge (max over replicas)
+through the pool's snapshot-merge protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple, Union
+
+from repro.exec.pool import ParallelExecutor, resolve_workers, split_chunks
+from repro.gossip.config import GossipConfig
+from repro.gossip.sim import MESSAGE_KINDS, GossipEngine, GossipOutcome
+from repro.graph.compact import IndexedDiGraph
+from repro.obs.registry import metrics
+from repro.rng import RngStream
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "GossipAggregate",
+    "GossipMonteCarlo",
+    "GossipReplicaRecord",
+    "record_gossip_outcome",
+]
+
+
+class GossipReplicaRecord(NamedTuple):
+    """One gossip replica, reduced to the integers aggregation needs."""
+
+    final_infected: int
+    final_protected: int
+    #: message counts aligned with :data:`repro.gossip.sim.MESSAGE_KINDS`.
+    messages: Tuple[int, ...]
+    events: int
+    rounds: int
+    #: cumulative infected count at the end of round 0..max_rounds.
+    infected_series: Tuple[int, ...]
+
+    @property
+    def messages_total(self) -> int:
+        return sum(self.messages)
+
+
+def record_gossip_outcome(outcome: GossipOutcome) -> GossipReplicaRecord:
+    """Reduce one engine outcome to its :class:`GossipReplicaRecord`."""
+    return GossipReplicaRecord(
+        outcome.infected_count,
+        outcome.protected_count,
+        tuple(outcome.messages[kind] for kind in MESSAGE_KINDS),
+        outcome.events,
+        outcome.rounds,
+        tuple(outcome.infected_series),
+    )
+
+
+class GossipAggregate:
+    """Replica-order fold of :class:`GossipReplicaRecord` rows.
+
+    Attributes:
+        replicas: replicas folded so far.
+        messages: summed message counts by kind.
+        events / rounds: summed event and node-round counts.
+        max_infected: worst replica's final infected count (the
+            residual-infected gauge).
+    """
+
+    def __init__(self, max_rounds: int) -> None:
+        self.max_rounds = int(max_rounds)
+        self.replicas = 0
+        self._infected_sum = 0
+        self._protected_sum = 0
+        self.messages: Dict[str, int] = {kind: 0 for kind in MESSAGE_KINDS}
+        self.events = 0
+        self.rounds = 0
+        self.max_infected = 0
+        self._series_sum = [0] * (self.max_rounds + 1)
+
+    def add_record(self, record: GossipReplicaRecord) -> None:
+        """Fold one replica (call in replica order for bit-identity)."""
+        self.replicas += 1
+        self._infected_sum += record.final_infected
+        self._protected_sum += record.final_protected
+        for kind, count in zip(MESSAGE_KINDS, record.messages):
+            self.messages[kind] += count
+        self.events += record.events
+        self.rounds += record.rounds
+        if record.final_infected > self.max_infected:
+            self.max_infected = record.final_infected
+        for index, value in enumerate(record.infected_series):
+            if index <= self.max_rounds:
+                self._series_sum[index] += value
+
+    @property
+    def messages_total(self) -> int:
+        return sum(self.messages.values())
+
+    @property
+    def mean_infected(self) -> float:
+        return self._infected_sum / self.replicas if self.replicas else 0.0
+
+    @property
+    def mean_protected(self) -> float:
+        return self._protected_sum / self.replicas if self.replicas else 0.0
+
+    @property
+    def mean_messages(self) -> float:
+        return self.messages_total / self.replicas if self.replicas else 0.0
+
+    def mean_series(self) -> List[float]:
+        """Mean cumulative infected count per round boundary."""
+        if not self.replicas:
+            return [0.0] * (self.max_rounds + 1)
+        return [value / self.replicas for value in self._series_sum]
+
+    def summary(self) -> Dict[str, object]:
+        """Plain-dict report (CLI/benchmark JSON output)."""
+        return {
+            "replicas": self.replicas,
+            "mean_infected": self.mean_infected,
+            "mean_protected": self.mean_protected,
+            "max_infected": self.max_infected,
+            "messages_total": self.messages_total,
+            "mean_messages": self.mean_messages,
+            "messages": dict(self.messages),
+            "events": self.events,
+            "rounds": self.rounds,
+            "infected_series": self.mean_series(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"GossipAggregate(replicas={self.replicas}, "
+            f"mean_infected={self.mean_infected:.2f}, "
+            f"messages={self.messages_total})"
+        )
+
+
+def _records_to_state(records: List[GossipReplicaRecord]) -> dict:
+    """JSON-serialisable checkpoint state for a replica-record prefix."""
+    return {
+        "records": [
+            [
+                record.final_infected,
+                record.final_protected,
+                list(record.messages),
+                record.events,
+                record.rounds,
+                list(record.infected_series),
+            ]
+            for record in records
+        ]
+    }
+
+
+def _records_from_state(state: dict) -> List[GossipReplicaRecord]:
+    return [
+        GossipReplicaRecord(
+            int(row[0]),
+            int(row[1]),
+            tuple(int(value) for value in row[2]),
+            int(row[3]),
+            int(row[4]),
+            tuple(int(value) for value in row[5]),
+        )
+        for row in state["records"]
+    ]
+
+
+def _gossip_worker_setup(graph, payload):
+    """Pool worker set-up: shared replica-run state (uncounted)."""
+    return {
+        "graph": graph,
+        "config": GossipConfig.from_dict(payload["config"]),
+        "rumors": payload["rumors"],
+        "protectors": payload["protectors"],
+        "base": RngStream(payload["seed"], name="gossip-worker"),
+    }
+
+
+def _gossip_worker_chunk(state, replica_indices) -> List[GossipReplicaRecord]:
+    """Pool worker task: run a chunk of replicas on their index streams."""
+    records = []
+    for replica_index in replica_indices:
+        engine = GossipEngine(
+            state["graph"],
+            state["config"],
+            state["rumors"],
+            state["protectors"],
+            rng=state["base"].replica(replica_index),
+        )
+        engine.run()
+        records.append(record_gossip_outcome(engine.outcome()))
+    registry = metrics()
+    if registry.enabled:
+        registry.counter("gossip.replicas").add(len(records))
+        registry.counter("gossip.events").add(sum(r.events for r in records))
+        registry.counter("gossip.rounds").add(sum(r.rounds for r in records))
+        registry.counter("gossip.messages").add(
+            sum(r.messages_total for r in records)
+        )
+        for position, kind in enumerate(MESSAGE_KINDS):
+            total = sum(r.messages[position] for r in records)
+            if total:
+                registry.counter(f"gossip.messages.{kind}").add(total)
+        for record in records:
+            registry.observe("gossip.final_infected", record.final_infected)
+        registry.gauge("gossip.residual_infected").merge(
+            max(r.final_infected for r in records)
+        )
+    return records
+
+
+class GossipMonteCarlo:
+    """Replica fan-out with serial-identical aggregates.
+
+    Args:
+        config: the gossip protocol instance.
+        runs: replica count.
+        processes: worker request (``None``/``1`` = inline serial,
+            ``0``/``"auto"``-style counts as in
+            :func:`repro.exec.pool.resolve_workers`).
+        share: graph publication mode for the pool.
+        chunk_timeout / chunk_retries: pool resilience knobs
+            (see ``docs/parallel.md``).
+        checkpoint: a path or
+            :class:`~repro.exec.checkpoint.CheckpointStore`; completed
+            replica batches are saved under kind ``"gossip"`` and a
+            matching checkpoint resumes after its prefix bit-identically.
+        checkpoint_every: replicas per checkpointed batch.
+    """
+
+    def __init__(
+        self,
+        config: GossipConfig,
+        runs: int = 100,
+        processes: Optional[int] = None,
+        share: str = "auto",
+        chunk_timeout: Optional[float] = None,
+        chunk_retries: Optional[int] = None,
+        checkpoint=None,
+        checkpoint_every: int = 32,
+    ) -> None:
+        self.config = config
+        self.runs = int(check_positive(runs, "runs"))
+        if processes is not None and processes != 0:
+            processes = int(check_positive(processes, "processes"))
+        self.processes = processes
+        self.share = share
+        self.chunk_timeout = chunk_timeout
+        self.chunk_retries = chunk_retries
+        self.checkpoint = checkpoint
+        self.checkpoint_every = int(
+            check_positive(checkpoint_every, "checkpoint_every")
+        )
+
+    def run(
+        self,
+        graph: IndexedDiGraph,
+        rumors: Sequence[int],
+        protectors: Sequence[int] = (),
+        rng: Optional[RngStream] = None,
+    ) -> GossipAggregate:
+        """Run all replicas and fold them in replica order."""
+        aggregate, _records = self.run_detailed(graph, rumors, protectors, rng=rng)
+        return aggregate
+
+    def run_detailed(
+        self,
+        graph: IndexedDiGraph,
+        rumors: Sequence[int],
+        protectors: Sequence[int] = (),
+        rng: Optional[RngStream] = None,
+    ) -> Tuple[GossipAggregate, List[GossipReplicaRecord]]:
+        """Like :meth:`run`, also returning every replica's record."""
+        if rng is None:
+            raise ValueError("gossip replicas are stochastic and need an RngStream")
+        rumors = tuple(int(node) for node in rumors)
+        protectors = tuple(int(node) for node in protectors)
+        registry = metrics()
+        workers: Union[int, str] = (
+            self.processes if self.processes is not None else 1
+        )
+        executor = ParallelExecutor(
+            workers,
+            share=self.share,
+            timeout=self.chunk_timeout,
+            retries=self.chunk_retries,
+        )
+        payload = {
+            "config": self.config.to_dict(),
+            "rumors": rumors,
+            "protectors": protectors,
+            "seed": rng.seed,
+        }
+        from repro.exec.checkpoint import as_store
+
+        ckpt = as_store(self.checkpoint)
+        records: List[GossipReplicaRecord] = []
+        key = ""
+        if ckpt is not None:
+            key = self._checkpoint_key(graph, rumors, protectors, rng)
+            entry = ckpt.load("gossip", key)
+            if entry is not None:
+                # ``runs`` is outside the key on purpose: replica i is a
+                # pure function of rng.replica(i), so a shorter run's
+                # prefix seeds a longer one (and a longer one truncates).
+                records = _records_from_state(entry["state"])[: self.runs]
+                if records:
+                    registry.inc("exec.resumed_rounds", len(records))
+        with registry.timer("time.gossip.replicas"):
+            start = len(records)
+            while start < self.runs:
+                stop = (
+                    self.runs
+                    if ckpt is None
+                    else min(self.runs, start + self.checkpoint_every)
+                )
+                indices = list(range(start, stop))
+                worker_count = resolve_workers(workers, len(indices))
+                chunk_results = executor.map_chunks(
+                    _gossip_worker_setup,
+                    _gossip_worker_chunk,
+                    payload,
+                    split_chunks(indices, worker_count),
+                    graph=graph,
+                )
+                records.extend(
+                    record for chunk in chunk_results for record in chunk
+                )
+                start = stop
+                if ckpt is not None:
+                    ckpt.save(
+                        "gossip",
+                        key,
+                        _records_to_state(records),
+                        rounds=len(records),
+                    )
+        aggregate = GossipAggregate(self.config.max_rounds)
+        for record in records:  # replica order -> bit-identical to serial
+            aggregate.add_record(record)
+        return aggregate, records
+
+    def _checkpoint_key(self, graph, rumors, protectors, rng) -> str:
+        """Run-key fingerprint for gossip checkpoints (sans runs)."""
+        from repro.exec.checkpoint import run_key
+
+        return run_key(
+            kind="gossip",
+            config=self.config.to_dict(),
+            seed=rng.seed,
+            nodes=graph.node_count,
+            edges=graph.edge_count,
+            rumors=sorted(rumors),
+            protectors=sorted(protectors),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"GossipMonteCarlo({self.config.protocol}, runs={self.runs}, "
+            f"processes={self.processes or 1})"
+        )

@@ -1,0 +1,467 @@
+"""Single-replica discrete-event gossip engine.
+
+Simulates message-passing rumor mongering over an
+:class:`~repro.graph.compact.IndexedDiGraph`:
+
+* **Rounds.** Every node acts at integer times (1, 2, ...). An informed
+  *spreader* pushes the rumor (or the antidote) to ``fanout`` random
+  out-neighbors per round; an uninformed node in a pull protocol queries
+  ``fanout`` random out-neighbors instead.
+* **Messages.** A message sent in round ``t`` is delivered at
+  ``t + 0.5``; a pull response arrives one full round after the request.
+  Feedback ("new"/"seen" acks) applies at delivery and drives the stop
+  rules: ``budget`` (fixed number of active rounds), ``lose-interest``
+  (after contacting an informed peer, stop with probability ``1/k``) and
+  ``counter`` (stop after ``k`` informed contacts).
+* **Anti-entropy.** Every ``anti_entropy_every`` rounds each node
+  reconciles with one random out-neighbor; an uninformed side acquires
+  the informed side's cascade (and starts spreading it — repair recruits
+  spreaders).
+* **Blocking.** At ``protector_delay`` the protector cascade is injected
+  at the configured seed nodes; the antidote spreads by the same
+  mechanics and *inoculates* nodes it reaches first. Activation is
+  progressive and first-come-wins, with the protector cascade winning
+  exact ties via event priority — the same three common properties the
+  batched diffusion models enforce.
+
+Determinism: all ordering comes from
+:class:`~repro.gossip.events.EventQueue` keys and all randomness from
+two forks of the replica stream, so a run is a pure function of
+``(graph, config, seeds, rng.seed)`` — and :meth:`GossipEngine.state_dict`
+/ :meth:`GossipEngine.load_state` serialise the whole thing (event queue
+included) to JSON, so an interrupted run resumes bit-identical through
+:mod:`repro.exec.checkpoint`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.diffusion.base import INACTIVE, INFECTED, PROTECTED
+from repro.errors import SeedError
+from repro.gossip.config import GossipConfig
+from repro.gossip.events import (
+    EventQueue,
+    PRIORITY_ANTI_ENTROPY,
+    PRIORITY_MSG_PROTECTOR,
+    PRIORITY_MSG_RUMOR,
+    PRIORITY_PROTECT,
+    PRIORITY_ROUND,
+)
+from repro.graph.compact import IndexedDiGraph
+from repro.rng import RngStream
+
+__all__ = ["GossipEngine", "GossipOutcome", "run_gossip", "MESSAGE_KINDS"]
+
+#: Message-count categories every outcome reports (fixed key set so
+#: aggregation and checkpoints never see ragged dicts).
+MESSAGE_KINDS = (
+    "push.rumor",
+    "push.protector",
+    "ack",
+    "pull.request",
+    "pull.response",
+    "anti_entropy",
+)
+
+#: Transit time of a gossip message, in rounds.
+_DELIVERY_DELAY = 0.5
+
+
+def _msg_priority(cascade: int) -> int:
+    """Delivery priority for a message carrying ``cascade``."""
+    return PRIORITY_MSG_PROTECTOR if cascade == PROTECTED else PRIORITY_MSG_RUMOR
+
+
+class GossipOutcome:
+    """Final record of one gossip replica.
+
+    Attributes:
+        states: per-node final state (INACTIVE / INFECTED / PROTECTED).
+        infected_count / protected_count: final cascade sizes.
+        messages: message counts by kind (keys = :data:`MESSAGE_KINDS`).
+        events: events processed.
+        rounds: round events processed (node-rounds, not wall rounds).
+        infected_series: cumulative infected count at the end of round
+            0..max_rounds (round 0 = the rumor seeds).
+    """
+
+    __slots__ = (
+        "states",
+        "infected_count",
+        "protected_count",
+        "messages",
+        "events",
+        "rounds",
+        "infected_series",
+    )
+
+    def __init__(
+        self,
+        states: Tuple[int, ...],
+        infected_count: int,
+        protected_count: int,
+        messages: Dict[str, int],
+        events: int,
+        rounds: int,
+        infected_series: Tuple[int, ...],
+    ) -> None:
+        self.states = states
+        self.infected_count = infected_count
+        self.protected_count = protected_count
+        self.messages = messages
+        self.events = events
+        self.rounds = rounds
+        self.infected_series = infected_series
+
+    @property
+    def messages_total(self) -> int:
+        """All messages sent, across kinds."""
+        return sum(self.messages.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"GossipOutcome(infected={self.infected_count}, "
+            f"protected={self.protected_count}, "
+            f"messages={self.messages_total}, events={self.events})"
+        )
+
+
+class GossipEngine:
+    """One replica's event loop (see the module docstring for semantics).
+
+    Args:
+        graph: the network (integer node ids).
+        config: the protocol instance.
+        rumors: rumor-seed node ids (non-empty).
+        protectors: protector-seed node ids, injected at
+            ``config.protector_delay`` (disjoint from ``rumors``).
+        rng: the replica stream; the engine forks ``draws`` (peer picks,
+            stop-rule coins) and ``event-order`` (tie jitter) from it.
+    """
+
+    def __init__(
+        self,
+        graph: IndexedDiGraph,
+        config: GossipConfig,
+        rumors: Sequence[int],
+        protectors: Sequence[int] = (),
+        rng: Optional[RngStream] = None,
+    ) -> None:
+        self.graph = graph
+        self.config = config
+        self.rumors = tuple(dict.fromkeys(int(r) for r in rumors))
+        self.protectors = tuple(dict.fromkeys(int(p) for p in protectors))
+        self._check_seeds()
+        rng = rng or RngStream(name="gossip")
+        self._draws = rng.fork("draws")
+        self._queue = EventQueue(rng.event_order())
+        n = graph.node_count
+        self._states: List[int] = [INACTIVE] * n
+        self._sends_left: List[int] = [0] * n
+        self._seen_hits: List[int] = [0] * n
+        self._ticking: List[bool] = [False] * n
+        self.infected_count = 0
+        self.protected_count = 0
+        self.messages: Dict[str, int] = {kind: 0 for kind in MESSAGE_KINDS}
+        self.events = 0
+        self.rounds = 0
+        self._series: List[int] = []
+        self._prime()
+
+    # -- construction helpers ------------------------------------------------
+
+    def _check_seeds(self) -> None:
+        if not self.rumors:
+            raise SeedError("rumor seed set must not be empty")
+        overlap = set(self.rumors) & set(self.protectors)
+        if overlap:
+            raise SeedError(
+                f"seed sets must be disjoint; both contain {sorted(overlap)[:5]}"
+            )
+        n = self.graph.node_count
+        for seed in self.rumors + self.protectors:
+            if not 0 <= seed < n:
+                raise SeedError(f"seed id {seed} out of range [0, {n})")
+
+    def _prime(self) -> None:
+        """Initial state: rumor seeds at time 0, scheduled first events."""
+        config = self.config
+        for node in self.rumors:
+            self._states[node] = INFECTED
+            self._sends_left[node] = config.rumor_budget
+            self.infected_count += 1
+        if self._pull_enabled():
+            # Pull protocols: every node ticks from round 1 (uninformed
+            # nodes query; informed spreaders push when enabled).
+            for node in range(self.graph.node_count):
+                self._ticking[node] = True
+                self._queue.push(1.0, PRIORITY_ROUND, ("round", node), jitter=True)
+        elif self._push_enabled():
+            for node in self.rumors:
+                self._ticking[node] = True
+                self._queue.push(1.0, PRIORITY_ROUND, ("round", node), jitter=True)
+        if self.protectors:
+            self._queue.push(
+                config.protector_delay, PRIORITY_PROTECT, ("protect",)
+            )
+        if config.anti_entropy_every:
+            period = float(config.anti_entropy_every)
+            if period <= config.max_rounds:
+                self._queue.push(period, PRIORITY_ANTI_ENTROPY, ("anti",))
+
+    def _push_enabled(self) -> bool:
+        return self.config.protocol in ("push", "push-pull")
+
+    def _pull_enabled(self) -> bool:
+        return self.config.protocol in ("pull", "push-pull")
+
+    # -- the event loop ------------------------------------------------------
+
+    def run(self, max_events: Optional[int] = None) -> bool:
+        """Process events until the queue drains (or ``max_events`` pass).
+
+        Returns ``True`` when the replica finished, ``False`` when it
+        stopped early on the event budget (checkpoint it and resume).
+        """
+        budget = math.inf if max_events is None else int(max_events)
+        processed = 0
+        while self._queue:
+            if processed >= budget:
+                return False
+            time, _priority, event = self._queue.pop()
+            self._record_progress(time)
+            self.events += 1
+            processed += 1
+            kind = event[0]
+            if kind == "round":
+                self._on_round(time, event[1])
+            elif kind == "push":
+                self._on_push(time, event[1], event[2], event[3])
+            elif kind == "pull-req":
+                self._on_pull_request(time, event[1], event[2])
+            elif kind == "pull-resp":
+                self._on_pull_response(time, event[2], event[3])
+            elif kind == "protect":
+                self._on_protect(time)
+            elif kind == "anti":
+                self._on_anti_entropy(time)
+            else:  # pragma: no cover - queue only ever holds known kinds
+                raise ValueError(f"unknown gossip event kind {kind!r}")
+        self._record_progress(math.inf)
+        return True
+
+    @property
+    def done(self) -> bool:
+        """True once the event queue has drained."""
+        return not self._queue
+
+    def outcome(self) -> GossipOutcome:
+        """The final record (call after :meth:`run` returns ``True``)."""
+        self._record_progress(math.inf)
+        return GossipOutcome(
+            states=tuple(self._states),
+            infected_count=self.infected_count,
+            protected_count=self.protected_count,
+            messages=dict(self.messages),
+            events=self.events,
+            rounds=self.rounds,
+            infected_series=tuple(self._series),
+        )
+
+    # -- progress series -----------------------------------------------------
+
+    def _record_progress(self, time: float) -> None:
+        """Fill ``series[r]`` for every round boundary fully behind ``time``.
+
+        ``series[r]`` is the cumulative infected count once every event
+        of round ``r`` (ticks at ``r``, deliveries at ``r + 0.5``) has
+        been processed — i.e. when simulation time reaches ``r + 1``.
+        """
+        horizon = min(time, float(self.config.max_rounds) + 1.0)
+        while len(self._series) <= self.config.max_rounds and (
+            len(self._series) + 1 <= horizon
+        ):
+            self._series.append(self.infected_count)
+
+    # -- node activation -----------------------------------------------------
+
+    def _activate(self, node: int, time: float, cascade: int) -> None:
+        """Inform ``node`` with ``cascade`` and recruit it as a spreader."""
+        config = self.config
+        self._states[node] = cascade
+        self._seen_hits[node] = 0
+        if cascade == INFECTED:
+            self._sends_left[node] = config.rumor_budget
+            self.infected_count += 1
+        else:
+            self._sends_left[node] = config.effective_protector_budget
+            self.protected_count += 1
+        if self._push_enabled() and not self._ticking[node]:
+            first_tick = math.floor(time) + 1.0
+            if first_tick <= config.max_rounds:
+                self._ticking[node] = True
+                self._queue.push(
+                    first_tick, PRIORITY_ROUND, ("round", node), jitter=True
+                )
+
+    def _feedback_seen(self, src: int) -> None:
+        """Apply an already-informed contact to ``src``'s stop rule."""
+        config = self.config
+        self._seen_hits[src] += 1
+        if config.stop_rule == "counter":
+            if self._seen_hits[src] >= config.stop_k:
+                self._sends_left[src] = 0
+        elif config.stop_rule == "lose-interest":
+            if self._draws.random() < 1.0 / config.stop_k:
+                self._sends_left[src] = 0
+
+    # -- event handlers ------------------------------------------------------
+
+    def _on_round(self, time: float, node: int) -> None:
+        config = self.config
+        self.rounds += 1
+        neighbors = self.graph.out[node]
+        state = self._states[node]
+        if (
+            self._push_enabled()
+            and state != INACTIVE
+            and self._sends_left[node] > 0
+        ):
+            if neighbors:
+                kind = "push.protector" if state == PROTECTED else "push.rumor"
+                for _ in range(config.fanout):
+                    dst = self._draws.choice(neighbors)
+                    self.messages[kind] += 1
+                    self._queue.push(
+                        time + _DELIVERY_DELAY,
+                        _msg_priority(state),
+                        ("push", node, dst, state),
+                    )
+            self._sends_left[node] -= 1
+        elif self._pull_enabled() and state == INACTIVE and neighbors:
+            for _ in range(config.fanout):
+                dst = self._draws.choice(neighbors)
+                self.messages["pull.request"] += 1
+                self._queue.push(
+                    time + _DELIVERY_DELAY,
+                    PRIORITY_MSG_RUMOR,
+                    ("pull-req", node, dst),
+                )
+        next_tick = time + 1.0
+        state = self._states[node]
+        still_pushing = (
+            self._push_enabled()
+            and state != INACTIVE
+            and self._sends_left[node] > 0
+        )
+        still_pulling = self._pull_enabled() and state == INACTIVE
+        if next_tick <= config.max_rounds and (still_pushing or still_pulling):
+            self._queue.push(next_tick, PRIORITY_ROUND, ("round", node), jitter=True)
+        else:
+            self._ticking[node] = False
+
+    def _on_push(self, time: float, src: int, dst: int, cascade: int) -> None:
+        if self._states[dst] == INACTIVE:
+            self._activate(dst, time, cascade)
+            if self.config.count_acks:
+                self.messages["ack"] += 1
+        else:
+            if self.config.count_acks:
+                self.messages["ack"] += 1
+            self._feedback_seen(src)
+
+    def _on_pull_request(self, time: float, src: int, dst: int) -> None:
+        """``src`` asked ``dst`` for news; ``dst`` replies with its state."""
+        cascade = self._states[dst]
+        self.messages["pull.response"] += 1
+        self._queue.push(
+            time + _DELIVERY_DELAY,
+            _msg_priority(cascade),
+            ("pull-resp", dst, src, cascade),
+        )
+
+    def _on_pull_response(self, time: float, dst: int, cascade: int) -> None:
+        if cascade != INACTIVE and self._states[dst] == INACTIVE:
+            # Response delivery lands on a round boundary; the requester
+            # first acts in the following round.
+            self._activate(dst, time, cascade)
+
+    def _on_protect(self, time: float) -> None:
+        for node in self.protectors:
+            if self._states[node] == INACTIVE:
+                self._activate(node, time, PROTECTED)
+
+    def _on_anti_entropy(self, time: float) -> None:
+        """One reconciliation sweep: every node syncs with a random peer."""
+        out = self.graph.out
+        for node in range(self.graph.node_count):
+            neighbors = out[node]
+            if not neighbors:
+                continue
+            peer = self._draws.choice(neighbors)
+            self.messages["anti_entropy"] += 2  # offer + reply
+            a, b = self._states[node], self._states[peer]
+            if a == INACTIVE and b != INACTIVE:
+                self._activate(node, time, b)
+            elif b == INACTIVE and a != INACTIVE:
+                self._activate(peer, time, a)
+        next_sweep = time + float(self.config.anti_entropy_every)
+        if next_sweep <= self.config.max_rounds:
+            self._queue.push(next_sweep, PRIORITY_ANTI_ENTROPY, ("anti",))
+
+    # -- checkpointable state ------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable snapshot of the whole in-flight replica."""
+        return {
+            "queue": self._queue.state_dict(),
+            "draws": self._draws.state_dict(),
+            "states": list(self._states),
+            "sends_left": list(self._sends_left),
+            "seen_hits": list(self._seen_hits),
+            "ticking": [int(flag) for flag in self._ticking],
+            "infected_count": self.infected_count,
+            "protected_count": self.protected_count,
+            "messages": dict(self.messages),
+            "events": self.events,
+            "rounds": self.rounds,
+            "series": list(self._series),
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`state_dict` snapshot (graph/config unchanged)."""
+        self._queue = EventQueue.from_state(state["queue"])
+        self._draws = RngStream.from_state(state["draws"])
+        self._states = [int(value) for value in state["states"]]
+        self._sends_left = [int(value) for value in state["sends_left"]]
+        self._seen_hits = [int(value) for value in state["seen_hits"]]
+        self._ticking = [bool(value) for value in state["ticking"]]
+        self.infected_count = int(state["infected_count"])
+        self.protected_count = int(state["protected_count"])
+        self.messages = {
+            kind: int(state["messages"].get(kind, 0)) for kind in MESSAGE_KINDS
+        }
+        self.events = int(state["events"])
+        self.rounds = int(state["rounds"])
+        self._series = [int(value) for value in state["series"]]
+
+    def __repr__(self) -> str:
+        return (
+            f"GossipEngine({self.config.protocol}, nodes={self.graph.node_count}, "
+            f"pending={len(self._queue)}, events={self.events})"
+        )
+
+
+def run_gossip(
+    graph: IndexedDiGraph,
+    config: GossipConfig,
+    rumors: Sequence[int],
+    protectors: Sequence[int] = (),
+    rng: Optional[RngStream] = None,
+) -> GossipOutcome:
+    """Run one gossip replica to completion and return its outcome."""
+    engine = GossipEngine(graph, config, rumors, protectors, rng=rng)
+    engine.run()
+    return engine.outcome()

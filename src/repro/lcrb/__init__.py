@@ -9,9 +9,18 @@
 * :mod:`repro.lcrb.pipeline` — the end-to-end flow: detect communities,
   choose the rumor community, draw rumor seeds, find bridge ends, select
   protectors, evaluate.
+* :mod:`repro.lcrb.gossip_blocking` — the same protector-selection
+  question re-scored on the message-passing gossip workload
+  (:mod:`repro.gossip`): messages sent versus final infected.
 """
 
 from repro.lcrb.evaluation import EvaluationResult, evaluate_protectors
+from repro.lcrb.gossip_blocking import (
+    GossipBlockingResult,
+    GossipBlockingScenario,
+    GossipStrategyRow,
+    default_gossip_selectors,
+)
 from repro.lcrb.pipeline import build_context, draw_rumor_seeds
 from repro.lcrb.problem import LCRBDProblem, LCRBPProblem, LCRBProblem
 
@@ -23,4 +32,8 @@ __all__ = [
     "evaluate_protectors",
     "build_context",
     "draw_rumor_seeds",
+    "GossipBlockingResult",
+    "GossipBlockingScenario",
+    "GossipStrategyRow",
+    "default_gossip_selectors",
 ]

@@ -20,9 +20,9 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Iterator, Optional, Sequence, TypeVar
+from typing import Any, Dict, Iterator, Optional, Sequence, Tuple, TypeVar
 
-__all__ = ["RngStream", "derive_seed", "DEFAULT_SEED"]
+__all__ = ["EventOrder", "RngStream", "derive_seed", "DEFAULT_SEED"]
 
 T = TypeVar("T")
 
@@ -101,6 +101,41 @@ class RngStream:
         """Rewind this stream to its initial state (exact replay)."""
         self._rng = random.Random(self.seed)
 
+    def event_order(self, *path: object) -> "EventOrder":
+        """An :class:`EventOrder` whose jitter draws come from a fork.
+
+        The fork path defaults to ``("event-order",)`` so repeated calls
+        with the same path produce identical key sequences.
+        """
+        return EventOrder(self.fork(*(path or ("event-order",))))
+
+    # -- checkpointable state ------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable snapshot of the stream, mid-consumption.
+
+        Unlike :meth:`restart`, which rewinds to the seed, restoring this
+        snapshot via :meth:`from_state` resumes the stream *exactly where
+        it left off* — the property event-queue checkpointing needs.
+        """
+        version, internal, gauss_next = self._rng.getstate()
+        return {
+            "seed": self.seed,
+            "name": self.name,
+            "version": version,
+            "internal": list(internal),
+            "gauss_next": gauss_next,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "RngStream":
+        """Rebuild a stream from a :meth:`state_dict` snapshot."""
+        stream = cls(state["seed"], name=state["name"])
+        stream._rng.setstate(
+            (state["version"], tuple(state["internal"]), state["gauss_next"])
+        )
+        return stream
+
     # -- draws --------------------------------------------------------------
 
     def random(self) -> float:
@@ -141,3 +176,68 @@ class RngStream:
 
     def __repr__(self) -> str:
         return f"RngStream(seed={self.seed}, name={self.name!r})"
+
+
+class EventOrder:
+    """Deterministic total order for discrete-event queues.
+
+    Produces ``(time, priority, jitter, seq)`` keys: ``time`` orders
+    events chronologically, ``priority`` breaks simultaneity by kind
+    (lower first — e.g. protector messages before rumor messages so P
+    wins ties, matching the diffusion models), ``jitter`` optionally
+    shuffles equal-priority simultaneous events by a seeded draw (so
+    per-round processing order carries no node-insertion bias, yet stays
+    reproducible), and ``seq`` — a monotone insertion counter — makes
+    the order total even when everything else ties.
+
+    Construct with an :class:`RngStream` to enable jitter, or with
+    ``None`` for pure insertion-order tie-breaking (what the
+    deterministic DOAM arrival worklist uses).
+    """
+
+    __slots__ = ("_rng", "_seq")
+
+    def __init__(self, rng: Optional[RngStream] = None) -> None:
+        self._rng = rng
+        self._seq = 0
+
+    def key(
+        self, time: float, priority: int = 0, jitter: bool = False
+    ) -> Tuple[float, int, int, int]:
+        """The next ordering key for an event at ``time``.
+
+        ``jitter=True`` (requires a stream) draws the third component
+        randomly; otherwise it is 0, leaving ``seq`` (insertion order)
+        as the final tie-breaker.
+        """
+        draw = 0
+        if jitter and self._rng is not None:
+            draw = self._rng.randrange(1 << 30)
+        seq = self._seq
+        self._seq += 1
+        return (float(time), int(priority), draw, seq)
+
+    @property
+    def seq(self) -> int:
+        """Keys issued so far (the next key's insertion counter)."""
+        return self._seq
+
+    # -- checkpointable state ------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable snapshot (jitter stream included, if any)."""
+        return {
+            "seq": self._seq,
+            "rng": None if self._rng is None else self._rng.state_dict(),
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "EventOrder":
+        """Rebuild an order from a :meth:`state_dict` snapshot."""
+        rng = None if state["rng"] is None else RngStream.from_state(state["rng"])
+        order = cls(rng)
+        order._seq = int(state["seq"])
+        return order
+
+    def __repr__(self) -> str:
+        return f"EventOrder(seq={self._seq}, jitter={self._rng is not None})"

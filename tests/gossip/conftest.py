@@ -1,0 +1,33 @@
+"""Shared fixtures for the gossip workload tests."""
+
+import pytest
+
+from repro.graph.compact import IndexedDiGraph
+
+
+def bidirectional(edges, nodes):
+    """An IndexedDiGraph with every listed edge in both directions."""
+    out = [[] for _ in range(nodes)]
+    inn = [[] for _ in range(nodes)]
+    for tail, head in edges:
+        out[tail].append(head)
+        inn[head].append(tail)
+        out[head].append(tail)
+        inn[tail].append(head)
+    return IndexedDiGraph(list(range(nodes)), out, inn)
+
+
+@pytest.fixture
+def path3():
+    """0 <-> 1 <-> 2: the hand-enumerable oracle graph."""
+    return bidirectional([(0, 1), (1, 2)], 3)
+
+
+@pytest.fixture
+def ring_graph():
+    """A 24-node bidirectional ring with skip chords (dense enough for
+    every protocol variant to make progress)."""
+    nodes = 24
+    edges = [(i, (i + 1) % nodes) for i in range(nodes)]
+    edges += [(i, (i + 5) % nodes) for i in range(0, nodes, 3)]
+    return bidirectional(edges, nodes)

@@ -1,0 +1,238 @@
+"""Behavioral tests of the single-replica gossip engine.
+
+Includes the hand-enumerated oracle: on the path ``0 <-> 1 <-> 2`` under
+push gossip with fanout 1 and a round budget of ``B``, node 1 picks
+uniformly between its two neighbors each of its ``B`` active rounds, so
+``P(node 2 ever infected) = 1 - 2^-B`` exactly.
+"""
+
+import json
+
+import pytest
+
+from repro.diffusion.base import INACTIVE, INFECTED, PROTECTED
+from repro.errors import SeedError
+from repro.gossip import GossipConfig, GossipEngine, run_gossip
+from repro.rng import RngStream
+
+
+def outcome_fingerprint(outcome):
+    return (
+        outcome.states,
+        outcome.messages,
+        outcome.events,
+        outcome.rounds,
+        outcome.infected_series,
+    )
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("protocol", ["push", "pull", "push-pull"])
+    def test_same_seed_same_outcome(self, ring_graph, protocol):
+        config = GossipConfig(
+            protocol=protocol,
+            fanout=2,
+            rumor_budget=4,
+            max_rounds=12,
+            anti_entropy_every=5,
+        )
+
+        def one(seed):
+            return outcome_fingerprint(
+                run_gossip(
+                    ring_graph, config, [0], [12], rng=RngStream(seed).replica(0)
+                )
+            )
+
+        assert one(42) == one(42)
+        assert one(42) != one(43)
+
+    def test_seed_validation(self, path3):
+        config = GossipConfig()
+        with pytest.raises(SeedError):
+            GossipEngine(path3, config, [])
+        with pytest.raises(SeedError):
+            GossipEngine(path3, config, [0], [0])
+        with pytest.raises(SeedError):
+            GossipEngine(path3, config, [99])
+
+
+class TestOracle:
+    @pytest.mark.parametrize("budget,expected", [(1, 0.5), (2, 0.75), (3, 0.875)])
+    def test_push_path_infection_probability(self, path3, budget, expected):
+        config = GossipConfig(
+            protocol="push", fanout=1, rumor_budget=budget, max_rounds=budget + 5
+        )
+        base = RngStream(123, name="oracle")
+        replicas = 600
+        hits = sum(
+            run_gossip(path3, config, [0], rng=base.replica(i)).states[2] == INFECTED
+            for i in range(replicas)
+        )
+        assert abs(hits / replicas - expected) < 0.07
+
+    def test_seed_always_infects_sole_neighbor(self, path3):
+        config = GossipConfig(protocol="push", fanout=1, rumor_budget=1, max_rounds=5)
+        outcome = run_gossip(path3, config, [0], rng=RngStream(1).replica(0))
+        assert outcome.states[1] == INFECTED  # node 0's only neighbor
+        assert outcome.infected_series[0] == 1
+
+
+class TestStopRules:
+    def test_budget_caps_sends(self, path3):
+        config = GossipConfig(protocol="push", fanout=1, rumor_budget=2, max_rounds=30)
+        outcome = run_gossip(path3, config, [0], rng=RngStream(5).replica(0))
+        # every node sends at most budget pushes; 3 nodes x 2 rounds x fanout 1
+        assert outcome.messages["push.rumor"] <= 3 * 2
+
+    def test_counter_rule_stops_after_k_seen(self):
+        # complete bidirectional triangle: once everyone is informed, each
+        # push is a "seen" contact, so counter k=1 kills spreading fast
+        from tests.gossip.conftest import bidirectional
+
+        graph = bidirectional([(0, 1), (1, 2), (0, 2)], 3)
+        fast = GossipConfig(
+            protocol="push", fanout=1, rumor_budget=30,
+            stop_rule="counter", stop_k=1, max_rounds=40,
+        )
+        slow = fast.with_overrides(stop_k=10)
+        base = RngStream(7, name="counter")
+        fast_msgs = run_gossip(graph, fast, [0], rng=base.replica(0)).messages_total
+        slow_msgs = run_gossip(graph, slow, [0], rng=base.replica(0)).messages_total
+        assert fast_msgs < slow_msgs
+
+    def test_lose_interest_certain_with_k_1(self):
+        from tests.gossip.conftest import bidirectional
+
+        graph = bidirectional([(0, 1), (1, 2), (0, 2)], 3)
+        config = GossipConfig(
+            protocol="push", fanout=1, rumor_budget=50,
+            stop_rule="lose-interest", stop_k=1, max_rounds=60,
+        )
+        outcome = run_gossip(graph, config, [0], rng=RngStream(9).replica(0))
+        # with k=1 a spreader dies on its first seen contact, so the
+        # message count stays far below the budget ceiling
+        assert outcome.messages["push.rumor"] < 3 * 50
+
+
+class TestProtocols:
+    def test_pull_informs_whole_component(self, ring_graph):
+        config = GossipConfig(protocol="pull", fanout=2, max_rounds=30)
+        outcome = run_gossip(ring_graph, config, [0], rng=RngStream(3).replica(0))
+        assert outcome.infected_count == ring_graph.node_count
+        assert outcome.messages["pull.request"] > 0
+        assert outcome.messages["pull.response"] == outcome.messages["pull.request"]
+        assert outcome.messages["push.rumor"] == 0
+
+    def test_push_pull_uses_both_channels(self, ring_graph):
+        config = GossipConfig(protocol="push-pull", fanout=1, max_rounds=20)
+        outcome = run_gossip(ring_graph, config, [0], rng=RngStream(3).replica(0))
+        assert outcome.messages["push.rumor"] > 0
+        assert outcome.messages["pull.request"] > 0
+
+    def test_anti_entropy_completes_budget_starved_spread(self, ring_graph):
+        # a tiny budget stalls organic push spread; periodic anti-entropy
+        # reconciliation still drags the rumor through the ring
+        starved = GossipConfig(
+            protocol="push", fanout=1, rumor_budget=1, max_rounds=40
+        )
+        repaired = starved.with_overrides(anti_entropy_every=2)
+        base = RngStream(11, name="ae")
+        stalled = run_gossip(ring_graph, starved, [0], rng=base.replica(0))
+        healed = run_gossip(ring_graph, repaired, [0], rng=base.replica(0))
+        assert healed.infected_count > stalled.infected_count
+        assert healed.messages["anti_entropy"] > 0
+
+
+class TestBlocking:
+    def test_protectors_inoculate_first_reached(self, path3):
+        # protector at the middle of the path, injected before the rumor
+        # moves: node 2 can only ever hear the antidote
+        config = GossipConfig(
+            protocol="push", fanout=1, rumor_budget=8, max_rounds=30,
+            protector_delay=0.0,
+        )
+        outcome = run_gossip(path3, config, [0], [1], rng=RngStream(5).replica(0))
+        assert outcome.states == (INFECTED, PROTECTED, PROTECTED)
+        assert outcome.infected_count == 1
+
+    def test_late_protectors_block_less(self, ring_graph):
+        early = GossipConfig(
+            protocol="push", fanout=2, rumor_budget=6, max_rounds=25,
+            protector_delay=0.0,
+        )
+        late = early.with_overrides(protector_delay=12.0)
+        protectors = [6, 12, 18]
+        base = RngStream(21, name="delay")
+        replicas = 40
+        early_mean = sum(
+            run_gossip(ring_graph, early, [0], protectors, rng=base.replica(i)).infected_count
+            for i in range(replicas)
+        ) / replicas
+        late_mean = sum(
+            run_gossip(ring_graph, late, [0], protectors, rng=base.replica(i)).infected_count
+            for i in range(replicas)
+        ) / replicas
+        assert early_mean < late_mean
+
+    def test_protector_seed_skipped_when_already_infected(self, path3):
+        # delay long enough for the rumor to own the whole path first
+        config = GossipConfig(
+            protocol="push", fanout=1, rumor_budget=8, max_rounds=40,
+            protector_delay=30.0,
+        )
+        base = RngStream(31, name="late")
+        protected_totals = [
+            run_gossip(path3, config, [0], [2], rng=base.replica(i)).protected_count
+            for i in range(30)
+        ]
+        # whenever the rumor reached node 2 first, the injection is a no-op
+        infected_first = sum(1 for total in protected_totals if total == 0)
+        assert infected_first > 0
+
+
+class TestCheckpoint:
+    def test_state_round_trip_is_bit_identical(self, ring_graph):
+        config = GossipConfig(
+            protocol="push-pull", fanout=2, rumor_budget=5, max_rounds=15,
+            anti_entropy_every=4, protector_delay=3.0,
+            stop_rule="lose-interest", stop_k=3,
+        )
+
+        def engine():
+            return GossipEngine(
+                ring_graph, config, [0], [8, 16], rng=RngStream(9).replica(0)
+            )
+
+        full = engine()
+        full.run()
+        baseline = outcome_fingerprint(full.outcome())
+
+        paused = engine()
+        assert paused.run(max_events=50) is False
+        state = json.loads(json.dumps(paused.state_dict()))
+        resumed = engine()
+        resumed.load_state(state)
+        assert resumed.run() is True
+        assert outcome_fingerprint(resumed.outcome()) == baseline
+
+    def test_pause_points_do_not_matter(self, ring_graph):
+        config = GossipConfig(protocol="push", fanout=2, rumor_budget=4, max_rounds=10)
+
+        def run_with_pauses(pause_every):
+            engine = GossipEngine(
+                ring_graph, config, [0], rng=RngStream(4).replica(0)
+            )
+            while not engine.run(max_events=pause_every):
+                engine.load_state(
+                    json.loads(json.dumps(engine.state_dict()))
+                )
+            return outcome_fingerprint(engine.outcome())
+
+        assert run_with_pauses(7) == run_with_pauses(23) == run_with_pauses(10_000)
+
+    def test_series_has_fixed_length(self, ring_graph):
+        config = GossipConfig(protocol="push", rumor_budget=2, max_rounds=9)
+        outcome = run_gossip(ring_graph, config, [0], rng=RngStream(2).replica(0))
+        assert len(outcome.infected_series) == config.max_rounds + 1
+        assert outcome.infected_series[-1] == outcome.infected_count

@@ -1,0 +1,106 @@
+"""Unit tests for the gossip event queue and its config object."""
+
+import json
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.gossip.config import GossipConfig, PROTOCOLS, STOP_RULES
+from repro.gossip.events import (
+    EventQueue,
+    PRIORITY_ANTI_ENTROPY,
+    PRIORITY_MSG_PROTECTOR,
+    PRIORITY_MSG_RUMOR,
+    PRIORITY_PROTECT,
+    PRIORITY_ROUND,
+)
+from repro.rng import EventOrder, RngStream
+
+
+class TestGossipConfig:
+    def test_defaults_validate(self):
+        config = GossipConfig()
+        assert config.protocol in PROTOCOLS
+        assert config.stop_rule in STOP_RULES
+
+    def test_rejects_unknown_protocol(self):
+        with pytest.raises(ValidationError):
+            GossipConfig(protocol="shout")
+
+    def test_rejects_unknown_stop_rule(self):
+        with pytest.raises(ValidationError):
+            GossipConfig(stop_rule="never")
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("fanout", 0),
+            ("rumor_budget", 0),
+            ("stop_k", 0),
+            ("max_rounds", 0),
+            ("anti_entropy_every", -1),
+            ("protector_delay", -0.5),
+            ("protector_budget", 0),
+        ],
+    )
+    def test_rejects_out_of_range(self, field, value):
+        with pytest.raises(ValidationError):
+            GossipConfig(**{field: value})
+
+    def test_effective_protector_budget_defaults_to_rumor(self):
+        assert GossipConfig(rumor_budget=7).effective_protector_budget == 7
+        assert (
+            GossipConfig(rumor_budget=7, protector_budget=3).effective_protector_budget
+            == 3
+        )
+
+    def test_dict_round_trip(self):
+        config = GossipConfig(protocol="pull", fanout=3, anti_entropy_every=5)
+        assert GossipConfig.from_dict(config.to_dict()) == config
+
+    def test_with_overrides_revalidates(self):
+        config = GossipConfig()
+        assert config.with_overrides(fanout=4).fanout == 4
+        with pytest.raises(ValidationError):
+            config.with_overrides(fanout=0)
+
+
+class TestEventQueue:
+    def test_pops_in_time_priority_order(self):
+        queue = EventQueue(EventOrder())
+        queue.push(2.0, PRIORITY_ROUND, ("round", 1))
+        queue.push(1.0, PRIORITY_MSG_RUMOR, ("push", 0, 1, 1))
+        queue.push(1.0, PRIORITY_MSG_PROTECTOR, ("push", 2, 1, 2))
+        queue.push(1.0, PRIORITY_PROTECT, ("protect",))
+        queue.push(1.0, PRIORITY_ANTI_ENTROPY, ("anti",))
+        kinds = [queue.pop()[2][0] for _ in range(len(queue))]
+        assert kinds == ["protect", "push", "push", "anti", "round"]
+
+    def test_equal_keys_preserve_insertion_order(self):
+        queue = EventQueue(EventOrder())
+        for node in range(5):
+            queue.push(1.0, PRIORITY_ROUND, ("round", node))
+        order = [queue.pop()[2][1] for _ in range(5)]
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_jitter_shuffles_ties_deterministically(self):
+        def drain(seed):
+            queue = EventQueue(RngStream(seed).event_order())
+            for node in range(12):
+                queue.push(1.0, PRIORITY_ROUND, ("round", node), jitter=True)
+            return [queue.pop()[2][1] for _ in range(12)]
+
+        assert drain(5) == drain(5)
+        assert drain(5) != drain(6)
+
+    def test_state_round_trip_preserves_order(self):
+        queue = EventQueue(RngStream(3).event_order())
+        for node in range(8):
+            queue.push(float(node % 3), node % 2, ("round", node), jitter=True)
+        state = json.loads(json.dumps(queue.state_dict()))
+        restored = EventQueue.from_state(state)
+        assert len(restored) == len(queue)
+        while queue:
+            assert restored.pop() == queue.pop()
+        # the restored order continues issuing fresh, later keys
+        assert restored.order.seq == 8

@@ -1,0 +1,110 @@
+"""Order-independence of the repro.obs snapshot-and-merge protocol.
+
+The parallel layers rely on merge order not mattering: chunk snapshots
+are merged home in chunk order, but retries/degradation can legally
+reorder which snapshot carries which share of the work. These properties
+pin the algebra: counters and timers are commutative sums, gauges are a
+commutative max, and histograms keep raw values so every *summary*
+statistic (count, mean, exact percentiles) is permutation-invariant.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.registry import MetricsRegistry
+
+
+@st.composite
+def snapshots(draw):
+    """A list of worker snapshots over a small shared name pool."""
+    names = ["work.a", "work.b", "work.c"]
+    count = draw(st.integers(min_value=1, max_value=5))
+    made = []
+    for _ in range(count):
+        registry = MetricsRegistry()
+        for name in draw(st.lists(st.sampled_from(names), max_size=4)):
+            registry.inc(name, draw(st.integers(min_value=0, max_value=100)))
+        for name in draw(st.lists(st.sampled_from(names), max_size=3)):
+            # gauges are non-negative levels (residual counts, pool sizes);
+            # a fresh gauge starts at 0.0, so max-merge floors at zero
+            registry.set_gauge(name, draw(st.integers(min_value=0, max_value=50)))
+        for name in draw(st.lists(st.sampled_from(names), max_size=3)):
+            for value in draw(
+                st.lists(
+                    st.floats(
+                        min_value=-100,
+                        max_value=100,
+                        allow_nan=False,
+                        allow_infinity=False,
+                    ),
+                    max_size=5,
+                )
+            ):
+                registry.observe(name, value)
+        made.append(registry.snapshot())
+    return made
+
+
+def merged(snaps):
+    registry = MetricsRegistry()
+    for snap in snaps:
+        registry.merge_snapshot(snap)
+    return registry
+
+
+def comparable(registry):
+    """Everything a merged registry reports, histograms as summaries."""
+    document = registry.to_dict()
+    raw_sorted = {
+        name: sorted(histogram.values)
+        for name, histogram in registry._histograms.items()
+    }
+    return document["counters"], document["gauges"], document["histograms"], raw_sorted
+
+
+class TestMergeOrderIndependence:
+    @given(snaps=snapshots(), seed=st.randoms(use_true_random=False))
+    @settings(max_examples=60, deadline=None)
+    def test_any_permutation_merges_identically(self, snaps, seed):
+        shuffled = list(snaps)
+        seed.shuffle(shuffled)
+        base_counters, base_gauges, base_hists, base_raw = comparable(merged(snaps))
+        perm_counters, perm_gauges, perm_hists, perm_raw = comparable(
+            merged(shuffled)
+        )
+        assert perm_counters == base_counters
+        assert perm_gauges == base_gauges
+        assert perm_raw == base_raw
+        # summary statistics (count/min/max/percentiles) are exact and
+        # permutation-invariant; the mean is a float sum, so compare it
+        # with tolerance rather than bitwise
+        assert set(perm_hists) == set(base_hists)
+        for name in base_hists:
+            base_summary = dict(base_hists[name])
+            perm_summary = dict(perm_hists[name])
+            base_mean = base_summary.pop("mean")
+            perm_mean = perm_summary.pop("mean")
+            assert perm_summary == base_summary
+            assert math.isclose(perm_mean, base_mean, rel_tol=1e-9, abs_tol=1e-9)
+
+    @given(snaps=snapshots())
+    @settings(max_examples=30, deadline=None)
+    def test_merge_totals_match_hand_fold(self, snaps):
+        registry = merged(snaps)
+        for name in ("work.a", "work.b", "work.c"):
+            expected = sum(snap["counters"].get(name, 0) for snap in snaps)
+            assert registry.counter_value(name) == expected
+            gauge_values = [
+                snap["gauges"][name] for snap in snaps if name in snap["gauges"]
+            ]
+            if gauge_values:
+                assert registry.gauge(name).value == max(gauge_values)
+            observations = [
+                value
+                for snap in snaps
+                for value in snap["histograms"].get(name, [])
+            ]
+            if observations:
+                assert sorted(registry.histogram(name).values) == sorted(observations)

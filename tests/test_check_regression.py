@@ -119,6 +119,23 @@ class TestCheckAndUpdate:
         assert update(baselines, results) == 0
         assert check(baselines, results, 0.10) == 0
 
+    def test_result_without_baseline_warns_not_fails(self, tmp_path, capsys):
+        baselines, results = tmp_path / "baselines", tmp_path / "results"
+        self._write(baselines, {"sim.edge_visits": 1000})
+        self._write(results, {"sim.edge_visits": 1000})
+        self._write(results, {"gossip.events": 50}, name="fresh_bench")
+        assert check(baselines, results, 0.10) == 0
+        out = capsys.readouterr().out
+        assert "warn: no baseline for BENCH_fresh_bench.json" in out
+        assert "--update" in out
+
+    def test_baseline_less_result_does_not_mask_failures(self, tmp_path):
+        baselines, results = tmp_path / "baselines", tmp_path / "results"
+        self._write(baselines, {"sim.edge_visits": 1000})
+        self._write(results, {"sim.edge_visits": 5000})
+        self._write(results, {"gossip.events": 50}, name="fresh_bench")
+        assert check(baselines, results, 0.10) == 1
+
     def test_main_cli_flags(self, tmp_path):
         baselines, results = tmp_path / "baselines", tmp_path / "results"
         self._write(results, {"sim.rounds": 9})

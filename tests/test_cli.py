@@ -316,3 +316,85 @@ class TestMetricsOut:
         assert main(["datasets"]) == 0
         assert metrics() is NULL_REGISTRY
         assert NULL_REGISTRY.to_dict()["counters"] == {}
+
+
+class TestGossipCommand:
+    BASE = [
+        "gossip",
+        "--dataset",
+        "hep",
+        "--scale",
+        "0.03",
+        "--seed",
+        "13",
+        "--runs",
+        "4",
+    ]
+
+    def test_gossip_runs_and_reports(self, capsys):
+        assert main(self.BASE) == 0
+        out = capsys.readouterr().out
+        assert "push gossip on hep" in out
+        assert "messages by kind:" in out
+        assert "infected per round:" in out
+
+    def test_gossip_is_reproducible(self, capsys):
+        assert main(self.BASE) == 0
+        first = capsys.readouterr().out
+        assert main(self.BASE) == 0
+        assert capsys.readouterr().out == first
+
+    def test_gossip_serial_matches_workers(self, capsys):
+        assert main(self.BASE) == 0
+        serial = capsys.readouterr().out
+        assert main(self.BASE + ["--workers", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_gossip_protocol_and_selector_flags(self, capsys):
+        argv = self.BASE + [
+            "--protocol",
+            "push-pull",
+            "--stop-rule",
+            "counter",
+            "--stop-k",
+            "2",
+            "--anti-entropy-every",
+            "5",
+            "--protector-selector",
+            "none",
+            "--rounds",
+            "10",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "push-pull gossip" in out
+        assert "NoBlocking" in out
+        assert "pull.request=" in out
+
+    def test_gossip_checkpoint_resume_matches(self, tmp_path, capsys):
+        path = tmp_path / "gossip.ckpt"
+        assert main(self.BASE) == 0
+        uninterrupted = capsys.readouterr().out
+        short = [arg if arg != "4" else "2" for arg in self.BASE]
+        assert main(short + ["--checkpoint", str(path)]) == 0
+        capsys.readouterr()
+        resumed_argv = self.BASE + ["--checkpoint", str(path), "--resume"]
+        assert main(resumed_argv) == 0
+        assert capsys.readouterr().out == uninterrupted
+
+    def test_gossip_metrics_out(self, tmp_path):
+        path = tmp_path / "gossip-metrics.json"
+        assert main(self.BASE + ["--metrics-out", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["counters"]["gossip.replicas"] == 4
+        assert payload["counters"]["gossip.messages"] > 0
+        assert payload["counters"]["gossip.events"] > 0
+        assert "gossip.final_infected" in payload["histograms"]
+
+    def test_gossip_compare_table(self, capsys):
+        argv = self.BASE + ["--compare", "--protectors", "2"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "gossip blocking" in out
+        for strategy in ("none", "random", "maxdegree", "ris-greedy"):
+            assert strategy in out

@@ -23,6 +23,7 @@ def test_expected_examples_present():
         "custom_diffusion_model.py",
         "locate_rumor_source.py",
         "bring_your_own_network.py",
+        "gossip_blocking.py",
     } <= names
 
 
