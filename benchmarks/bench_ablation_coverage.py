@@ -43,7 +43,6 @@ def test_ablation_bbst_vs_exact_coverage(benchmark, report_result):
     )
 
     undercounts = 0
-    missing = 0
     for candidate, ends in claimed.items():
         bonus = exact_map.get(candidate, frozenset()) - ends
         if bonus:

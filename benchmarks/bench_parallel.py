@@ -1,21 +1,29 @@
 """Throughput and determinism benchmark of the repro.exec worker pool.
 
-Measures the ISSUE-4 tentpole: σ̂ candidate rounds fanned out over the
-shared-memory process pool on the enron-small replica under OPOAO. One
-timing pass runs the same candidate round serially and at
-``TIMING_WORKERS`` workers and records speedup and parallel efficiency
-(speedup / workers) in the emitted document's ``context``; wall clock is
+Measures the warm-pool executor: σ̂ candidate rounds fanned out over a
+long-lived :class:`~repro.exec.pool.ParallelExecutor` on the enron-small
+replica under OPOAO. The timing pass separates **cold start** (the first
+map on a fresh executor, which pays worker spawn + graph publication +
+per-worker setup) from **warm steady state** (repeat maps on the same
+executor, best of ``WARM_REPEATS``, where workers reuse their cached
+worlds). Speedup and parallel efficiency for both regimes land in the
+emitted document's ``context``; efficiency is measured against the
+*attainable* parallelism ``min(TIMING_WORKERS, cpu_count)`` so the
+number is meaningful on throttled CI runners. Wall clock is
 runner-dependent and **not** gated.
 
-The regression gate consumes the deterministic counter pass: the same
-workload replayed at two workers under the
-:class:`benchmarks.conftest.BenchMetrics` collector. The execution
-layer's contract makes the merged counters equal a serial run's
-(asserted here, together with bit-identical σ̂ values), so the counters
-in ``BENCH_parallel.json`` are exactly as stable as the serial
-benchmarks'.
+The regression gate consumes the deterministic counter pass instead: one
+shared two-worker executor drives the σ̂ round *and* the Monte-Carlo
+replica sweep under the :class:`benchmarks.conftest.BenchMetrics`
+collector, and the pass asserts ``exec.pool.created == 1`` and
+``exec.publications == 1`` — one CLI-shaped invocation, one pool, one
+publication. The execution layer's contract makes the merged work
+counters equal a serial run's (asserted here, together with
+bit-identical σ̂ values), so the counters in ``BENCH_parallel.json`` are
+exactly as stable as the serial benchmarks'.
 """
 
+import os
 import time
 
 import pytest
@@ -28,6 +36,7 @@ from repro.diffusion.base import SeedSets
 from repro.diffusion.opoao import OPOAOModel
 from repro.diffusion.parallel import ParallelMonteCarloSimulator
 from repro.diffusion.simulation import MonteCarloSimulator
+from repro.exec.pool import ParallelExecutor
 from repro.kernels.sigma import BatchedSigmaEvaluator
 from repro.lcrb.pipeline import draw_rumor_seeds
 from repro.rng import RngStream
@@ -45,6 +54,9 @@ MAX_HOPS = 31
 
 #: Worker count for the timing comparison (the acceptance measurement).
 TIMING_WORKERS = 4
+
+#: Warm steady-state passes on the same executor (best-of timing).
+WARM_REPEATS = 3
 
 #: Worker count for the gated deterministic counter pass.
 GATE_WORKERS = 2
@@ -67,7 +79,7 @@ def instance():
     return context, candidates[:CANDIDATES]
 
 
-def make_evaluator(context, workers=None):
+def make_evaluator(context, workers=None, executor=None):
     return BatchedSigmaEvaluator(
         context,
         model=OPOAOModel(),
@@ -76,6 +88,7 @@ def make_evaluator(context, workers=None):
         rng=RngStream(13, name="parallel-sigma"),
         backend="python",
         workers=workers,
+        executor=executor,
     )
 
 
@@ -97,32 +110,55 @@ def test_parallel_sigma_throughput(instance, bench_metrics):
     serial_sigmas, serial_seconds = timed(
         lambda: serial_evaluator.sigma_many(sets)
     )
-    parallel_evaluator = make_evaluator(context, workers=TIMING_WORKERS)
-    parallel_evaluator.baseline
-    parallel_sigmas, parallel_seconds = timed(
-        lambda: parallel_evaluator.sigma_many(sets)
-    )
-    assert parallel_sigmas == serial_sigmas  # bit-identical, per contract
-    speedup = serial_seconds / max(parallel_seconds, 1e-9)
 
-    # Deterministic counter pass for the regression gate: a fresh
-    # two-worker evaluator plus a two-worker replica sweep; the merged
-    # counters equal a serial run's, so the gate sees stable numbers.
+    # Cold start = first map on a fresh executor: pays worker spawn, the
+    # graph publication, and per-worker world setup. Warm steady state =
+    # repeat maps on the SAME executor: workers reuse cached worlds and
+    # the pinned publication, so only chunk shipping remains.
+    with ParallelExecutor(TIMING_WORKERS) as executor:
+        parallel_evaluator = make_evaluator(context, executor=executor)
+        parallel_evaluator.baseline
+        cold_sigmas, cold_seconds = timed(
+            lambda: parallel_evaluator.sigma_many(sets)
+        )
+        warm_seconds = cold_seconds
+        for _ in range(WARM_REPEATS):
+            warm_sigmas, elapsed = timed(
+                lambda: parallel_evaluator.sigma_many(sets)
+            )
+            assert warm_sigmas == serial_sigmas
+            warm_seconds = min(warm_seconds, elapsed)
+    assert cold_sigmas == serial_sigmas  # bit-identical, per contract
+
+    attainable = max(1, min(TIMING_WORKERS, os.cpu_count() or 1))
+    cold_speedup = serial_seconds / max(cold_seconds, 1e-9)
+    warm_speedup = serial_seconds / max(warm_seconds, 1e-9)
+
+    # Deterministic counter pass for the regression gate: ONE shared
+    # executor drives the sigma round and the replica sweep, mirroring a
+    # CLI invocation. The merged work counters equal a serial run's, so
+    # the gate sees stable numbers; the exec.* counters additionally pin
+    # the amortization contract (one pool, one publication).
     with bench_metrics.collect():
-        gated = make_evaluator(context, workers=GATE_WORKERS)
-        gated_sigmas = gated.sigma_many(sets)
-        simulator = ParallelMonteCarloSimulator(
-            OPOAOModel(),
-            runs=REPLICAS,
-            max_hops=MAX_HOPS,
-            processes=GATE_WORKERS,
-        )
-        aggregate = simulator.simulate(
-            context.indexed,
-            SeedSets(rumors=context.rumor_seed_ids()),
-            rng=RngStream(29, name="parallel-mc"),
-        )
+        with ParallelExecutor(GATE_WORKERS) as gate_executor:
+            gated = make_evaluator(context, executor=gate_executor)
+            gated_sigmas = gated.sigma_many(sets)
+            simulator = ParallelMonteCarloSimulator(
+                OPOAOModel(),
+                runs=REPLICAS,
+                max_hops=MAX_HOPS,
+                processes=GATE_WORKERS,
+                executor=gate_executor,
+            )
+            aggregate = simulator.simulate(
+                context.indexed,
+                SeedSets(rumors=context.rumor_seed_ids()),
+                rng=RngStream(29, name="parallel-mc"),
+            )
     assert gated_sigmas == serial_sigmas
+    gate_counters = bench_metrics.registry.counter_values()
+    assert gate_counters.get("exec.pool.created") == 1, gate_counters
+    assert gate_counters.get("exec.publications") == 1, gate_counters
     serial_aggregate = MonteCarloSimulator(
         OPOAOModel(), runs=REPLICAS, max_hops=MAX_HOPS
     ).simulate(
@@ -141,10 +177,17 @@ def test_parallel_sigma_throughput(instance, bench_metrics):
             "replicas": REPLICAS,
             "max_hops": MAX_HOPS,
             "timing_workers": TIMING_WORKERS,
+            "attainable_workers": attainable,
+            "warm_repeats": WARM_REPEATS,
             "gate_workers": GATE_WORKERS,
             "serial_seconds": serial_seconds,
-            "parallel_seconds": parallel_seconds,
-            "speedup": speedup,
-            "efficiency": speedup / TIMING_WORKERS,
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "cold_speedup": cold_speedup,
+            "cold_efficiency": cold_speedup / attainable,
+            # The acceptance numbers: warm steady state on the reused
+            # pool, efficiency against attainable parallelism.
+            "speedup": warm_speedup,
+            "efficiency": warm_speedup / attainable,
         },
     )

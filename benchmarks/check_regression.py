@@ -104,21 +104,46 @@ def compare_documents(
     return failures, notes
 
 
+def summary_table(failures: List[Tuple[str, str]]) -> str:
+    """Aligned cross-document table of every gate failure.
+
+    One row per failure so a run that regresses several counters in
+    several documents reports the whole damage in one place instead of
+    making the operator fix-and-rerun one counter at a time.
+    """
+    documents = sorted({document for document, _ in failures})
+    width = max(len("document"), *(len(document) for document, _ in failures))
+    lines = [
+        f"REGRESSION SUMMARY: {len(failures)} failure(s) across "
+        f"{len(documents)} document(s)",
+        f"  {'document':<{width}}  failure",
+        f"  {'-' * width}  -------",
+    ]
+    for document, failure in failures:
+        lines.append(f"  {document:<{width}}  {failure}")
+    return "\n".join(lines)
+
+
 def check(
     baselines_dir: Path, results_dir: Path, tolerance: float
 ) -> int:
-    """Gate every baseline against its result; returns a process exit code."""
+    """Gate every baseline against its result; returns a process exit code.
+
+    Every document is compared even after the first failure; all
+    regressing counters land in one :func:`summary_table` at the end.
+    """
     baselines = sorted(baselines_dir.glob("BENCH_*.json"))
     if not baselines:
         print(f"error: no BENCH_*.json baselines under {baselines_dir}")
         return 2
-    exit_code = 0
+    all_failures: List[Tuple[str, str]] = []
     for baseline_path in baselines:
         result_path = results_dir / baseline_path.name
         print(f"== {baseline_path.name}")
         if not result_path.exists():
-            print(f"  FAIL: no result emitted at {result_path}")
-            exit_code = 1
+            message = f"no result emitted at {result_path}"
+            print(f"  FAIL: {message}")
+            all_failures.append((baseline_path.name, message))
             continue
         failures, notes = compare_documents(
             load_document(baseline_path), load_document(result_path), tolerance
@@ -127,9 +152,10 @@ def check(
             print(f"  note: {note}")
         for failure in failures:
             print(f"  FAIL: {failure}")
-        if failures:
-            exit_code = 1
-        else:
+        all_failures.extend(
+            (baseline_path.name, failure) for failure in failures
+        )
+        if not failures:
             print("  ok")
     baseline_names = {path.name for path in baselines}
     for result_path in sorted(results_dir.glob("BENCH_*.json")):
@@ -143,7 +169,11 @@ def check(
                 f"'python benchmarks/check_regression.py --update' and "
                 f"commit benchmarks/baselines/{result_path.name}"
             )
-    return exit_code
+    if all_failures:
+        print()
+        print(summary_table(all_failures))
+        return 1
+    return 0
 
 
 def update(baselines_dir: Path, results_dir: Path) -> int:

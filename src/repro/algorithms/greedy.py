@@ -208,6 +208,10 @@ class GreedySelector(ProtectorSelector):
             CheckpointStore`; when set, every completed selection round
             is saved, and a matching checkpoint resumes from its chosen
             prefix — finishing bit-identical to an uninterrupted run.
+        executor: a shared :class:`~repro.exec.pool.ParallelExecutor`
+            handed down to the batched estimator so σ̂ rounds reuse one
+            warm pool (e.g. the CLI-owned pool); ``None`` lets the
+            estimator own its executor.
     """
 
     name = "Greedy"
@@ -227,6 +231,7 @@ class GreedySelector(ProtectorSelector):
         chunk_timeout: Optional[float] = None,
         chunk_retries: Optional[int] = None,
         checkpoint=None,
+        executor=None,
     ) -> None:
         self.model = model or OPOAOModel()
         self.runs = int(check_positive(runs, "runs"))
@@ -243,6 +248,7 @@ class GreedySelector(ProtectorSelector):
         self.chunk_timeout = chunk_timeout
         self.chunk_retries = chunk_retries
         self.checkpoint = checkpoint
+        self.executor = executor
         #: σ̂ evaluations consumed by the most recent select() call — the
         #: quantity the CELF-vs-greedy ablation bench compares.
         self.last_evaluations = 0
@@ -272,6 +278,7 @@ class GreedySelector(ProtectorSelector):
                 workers=self.workers,
                 chunk_timeout=self.chunk_timeout,
                 chunk_retries=self.chunk_retries,
+                executor=self.executor,
             )
         return SigmaEstimator(
             context,

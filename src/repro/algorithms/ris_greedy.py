@@ -79,6 +79,9 @@ BatchedSigmaEvaluator`) and records the achieved protected fraction in
             saved after every growth round, and a matching checkpoint
             restores them — worlds are pure functions of their index, so
             the restored arrays are bit-identical to resampling.
+        executor: a shared :class:`~repro.exec.pool.ParallelExecutor`
+            handed down to every sketch store so doubling rounds reuse
+            one warm pool; ``None`` lets each store own its executor.
     """
 
     name = "RIS-Greedy"
@@ -99,6 +102,7 @@ BatchedSigmaEvaluator`) and records the achieved protected fraction in
         chunk_timeout: Optional[float] = None,
         chunk_retries: Optional[int] = None,
         checkpoint=None,
+        executor=None,
     ) -> None:
         self.semantics = semantics
         self.epsilon = check_fraction(epsilon, "epsilon", exclusive=True)
@@ -114,6 +118,7 @@ BatchedSigmaEvaluator`) and records the achieved protected fraction in
         self.chunk_timeout = chunk_timeout
         self.chunk_retries = chunk_retries
         self.checkpoint = checkpoint
+        self.executor = executor
         #: worlds held by the store after the most recent select() call.
         self.last_worlds = 0
         #: protected fraction the kernel verification measured for the
@@ -143,6 +148,7 @@ BatchedSigmaEvaluator`) and records the achieved protected fraction in
             workers=self.workers,
             chunk_timeout=self.chunk_timeout,
             chunk_retries=self.chunk_retries,
+            executor=self.executor,
         )
         self._stores[key] = (context, store)
         return store

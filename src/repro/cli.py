@@ -393,6 +393,7 @@ def _selector(name: str, rng: RngStream, args=None, checkpoint=None):
             chunk_timeout=getattr(args, "chunk_timeout", None),
             chunk_retries=getattr(args, "chunk_retries", None),
             checkpoint=checkpoint,
+            executor=getattr(args, "executor", None),
         )
     if name == "gvs":
         from repro.algorithms.gvs import GreedyViralStopper
@@ -408,6 +409,7 @@ def _selector(name: str, rng: RngStream, args=None, checkpoint=None):
             chunk_timeout=getattr(args, "chunk_timeout", None),
             chunk_retries=getattr(args, "chunk_retries", None),
             checkpoint=checkpoint,
+            executor=getattr(args, "executor", None),
         )
     if name == "maxdegree":
         return MaxDegreeSelector()
@@ -530,6 +532,7 @@ def _cmd_simulate(args) -> int:
             checkpoint=checkpoint,
             chunk_timeout=args.chunk_timeout,
             chunk_retries=args.chunk_retries,
+            executor=getattr(args, "executor", None),
         )
     print(
         f"{name} with |P|={len(protectors)} under {model.name}: "
@@ -615,6 +618,7 @@ def _bench_sigma(args, context, model, rng: RngStream) -> int:
         max_hops=args.hops,
         rng=rng.fork("sigma"),
         backend=args.backend,
+        executor=getattr(args, "executor", None),
     )
     candidates = candidate_pool(context) or candidate_pool(context, "all")
     candidates = candidates[: args.candidates]
@@ -697,7 +701,11 @@ def _cmd_bench(args) -> int:
 
         worker_count = resolve_workers(args.workers, args.runs)
         simulator = ParallelMonteCarloSimulator(
-            model, runs=args.runs, max_hops=args.hops, processes=worker_count
+            model,
+            runs=args.runs,
+            max_hops=args.hops,
+            processes=worker_count,
+            executor=getattr(args, "executor", None),
         )
         parallel_timer = Timer("bench-parallel")
         with parallel_timer:
@@ -811,6 +819,7 @@ def _cmd_gossip(args) -> int:
             chunk_timeout=args.chunk_timeout,
             chunk_retries=args.chunk_retries,
             checkpoint=checkpoint,
+            executor=getattr(args, "executor", None),
         )
         with metrics().timer("stage.gossip"):
             result = scenario.run(context, rng.fork("blocking"))
@@ -834,6 +843,7 @@ def _cmd_gossip(args) -> int:
         chunk_timeout=args.chunk_timeout,
         chunk_retries=args.chunk_retries,
         checkpoint=checkpoint,
+        executor=getattr(args, "executor", None),
     )
     with metrics().timer("stage.gossip"):
         aggregate = runner.run(
@@ -880,6 +890,31 @@ _COMMANDS = {
 }
 
 
+def _run_command(command, args) -> int:
+    """Run one command with at most one shared process pool.
+
+    When ``--workers`` is given, a single :class:`~repro.exec.pool.\
+ParallelExecutor` is built up front and stashed on ``args.executor``;
+    every parallel consumer the command touches (selection, evaluation,
+    benchmarks, gossip) submits to it, so one invocation creates exactly
+    one pool and one graph publication. Without ``--workers`` the
+    attribute is ``None`` and consumers fall back to their own settings.
+    """
+    workers = getattr(args, "workers", None)
+    if workers is None:
+        args.executor = None
+        return command(args)
+    from repro.exec.pool import ParallelExecutor
+
+    with ParallelExecutor(
+        workers,
+        timeout=getattr(args, "chunk_timeout", None),
+        retries=getattr(args, "chunk_retries", None),
+    ) as executor:
+        args.executor = executor
+        return command(args)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -888,10 +923,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     command = _COMMANDS[args.command]
     metrics_path = getattr(args, "metrics_out", None)
     if metrics_path is None:
-        return command(args)
+        return _run_command(command, args)
     registry = MetricsRegistry()
     with use_registry(registry):
-        code = command(args)
+        code = _run_command(command, args)
     registry.write_json(
         metrics_path,
         extra={

@@ -28,7 +28,7 @@ from repro.diffusion.base import (
     SeedSets,
 )
 from repro.diffusion.simulation import MonteCarloSimulator, SimulationAggregate
-from repro.exec.pool import ParallelExecutor, resolve_workers, split_chunks
+from repro.exec.pool import ParallelExecutor
 from repro.graph.compact import IndexedDiGraph
 from repro.obs.registry import metrics
 from repro.rng import RngStream
@@ -155,6 +155,10 @@ class ParallelMonteCarloSimulator:
             replica ``i`` always runs on ``rng.replica(i)``, so the
             resumed aggregate is bit-identical to an uninterrupted run.
         checkpoint_every: replicas per checkpointed batch.
+        executor: a shared :class:`~repro.exec.pool.ParallelExecutor`
+            (its knobs then govern); ``None`` lazily builds a
+            simulator-owned one — either way every checkpoint batch of
+            every :meth:`simulate` call reuses the same warm pool.
 
     Note:
         The callback-per-outcome hook of the serial simulator is not
@@ -174,6 +178,7 @@ class ParallelMonteCarloSimulator:
         chunk_retries: Optional[int] = None,
         checkpoint=None,
         checkpoint_every: int = 64,
+        executor: Optional[ParallelExecutor] = None,
     ) -> None:
         self.model = model
         self.runs = int(check_positive(runs, "runs"))
@@ -188,6 +193,7 @@ class ParallelMonteCarloSimulator:
         self.checkpoint_every = int(
             check_positive(checkpoint_every, "checkpoint_every")
         )
+        self._executor = executor
 
     def simulate(
         self,
@@ -227,15 +233,17 @@ class ParallelMonteCarloSimulator:
             raise ValueError(f"{self.model.name} is stochastic and needs an RngStream")
 
         registry = metrics()
-        workers: Union[int, str] = (
-            self.processes if self.processes is not None else "auto"
-        )
-        executor = ParallelExecutor(
-            workers,
-            share=self.share,
-            timeout=self.chunk_timeout,
-            retries=self.chunk_retries,
-        )
+        if self._executor is None:
+            workers: Union[int, str] = (
+                self.processes if self.processes is not None else "auto"
+            )
+            self._executor = ParallelExecutor(
+                workers,
+                share=self.share,
+                timeout=self.chunk_timeout,
+                retries=self.chunk_retries,
+            )
+        executor = self._executor
         payload = {
             "model": self.model,
             "seeds": seeds,
@@ -267,17 +275,13 @@ class ParallelMonteCarloSimulator:
                     else min(self.runs, start + self.checkpoint_every)
                 )
                 indices = list(range(start, stop))
-                worker_count = resolve_workers(workers, len(indices))
-                chunk_results = executor.map_chunks(
+                records.extend(executor.map_items(
                     _simulate_worker_setup,
                     _simulate_worker_chunk,
                     payload,
-                    split_chunks(indices, worker_count),
+                    indices,
                     graph=graph,
-                )
-                records.extend(
-                    record for chunk in chunk_results for record in chunk
-                )
+                ))
                 start = stop
                 if ckpt is not None:
                     ckpt.save(

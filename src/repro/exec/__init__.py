@@ -7,10 +7,14 @@ keeping results **bit-identical** to a serial run:
   :class:`~repro.graph.compact.IndexedDiGraph` to every worker — through
   ``multiprocessing.shared_memory`` CSR segments when NumPy is present,
   or pickled once per worker otherwise;
-* :class:`~repro.exec.pool.ParallelExecutor` schedules contiguous,
-  index-ordered chunks, merges results in chunk order, and folds worker
-  metrics back through the :mod:`repro.obs` snapshot-and-merge protocol —
-  with per-chunk timeouts, deterministic retries, and graceful
+* :class:`~repro.exec.pool.ParallelExecutor` owns one **long-lived**
+  worker pool (created lazily, reused across maps and subsystems until
+  ``close()``), pins the graph publication for the pool's lifetime,
+  caches per-worker task state between maps, schedules contiguous,
+  index-ordered chunks (auto-tuned from observed per-item cost), merges
+  results in chunk order, and folds worker metrics back through the
+  :mod:`repro.obs` snapshot-and-merge protocol — with per-chunk
+  timeouts, deterministic retries on recycled workers, and graceful
   degradation to inline execution when the pool keeps failing;
 * :class:`~repro.exec.resilience.FaultPlan` scripts worker failures
   (kill/hang/raise) for the fault-injection test suites, ambiently via
@@ -29,7 +33,13 @@ from repro.exec.checkpoint import (
     as_store,
     run_key,
 )
-from repro.exec.pool import ParallelExecutor, resolve_workers, split_chunks
+from repro.exec.pool import (
+    ParallelExecutor,
+    resolve_workers,
+    shutdown_shared_pools,
+    split_chunks,
+    split_even,
+)
 from repro.exec.resilience import ChunkFault, FaultInjected, FaultPlan
 from repro.exec.shm import GraphPublication, materialize_graph, publish_graph
 
@@ -46,5 +56,7 @@ __all__ = [
     "publish_graph",
     "resolve_workers",
     "run_key",
+    "shutdown_shared_pools",
     "split_chunks",
+    "split_even",
 ]

@@ -1,7 +1,7 @@
-"""Deterministic chunked scheduling over a process pool.
+"""Deterministic chunked scheduling over a persistent process pool.
 
 The execution contract every consumer (batched σ̂ evaluation, RR-set
-sampling, Monte-Carlo replicas) relies on:
+sampling, Monte-Carlo replicas, gossip replicas) relies on:
 
 * **Work item ``i`` is self-describing.** Chunks carry the items
   themselves (candidate id lists, world indices, replica indices) and
@@ -10,26 +10,46 @@ sampling, Monte-Carlo replicas) relies on:
 * **Chunks are contiguous and merged in index order.** Results are
   collected by chunk index and flattened in ascending index order, so
   the serial iteration order is reproduced exactly; serial and parallel
-  runs are bit-identical.
-* **Worker set-up work is never counted.** The initializer installs the
-  null metrics registry and runs the consumer's ``setup`` under it:
+  runs are bit-identical. Chunk *granularity* is therefore free to vary
+  (see "chunk auto-tuning" below) without changing any result or any
+  merged counter total.
+* **Worker set-up work is never counted.** Worker processes install the
+  null metrics registry and run the consumer's ``setup`` under it:
   redundant per-worker preparation (attaching the graph, re-sampling the
   shared world batch, re-running a baseline race) would otherwise
   multiply work counters by the worker count. Each *chunk* then runs
   under a fresh registry whose snapshot ships home and is merged in
   chunk order — total counters equal a serial run's.
 
+Executor lifecycle (docs/parallel.md, "Executor lifecycle"):
+
+* the worker pool is created **once**, lazily, on the first pooled map,
+  and reused by every subsequent map until :meth:`ParallelExecutor.close`
+  (the executor is a context manager; a ``weakref.finalize`` backstop
+  releases the pool and any shm segments if the executor is dropped
+  without closing);
+* the graph publication is pinned for the pool's lifetime and
+  re-published **only when the graph identity changes** (``graph is not
+  previous_graph``); workers cache the materialised graph by publication
+  token and re-attach only when the token changes;
+* per-worker *task state* (``setup``'s return value) is cached by a spec
+  token derived from ``(setup, task, payload, graph)`` — consecutive
+  maps with the same spec (greedy candidate rounds, sketch doublings,
+  Monte-Carlo checkpoint batches) reuse the state instead of rebuilding
+  it, which is where the warm pool's amortised-setup win comes from.
+
 Failure semantics (docs/parallel.md, "Failure semantics"):
 
-* a chunk whose task raises is retried up to ``retries`` times — chunks
-  are self-describing, so a retry is bit-identical to the first attempt
-  — and then surfaces as :class:`~repro.errors.ExecError` naming the
-  chunk index and a preview of its items, chaining the original;
+* a chunk whose task raises is retried up to ``retries`` times **on the
+  same pool** (a recycled worker) — chunks are self-describing, so a
+  retry is bit-identical to the first attempt — and then surfaces as
+  :class:`~repro.errors.ExecError` naming the chunk index and a preview
+  of its items, chaining the original;
 * with a ``timeout`` configured, an attempt that produces no result
   within ``timeout`` seconds of the previous completion (a hung task,
   or a worker killed mid-chunk — the pool loses such a task silently
-  either way) is abandoned and its missing chunks retried in a fresh
-  pool;
+  either way) is abandoned, the now-poisoned pool is terminated, and
+  the missing chunks are retried in a fresh pool;
 * when pool-level failures outlive the retry budget the executor
   *degrades*: the still-missing chunks run inline in the parent, which
   is bit-identical by the same self-describing-chunks argument. Only
@@ -37,23 +57,44 @@ Failure semantics (docs/parallel.md, "Failure semantics"):
   no pool failure in sight) raise instead of degrading.
 
 Retry/timeout/degradation events increment ``exec.chunks.retried``,
-``exec.chunks.timeout``, and ``exec.degraded``; the counters are created
-only when the events actually occur, so an unfaulted parallel run's
-counter *set* still equals a serial run's. Fault injection for tests
-comes from :mod:`repro.exec.resilience` (``REPRO_EXEC_FAULTS`` or an
-explicit :class:`~repro.exec.resilience.FaultPlan`).
+``exec.chunks.timeout``, and ``exec.degraded``; pool construction and
+graph publication increment ``exec.pool.created`` and
+``exec.publications`` (the warm-pool invariant a bench run asserts is
+exactly one of each). Event counters are created only when the events
+actually occur. Fault injection for tests comes from
+:mod:`repro.exec.resilience` (``REPRO_EXEC_FAULTS`` or an explicit
+:class:`~repro.exec.resilience.FaultPlan`); the plan rides inside each
+chunk message, so faults fire only in pool workers, never inline.
+
+Chunk auto-tuning: :meth:`ParallelExecutor.map_items` records the
+observed per-item cost of each ``(setup, task)`` pair and sizes later
+chunks to a wall-clock target, bounded by a deterministic floor (at
+least one chunk per worker, at least one item per chunk) and ceiling
+(:data:`MAX_CHUNKS_PER_WORKER`). Timing influences *scheduling
+granularity only* — results and merged counter totals are
+chunking-independent by the contract above.
 
 The pool start method is the platform default (``fork`` on Linux);
 worker state lives in the module-level ``_WORKER_STATE`` dict, which the
-initializer clears first — a forked worker inherits the parent's (or a
+pool initializer clears — a forked worker inherits the parent's (or a
 previous pool's) module state, and stale entries must never leak into a
-new pool (regression-tested in ``tests/exec/test_pool.py``).
+new pool (regression-tested in ``tests/exec/test_pool.py``). Because
+workers are otherwise generic (graph handles and task specs ride inside
+the chunk messages, keyed by tokens), pools can optionally be shared
+process-wide: with ``REPRO_EXEC_SHARED_POOL=1`` every executor borrows
+one pool per worker-count from a module cache instead of owning its own
+— the CI leg that runs whole test suites against a single long-lived
+pool uses exactly this.
 """
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
+import os
 import pickle
+import time
+import weakref
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ExecError
@@ -61,18 +102,50 @@ from repro.exec.resilience import FaultPlan
 from repro.exec.shm import materialize_graph, publish_graph
 from repro.obs.registry import MetricsRegistry, metrics, set_registry, use_registry
 
-__all__ = ["ParallelExecutor", "resolve_workers", "split_chunks"]
+__all__ = [
+    "ParallelExecutor",
+    "resolve_workers",
+    "split_chunks",
+    "split_even",
+    "shutdown_shared_pools",
+]
 
-#: items each worker should see across a map, on average; more chunks
+#: chunks each worker should see across a map, on average; more chunks
 #: than workers smooths imbalance without shrinking chunks to nothing.
 CHUNKS_PER_WORKER = 4
+
+#: hard ceiling on auto-tuned chunks per worker — past this, message
+#: overhead dominates whatever balance finer chunks would buy.
+MAX_CHUNKS_PER_WORKER = 16
+
+#: wall-clock duration the auto-tuner aims each chunk at.
+TARGET_CHUNK_SECONDS = 0.05
 
 #: default retry budget per map (attempts = retries + 1).
 DEFAULT_RETRIES = 2
 
-# Per-worker state installed by the pool initializer. Module-level so
+#: environment flag: when set (and not "0"), executors borrow pools
+#: from a process-wide cache keyed by worker count instead of owning
+#: one each — pool reuse across executors and test cases.
+SHARED_POOL_ENV = "REPRO_EXEC_SHARED_POOL"
+
+# Per-worker state: the materialised graph (keyed by publication token)
+# and the consumer's task state (keyed by spec token). Module-level so
 # the (picklable) _run_chunk function can reach it.
 _WORKER_STATE: Dict[str, Any] = {}
+
+# Process-unique tokens for graph publications and task specs. Workers
+# key their caches on these, so they must never collide across
+# executors (pools can be shared process-wide).
+_GRAPH_TOKENS = itertools.count(1)
+_SPEC_TOKENS = itertools.count(1)
+
+# Process-wide pool cache used when REPRO_EXEC_SHARED_POOL is set,
+# keyed by worker count. Poisoned pools are evicted on discard.
+_SHARED_POOLS: Dict[int, Any] = {}
+
+#: sentinel distinguishing "no graph seen yet" from a ``None`` graph.
+_UNSET = object()
 
 
 def resolve_workers(
@@ -97,22 +170,17 @@ def resolve_workers(
     return max(1, count)
 
 
-def split_chunks(
-    items: Sequence[Any],
-    worker_count: int,
-    per_worker: int = CHUNKS_PER_WORKER,
-) -> List[List[Any]]:
-    """Deterministic contiguous split of ``items`` into balanced chunks.
+def split_even(items: Sequence[Any], chunk_count: int) -> List[List[Any]]:
+    """Split ``items`` into exactly ``chunk_count`` contiguous chunks.
 
-    Aims for ``worker_count * per_worker`` chunks (never more than
-    ``len(items)``); sizes differ by at most one and concatenating the
-    chunks reproduces ``items`` exactly — the property the executor's
-    index-order merge relies on.
+    Sizes differ by at most one and concatenating the chunks reproduces
+    ``items`` exactly — the property the executor's index-order merge
+    relies on.
     """
     items = list(items)
     if not items:
         return []
-    chunk_count = max(1, min(len(items), worker_count * per_worker))
+    chunk_count = max(1, min(len(items), int(chunk_count)))
     base, extra = divmod(len(items), chunk_count)
     chunks: List[List[Any]] = []
     start = 0
@@ -121,6 +189,19 @@ def split_chunks(
         chunks.append(items[start:start + size])
         start += size
     return chunks
+
+
+def split_chunks(
+    items: Sequence[Any],
+    worker_count: int,
+    per_worker: int = CHUNKS_PER_WORKER,
+) -> List[List[Any]]:
+    """Deterministic contiguous split of ``items`` into balanced chunks.
+
+    Aims for ``worker_count * per_worker`` chunks (never more than
+    ``len(items)``).
+    """
+    return split_even(items, worker_count * per_worker)
 
 
 def _preview_items(chunk) -> str:
@@ -160,23 +241,45 @@ def _shippable(exc: BaseException) -> BaseException:
         return ExecError(f"unpicklable task error {type(exc).__name__}: {exc}")
 
 
-def _init_worker(setup, task, payload, graph_handle, collect, faults=None) -> None:
-    """Pool initializer: build this worker's state from the shipped payload."""
-    # A forked worker inherits the parent's module state (and, if the
-    # process hosted an earlier pool, its leftovers): start clean so no
-    # previous graph or task can leak into this pool.
+def _init_worker() -> None:
+    """Pool initializer: start this worker from a clean slate.
+
+    Workers are *generic*: the graph handle and the task spec arrive
+    inside each chunk message (keyed by tokens), so the initializer
+    only has to guarantee a clean cache and an uncounted default
+    registry. A forked worker inherits the parent's module state (and,
+    if the process hosted an earlier pool, its leftovers): start clean
+    so no previous graph or task state can leak into this pool.
+    """
     _WORKER_STATE.clear()
     set_registry(None)  # set-up work is uncounted; chunks opt back in
-    graph = materialize_graph(graph_handle)
-    state = setup(graph, payload)
-    _WORKER_STATE["task"] = task
+
+
+def _worker_state_for(spec) -> Any:
+    """Return (building if stale) this worker's state for ``spec``.
+
+    The graph is cached by publication token and the task state by spec
+    token; both rebuild under the null registry so amortised set-up
+    stays uncounted regardless of when (or how often) it happens.
+    """
+    token, setup, _task, payload, _collect, _faults, graph_token, handle = spec
+    if _WORKER_STATE.get("spec_token") == token:
+        return _WORKER_STATE["state"]
+    set_registry(None)
+    if _WORKER_STATE.get("graph_token") != graph_token:
+        _WORKER_STATE["graph"] = materialize_graph(handle)
+        _WORKER_STATE["graph_token"] = graph_token
+        # A new graph invalidates any cached task state built on it.
+        _WORKER_STATE.pop("state", None)
+        _WORKER_STATE.pop("spec_token", None)
+    state = setup(_WORKER_STATE["graph"], payload)
     _WORKER_STATE["state"] = state
-    _WORKER_STATE["collect"] = bool(collect)
-    _WORKER_STATE["faults"] = faults
+    _WORKER_STATE["spec_token"] = token
+    return state
 
 
 def _run_chunk(message) -> Tuple[int, Optional[BaseException], Any, Optional[dict]]:
-    """Worker: run one ``(index, attempt, chunk)`` message.
+    """Worker: run one ``(spec, index, attempt, chunk)`` message.
 
     Returns ``(index, error, result, snapshot)``. Task exceptions come
     back as values rather than raising through the pool: the parent
@@ -185,14 +288,15 @@ def _run_chunk(message) -> Tuple[int, Optional[BaseException], Any, Optional[dic
     which chunk failed. A failed attempt ships no snapshot — partially
     counted work must not pollute the merged totals.
     """
-    index, attempt, chunk = message
+    spec, index, attempt, chunk = message
     try:
-        faults: Optional[FaultPlan] = _WORKER_STATE.get("faults")
+        faults: Optional[FaultPlan] = spec[5]
         if faults is not None:
             faults.apply(index, attempt)
-        task = _WORKER_STATE["task"]
-        state = _WORKER_STATE["state"]
-        if not _WORKER_STATE["collect"]:
+        task = spec[2]
+        collect = spec[4]
+        state = _worker_state_for(spec)
+        if not collect:
             return index, None, task(state, chunk), None
         registry = MetricsRegistry()
         with use_registry(registry):
@@ -202,8 +306,47 @@ def _run_chunk(message) -> Tuple[int, Optional[BaseException], Any, Optional[dic
         return index, _shippable(exc), None, None
 
 
+def _shared_pools_enabled() -> bool:
+    return os.environ.get(SHARED_POOL_ENV, "") not in ("", "0")
+
+
+def shutdown_shared_pools() -> None:
+    """Terminate and drop every pool in the process-wide shared cache."""
+    while _SHARED_POOLS:
+        _, pool = _SHARED_POOLS.popitem()
+        pool.terminate()
+        pool.join()
+
+
+def _release_executor_resources(resources: Dict[str, Any]) -> None:
+    """Finalizer target: terminate an owned pool, close the publication.
+
+    Module-level and handed the mutable resource holder (never the
+    executor itself) so ``weakref.finalize`` can run it at garbage
+    collection or interpreter exit without keeping the executor alive.
+    """
+    pool = resources.get("pool")
+    resources["pool"] = None
+    if pool is not None:
+        pool.terminate()
+        pool.join()
+    publication = resources.get("publication")
+    resources["publication"] = None
+    if publication is not None:
+        publication.close()
+
+
 class ParallelExecutor:
-    """Deterministic, fault-tolerant fan-out of chunked work over a pool.
+    """Deterministic, fault-tolerant fan-out of chunked work over one
+    long-lived worker pool.
+
+    The executor is built to be **created once and reused**: the first
+    pooled map lazily spins up the pool and publishes the graph; later
+    maps — whether more sigma rounds, sketch doublings, Monte-Carlo
+    batches, or a different subsystem entirely — reuse both, and worker
+    task state is cached between maps with an identical spec. Use it as
+    a context manager, or call :meth:`close` when done; an executor
+    dropped without closing is cleaned up by ``weakref.finalize``.
 
     Args:
         workers: worker request (see :func:`resolve_workers`); ``None``
@@ -218,7 +361,10 @@ class ParallelExecutor:
         retries: how many times failed chunks are re-executed before the
             executor gives up on the pool (``None`` = the default
             budget of :data:`DEFAULT_RETRIES`). Retries are
-            bit-identical because chunks are self-describing.
+            bit-identical because chunks are self-describing; task
+            errors retry on the *same* pool (recycled workers), and a
+            fresh pool is built only when the previous one was poisoned
+            by a timeout.
         degrade: whether pool-level failures that outlive the retry
             budget fall back to running the missing chunks inline in the
             parent (``True``, the default) or raise.
@@ -229,13 +375,24 @@ class ParallelExecutor:
 
     The consumer supplies two picklable module-level functions:
 
-    * ``setup(graph, payload) -> state`` — runs once per worker under
-      the null registry (uncounted);
+    * ``setup(graph, payload) -> state`` — a pure function of its
+      arguments, run under the null registry (uncounted). The executor
+      caches its result — per worker across maps, and on the inline
+      path across calls — so it must not capture per-call mutable
+      context;
     * ``task(state, chunk) -> result`` — runs once per chunk under a
-      fresh registry whose snapshot is merged home in chunk order.
+      fresh registry whose snapshot is merged home in chunk order; it
+      must treat ``state`` as read-only.
     """
 
-    __slots__ = ("workers", "share", "timeout", "retries", "degrade", "faults")
+    __slots__ = (
+        "workers", "share", "timeout", "retries", "degrade", "faults",
+        "_pool", "_pool_size", "_pool_shared",
+        "_publication", "_graph", "_graph_handle", "_graph_token",
+        "_spec_key", "_spec_token",
+        "_inline_key", "_inline_graph", "_inline_state",
+        "_item_costs", "_resources", "_finalizer", "__weakref__",
+    )
 
     def __init__(
         self,
@@ -257,8 +414,93 @@ class ParallelExecutor:
         self.retries = retries
         self.degrade = bool(degrade)
         self.faults = faults
+        self._pool = None
+        self._pool_size = 0
+        self._pool_shared = False
+        self._publication = None
+        self._graph: Any = _UNSET
+        self._graph_handle = None
+        self._graph_token: Optional[int] = None
+        self._spec_key: Optional[tuple] = None
+        self._spec_token: Optional[int] = None
+        self._inline_key: Optional[tuple] = None
+        self._inline_graph: Any = _UNSET
+        self._inline_state: Any = None
+        self._item_costs: Dict[tuple, float] = {}
+        self._resources: Dict[str, Any] = {"pool": None, "publication": None}
+        self._finalizer = weakref.finalize(
+            self, _release_executor_resources, self._resources
+        )
 
-    # -- the map ----------------------------------------------------------------
+    # -- lifecycle --------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the pool, the graph publication, and every cache.
+
+        Idempotent, and not terminal: a later map lazily rebuilds
+        whatever it needs, so ``close()`` between workloads simply
+        returns the executor to its cold state. Shared pools (see
+        :data:`SHARED_POOL_ENV`) are left running for other borrowers.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None and not self._pool_shared:
+            pool.terminate()
+            pool.join()
+        self._resources["pool"] = None
+        publication, self._publication = self._publication, None
+        if publication is not None:
+            publication.close()
+        self._resources["publication"] = None
+        self._graph = _UNSET
+        self._graph_handle = None
+        self._graph_token = None
+        self._spec_key = None
+        self._spec_token = None
+        self._inline_key = None
+        self._inline_graph = _UNSET
+        self._inline_state = None
+        self._item_costs.clear()
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- the maps ---------------------------------------------------------------
+
+    def map_items(
+        self,
+        setup: Callable[[Any, Any], Any],
+        task: Callable[[Any, Any], Any],
+        payload: Any,
+        items: Sequence[Any],
+        graph=None,
+    ) -> List[Any]:
+        """Run ``task`` over auto-tuned chunks of ``items``; flatten in order.
+
+        ``task`` must return a sequence with one entry per chunk item.
+        Chunk sizes come from the per-item cost observed on earlier maps
+        of the same ``(setup, task)`` pair, aimed at
+        :data:`TARGET_CHUNK_SECONDS` per chunk with a deterministic
+        floor (≥ 1 chunk per worker, ≥ 1 item per chunk); until a cost
+        is known, the :func:`split_chunks` default applies. Tuning
+        affects scheduling granularity only — results and merged counter
+        totals are chunking-independent.
+        """
+        items = list(items)
+        if not items:
+            return []
+        worker_count = resolve_workers(self.workers, len(items))
+        chunks = self._plan_chunks(setup, task, items, worker_count)
+        started = time.perf_counter()
+        chunk_results = self.map_chunks(setup, task, payload, chunks, graph=graph)
+        if worker_count > 1:
+            self._observe_cost(setup, task, len(items), time.perf_counter() - started)
+        flat: List[Any] = []
+        for result in chunk_results:
+            flat.extend(result)
+        return flat
 
     def map_chunks(
         self,
@@ -282,23 +524,27 @@ class ParallelExecutor:
         worker_count = resolve_workers(self.workers, len(chunks))
         if worker_count <= 1:
             # Inline path: same code, no pool. Set-up stays uncounted
-            # (exactly as in a worker); chunks run under the caller's
-            # registry directly, which is what a serial run does.
-            with use_registry(None):
-                state = setup(graph, payload)
+            # (exactly as in a worker) and its result is cached across
+            # calls (exactly as in a worker); chunks run under the
+            # caller's registry directly, which is what a serial run
+            # does.
+            state = self._inline_state_for(setup, task, payload, graph)
             return [
                 self._run_inline(task, state, index, chunk)
                 for index, chunk in enumerate(chunks)
             ]
 
         faults = self.faults if self.faults is not None else FaultPlan.from_env()
+        handle, graph_token = self._ensure_publication(graph, registry)
+        spec = self._spec_for(
+            setup, task, payload, graph_token, handle, registry.enabled, faults
+        )
         results: Dict[int, Any] = {}
         snapshots: Dict[int, Optional[dict]] = {}
         pending: Dict[int, Any] = dict(enumerate(chunks))
         last_errors: Dict[int, BaseException] = {}
         pool_failures = 0
 
-        publication = publish_graph(graph, self.share)
         try:
             with registry.timer("time.exec.pool"):
                 for attempt in range(self.retries + 1):
@@ -307,12 +553,15 @@ class ParallelExecutor:
                     if attempt > 0:
                         registry.counter("exec.chunks.retried").add(len(pending))
                     pool_failures += self._run_attempt(
-                        setup, task, payload, publication.handle, registry,
-                        faults, worker_count, attempt, pending, results,
+                        spec, registry, attempt, pending, results,
                         snapshots, last_errors,
                     )
         finally:
-            publication.close()
+            if self._pool_shared:
+                # Borrowed pools go back to the cache between maps so a
+                # later eviction (poisoned pool) can't strand a stale
+                # reference here.
+                self._pool = None
 
         if pending:
             first = min(pending)
@@ -328,8 +577,7 @@ class ParallelExecutor:
                     last_errors.get(first),
                 )
             registry.counter("exec.degraded").add(1)
-            with use_registry(None):
-                state = setup(graph, payload)
+            state = self._inline_state_for(setup, task, payload, graph)
             for index in sorted(pending):
                 results[index] = self._run_inline(
                     task, state, index, pending[index]
@@ -345,48 +593,174 @@ class ParallelExecutor:
                 registry.merge_snapshot(snapshot)
         return ordered
 
+    # -- internals --------------------------------------------------------------
+
+    def _plan_chunks(
+        self, setup, task, items: List[Any], worker_count: int
+    ) -> List[List[Any]]:
+        """Size chunks from the observed per-item cost, with safe bounds."""
+        if worker_count <= 1:
+            return [items]
+        cost = self._item_costs.get((setup, task))
+        if not cost or cost <= 0.0:
+            return split_chunks(items, worker_count)
+        size = max(1, round(TARGET_CHUNK_SECONDS / cost))
+        # Deterministic floor: never fewer chunks than workers (every
+        # worker gets work), never fewer than one item per chunk.
+        chunk_count = -(-len(items) // size)
+        chunk_count = max(worker_count, chunk_count)
+        chunk_count = min(
+            len(items), chunk_count, worker_count * MAX_CHUNKS_PER_WORKER
+        )
+        return split_even(items, chunk_count)
+
+    def _observe_cost(
+        self, setup, task, item_count: int, elapsed: float
+    ) -> None:
+        """Fold one pooled map's per-item wall-clock into the cost EMA."""
+        if item_count <= 0 or elapsed <= 0.0:
+            return
+        observed = elapsed / item_count
+        key = (setup, task)
+        previous = self._item_costs.get(key)
+        self._item_costs[key] = (
+            observed if previous is None else 0.5 * previous + 0.5 * observed
+        )
+
+    def _inline_state_for(self, setup, task, payload, graph) -> Any:
+        """Inline-path task state, cached like a worker's would be."""
+        try:
+            payload_bytes = pickle.dumps(
+                payload, protocol=pickle.HIGHEST_PROTOCOL
+            )
+        except Exception:
+            payload_bytes = None  # uncacheable payload: rebuild each call
+        key = (setup, task, payload_bytes)
+        if (
+            payload_bytes is not None
+            and key == self._inline_key
+            and graph is self._inline_graph
+        ):
+            return self._inline_state
+        with use_registry(None):
+            state = setup(graph, payload)
+        if payload_bytes is not None:
+            self._inline_key = key
+            self._inline_graph = graph
+            self._inline_state = state
+        return state
+
+    def _ensure_publication(self, graph, registry) -> Tuple[Any, int]:
+        """Publish ``graph`` unless the pinned publication already covers it."""
+        if graph is self._graph and self._graph_token is not None:
+            return self._graph_handle, self._graph_token
+        publication, self._publication = self._publication, None
+        self._resources["publication"] = None
+        if publication is not None:
+            publication.close()
+        if graph is None:
+            handle: Any = None
+            token = 0
+        else:
+            publication = publish_graph(graph, self.share)
+            registry.counter("exec.publications").add(1)
+            self._publication = publication
+            self._resources["publication"] = publication
+            handle = publication.handle
+            token = next(_GRAPH_TOKENS)
+        self._graph = graph
+        self._graph_handle = handle
+        self._graph_token = token
+        return handle, token
+
+    def _spec_for(
+        self, setup, task, payload, graph_token, handle, collect, faults
+    ) -> tuple:
+        """Build the per-map chunk spec, reusing the token when unchanged.
+
+        The token keys worker-side state caching, so it changes exactly
+        when a rebuilt state could differ: new setup/task, new payload
+        bytes, or a new graph publication. ``collect`` and ``faults``
+        ride alongside (they affect a chunk's execution, not its state).
+        """
+        payload_bytes = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        key = (setup, task, graph_token, payload_bytes)
+        if key != self._spec_key or self._spec_token is None:
+            self._spec_key = key
+            self._spec_token = next(_SPEC_TOKENS)
+        return (
+            self._spec_token, setup, task, payload,
+            bool(collect), faults, graph_token, handle,
+        )
+
+    def _ensure_pool(self, registry):
+        """Return the live pool, creating (or borrowing) one if needed."""
+        if self._pool is not None:
+            return self._pool
+        size = resolve_workers(self.workers)
+        shared = _shared_pools_enabled()
+        if shared:
+            pool = _SHARED_POOLS.get(size)
+            if pool is not None:
+                self._pool = pool
+                self._pool_size = size
+                self._pool_shared = True
+                return pool
+        pool = multiprocessing.Pool(processes=size, initializer=_init_worker)
+        registry.counter("exec.pool.created").add(1)
+        self._pool = pool
+        self._pool_size = size
+        self._pool_shared = shared
+        if shared:
+            _SHARED_POOLS[size] = pool
+        else:
+            self._resources["pool"] = pool
+        return pool
+
+    def _discard_pool(self) -> None:
+        """Terminate a poisoned pool (hung or killed workers) and forget it."""
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        if self._pool_shared and _SHARED_POOLS.get(self._pool_size) is pool:
+            del _SHARED_POOLS[self._pool_size]
+        self._resources["pool"] = None
+        pool.terminate()
+        pool.join()
+
     def _run_attempt(
-        self, setup, task, payload, handle, registry, faults, worker_count,
-        attempt, pending, results, snapshots, last_errors,
+        self, spec, registry, attempt, pending, results, snapshots, last_errors,
     ) -> int:
         """One pool pass over the pending chunks.
 
         Completed chunks move from ``pending`` into ``results``; task
-        errors are recorded in ``last_errors`` (the chunk stays
-        pending). Returns the number of pool-level failures observed
-        (0 or 1): on a timeout the whole attempt is abandoned — the
-        pool's workers may be hung or dead — and the next attempt runs
-        everything still pending in a fresh pool.
+        errors are recorded in ``last_errors`` (the chunk stays pending)
+        and retry on the same pool next attempt. Returns the number of
+        pool-level failures observed (0 or 1): on a timeout the whole
+        attempt is abandoned and the pool terminated — its workers may
+        be hung or dead — so the next attempt runs everything still
+        pending in a fresh pool.
         """
-        messages = [(i, attempt, pending[i]) for i in sorted(pending)]
-        pool = multiprocessing.Pool(
-            processes=min(worker_count, len(messages)),
-            initializer=_init_worker,
-            initargs=(setup, task, payload, handle, registry.enabled, faults),
-        )
+        pool = self._ensure_pool(registry)
+        messages = [(spec, i, attempt, pending[i]) for i in sorted(pending)]
         received = 0
-        try:
-            iterator = pool.imap_unordered(_run_chunk, messages)
-            for _ in range(len(messages)):
-                try:
-                    index, error, result, snapshot = iterator.next(self.timeout)
-                except multiprocessing.TimeoutError:
-                    registry.counter("exec.chunks.timeout").add(
-                        len(messages) - received
-                    )
-                    return 1
-                received += 1
-                if error is not None:
-                    last_errors[index] = error
-                    continue
-                results[index] = result
-                snapshots[index] = snapshot
-                del pending[index]
-        finally:
-            # terminate, not close: hung or fault-killed workers would
-            # make a graceful join wait forever.
-            pool.terminate()
-            pool.join()
+        iterator = pool.imap_unordered(_run_chunk, messages)
+        for _ in range(len(messages)):
+            try:
+                index, error, result, snapshot = iterator.next(self.timeout)
+            except multiprocessing.TimeoutError:
+                registry.counter("exec.chunks.timeout").add(
+                    len(messages) - received
+                )
+                self._discard_pool()
+                return 1
+            received += 1
+            if error is not None:
+                last_errors[index] = error
+                continue
+            results[index] = result
+            snapshots[index] = snapshot
+            del pending[index]
         return 0
 
     @staticmethod

@@ -37,7 +37,7 @@ from __future__ import annotations
 import os
 import re
 import time
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
 from repro.errors import ExecError
 

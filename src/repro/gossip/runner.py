@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple, Union
 
-from repro.exec.pool import ParallelExecutor, resolve_workers, split_chunks
+from repro.exec.pool import ParallelExecutor
 from repro.gossip.config import GossipConfig
 from repro.gossip.sim import MESSAGE_KINDS, GossipEngine, GossipOutcome
 from repro.graph.compact import IndexedDiGraph
@@ -239,6 +239,11 @@ class GossipMonteCarlo:
             replica batches are saved under kind ``"gossip"`` and a
             matching checkpoint resumes after its prefix bit-identically.
         checkpoint_every: replicas per checkpointed batch.
+        executor: a shared :class:`~repro.exec.pool.ParallelExecutor`
+            (its knobs then govern); ``None`` lazily builds a
+            runner-owned one — either way every batch of every
+            :meth:`run` call (e.g. a blocking scenario's strategy
+            panels) reuses the same warm pool.
     """
 
     def __init__(
@@ -251,6 +256,7 @@ class GossipMonteCarlo:
         chunk_retries: Optional[int] = None,
         checkpoint=None,
         checkpoint_every: int = 32,
+        executor: Optional[ParallelExecutor] = None,
     ) -> None:
         self.config = config
         self.runs = int(check_positive(runs, "runs"))
@@ -264,6 +270,7 @@ class GossipMonteCarlo:
         self.checkpoint_every = int(
             check_positive(checkpoint_every, "checkpoint_every")
         )
+        self._executor = executor
 
     def run(
         self,
@@ -289,15 +296,17 @@ class GossipMonteCarlo:
         rumors = tuple(int(node) for node in rumors)
         protectors = tuple(int(node) for node in protectors)
         registry = metrics()
-        workers: Union[int, str] = (
-            self.processes if self.processes is not None else 1
-        )
-        executor = ParallelExecutor(
-            workers,
-            share=self.share,
-            timeout=self.chunk_timeout,
-            retries=self.chunk_retries,
-        )
+        if self._executor is None:
+            workers: Union[int, str] = (
+                self.processes if self.processes is not None else 1
+            )
+            self._executor = ParallelExecutor(
+                workers,
+                share=self.share,
+                timeout=self.chunk_timeout,
+                retries=self.chunk_retries,
+            )
+        executor = self._executor
         payload = {
             "config": self.config.to_dict(),
             "rumors": rumors,
@@ -328,17 +337,13 @@ class GossipMonteCarlo:
                     else min(self.runs, start + self.checkpoint_every)
                 )
                 indices = list(range(start, stop))
-                worker_count = resolve_workers(workers, len(indices))
-                chunk_results = executor.map_chunks(
+                records.extend(executor.map_items(
                     _gossip_worker_setup,
                     _gossip_worker_chunk,
                     payload,
-                    split_chunks(indices, worker_count),
+                    indices,
                     graph=graph,
-                )
-                records.extend(
-                    record for chunk in chunk_results for record in chunk
-                )
+                ))
                 start = stop
                 if ckpt is not None:
                     ckpt.save(

@@ -24,7 +24,6 @@ from typing import (
     Hashable,
     Iterable,
     Iterator,
-    List,
     Mapping,
     Optional,
     Tuple,

@@ -22,7 +22,16 @@ Deterministic models (DOAM) collapse to a single world, making σ̂ exact.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Union,
+)
 
 from repro.algorithms.base import SelectionContext
 from repro.diffusion.base import DEFAULT_MAX_HOPS, DiffusionModel, SeedSets
@@ -36,6 +45,9 @@ from repro.kernels.worlds import WorldBatch, sample_shared_worlds
 from repro.obs.registry import metrics
 from repro.rng import RngStream, derive_seed
 from repro.utils.validation import check_positive
+
+if TYPE_CHECKING:
+    from repro.exec.pool import ParallelExecutor
 
 __all__ = ["BatchedSigmaEvaluator"]
 
@@ -143,6 +155,13 @@ class BatchedSigmaEvaluator:
             of ``docs/parallel.md``.
         chunk_retries: deterministic resubmission budget per failed
             chunk (``None`` uses the executor default).
+        executor: a shared :class:`~repro.exec.pool.ParallelExecutor`
+            to submit rounds to (its ``workers``/``share``/timeout
+            knobs then govern and the per-evaluator knobs above are
+            ignored). ``None`` lazily builds an evaluator-owned
+            executor from those knobs on the first parallel round and
+            reuses it for the evaluator's lifetime — either way the
+            pool is warm across greedy/CELF candidate rounds.
     """
 
     def __init__(
@@ -158,6 +177,7 @@ class BatchedSigmaEvaluator:
         share: str = "auto",
         chunk_timeout: Optional[float] = None,
         chunk_retries: Optional[int] = None,
+        executor: Optional["ParallelExecutor"] = None,
     ) -> None:
         self.context = context
         self.model = model or OPOAOModel()
@@ -180,6 +200,7 @@ class BatchedSigmaEvaluator:
         self.share = share
         self.chunk_timeout = chunk_timeout
         self.chunk_retries = chunk_retries
+        self._executor = executor
         self.rng = rng or RngStream(name="sigma")
         self._rumor_ids = context.rumor_seed_ids()
         self._end_ids = context.bridge_end_ids()
@@ -262,6 +283,24 @@ class BatchedSigmaEvaluator:
             "end_ids": list(self._end_ids),
         }
 
+    def _get_executor(self) -> "ParallelExecutor":
+        """The shared executor, or a lazily-built evaluator-owned one.
+
+        Either way the same executor (and so the same warm pool, graph
+        publication, and cached worker race state) serves every
+        subsequent :meth:`sigma_many` round.
+        """
+        if self._executor is None:
+            from repro.exec.pool import ParallelExecutor
+
+            self._executor = ParallelExecutor(
+                self.workers,
+                share=self.share,
+                timeout=self.chunk_timeout,
+                retries=self.chunk_retries,
+            )
+        return self._executor
+
     def sigma(self, protectors: Iterable[Node]) -> float:
         """σ̂(A): mean size of the protector blocking set over the worlds."""
         protector_ids = self._protector_ids(protectors)
@@ -282,29 +321,26 @@ class BatchedSigmaEvaluator:
         id_sets = [self._protector_ids(sets) for sets in protector_sets]
         if not id_sets:
             return []
-        from repro.exec.pool import ParallelExecutor, resolve_workers, split_chunks
+        from repro.exec.pool import resolve_workers
 
-        worker_count = resolve_workers(self.workers, len(id_sets))
-        if worker_count <= 1:
+        workers = (
+            self._executor.workers if self._executor is not None
+            else self.workers
+        )
+        if resolve_workers(workers, len(id_sets)) <= 1:
             state = self._race_state()
             self.evaluations += len(id_sets)
             return [_sigma_from_race(state, ids) for ids in id_sets]
         self.baseline  # noqa: B018 - parent samples + races once, counted
-        executor = ParallelExecutor(
-            worker_count,
-            share=self.share,
-            timeout=self.chunk_timeout,
-            retries=self.chunk_retries,
-        )
-        chunk_results = executor.map_chunks(
+        sigmas = self._get_executor().map_items(
             _sigma_worker_setup,
             _sigma_worker_chunk,
             self._worker_payload(),
-            split_chunks(id_sets, worker_count),
+            id_sets,
             graph=self.context.indexed,
         )
         self.evaluations += len(id_sets)
-        return [value for chunk in chunk_results for value in chunk]
+        return sigmas
 
     def protected_fraction(self, protectors: Iterable[Node]) -> float:
         """Mean fraction of bridge ends not infected at the end."""

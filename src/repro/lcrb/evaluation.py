@@ -101,6 +101,7 @@ def evaluate_protectors(
     checkpoint=None,
     chunk_timeout: Optional[float] = None,
     chunk_retries: Optional[int] = None,
+    executor=None,
 ) -> EvaluationResult:
     """Simulate an instance with a given protector set and aggregate.
 
@@ -127,12 +128,18 @@ ParallelMonteCarloSimulator`); ignored on the serial/backend paths.
             parallel path (see ``docs/parallel.md``).
         chunk_retries: deterministic resubmission budget per failed
             chunk (``None`` uses the executor default).
+        executor: a shared :class:`~repro.exec.pool.ParallelExecutor`
+            for the parallel path — e.g. the one the CLI already warmed
+            during selection — so evaluation reuses its pool and graph
+            publication instead of spinning up new ones.
     """
     indexed = context.indexed
     protector_ids = indexed.indices(dict.fromkeys(protectors))
     seeds = SeedSets(rumors=context.rumor_seed_ids(), protectors=protector_ids)
     end_ids = context.bridge_end_ids()
 
+    if executor is not None and workers is None:
+        workers = executor.workers
     if workers is not None and backend is None and model.stochastic:
         from repro.exec.pool import resolve_workers
 
@@ -142,6 +149,7 @@ ParallelMonteCarloSimulator`); ignored on the serial/backend paths.
                 checkpoint=checkpoint,
                 chunk_timeout=chunk_timeout,
                 chunk_retries=chunk_retries,
+                executor=executor,
             )
 
     simulator = MonteCarloSimulator(
@@ -172,7 +180,7 @@ ParallelMonteCarloSimulator`); ignored on the serial/backend paths.
 
 def _evaluate_parallel(
     indexed, seeds, end_ids, model, runs, max_hops, rng, workers,
-    checkpoint=None, chunk_timeout=None, chunk_retries=None,
+    checkpoint=None, chunk_timeout=None, chunk_retries=None, executor=None,
 ) -> EvaluationResult:
     """Process-parallel evaluation, bit-identical to the serial path.
 
@@ -190,6 +198,7 @@ ReplicaRecord` data; folding it here in replica order feeds the exact
         chunk_timeout=chunk_timeout,
         chunk_retries=chunk_retries,
         checkpoint=checkpoint,
+        executor=executor,
     )
     aggregate, records = simulator.simulate_detailed(
         indexed, seeds, rng=rng, end_ids=end_ids

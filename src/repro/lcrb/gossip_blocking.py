@@ -142,6 +142,10 @@ class GossipBlockingScenario:
             forwarded to :class:`~repro.gossip.runner.GossipMonteCarlo`
             (checkpoints are per-strategy: the strategy's protector set
             is part of the run-key).
+        executor: a shared :class:`~repro.exec.pool.ParallelExecutor`
+            every strategy panel submits to; ``None`` builds one
+            scenario-owned executor so the panels still share a single
+            warm pool instead of one per strategy.
     """
 
     def __init__(
@@ -154,6 +158,7 @@ class GossipBlockingScenario:
         chunk_timeout: Optional[float] = None,
         chunk_retries: Optional[int] = None,
         checkpoint=None,
+        executor=None,
     ) -> None:
         self.config = config
         self.runs = int(check_positive(runs, "runs"))
@@ -163,6 +168,8 @@ class GossipBlockingScenario:
         self.chunk_timeout = chunk_timeout
         self.chunk_retries = chunk_retries
         self.checkpoint = checkpoint
+        self._executor = executor
+        self._runner: Optional[GossipMonteCarlo] = None
 
     def run(
         self,
@@ -187,15 +194,21 @@ class GossipBlockingScenario:
             else:
                 chosen = selector.select(context, self.budget)
                 protector_ids = sorted(indexed.indices(chosen))
-            runner = GossipMonteCarlo(
-                self.config,
-                runs=self.runs,
-                processes=self.processes,
-                share=self.share,
-                chunk_timeout=self.chunk_timeout,
-                chunk_retries=self.chunk_retries,
-                checkpoint=self.checkpoint,
-            )
+            if self._runner is None:
+                # One runner (and so one executor/pool) serves every
+                # strategy panel; replica streams still fork per
+                # strategy, so rows are unaffected by the sharing.
+                self._runner = GossipMonteCarlo(
+                    self.config,
+                    runs=self.runs,
+                    processes=self.processes,
+                    share=self.share,
+                    chunk_timeout=self.chunk_timeout,
+                    chunk_retries=self.chunk_retries,
+                    checkpoint=self.checkpoint,
+                    executor=self._executor,
+                )
+            runner = self._runner
             aggregate = runner.run(
                 indexed,
                 rumor_ids,

@@ -74,6 +74,10 @@ class SketchStore:
             waits forever); see ``docs/parallel.md``.
         chunk_retries: deterministic resubmission budget per failed
             chunk (``None`` uses the executor default).
+        executor: a shared :class:`~repro.exec.pool.ParallelExecutor`
+            to fan doubling rounds out over (its knobs then govern);
+            ``None`` lazily builds a store-owned one from the knobs
+            above — either way the same warm pool serves every round.
     """
 
     __slots__ = (
@@ -82,6 +86,7 @@ class SketchStore:
         "share",
         "chunk_timeout",
         "chunk_retries",
+        "_executor",
         "worlds",
         "_members",
         "_offsets",
@@ -98,12 +103,14 @@ class SketchStore:
         share: str = "auto",
         chunk_timeout=None,
         chunk_retries=None,
+        executor=None,
     ) -> None:
         self.sampler = sampler
         self.workers = workers
         self.share = share
         self.chunk_timeout = chunk_timeout
         self.chunk_retries = chunk_retries
+        self._executor = executor
         #: number of worlds sampled so far.
         self.worlds = 0
         self._members = array("q")  # all RR-set members, concatenated
@@ -133,9 +140,13 @@ class SketchStore:
         sampler is deterministic (one cached world — nothing to fan
         out), or it cannot describe itself for worker-side rebuilding.
         """
-        from repro.exec.pool import ParallelExecutor, resolve_workers, split_chunks
+        from repro.exec.pool import ParallelExecutor, resolve_workers
 
-        worker_count = resolve_workers(self.workers, len(indices))
+        workers = (
+            self._executor.workers if self._executor is not None
+            else self.workers
+        )
+        worker_count = resolve_workers(workers, len(indices))
         payload_fn = getattr(self.sampler, "worker_payload", None)
         if (
             worker_count <= 1
@@ -144,20 +155,20 @@ class SketchStore:
             or not self.sampler.stochastic
         ):
             return [self.sampler.sample_world(index) for index in indices]
-        executor = ParallelExecutor(
-            worker_count,
-            share=self.share,
-            timeout=self.chunk_timeout,
-            retries=self.chunk_retries,
-        )
-        chunk_results = executor.map_chunks(
+        if self._executor is None:
+            self._executor = ParallelExecutor(
+                self.workers,
+                share=self.share,
+                timeout=self.chunk_timeout,
+                retries=self.chunk_retries,
+            )
+        return self._executor.map_items(
             _sampler_worker_setup,
             _sampler_worker_chunk,
             payload_fn(),
-            split_chunks(list(indices), worker_count),
+            list(indices),
             graph=self.sampler.graph,
         )
-        return [world for chunk in chunk_results for world in chunk]
 
     def double(self, minimum: int = 32) -> "SketchStore":
         """IMM-style growth step: at least ``minimum``, else twice the worlds."""

@@ -4,7 +4,6 @@ import pytest
 
 from repro.algorithms.base import ProtectorSelector, SelectionContext
 from repro.errors import SeedError, ValidationError
-from repro.graph.digraph import DiGraph
 
 
 class TestSelectionContext:

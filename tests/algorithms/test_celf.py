@@ -1,6 +1,5 @@
 """Unit tests for the CELF lazy greedy selector."""
 
-import pytest
 
 from repro.algorithms.celf import CELFGreedySelector
 from repro.algorithms.greedy import GreedySelector

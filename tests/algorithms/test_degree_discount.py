@@ -17,9 +17,11 @@ class TestDegreeDiscount:
     def test_first_pick_is_max_degree(self, fig2_context):
         graph = fig2_context.graph
         (first,) = DegreeDiscountSelector().select(fig2_context, budget=1)
-        sym_degree = lambda n: len(
-            (set(graph.successors(n)) | set(graph.predecessors(n))) - {n}
-        )
+        def sym_degree(node):
+            return len(
+                (set(graph.successors(node)) | set(graph.predecessors(node)))
+                - {node}
+            )
         best = sym_degree(first)
         for node in graph.nodes():
             if fig2_context.eligible(node):

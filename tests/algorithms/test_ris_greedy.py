@@ -67,9 +67,10 @@ class TestDOAMSelection:
 
 class TestOPOAOSelection:
     def test_deterministic_under_fixed_seed(self, fig2_context):
-        pick = lambda: RISGreedySelector(
-            semantics="opoao", initial_worlds=32, rng=RngStream(21)
-        ).select(fig2_context, budget=2)
+        def pick():
+            return RISGreedySelector(
+                semantics="opoao", initial_worlds=32, rng=RngStream(21)
+            ).select(fig2_context, budget=2)
         assert pick() == pick()
 
     def test_budget_mode_returns_requested_size(self, fig2_context):

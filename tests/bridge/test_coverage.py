@@ -1,6 +1,5 @@
 """Unit tests for coverage maps (SW_u) and the blocking-aware variant."""
 
-import pytest
 
 from repro.bridge.bbst import build_all_bbsts
 from repro.bridge.coverage import blocking_aware_coverage, coverage_map_from_bbsts

@@ -5,16 +5,16 @@ from __future__ import annotations
 import pytest
 from hypothesis import settings as hypothesis_settings
 
+from repro.algorithms.base import SelectionContext
+from repro.datasets.toy import figure1_graph, figure2_graph, two_community_toy
+from repro.graph.digraph import DiGraph
+from repro.rng import RngStream
+
 # The whole repository is seed-deterministic; make the property-based
 # layer match (same examples every run, no cross-run flakes from narrow
 # `assume` filters hitting unlucky generation seeds).
 hypothesis_settings.register_profile("repro", derandomize=True)
 hypothesis_settings.load_profile("repro")
-
-from repro.algorithms.base import SelectionContext
-from repro.datasets.toy import figure1_graph, figure2_graph, two_community_toy
-from repro.graph.digraph import DiGraph
-from repro.rng import RngStream
 
 
 @pytest.fixture

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.datasets.external import ExternalDataset, load_external
+from repro.datasets.external import load_external
 from repro.errors import DatasetError
 from repro.graph.generators import planted_partition
 from repro.graph.io import write_communities, write_edge_list

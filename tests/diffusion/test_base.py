@@ -2,19 +2,11 @@
 
 import pytest
 
-from repro.diffusion.base import (
-    INACTIVE,
-    INFECTED,
-    PROTECTED,
-    DiffusionOutcome,
-    SeedSets,
-)
+from repro.diffusion.base import INFECTED, SeedSets
 from repro.diffusion.doam import DOAMModel
 from repro.diffusion.opoao import OPOAOModel
 from repro.diffusion.trace import HopTrace
 from repro.errors import SeedError
-from repro.graph.digraph import DiGraph
-from repro.rng import RngStream
 
 
 class TestSeedSets:

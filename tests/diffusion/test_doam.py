@@ -1,6 +1,5 @@
 """Unit tests for the DOAM model (Section III.B)."""
 
-import pytest
 
 from repro.diffusion.base import INACTIVE, INFECTED, PROTECTED, SeedSets
 from repro.diffusion.doam import DOAMModel

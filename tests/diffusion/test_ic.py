@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.diffusion.base import INACTIVE, INFECTED, PROTECTED, SeedSets
+from repro.diffusion.base import PROTECTED, SeedSets
 from repro.diffusion.ic import CompetitiveICModel
 from repro.graph.digraph import DiGraph
 from repro.rng import RngStream

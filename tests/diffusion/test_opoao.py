@@ -1,6 +1,5 @@
 """Unit tests for the OPOAO model (Section III.A)."""
 
-import pytest
 
 from repro.diffusion.base import INACTIVE, INFECTED, PROTECTED, SeedSets
 from repro.diffusion.opoao import OPOAOModel

@@ -1,8 +1,7 @@
 """Unit tests for the OPOAO no-repeat ablation model."""
 
-import pytest
 
-from repro.diffusion.base import INACTIVE, INFECTED, PROTECTED, SeedSets
+from repro.diffusion.base import PROTECTED, SeedSets
 from repro.diffusion.opoao import OPOAOModel
 from repro.diffusion.opoao_norepeat import OPOAONoRepeatModel
 from repro.graph.digraph import DiGraph

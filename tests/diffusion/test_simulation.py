@@ -5,7 +5,7 @@ import pytest
 from repro.diffusion.base import SeedSets
 from repro.diffusion.doam import DOAMModel
 from repro.diffusion.opoao import OPOAOModel
-from repro.diffusion.simulation import MonteCarloSimulator, SimulationAggregate
+from repro.diffusion.simulation import MonteCarloSimulator
 from repro.graph.digraph import DiGraph
 from repro.rng import RngStream
 
@@ -73,7 +73,6 @@ class TestSimulator:
 
 class TestAggregate:
     def test_per_hop_means(self, chain):
-        aggregate = SimulationAggregate(hops=6)
         simulator = MonteCarloSimulator(DOAMModel(), runs=1, max_hops=6)
         result = simulator.simulate(chain.to_indexed(), SeedSets(rumors=[0]))
         assert result.infected_per_hop == [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 6.0]

@@ -5,7 +5,6 @@ import pytest
 
 from repro.datasets.toy import figure1_graph
 from repro.diffusion.timestamps import (
-    CascadeRecord,
     protected_by_timestamps,
     record_cascade,
 )

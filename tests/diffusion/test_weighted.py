@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.diffusion.base import INACTIVE, INFECTED, SeedSets
+from repro.diffusion.base import INFECTED, SeedSets
 from repro.diffusion.ic import CompetitiveICModel
 from repro.diffusion.opoao import OPOAOModel
 from repro.graph.digraph import DiGraph

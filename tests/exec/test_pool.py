@@ -143,11 +143,24 @@ class TestWorkerStateReset:
         # into a new pool's initializer.
         _WORKER_STATE["stale"] = "leftover"
         try:
-            _init_worker(null_setup, scale_task, 7, None, False)
-            assert "stale" not in _WORKER_STATE
-            assert _WORKER_STATE["state"] == 7
-            assert _WORKER_STATE["task"] is scale_task
-            assert _WORKER_STATE["collect"] is False
+            _init_worker()
+            assert _WORKER_STATE == {}
+        finally:
+            _WORKER_STATE.clear()
+
+    def test_worker_state_cached_by_spec_token(self):
+        # Same spec token: state built once. New token: rebuilt.
+        from repro.exec.pool import _worker_state_for
+
+        try:
+            spec = (101, null_setup, scale_task, 7, False, None, 0, None)
+            assert _worker_state_for(spec) == 7
+            # A different payload behind the *same* token is never read
+            # again — the cache answers.
+            stale = (101, null_setup, scale_task, 99, False, None, 0, None)
+            assert _worker_state_for(stale) == 7
+            fresh = (102, null_setup, scale_task, 99, False, None, 0, None)
+            assert _worker_state_for(fresh) == 99
         finally:
             _WORKER_STATE.clear()
 

@@ -5,7 +5,6 @@ import pytest
 from repro.errors import ExecError
 from repro.exec.shm import (
     SHARE_MODES,
-    GraphPublication,
     materialize_graph,
     publish_graph,
 )

@@ -1,6 +1,5 @@
 """Unit tests for harness internals (counting/sampling rules)."""
 
-import pytest
 
 from repro.experiments.harness import _rumor_count, _sampled
 from repro.rng import RngStream

@@ -10,7 +10,7 @@ import json
 
 import pytest
 
-from repro.diffusion.base import INACTIVE, INFECTED, PROTECTED
+from repro.diffusion.base import INFECTED, PROTECTED
 from repro.errors import SeedError
 from repro.gossip import GossipConfig, GossipEngine, run_gossip
 from repro.rng import RngStream

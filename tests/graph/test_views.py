@@ -3,7 +3,7 @@
 import pytest
 
 from repro.graph.digraph import DiGraph
-from repro.graph.views import DegreeView, EdgeView, NodeView
+from repro.graph.views import DegreeView
 
 
 class TestNodeView:

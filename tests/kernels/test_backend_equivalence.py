@@ -14,19 +14,18 @@ import pytest
 
 np = pytest.importorskip("numpy")
 
-from repro.algorithms.base import SelectionContext
-from repro.diffusion.base import SeedSets
-from repro.diffusion.doam import DOAMModel
-from repro.diffusion.ic import CompetitiveICModel
-from repro.diffusion.lt import CompetitiveLTModel
-from repro.diffusion.opoao import OPOAOModel
-from repro.graph.digraph import DiGraph
-from repro.kernels.numpy_backend import NumpyKernelBackend
-from repro.kernels.python_backend import PythonKernelBackend
-from repro.kernels.sigma import BatchedSigmaEvaluator
-from repro.kernels.spec import KernelSpec
-from repro.kernels.worlds import sample_shared_worlds
-from repro.rng import RngStream
+from repro.diffusion.base import SeedSets  # noqa: E402
+from repro.diffusion.doam import DOAMModel  # noqa: E402
+from repro.diffusion.ic import CompetitiveICModel  # noqa: E402
+from repro.diffusion.lt import CompetitiveLTModel  # noqa: E402
+from repro.diffusion.opoao import OPOAOModel  # noqa: E402
+from repro.graph.digraph import DiGraph  # noqa: E402
+from repro.kernels.numpy_backend import NumpyKernelBackend  # noqa: E402
+from repro.kernels.python_backend import PythonKernelBackend  # noqa: E402
+from repro.kernels.sigma import BatchedSigmaEvaluator  # noqa: E402
+from repro.kernels.spec import KernelSpec  # noqa: E402
+from repro.kernels.worlds import sample_shared_worlds  # noqa: E402
+from repro.rng import RngStream  # noqa: E402
 
 SPECS = [
     KernelSpec("ic", probability=0.4),

@@ -11,14 +11,12 @@ paper proves must hold numerically:
 """
 
 import itertools
-import math
 
 import pytest
 from hypothesis import HealthCheck, assume, given, settings
 from hypothesis import strategies as st
 
 from repro.algorithms.base import SelectionContext
-from repro.algorithms.heuristics import prefix_protects_all
 from repro.algorithms.scbg import SCBGSelector
 from repro.algorithms.setcover import cover_deficit, greedy_set_cover
 from repro.graph.digraph import DiGraph

@@ -103,12 +103,13 @@ class TestOPOAOSampler:
                 assert root in members
 
     def test_same_index_same_world(self, fig2_context):
-        make = lambda: OPOAORRSampler(
-            fig2_context.indexed,
-            fig2_context.rumor_seed_ids(),
-            fig2_context.bridge_end_ids(),
-            rng=RngStream(99),
-        )
+        def make():
+            return OPOAORRSampler(
+                fig2_context.indexed,
+                fig2_context.rumor_seed_ids(),
+                fig2_context.bridge_end_ids(),
+                rng=RngStream(99),
+            )
         first, second = make(), make()
         for index in (0, 3, 11):
             assert (

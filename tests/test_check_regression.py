@@ -9,6 +9,7 @@ from benchmarks.check_regression import (
     check,
     compare_documents,
     main,
+    summary_table,
     update,
 )
 
@@ -135,6 +136,46 @@ class TestCheckAndUpdate:
         self._write(results, {"sim.edge_visits": 5000})
         self._write(results, {"gossip.events": 50}, name="fresh_bench")
         assert check(baselines, results, 0.10) == 1
+
+    def test_failure_summary_lists_all_documents(self, tmp_path, capsys):
+        baselines, results = tmp_path / "baselines", tmp_path / "results"
+        self._write(baselines, {"sim.edge_visits": 100, "sim.rounds": 10})
+        self._write(results, {"sim.edge_visits": 500, "sim.rounds": 90})
+        self._write(baselines, {"gossip.events": 10}, name="gossip_demo")
+        self._write(results, {"gossip.events": 99}, name="gossip_demo")
+        self._write(baselines, {"sketch.rrsets": 7}, name="missing_demo")
+        assert check(baselines, results, 0.10) == 1
+        out = capsys.readouterr().out
+        summary = out[out.index("REGRESSION SUMMARY"):]
+        # Every regressing counter of every document in ONE report,
+        # including the baseline whose result never got emitted.
+        assert "4 failure(s) across 3 document(s)" in summary
+        for token in (
+            "sim.edge_visits", "sim.rounds", "gossip.events",
+            "BENCH_perf_demo.json", "BENCH_gossip_demo.json",
+            "BENCH_missing_demo.json", "no result emitted",
+        ):
+            assert token in summary, token
+
+    def test_passing_run_prints_no_summary(self, tmp_path, capsys):
+        baselines, results = tmp_path / "baselines", tmp_path / "results"
+        self._write(baselines, {"sim.rounds": 10})
+        self._write(results, {"sim.rounds": 10})
+        assert check(baselines, results, 0.10) == 0
+        assert "REGRESSION SUMMARY" not in capsys.readouterr().out
+
+    def test_summary_table_alignment(self):
+        table = summary_table(
+            [
+                ("BENCH_a.json", "counter 'x' regressed: 1 -> 2"),
+                ("BENCH_longer_name.json", "counter 'y' regressed: 3 -> 9"),
+            ]
+        )
+        lines = table.splitlines()
+        assert lines[0].startswith("REGRESSION SUMMARY: 2 failure(s)")
+        # Failure column starts at the same offset on every row.
+        offsets = {line.index("counter") for line in lines[3:]}
+        assert len(offsets) == 1
 
     def test_main_cli_flags(self, tmp_path):
         baselines, results = tmp_path / "baselines", tmp_path / "results"

@@ -1,6 +1,5 @@
 """Unit tests for the exception hierarchy."""
 
-import pytest
 
 from repro import errors
 

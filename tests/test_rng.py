@@ -1,6 +1,5 @@
 """Unit tests for seeded RNG streams."""
 
-import pytest
 
 from repro.rng import DEFAULT_SEED, RngStream, derive_seed
 

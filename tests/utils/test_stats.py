@@ -1,6 +1,5 @@
 """Unit tests for statistics helpers."""
 
-import math
 
 import pytest
 
