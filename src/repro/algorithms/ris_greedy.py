@@ -29,15 +29,14 @@ IMM-style loop, with all sketches reused across iterations *and* across
 
 from __future__ import annotations
 
-import heapq
 from typing import Dict, List, Optional, Tuple
 
 from repro.algorithms.base import ProtectorSelector, SelectionContext
 from repro.diffusion.base import DEFAULT_MAX_HOPS
-from repro.errors import SelectionError
 from repro.graph.digraph import Node
 from repro.obs.registry import metrics
 from repro.rng import RngStream
+from repro.sketch.coverage import max_coverage, protected_fraction
 from repro.sketch.rrset import sampler_for
 from repro.sketch.store import SketchStore
 from repro.utils.validation import check_fraction, check_positive
@@ -247,8 +246,7 @@ BatchedSigmaEvaluator`) and records the achieved protected fraction in
 
     def _protected_fraction(self, store: SketchStore, covered_total: int,
                             end_count: int) -> float:
-        safe = store.worlds * end_count - store.at_risk_total + covered_total
-        return safe / (store.worlds * end_count)
+        return protected_fraction(store, covered_total, end_count)
 
     def _max_coverage(
         self,
@@ -257,75 +255,13 @@ BatchedSigmaEvaluator`) and records the achieved protected fraction in
         budget: Optional[int],
     ) -> List[int]:
         """One lazy-greedy pass over the store's current sets."""
-        rumor_ids = set(context.rumor_seed_ids())
-        end_count = len(context.bridge_end_ids())
-        covered = bytearray(store.set_count)
-        covered_total = 0
-
-        # Heap of (-gain, node); gains are exact set counts, so a lazy
-        # re-evaluation that stays on top is provably the argmax. Node-id
-        # order breaks ties deterministically.
-        heap: List[Tuple[int, int]] = []
-        for node in store.nodes():
-            if node in rumor_ids:
-                continue
-            count = len(store.sets_containing(node))
-            if count:
-                heap.append((-count, node))
-        heapq.heapify(heap)
-
-        # Coverage-gain queries play the role σ̂ evaluations play in the
-        # Monte-Carlo selectors; the initial exact gains count too.
-        sigma_evaluations = len(heap)
-        queue_hits = 0
-        reevaluations = 0
-
-        picked: List[int] = []
-
-        def done() -> bool:
-            if budget is not None:
-                return len(picked) >= budget
-            return (
-                self._protected_fraction(store, covered_total, end_count)
-                >= self.alpha
-            )
-
-        while not done():
-            gain = 0
-            while heap:
-                negative, node = heapq.heappop(heap)
-                gain = sum(
-                    1 for set_id in store.sets_containing(node) if not covered[set_id]
-                )
-                sigma_evaluations += 1
-                if not heap or gain >= -heap[0][0]:
-                    queue_hits += 1
-                    break  # fresh gain still on top -> true argmax
-                reevaluations += 1
-                if gain:
-                    heapq.heappush(heap, (-gain, node))
-            else:
-                node = None
-            if node is None or gain == 0:
-                if budget is None:
-                    raise SelectionError(
-                        f"sketches exhausted at protected fraction "
-                        f"{self._protected_fraction(store, covered_total, end_count):.3f}"
-                        f" < alpha={self.alpha}"
-                    )
-                break  # nothing left worth adding; return a short set
-            picked.append(node)
-            for set_id in store.sets_containing(node):
-                if not covered[set_id]:
-                    covered[set_id] = 1
-                    covered_total += 1
-        registry = metrics()
-        if registry.enabled:
-            registry.counter("selector.sigma_evaluations").add(sigma_evaluations)
-            registry.counter("selector.marginal_gain_calls").add(sigma_evaluations)
-            registry.counter("selector.celf_queue_hits").add(queue_hits)
-            registry.counter("selector.celf_reevaluations").add(reevaluations)
-        return picked
+        return max_coverage(
+            store,
+            budget=budget,
+            excluded=context.rumor_seed_ids(),
+            alpha=self.alpha,
+            end_count=len(context.bridge_end_ids()),
+        )
 
     def __repr__(self) -> str:
         return (

@@ -18,12 +18,18 @@ from repro.bridge.coverage import (
     blocking_aware_coverage,
     coverage_map_from_bbsts,
 )
-from repro.bridge.rfst import RumorForwardTree, build_rfsts, find_bridge_ends
+from repro.bridge.rfst import (
+    RumorForwardTree,
+    build_rfsts,
+    find_bridge_end_ids,
+    find_bridge_ends,
+)
 
 __all__ = [
     "RumorForwardTree",
     "build_rfsts",
     "find_bridge_ends",
+    "find_bridge_end_ids",
     "BridgeEndBackwardTree",
     "build_bbst",
     "build_all_bbsts",

@@ -23,7 +23,12 @@ from repro.errors import NodeNotFoundError, SeedError
 from repro.graph.digraph import DiGraph, Node
 from repro.graph.traversal import bfs_tree, multi_source_distances
 
-__all__ = ["RumorForwardTree", "build_rfsts", "find_bridge_ends"]
+__all__ = [
+    "RumorForwardTree",
+    "build_rfsts",
+    "find_bridge_ends",
+    "find_bridge_end_ids",
+]
 
 
 class RumorForwardTree:
@@ -145,3 +150,55 @@ def find_bridge_ends(
         if node not in community
         and any(tail in community for tail in graph.predecessors(node))
     )
+
+
+def find_bridge_end_ids(
+    graph,
+    community_ids: Iterable[int],
+    seed_ids: Iterable[int],
+) -> FrozenSet[int]:
+    """The bridge end set ``B`` in **id space**, on an indexed snapshot.
+
+    Same semantics as :func:`find_bridge_ends`, but runs directly on an
+    :class:`~repro.graph.compact.IndexedDiGraph` — the serve layer's
+    path, where ``B`` must be recomputed against the *current* adjacency
+    after in-place edge updates without round-tripping through labels.
+    """
+    community: Set[int] = set()
+    for node in community_ids:
+        _check_node_id(graph, node)
+        community.add(node)
+    seeds = list(dict.fromkeys(seed_ids))
+    if not seeds:
+        raise SeedError("rumor seed set must not be empty")
+    for seed in seeds:
+        _check_node_id(graph, seed)
+        if seed not in community:
+            raise SeedError(
+                f"rumor seed {seed!r} is outside the rumor community "
+                "(Definition 2 requires S_R ⊆ V(C_k))"
+            )
+    out, inn = graph.out, graph.inn
+    reached: Set[int] = set(seeds)
+    frontier: List[int] = list(seeds)
+    while frontier:
+        next_frontier: List[int] = []
+        for node in frontier:
+            for head in out[node]:
+                if head not in reached:
+                    reached.add(head)
+                    next_frontier.append(head)
+        frontier = next_frontier
+    return frozenset(
+        node
+        for node in reached
+        if node not in community
+        and any(tail in community for tail in inn[node])
+    )
+
+
+def _check_node_id(graph, node: int) -> None:
+    if isinstance(node, bool) or not isinstance(node, int):
+        raise NodeNotFoundError(node)
+    if not 0 <= node < graph.node_count:
+        raise NodeNotFoundError(node)

@@ -8,6 +8,8 @@ Subcommands::
     repro select --dataset hep --algorithm scbg
     repro simulate --dataset hep --model doam --algorithm scbg
     repro bench --dataset enron-small --model doam --runs 50
+    repro serve --dataset enron-small            # warm query service
+    repro serve --dataset enron-small --loadgen 40
     repro experiment table1 [--scale 0.1] [--json out.json]
     repro experiment fig4 ...
 
@@ -342,6 +344,62 @@ def build_parser() -> argparse.ArgumentParser:
     add_workers_arg(gossip)
     add_checkpoint_args(gossip)
     add_metrics_arg(gossip)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the warm rumor-blocking query service (newline-JSON)",
+    )
+    add_dataset_args(serve)
+    serve.add_argument(
+        "--semantics",
+        default="opoao",
+        choices=["opoao", "doam"],
+        help="RR-sketch semantics the service answers under",
+    )
+    serve.add_argument(
+        "--steps", type=int, default=31, help="diffusion horizon per world"
+    )
+    serve.add_argument(
+        "--initial-worlds",
+        type=int,
+        default=64,
+        help="sketch sample size before the first greedy pass",
+    )
+    serve.add_argument(
+        "--max-worlds", type=int, default=4096, help="adaptive doubling cap"
+    )
+    serve.add_argument(
+        "--invalidation",
+        default="footprint",
+        choices=["footprint", "members"],
+        help="world-staleness rule for edge updates (footprint is exact)",
+    )
+    serve.add_argument(
+        "--socket",
+        default=None,
+        metavar="PATH",
+        help="serve on a unix socket instead of stdin/stdout",
+    )
+    serve.add_argument(
+        "--loadgen",
+        type=int,
+        default=None,
+        metavar="N",
+        help="instead of serving, replay N queries of the deterministic "
+        "query/update mix in-process and print the report",
+    )
+    serve.add_argument(
+        "--update-every",
+        type=int,
+        default=5,
+        help="loadgen: apply an edge-update batch before every N-th query",
+    )
+    serve.add_argument(
+        "--budget", type=int, default=4, help="loadgen: protectors per query"
+    )
+    add_sketch_args(serve)
+    add_workers_arg(serve)
+    add_metrics_arg(serve)
 
     experiment = sub.add_parser(
         "experiment", help="regenerate a paper table/figure"
@@ -875,6 +933,60 @@ def _cmd_gossip(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Run the warm query service (or its in-process load generator).
+
+    Default transport is newline-JSON over stdin/stdout; ``--socket``
+    serves a unix socket instead. ``--loadgen N`` skips serving and
+    replays the deterministic query/update mix, printing the report
+    (this is what ``benchmarks/bench_serve.py`` wraps).
+    """
+    import asyncio
+    import json as json_module
+
+    from repro.serve import RumorBlockingService, run_loadgen, serve_stdio
+    from repro.serve import serve_unix_socket
+
+    with metrics().timer("stage.load"):
+        dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+        indexed = dataset.graph.to_indexed()
+        community_ids = sorted(
+            indexed.indices(dataset.rumor_community_nodes)
+        )
+    service = RumorBlockingService(
+        indexed,
+        community_ids,
+        semantics=args.semantics,
+        steps=args.steps,
+        seed=args.seed,
+        initial_worlds=args.initial_worlds,
+        max_worlds=args.max_worlds,
+        invalidation=args.invalidation,
+        workers=args.workers,
+        executor=getattr(args, "executor", None),
+    )
+    if args.loadgen is not None:
+        with metrics().timer("stage.loadgen"):
+            report = run_loadgen(
+                service,
+                queries=args.loadgen,
+                update_every=args.update_every,
+                budget=args.budget,
+                epsilon=args.epsilon,
+                delta=args.delta,
+                seed=args.seed,
+            )
+        report.pop("rrsets_sampled_trace", None)
+        print(json_module.dumps(report, indent=2, sort_keys=True))
+        return 0
+    if args.socket is not None:
+        print(f"serving on unix socket {args.socket}", file=sys.stderr)
+        asyncio.run(serve_unix_socket(service, args.socket))
+        return 0
+    asyncio.run(serve_stdio(service))
+    return 0
+
+
 _COMMANDS = {
     "datasets": _cmd_datasets,
     "stats": _cmd_stats,
@@ -886,6 +998,7 @@ _COMMANDS = {
     "sources": _cmd_sources,
     "sweep": _cmd_sweep,
     "gossip": _cmd_gossip,
+    "serve": _cmd_serve,
     "experiment": _cmd_experiment,
 }
 

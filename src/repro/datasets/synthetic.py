@@ -22,16 +22,21 @@ harness accepts an arbitrary graph.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.community.structure import CommunityStructure
 from repro.errors import DatasetError
 from repro.graph.digraph import DiGraph
 from repro.graph.generators import powerlaw_community_digraph
 from repro.rng import RngStream
-from repro.utils.validation import check_positive
+from repro.utils.validation import check_fraction, check_positive
 
-__all__ = ["SyntheticNetwork", "enron_like", "hep_like"]
+__all__ = [
+    "SyntheticNetwork",
+    "enron_like",
+    "hep_like",
+    "large_indexed_network",
+]
 
 #: Statistics of the originals, kept here as the calibration reference.
 ENRON_NODES = 36_692
@@ -136,3 +141,62 @@ def hep_like(
         name=f"hep-like-{nodes}",
     )
     return SyntheticNetwork(graph, membership, name=f"hep-like-{nodes}")
+
+
+def large_indexed_network(
+    nodes: int = 1_000_000,
+    avg_degree: float = 6.0,
+    communities: int = 100,
+    mixing: float = 0.05,
+    rng: Optional[RngStream] = None,
+) -> Tuple["IndexedDiGraph", List[int]]:
+    """Serve-scale generator: straight to an indexed graph, no Louvain.
+
+    The :class:`DiGraph` → Louvain → :class:`IndexedDiGraph` ingest path
+    costs minutes at a million nodes; the serve benchmark only needs a
+    directed graph with planted dense-inside/sparse-across communities,
+    so this builds the adjacency rows directly. Communities are
+    ``communities`` contiguous id blocks; each node draws
+    ``avg_degree`` out-edges, a ``1 - mixing`` fraction inside its own
+    block. Labels are the node ids themselves.
+
+    Returns:
+        ``(graph, community_of)`` — the indexed graph and a per-node
+        community id list (``community_of[v]`` is v's block).
+    """
+    from repro.graph.compact import IndexedDiGraph
+
+    check_positive(nodes, "nodes")
+    check_positive(avg_degree, "avg_degree")
+    check_positive(communities, "communities")
+    check_fraction(mixing, "mixing")
+    if communities > nodes:
+        raise DatasetError(
+            f"cannot plant {communities} communities over {nodes} nodes"
+        )
+    rng = rng or RngStream(name="large-indexed")
+    raw = rng.fork("edges", nodes)._rng  # bulk draws; avoid wrapper overhead
+    block = nodes // communities
+    degree = max(1, int(round(avg_degree)))
+    out: List[List[int]] = [[] for _ in range(nodes)]
+    inn: List[List[int]] = [[] for _ in range(nodes)]
+    randrange = raw.randrange
+    random_ = raw.random
+    for tail in range(nodes):
+        lo = (tail // block) * block if tail < block * communities else 0
+        hi = min(lo + block, nodes)
+        row = out[tail]
+        seen = set()
+        for _ in range(degree):
+            if random_() < mixing:
+                head = randrange(nodes)
+            else:
+                head = lo + randrange(hi - lo)
+            if head == tail or head in seen:
+                continue
+            seen.add(head)
+            row.append(head)
+            inn[head].append(tail)
+    graph = IndexedDiGraph(tuple(range(nodes)), out, inn)
+    community_of = [min(v // block, communities - 1) for v in range(nodes)]
+    return graph, community_of

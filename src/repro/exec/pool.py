@@ -388,9 +388,9 @@ class ParallelExecutor:
     __slots__ = (
         "workers", "share", "timeout", "retries", "degrade", "faults",
         "_pool", "_pool_size", "_pool_shared",
-        "_publication", "_graph", "_graph_handle", "_graph_token",
-        "_spec_key", "_spec_token",
-        "_inline_key", "_inline_graph", "_inline_state",
+        "_publication", "_graph", "_graph_version", "_graph_handle",
+        "_graph_token", "_spec_key", "_spec_token",
+        "_inline_key", "_inline_graph", "_inline_version", "_inline_state",
         "_item_costs", "_resources", "_finalizer", "__weakref__",
     )
 
@@ -419,12 +419,14 @@ class ParallelExecutor:
         self._pool_shared = False
         self._publication = None
         self._graph: Any = _UNSET
+        self._graph_version: Optional[int] = None
         self._graph_handle = None
         self._graph_token: Optional[int] = None
         self._spec_key: Optional[tuple] = None
         self._spec_token: Optional[int] = None
         self._inline_key: Optional[tuple] = None
         self._inline_graph: Any = _UNSET
+        self._inline_version: Optional[int] = None
         self._inline_state: Any = None
         self._item_costs: Dict[tuple, float] = {}
         self._resources: Dict[str, Any] = {"pool": None, "publication": None}
@@ -452,12 +454,14 @@ class ParallelExecutor:
             publication.close()
         self._resources["publication"] = None
         self._graph = _UNSET
+        self._graph_version = None
         self._graph_handle = None
         self._graph_token = None
         self._spec_key = None
         self._spec_token = None
         self._inline_key = None
         self._inline_graph = _UNSET
+        self._inline_version = None
         self._inline_state = None
         self._item_costs.clear()
 
@@ -636,10 +640,12 @@ class ParallelExecutor:
         except Exception:
             payload_bytes = None  # uncacheable payload: rebuild each call
         key = (setup, task, payload_bytes)
+        version = getattr(graph, "version", None)
         if (
             payload_bytes is not None
             and key == self._inline_key
             and graph is self._inline_graph
+            and version == self._inline_version
         ):
             return self._inline_state
         with use_registry(None):
@@ -647,12 +653,24 @@ class ParallelExecutor:
         if payload_bytes is not None:
             self._inline_key = key
             self._inline_graph = graph
+            self._inline_version = version
             self._inline_state = state
         return state
 
     def _ensure_publication(self, graph, registry) -> Tuple[Any, int]:
-        """Publish ``graph`` unless the pinned publication already covers it."""
-        if graph is self._graph and self._graph_token is not None:
+        """Publish ``graph`` unless the pinned publication already covers it.
+
+        The pin is ``(identity, version)``: graphs that mutate in place
+        (:meth:`repro.graph.compact.IndexedDiGraph.apply_updates`) bump
+        their ``version``, which forces a republication — and a new graph
+        token, so workers drop every cache derived from the stale arrays.
+        """
+        version = getattr(graph, "version", None)
+        if (
+            graph is self._graph
+            and version == self._graph_version
+            and self._graph_token is not None
+        ):
             return self._graph_handle, self._graph_token
         publication, self._publication = self._publication, None
         self._resources["publication"] = None
@@ -669,6 +687,7 @@ class ParallelExecutor:
             handle = publication.handle
             token = next(_GRAPH_TOKENS)
         self._graph = graph
+        self._graph_version = version
         self._graph_handle = handle
         self._graph_token = token
         return handle, token

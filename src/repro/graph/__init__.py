@@ -5,8 +5,12 @@ this package provides that substrate from scratch:
 
 * :mod:`repro.graph.digraph` — the :class:`DiGraph` container (weighted
   directed multigraph-free graph with O(1) adjacency).
-* :mod:`repro.graph.compact` — :class:`IndexedDiGraph`, an immutable
-  integer-indexed snapshot used by the hot simulation loops.
+* :mod:`repro.graph.compact` — :class:`IndexedDiGraph`, an
+  integer-indexed snapshot used by the hot simulation loops (frozen node
+  set; edges mutable in place via :meth:`IndexedDiGraph.apply_updates`).
+* :mod:`repro.graph.overlay` — the incremental CSR overlay behind
+  ``apply_updates``: per-row rebuilding, version bumping, touched-id
+  reporting for downstream sketch invalidation.
 * :mod:`repro.graph.traversal` — BFS layers, multi-source BFS, hop
   distances, reachability (the paper's workhorse, Section V).
 * :mod:`repro.graph.components` — weakly/strongly connected components.
@@ -20,12 +24,14 @@ this package provides that substrate from scratch:
 from repro.graph.betweenness import edge_betweenness, node_betweenness
 from repro.graph.compact import IndexedDiGraph
 from repro.graph.digraph import DiGraph
+from repro.graph.overlay import apply_updates
 from repro.graph.paths import dijkstra, shortest_weighted_path
 from repro.graph.subgraph import boundary_out_edges, induced_subgraph
 
 __all__ = [
     "DiGraph",
     "IndexedDiGraph",
+    "apply_updates",
     "induced_subgraph",
     "boundary_out_edges",
     "dijkstra",

@@ -22,7 +22,7 @@ adjacency is then built lazily, only if something actually walks
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import GraphError, NodeNotFoundError
 
@@ -180,6 +180,7 @@ class IndexedDiGraph:
         "_index_of",
         "edge_count",
         "_csr",
+        "version",
     )
 
     def __init__(
@@ -216,6 +217,9 @@ class IndexedDiGraph:
             raise ValueError("node labels must be unique")
         self.edge_count = sum(len(neighbors) for neighbors in self._out)
         self._csr: Optional[CSRArrays] = None
+        #: bumped by :meth:`apply_updates`; caches keyed on the graph
+        #: (executor publications, worker materialisations) compare it.
+        self.version = 0
 
     # -- lazy adjacency ----------------------------------------------------------
 
@@ -392,10 +396,38 @@ class IndexedDiGraph:
             raise ValueError("node labels must be unique")
         graph.edge_count = int(csr.edge_count)
         graph._csr = csr
+        graph.version = 0
         return graph
 
+    def apply_updates(
+        self,
+        insertions: Iterable[Sequence] = (),
+        deletions: Iterable[Sequence] = (),
+    ) -> FrozenSet[int]:
+        """Apply an edge-update batch in place (the dynamic-graph path).
+
+        ``insertions`` holds ``(tail_id, head_id[, weight])`` entries
+        (re-inserting an existing edge overwrites its weight in place);
+        ``deletions`` holds ``(tail_id, head_id)`` pairs that must name
+        existing edges. The node set is fixed. The batch is validated
+        before anything mutates, the memoized :meth:`csr` export is
+        dropped, and :attr:`version` is bumped.
+
+        Returns:
+            The frozen set of touched endpoint ids — both ends of every
+            mutated edge (see :mod:`repro.graph.overlay`).
+        """
+        from repro.graph.overlay import apply_updates
+
+        return apply_updates(self, insertions, deletions)
+
     def csr(self) -> CSRArrays:
-        """The cached CSR snapshot of the out-adjacency (see :class:`CSRArrays`)."""
+        """The cached CSR snapshot of the out-adjacency (see :class:`CSRArrays`).
+
+        The memo is dropped (and rebuilt on next call) whenever
+        :meth:`apply_updates` mutates the graph — a stale export can
+        never be served after an update.
+        """
         if self._csr is None:
             indptr = [0]
             indices: List[int] = []

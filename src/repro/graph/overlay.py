@@ -1,0 +1,189 @@
+"""In-place edge updates for :class:`IndexedDiGraph` — the CSR overlay.
+
+The serving layer (:mod:`repro.serve`) holds one long-lived
+:class:`~repro.graph.compact.IndexedDiGraph` and applies edge insertions
+and deletions *between* queries instead of rebuilding the snapshot from a
+:class:`~repro.graph.digraph.DiGraph`. This module implements that
+mutation as a **row overlay**: only the adjacency rows of mutated
+endpoints are rebuilt (insertions append at the end of a row, mirroring
+:meth:`DiGraph.add_edge` ordering; re-inserting an existing edge
+overwrites its weight in place), the memoized CSR export is dropped, and
+the graph's ``version`` counter is bumped so downstream caches — the
+executor's pinned graph publication, worker-side graph materialisation,
+inline task state — know the snapshot changed even though the object
+identity did not.
+
+Rules, enforced before any row is touched (a rejected batch leaves the
+graph exactly as it was):
+
+* the node set is fixed — updates may only reference existing node ids;
+* self-loops and non-positive weights are rejected (matching
+  :meth:`DiGraph.add_edge` and :meth:`IndexedDiGraph.from_csr`);
+* every deletion must name an existing edge
+  (:class:`~repro.errors.EdgeNotFoundError` otherwise);
+* an edge may appear at most once per batch, and never in both the
+  insertion and the deletion list (the combination is ambiguous).
+
+:func:`apply_updates` returns the set of **touched endpoint ids** — both
+ends of every mutated edge, weight overwrites included. That set is what
+:meth:`repro.sketch.store.SketchStore.refresh` consumes to invalidate
+exactly the RR-set worlds whose sampling read a mutated row.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.errors import EdgeNotFoundError, GraphError, NodeNotFoundError
+
+__all__ = ["apply_updates", "normalize_insertions", "normalize_deletions"]
+
+#: A normalized edge insertion: ``(tail_id, head_id, weight)``.
+EdgeInsertion = Tuple[int, int, float]
+
+#: A normalized edge deletion: ``(tail_id, head_id)``.
+EdgeDeletion = Tuple[int, int]
+
+
+def _check_id(graph, node: object, what: str) -> int:
+    if isinstance(node, bool) or not isinstance(node, int):
+        raise NodeNotFoundError(node)
+    if not 0 <= node < graph.node_count:
+        raise NodeNotFoundError(node)
+    return node
+
+
+def _check_pair(graph, tail: object, head: object, what: str) -> Tuple[int, int]:
+    tail = _check_id(graph, tail, what)
+    head = _check_id(graph, head, what)
+    if tail == head:
+        raise GraphError(f"self-loop on node id {tail} rejected in {what}")
+    return tail, head
+
+
+def normalize_insertions(graph, insertions: Iterable[Sequence]) -> List[EdgeInsertion]:
+    """Validate an insertion batch into ``(tail, head, weight)`` triples.
+
+    Accepts ``(tail, head)`` pairs (weight 1.0, the
+    :meth:`DiGraph.add_edge` default) or ``(tail, head, weight)``
+    triples. Duplicate edges within the batch are rejected.
+    """
+    out: List[EdgeInsertion] = []
+    seen: Set[Tuple[int, int]] = set()
+    for entry in insertions:
+        entry = tuple(entry)
+        if len(entry) == 2:
+            tail, head = entry
+            weight = 1.0
+        elif len(entry) == 3:
+            tail, head, weight = entry
+        else:
+            raise GraphError(
+                f"insertion must be (tail, head[, weight]), got {entry!r}"
+            )
+        tail, head = _check_pair(graph, tail, head, "insertion")
+        weight = float(weight)
+        if weight <= 0:
+            raise GraphError(f"edge weight must be > 0, got {weight!r}")
+        if (tail, head) in seen:
+            raise GraphError(f"duplicate insertion {tail} -> {head} in batch")
+        seen.add((tail, head))
+        out.append((tail, head, weight))
+    return out
+
+
+def normalize_deletions(graph, deletions: Iterable[Sequence]) -> List[EdgeDeletion]:
+    """Validate a deletion batch into ``(tail, head)`` pairs."""
+    out: List[EdgeDeletion] = []
+    seen: Set[Tuple[int, int]] = set()
+    for entry in deletions:
+        entry = tuple(entry)
+        if len(entry) != 2:
+            raise GraphError(f"deletion must be (tail, head), got {entry!r}")
+        tail, head = _check_pair(graph, *entry, "deletion")
+        if (tail, head) in seen:
+            raise GraphError(f"duplicate deletion {tail} -> {head} in batch")
+        seen.add((tail, head))
+        out.append((tail, head))
+    return out
+
+
+def apply_updates(
+    graph,
+    insertions: Iterable[Sequence] = (),
+    deletions: Iterable[Sequence] = (),
+) -> FrozenSet[int]:
+    """Mutate ``graph`` in place; returns the touched endpoint ids.
+
+    The whole batch is validated first, then applied atomically:
+    deletions, then insertions (the two lists are disjoint by
+    construction, so the order is immaterial). Rebuilt rows stay tuples
+    — only the rows of touched endpoints are re-created, everything else
+    is shared with the pre-update graph.
+    """
+    inserted = normalize_insertions(graph, insertions)
+    deleted = normalize_deletions(graph, deletions)
+    overlap = {(t, h) for t, h, _ in inserted} & set(deleted)
+    if overlap:
+        tail, head = sorted(overlap)[0]
+        raise GraphError(
+            f"edge {tail} -> {head} appears in both insertions and "
+            f"deletions; split the batch"
+        )
+    # Materialise the lazy adjacency (CSR-born graphs) before mutating.
+    out, inn, out_weights = graph.out, graph.inn, graph.out_weights
+    for tail, head in deleted:
+        if head not in out[tail]:
+            raise EdgeNotFoundError(tail, head)
+
+    out_rows: dict = {}
+    weight_rows: dict = {}
+    in_rows: dict = {}
+
+    def _mutable(rows: dict, source, index: int) -> list:
+        row = rows.get(index)
+        if row is None:
+            row = list(source[index])
+            rows[index] = row
+        return row
+
+    touched: Set[int] = set()
+    edge_delta = 0
+    for tail, head in deleted:
+        row = _mutable(out_rows, out, tail)
+        position = row.index(head)
+        row.pop(position)
+        _mutable(weight_rows, out_weights, tail).pop(position)
+        _mutable(in_rows, inn, head).remove(tail)
+        edge_delta -= 1
+        touched.update((tail, head))
+    for tail, head, weight in inserted:
+        row = _mutable(out_rows, out, tail)
+        weights = _mutable(weight_rows, out_weights, tail)
+        if head in row:
+            weights[row.index(head)] = weight  # overwrite, position kept
+        else:
+            row.append(head)
+            weights.append(weight)
+            _mutable(in_rows, inn, head).append(tail)
+            edge_delta += 1
+        touched.update((tail, head))
+
+    if not touched:
+        return frozenset()
+    new_out = list(out)
+    new_weights = list(out_weights)
+    new_inn = list(inn)
+    for index, row in out_rows.items():
+        new_out[index] = tuple(row)
+    for index, row in weight_rows.items():
+        new_weights[index] = tuple(row)
+    for index, row in in_rows.items():
+        new_inn[index] = tuple(row)
+    graph._out = tuple(new_out)
+    graph._out_weights = tuple(new_weights)
+    graph._inn = tuple(new_inn)
+    graph.edge_count += edge_delta
+    graph._csr = None  # the memoized CSR export is stale now
+    graph.version += 1
+    return frozenset(touched)

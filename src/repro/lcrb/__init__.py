@@ -8,7 +8,8 @@
   Fig. 4-9).
 * :mod:`repro.lcrb.pipeline` — the end-to-end flow: detect communities,
   choose the rumor community, draw rumor seeds, find bridge ends, select
-  protectors, evaluate.
+  protectors, evaluate; ``service_from_context`` hands a resolved
+  instance to the warm query service (:mod:`repro.serve`).
 * :mod:`repro.lcrb.gossip_blocking` — the same protector-selection
   question re-scored on the message-passing gossip workload
   (:mod:`repro.gossip`): messages sent versus final infected.
@@ -21,7 +22,11 @@ from repro.lcrb.gossip_blocking import (
     GossipStrategyRow,
     default_gossip_selectors,
 )
-from repro.lcrb.pipeline import build_context, draw_rumor_seeds
+from repro.lcrb.pipeline import (
+    build_context,
+    draw_rumor_seeds,
+    service_from_context,
+)
 from repro.lcrb.problem import LCRBDProblem, LCRBPProblem, LCRBProblem
 
 __all__ = [
@@ -32,6 +37,7 @@ __all__ = [
     "evaluate_protectors",
     "build_context",
     "draw_rumor_seeds",
+    "service_from_context",
     "GossipBlockingResult",
     "GossipBlockingScenario",
     "GossipStrategyRow",

@@ -24,6 +24,7 @@ __all__ = [
     "draw_rumor_seeds",
     "build_context",
     "build_multi_community_context",
+    "service_from_context",
 ]
 
 
@@ -96,6 +97,33 @@ def build_context(
         graph, communities.members(rumor_community), rumor_seeds
     )
     return context, communities, rumor_community
+
+
+def service_from_context(context: SelectionContext, **service_kwargs):
+    """Promote a resolved LCRB instance into a warm query service.
+
+    The batch pipeline and the serving layer share one id space: the
+    service is built on ``context.indexed`` with the rumor community
+    mapped to ids, so ``service.query(context.rumor_seed_ids(), ...)``
+    answers the same instance the selectors solve — and stays warm for
+    follow-up queries and edge updates (see ``docs/serving.md``).
+
+    Args:
+        context: the resolved instance.
+        **service_kwargs: forwarded to
+            :class:`~repro.serve.RumorBlockingService` (``semantics``,
+            ``steps``, ``seed``, ``initial_worlds``, ``executor``, ...).
+
+    Returns:
+        ``(service, seed_ids)`` — the service and the instance's rumor
+        seeds as ids, ready to pass to ``service.query``.
+    """
+    from repro.serve import RumorBlockingService
+
+    indexed = context.indexed
+    community_ids = sorted(indexed.indices(context.rumor_community))
+    service = RumorBlockingService(indexed, community_ids, **service_kwargs)
+    return service, context.rumor_seed_ids()
 
 
 def build_multi_community_context(

@@ -1,0 +1,198 @@
+"""Deterministic query/update load generator for the serve layer.
+
+Replays a seeded mix of rumor-blocking queries and edge-update batches
+against an in-process :class:`~repro.serve.service.RumorBlockingService`
+and reports throughput (qps), latency percentiles, and — the number the
+regression gate watches — the **warm/cold sampling ratio**: how many RR
+sets the first (cold) query on a seed set sampled versus the mean over
+the warm queries that followed. A warm index answers repeat questions
+by reusing its worlds, so the ratio should be large (the benchmark gate
+asserts ≥ 10x on enron-small).
+
+Everything except wall-clock is deterministic for a fixed seed: seed
+sets, update batches, world sampling, and therefore the per-query
+``rrsets_sampled`` / ``rrsets_invalidated`` counts. Latencies vary by
+machine; the sampling counts do not, which is what makes
+``BENCH_serve.json`` diffable in CI.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.rng import RngStream
+from repro.serve.service import RumorBlockingService
+from repro.utils.validation import check_positive
+
+__all__ = ["run_loadgen"]
+
+
+def _percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile over a non-empty sequence."""
+    ordered = sorted(values)
+    if q <= 0.0:
+        return ordered[0]
+    import math
+
+    rank = math.ceil(q / 100.0 * len(ordered))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def _draw_update_batch(
+    service: RumorBlockingService, rng: RngStream, size: int
+) -> Tuple[List[Tuple[int, int]], List[Tuple[int, int]]]:
+    """A random edge batch: ``size`` insertions and ``size`` deletions.
+
+    Insertions pick uniform non-edges (no self-loops); deletions pick an
+    out-edge of a uniform node that has one. Draws consult the *current*
+    adjacency, so batches never conflict with each other or themselves.
+    """
+    graph = service.graph
+    node_count = graph.node_count
+    insertions: List[Tuple[int, int]] = []
+    deletions: List[Tuple[int, int]] = []
+    batch_new = set()
+    for _ in range(size):
+        for _attempt in range(64):
+            tail = rng.randrange(node_count)
+            head = rng.randrange(node_count)
+            if tail == head:
+                continue
+            if head in graph.out[tail] or (tail, head) in batch_new:
+                continue
+            insertions.append((tail, head))
+            batch_new.add((tail, head))
+            break
+    batch_deleted = set()
+    for _ in range(size):
+        for _attempt in range(64):
+            tail = rng.randrange(node_count)
+            row = graph.out[tail]
+            if not row:
+                continue
+            head = row[rng.randrange(len(row))]
+            if (tail, head) in batch_new or (tail, head) in batch_deleted:
+                continue
+            deletions.append((tail, head))
+            batch_deleted.add((tail, head))
+            break
+    return insertions, deletions
+
+
+def run_loadgen(
+    service: RumorBlockingService,
+    queries: int = 40,
+    update_every: int = 5,
+    update_size: int = 1,
+    seed_sets: int = 2,
+    seeds_per_query: int = 2,
+    budget: Optional[int] = 4,
+    alpha: float = 0.8,
+    epsilon: float = 0.3,
+    delta: float = 0.1,
+    seed: int = 7,
+) -> Dict[str, object]:
+    """Drive a deterministic query/update mix and summarise the run.
+
+    Args:
+        service: the (fresh) service under test.
+        queries: total queries to issue.
+        update_every: apply one update batch before every N-th query
+            (0 disables updates — a pure warm-read workload).
+        update_size: insertions and deletions per batch.
+        seed_sets: distinct rumor seed sets cycled round-robin.
+        seeds_per_query: rumor originators per seed set.
+        budget: protector budget per query (``None`` = cover to alpha).
+        alpha: protection target for the budget-free mode.
+        epsilon: stopping-rule precision per query.
+        delta: stopping-rule confidence per query.
+        seed: loadgen seed (seed sets + update batches derive from it).
+
+    Returns:
+        A JSON-ready report: ``qps``, ``latency_ms`` percentiles,
+        ``cold_rrsets_mean`` / ``warm_rrsets_mean`` /
+        ``cold_to_warm_ratio``, ``rrsets_invalidated_total``, and the
+        raw per-query ``rrsets_sampled`` trace.
+    """
+    check_positive(queries, "queries")
+    check_positive(seed_sets, "seed_sets")
+    check_positive(seeds_per_query, "seeds_per_query")
+    rng = RngStream(seed, name="loadgen")
+    community = sorted(service.community)
+    if seeds_per_query > len(community):
+        seeds_per_query = len(community)
+    pools = [
+        sorted(rng.fork("seeds", index).sample(community, seeds_per_query))
+        for index in range(seed_sets)
+    ]
+    update_rng = rng.fork("updates")
+
+    latencies_ms: List[float] = []
+    warm_latencies_ms: List[float] = []
+    sampled_trace: List[int] = []
+    cold_sampled: List[int] = []
+    warm_sampled: List[int] = []
+    invalidated_total = 0
+    updates_applied = 0
+    started = perf_counter()
+    for index in range(queries):
+        if update_every and index and index % update_every == 0:
+            insertions, deletions = _draw_update_batch(
+                service, update_rng, update_size
+            )
+            if insertions or deletions:
+                service.apply_updates(insertions, deletions)
+                updates_applied += 1
+        seeds = pools[index % seed_sets]
+        begin = perf_counter()
+        result = service.query(
+            seeds, budget=budget, alpha=alpha, epsilon=epsilon, delta=delta
+        )
+        elapsed_ms = (perf_counter() - begin) * 1000.0
+        latencies_ms.append(elapsed_ms)
+        sampled = int(result["rrsets_sampled"])
+        sampled_trace.append(sampled)
+        if result["cold"]:
+            cold_sampled.append(sampled)
+        else:
+            warm_sampled.append(sampled)
+            warm_latencies_ms.append(elapsed_ms)
+        invalidated_total += int(result["rrsets_invalidated"])
+    elapsed = perf_counter() - started
+
+    cold_mean = (
+        sum(cold_sampled) / len(cold_sampled) if cold_sampled else 0.0
+    )
+    warm_mean = (
+        sum(warm_sampled) / len(warm_sampled) if warm_sampled else 0.0
+    )
+    # A warm query that resampled nothing costs 0 sets; floor the
+    # denominator at one set per query so the ratio stays finite.
+    ratio = cold_mean / max(warm_mean, 1.0)
+    return {
+        "queries": queries,
+        "updates": updates_applied,
+        "seconds": elapsed,
+        "qps": queries / max(elapsed, 1e-9),
+        "latency_ms": {
+            "mean": sum(latencies_ms) / len(latencies_ms),
+            "p50": _percentile(latencies_ms, 50),
+            "p90": _percentile(latencies_ms, 90),
+            "p99": _percentile(latencies_ms, 99),
+            "warm_p50": (
+                _percentile(warm_latencies_ms, 50)
+                if warm_latencies_ms
+                else _percentile(latencies_ms, 50)
+            ),
+        },
+        "cold_queries": len(cold_sampled),
+        "warm_queries": len(warm_sampled),
+        "cold_rrsets_mean": cold_mean,
+        "warm_rrsets_mean": warm_mean,
+        "cold_to_warm_ratio": ratio,
+        "rrsets_sampled_total": sum(sampled_trace),
+        "rrsets_invalidated_total": invalidated_total,
+        "rrsets_sampled_trace": sampled_trace,
+        "graph_version": service.graph.version,
+    }

@@ -1,0 +1,161 @@
+"""Newline-JSON request protocol for :class:`RumorBlockingService`.
+
+One request per line, one response per line. Requests are JSON objects
+with an ``op`` and an optional ``id`` (echoed back verbatim so clients
+can pipeline):
+
+``{"op": "query", "id": 1, "seeds": [3, 7], "budget": 4,
+   "eps": 0.1, "delta": 0.05, "alpha": 0.8}``
+    Answer a rumor-blocking question; ``budget`` omitted/null selects
+    to the ``alpha`` protection target instead.
+
+``{"op": "update", "id": 2, "insert": [[0, 5], [2, 9, 0.7]],
+   "delete": [[1, 4]]}``
+    Apply an edge-update batch; responds with the touched node ids and
+    the new graph version.
+
+``{"op": "stats", "id": 3}``
+    Snapshot of the warm state.
+
+``{"op": "shutdown", "id": 4}``
+    Acknowledge and stop serving (the connection handler returns).
+
+Responses carry ``{"id": ..., "ok": true, ...payload}`` on success and
+``{"id": ..., "ok": false, "error": "..."}`` on failure; a failed
+request never kills the server. The same handler serves stdio
+(``repro serve``) and unix-socket transports; every state-touching op
+goes through the service's async wrappers, so concurrent connections
+serialise on the service lock in arrival order.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+from typing import Dict
+
+from repro.serve.service import RumorBlockingService
+
+__all__ = [
+    "process_request",
+    "handle_connection",
+    "serve_stdio",
+    "serve_unix_socket",
+]
+
+
+async def process_request(
+    service: RumorBlockingService, request: Dict[str, object]
+) -> Dict[str, object]:
+    """Dispatch one decoded request; never raises on bad input."""
+    if not isinstance(request, dict):
+        return {"id": None, "ok": False, "error": "request must be a JSON object"}
+    request_id = request.get("id")
+    op = request.get("op")
+    try:
+        if op == "query":
+            result = await service.query_async(
+                request["seeds"],
+                budget=request.get("budget"),
+                alpha=request.get("alpha", 0.8),
+                epsilon=request.get("eps", 0.1),
+                delta=request.get("delta", 0.05),
+            )
+            return {"id": request_id, "ok": True, **result}
+        if op == "update":
+            touched = await service.apply_updates_async(
+                request.get("insert", ()), request.get("delete", ())
+            )
+            return {
+                "id": request_id,
+                "ok": True,
+                "touched": touched,
+                "graph_version": service.graph.version,
+            }
+        if op == "stats":
+            return {"id": request_id, "ok": True, **(await service.stats_async())}
+        if op == "shutdown":
+            return {"id": request_id, "ok": True, "shutdown": True}
+        return {"id": request_id, "ok": False, "error": f"unknown op {op!r}"}
+    except Exception as exc:  # noqa: BLE001 - protocol boundary
+        return {
+            "id": request_id,
+            "ok": False,
+            "error": f"{type(exc).__name__}: {exc}",
+        }
+
+
+async def handle_connection(
+    service: RumorBlockingService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> bool:
+    """Serve one newline-JSON stream until EOF or a shutdown op.
+
+    Returns True when the client requested shutdown (the caller then
+    stops the whole server, not just this connection).
+    """
+    while True:
+        line = await reader.readline()
+        if not line:
+            return False
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            request = json.loads(line)
+        except json.JSONDecodeError as exc:
+            response: Dict[str, object] = {
+                "id": None,
+                "ok": False,
+                "error": f"invalid JSON: {exc}",
+            }
+        else:
+            response = await process_request(service, request)
+        writer.write((json.dumps(response, sort_keys=True) + "\n").encode("utf-8"))
+        await writer.drain()
+        if response.get("shutdown"):
+            return True
+
+
+async def serve_stdio(service: RumorBlockingService) -> None:
+    """Serve newline-JSON requests on stdin/stdout until EOF or shutdown."""
+    loop = asyncio.get_running_loop()
+    reader = asyncio.StreamReader()
+    await loop.connect_read_pipe(
+        lambda: asyncio.StreamReaderProtocol(reader), sys.stdin
+    )
+    transport, protocol = await loop.connect_write_pipe(
+        asyncio.streams.FlowControlMixin, sys.stdout
+    )
+    writer = asyncio.StreamWriter(transport, protocol, reader, loop)
+    await handle_connection(service, reader, writer)
+
+
+async def serve_unix_socket(
+    service: RumorBlockingService, path: str
+) -> None:
+    """Serve on a unix socket; a shutdown op from any client stops it.
+
+    Connections are handled concurrently; the service lock serialises
+    their state-touching requests in arrival order.
+    """
+    done = asyncio.Event()
+
+    async def _handler(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            if await handle_connection(service, reader, writer):
+                done.set()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    server = await asyncio.start_unix_server(_handler, path=path)
+    async with server:
+        await done.wait()

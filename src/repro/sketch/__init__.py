@@ -11,13 +11,19 @@ any protector set by sketch coverage. Three layers:
   paper's two semantics (OPOAO timestamp process, DOAM arrival times).
 * :mod:`repro.sketch.store` — :class:`SketchStore`: flat-array set
   storage, inverted node index, incremental doubling with an (ε, δ)
-  stopping rule.
+  stopping rule, and footprint-based incremental invalidation
+  (:meth:`SketchStore.refresh`) for dynamic graphs.
+* :mod:`repro.sketch.coverage` — :func:`max_coverage`, the lazy-greedy
+  (CELF) selection core shared by the batch selector and the query
+  service.
 * :mod:`repro.sketch.estimator` — :class:`SketchSigmaEstimator`, a
   drop-in for the Monte-Carlo σ estimator seam.
 
-The selector built on top lives in :mod:`repro.algorithms.ris_greedy`.
+The selector built on top lives in :mod:`repro.algorithms.ris_greedy`;
+the long-running query service in :mod:`repro.serve`.
 """
 
+from repro.sketch.coverage import max_coverage, protected_fraction
 from repro.sketch.estimator import SketchSigmaEstimator
 from repro.sketch.rrset import (
     SKETCH_SEMANTICS,
@@ -36,4 +42,6 @@ __all__ = [
     "sampler_for",
     "SketchStore",
     "SketchSigmaEstimator",
+    "max_coverage",
+    "protected_fraction",
 ]

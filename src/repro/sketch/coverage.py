@@ -1,0 +1,134 @@
+"""Lazy-greedy weighted max coverage over a :class:`SketchStore`.
+
+The selection core shared by :class:`repro.algorithms.ris_greedy.\
+RISGreedySelector` and the query service (:mod:`repro.serve`): picking
+the node contained in the most not-yet-covered RR sets maximises the σ̂
+marginal gain exactly, so the CELF-style lazy heap applies with *exact*
+stale bounds — coverage counts are integers, not noisy estimates.
+
+Both problem flavours come through the usual ``budget`` convention:
+``budget=k`` stops after ``k`` picks (LCRB); ``budget=None`` keeps
+covering until the estimated protected fraction of bridge ends reaches
+``alpha`` (LCRB-P), raising :class:`~repro.errors.SelectionError` when
+the sketches run dry first.
+
+The pass is a pure function of the store's arrays and its arguments —
+no RNG — so two stores with bit-identical arrays yield bit-identical
+picks (ties break by ascending node id). That determinism is what the
+serve layer's concurrency tests lean on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, List, Optional, Tuple
+
+from repro.errors import SelectionError
+from repro.obs.registry import metrics
+
+__all__ = ["max_coverage", "protected_fraction"]
+
+
+def protected_fraction(store, covered_total: int, end_count: int) -> float:
+    """Estimated fraction of bridge ends protected at ``covered_total``.
+
+    Per world, ``end_count - at_risk + covered`` ends are safe (never
+    reached, or reached but their RR set is covered); averaging over
+    worlds gives the sketch estimate of the protected fraction.
+    """
+    safe = store.worlds * end_count - store.at_risk_total + covered_total
+    return safe / (store.worlds * end_count)
+
+
+def max_coverage(
+    store,
+    *,
+    budget: Optional[int] = None,
+    excluded: Iterable[int] = (),
+    alpha: Optional[float] = None,
+    end_count: Optional[int] = None,
+) -> List[int]:
+    """One lazy-greedy pass over the store's current sets.
+
+    Args:
+        store: a :class:`~repro.sketch.store.SketchStore` with at least
+            one sampled world.
+        budget: stop after this many picks; ``None`` selects until the
+            protected fraction reaches ``alpha`` (which then requires
+            ``alpha`` and ``end_count``).
+        excluded: node ids never to pick (the rumor seeds).
+        alpha: protection target for the budget-free mode.
+        end_count: number of bridge ends ``|B|`` (budget-free mode).
+
+    Returns:
+        Picked node ids in selection order.
+
+    Raises:
+        SelectionError: budget-free mode exhausted every useful node
+            below the ``alpha`` target.
+    """
+    excluded_set = set(excluded)
+    covered = bytearray(store.set_count)
+    covered_total = 0
+
+    # Heap of (-gain, node); gains are exact set counts, so a lazy
+    # re-evaluation that stays on top is provably the argmax. Node-id
+    # order breaks ties deterministically.
+    heap: List[Tuple[int, int]] = []
+    for node in store.nodes():
+        if node in excluded_set:
+            continue
+        count = len(store.sets_containing(node))
+        if count:
+            heap.append((-count, node))
+    heapq.heapify(heap)
+
+    # Coverage-gain queries play the role σ̂ evaluations play in the
+    # Monte-Carlo selectors; the initial exact gains count too.
+    sigma_evaluations = len(heap)
+    queue_hits = 0
+    reevaluations = 0
+
+    picked: List[int] = []
+
+    def done() -> bool:
+        if budget is not None:
+            return len(picked) >= budget
+        return protected_fraction(store, covered_total, end_count) >= alpha
+
+    while not done():
+        gain = 0
+        while heap:
+            negative, node = heapq.heappop(heap)
+            gain = sum(
+                1 for set_id in store.sets_containing(node) if not covered[set_id]
+            )
+            sigma_evaluations += 1
+            if not heap or gain >= -heap[0][0]:
+                queue_hits += 1
+                break  # fresh gain still on top -> true argmax
+            reevaluations += 1
+            if gain:
+                heapq.heappush(heap, (-gain, node))
+        else:
+            node = None
+        if node is None or gain == 0:
+            if budget is None:
+                raise SelectionError(
+                    f"sketches exhausted at protected fraction "
+                    f"{protected_fraction(store, covered_total, end_count):.3f}"
+                    f" < alpha={alpha}"
+                )
+            break  # nothing left worth adding; return a short set
+        picked.append(node)
+        for set_id in store.sets_containing(node):
+            if not covered[set_id]:
+                covered[set_id] = 1
+                covered_total += 1
+    registry = metrics()
+    if registry.enabled:
+        registry.counter("selector.sigma_evaluations").add(sigma_evaluations)
+        registry.counter("selector.marginal_gain_calls").add(sigma_evaluations)
+        registry.counter("selector.celf_queue_hits").add(queue_hits)
+        registry.counter("selector.celf_reevaluations").add(reevaluations)
+    return picked

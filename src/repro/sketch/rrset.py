@@ -35,6 +35,16 @@ world ``i`` is identical no matter when, in what order, or in which
 process it is sampled — the property that makes
 :class:`repro.sketch.store.SketchStore` incrementally extendable and
 parallel-safe.
+
+Each sampled world also carries a **dependency footprint**: the set of
+node ids whose adjacency rows the sampling actually read (rumor-reached
+nodes, lazily drawn choice rows, every RR-set member, and all bridge
+ends). When the graph mutates in place
+(:meth:`repro.graph.compact.IndexedDiGraph.apply_updates`), a world
+whose footprint avoids every touched endpoint would replay to the exact
+same draws and sets on the mutated graph — so the store only resamples
+worlds whose footprint intersects the touched set (see
+:meth:`repro.sketch.store.SketchStore.refresh`).
 """
 
 from __future__ import annotations
@@ -71,15 +81,22 @@ class WorldSample:
         rr_sets: ``(root, members)`` pairs — ``root`` is the at-risk
             bridge end, ``members`` the sorted node ids whose singleton
             protector cascade saves it in this world.
+        footprint: sorted node ids whose adjacency rows sampling read
+            (``None`` when the producing sampler predates footprints —
+            the store then treats the world as always-stale on updates).
     """
 
-    __slots__ = ("index", "rr_sets")
+    __slots__ = ("index", "rr_sets", "footprint")
 
     def __init__(
-        self, index: int, rr_sets: Sequence[Tuple[int, Tuple[int, ...]]]
+        self,
+        index: int,
+        rr_sets: Sequence[Tuple[int, Tuple[int, ...]]],
+        footprint: Optional[Sequence[int]] = None,
     ) -> None:
         self.index = index
         self.rr_sets = list(rr_sets)
+        self.footprint = None if footprint is None else tuple(footprint)
 
     def __repr__(self) -> str:
         return f"WorldSample(index={self.index}, rr_sets={len(self.rr_sets)})"
@@ -193,7 +210,14 @@ class OPOAORRSampler:
         }
 
     def sample_world(self, index: int) -> WorldSample:
-        """Sample world ``index``: one rumor record, one RR set per at-risk end."""
+        """Sample world ``index``: one rumor record, one RR set per at-risk end.
+
+        The returned sample's footprint is every node whose rows the
+        world read: rumor-reached nodes (their out-rows drive the
+        cascade), nodes with a drawn choice row, all RR-set members
+        (their in-rows drive the reverse Dijkstra), and every bridge end
+        (its in-row feeds the deadline lookup).
+        """
         world = self.rng.replica(index)
         rumor = record_cascade(
             self.graph, self.rumor_ids, steps=self.steps, rng=world.fork("rumor")
@@ -205,7 +229,12 @@ class OPOAORRSampler:
             if deadline is None:
                 continue  # the rumor never arrives; nothing to save
             rr_sets.append((end, self._reverse_reachable(end, deadline, rows, world)))
-        return WorldSample(index, rr_sets)
+        footprint = set(rumor.arrival)
+        footprint.update(rows)
+        footprint.update(self.end_ids)
+        for _, members in rr_sets:
+            footprint.update(members)
+        return WorldSample(index, rr_sets, footprint=sorted(footprint))
 
     def __repr__(self) -> str:
         return (
@@ -240,7 +269,7 @@ class DOAMRRSampler:
         self.end_ids = _check_ids(graph, bridge_end_ids, "bridge end")
         self.max_hops = int(check_positive(max_hops, "max_hops"))
         self.rng = rng
-        self._cached: Optional[List[Tuple[int, Tuple[int, ...]]]] = None
+        self._cached: Optional[Tuple[List, Tuple[int, ...]]] = None
 
     def _rumor_arrival(self) -> Dict[int, int]:
         """Multi-source BFS hop distance from the nearest rumor seed."""
@@ -282,16 +311,26 @@ class DOAMRRSampler:
             "seed": None,
         }
 
+    def forget(self) -> None:
+        """Drop the cached world (call after the graph mutates in place)."""
+        self._cached = None
+
     def sample_world(self, index: int) -> WorldSample:
         """The (unique) DOAM world, whatever ``index`` is passed."""
         if self._cached is None:
             arrival = self._rumor_arrival()
-            self._cached = [
+            rr_sets = [
                 (end, self._reverse_ball(end, arrival[end]))
                 for end in self.end_ids
                 if end in arrival
             ]
-        return WorldSample(index, self._cached)
+            footprint = set(arrival)
+            footprint.update(self.end_ids)
+            for _, members in rr_sets:
+                footprint.update(members)
+            self._cached = (rr_sets, tuple(sorted(footprint)))
+        rr_sets, footprint = self._cached
+        return WorldSample(index, rr_sets, footprint=footprint)
 
     def __repr__(self) -> str:
         return (

@@ -24,6 +24,16 @@ until the empirical (1 - δ)-confidence half-width of σ̂(A) is at most
 ε · max(σ̂(A), 1). Deterministic samplers (DOAM) need exactly one world
 and always report sufficient precision.
 
+Dynamic graphs: when the sampler's graph mutates in place
+(:meth:`repro.graph.compact.IndexedDiGraph.apply_updates` returns the
+touched endpoint ids), :meth:`SketchStore.refresh` resamples **only**
+the worlds the mutation could have changed — by default those whose
+dependency footprint (see :class:`repro.sketch.rrset.WorldSample`)
+intersects the touched set — and re-appends every other world
+unchanged. Because worlds are pure functions of their index, the
+refreshed arrays are bit-identical to a from-scratch store sampled on
+the mutated graph with the same seed.
+
 Because world ``i`` is a pure function of its index, a growth step is
 embarrassingly parallel: with ``workers`` configured, each doubling
 round fans contiguous index chunks out over a
@@ -94,7 +104,11 @@ class SketchStore:
         "_world_of",
         "_sets_per_world",
         "_index",
+        "_footprints",
     )
+
+    #: accepted ``rule=`` values of :meth:`stale_worlds` / :meth:`refresh`.
+    INVALIDATION_RULES = ("footprint", "members")
 
     def __init__(
         self,
@@ -119,6 +133,9 @@ class SketchStore:
         self._world_of = array("q")  # world index each set belongs to
         self._sets_per_world = array("q")
         self._index: Dict[int, array] = {}  # node id -> array of set ids
+        # per-world dependency footprint (frozenset of node ids, or None
+        # when unknown — e.g. restored from a pre-footprint checkpoint).
+        self._footprints: List = []
 
     # -- growth -----------------------------------------------------------------
 
@@ -175,9 +192,117 @@ class SketchStore:
         self.ensure_worlds(max(minimum, 2 * self.worlds))
         return self
 
-    def _append_world(self, world) -> None:
+    # -- incremental invalidation ------------------------------------------------
+
+    def stale_worlds(
+        self, touched: Iterable[int], rule: str = "footprint"
+    ) -> List[int]:
+        """World indices an edge-update batch could have changed.
+
+        Args:
+            touched: endpoint ids of the mutated edges (what
+                :meth:`~repro.graph.compact.IndexedDiGraph.apply_updates`
+                returns).
+            rule: ``"footprint"`` (default, exact) marks a world stale
+                when its dependency footprint intersects ``touched`` —
+                refreshing under this rule reproduces a from-scratch
+                store bit for bit. ``"members"`` only consults the
+                inverted member index; it is cheaper but *approximate*
+                (a mutated row can change a world without any touched
+                node being an RR-set member), so refreshed estimates
+                agree only statistically.
+        """
+        if rule not in self.INVALIDATION_RULES:
+            raise ValidationError(
+                f"rule must be one of {self.INVALIDATION_RULES}, got {rule!r}"
+            )
+        touched_set = frozenset(touched)
+        if not touched_set or self.worlds == 0:
+            return []
+        stale = set()
+        if rule == "members":
+            for node in touched_set:
+                for set_id in self._index.get(node, ()):
+                    stale.add(self._world_of[set_id])
+        else:
+            for world, footprint in enumerate(self._footprints):
+                if footprint is None or footprint & touched_set:
+                    stale.add(world)
+        return sorted(stale)
+
+    def refresh(
+        self, touched: Iterable[int], rule: str = "footprint"
+    ) -> Tuple[int, int]:
+        """Resample the worlds invalidated by an edge-update batch.
+
+        Worlds are pure functions of their replica index, so resampling
+        exactly the stale indices on the (mutated) sampler graph and
+        re-appending every fresh world unchanged rebuilds the arrays to
+        what a from-scratch store on the mutated graph would hold (the
+        ``"footprint"`` rule makes that equality bit-exact). Resampling
+        fans out over the configured pool like any growth round.
+
+        Only freshly resampled worlds count toward the ``sketch.*``
+        sampling metrics.
+
+        Returns:
+            ``(stale_world_count, invalidated_set_count)`` — the number
+            of worlds resampled and the number of previously stored RR
+            sets they held (what ``serve.rrsets.invalidated`` reports).
+        """
+        stale = self.stale_worlds(touched, rule)
+        forget = getattr(self.sampler, "forget", None)
+        if forget is not None:
+            forget()  # a cached deterministic world is stale wholesale
+        if not stale:
+            return 0, 0
+        invalidated = sum(self._sets_per_world[world] for world in stale)
+        resampled = dict(zip(stale, self._sample_range(stale)))
+        from repro.sketch.rrset import WorldSample
+
+        kept: List = []
+        for world in range(self.worlds):
+            fresh = resampled.get(world)
+            if fresh is None:
+                lo = sum(self._sets_per_world[:world])
+                hi = lo + self._sets_per_world[world]
+                rr_sets = [
+                    (self._roots[set_id], self.members(set_id))
+                    for set_id in range(lo, hi)
+                ]
+                fresh = WorldSample(
+                    world, rr_sets, footprint=self._footprints[world]
+                )
+                kept.append((fresh, False))
+            else:
+                kept.append((fresh, True))
+        self.worlds = 0
+        self._members = array("q")
+        self._offsets = array("q", [0])
+        self._roots = array("q")
+        self._world_of = array("q")
+        self._sets_per_world = array("q")
+        self._index = {}
+        self._footprints = []
+        for world, counted in kept:
+            self._append_world(world, count=counted)
         registry = metrics()
-        track = registry.enabled
+        if registry.enabled:
+            registry.counter("sketch.worlds_invalidated").add(len(stale))
+            registry.counter("sketch.rrsets_invalidated").add(invalidated)
+        return len(stale), invalidated
+
+    def _append_world(self, world, count: bool = True) -> None:
+        """Append one world's sets; ``count=False`` skips the sampling
+        metrics (used by :meth:`refresh` when re-appending a world that
+        was *not* resampled — its sampling was already counted when it
+        was first drawn)."""
+        registry = metrics()
+        track = registry.enabled and count
+        footprint = getattr(world, "footprint", None)
+        self._footprints.append(
+            None if footprint is None else frozenset(footprint)
+        )
         for root, members in world.rr_sets:
             set_id = len(self._roots)
             self._roots.append(root)
@@ -221,6 +346,10 @@ class SketchStore:
             "roots": list(self._roots),
             "world_of": list(self._world_of),
             "sets_per_world": list(self._sets_per_world),
+            "footprints": [
+                None if footprint is None else sorted(footprint)
+                for footprint in self._footprints
+            ],
         }
 
     def load_state(self, state: Dict[str, object]) -> "SketchStore":
@@ -242,6 +371,16 @@ class SketchStore:
         self._sets_per_world = array(
             "q", (int(v) for v in state["sets_per_world"])
         )
+        # pre-footprint checkpoints restore as unknown footprints, which
+        # stale_worlds treats conservatively (always stale).
+        footprints = state.get("footprints")
+        if footprints is None:
+            self._footprints = [None] * self.worlds
+        else:
+            self._footprints = [
+                None if footprint is None else frozenset(footprint)
+                for footprint in footprints
+            ]
         for set_id in range(len(self._roots)):
             lo, hi = self._offsets[set_id], self._offsets[set_id + 1]
             for node in self._members[lo:hi]:

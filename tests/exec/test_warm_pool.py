@@ -104,6 +104,29 @@ class TestExecutorReuse:
         assert counters["exec.pool.created"] == 1
         assert counters["exec.publications"] == 1
 
+    def test_in_place_mutation_forces_republication(self, monkeypatch):
+        """apply_updates bumps graph.version; the next map must publish
+        the mutated adjacency instead of reusing the pinned publication
+        (same object identity, different contents)."""
+        monkeypatch.delenv(SHARED_POOL_ENV, raising=False)
+        graph = make_chain(8)
+        registry = MetricsRegistry()
+        chunks = [[0, 1], [2, 3]]
+        with use_registry(registry):
+            with ParallelExecutor(2) as executor:
+                before = executor.map_chunks(
+                    degree_setup, degree_task, None, chunks, graph=graph
+                )
+                graph.apply_updates([(0, 2)], [])
+                after = executor.map_chunks(
+                    degree_setup, degree_task, None, chunks, graph=graph
+                )
+        assert before == [[1, 1], [1, 1]]
+        assert after == [[2, 1], [1, 1]]  # node 0 gained an out-edge
+        counters = registry.counter_values()
+        assert counters["exec.pool.created"] == 1  # pool stays warm
+        assert counters["exec.publications"] == 2  # graph was republished
+
     def test_close_is_idempotent_and_not_terminal(self):
         executor = ParallelExecutor(2)
         chunks = [[1, 2], [3]]

@@ -1,0 +1,228 @@
+"""Dynamic-graph edge updates: the incremental CSR overlay.
+
+The differential harness here is the PR's contract for
+:meth:`IndexedDiGraph.apply_updates`: after every mutation batch the
+incrementally-maintained graph must hold the *same adjacency* as a full
+from-scratch rebuild of the mutated edge set. Out rows (and weights)
+match exactly — they drive the CSR export the kernels consume — while
+in rows match as multisets (incremental maintenance appends at row
+ends; a from-scratch rebuild discovers in-edges in tail order).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EdgeNotFoundError, GraphError, NodeNotFoundError
+from repro.graph.compact import IndexedDiGraph
+from repro.graph.generators import erdos_renyi
+from repro.rng import RngStream
+
+
+def build_graph(seed: int = 7, nodes: int = 30, p: float = 0.12):
+    digraph = erdos_renyi(nodes, p, rng=RngStream(seed), directed=True)
+    return IndexedDiGraph.from_digraph(digraph)
+
+
+def edge_set(graph: IndexedDiGraph):
+    return {
+        (tail, head, graph.out_weights[tail][position])
+        for tail in range(graph.node_count)
+        for position, head in enumerate(graph.out[tail])
+    }
+
+
+def rebuild_from_edges(graph: IndexedDiGraph) -> IndexedDiGraph:
+    """From-scratch construction of the same (mutated) edge set."""
+    n = graph.node_count
+    out = [list(row) for row in graph.out]
+    weights = [list(row) for row in graph.out_weights]
+    inn = [[] for _ in range(n)]
+    for tail in range(n):
+        for head in out[tail]:
+            inn[head].append(tail)
+    return IndexedDiGraph(graph.labels, out, inn, weights)
+
+
+def assert_adjacency_equal(actual: IndexedDiGraph, expected: IndexedDiGraph):
+    assert actual.out == expected.out
+    assert actual.out_weights == expected.out_weights
+    # In rows are order-insensitive (see module docstring).
+    assert [sorted(row) for row in actual.inn] == [
+        sorted(row) for row in expected.inn
+    ]
+    assert actual.edge_count == expected.edge_count
+
+
+class TestApplyUpdates:
+    def test_insert_new_edge(self):
+        graph = build_graph()
+        tail = next(
+            t for t in range(graph.node_count) if len(graph.out[t]) < 5
+        )
+        head = next(
+            h
+            for h in range(graph.node_count)
+            if h != tail and h not in graph.out[tail]
+        )
+        before = graph.edge_count
+        touched = graph.apply_updates([(tail, head, 0.5)], [])
+        assert touched == {tail, head}
+        assert graph.edge_count == before + 1
+        assert graph.out[tail][-1] == head  # append-at-end ordering
+        position = graph.out[tail].index(head)
+        assert graph.out_weights[tail][position] == 0.5
+        assert tail in graph.inn[head]
+        assert graph.version == 1
+
+    def test_delete_edge(self):
+        graph = build_graph()
+        tail = next(t for t in range(graph.node_count) if graph.out[t])
+        head = graph.out[tail][0]
+        before = graph.edge_count
+        touched = graph.apply_updates([], [(tail, head)])
+        assert touched == {tail, head}
+        assert graph.edge_count == before - 1
+        assert head not in graph.out[tail]
+        assert tail not in graph.inn[head]
+
+    def test_weight_overwrite_in_place(self):
+        graph = build_graph()
+        tail = next(t for t in range(graph.node_count) if graph.out[t])
+        head = graph.out[tail][0]
+        row_before = graph.out[tail]
+        graph.apply_updates([(tail, head, 9.0)], [])
+        assert graph.out[tail] == row_before  # position unchanged
+        assert graph.out_weights[tail][0] == 9.0
+
+    def test_empty_batch_is_noop(self):
+        graph = build_graph()
+        out_before, version_before = graph.out, graph.version
+        assert graph.apply_updates([], []) == frozenset()
+        assert graph.out is out_before
+        assert graph.version == version_before
+
+    def test_version_bumps_per_batch(self):
+        graph = build_graph()
+        tail = next(t for t in range(graph.node_count) if graph.out[t])
+        head = graph.out[tail][0]
+        graph.apply_updates([], [(tail, head)])
+        graph.apply_updates([(tail, head)], [])
+        assert graph.version == 2
+
+    def test_rejects_self_loop(self):
+        graph = build_graph()
+        with pytest.raises(GraphError):
+            graph.apply_updates([(3, 3)], [])
+
+    def test_rejects_unknown_node(self):
+        graph = build_graph()
+        with pytest.raises(NodeNotFoundError):
+            graph.apply_updates([(0, graph.node_count)], [])
+
+    def test_rejects_missing_deletion(self):
+        graph = build_graph()
+        tail = next(
+            t for t in range(graph.node_count) if len(graph.out[t]) < 5
+        )
+        head = next(
+            h
+            for h in range(graph.node_count)
+            if h != tail and h not in graph.out[tail]
+        )
+        with pytest.raises(EdgeNotFoundError):
+            graph.apply_updates([], [(tail, head)])
+
+    def test_rejects_insert_and_delete_of_same_edge(self):
+        graph = build_graph()
+        tail = next(t for t in range(graph.node_count) if graph.out[t])
+        head = graph.out[tail][0]
+        with pytest.raises(GraphError):
+            graph.apply_updates([(tail, head)], [(tail, head)])
+
+    def test_rejects_nonpositive_weight(self):
+        graph = build_graph()
+        with pytest.raises(GraphError):
+            graph.apply_updates([(0, 1, 0.0)], [])
+
+    def test_atomic_on_validation_failure(self):
+        graph = build_graph()
+        tail = next(t for t in range(graph.node_count) if graph.out[t])
+        head = graph.out[tail][0]
+        snapshot = edge_set(graph)
+        with pytest.raises(NodeNotFoundError):
+            # Second entry is invalid; the first must not stick.
+            graph.apply_updates([], [(tail, head), (0, graph.node_count)])
+        assert edge_set(graph) == snapshot
+        assert graph.version == 0
+
+
+class TestDifferentialVsRebuild:
+    """Random mutation sequences: incremental == from-scratch rebuild."""
+
+    def test_random_batches_match_rebuild(self):
+        rng = RngStream(99, name="overlay-diff")
+        graph = build_graph(seed=11, nodes=40, p=0.10)
+        for batch_index in range(12):
+            batch_rng = rng.fork("batch", batch_index)
+            insertions, deletions = [], []
+            claimed = set()
+            for _ in range(3):
+                tail = batch_rng.randrange(graph.node_count)
+                head = batch_rng.randrange(graph.node_count)
+                if tail == head or (tail, head) in claimed:
+                    continue
+                claimed.add((tail, head))
+                if head in graph.out[tail]:
+                    deletions.append((tail, head))
+                else:
+                    insertions.append(
+                        (tail, head, 0.1 + batch_rng.random())
+                    )
+            graph.apply_updates(insertions, deletions)
+            assert_adjacency_equal(graph, rebuild_from_edges(graph))
+
+    def test_kernel_sigma_identical_after_mutation(self):
+        """CSR parity after mutation — the export the kernels consume."""
+        graph = build_graph(seed=21, nodes=30, p=0.15)
+        tail = next(t for t in range(graph.node_count) if graph.out[t])
+        head = graph.out[tail][0]
+        graph.apply_updates(
+            [(tail, (head + 1) % graph.node_count)]
+            if (head + 1) % graph.node_count != tail
+            and (head + 1) % graph.node_count not in graph.out[tail]
+            else [],
+            [(tail, head)],
+        )
+        rebuilt = rebuild_from_edges(graph)
+        csr_incremental = graph.csr()
+        csr_rebuilt = rebuilt.csr()
+        assert tuple(csr_incremental.indptr) == tuple(csr_rebuilt.indptr)
+        assert tuple(csr_incremental.indices) == tuple(csr_rebuilt.indices)
+        assert tuple(csr_incremental.weights) == tuple(csr_rebuilt.weights)
+
+
+class TestCsrMemoInvalidation:
+    """Regression: the memoized CSR export must never go stale."""
+
+    def test_csr_refreshes_after_mutation(self):
+        graph = build_graph()
+        stale = graph.csr()  # prime the memo
+        tail = next(t for t in range(graph.node_count) if graph.out[t])
+        head = graph.out[tail][0]
+        graph.apply_updates([], [(tail, head)])
+        fresh = graph.csr()
+        assert fresh is not stale
+        assert tuple(fresh.indptr)[-1] == graph.edge_count
+        rebuilt = IndexedDiGraph.from_csr(
+            graph.labels,
+            tuple(fresh.indptr),
+            tuple(fresh.indices),
+            tuple(fresh.weights),
+        )
+        assert rebuilt.out == graph.out
+
+    def test_csr_memo_reused_between_mutations(self):
+        graph = build_graph()
+        first = graph.csr()
+        assert graph.csr() is first

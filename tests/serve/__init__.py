@@ -1,0 +1,1 @@
+"""Tests for the rumor-blocking query service (repro.serve)."""

@@ -1,0 +1,88 @@
+"""Load generator: deterministic sampling counts, coherent report."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.graph.generators import planted_partition
+from repro.rng import RngStream
+from repro.serve import RumorBlockingService, run_loadgen
+
+
+def build_service():
+    digraph, membership = planted_partition(
+        [15, 15, 15], 0.35, 0.03, RngStream(5)
+    )
+    indexed = digraph.to_indexed()
+    community = sorted(
+        indexed.indices(n for n, c in membership.items() if c == 0)
+    )
+    return RumorBlockingService(
+        indexed, community, steps=6, seed=13, initial_worlds=16, max_worlds=32
+    )
+
+
+def run(**overrides):
+    kwargs = dict(
+        queries=12,
+        update_every=4,
+        update_size=1,
+        seed_sets=2,
+        budget=3,
+        epsilon=0.3,
+        delta=0.1,
+        seed=7,
+    )
+    kwargs.update(overrides)
+    return run_loadgen(build_service(), **kwargs)
+
+
+class TestDeterminism:
+    def test_sampling_counts_repeat_across_runs(self):
+        """Wall-clock varies; every count in the report must not."""
+        first, second = run(), run()
+        timing_keys = {"seconds", "qps", "latency_ms"}
+        assert {k: v for k, v in first.items() if k not in timing_keys} == {
+            k: v for k, v in second.items() if k not in timing_keys
+        }
+
+    def test_different_seed_changes_the_workload(self):
+        assert run()["rrsets_sampled_trace"] != run(seed=8)[
+            "rrsets_sampled_trace"
+        ]
+
+
+class TestReportShape:
+    def test_report_is_json_ready_and_coherent(self):
+        report = run()
+        json.dumps(report)  # must serialise as-is
+        assert report["queries"] == 12
+        assert report["cold_queries"] + report["warm_queries"] == 12
+        assert report["cold_queries"] == 2  # one per seed set
+        assert report["updates"] == 2  # before queries 4 and 8
+        assert report["graph_version"] == report["updates"]
+        assert len(report["rrsets_sampled_trace"]) == 12
+        assert report["rrsets_sampled_total"] == sum(
+            report["rrsets_sampled_trace"]
+        )
+        assert report["cold_to_warm_ratio"] > 0
+        for key in ("mean", "p50", "p90", "p99", "warm_p50"):
+            assert report["latency_ms"][key] >= 0.0
+
+    def test_pure_warm_workload_samples_only_cold(self):
+        """update_every=0 disables mutations: after the cold queries
+        every repeat answers from the warm index with zero sampling."""
+        report = run(update_every=0)
+        assert report["updates"] == 0
+        assert report["graph_version"] == 0
+        assert report["warm_rrsets_mean"] == 0.0
+        assert report["rrsets_invalidated_total"] == 0
+        trace = report["rrsets_sampled_trace"]
+        assert all(count == 0 for count in trace[2:])
+
+    def test_rejects_nonpositive_queries(self):
+        with pytest.raises(ValidationError):
+            run(queries=0)

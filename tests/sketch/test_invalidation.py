@@ -1,0 +1,226 @@
+"""Incremental sketch invalidation: refresh == from-scratch resampling.
+
+Property harness for the dynamic-graph path. The contract under test:
+
+* **Bit-identity** (footprint rule): after any edge-mutation sequence,
+  ``store.refresh(touched)`` leaves the store's flat arrays identical
+  to a store sampled from scratch on the mutated graph with the same
+  base seed — worlds are pure functions of their replica index, and the
+  footprint rule resamples exactly the worlds whose inputs changed.
+* **Statistical agreement** (different seeds): a refreshed store and an
+  independently-seeded from-scratch store estimate the same σ̂ within
+  the usual Monte-Carlo tolerance.
+* The ``"members"`` rule is approximate but self-consistent.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.graph.compact import IndexedDiGraph
+from repro.graph.generators import erdos_renyi
+from repro.rng import RngStream
+from repro.sketch.rrset import DOAMRRSampler, OPOAORRSampler
+from repro.sketch.store import SketchStore
+
+NODES = 40
+RUMOR = [0, 1]
+ENDS = [10, 11, 12, 13]
+
+
+def build_graph(seed: int = 7) -> IndexedDiGraph:
+    digraph = erdos_renyi(NODES, 0.08, rng=RngStream(seed), directed=True)
+    return IndexedDiGraph.from_digraph(digraph)
+
+
+def opoao_store(graph, worlds: int = 16, seed: int = 42) -> SketchStore:
+    sampler = OPOAORRSampler(graph, RUMOR, ENDS, steps=8, rng=RngStream(seed))
+    return SketchStore(sampler).ensure_worlds(worlds)
+
+
+def assert_stores_identical(actual: SketchStore, expected: SketchStore):
+    assert actual._members == expected._members
+    assert actual._offsets == expected._offsets
+    assert actual._roots == expected._roots
+    assert actual._world_of == expected._world_of
+    assert actual._sets_per_world == expected._sets_per_world
+    assert actual._footprints == expected._footprints
+    assert {k: list(v) for k, v in actual._index.items()} == {
+        k: list(v) for k, v in expected._index.items()
+    }
+
+
+def apply_mutation_step(graph: IndexedDiGraph, step_rng: RngStream):
+    """One random batch: toggle up to 3 random (tail, head) pairs."""
+    insertions, deletions = [], []
+    claimed = set()
+    for _ in range(3):
+        tail = step_rng.randrange(graph.node_count)
+        head = step_rng.randrange(graph.node_count)
+        if tail == head or (tail, head) in claimed:
+            continue
+        claimed.add((tail, head))
+        if head in graph.out[tail]:
+            deletions.append((tail, head))
+        else:
+            insertions.append((tail, head))
+    return graph.apply_updates(insertions, deletions)
+
+
+class TestRefreshBitIdentity:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        graph_seed=st.integers(min_value=0, max_value=7),
+        mutation_seed=st.integers(min_value=0, max_value=1000),
+        batches=st.integers(min_value=1, max_value=3),
+    )
+    def test_refresh_equals_from_scratch(
+        self, graph_seed, mutation_seed, batches
+    ):
+        graph = build_graph(graph_seed)
+        store = opoao_store(graph)
+        rng = RngStream(mutation_seed, name="mutations")
+        for batch in range(batches):
+            touched = apply_mutation_step(graph, rng.fork("batch", batch))
+            store.refresh(touched)
+        assert_stores_identical(store, opoao_store(graph))
+
+    def test_untouched_footprints_skip_resampling(self):
+        digraph = erdos_renyi(NODES, 0.02, rng=RngStream(3), directed=True)
+        graph = IndexedDiGraph.from_digraph(digraph)
+        sampler = OPOAORRSampler(graph, RUMOR, ENDS, steps=3, rng=RngStream(42))
+        store = SketchStore(sampler).ensure_worlds(4)
+        outside = [
+            node
+            for node in range(NODES)
+            if all(node not in fp for fp in store._footprints)
+        ]
+        assert len(outside) >= 2, "graph too dense for this fixture"
+        touched = graph.apply_updates([(outside[0], outside[1])], [])
+        assert store.stale_worlds(touched) == []
+        assert store.refresh(touched) == (0, 0)
+        scratch = SketchStore(
+            OPOAORRSampler(graph, RUMOR, ENDS, steps=3, rng=RngStream(42))
+        ).ensure_worlds(4)
+        assert_stores_identical(store, scratch)
+
+    def test_refresh_counts(self):
+        graph = build_graph()
+        store = opoao_store(graph)
+        tail = next(t for t in range(NODES) if graph.out[t])
+        touched = graph.apply_updates([], [(tail, graph.out[tail][0])])
+        stale = store.stale_worlds(touched)
+        expected_sets = sum(store._sets_per_world[w] for w in stale)
+        worlds, sets = store.refresh(touched)
+        assert worlds == len(stale)
+        assert sets == expected_sets
+
+    def test_growth_after_refresh_stays_pure(self):
+        """Doubling a refreshed store == sampling the larger size fresh."""
+        graph = build_graph()
+        store = opoao_store(graph, worlds=8)
+        tail = next(t for t in range(NODES) if graph.out[t])
+        touched = graph.apply_updates([], [(tail, graph.out[tail][0])])
+        store.refresh(touched)
+        store.ensure_worlds(16)
+        assert_stores_identical(store, opoao_store(graph, worlds=16))
+
+    def test_doam_refresh_equals_from_scratch(self):
+        graph = build_graph(9)
+        sampler = DOAMRRSampler(graph, RUMOR, ENDS)
+        store = SketchStore(sampler).ensure_worlds(4)
+        tail = next(t for t in range(NODES) if graph.out[t])
+        touched = graph.apply_updates([], [(tail, graph.out[tail][0])])
+        store.refresh(touched)
+        scratch = SketchStore(
+            DOAMRRSampler(graph, RUMOR, ENDS)
+        ).ensure_worlds(4)
+        assert_stores_identical(store, scratch)
+
+
+class TestStatisticalAgreement:
+    def test_refreshed_sigma_tracks_independent_seed(self):
+        """A refreshed store and a fresh differently-seeded store agree
+        statistically on σ̂ (they are independent estimators of the same
+        quantity on the mutated graph)."""
+        graph = build_graph()
+        store = opoao_store(graph, worlds=64, seed=42)
+        rng = RngStream(5, name="mutations")
+        touched = apply_mutation_step(graph, rng)
+        store.refresh(touched)
+        other = opoao_store(graph, worlds=64, seed=1042)
+        probe = [5, 20]
+        mean_a, half_a = store.sigma_interval(probe, delta=0.05)
+        mean_b, half_b = other.sigma_interval(probe, delta=0.05)
+        assert abs(mean_a - mean_b) <= half_a + half_b + 1e-9
+
+
+class TestInvalidationRules:
+    def test_rejects_unknown_rule(self):
+        store = opoao_store(build_graph())
+        with pytest.raises(ValidationError):
+            store.stale_worlds([0], rule="psychic")
+
+    def test_members_rule_subset_of_footprint_rule(self):
+        """Member-based staleness can only miss worlds, never add them:
+        every RR member is in the footprint by construction."""
+        graph = build_graph()
+        store = opoao_store(graph)
+        touched = {3, 17, 29}
+        members_stale = set(store.stale_worlds(touched, rule="members"))
+        footprint_stale = set(store.stale_worlds(touched, rule="footprint"))
+        assert members_stale <= footprint_stale
+
+    def test_members_rule_refresh_is_consistent(self):
+        """The approximate rule still yields a well-formed store whose
+        untouched worlds are bit-identical to before."""
+        graph = build_graph()
+        store = opoao_store(graph)
+        before = {
+            world: [
+                (store._roots[s], store.members(s))
+                for s in range(len(store._roots))
+                if store._world_of[s] == world
+            ]
+            for world in range(store.worlds)
+        }
+        tail = next(t for t in range(NODES) if graph.out[t])
+        touched = graph.apply_updates([], [(tail, graph.out[tail][0])])
+        stale = set(store.stale_worlds(touched, rule="members"))
+        store.refresh(touched, rule="members")
+        assert store.worlds == len(before)
+        for world in range(store.worlds):
+            if world in stale:
+                continue
+            after = [
+                (store._roots[s], store.members(s))
+                for s in range(len(store._roots))
+                if store._world_of[s] == world
+            ]
+            assert after == before[world]
+
+
+class TestFootprintPersistence:
+    def test_state_dict_roundtrips_footprints(self):
+        graph = build_graph()
+        store = opoao_store(graph)
+        state = store.state_dict()
+        restored = SketchStore(
+            OPOAORRSampler(graph, RUMOR, ENDS, steps=8, rng=RngStream(42))
+        ).load_state(state)
+        assert restored._footprints == store._footprints
+
+    def test_pre_footprint_checkpoint_is_conservative(self):
+        """Old checkpoints (no footprints) restore as always-stale."""
+        graph = build_graph()
+        store = opoao_store(graph)
+        state = store.state_dict()
+        state.pop("footprints")
+        restored = SketchStore(
+            OPOAORRSampler(graph, RUMOR, ENDS, steps=8, rng=RngStream(42))
+        ).load_state(state)
+        assert restored._footprints == [None] * restored.worlds
+        assert restored.stale_worlds([0]) == list(range(restored.worlds))

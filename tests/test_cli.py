@@ -398,3 +398,57 @@ class TestGossipCommand:
         assert "gossip blocking" in out
         for strategy in ("none", "random", "maxdegree", "ris-greedy"):
             assert strategy in out
+
+
+class TestServeCommand:
+    BASE = [
+        "serve",
+        "--dataset",
+        "enron-small",
+        "--scale",
+        "0.02",
+        "--seed",
+        "13",
+        "--steps",
+        "6",
+        "--initial-worlds",
+        "16",
+        "--max-worlds",
+        "32",
+        "--epsilon",
+        "0.3",
+        "--delta",
+        "0.1",
+        "--loadgen",
+        "8",
+        "--update-every",
+        "4",
+        "--budget",
+        "3",
+    ]
+
+    def test_loadgen_report(self, capsys):
+        assert main(self.BASE) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["queries"] == 8
+        assert report["cold_queries"] >= 1
+        assert "cold_to_warm_ratio" in report
+        assert "rrsets_sampled_trace" not in report  # trimmed for TTY
+
+    def test_loadgen_counts_are_reproducible(self, capsys):
+        assert main(self.BASE) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(self.BASE) == 0
+        second = json.loads(capsys.readouterr().out)
+        for key in ("seconds", "qps", "latency_ms"):
+            first.pop(key), second.pop(key)
+        assert first == second
+
+    def test_loadgen_metrics_out(self, tmp_path):
+        path = tmp_path / "serve-metrics.json"
+        assert main(self.BASE + ["--metrics-out", str(path)]) == 0
+        counters = json.loads(path.read_text())["counters"]
+        assert counters["serve.queries"] == 8
+        assert counters["serve.queries.cold"] >= 1
+        assert counters["serve.rrsets.sampled"] > 0
+        assert counters["serve.updates"] == 1
