@@ -1,0 +1,136 @@
+"""RR-set sampling throughput of the batched sketch kernel backends.
+
+Not a paper figure — this measures the ISSUE-9 tentpole directly:
+worlds sampled per second through :func:`repro.sketch.sample_worlds` on
+the enron-small replica, once per available backend. The two backends
+replay the *same* seeded worlds (the kernels are bit-identical per
+replica index, see :mod:`repro.sketch.kernels`), so their BENCH
+documents carry identical ``sketch.*`` work counters and only the wall
+clocks differ — ``BENCH_sketch_kernels_<backend>.json`` feeds the CI
+regression gate while :func:`test_numpy_speedup_over_python` reproduces
+the >=2x acceptance measurement in-process.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import FAST, SCALE
+from repro.algorithms.base import SelectionContext
+from repro.datasets.registry import load_dataset
+from repro.lcrb.pipeline import draw_rumor_seeds
+from repro.rng import RngStream
+from repro.sketch import available_sketch_backends, sample_worlds
+from repro.sketch.rrset import OPOAORRSampler
+from repro.sketch.store import SketchStore
+
+#: Random worlds raced per pass (the serve default cold start is 64).
+WORLDS = 6 if FAST else 16
+
+#: OPOAO horizon, matching the simulator benchmarks.
+STEPS = 31
+
+#: Acceptance floor for the vectorized backend (ISSUE 9).
+MIN_SPEEDUP = 2.0
+
+
+@pytest.fixture(scope="module")
+def instance():
+    dataset = load_dataset("enron-small", scale=SCALE, seed=13)
+    size = dataset.communities.size(dataset.rumor_community)
+    rumor_labels = draw_rumor_seeds(
+        dataset.communities,
+        dataset.rumor_community,
+        max(2, size // 10),
+        RngStream(51, name="sketch-kernels-bench"),
+    )
+    return SelectionContext(
+        dataset.graph, dataset.rumor_community_nodes, rumor_labels
+    )
+
+
+def make_sampler(context):
+    return OPOAORRSampler(
+        context.indexed,
+        context.rumor_seed_ids(),
+        context.bridge_end_ids(),
+        steps=STEPS,
+        rng=RngStream(13, name="sketch-kernels"),
+    )
+
+
+@pytest.mark.parametrize("backend_name", available_sketch_backends())
+def test_sketch_kernels_sampling(benchmark, instance, bench_metrics,
+                                 backend_name):
+    # Timing pass under pytest-benchmark statistics: a fresh sampler so
+    # the numpy backend pays its CSR build like a cold store would.
+    benchmark.pedantic(
+        lambda: sample_worlds(
+            make_sampler(instance), range(WORLDS), backend=backend_name
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    # Deterministic counter pass for the regression gate: the kernels
+    # are bit-identical per replica index, so both backends' documents
+    # must carry the same sketch.* counters.
+    with bench_metrics.collect():
+        store = SketchStore(
+            make_sampler(instance), backend=backend_name
+        ).ensure_worlds(WORLDS)
+    assert store.worlds == WORLDS
+    bench_metrics.emit(
+        f"sketch_kernels_{backend_name}",
+        context={
+            "backend": backend_name,
+            "worlds": WORLDS,
+            "steps": STEPS,
+            "dataset": "enron-small",
+        },
+    )
+
+
+def test_numpy_speedup_over_python(instance, report_result):
+    """The acceptance measurement: numpy >= 2x python on enron-small."""
+    if "numpy" not in available_sketch_backends():
+        pytest.skip("numpy backend unavailable")
+
+    sampled = {}
+    timings = {}
+    for backend_name in ("python", "numpy"):
+        started = time.perf_counter()
+        sampled[backend_name] = sample_worlds(
+            make_sampler(instance), range(WORLDS), backend=backend_name
+        )
+        timings[backend_name] = time.perf_counter() - started
+
+    # Same worlds bit-for-bit, or the speedup is measuring the wrong thing.
+    for reference, vectorized in zip(sampled["python"], sampled["numpy"]):
+        assert vectorized.index == reference.index
+        assert vectorized.rr_sets == reference.rr_sets
+        assert vectorized.footprint == reference.footprint
+
+    speedup = timings["python"] / max(timings["numpy"], 1e-9)
+    text = (
+        f"sketch kernels, enron-small scale={SCALE}, "
+        f"{WORLDS} worlds, steps={STEPS}\n"
+        f"  python {timings['python']:.3f}s  "
+        f"numpy {timings['numpy']:.3f}s  speedup {speedup:.2f}x"
+    )
+    report_result(
+        text,
+        "sketch_kernels_speedup",
+        payload={
+            "dataset": "enron-small",
+            "scale": SCALE,
+            "worlds": WORLDS,
+            "steps": STEPS,
+            "python_seconds": timings["python"],
+            "numpy_seconds": timings["numpy"],
+            "speedup": speedup,
+        },
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"numpy sampling speedup {speedup:.2f}x < {MIN_SPEEDUP}x over python"
+    )

@@ -81,6 +81,10 @@ BatchedSigmaEvaluator`) and records the achieved protected fraction in
         executor: a shared :class:`~repro.exec.pool.ParallelExecutor`
             handed down to every sketch store so doubling rounds reuse
             one warm pool; ``None`` lets each store own its executor.
+        backend: sketch-kernel backend for RR-set sampling (``"numpy"``,
+            ``"python"``, or ``None``/``"auto"`` for the fastest
+            available) — forwarded to the store; bit-identical either
+            way (see :mod:`repro.sketch.kernels`).
     """
 
     name = "RIS-Greedy"
@@ -102,6 +106,7 @@ BatchedSigmaEvaluator`) and records the achieved protected fraction in
         chunk_retries: Optional[int] = None,
         checkpoint=None,
         executor=None,
+        backend: Optional[str] = None,
     ) -> None:
         self.semantics = semantics
         self.epsilon = check_fraction(epsilon, "epsilon", exclusive=True)
@@ -118,6 +123,7 @@ BatchedSigmaEvaluator`) and records the achieved protected fraction in
         self.chunk_retries = chunk_retries
         self.checkpoint = checkpoint
         self.executor = executor
+        self.backend = backend
         #: worlds held by the store after the most recent select() call.
         self.last_worlds = 0
         #: protected fraction the kernel verification measured for the
@@ -148,6 +154,7 @@ BatchedSigmaEvaluator`) and records the achieved protected fraction in
             chunk_timeout=self.chunk_timeout,
             chunk_retries=self.chunk_retries,
             executor=self.executor,
+            backend=self.backend,
         )
         self._stores[key] = (context, store)
         return store

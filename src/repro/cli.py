@@ -397,6 +397,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--budget", type=int, default=4, help="loadgen: protectors per query"
     )
+    add_backend_arg(serve)
     add_sketch_args(serve)
     add_workers_arg(serve)
     add_metrics_arg(serve)
@@ -452,6 +453,7 @@ def _selector(name: str, rng: RngStream, args=None, checkpoint=None):
             chunk_retries=getattr(args, "chunk_retries", None),
             checkpoint=checkpoint,
             executor=getattr(args, "executor", None),
+            backend=getattr(args, "backend", None),
         )
     if name == "gvs":
         from repro.algorithms.gvs import GreedyViralStopper
@@ -964,6 +966,7 @@ def _cmd_serve(args) -> int:
         invalidation=args.invalidation,
         workers=args.workers,
         executor=getattr(args, "executor", None),
+        backend=getattr(args, "backend", None),
     )
     if args.loadgen is not None:
         with metrics().timer("stage.loadgen"):

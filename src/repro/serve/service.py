@@ -85,6 +85,9 @@ class RumorBlockingService:
             ``1`` serial, ``0`` one per CPU), forwarded to every store.
         executor: a shared :class:`~repro.exec.pool.ParallelExecutor`
             all stores submit to; ``None`` lets each store own one.
+        backend: sketch-kernel backend for RR-set sampling (``"numpy"``,
+            ``"python"``, or ``None``/``"auto"``), forwarded to every
+            store; cold and warm paths are bit-identical either way.
     """
 
     def __init__(
@@ -99,6 +102,7 @@ class RumorBlockingService:
         invalidation: str = "footprint",
         workers: Optional[int] = None,
         executor=None,
+        backend: Optional[str] = None,
     ) -> None:
         if semantics not in SKETCH_SEMANTICS:
             raise ValidationError(
@@ -121,6 +125,7 @@ class RumorBlockingService:
         self.max_worlds = int(check_positive(max_worlds, "max_worlds"))
         self.invalidation = invalidation
         self.workers = workers
+        self.backend = backend
         self._executor = executor
         self._rng = RngStream(seed, name="serve")
         self._instances: Dict[Tuple[int, ...], _Instance] = {}
@@ -168,6 +173,7 @@ class RumorBlockingService:
             self._build_sampler(seed_ids, end_ids),
             workers=self.workers,
             executor=self._executor,
+            backend=self.backend,
         )
         return _Instance(seed_ids, end_ids, store)
 

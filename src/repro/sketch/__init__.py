@@ -9,6 +9,8 @@ any protector set by sketch coverage. Three layers:
 
 * :mod:`repro.sketch.rrset` — samplers producing the RR sets under the
   paper's two semantics (OPOAO timestamp process, DOAM arrival times).
+* :mod:`repro.sketch.kernels` — batched sampling kernels racing many
+  worlds on CSR arrays (python / numpy backends, bit-identical).
 * :mod:`repro.sketch.store` — :class:`SketchStore`: flat-array set
   storage, inverted node index, incremental doubling with an (ε, δ)
   stopping rule, and footprint-based incremental invalidation
@@ -25,6 +27,11 @@ the long-running query service in :mod:`repro.serve`.
 
 from repro.sketch.coverage import max_coverage, protected_fraction
 from repro.sketch.estimator import SketchSigmaEstimator
+from repro.sketch.kernels import (
+    available_sketch_backends,
+    resolve_sketch_backend,
+    sample_worlds,
+)
 from repro.sketch.rrset import (
     SKETCH_SEMANTICS,
     DOAMRRSampler,
@@ -44,4 +51,7 @@ __all__ = [
     "SketchSigmaEstimator",
     "max_coverage",
     "protected_fraction",
+    "available_sketch_backends",
+    "resolve_sketch_backend",
+    "sample_worlds",
 ]

@@ -26,6 +26,11 @@ from typing import Iterable, List, Optional, Tuple
 from repro.errors import SelectionError
 from repro.obs.registry import metrics
 
+try:  # pragma: no cover - exercised by the no-NumPy CI job
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None  # type: ignore[assignment]
+
 __all__ = ["max_coverage", "protected_fraction"]
 
 
@@ -70,6 +75,12 @@ def max_coverage(
     excluded_set = set(excluded)
     covered = bytearray(store.set_count)
     covered_total = 0
+    # NumPy view sharing the bytearray's memory: writes through either
+    # side are visible to the other, so `covered[postings]` masking and
+    # the scalar fallback stay interchangeable mid-pass.
+    covered_np = None
+    if _np is not None:
+        covered_np = _np.frombuffer(covered, dtype=_np.uint8)
 
     # Heap of (-gain, node); gains are exact set counts, so a lazy
     # re-evaluation that stays on top is provably the argmax. Node-id
@@ -98,11 +109,18 @@ def max_coverage(
 
     while not done():
         gain = 0
+        postings: Iterable[int] = ()
         while heap:
             negative, node = heapq.heappop(heap)
-            gain = sum(
-                1 for set_id in store.sets_containing(node) if not covered[set_id]
-            )
+            # Bind the postings once per pop: the recount below and the
+            # cover loop after a winning pop reuse the same slice.
+            postings = store.sets_containing(node)
+            if covered_np is not None and isinstance(postings, _np.ndarray):
+                gain = int(len(postings) - covered_np[postings].sum())
+            else:
+                gain = sum(
+                    1 for set_id in postings if not covered[set_id]
+                )
             sigma_evaluations += 1
             if not heap or gain >= -heap[0][0]:
                 queue_hits += 1
@@ -121,10 +139,15 @@ def max_coverage(
                 )
             break  # nothing left worth adding; return a short set
         picked.append(node)
-        for set_id in store.sets_containing(node):
-            if not covered[set_id]:
-                covered[set_id] = 1
-                covered_total += 1
+        if covered_np is not None and isinstance(postings, _np.ndarray):
+            newly = postings[covered_np[postings] == 0]
+            covered_np[newly] = 1
+            covered_total += int(len(newly))
+        else:
+            for set_id in postings:
+                if not covered[set_id]:
+                    covered[set_id] = 1
+                    covered_total += 1
     registry = metrics()
     if registry.enabled:
         registry.counter("selector.sigma_evaluations").add(sigma_evaluations)

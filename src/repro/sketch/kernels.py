@@ -1,0 +1,743 @@
+"""Batched RR-set sampling kernels: python / numpy backends, bit-identical.
+
+The per-world samplers in :mod:`repro.sketch.rrset` are pure functions of
+their replica index, so a batched kernel that races many worlds over the
+graph's CSR arrays can replace them wholesale — provided it reproduces
+every draw bit for bit. This module provides that kernel layer, mirroring
+the :mod:`repro.kernels` registry the forward simulators got in PR 3:
+
+* ``python`` — the reference backend: a per-world loop over
+  ``sampler.sample_world`` (always available, trivially identical);
+* ``numpy`` — vectorized batched sampling on CSR arrays;
+* ``auto`` — the fastest backend that loads, degrading silently.
+
+**Bit-identity contract.** For every replica index, backends return the
+same :class:`~repro.sketch.rrset.WorldSample` — same ``rr_sets`` (roots,
+sorted members), same dependency ``footprint`` — as the per-world python
+samplers. :class:`repro.sketch.store.SketchStore` therefore produces the
+same arrays whichever backend samples, serially or across pool workers,
+and :meth:`~repro.sketch.store.SketchStore.refresh` invalidation stays
+exact. The differential suite (``tests/sketch/test_sketch_kernels.py``)
+enforces the contract property-style.
+
+How the numpy backend reproduces the python draws exactly:
+
+* **MT19937 word-stream replay.** ``random.Random(seed)`` and
+  ``numpy.random.RandomState(key)`` share the same Mersenne Twister;
+  seeding ``RandomState`` with the seed's little-endian 32-bit words
+  reproduces CPython's ``getrandbits(32)`` stream exactly (CPython's
+  ``init_by_array`` key). ``randrange(n)`` is then replayed with the
+  same rejection sampling CPython uses (top ``n.bit_length()`` bits of
+  each word, rejecting values >= n). Multi-word keys only: the rare
+  sub-2^32 seed (:func:`repro.rng.derive_seed` emits 63-bit seeds, so
+  probability ~2^-31) falls back to ``random.Random`` for that stream.
+* **Rumor cascade.** ``record_cascade`` is replayed on a lean
+  min-arrival sweep: per step, the sorted snapshot of reached nodes with
+  out-neighbors each draws one uniform pick, recording first arrivals
+  and the first event step into every node (which is exactly
+  ``min_in_timestamp`` at the bridge ends).
+* **Choice rows** are drawn lazily, one fork per node, exactly when the
+  reverse traversal first touches the node's in-row — so the drawn-row
+  set (part of the footprint) matches the python sampler's lazy set.
+* **Reverse max-slack search** runs as a bucketed integer Dijkstra over
+  an ``ends x nodes`` slack matrix: levels descend from the deadline,
+  each level relaxes all (end, node) pairs finalised at that slack in
+  one vectorized sweep (pick bitmasks dotted against powers of two;
+  the highest permitted set bit recovered through ``frexp``). The
+  fixpoint — and therefore membership and footprints — equals the
+  per-end heap Dijkstra's.
+
+Deterministic DOAM needs no randomness: the backend vectorizes the
+forward BFS and the depth-bounded reverse balls, priming the sampler's
+single-world cache so serve/refresh cache semantics are unchanged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random as _stdlib_random
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import BackendUnavailableError, KernelError
+from repro.rng import derive_seed
+from repro.sketch.rrset import DOAMRRSampler, OPOAORRSampler, WorldSample
+
+__all__ = [
+    "SKETCH_BACKEND_AUTO",
+    "available_sketch_backends",
+    "register_sketch_backend",
+    "resolve_sketch_backend",
+    "sample_worlds",
+    "PythonSketchKernel",
+    "NumpySketchKernel",
+]
+
+#: Resolve to the fastest sketch backend that loads.
+SKETCH_BACKEND_AUTO = "auto"
+
+#: Preference order for ``auto`` resolution (fastest first).
+_AUTO_ORDER = ("numpy", "python")
+
+#: Seeds below 2^32 are single-word MT keys, which numpy's RandomState
+#: initialises differently from CPython — replay those with the stdlib.
+_MIN_VECTOR_SEED = 1 << 32
+
+#: Pick bitmasks must stay exactly representable in float64 for the
+#: ``frexp`` highest-bit trick; beyond this the kernel defers to python.
+_MAX_FREXP_STEPS = 53
+
+#: Slack-matrix budget (ends-per-block x node_count cells).
+_BLOCK_CELLS = 4_000_000
+
+#: Graphs at most this many edges also keep plain-list CSR copies for the
+#: cascade's tight scalar loop (python list indexing beats ndarray items).
+_LIST_CSR_MAX_EDGES = 2_000_000
+
+
+class PythonSketchKernel:
+    """Reference backend: the per-world samplers, one index at a time."""
+
+    name = "python"
+
+    def sample(self, sampler, indices: Sequence[int]) -> List[WorldSample]:
+        """Worlds for ``indices`` in order (definitionally bit-identical)."""
+        return [sampler.sample_world(int(index)) for index in indices]
+
+
+def _mt_key(np_mod, seed: int):
+    """CPython's ``init_by_array`` key: little-endian 32-bit words."""
+    words = []
+    value = seed
+    while value:
+        words.append(value & 0xFFFFFFFF)
+        value >>= 32
+    return np_mod.array(words or [0], dtype=np_mod.uint32)
+
+
+class _ReplayStream:
+    """Replays ``random.Random(seed).randrange`` draws bit-exactly.
+
+    Wraps one shared ``RandomState`` (re-seeded per stream) whose raw
+    byte output is CPython's ``getrandbits(32)`` word stream for
+    multi-word seeds; sub-2^32 seeds fall back to the stdlib generator.
+    The wrapped state must not be re-seeded elsewhere between this
+    stream's construction and its last draw.
+    """
+
+    __slots__ = ("_np", "_rs", "_py", "_buf", "_pos")
+
+    def __init__(self, np_mod, rand_state, seed: int) -> None:
+        self._np = np_mod
+        if seed < _MIN_VECTOR_SEED:
+            self._py = _stdlib_random.Random(seed)
+            self._rs = None
+        else:
+            self._py = None
+            self._rs = rand_state
+            rand_state.seed(_mt_key(np_mod, seed))
+        self._buf: List[int] = []
+        self._pos = 0
+
+    def randrange(self, n: int) -> int:
+        """One ``randrange(n)`` draw, consuming exactly CPython's words."""
+        if self._py is not None:
+            return self._py.randrange(n)
+        shift = 32 - n.bit_length()
+        buf, pos = self._buf, self._pos
+        while True:
+            if pos >= len(buf):
+                raw = self._rs.bytes(4 * 1024)
+                buf = self._np.frombuffer(raw, dtype="<u4").tolist()
+                self._buf = buf
+                pos = 0
+            value = buf[pos] >> shift
+            pos += 1
+            if value < n:
+                self._pos = pos
+                return value
+
+    def randrange_block(self, n: int, count: int):
+        """``count`` sequential ``randrange(n)`` draws as an int64 array.
+
+        May consume words past the final accepted draw, so it is only
+        valid as the stream's last use (choice rows draw one block and
+        discard the stream).
+        """
+        np_mod = self._np
+        if self._py is not None:
+            draws = [self._py.randrange(n) for _ in range(count)]
+            return np_mod.array(draws, dtype=np_mod.int64)
+        shift = np_mod.uint32(32 - n.bit_length())
+        pieces = []
+        have = 0
+        while have < count:
+            raw = self._rs.bytes(4 * max(2 * (count - have) + 16, 32))
+            values = np_mod.frombuffer(raw, dtype="<u4") >> shift
+            accepted = values[values < n]
+            pieces.append(accepted)
+            have += int(accepted.size)
+        block = pieces[0] if len(pieces) == 1 else np_mod.concatenate(pieces)
+        return block[:count].astype(np_mod.int64)
+
+
+class _GraphData:
+    """CSR + reverse-CSR arrays for one graph snapshot."""
+
+    __slots__ = (
+        "csr_ref",
+        "node_count",
+        "indptr",
+        "indices",
+        "out_deg",
+        "in_indptr",
+        "in_indices",
+        "in_deg",
+        "in_heads",
+        "indptr_list",
+        "indices_list",
+        "deg_list",
+        "shift_list",
+    )
+
+
+class _RowTable:
+    """Lazily drawn choice rows, packed node -> row of neighbor picks."""
+
+    __slots__ = ("_np", "table", "position", "count")
+
+    def __init__(self, np_mod, node_count: int, steps: int) -> None:
+        self._np = np_mod
+        self.table = np_mod.empty((0, steps), dtype=np_mod.int64)
+        self.position = np_mod.full(node_count, -1, dtype=np_mod.int64)
+        self.count = 0
+
+    def ensure(self, nodes, draw: Callable[[int], Any]) -> None:
+        """Draw rows for every node in ``nodes`` that lacks one."""
+        np_mod = self._np
+        missing = nodes[self.position[nodes] < 0]
+        if missing.size == 0:
+            return
+        needed = self.count + int(missing.size)
+        if needed > len(self.table):
+            capacity = max(256, 2 * len(self.table))
+            while capacity < needed:
+                capacity *= 2
+            grown = np_mod.empty(
+                (capacity, self.table.shape[1]), dtype=np_mod.int64
+            )
+            grown[: self.count] = self.table[: self.count]
+            self.table = grown
+        for node in missing.tolist():
+            self.table[self.count] = draw(node)
+            self.position[node] = self.count
+            self.count += 1
+
+    def rows_for(self, tails):
+        return self.table[self.position[tails]]
+
+    def drawn_nodes(self):
+        return self._np.nonzero(self.position >= 0)[0]
+
+
+class NumpySketchKernel:
+    """Vectorized batched RR sampling on CSR arrays (bit-identical)."""
+
+    name = "numpy"
+
+    def __init__(self) -> None:
+        import numpy
+
+        self._np = numpy
+        # Keyed by id() of the graph's memoized CSR export; the strong
+        # reference inside each entry keeps that id stable, and a mutated
+        # graph re-exports a fresh CSR object so stale hits are impossible.
+        self._graphs: Dict[int, _GraphData] = {}
+        #: list-CSR threshold (attribute so tests can force the array path).
+        self.list_csr_max_edges = _LIST_CSR_MAX_EDGES
+
+    # -- graph arrays ------------------------------------------------------------
+
+    def _graph_data(self, graph) -> _GraphData:
+        np_mod = self._np
+        csr = graph.csr()
+        cached = self._graphs.get(id(csr))
+        if cached is not None and cached.csr_ref is csr:
+            return cached
+        data = _GraphData()
+        data.csr_ref = csr
+        data.indptr = np_mod.asarray(csr.indptr, dtype=np_mod.int64)
+        data.indices = np_mod.asarray(csr.indices, dtype=np_mod.int64)
+        node_count = len(data.indptr) - 1
+        data.node_count = node_count
+        data.out_deg = np_mod.diff(data.indptr)
+        edge_tails = np_mod.repeat(
+            np_mod.arange(node_count, dtype=np_mod.int64), data.out_deg
+        )
+        order = np_mod.argsort(data.indices, kind="stable")
+        data.in_indices = edge_tails[order]
+        in_counts = np_mod.bincount(data.indices, minlength=node_count)
+        data.in_indptr = np_mod.concatenate(
+            (np_mod.zeros(1, dtype=np_mod.int64), np_mod.cumsum(in_counts))
+        )
+        data.in_deg = np_mod.diff(data.in_indptr)
+        # Head node of every reverse-CSR edge position (for mask filling).
+        data.in_heads = np_mod.repeat(
+            np_mod.arange(node_count, dtype=np_mod.int64), data.in_deg
+        )
+        if len(data.indices) <= self.list_csr_max_edges:
+            data.indptr_list = data.indptr.tolist()
+            data.indices_list = data.indices.tolist()
+            data.deg_list = data.out_deg.tolist()
+            data.shift_list = [
+                32 - degree.bit_length() if degree else 32
+                for degree in data.deg_list
+            ]
+        else:
+            data.indptr_list = None
+            data.indices_list = None
+            data.deg_list = None
+            data.shift_list = None
+        if len(self._graphs) >= 4:  # tiny LRU: serve holds few live graphs
+            self._graphs.pop(next(iter(self._graphs)))
+        self._graphs[id(csr)] = data
+        return data
+
+    @staticmethod
+    def _ragged_positions(np_mod, starts, counts, total: int):
+        """Flat edge positions of the ragged rows ``[starts, starts+counts)``."""
+        offsets = np_mod.cumsum(counts) - counts
+        return np_mod.repeat(starts - offsets, counts) + np_mod.arange(total)
+
+    # -- OPOAO -------------------------------------------------------------------
+
+    def _rumor_cascade(self, sampler, data: _GraphData, seed: int, rand_state):
+        """Lean replay of :func:`repro.diffusion.timestamps.record_cascade`.
+
+        Only per-node minima matter downstream: the first arrival step
+        (which fixes each step's drawing snapshot) and the first event
+        step into a node (the min preserved in-timestamp at that node).
+        Draw order — sorted snapshot of reached nodes, skipping those
+        without out-neighbors — matches the recorder's exactly.
+        """
+        if data.deg_list is not None and seed >= _MIN_VECTOR_SEED:
+            return self._rumor_cascade_fast(sampler, data, seed, rand_state)
+        np_mod = self._np
+        arrival = np_mod.full(data.node_count, -1, dtype=np_mod.int64)
+        first_event = np_mod.full(data.node_count, -1, dtype=np_mod.int64)
+        reached = np_mod.array(sampler.rumor_ids, dtype=np_mod.int64)
+        arrival[reached] = 0
+        stream = _ReplayStream(np_mod, rand_state, seed)
+        randrange = stream.randrange
+        indptr, indices, out_deg = data.indptr, data.indices, data.out_deg
+        for step in range(1, sampler.steps + 1):
+            active = reached[
+                (out_deg[reached] > 0) & (arrival[reached] < step)
+            ]
+            if active.size == 0:
+                break  # no node can ever draw again
+            fresh: List[int] = []
+            for node in active.tolist():
+                pick = randrange(int(out_deg[node]))
+                head = int(indices[int(indptr[node]) + pick])
+                if first_event[head] < 0:
+                    first_event[head] = step
+                if arrival[head] < 0:
+                    arrival[head] = step
+                    fresh.append(head)
+            if fresh:
+                reached = np_mod.union1d(
+                    reached, np_mod.array(fresh, dtype=np_mod.int64)
+                )
+        return arrival, first_event
+
+    def _rumor_cascade_fast(self, sampler, data: _GraphData, seed, rand_state):
+        """List-CSR cascade sweep with the word rejection loop inlined.
+
+        Identical draw-for-draw to the generic path: every snapshot node
+        (sorted, out-degree > 0) consumes ``getrandbits(k)`` words until
+        one lands below its degree. Arrival values are write-once and
+        always precede the current step, so the drawing snapshot is just
+        the sorted reached-so-far set.
+        """
+        np_mod = self._np
+        node_count = data.node_count
+        arrival = [-1] * node_count
+        first_event = [-1] * node_count
+        for node in sampler.rumor_ids:
+            arrival[node] = 0
+        deg_list, shift_list = data.deg_list, data.shift_list
+        indptr_list, indices_list = data.indptr_list, data.indices_list
+        rand_state.seed(_mt_key(np_mod, seed))
+        buffer: List[int] = []
+        cursor = 0
+        filled = 0
+        active = sorted(
+            node for node in sampler.rumor_ids if deg_list[node] > 0
+        )
+        for step in range(1, sampler.steps + 1):
+            if not active:
+                break  # no node can ever draw again
+            fresh: List[int] = []
+            for node in active:
+                degree = deg_list[node]
+                shift = shift_list[node]
+                while True:
+                    if cursor >= filled:
+                        raw = rand_state.bytes(4 * 4096)
+                        buffer = np_mod.frombuffer(raw, dtype="<u4").tolist()
+                        cursor = 0
+                        filled = len(buffer)
+                    pick = buffer[cursor] >> shift
+                    cursor += 1
+                    if pick < degree:
+                        break
+                head = indices_list[indptr_list[node] + pick]
+                if first_event[head] < 0:
+                    first_event[head] = step
+                if arrival[head] < 0:
+                    arrival[head] = step
+                    if deg_list[head] > 0:
+                        fresh.append(head)
+            if fresh:
+                active = sorted(active + fresh)
+        return (
+            np_mod.array(arrival, dtype=np_mod.int64),
+            np_mod.array(first_event, dtype=np_mod.int64),
+        )
+
+    def _draw_row(self, sampler, data: _GraphData, rand_state, prefix, node):
+        """One node's choice row: out-neighbor picks for every step.
+
+        ``prefix`` is the shared sha256 state of
+        ``derive_seed(world_seed, "choices", ...)`` up to the node part,
+        so per-row seed derivation is one hash copy + finalise.
+        """
+        np_mod = self._np
+        hasher = prefix.copy()
+        hasher.update(b"/%d" % node)
+        seed = (
+            int.from_bytes(hasher.digest()[:8], "big") & 0x7FFF_FFFF_FFFF_FFFF
+        )
+        steps = sampler.steps
+        degree = int(data.out_deg[node])
+        if seed < _MIN_VECTOR_SEED:  # single-word MT key: replay via stdlib
+            rng = _stdlib_random.Random(seed)
+            picks = [rng.randrange(degree) for _ in range(steps)]
+        else:
+            rand_state.seed(_mt_key(np_mod, seed))
+            raw = rand_state.bytes(4 * (2 * steps + 16))
+            words = np_mod.frombuffer(raw, dtype="<u4").tolist()
+            shift = 32 - degree.bit_length()
+            picks = []
+            pos = 0
+            while len(picks) < steps:
+                if pos >= len(words):
+                    raw = rand_state.bytes(4 * 64)
+                    words = np_mod.frombuffer(raw, dtype="<u4").tolist()
+                    pos = 0
+                value = words[pos] >> shift
+                pos += 1
+                if value < degree:
+                    picks.append(value)
+        if data.indices_list is not None:
+            base = data.indptr_list[node]
+            return [data.indices_list[base + pick] for pick in picks]
+        base = int(data.indptr[node])
+        return data.indices[np_mod.array(picks, dtype=np_mod.int64) + base]
+
+    def _relax_block(
+        self,
+        data: _GraphData,
+        steps: int,
+        block: List[Tuple[int, int]],
+        row_table: _RowTable,
+        draw: Callable[[int], Any],
+        edge_masks,
+        edge_done,
+    ):
+        """Bucketed integer Dijkstra over the block's slack matrix.
+
+        ``S[e, x]`` is the latest arrival step at ``x`` that still relays
+        to the block's ``e``-th end by its deadline. Levels descend, so
+        each (end, node) pair is expanded exactly once, at its final
+        slack — matching the per-end heap Dijkstra's pop set, and in
+        particular drawing choice rows for exactly the same tails.
+
+        ``edge_masks``/``edge_done`` cache the pick bitmask per
+        reverse-CSR edge position across ends and blocks of one world
+        (the mask depends only on the tail's row and the head), so each
+        edge's row comparison runs once per world, not once per end.
+        """
+        np_mod = self._np
+        node_count = data.node_count
+        slack = np_mod.full((len(block), node_count), -1, dtype=np_mod.int64)
+        flat = slack.ravel()
+        top = max(deadline for _end, deadline in block)
+        buckets: List[List[Any]] = [[] for _ in range(top + 1)]
+        for position, (end, deadline) in enumerate(block):
+            slack[position, end] = deadline
+            buckets[deadline].append(
+                np_mod.array([position * node_count + end], dtype=np_mod.int64)
+            )
+        pow2 = np_mod.left_shift(
+            np_mod.int64(1), np_mod.arange(steps, dtype=np_mod.int64)
+        )
+        in_indptr, in_indices, in_deg = (
+            data.in_indptr,
+            data.in_indices,
+            data.in_deg,
+        )
+        for level in range(top, 0, -1):
+            entries = buckets[level]
+            if not entries:
+                continue
+            keys = entries[0] if len(entries) == 1 else np_mod.concatenate(entries)
+            keys = keys[flat[keys] == level]  # drop stale (improved) pairs
+            if keys.size == 0:
+                continue
+            keys = np_mod.unique(keys)
+            nodes = keys % node_count
+            counts = in_deg[nodes]
+            total = int(counts.sum())
+            if total == 0:
+                continue
+            positions = self._ragged_positions(
+                np_mod, in_indptr[nodes], counts, total
+            )
+            tails = in_indices[positions]
+            fresh = positions[~edge_done[positions]]
+            if fresh.size:
+                fresh = np_mod.unique(fresh)
+                fresh_tails = in_indices[fresh]
+                row_table.ensure(np_mod.unique(fresh_tails), draw)
+                rows = row_table.rows_for(fresh_tails)
+                # Bit t-1 set <=> the tail picks this head at step t.
+                edge_masks[fresh] = (
+                    (rows == data.in_heads[fresh][:, None]) * pow2
+                ).sum(axis=1)
+                edge_done[fresh] = True
+            end_base = np_mod.repeat(keys - nodes, counts)  # end row * n
+            # The highest set bit at or below min(level, steps) is the
+            # latest usable pick; its index is the candidate slack.
+            allowed = edge_masks[positions] & ((1 << min(level, steps)) - 1)
+            _mant, exponents = np_mod.frexp(allowed.astype(np_mod.float64))
+            candidates = exponents.astype(np_mod.int64) - 1
+            targets = end_base + tails
+            improved = candidates > flat[targets]
+            if not improved.any():
+                continue
+            targets = targets[improved]
+            np_mod.maximum.at(flat, targets, candidates[improved])
+            final = flat[targets]
+            for value in np_mod.unique(final).tolist():
+                buckets[value].append(targets[final == value])
+        return slack
+
+    def _opoao_world(
+        self, sampler, data: _GraphData, index: int, rand_state
+    ) -> WorldSample:
+        np_mod = self._np
+        world_seed = derive_seed(sampler.rng.seed, "replica", index)
+        arrival, first_event = self._rumor_cascade(
+            sampler, data, derive_seed(world_seed, "rumor"), rand_state
+        )
+        at_risk = [
+            (end, int(first_event[end]))
+            for end in sampler.end_ids
+            if first_event[end] >= 0
+        ]
+        row_table = _RowTable(np_mod, data.node_count, sampler.steps)
+        # sha256 state of derive_seed(world_seed, "choices", <node>) up to
+        # the node component; _draw_row finalises a copy per node.
+        prefix = hashlib.sha256(
+            str(world_seed).encode("ascii") + b"/'choices'"
+        )
+
+        def draw(node: int):
+            return self._draw_row(sampler, data, rand_state, prefix, node)
+
+        rr_sets: List[Tuple[int, Tuple[int, ...]]] = []
+        if at_risk:
+            edge_count = len(data.in_indices)
+            edge_masks = np_mod.zeros(edge_count, dtype=np_mod.int64)
+            edge_done = np_mod.zeros(edge_count, dtype=bool)
+            block_size = max(1, _BLOCK_CELLS // max(data.node_count, 1))
+            for start in range(0, len(at_risk), block_size):
+                block = at_risk[start : start + block_size]
+                slack = self._relax_block(
+                    data,
+                    sampler.steps,
+                    block,
+                    row_table,
+                    draw,
+                    edge_masks,
+                    edge_done,
+                )
+                for position, (end, _deadline) in enumerate(block):
+                    members = np_mod.nonzero(slack[position] >= 0)[0]
+                    rr_sets.append((end, tuple(members.tolist())))
+        footprint = set(np_mod.nonzero(arrival >= 0)[0].tolist())
+        footprint.update(row_table.drawn_nodes().tolist())
+        footprint.update(sampler.end_ids)
+        for _end, members in rr_sets:
+            footprint.update(members)
+        return WorldSample(index, rr_sets, footprint=sorted(footprint))
+
+    # -- DOAM --------------------------------------------------------------------
+
+    def _doam_cached(self, sampler) -> Tuple[List, Tuple[int, ...]]:
+        """The single DOAM world's ``(rr_sets, footprint)`` payload."""
+        np_mod = self._np
+        data = self._graph_data(sampler.graph)
+        distance = np_mod.full(data.node_count, -1, dtype=np_mod.int64)
+        frontier = np_mod.array(sampler.rumor_ids, dtype=np_mod.int64)
+        distance[frontier] = 0
+        for hop in range(sampler.max_hops):
+            counts = data.out_deg[frontier]
+            total = int(counts.sum())
+            if total == 0:
+                break
+            positions = self._ragged_positions(
+                np_mod, data.indptr[frontier], counts, total
+            )
+            heads = np_mod.unique(data.indices[positions])
+            heads = heads[distance[heads] < 0]
+            if heads.size == 0:
+                break
+            distance[heads] = hop + 1
+            frontier = heads
+        stamp = np_mod.full(data.node_count, -1, dtype=np_mod.int64)
+        rr_sets: List[Tuple[int, Tuple[int, ...]]] = []
+        for mark, end in enumerate(sampler.end_ids):
+            if distance[end] < 0:
+                continue  # the rumor never arrives; nothing to save
+            members = self._reverse_ball(
+                data, stamp, mark, end, int(distance[end])
+            )
+            rr_sets.append((end, tuple(members)))
+        footprint = set(np_mod.nonzero(distance >= 0)[0].tolist())
+        footprint.update(sampler.end_ids)
+        for _end, members in rr_sets:
+            footprint.update(members)
+        return rr_sets, tuple(sorted(footprint))
+
+    def _reverse_ball(
+        self, data: _GraphData, stamp, mark: int, end: int, depth: int
+    ) -> List[int]:
+        """Sorted node ids within ``depth`` reverse hops of ``end``."""
+        np_mod = self._np
+        stamp[end] = mark
+        layers = [np_mod.array([end], dtype=np_mod.int64)]
+        frontier = layers[0]
+        for _hop in range(depth):
+            counts = data.in_deg[frontier]
+            total = int(counts.sum())
+            if total == 0:
+                break
+            positions = self._ragged_positions(
+                np_mod, data.in_indptr[frontier], counts, total
+            )
+            tails = np_mod.unique(data.in_indices[positions])
+            tails = tails[stamp[tails] != mark]
+            if tails.size == 0:
+                break
+            stamp[tails] = mark
+            layers.append(tails)
+            frontier = tails
+        members = np_mod.concatenate(layers)
+        members.sort()
+        return members.tolist()
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def sample(self, sampler, indices: Sequence[int]) -> List[WorldSample]:
+        """Worlds for ``indices`` in order, bit-identical to python.
+
+        Unknown sampler types — and OPOAO horizons past the float64-exact
+        bitmask range — defer to the per-world reference path.
+        """
+        index_list = [int(index) for index in indices]
+        if isinstance(sampler, DOAMRRSampler):
+            if sampler._cached is None:
+                sampler._cached = self._doam_cached(sampler)
+            return [sampler.sample_world(index) for index in index_list]
+        if (
+            isinstance(sampler, OPOAORRSampler)
+            and sampler.steps <= _MAX_FREXP_STEPS
+        ):
+            data = self._graph_data(sampler.graph)
+            rand_state = self._np.random.RandomState()
+            return [
+                self._opoao_world(sampler, data, index, rand_state)
+                for index in index_list
+            ]
+        return [sampler.sample_world(index) for index in index_list]
+
+
+# -- registry --------------------------------------------------------------------
+
+_FACTORIES: Dict[str, Callable[[], Any]] = {}
+_INSTANCES: Dict[str, Any] = {}
+
+
+def register_sketch_backend(name: str, factory: Callable[[], Any]) -> None:
+    """Register (or replace) a sketch-kernel factory under ``name``."""
+    _FACTORIES[name] = factory
+    _INSTANCES.pop(name, None)
+
+
+register_sketch_backend("python", PythonSketchKernel)
+register_sketch_backend("numpy", NumpySketchKernel)
+
+
+def resolve_sketch_backend(name: Optional[str] = SKETCH_BACKEND_AUTO):
+    """The sketch kernel registered under ``name`` (``None`` == ``"auto"``).
+
+    Raises:
+        BackendUnavailableError: the backend exists but its dependency
+            is missing (never for ``"auto"``, which falls back).
+        KernelError: no backend of that name exists.
+    """
+    if name is None or name == SKETCH_BACKEND_AUTO:
+        for candidate in _AUTO_ORDER:
+            try:
+                return resolve_sketch_backend(candidate)
+            except BackendUnavailableError:
+                continue
+        raise KernelError("no sketch backend could be loaded")  # unreachable
+    cached = _INSTANCES.get(name)
+    if cached is not None:
+        return cached
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        raise KernelError(
+            f"unknown sketch backend {name!r}; registered: {sorted(_FACTORIES)}"
+        )
+    try:
+        instance = factory()
+    except ImportError as error:
+        raise BackendUnavailableError(
+            f"sketch backend {name!r} needs an optional dependency "
+            f"({error}); install the 'perf' extra: pip install repro-lcrb[perf]"
+        ) from error
+    _INSTANCES[name] = instance
+    return instance
+
+
+def available_sketch_backends() -> List[str]:
+    """Names of sketch backends that load here, in registration order."""
+    names: List[str] = []
+    for name in _FACTORIES:
+        try:
+            resolve_sketch_backend(name)
+        except BackendUnavailableError:
+            continue
+        names.append(name)
+    return names
+
+
+def sample_worlds(
+    sampler, indices: Sequence[int], backend: Optional[str] = None
+) -> List[WorldSample]:
+    """Sample ``indices`` through the named (or auto) sketch backend."""
+    return resolve_sketch_backend(backend).sample(sampler, list(indices))

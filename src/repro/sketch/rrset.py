@@ -49,6 +49,7 @@ worlds whose footprint intersects the touched set (see
 
 from __future__ import annotations
 
+from array import array
 from collections import deque
 from heapq import heappop, heappush
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -76,6 +77,13 @@ SKETCH_SEMANTICS = ("opoao", "doam")
 class WorldSample:
     """One sampled world: an RR set per bridge end the rumor reaches.
 
+    Sets and footprint are stored CSR-packed in int32/int64 machine
+    arrays rather than per-set Python tuples, so a world costs a few
+    flat buffers however many sets it holds — and pickles (pool workers
+    ship worlds back to the parent; checkpoints embed them) shrink
+    accordingly. The ``rr_sets`` / ``footprint`` views below present
+    the packed data in the historical tuple shapes.
+
     Attributes:
         index: the replica index the world was derived from.
         rr_sets: ``(root, members)`` pairs — ``root`` is the at-risk
@@ -86,7 +94,7 @@ class WorldSample:
             the store then treats the world as always-stale on updates).
     """
 
-    __slots__ = ("index", "rr_sets", "footprint")
+    __slots__ = ("index", "_roots", "_offsets", "_members", "_footprint", "_view")
 
     def __init__(
         self,
@@ -95,11 +103,60 @@ class WorldSample:
         footprint: Optional[Sequence[int]] = None,
     ) -> None:
         self.index = index
-        self.rr_sets = list(rr_sets)
-        self.footprint = None if footprint is None else tuple(footprint)
+        roots = array("i")
+        offsets = array("q", [0])
+        members = array("i")
+        for root, set_members in rr_sets:
+            roots.append(root)
+            members.extend(set_members)
+            offsets.append(len(members))
+        self._roots = roots
+        self._offsets = offsets
+        self._members = members
+        self._footprint = (
+            None if footprint is None else array("i", sorted(footprint))
+        )
+        self._view: Optional[List[Tuple[int, Tuple[int, ...]]]] = None
+
+    @property
+    def rr_sets(self) -> List[Tuple[int, Tuple[int, ...]]]:
+        """``(root, members)`` tuples, materialised lazily from the arrays."""
+        if self._view is None:
+            offsets = self._offsets
+            members = self._members
+            self._view = [
+                (root, tuple(members[offsets[i] : offsets[i + 1]]))
+                for i, root in enumerate(self._roots)
+            ]
+        return self._view
+
+    @property
+    def footprint(self) -> Optional[Tuple[int, ...]]:
+        """Sorted dependency footprint (``None`` when unknown)."""
+        return None if self._footprint is None else tuple(self._footprint)
+
+    def packed(self) -> Tuple[array, array, array]:
+        """The raw ``(roots, offsets, members)`` arrays (read-only use)."""
+        return self._roots, self._offsets, self._members
+
+    def __getstate__(self):
+        return (self.index, self._roots, self._offsets, self._members, self._footprint)
+
+    def __setstate__(self, state) -> None:
+        if isinstance(state, tuple) and len(state) == 2:
+            # Pre-packing pickle: ({}, {slot: value}) from older runs.
+            payload = state[1] or {}
+            self.__init__(
+                payload["index"],
+                payload.get("rr_sets", []),
+                footprint=payload.get("footprint"),
+            )
+            return
+        self.index, self._roots, self._offsets, self._members, self._footprint = state
+        self._view = None
 
     def __repr__(self) -> str:
-        return f"WorldSample(index={self.index}, rr_sets={len(self.rr_sets)})"
+        return f"WorldSample(index={self.index}, rr_sets={len(self._roots)})"
 
 
 def _check_ids(graph: IndexedDiGraph, ids: Sequence[int], name: str) -> List[int]:

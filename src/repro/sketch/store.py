@@ -10,14 +10,24 @@ needs fast:
 * **coverage** — how many sets (per world) a candidate protector set
   intersects, which is the σ̂ estimate.
 
-Sets are stored structure-of-arrays style: one flat int array of member
-ids plus an offsets array, rather than a list of Python sets — compact,
-cache-friendly, and cheap to extend. Worlds are append-only and derived
-purely from their replica index, so a store can **double** its sample
-size in place (IMM-style sample-size control) without disturbing the
-sets already drawn: growing a store from 32 to 64 worlds yields the same
+Sets are stored structure-of-arrays style: one flat int32 array of
+member ids plus an offsets array, rather than a list of Python sets —
+compact, cache-friendly, and cheap to extend. The inverted index is a
+CSR-packed postings table (``node -> ascending set ids``) built lazily
+from those arrays — with NumPy when available, via a counting sort
+otherwise — and invalidated whenever a world is appended, so membership
+queries return flat slices instead of per-node Python buckets and
+coverage counts vectorise. Worlds are append-only and derived purely
+from their replica index, so a store can **double** its sample size in
+place (IMM-style sample-size control) without disturbing the sets
+already drawn: growing a store from 32 to 64 worlds yields the same
 arrays as sampling 64 worlds up front, which also makes stores safely
 shareable across selector calls.
+
+Sampling itself goes through :func:`repro.sketch.kernels.sample_worlds`
+— the ``backend`` knob picks the batched kernel (``"numpy"``,
+``"python"``, or auto) both for serial rounds and inside pool workers,
+and every backend is bit-identical by contract.
 
 The stopping rule is the classic relative-precision test: keep doubling
 until the empirical (1 - δ)-confidence half-width of σ̂(A) is at most
@@ -61,12 +71,15 @@ def _sampler_worker_setup(graph, payload):
     """Pool worker set-up: rebuild the RR sampler against the shared graph."""
     from repro.sketch.rrset import rebuild_sampler
 
-    return rebuild_sampler(graph, payload)
+    return rebuild_sampler(graph, payload["sampler"]), payload.get("backend")
 
 
-def _sampler_worker_chunk(sampler, indices):
+def _sampler_worker_chunk(state, indices):
     """Pool worker task: sample a contiguous chunk of world indices."""
-    return [sampler.sample_world(index) for index in indices]
+    from repro.sketch.kernels import sample_worlds
+
+    sampler, backend = state
+    return sample_worlds(sampler, indices, backend=backend)
 
 
 class SketchStore:
@@ -88,6 +101,10 @@ class SketchStore:
             to fan doubling rounds out over (its knobs then govern);
             ``None`` lazily builds a store-owned one from the knobs
             above — either way the same warm pool serves every round.
+        backend: sketch-kernel backend for world sampling (``"numpy"``,
+            ``"python"``, or ``None``/``"auto"`` for the fastest
+            available); applied serially and inside pool workers. All
+            backends are bit-identical, so this is purely a speed knob.
     """
 
     __slots__ = (
@@ -96,6 +113,7 @@ class SketchStore:
         "share",
         "chunk_timeout",
         "chunk_retries",
+        "backend",
         "_executor",
         "worlds",
         "_members",
@@ -103,7 +121,9 @@ class SketchStore:
         "_roots",
         "_world_of",
         "_sets_per_world",
-        "_index",
+        "_node_ids",
+        "_postings",
+        "_world_np",
         "_footprints",
     )
 
@@ -118,21 +138,27 @@ class SketchStore:
         chunk_timeout=None,
         chunk_retries=None,
         executor=None,
+        backend=None,
     ) -> None:
         self.sampler = sampler
         self.workers = workers
         self.share = share
         self.chunk_timeout = chunk_timeout
         self.chunk_retries = chunk_retries
+        self.backend = backend
         self._executor = executor
         #: number of worlds sampled so far.
         self.worlds = 0
-        self._members = array("q")  # all RR-set members, concatenated
+        self._members = array("i")  # all RR-set members, concatenated
         self._offsets = array("q", [0])  # set i = members[offsets[i]:offsets[i+1]]
-        self._roots = array("q")  # bridge end each set was grown from
-        self._world_of = array("q")  # world index each set belongs to
-        self._sets_per_world = array("q")
-        self._index: Dict[int, array] = {}  # node id -> array of set ids
+        self._roots = array("i")  # bridge end each set was grown from
+        self._world_of = array("i")  # world index each set belongs to
+        self._sets_per_world = array("i")
+        self._node_ids: set = set()  # node ids appearing in any RR set
+        # Lazily built CSR postings table: (indptr, set_ids, np module or
+        # None). Invalidated whenever the set arrays grow or reset.
+        self._postings = None
+        self._world_np = None  # numpy copy of _world_of, same lifetime
         # per-world dependency footprint (frozenset of node ids, or None
         # when unknown — e.g. restored from a pre-footprint checkpoint).
         self._footprints: List = []
@@ -153,11 +179,15 @@ class SketchStore:
     def _sample_range(self, indices) -> List:
         """Worlds for ``indices`` in order, via the pool when configured.
 
-        Falls back to serial sampling when the round is trivial, the
-        sampler is deterministic (one cached world — nothing to fan
-        out), or it cannot describe itself for worker-side rebuilding.
+        Serial rounds and pool workers both sample through
+        :func:`repro.sketch.kernels.sample_worlds` with the store's
+        ``backend``, so the batched kernels serve every path. Falls back
+        to serial sampling when the round is trivial, the sampler is
+        deterministic (one cached world — nothing to fan out), or it
+        cannot describe itself for worker-side rebuilding.
         """
         from repro.exec.pool import ParallelExecutor, resolve_workers
+        from repro.sketch.kernels import sample_worlds
 
         workers = (
             self._executor.workers if self._executor is not None
@@ -171,7 +201,7 @@ class SketchStore:
             or payload_fn is None
             or not self.sampler.stochastic
         ):
-            return [self.sampler.sample_world(index) for index in indices]
+            return sample_worlds(self.sampler, list(indices), backend=self.backend)
         if self._executor is None:
             self._executor = ParallelExecutor(
                 self.workers,
@@ -182,7 +212,7 @@ class SketchStore:
         return self._executor.map_items(
             _sampler_worker_setup,
             _sampler_worker_chunk,
-            payload_fn(),
+            {"sampler": payload_fn(), "backend": self.backend},
             list(indices),
             graph=self.sampler.graph,
         )
@@ -222,8 +252,8 @@ class SketchStore:
         stale = set()
         if rule == "members":
             for node in touched_set:
-                for set_id in self._index.get(node, ()):
-                    stale.add(self._world_of[set_id])
+                for set_id in self.sets_containing(node):
+                    stale.add(int(self._world_of[set_id]))
         else:
             for world, footprint in enumerate(self._footprints):
                 if footprint is None or footprint & touched_set:
@@ -277,12 +307,14 @@ class SketchStore:
             else:
                 kept.append((fresh, True))
         self.worlds = 0
-        self._members = array("q")
+        self._members = array("i")
         self._offsets = array("q", [0])
-        self._roots = array("q")
-        self._world_of = array("q")
-        self._sets_per_world = array("q")
-        self._index = {}
+        self._roots = array("i")
+        self._world_of = array("i")
+        self._sets_per_world = array("i")
+        self._node_ids = set()
+        self._postings = None
+        self._world_np = None
         self._footprints = []
         for world, counted in kept:
             self._append_world(world, count=counted)
@@ -303,29 +335,42 @@ class SketchStore:
         self._footprints.append(
             None if footprint is None else frozenset(footprint)
         )
-        for root, members in world.rr_sets:
-            set_id = len(self._roots)
-            self._roots.append(root)
-            self._world_of.append(self.worlds)
+        packed = getattr(world, "packed", None)
+        if packed is not None:
+            roots, offsets, members = packed()
+            set_count = len(roots)
+            base = len(self._members)
+            self._roots.extend(roots)
+            self._world_of.extend([self.worlds] * set_count)
             self._members.extend(members)
-            self._offsets.append(len(self._members))
-            for node in members:
-                bucket = self._index.get(node)
-                if bucket is None:
-                    bucket = array("q")
-                    self._index[node] = bucket
-                bucket.append(set_id)
-            if track:
-                registry.histogram("sketch.rrset_size").observe(len(members))
+            for position in range(set_count):
+                self._offsets.append(base + offsets[position + 1])
+                if track:
+                    registry.histogram("sketch.rrset_size").observe(
+                        offsets[position + 1] - offsets[position]
+                    )
+            self._node_ids.update(members)
+        else:  # duck-typed world: fall back to the tuple view
+            set_count = len(world.rr_sets)
+            for root, members in world.rr_sets:
+                self._roots.append(root)
+                self._world_of.append(self.worlds)
+                self._members.extend(members)
+                self._offsets.append(len(self._members))
+                self._node_ids.update(members)
+                if track:
+                    registry.histogram("sketch.rrset_size").observe(len(members))
+        self._postings = None
+        self._world_np = None
         self.worlds += 1
-        self._sets_per_world.append(len(world.rr_sets))
+        self._sets_per_world.append(set_count)
         if track:
             registry.counter("sketch.worlds_sampled").add(1)
-            registry.counter("sketch.rrsets_sampled").add(len(world.rr_sets))
+            registry.counter("sketch.rrsets_sampled").add(set_count)
             registry.counter("sketch.rrset_members_stored").add(
-                self._offsets[-1] - self._offsets[-1 - len(world.rr_sets)]
+                self._offsets[-1] - self._offsets[-1 - set_count]
             )
-            registry.set_gauge("sketch.index_nodes", len(self._index))
+            registry.set_gauge("sketch.index_nodes", len(self._node_ids))
             registry.set_gauge("sketch.set_count", len(self._roots))
 
     # -- checkpointing ----------------------------------------------------------
@@ -364,12 +409,12 @@ class SketchStore:
                 "load_state requires an empty store; build a fresh one"
             )
         self.worlds = int(state["worlds"])
-        self._members = array("q", (int(v) for v in state["members"]))
+        self._members = array("i", (int(v) for v in state["members"]))
         self._offsets = array("q", (int(v) for v in state["offsets"]))
-        self._roots = array("q", (int(v) for v in state["roots"]))
-        self._world_of = array("q", (int(v) for v in state["world_of"]))
+        self._roots = array("i", (int(v) for v in state["roots"]))
+        self._world_of = array("i", (int(v) for v in state["world_of"]))
         self._sets_per_world = array(
-            "q", (int(v) for v in state["sets_per_world"])
+            "i", (int(v) for v in state["sets_per_world"])
         )
         # pre-footprint checkpoints restore as unknown footprints, which
         # stale_worlds treats conservatively (always stale).
@@ -381,14 +426,9 @@ class SketchStore:
                 None if footprint is None else frozenset(footprint)
                 for footprint in footprints
             ]
-        for set_id in range(len(self._roots)):
-            lo, hi = self._offsets[set_id], self._offsets[set_id + 1]
-            for node in self._members[lo:hi]:
-                bucket = self._index.get(node)
-                if bucket is None:
-                    bucket = array("q")
-                    self._index[node] = bucket
-                bucket.append(set_id)
+        self._node_ids = set(self._members)
+        self._postings = None
+        self._world_np = None
         return self
 
     # -- inspection -------------------------------------------------------------
@@ -416,32 +456,111 @@ class SketchStore:
         """The world index RR set ``set_id`` belongs to."""
         return self._world_of[set_id]
 
+    def _node_postings(self):
+        """The CSR postings table ``(indptr, set_ids, np_module_or_None)``.
+
+        ``set_ids[indptr[node]:indptr[node + 1]]`` are the ids of the RR
+        sets containing ``node``, ascending. Built lazily — vectorized
+        with NumPy when importable, by counting sort otherwise — and
+        rebuilt from scratch after any append (appends batch, queries
+        dominate). The arrays are *copies* of the member storage, so the
+        store's own arrays stay free to grow.
+        """
+        cached = self._postings
+        if cached is not None:
+            return cached
+        try:
+            import numpy as np_mod
+        except ImportError:
+            np_mod = None
+        top = (max(self._node_ids) + 1) if self._node_ids else 0
+        if np_mod is not None:
+            members = np_mod.array(self._members, dtype=np_mod.int32)
+            counts = np_mod.diff(np_mod.array(self._offsets, dtype=np_mod.int64))
+            set_ids = np_mod.repeat(
+                np_mod.arange(len(self._roots), dtype=np_mod.int32), counts
+            )
+            # Stable sort by node: within one node the original order —
+            # and therefore the set ids — stay ascending.
+            order = np_mod.argsort(members, kind="stable")
+            postings = set_ids[order]
+            indptr = np_mod.zeros(top + 1, dtype=np_mod.int64)
+            if members.size:
+                np_mod.cumsum(
+                    np_mod.bincount(members, minlength=top), out=indptr[1:]
+                )
+            self._postings = (indptr, postings, np_mod)
+            return self._postings
+        counts_list = [0] * top
+        for node in self._members:
+            counts_list[node] += 1
+        indptr_arr = array("q", [0] * (top + 1))
+        for node in range(top):
+            indptr_arr[node + 1] = indptr_arr[node] + counts_list[node]
+        cursor = list(indptr_arr[:top])
+        postings_arr = array("i", bytes(4 * len(self._members)))
+        for set_id in range(len(self._roots)):
+            for position in range(self._offsets[set_id], self._offsets[set_id + 1]):
+                node = self._members[position]
+                postings_arr[cursor[node]] = set_id
+                cursor[node] += 1
+        self._postings = (indptr_arr, postings_arr, None)
+        return self._postings
+
     def sets_containing(self, node: int) -> Sequence[int]:
-        """Ids of the RR sets that contain ``node`` (empty if none)."""
-        return self._index.get(node, ())
+        """Ids of the RR sets containing ``node``, ascending (empty if none).
+
+        Returns a flat slice of the CSR postings table (a NumPy array or
+        machine array depending on availability), suitable for direct
+        ``covered[ids]`` masking.
+        """
+        indptr, postings, _np_mod = self._node_postings()
+        if 0 <= node < len(indptr) - 1:
+            return postings[indptr[node] : indptr[node + 1]]
+        return postings[:0]
 
     def nodes(self) -> List[int]:
         """All node ids appearing in at least one RR set, ascending."""
-        return sorted(self._index)
+        return sorted(self._node_ids)
 
     # -- estimation -------------------------------------------------------------
 
+    def _covered_set_ids(self, node_ids: Iterable[int]):
+        """Distinct covered set ids: NumPy array, or a Python set."""
+        indptr, postings, np_mod = self._node_postings()
+        if np_mod is None:
+            covered = set()
+            for node in node_ids:
+                if 0 <= node < len(indptr) - 1:
+                    covered.update(postings[indptr[node] : indptr[node + 1]])
+            return covered
+        slices = [
+            postings[indptr[node] : indptr[node + 1]]
+            for node in node_ids
+            if 0 <= node < len(indptr) - 1
+        ]
+        if not slices:
+            return postings[:0]
+        return np_mod.unique(np_mod.concatenate(slices))
+
     def coverage_count(self, node_ids: Iterable[int]) -> int:
         """Number of distinct RR sets intersecting ``node_ids``."""
-        covered = set()
-        for node in node_ids:
-            covered.update(self._index.get(node, ()))
-        return len(covered)
+        return len(self._covered_set_ids(node_ids))
 
     def per_world_covered(self, node_ids: Iterable[int]) -> List[int]:
         """Per-world count of RR sets intersecting ``node_ids``."""
-        counts = [0] * self.worlds
-        covered = set()
-        for node in node_ids:
-            covered.update(self._index.get(node, ()))
-        for set_id in covered:
-            counts[self._world_of[set_id]] += 1
-        return counts
+        covered = self._covered_set_ids(node_ids)
+        if isinstance(covered, set):
+            counts = [0] * self.worlds
+            for set_id in covered:
+                counts[self._world_of[set_id]] += 1
+            return counts
+        np_mod = self._node_postings()[2]
+        if self._world_np is None:
+            self._world_np = np_mod.array(self._world_of, dtype=np_mod.int32)
+        return np_mod.bincount(
+            self._world_np[covered], minlength=self.worlds
+        ).tolist()
 
     def sigma(self, node_ids: Iterable[int]) -> float:
         """σ̂: mean covered (= saved) bridge ends per world."""
@@ -488,5 +607,5 @@ class SketchStore:
     def __repr__(self) -> str:
         return (
             f"SketchStore(sampler={self.sampler.name}, worlds={self.worlds}, "
-            f"sets={self.set_count}, nodes={len(self._index)})"
+            f"sets={self.set_count}, nodes={len(self._node_ids)})"
         )

@@ -48,9 +48,11 @@ def assert_stores_identical(actual: SketchStore, expected: SketchStore):
     assert actual._world_of == expected._world_of
     assert actual._sets_per_world == expected._sets_per_world
     assert actual._footprints == expected._footprints
-    assert {k: list(v) for k, v in actual._index.items()} == {
-        k: list(v) for k, v in expected._index.items()
-    }
+    assert actual.nodes() == expected.nodes()
+    for node in expected.nodes():
+        assert list(actual.sets_containing(node)) == list(
+            expected.sets_containing(node)
+        )
 
 
 def apply_mutation_step(graph: IndexedDiGraph, step_rng: RngStream):

@@ -1,0 +1,288 @@
+"""Differential + oracle suite for the batched sketch kernels.
+
+The contract under test (see :mod:`repro.sketch.kernels`): for every
+replica index, the ``numpy`` backend returns the same
+:class:`~repro.sketch.rrset.WorldSample` — same ``rr_sets`` (roots and
+sorted members) and the same dependency ``footprint`` — as the
+per-world python samplers, for both OPOAO and DOAM semantics. Plus an
+exact small-graph oracle for the batched DOAM depth-bounded reverse
+BFS, the MT19937 word-stream replay units, and registry degradation
+(this module runs in the no-NumPy CI job; vectorized cases skip
+themselves).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import BackendUnavailableError, KernelError
+from repro.graph.compact import IndexedDiGraph
+from repro.graph.generators import erdos_renyi
+from repro.rng import RngStream
+from repro.sketch import kernels
+from repro.sketch.kernels import (
+    _MIN_VECTOR_SEED,
+    _ReplayStream,
+    NumpySketchKernel,
+    PythonSketchKernel,
+    available_sketch_backends,
+    register_sketch_backend,
+    resolve_sketch_backend,
+    sample_worlds,
+)
+from repro.sketch.rrset import DOAMRRSampler, OPOAORRSampler
+from repro.sketch.store import SketchStore
+
+try:
+    import numpy
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - the no-NumPy CI job
+    HAVE_NUMPY = False
+
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="needs numpy")
+
+NODES = 30
+RUMOR = [0, 1]
+ENDS = [8, 9, 10, 11]
+
+
+def build_graph(seed: int, p: float = 0.1) -> IndexedDiGraph:
+    digraph = erdos_renyi(NODES, p, rng=RngStream(seed), directed=True)
+    return IndexedDiGraph.from_digraph(digraph)
+
+
+def assert_worlds_identical(expected, actual):
+    assert len(expected) == len(actual)
+    for reference, candidate in zip(expected, actual):
+        assert candidate.index == reference.index
+        assert candidate.rr_sets == reference.rr_sets
+        assert candidate.footprint == reference.footprint
+
+
+@needs_numpy
+class TestOPOAODifferential:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        graph_seed=st.integers(min_value=0, max_value=50),
+        rng_seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_bit_identical_per_replica(self, graph_seed, rng_seed):
+        graph = build_graph(graph_seed)
+
+        def sampler():
+            return OPOAORRSampler(
+                graph, RUMOR, ENDS, steps=9, rng=RngStream(rng_seed)
+            )
+
+        reference = resolve_sketch_backend("python").sample(sampler(), range(6))
+        vectorized = resolve_sketch_backend("numpy").sample(sampler(), range(6))
+        assert_worlds_identical(reference, vectorized)
+
+    def test_out_of_order_and_repeated_indices(self):
+        graph = build_graph(3)
+        sampler = OPOAORRSampler(graph, RUMOR, ENDS, steps=8, rng=RngStream(21))
+        shuffled = [5, 0, 3, 3, 1]
+        vectorized = resolve_sketch_backend("numpy").sample(sampler, shuffled)
+        reference = [sampler.sample_world(index) for index in shuffled]
+        assert_worlds_identical(reference, vectorized)
+
+    def test_forced_generic_array_path(self):
+        """With list-CSR disabled the generic ndarray cascade must agree."""
+        kernel = NumpySketchKernel()
+        kernel.list_csr_max_edges = 0
+        graph = build_graph(11)
+        sampler = OPOAORRSampler(graph, RUMOR, ENDS, steps=9, rng=RngStream(5))
+        vectorized = kernel.sample(sampler, range(4))
+        reference = [sampler.sample_world(index) for index in range(4)]
+        assert_worlds_identical(reference, vectorized)
+
+    def test_horizon_past_frexp_range_defers_to_python(self):
+        graph = build_graph(7)
+        sampler = OPOAORRSampler(graph, RUMOR, ENDS, steps=60, rng=RngStream(9))
+        vectorized = resolve_sketch_backend("numpy").sample(sampler, range(3))
+        reference = [sampler.sample_world(index) for index in range(3)]
+        assert_worlds_identical(reference, vectorized)
+
+
+def _bfs_distances(adjacency, sources):
+    """Exact hop distances from ``sources`` over an adjacency list."""
+    distance = {node: 0 for node in sources}
+    queue = deque(sources)
+    while queue:
+        node = queue.popleft()
+        for neighbor in adjacency[node]:
+            if neighbor not in distance:
+                distance[neighbor] = distance[node] + 1
+                queue.append(neighbor)
+    return distance
+
+
+@needs_numpy
+class TestDOAMDifferentialAndOracle:
+    @settings(max_examples=15, deadline=None)
+    @given(graph_seed=st.integers(min_value=0, max_value=50))
+    def test_bit_identical(self, graph_seed):
+        graph = build_graph(graph_seed)
+        reference = resolve_sketch_backend("python").sample(
+            DOAMRRSampler(graph, RUMOR, ENDS), [0]
+        )
+        vectorized = resolve_sketch_backend("numpy").sample(
+            DOAMRRSampler(graph, RUMOR, ENDS), [0]
+        )
+        assert_worlds_identical(reference, vectorized)
+
+    @settings(max_examples=15, deadline=None)
+    @given(graph_seed=st.integers(min_value=0, max_value=50))
+    def test_exact_reverse_ball_oracle(self, graph_seed):
+        """Batched DOAM == the brute-force membership criterion.
+
+        ``u in RR(v)`` iff ``d(u -> v) <= t_R(v)`` (Theorem 2), checked
+        against plain BFS distances with no shared code.
+        """
+        graph = build_graph(graph_seed)
+        out = [list(graph.out[node]) for node in range(graph.node_count)]
+        inn = [list(graph.inn[node]) for node in range(graph.node_count)]
+        arrival = _bfs_distances(out, RUMOR)
+        world = resolve_sketch_backend("numpy").sample(
+            DOAMRRSampler(graph, RUMOR, ENDS), [0]
+        )[0]
+        rr_by_root = dict(world.rr_sets)
+        assert sorted(rr_by_root) == sorted(
+            end for end in ENDS if end in arrival
+        )
+        for end, members in world.rr_sets:
+            reverse = _bfs_distances(inn, [end])
+            oracle = tuple(
+                sorted(
+                    node
+                    for node, depth in reverse.items()
+                    if depth <= arrival[end]
+                )
+            )
+            assert members == oracle
+
+    def test_cache_priming_preserves_forget_semantics(self):
+        graph = build_graph(4)
+        sampler = DOAMRRSampler(graph, RUMOR, ENDS)
+        resolve_sketch_backend("numpy").sample(sampler, [0])
+        assert sampler._cached is not None
+        sampler.forget()
+        assert sampler._cached is None
+
+
+class TestReplayStream:
+    def test_small_seed_falls_back_to_stdlib(self):
+        """Seeds below 2^32 replay through random.Random exactly."""
+        seed = 123456789
+        assert seed < _MIN_VECTOR_SEED
+        stream = _ReplayStream(None, None, seed)
+        oracle = random.Random(seed)
+        draws = [3, 1, 7, 2, 10, 100, 1, 5]
+        assert [stream.randrange(n) for n in draws] == [
+            oracle.randrange(n) for n in draws
+        ]
+
+    @needs_numpy
+    def test_multi_word_seed_replays_cpython_stream(self):
+        seed = (987654321 << 40) | 12345  # comfortably past 2^32
+        stream = _ReplayStream(numpy, numpy.random.RandomState(), seed)
+        oracle = random.Random(seed)
+        draws = [5, 2, 9, 1, 33, 1000, 7, 3, 64, 17] * 20
+        assert [stream.randrange(n) for n in draws] == [
+            oracle.randrange(n) for n in draws
+        ]
+
+    @needs_numpy
+    def test_block_draws_match_sequential(self):
+        seed = 1 << 62
+        block = _ReplayStream(
+            numpy, numpy.random.RandomState(), seed
+        ).randrange_block(7, 40)
+        sequential = _ReplayStream(numpy, numpy.random.RandomState(), seed)
+        assert block.tolist() == [sequential.randrange(7) for _ in range(40)]
+
+
+class TestRegistry:
+    def test_python_backend_always_available(self):
+        assert "python" in available_sketch_backends()
+        assert resolve_sketch_backend("python").name == "python"
+
+    def test_auto_degrades_to_fastest_available(self):
+        backend = resolve_sketch_backend(None)
+        assert backend.name == ("numpy" if HAVE_NUMPY else "python")
+        assert resolve_sketch_backend("auto").name == backend.name
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(KernelError):
+            resolve_sketch_backend("fortran")
+
+    def test_missing_dependency_maps_to_backend_unavailable(self):
+        def broken():
+            raise ImportError("no such module")
+
+        register_sketch_backend("broken-dep", broken)
+        try:
+            with pytest.raises(BackendUnavailableError):
+                resolve_sketch_backend("broken-dep")
+        finally:
+            kernels._FACTORIES.pop("broken-dep", None)
+            kernels._INSTANCES.pop("broken-dep", None)
+
+    def test_python_kernel_delegates_to_sampler(self):
+        graph = build_graph(2)
+        sampler = OPOAORRSampler(graph, RUMOR, ENDS, steps=6, rng=RngStream(8))
+        worlds = PythonSketchKernel().sample(sampler, range(3))
+        assert_worlds_identical(
+            [sampler.sample_world(index) for index in range(3)], worlds
+        )
+
+    def test_sample_worlds_entry_point(self):
+        graph = build_graph(2)
+        sampler = OPOAORRSampler(graph, RUMOR, ENDS, steps=6, rng=RngStream(8))
+        worlds = sample_worlds(sampler, range(3), backend="python")
+        assert [world.index for world in worlds] == [0, 1, 2]
+
+
+class TestStoreBackends:
+    def store(self, backend):
+        graph = build_graph(6)
+        sampler = OPOAORRSampler(graph, RUMOR, ENDS, steps=8, rng=RngStream(77))
+        return SketchStore(sampler, backend=backend).ensure_worlds(12)
+
+    @needs_numpy
+    def test_store_arrays_identical_across_backends(self):
+        reference = self.store("python")
+        vectorized = self.store("numpy")
+        assert reference._members == vectorized._members
+        assert reference._offsets == vectorized._offsets
+        assert reference._roots == vectorized._roots
+        assert reference._world_of == vectorized._world_of
+        assert reference._sets_per_world == vectorized._sets_per_world
+        assert reference._footprints == vectorized._footprints
+        assert reference.nodes() == vectorized.nodes()
+        for node in reference.nodes():
+            assert list(reference.sets_containing(node)) == list(
+                vectorized.sets_containing(node)
+            )
+
+    def test_auto_backend_store_matches_python(self):
+        """backend=None (auto) must produce the python store's arrays."""
+        assert self.store(None)._members == self.store("python")._members
+
+    def test_postings_are_ascending_and_complete(self):
+        store = self.store("python")
+        seen = 0
+        for node in store.nodes():
+            postings = list(store.sets_containing(node))
+            assert postings == sorted(postings)
+            for set_id in postings:
+                assert node in store.members(set_id)
+            seen += len(postings)
+        assert seen == len(store._members)
+        assert list(store.sets_containing(10**6)) == []
