@@ -1,0 +1,160 @@
+"""Work-counter benchmark of the K-cascade diffusion core.
+
+Gates the K-cascade refactor's performance claim: K=2 sigma work through
+the generalized engine must stay within the regression tolerance of the
+two-cascade baseline. Every gated number is a ``sim.*`` work counter —
+runs, rounds, activations — and therefore a deterministic function of
+the seeded replica streams, so ``BENCH_multicascade.json`` compares
+exactly under ``benchmarks/check_regression.py``; a counter jump means
+the generalized core is genuinely doing more work per replica.
+
+Three legs run inside the collected registry:
+
+* **K=2 sigma** — the paper's two-cascade race (the pre-refactor
+  workload) over ``REPLICAS`` IC replicas;
+* **K=3 race** — the same replicas with the protector budget split into
+  two uncoordinated campaigns;
+* **scenarios** — one :class:`ImpressionScenario` scoring pass and one
+  :class:`DistributedBlockingScenario` comparison on explicit seeds.
+
+The run also asserts the refactor's compatibility contract inline
+(``SeedSets`` vs an equivalent two-entry ``CascadeSet`` is bit-identical
+states *and* trace), so a perf pass doubles as a correctness pass.
+"""
+
+from repro.algorithms.base import SelectionContext
+from repro.diffusion.base import CascadeSet, SeedSets
+from repro.diffusion.ic import CompetitiveICModel
+from repro.graph.digraph import DiGraph
+from repro.lcrb.multicascade import (
+    DistributedBlockingScenario,
+    ImpressionScenario,
+)
+from repro.rng import RngStream
+
+from benchmarks.conftest import FAST
+
+#: IC replicas per sigma leg.
+REPLICAS = 40 if FAST else 160
+
+#: Nodes in the synthetic ring-with-chords network.
+NODES = 60 if FAST else 200
+
+#: Horizon per run.
+MAX_HOPS = 12
+
+#: Scenario replicas (kept small: the sigma legs carry the gate).
+SCENARIO_RUNS = 10 if FAST else 40
+
+
+def build_network(seed: int = 37):
+    """A seeded ring-with-chords digraph (bidirectional ring + skips).
+
+    Nodes are pre-registered in id order so labels equal indexed ids.
+    """
+    rng = RngStream(seed, name="bench-multicascade-net")
+    edges = []
+    for node in range(NODES):
+        edges.append((node, (node + 1) % NODES))
+        edges.append(((node + 1) % NODES, node))
+        edges.append((node, (node + rng.randrange(NODES - 2) + 2) % NODES))
+    return DiGraph.from_edges(edges, nodes=range(NODES))
+
+
+def run_replicas(model, graph, seeds, name):
+    """Mean final rumor count over ``REPLICAS`` indexed replicas."""
+    rng = RngStream(41, name=name)
+    total = 0
+    for replica in range(REPLICAS):
+        outcome = model.run(
+            graph, seeds, rng=rng.replica(replica), max_hops=MAX_HOPS
+        )
+        total += outcome.cascade_counts()[0]
+    return total / REPLICAS
+
+
+def test_multicascade(bench_metrics):
+    digraph = build_network()
+    graph = digraph.to_indexed()
+    model = CompetitiveICModel(probability=0.12)
+    rumors = [0, NODES // 2]
+    protectors = [NODES // 4, (3 * NODES) // 4, NODES // 8, (7 * NODES) // 8]
+    half = len(protectors) // 2
+    two_cascade = SeedSets(rumors=rumors, protectors=protectors)
+    three_cascade = CascadeSet([rumors, protectors[:half], protectors[half:]])
+
+    context = SelectionContext(
+        digraph,
+        rumor_community=rumors,
+        rumor_seeds=rumors,
+        bridge_ends=[],
+    )
+
+    with bench_metrics.collect():
+        k2_sigma = run_replicas(model, graph, two_cascade, "bench-mc-k2")
+        k3_sigma = run_replicas(model, graph, three_cascade, "bench-mc-k3")
+
+        impressions = ImpressionScenario(
+            model,
+            weights=[1.0, 1.0, 1.0],
+            threshold=1.0,
+            runs=SCENARIO_RUNS,
+            max_hops=MAX_HOPS,
+        ).run(context, [protectors[:half], protectors[half:]], RngStream(43))
+
+        distributed = DistributedBlockingScenario(
+            model,
+            campaigns=2,
+            budget=half,
+            runs=SCENARIO_RUNS,
+            max_hops=MAX_HOPS,
+            campaign_seeds=[protectors[:half], protectors[half:]],
+        ).run(context, RngStream(47))
+
+    # Compatibility contract: SeedSets is literally the two-entry
+    # CascadeSet — same states, same trace, same RNG consumption.
+    flat = CascadeSet([rumors, protectors])
+    stream = RngStream(53, name="bench-mc-compat")
+    for replica in range(4):
+        left = model.run(
+            graph, two_cascade, rng=stream.replica(replica), max_hops=MAX_HOPS
+        )
+        right = model.run(
+            graph, flat, rng=stream.replica(replica), max_hops=MAX_HOPS
+        )
+        assert left.states == right.states
+        assert left.trace.series == right.trace.series
+
+    # Splitting the same protector nodes into campaigns never changes
+    # what the rumor can reach under positives-first priority — exact on
+    # the deterministic model (the IC legs estimate the same quantity,
+    # but with different draw orders, so they only agree in
+    # distribution).
+    from repro.diffusion.doam import DOAMModel
+
+    doam = DOAMModel()
+    assert (
+        doam.run(graph, two_cascade, max_hops=MAX_HOPS).cascade_counts()[0]
+        == doam.run(graph, three_cascade, max_hops=MAX_HOPS).cascade_counts()[0]
+    )
+    assert abs(k3_sigma - k2_sigma) < 0.25 * max(k2_sigma, 1.0)
+    assert impressions.runs == SCENARIO_RUNS
+    assert distributed.wasted_budget == 0
+
+    counters = bench_metrics.registry.counter_values()
+    # 2 sigma legs + the impression replicas + the distributed scenario's
+    # two evaluations (K-cascade and centralized).
+    assert counters["sim.runs"] == 2 * REPLICAS + 3 * SCENARIO_RUNS
+    assert counters["sim.activations.infected"] > 0
+
+    bench_metrics.emit(
+        "multicascade",
+        context={
+            "replicas": REPLICAS,
+            "nodes": NODES,
+            "k2_sigma": k2_sigma,
+            "k3_sigma": k3_sigma,
+            "mean_dominated": impressions.mean_dominated,
+            "price_of_noncooperation": distributed.price_of_noncooperation,
+        },
+    )

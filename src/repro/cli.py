@@ -39,6 +39,7 @@ from repro.algorithms.pagerank import PageRankSelector
 from repro.algorithms.scbg import SCBGSelector
 from repro.community.metrics import conductance
 from repro.datasets.registry import list_datasets, load_dataset
+from repro.diffusion.base import PRIORITY_RULES
 from repro.experiments.config import TableConfig
 from repro.experiments.harness import make_model, run_figure, run_table
 from repro.experiments.paper import PAPER_EXPERIMENTS, paper_experiment
@@ -344,6 +345,92 @@ def build_parser() -> argparse.ArgumentParser:
     add_workers_arg(gossip)
     add_checkpoint_args(gossip)
     add_metrics_arg(gossip)
+
+    distributed = sub.add_parser(
+        "distributed",
+        help="race K cascades: uncoordinated blocking campaigns vs a "
+        "centralized planner (price of non-cooperation)",
+    )
+    add_dataset_args(distributed)
+    distributed.add_argument(
+        "--model", default="ic", choices=["opoao", "doam", "ic", "lt"]
+    )
+    distributed.add_argument(
+        "--campaigns", type=int, default=2, help="positive campaigns (K - 1)"
+    )
+    distributed.add_argument(
+        "--budget", type=int, default=2, help="seeds per campaign"
+    )
+    distributed.add_argument("--runs", type=int, default=100)
+    distributed.add_argument("--hops", type=int, default=31)
+    distributed.add_argument(
+        "--select-runs",
+        type=int,
+        default=8,
+        help="coupled replicas per greedy sigma estimate",
+    )
+    distributed.add_argument(
+        "--priority",
+        default="positives-first",
+        choices=list(PRIORITY_RULES),
+        help="who wins simultaneous arrivals (positives-first = paper rule)",
+    )
+    distributed.add_argument("--rumor-fraction", type=float, default=0.05)
+    distributed.add_argument("--json", dest="json_path", default=None)
+    distributed.add_argument(
+        "--chart",
+        action="store_true",
+        help="render distributed vs centralized infected-per-hop curves",
+    )
+    add_metrics_arg(distributed)
+
+    impressions = sub.add_parser(
+        "impressions",
+        help="score a K-cascade race by rumor-dominated weighted impressions",
+    )
+    add_dataset_args(impressions)
+    impressions.add_argument(
+        "--model", default="ic", choices=["opoao", "doam", "ic", "lt"]
+    )
+    impressions.add_argument(
+        "--campaigns",
+        type=int,
+        default=2,
+        help="positive campaigns when auto-selecting seeds (K - 1)",
+    )
+    impressions.add_argument(
+        "--budget", type=int, default=2, help="seeds per auto-selected campaign"
+    )
+    impressions.add_argument(
+        "--campaign-seeds",
+        action="append",
+        default=None,
+        metavar="LABELS",
+        help="explicit comma-separated seed labels for one campaign; "
+        "repeat the flag once per campaign (overrides auto-selection)",
+    )
+    impressions.add_argument(
+        "--weights",
+        default=None,
+        metavar="W0,W1,...",
+        help="per-cascade impression weights, rumor first "
+        "(default: 1.0 for every cascade)",
+    )
+    impressions.add_argument(
+        "--threshold",
+        type=float,
+        default=1.0,
+        help="rumor impression mass needed to dominate a node",
+    )
+    impressions.add_argument("--runs", type=int, default=100)
+    impressions.add_argument("--hops", type=int, default=31)
+    impressions.add_argument(
+        "--priority", default="positives-first", choices=list(PRIORITY_RULES)
+    )
+    impressions.add_argument("--rumor-fraction", type=float, default=0.05)
+    impressions.add_argument("--json", dest="json_path", default=None)
+    add_checkpoint_args(impressions)
+    add_metrics_arg(impressions)
 
     serve = sub.add_parser(
         "serve",
@@ -935,6 +1022,90 @@ def _cmd_gossip(args) -> int:
     return 0
 
 
+def _parse_label(token: str):
+    """A CLI seed token as a graph label (ints stay ints)."""
+    token = token.strip()
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def _cmd_distributed(args) -> int:
+    from repro.lcrb.multicascade import DistributedBlockingScenario
+
+    rng = RngStream(args.seed, name="cli-distributed")
+    _dataset, context = _build_instance(args, rng)
+    scenario = DistributedBlockingScenario(
+        make_model(args.model),
+        campaigns=args.campaigns,
+        budget=args.budget,
+        runs=args.runs,
+        select_runs=args.select_runs,
+        max_hops=args.hops,
+        priority=args.priority,
+    )
+    with metrics().timer("stage.distributed"):
+        result = scenario.run(context, rng.fork("scenario"))
+    print(result.to_table())
+    if args.chart:
+        from repro.utils.ascii_chart import line_chart
+
+        print(
+            line_chart(
+                {
+                    "distributed": result.distributed_series,
+                    "centralized": result.centralized_series,
+                },
+                height=12,
+                log_scale=True,
+            )
+        )
+    if args.json_path:
+        save_json(result.to_dict(), args.json_path)
+        print(f"saved JSON to {args.json_path}")
+    return 0
+
+
+def _cmd_impressions(args) -> int:
+    from repro.lcrb.multicascade import ImpressionScenario
+
+    rng = RngStream(args.seed, name="cli-impressions")
+    _dataset, context = _build_instance(args, rng)
+    if args.campaign_seeds is not None:
+        campaigns = [
+            [_parse_label(token) for token in spec.split(",") if token.strip()]
+            for spec in args.campaign_seeds
+        ]
+    else:
+        # Auto-selection: one maxdegree pool split round-robin, so the
+        # campaigns field disjoint seed sets without any coordination
+        # machinery in the CLI.
+        selector = _selector("maxdegree", rng, args)
+        chosen = selector.select(context, args.campaigns * args.budget)
+        campaigns = [chosen[c :: args.campaigns] for c in range(args.campaigns)]
+    if args.weights is not None:
+        weights = [float(token) for token in args.weights.split(",")]
+    else:
+        weights = [1.0] * (len(campaigns) + 1)
+    scenario = ImpressionScenario(
+        make_model(args.model),
+        weights=weights,
+        threshold=args.threshold,
+        runs=args.runs,
+        max_hops=args.hops,
+        priority=args.priority,
+        checkpoint=_checkpoint_store(args),
+    )
+    with metrics().timer("stage.impressions"):
+        result = scenario.run(context, campaigns, rng.fork("scenario"))
+    print(result.to_table())
+    if args.json_path:
+        save_json(result.to_dict(), args.json_path)
+        print(f"saved JSON to {args.json_path}")
+    return 0
+
+
 def _cmd_serve(args) -> int:
     """Run the warm query service (or its in-process load generator).
 
@@ -1001,6 +1172,8 @@ _COMMANDS = {
     "sources": _cmd_sources,
     "sweep": _cmd_sweep,
     "gossip": _cmd_gossip,
+    "distributed": _cmd_distributed,
+    "impressions": _cmd_impressions,
     "serve": _cmd_serve,
     "experiment": _cmd_experiment,
 }

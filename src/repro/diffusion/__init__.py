@@ -22,10 +22,13 @@ from repro.diffusion.arrival import doam_arrival_times, protection_slack
 from repro.diffusion.base import (
     INACTIVE,
     INFECTED,
+    PRIORITY_RULES,
     PROTECTED,
+    CascadeSet,
     DiffusionModel,
     DiffusionOutcome,
     SeedSets,
+    priority_order,
 )
 from repro.diffusion.doam import DOAMModel
 from repro.diffusion.ic import CompetitiveICModel
@@ -39,6 +42,9 @@ __all__ = [
     "INACTIVE",
     "INFECTED",
     "PROTECTED",
+    "PRIORITY_RULES",
+    "CascadeSet",
+    "priority_order",
     "DiffusionModel",
     "DiffusionOutcome",
     "SeedSets",

@@ -5,11 +5,13 @@ Mechanics:
 * When a node first becomes active at step ``t``, **all** of its currently
   inactive out-neighbors become active at ``t + 1``; each node influences
   its neighbors exactly once (only the newly-active front spreads).
-* Simultaneous arrival of both cascades at a node: **P wins**.
+* Simultaneous arrival of several cascades at a node: the earliest
+  cascade in the priority order claims it (**P wins** under the default
+  ``positives-first`` order when K=2).
 * Progressive activation; the process is fully deterministic given seeds —
-  it is a simultaneous two-source BFS with protector tie-priority, and the
-  rumor arrival time at any node equals its BFS distance from the nearest
-  rumor seed *unless* the protector front reaches it no later.
+  it is a simultaneous multi-source BFS with priority tie-breaking, and
+  the rumor arrival time at any node equals its BFS distance from the
+  nearest rumor seed *unless* a positive front reaches it no later.
 
 The determinism is what makes LCRB-D reducible to Set Cover (Theorem 2):
 whether a candidate protector saves a bridge end depends only on hop
@@ -22,10 +24,8 @@ from typing import List, Optional, Set
 
 from repro.diffusion.base import (
     INACTIVE,
-    INFECTED,
-    PROTECTED,
+    CascadeSet,
     DiffusionModel,
-    SeedSets,
 )
 from repro.diffusion.trace import HopTrace
 from repro.graph.compact import IndexedDiGraph
@@ -45,14 +45,14 @@ class DOAMModel(DiffusionModel):
         self,
         graph: IndexedDiGraph,
         states: List[int],
-        seeds: SeedSets,
+        seeds: CascadeSet,
         trace: HopTrace,
         rng: Optional[RngStream],
         max_hops: int,
     ) -> None:
         out = graph.out
-        protected_front: List[int] = sorted(seeds.protectors)
-        infected_front: List[int] = sorted(seeds.rumors)
+        order = seeds.priority
+        fronts: List[List[int]] = [sorted(cascade) for cascade in seeds.cascades]
 
         # Work accounting, guarded per hop so the null-registry cost is
         # one boolean check per hop, not per node/edge.
@@ -62,34 +62,34 @@ class DOAMModel(DiffusionModel):
         edge_visits = 0
 
         for _hop in range(max_hops):
-            if not protected_front and not infected_front:
+            if not any(fronts):
                 break
             if track:
-                node_visits += len(protected_front) + len(infected_front)
-                edge_visits += sum(len(out[node]) for node in protected_front)
-                edge_visits += sum(len(out[node]) for node in infected_front)
-            protected_targets: Set[int] = set()
-            for node in protected_front:
-                for neighbor in out[node]:
-                    if states[neighbor] == INACTIVE:
-                        protected_targets.add(neighbor)
-            infected_targets: Set[int] = set()
-            for node in infected_front:
-                for neighbor in out[node]:
-                    if states[neighbor] == INACTIVE and neighbor not in protected_targets:
-                        infected_targets.add(neighbor)  # P-priority on ties
+                node_visits += sum(len(front) for front in fronts)
+                edge_visits += sum(
+                    len(out[node]) for front in fronts for node in front
+                )
+            targets: List[Set[int]] = [set() for _ in fronts]
+            claimed: Set[int] = set()
+            for cascade in order:
+                chosen = targets[cascade]
+                for node in fronts[cascade]:
+                    for neighbor in out[node]:
+                        if states[neighbor] == INACTIVE and neighbor not in claimed:
+                            chosen.add(neighbor)  # priority claims ties
+                claimed |= chosen
 
-            if not protected_targets and not infected_targets:
+            if not claimed:
                 break  # fronts alive but nothing left to activate
-            new_protected = sorted(protected_targets)
-            new_infected = sorted(infected_targets)
-            for node in new_protected:
-                states[node] = PROTECTED
-            for node in new_infected:
-                states[node] = INFECTED
-            trace.record(new_infected, new_protected)
-            protected_front = new_protected
-            infected_front = new_infected
+            news: List[List[int]] = []
+            for cascade, chosen in enumerate(targets):
+                new = sorted(chosen)
+                state = cascade + 1
+                for node in new:
+                    states[node] = state
+                news.append(new)
+            trace.record_cascades(news)
+            fronts = news
 
         if track:
             registry.counter("sim.node_visits").add(node_visits)

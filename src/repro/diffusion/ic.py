@@ -12,9 +12,17 @@ Mechanics:
   activation, to activate **each** currently inactive out-neighbor ``v``,
   succeeding independently with probability ``p`` (uniform) — the classic
   IC trial.
-* Both cascades run simultaneously; if a node is successfully activated by
-  both in the same step, **P wins**, matching the paper's common property 2.
+* All cascades run simultaneously; if a node is successfully activated by
+  several in the same step, the earliest cascade in the priority order
+  wins. The default ``positives-first`` order is the paper's common
+  property 2 (**P wins**) for K=2.
 * Progressive activation.
+
+RNG consumption order is part of the engine's bit-identity contract:
+fronts run their trials in priority order, and a trial is only drawn for
+a neighbor that is inactive and not already claimed by an
+earlier-priority cascade this hop — exactly the pre-refactor two-cascade
+sequence when K=2.
 """
 
 from __future__ import annotations
@@ -23,10 +31,8 @@ from typing import List, Optional, Set
 
 from repro.diffusion.base import (
     INACTIVE,
-    INFECTED,
-    PROTECTED,
+    CascadeSet,
     DiffusionModel,
-    SeedSets,
 )
 from repro.diffusion.trace import HopTrace
 from repro.graph.compact import IndexedDiGraph
@@ -37,7 +43,7 @@ __all__ = ["CompetitiveICModel"]
 
 
 class CompetitiveICModel(DiffusionModel):
-    """Two-cascade Independent Cascade with protector priority.
+    """K-cascade Independent Cascade with priority tie-breaking.
 
     Args:
         probability: global per-edge activation probability ``p``; pass
@@ -59,7 +65,7 @@ class CompetitiveICModel(DiffusionModel):
         self,
         graph: IndexedDiGraph,
         states: List[int],
-        seeds: SeedSets,
+        seeds: CascadeSet,
         trace: HopTrace,
         rng: Optional[RngStream],
         max_hops: int,
@@ -79,40 +85,37 @@ class CompetitiveICModel(DiffusionModel):
                 )
             return weight
 
-        protected_front: List[int] = sorted(seeds.protectors)
-        infected_front: List[int] = sorted(seeds.rumors)
+        order = seeds.priority
+        fronts: List[List[int]] = [sorted(cascade) for cascade in seeds.cascades]
 
         for _hop in range(max_hops):
-            if not protected_front and not infected_front:
+            if not any(fronts):
                 break
-            protected_targets: Set[int] = set()
-            for node in protected_front:
-                for position, neighbor in enumerate(out[node]):
-                    if states[neighbor] == INACTIVE and rng.random() < edge_probability(
-                        node, position
-                    ):
-                        protected_targets.add(neighbor)
-            infected_targets: Set[int] = set()
-            for node in infected_front:
-                for position, neighbor in enumerate(out[node]):
-                    if (
-                        states[neighbor] == INACTIVE
-                        and neighbor not in protected_targets
-                        and rng.random() < edge_probability(node, position)
-                    ):
-                        infected_targets.add(neighbor)
+            targets: List[Set[int]] = [set() for _ in fronts]
+            claimed: Set[int] = set()
+            for cascade in order:
+                chosen = targets[cascade]
+                for node in fronts[cascade]:
+                    for position, neighbor in enumerate(out[node]):
+                        if (
+                            states[neighbor] == INACTIVE
+                            and neighbor not in claimed
+                            and rng.random() < edge_probability(node, position)
+                        ):
+                            chosen.add(neighbor)
+                claimed |= chosen
 
-            if not protected_targets and not infected_targets:
+            if not claimed:
                 break  # fronts alive but no successful trials left
-            new_protected = sorted(protected_targets)
-            new_infected = sorted(infected_targets)
-            for node in new_protected:
-                states[node] = PROTECTED
-            for node in new_infected:
-                states[node] = INFECTED
-            trace.record(new_infected, new_protected)
-            protected_front = new_protected
-            infected_front = new_infected
+            news: List[List[int]] = []
+            for cascade, chosen in enumerate(targets):
+                new = sorted(chosen)
+                state = cascade + 1
+                for node in new:
+                    states[node] = state
+                news.append(new)
+            trace.record_cascades(news)
+            fronts = news
 
     def __repr__(self) -> str:
         return f"CompetitiveICModel(probability={self.probability})"

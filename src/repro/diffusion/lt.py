@@ -8,13 +8,15 @@ This module provides the CLT substrate itself:
 * Incoming influence weight is ``b(u, v) = 1 / d_in(v)`` for every edge,
   so weights into a node sum to exactly 1.
 * Thresholds are crossed **per cascade** (as in He et al.'s CLT): an
-  inactive node becomes protected when its *protected* in-weight alone
-  reaches ``θ_v``, infected when its *infected* in-weight alone does, and
-  protected when both cross in the same step (**P priority**, common
-  property 2). Cascades never subsidise each other's activation — without
-  this, seeding protectors near a rumor could perversely help the rumor
-  cross thresholds.
+  inactive node joins the first cascade *in priority order* whose
+  in-weight alone reaches ``θ_v``. The default ``positives-first`` order
+  is P priority (common property 2) for K=2. Cascades never subsidise
+  each other's activation — without this, seeding protectors near a
+  rumor could perversely help the rumor cross thresholds.
 * Progressive activation; the process stops when a sweep changes nothing.
+
+Float accumulation order is part of the bit-identity contract: fronts
+feed influence in priority order (P first for K=2, as before).
 """
 
 from __future__ import annotations
@@ -23,10 +25,8 @@ from typing import List, Optional, Set
 
 from repro.diffusion.base import (
     INACTIVE,
-    INFECTED,
-    PROTECTED,
+    CascadeSet,
     DiffusionModel,
-    SeedSets,
 )
 from repro.diffusion.trace import HopTrace
 from repro.graph.compact import IndexedDiGraph
@@ -36,7 +36,7 @@ __all__ = ["CompetitiveLTModel"]
 
 
 class CompetitiveLTModel(DiffusionModel):
-    """Two-cascade Linear Threshold with protector tie-priority."""
+    """K-cascade Linear Threshold with priority tie-breaking."""
 
     name = "CLT"
     stochastic = True
@@ -45,7 +45,7 @@ class CompetitiveLTModel(DiffusionModel):
         self,
         graph: IndexedDiGraph,
         states: List[int],
-        seeds: SeedSets,
+        seeds: CascadeSet,
         trace: HopTrace,
         rng: Optional[RngStream],
         max_hops: int,
@@ -54,11 +54,12 @@ class CompetitiveLTModel(DiffusionModel):
         n = graph.node_count
         thresholds = [rng.random() for _ in range(n)]
 
-        # Track accumulated protected/infected in-weight per inactive node,
-        # fed only by the newly-activated front each step (LT influence is
+        # Track accumulated in-weight per cascade per inactive node, fed
+        # only by the newly-activated front each step (LT influence is
         # permanent, so accumulation is equivalent to re-summing).
-        protected_weight = [0.0] * n
-        infected_weight = [0.0] * n
+        cascade_weight: List[List[float]] = [
+            [0.0] * n for _ in seeds.cascades
+        ]
 
         def feed(front: List[int], weights: List[float]) -> Set[int]:
             """Push the front's influence; return nodes whose total crossed θ."""
@@ -71,30 +72,27 @@ class CompetitiveLTModel(DiffusionModel):
                     touched.add(neighbor)
             return touched
 
-        protected_front: List[int] = sorted(seeds.protectors)
-        infected_front: List[int] = sorted(seeds.rumors)
+        order = seeds.priority
+        fronts: List[List[int]] = [sorted(cascade) for cascade in seeds.cascades]
 
         for _hop in range(max_hops):
-            if not protected_front and not infected_front:
+            if not any(fronts):
                 break
-            touched = feed(protected_front, protected_weight)
-            touched |= feed(infected_front, infected_weight)
+            touched: Set[int] = set()
+            for cascade in order:
+                touched |= feed(fronts[cascade], cascade_weight[cascade])
 
-            new_protected: List[int] = []
-            new_infected: List[int] = []
+            news: List[List[int]] = [[] for _ in fronts]
             for node in sorted(touched):
-                crosses_protected = protected_weight[node] + 1e-12 >= thresholds[node]
-                crosses_infected = infected_weight[node] + 1e-12 >= thresholds[node]
-                if crosses_protected:  # P priority when both cascades cross
-                    new_protected.append(node)
-                elif crosses_infected:
-                    new_infected.append(node)
-            if not new_protected and not new_infected:
+                for cascade in order:
+                    if cascade_weight[cascade][node] + 1e-12 >= thresholds[node]:
+                        news[cascade].append(node)
+                        break
+            if not any(news):
                 break  # no threshold crossed; accumulation is frozen
-            for node in new_protected:
-                states[node] = PROTECTED
-            for node in new_infected:
-                states[node] = INFECTED
-            trace.record(new_infected, new_protected)
-            protected_front = new_protected
-            infected_front = new_infected
+            for cascade, new in enumerate(news):
+                state = cascade + 1
+                for node in new:
+                    states[node] = state
+            trace.record_cascades(news)
+            fronts = news

@@ -31,10 +31,8 @@ from typing import Dict, List, Optional, Set
 
 from repro.diffusion.base import (
     INACTIVE,
-    INFECTED,
-    PROTECTED,
+    CascadeSet,
     DiffusionModel,
-    SeedSets,
 )
 from repro.diffusion.trace import HopTrace
 from repro.graph.compact import IndexedDiGraph
@@ -92,13 +90,14 @@ class OPOAOModel(DiffusionModel):
         self,
         graph: IndexedDiGraph,
         states: List[int],
-        seeds: SeedSets,
+        seeds: CascadeSet,
         trace: HopTrace,
         rng: Optional[RngStream],
         max_hops: int,
     ) -> None:
         assert rng is not None  # guaranteed by DiffusionModel.run
         out = graph.out
+        order = seeds.priority
         cumulative_cache: Dict[int, List[float]] = {}
 
         # inactive-out-neighbor counters for active nodes.
@@ -123,7 +122,7 @@ class OPOAOModel(DiffusionModel):
                     else:
                         inactive_out[tail] = remaining - 1
 
-        for seed in seeds.rumors | seeds.protectors:
+        for seed in seeds.all_seeds():
             enroll(seed)
 
         # Work accounting, guarded per hop (every live node examines one
@@ -137,39 +136,37 @@ class OPOAOModel(DiffusionModel):
                 break
             if track:
                 node_visits += len(live)
-            protected_targets: Set[int] = set()
-            infected_targets: Set[int] = set()
+            targets: List[Set[int]] = [set() for _ in seeds.cascades]
             # Deterministic iteration order (sorted) keeps runs reproducible
             # under a fixed stream regardless of set-hash randomisation.
             for node in sorted(live):
                 target = self._pick(graph, node, rng, cumulative_cache)
                 if states[target] != INACTIVE:
                     continue  # repeat selection wasted on an active neighbor
-                if states[node] == PROTECTED:
-                    protected_targets.add(target)
-                else:
-                    infected_targets.add(target)
-            infected_targets -= protected_targets  # P-priority on conflicts
+                targets[states[node] - 1].add(target)
+            # Priority resolves conflicts: later cascades in the order
+            # drop targets an earlier cascade claimed this hop.
+            claimed: Set[int] = set()
+            for cascade in order:
+                targets[cascade] -= claimed
+                claimed |= targets[cascade]
 
-            new_protected = sorted(protected_targets)
-            new_infected = sorted(infected_targets)
-            for node in new_protected:
-                states[node] = PROTECTED
-            for node in new_infected:
-                states[node] = INFECTED
+            news: List[List[int]] = [sorted(chosen) for chosen in targets]
+            for cascade, new in enumerate(news):
+                state = cascade + 1
+                for node in new:
+                    states[node] = state
             # All counter decrements must land before any enroll: enroll
             # counts with post-activation states, so running on_activated
             # for a co-activated out-neighbor afterwards would decrement
             # the same edge twice and silence a still-live node.
-            for node in new_protected:
-                on_activated(node)
-            for node in new_infected:
-                on_activated(node)
-            for node in new_protected:
-                enroll(node)
-            for node in new_infected:
-                enroll(node)
-            trace.record(new_infected, new_protected)
+            for new in news:
+                for node in new:
+                    on_activated(node)
+            for new in news:
+                for node in new:
+                    enroll(node)
+            trace.record_cascades(news)
 
         if track:
             registry.counter("sim.node_visits").add(node_visits)

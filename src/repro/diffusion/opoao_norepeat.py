@@ -19,10 +19,8 @@ from typing import Dict, List, Optional, Set
 
 from repro.diffusion.base import (
     INACTIVE,
-    INFECTED,
-    PROTECTED,
+    CascadeSet,
     DiffusionModel,
-    SeedSets,
 )
 from repro.diffusion.trace import HopTrace
 from repro.graph.compact import IndexedDiGraph
@@ -41,13 +39,14 @@ class OPOAONoRepeatModel(DiffusionModel):
         self,
         graph: IndexedDiGraph,
         states: List[int],
-        seeds: SeedSets,
+        seeds: CascadeSet,
         trace: HopTrace,
         rng: Optional[RngStream],
         max_hops: int,
     ) -> None:
         assert rng is not None
         out = graph.out
+        order = seeds.priority
         # remaining[u]: out-neighbors u has not chosen yet.
         remaining: Dict[int, List[int]] = {}
         active: Set[int] = set()
@@ -58,14 +57,13 @@ class OPOAONoRepeatModel(DiffusionModel):
                 remaining[node] = choices
                 active.add(node)
 
-        for seed in seeds.rumors | seeds.protectors:
+        for seed in seeds.all_seeds():
             enroll(seed)
 
         for _hop in range(max_hops):
             if not active:
                 break
-            protected_targets: Set[int] = set()
-            infected_targets: Set[int] = set()
+            targets: List[Set[int]] = [set() for _ in seeds.cascades]
             spent: List[int] = []
             for node in sorted(active):
                 choices = remaining[node]
@@ -78,25 +76,23 @@ class OPOAONoRepeatModel(DiffusionModel):
                     spent.append(node)
                 if states[target] != INACTIVE:
                     continue
-                if states[node] == PROTECTED:
-                    protected_targets.add(target)
-                else:
-                    infected_targets.add(target)
+                targets[states[node] - 1].add(target)
             for node in spent:
                 active.discard(node)
                 del remaining[node]
-            infected_targets -= protected_targets  # P-priority
+            claimed: Set[int] = set()
+            for cascade in order:  # priority resolves conflicts
+                targets[cascade] -= claimed
+                claimed |= targets[cascade]
 
-            new_protected = sorted(protected_targets)
-            new_infected = sorted(infected_targets)
-            if not new_protected and not new_infected and not active:
+            news: List[List[int]] = [sorted(chosen) for chosen in targets]
+            if not claimed and not active:
                 break
-            for node in new_protected:
-                states[node] = PROTECTED
-            for node in new_infected:
-                states[node] = INFECTED
-            for node in new_protected:
-                enroll(node)
-            for node in new_infected:
-                enroll(node)
-            trace.record(new_infected, new_protected)
+            for cascade, new in enumerate(news):
+                state = cascade + 1
+                for node in new:
+                    states[node] = state
+            for new in news:
+                for node in new:
+                    enroll(node)
+            trace.record_cascades(news)

@@ -24,8 +24,8 @@ from repro.diffusion.base import (
     DEFAULT_MAX_HOPS,
     INFECTED,
     PROTECTED,
+    CascadeSet,
     DiffusionModel,
-    SeedSets,
 )
 from repro.diffusion.simulation import MonteCarloSimulator, SimulationAggregate
 from repro.exec.pool import ParallelExecutor
@@ -63,7 +63,7 @@ def record_outcome(outcome, max_hops: int, end_ids: Sequence[int]) -> ReplicaRec
         state = outcome.states[end]
         if state == INFECTED:
             infected += 1
-        elif state == PROTECTED:
+        elif state >= PROTECTED:  # any positive campaign
             protected += 1
         else:
             untouched += 1
@@ -198,7 +198,7 @@ class ParallelMonteCarloSimulator:
     def simulate(
         self,
         graph: IndexedDiGraph,
-        seeds: SeedSets,
+        seeds: CascadeSet,
         rng: Optional[RngStream] = None,
     ) -> SimulationAggregate:
         """Run all replicas across the pool and aggregate in replica order."""
@@ -208,7 +208,7 @@ class ParallelMonteCarloSimulator:
     def simulate_detailed(
         self,
         graph: IndexedDiGraph,
-        seeds: SeedSets,
+        seeds: CascadeSet,
         rng: Optional[RngStream] = None,
         end_ids: Sequence[int] = (),
     ) -> Tuple[SimulationAggregate, List[ReplicaRecord]]:
@@ -298,7 +298,13 @@ class ParallelMonteCarloSimulator:
         return aggregate, records
 
     def _checkpoint_key(self, graph, seeds, rng, end_ids) -> str:
-        """Run-key fingerprint for Monte-Carlo checkpoints (sans runs)."""
+        """Run-key fingerprint for Monte-Carlo checkpoints (sans runs).
+
+        Every cascade seed set and the priority order are part of the key:
+        a checkpoint written for a different cascade configuration (or by
+        the pre-K-cascade engine, which keyed only rumors/protectors) must
+        raise rather than silently seed a foreign resume.
+        """
         from repro.exec.checkpoint import run_key
 
         return run_key(
@@ -308,8 +314,8 @@ class ParallelMonteCarloSimulator:
             max_hops=self.max_hops,
             nodes=graph.node_count,
             edges=graph.edge_count,
-            rumors=sorted(seeds.rumors),
-            protectors=sorted(seeds.protectors),
+            cascades=[sorted(cascade) for cascade in seeds.cascades],
+            priority=list(seeds.priority),
             ends=list(end_ids),
         )
 

@@ -3,6 +3,12 @@
 The paper's OPOAO/DOAM figures (Fig. 4-9) plot the number of infected
 nodes per hop; :class:`HopTrace` is the per-run record those series are
 aggregated from. Hop 0 is the seeding step.
+
+A trace tracks one cumulative series per cascade. The two-cascade
+accessors (``infected``/``protected``/``newly_*``) remain the primary
+read API: ``infected`` is always cascade 0 (the rumor) and ``protected``
+aggregates every positive campaign — for K=2 that is literally cascade 1,
+so pre-refactor consumers see identical values.
 """
 
 from __future__ import annotations
@@ -13,36 +19,87 @@ __all__ = ["HopTrace"]
 
 
 class HopTrace:
-    """Cumulative infected/protected counts per hop.
+    """Cumulative per-cascade activation counts per hop.
 
     Attributes:
-        infected: ``infected[h]`` = total infected nodes after hop ``h``.
-        protected: same for protected nodes.
-        newly_infected: nodes first infected at each hop (ids).
-        newly_protected: nodes first protected at each hop (ids).
+        series: ``series[k][h]`` = total nodes cascade ``k`` holds after
+            hop ``h``.
+        newly: ``newly[k][h]`` = nodes cascade ``k`` first claimed at hop
+            ``h`` (ids).
     """
 
-    __slots__ = ("infected", "protected", "newly_infected", "newly_protected")
+    __slots__ = ("series", "newly")
 
-    def __init__(self) -> None:
-        self.infected: List[int] = []
-        self.protected: List[int] = []
-        self.newly_infected: List[List[int]] = []
-        self.newly_protected: List[List[int]] = []
+    def __init__(self, cascade_count: int = 2) -> None:
+        if cascade_count < 2:
+            raise ValueError(f"cascade_count must be >= 2, got {cascade_count}")
+        self.series: List[List[int]] = [[] for _ in range(cascade_count)]
+        self.newly: List[List[List[int]]] = [[] for _ in range(cascade_count)]
+
+    @property
+    def cascade_count(self) -> int:
+        """Number of cascades the trace tracks."""
+        return len(self.series)
+
+    def record_cascades(self, fronts: Sequence[Sequence[int]]) -> None:
+        """Append one hop's newly activated nodes, one front per cascade."""
+        if len(fronts) != len(self.series):
+            raise ValueError(
+                f"expected {len(self.series)} fronts, got {len(fronts)}"
+            )
+        for cascade, front in enumerate(fronts):
+            series = self.series[cascade]
+            previous = series[-1] if series else 0
+            series.append(previous + len(front))
+            self.newly[cascade].append(list(front))
 
     def record(self, new_infected: Sequence[int], new_protected: Sequence[int]) -> None:
-        """Append one hop's newly activated nodes."""
-        previous_infected = self.infected[-1] if self.infected else 0
-        previous_protected = self.protected[-1] if self.protected else 0
-        self.infected.append(previous_infected + len(new_infected))
-        self.protected.append(previous_protected + len(new_protected))
-        self.newly_infected.append(list(new_infected))
-        self.newly_protected.append(list(new_protected))
+        """Two-cascade convenience: append one hop's (R, P) fronts."""
+        self.record_cascades([new_infected, new_protected])
+
+    # -- two-cascade-compatible accessors ---------------------------------------
+
+    @property
+    def infected(self) -> List[int]:
+        """``infected[h]`` = total infected (cascade 0) nodes after hop ``h``."""
+        return self.series[0]
+
+    @property
+    def protected(self) -> List[int]:
+        """``protected[h]`` = total nodes of all positive campaigns after ``h``."""
+        if len(self.series) == 2:
+            return self.series[1]
+        return [
+            sum(series[hop] for series in self.series[1:])
+            for hop in range(len(self.series[0]))
+        ]
+
+    @property
+    def newly_infected(self) -> List[List[int]]:
+        """Nodes first infected at each hop (ids)."""
+        return self.newly[0]
+
+    @property
+    def newly_protected(self) -> List[List[int]]:
+        """Nodes first claimed by any positive campaign at each hop (ids)."""
+        if len(self.newly) == 2:
+            return self.newly[1]
+        return [
+            sorted(node for newly in self.newly[1:] for node in newly[hop])
+            for hop in range(len(self.newly[0]))
+        ]
 
     @property
     def hops(self) -> int:
         """Number of recorded hops (including hop 0, the seeding)."""
-        return len(self.infected)
+        return len(self.series[0])
+
+    def cascade_at(self, cascade: int, hop: int) -> int:
+        """Cumulative count of cascade ``cascade`` after ``hop`` (clamped)."""
+        series = self.series[cascade]
+        if not series:
+            return 0
+        return series[min(hop, len(series) - 1)]
 
     def infected_at(self, hop: int) -> int:
         """Cumulative infected count after ``hop`` (clamped to the last hop).
@@ -51,23 +108,24 @@ class HopTrace:
         plots hold the final value flat afterwards, and so does this
         accessor.
         """
-        if not self.infected:
-            return 0
-        return self.infected[min(hop, len(self.infected) - 1)]
+        return self.cascade_at(0, hop)
 
     def protected_at(self, hop: int) -> int:
-        """Cumulative protected count after ``hop`` (clamped)."""
-        if not self.protected:
-            return 0
-        return self.protected[min(hop, len(self.protected) - 1)]
+        """Cumulative positive-campaign count after ``hop`` (clamped)."""
+        if len(self.series) == 2:
+            return self.cascade_at(1, hop)
+        return sum(
+            self.cascade_at(cascade, hop)
+            for cascade in range(1, len(self.series))
+        )
 
     def padded_infected(self, hops: int) -> List[int]:
         """Infected series padded/clamped to exactly ``hops + 1`` entries."""
         return [self.infected_at(h) for h in range(hops + 1)]
 
     def __repr__(self) -> str:
-        final_infected = self.infected[-1] if self.infected else 0
-        final_protected = self.protected[-1] if self.protected else 0
+        final_infected = self.series[0][-1] if self.series[0] else 0
+        final_protected = self.protected_at(self.hops) if self.hops else 0
         return (
             f"HopTrace(hops={self.hops}, infected={final_infected}, "
             f"protected={final_protected})"

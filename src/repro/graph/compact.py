@@ -460,6 +460,10 @@ class IndexedDiGraph:
         """Node ids for many labels."""
         return [self.index(label) for label in labels]
 
+    def has_label(self, label: object) -> bool:
+        """Whether ``label`` names a node of this graph."""
+        return label in self._index_of
+
     def label_set(self, ids: Iterable[int]) -> set:
         """Original labels for a collection of node ids."""
         return {self.labels[node_id] for node_id in ids}

@@ -17,13 +17,12 @@ backends implement only :meth:`KernelBackend._run` (and may override
 from __future__ import annotations
 
 import abc
-from typing import FrozenSet, Iterable, List, Sequence
+from typing import FrozenSet, Iterable, List, Optional, Sequence
 
 from repro.diffusion.base import (
     DEFAULT_MAX_HOPS,
     INFECTED,
-    PROTECTED,
-    SeedSets,
+    CascadeSet,
 )
 from repro.graph.compact import IndexedDiGraph
 from repro.kernels.spec import KernelSpec
@@ -41,15 +40,18 @@ class BatchOutcome:
         kind: model kind that produced the batch.
         batch: number of worlds.
         node_count: nodes per world.
-        states: per-world final node states; ``states[b][v]`` is INACTIVE,
-            INFECTED, or PROTECTED. Backend-native storage (nested lists or
-            a NumPy ``int8`` matrix) — use the accessors, which normalise
-            to plain Python values.
-        infected_hops: hop-major cumulative infected counts;
-            ``infected_hops[h][b]`` is world ``b``'s total infected nodes
-            after hop ``h`` (hop 0 = seeds). The series ends at the last
-            hop *any* world was still spreading.
-        protected_hops: same for protected counts.
+        states: per-world final node states; ``states[b][v]`` is INACTIVE
+            or ``cascade + 1`` (INFECTED/PROTECTED for K=2).
+            Backend-native storage (nested lists or a NumPy ``int8``
+            matrix) — use the accessors, which normalise to plain Python
+            values.
+        cascade_hops: one hop-major plane per cascade;
+            ``cascade_hops[k][h][b]`` is world ``b``'s total cascade-``k``
+            nodes after hop ``h`` (hop 0 = seeds). The series ends at the
+            last hop *any* world was still spreading.
+        infected_hops: ``cascade_hops[0]`` — the rumor plane.
+        protected_hops: all positive campaigns summed; for K=2 this is
+            literally ``cascade_hops[1]``.
     """
 
     __slots__ = (
@@ -57,6 +59,7 @@ class BatchOutcome:
         "batch",
         "node_count",
         "states",
+        "cascade_hops",
         "infected_hops",
         "protected_hops",
     )
@@ -66,15 +69,36 @@ class BatchOutcome:
         kind: str,
         node_count: int,
         states: Sequence[Sequence[int]],
-        infected_hops: Sequence[Sequence[int]],
-        protected_hops: Sequence[Sequence[int]],
+        infected_hops: Optional[Sequence[Sequence[int]]] = None,
+        protected_hops: Optional[Sequence[Sequence[int]]] = None,
+        cascade_hops: Optional[Sequence[Sequence[Sequence[int]]]] = None,
     ) -> None:
         self.kind = kind
         self.node_count = int(node_count)
         self.states = states
         self.batch = len(states)
-        self.infected_hops = infected_hops
-        self.protected_hops = protected_hops
+        if cascade_hops is None:
+            if infected_hops is None or protected_hops is None:
+                raise ValueError(
+                    "BatchOutcome needs cascade_hops or both two-cascade planes"
+                )
+            cascade_hops = (infected_hops, protected_hops)
+        self.cascade_hops = list(cascade_hops)
+        self.infected_hops = self.cascade_hops[0]
+        if len(self.cascade_hops) == 2:
+            self.protected_hops = self.cascade_hops[1]
+        else:
+            # K > 2: the compat "protected" plane sums every positive
+            # campaign (cold path; scenarios read cascade_hops directly).
+            self.protected_hops = [
+                [
+                    int(sum(values))
+                    for values in zip(
+                        *(plane[hop] for plane in self.cascade_hops[1:])
+                    )
+                ]
+                for hop in range(len(self.cascade_hops[0]))
+            ]
 
     @property
     def hops(self) -> int:
@@ -97,6 +121,15 @@ class BatchOutcome:
         """World ``world``'s final protected count."""
         return int(self.protected_hops[-1][world])
 
+    def cascade_at(self, world: int, cascade: int, hop: int) -> int:
+        """World ``world``'s cumulative cascade-``cascade`` count at ``hop``."""
+        plane = self.cascade_hops[cascade]
+        return int(plane[min(hop, len(plane) - 1)][world])
+
+    def final_cascade(self, world: int, cascade: int) -> int:
+        """World ``world``'s final cascade-``cascade`` count."""
+        return int(self.cascade_hops[cascade][-1][world])
+
     def state_of(self, world: int, node_id: int) -> int:
         """Final state of one node in one world, as a plain int."""
         return int(self.states[world][node_id])
@@ -107,6 +140,14 @@ class BatchOutcome:
         """Which of ``node_ids`` ended INFECTED in ``world``."""
         row = self.states[world]
         return frozenset(node for node in node_ids if int(row[node]) == INFECTED)
+
+    def cascade_members(
+        self, world: int, cascade: int, node_ids: Iterable[int]
+    ) -> FrozenSet[int]:
+        """Which of ``node_ids`` cascade ``cascade`` claimed in ``world``."""
+        row = self.states[world]
+        wanted = cascade + 1
+        return frozenset(node for node in node_ids if int(row[node]) == wanted)
 
     def states_row(self, world: int) -> List[int]:
         """One world's final states as a plain list of ints."""
@@ -160,7 +201,7 @@ class KernelBackend(abc.ABC):
         graph: IndexedDiGraph,
         spec: KernelSpec,
         worlds: WorldBatch,
-        seeds: SeedSets,
+        seeds: CascadeSet,
         max_hops: int = DEFAULT_MAX_HOPS,
     ) -> BatchOutcome:
         """Run every world in ``worlds`` under one seed configuration.
@@ -170,7 +211,8 @@ class KernelBackend(abc.ABC):
             spec: which model semantics to race.
             worlds: pre-sampled randomness; must match ``spec.kind`` and
                 cover ``max_hops``.
-            seeds: validated rumor/protector seed ids.
+            seeds: validated cascade seed ids (``SeedSets`` for the
+                two-cascade case, any :class:`CascadeSet` for K > 2).
             max_hops: horizon per world.
 
         Returns:
@@ -198,7 +240,7 @@ class KernelBackend(abc.ABC):
         graph: IndexedDiGraph,
         spec: KernelSpec,
         worlds: WorldBatch,
-        seeds: SeedSets,
+        seeds: CascadeSet,
         max_hops: int,
     ) -> BatchOutcome:
         """Race the cascades through every world (inputs pre-validated)."""
@@ -207,18 +249,18 @@ class KernelBackend(abc.ABC):
         return f"{type(self).__name__}(name={self.name!r})"
 
 
-def seeded_counts(seeds: SeedSets, batch: int) -> tuple:
+def seeded_counts(seeds: CascadeSet, batch: int) -> tuple:
     """Hop-0 series entries shared by all backends: seed counts per world."""
-    infected0 = [len(seeds.rumors)] * batch
-    protected0 = [len(seeds.protectors)] * batch
+    infected0 = [len(seeds.cascades[0])] * batch
+    protected0 = [sum(len(c) for c in seeds.cascades[1:])] * batch
     return infected0, protected0
 
 
-def seeded_states(node_count: int, seeds: SeedSets) -> List[int]:
-    """One world's initial state row (P seeded first, then R — disjoint)."""
+def seeded_states(node_count: int, seeds: CascadeSet) -> List[int]:
+    """One world's initial state row (cascade ``k`` seeds -> state ``k+1``)."""
     states = [0] * node_count
-    for node in seeds.protectors:
-        states[node] = PROTECTED
-    for node in seeds.rumors:
-        states[node] = INFECTED
+    for index, cascade in enumerate(seeds.cascades):
+        state = index + 1
+        for node in cascade:
+            states[node] = state
     return states

@@ -33,9 +33,7 @@ import numpy as np
 from repro.diffusion.base import (
     DEFAULT_MAX_HOPS,
     INACTIVE,
-    INFECTED,
-    PROTECTED,
-    SeedSets,
+    CascadeSet,
 )
 from repro.errors import KernelError
 from repro.graph.compact import IndexedDiGraph
@@ -158,18 +156,17 @@ class NumpyKernelBackend(KernelBackend):
         graph: IndexedDiGraph,
         spec: KernelSpec,
         worlds: WorldBatch,
-        seeds: SeedSets,
+        seeds: CascadeSet,
         max_hops: int,
     ) -> BatchOutcome:
         arrays = self._arrays(graph)
         batch = worlds.batch
         n = graph.node_count
         states = np.zeros((batch, n), dtype=np.int8)
-        protectors = sorted(seeds.protectors)
-        rumors = sorted(seeds.rumors)
-        if protectors:
-            states[:, protectors] = PROTECTED
-        states[:, rumors] = INFECTED
+        for cascade, members in enumerate(seeds.cascades):
+            ids = sorted(members)
+            if ids:
+                states[:, ids] = cascade + 1
         if spec.kind in ("ic", "doam"):
             live = None
             if spec.kind == "ic":
@@ -184,7 +181,7 @@ class NumpyKernelBackend(KernelBackend):
     def _race(
         self, arrays, states, seeds, live, max_hops, worlds=None
     ) -> BatchOutcome:
-        """IC (live-edge mask) and DOAM (``live=None``): BFS race, P wins ties.
+        """IC (live-edge mask) and DOAM (``live=None``): BFS race, priority ties.
 
         The race runs on a *flattened* live adjacency — one virtual graph
         of ``batch * n`` nodes whose node ``w * n + u`` carries world
@@ -199,34 +196,46 @@ class NumpyKernelBackend(KernelBackend):
         if batch * n <= _MAX_FLAT_KEYS:
             flat = self._flat_adjacency(worlds, live, arrays, batch, n)
         flat_states = states.reshape(-1)
-        front_p = _seed_keys(seeds.protectors, batch, n)
-        front_i = _seed_keys(seeds.rumors, batch, n)
-        infected = np.full(batch, len(seeds.rumors), dtype=np.int64)
-        protected = np.full(batch, len(seeds.protectors), dtype=np.int64)
-        infected_hops = [infected.copy()]
-        protected_hops = [protected.copy()]
+        order = seeds.priority
+        fronts = [_seed_keys(members, batch, n) for members in seeds.cascades]
+        counts = [
+            np.full(batch, len(members), dtype=np.int64)
+            for members in seeds.cascades
+        ]
+        planes = [[count.copy()] for count in counts]
         for _hop in range(max_hops):
-            if front_p.size == 0 and front_i.size == 0:
+            if all(front.size == 0 for front in fronts):
                 break
             if flat is not None:
-                keys_p = _reach_flat(front_p, flat, flat_states)
-                keys_i = _reach_flat(front_i, flat, flat_states)
+                reached = [
+                    _reach_flat(front, flat, flat_states) for front in fronts
+                ]
             else:
-                keys_p = _reach_masked(front_p, live, arrays, flat_states, n)
-                keys_i = _reach_masked(front_i, live, arrays, flat_states, n)
-            if keys_p.size and keys_i.size:
-                keys_i = keys_i[~np.isin(keys_i, keys_p, assume_unique=True)]
-            if keys_p.size == 0 and keys_i.size == 0:
+                reached = [
+                    _reach_masked(front, live, arrays, flat_states, n)
+                    for front in fronts
+                ]
+            # Priority tie-break: a later cascade in the order drops keys
+            # an earlier one claimed this hop (all key sets stay unique
+            # and pairwise disjoint, so assume_unique holds).
+            claimed = _EMPTY
+            for cascade in order:
+                keys = reached[cascade]
+                if claimed.size and keys.size:
+                    keys = keys[~np.isin(keys, claimed, assume_unique=True)]
+                    reached[cascade] = keys
+                claimed = keys if not claimed.size else np.concatenate((claimed, keys))
+            if all(keys.size == 0 for keys in reached):
                 break
-            flat_states[keys_p] = PROTECTED
-            flat_states[keys_i] = INFECTED
-            protected = protected + np.bincount(keys_p // n, minlength=batch)
-            infected = infected + np.bincount(keys_i // n, minlength=batch)
-            infected_hops.append(infected.copy())
-            protected_hops.append(protected.copy())
-            front_p, front_i = keys_p, keys_i
+            for cascade, keys in enumerate(reached):
+                flat_states[keys] = cascade + 1
+                counts[cascade] = counts[cascade] + np.bincount(
+                    keys // n, minlength=batch
+                )
+                planes[cascade].append(counts[cascade].copy())
+            fronts = reached
         kind = "doam" if live is None else "ic"
-        return BatchOutcome(kind, n, states, infected_hops, protected_hops)
+        return BatchOutcome(kind, n, states, cascade_hops=planes)
 
     @staticmethod
     def _flat_adjacency(worlds, live, arrays, batch: int, n: int):
@@ -263,38 +272,51 @@ class NumpyKernelBackend(KernelBackend):
 
     def _lt(self, arrays, states, seeds, thresholds, max_hops) -> BatchOutcome:
         batch, n = states.shape
-        weight_p = np.zeros((batch, n), dtype=np.float64)
-        weight_i = np.zeros((batch, n), dtype=np.float64)
-        front_p = _seed_pairs(seeds.protectors, batch)
-        front_i = _seed_pairs(seeds.rumors, batch)
-        infected = np.full(batch, len(seeds.rumors), dtype=np.int64)
-        protected = np.full(batch, len(seeds.protectors), dtype=np.int64)
-        infected_hops = [infected.copy()]
-        protected_hops = [protected.copy()]
+        order = seeds.priority
+        weights = [
+            np.zeros((batch, n), dtype=np.float64) for _ in seeds.cascades
+        ]
+        fronts = [_seed_pairs(members, batch) for members in seeds.cascades]
+        counts = [
+            np.full(batch, len(members), dtype=np.int64)
+            for members in seeds.cascades
+        ]
+        planes = [[count.copy()] for count in counts]
         for _hop in range(max_hops):
-            if front_p[0].size == 0 and front_i[0].size == 0:
+            if all(front[0].size == 0 for front in fronts):
                 break
-            keys_tp = _feed(front_p, weight_p, arrays, states, n)
-            keys_ti = _feed(front_i, weight_i, arrays, states, n)
-            touched = np.unique(np.concatenate((keys_tp, keys_ti)))
+            # Feed in priority order — each cascade accumulates into its
+            # own weight matrix in the reference backend's loop order.
+            touched_keys = [
+                _feed(fronts[cascade], weights[cascade], arrays, states, n)
+                for cascade in order
+            ]
+            touched = np.unique(np.concatenate(touched_keys))
             if touched.size == 0:
                 break
             tw, tu = touched // n, touched % n
             theta = thresholds[tw, tu]
-            crosses_p = weight_p[tw, tu] + 1e-12 >= theta
-            # P priority when both cascades cross in the same hop.
-            crosses_i = (weight_i[tw, tu] + 1e-12 >= theta) & ~crosses_p
-            if not crosses_p.any() and not crosses_i.any():
+            # The first cascade in priority order whose own in-weight
+            # crosses θ claims the node (P priority for K=2).
+            crosses = [np.zeros(0, dtype=bool)] * len(fronts)
+            prior = np.zeros(touched.size, dtype=bool)
+            for cascade in order:
+                cross = (weights[cascade][tw, tu] + 1e-12 >= theta) & ~prior
+                crosses[cascade] = cross
+                prior = prior | cross
+            if not prior.any():
                 break
-            front_p = (tw[crosses_p], tu[crosses_p])
-            front_i = (tw[crosses_i], tu[crosses_i])
-            states[front_p] = PROTECTED
-            states[front_i] = INFECTED
-            protected = protected + np.bincount(front_p[0], minlength=batch)
-            infected = infected + np.bincount(front_i[0], minlength=batch)
-            infected_hops.append(infected.copy())
-            protected_hops.append(protected.copy())
-        return BatchOutcome("lt", n, states, infected_hops, protected_hops)
+            fronts = [
+                (tw[crosses[cascade]], tu[crosses[cascade]])
+                for cascade in range(len(fronts))
+            ]
+            for cascade, front in enumerate(fronts):
+                states[front] = cascade + 1
+                counts[cascade] = counts[cascade] + np.bincount(
+                    front[0], minlength=batch
+                )
+                planes[cascade].append(counts[cascade].copy())
+        return BatchOutcome("lt", n, states, cascade_hops=planes)
 
     def _opoao(self, arrays, states, seeds, picks, max_hops) -> BatchOutcome:
         """OPOAO: *live* pickers tracked as sparse ``world * n + node`` keys.
@@ -311,16 +333,16 @@ class NumpyKernelBackend(KernelBackend):
         """
         batch, n = states.shape
         indptr, indices, out_deg = arrays.indptr, arrays.indices, arrays.out_deg
-        infected = np.full(batch, len(seeds.rumors), dtype=np.int64)
-        protected = np.full(batch, len(seeds.protectors), dtype=np.int64)
-        infected_hops = [infected.copy()]
-        protected_hops = [protected.copy()]
+        order = seeds.priority
+        counts = [
+            np.full(batch, len(members), dtype=np.int64)
+            for members in seeds.cascades
+        ]
+        planes = [[count.copy()] for count in counts]
         if indices.size == 0:
-            return BatchOutcome("opoao", n, states, infected_hops, protected_hops)
+            return BatchOutcome("opoao", n, states, cascade_hops=planes)
         flat_states = states.reshape(-1)
-        seed_ids = np.asarray(
-            sorted(seeds.rumors | seeds.protectors), dtype=np.int64
-        )
+        seed_ids = np.asarray(sorted(seeds.all_seeds()), dtype=np.int64)
         # Inactive-out-neighbor counts per (world, node): seeds are the
         # same in every world, so compute once and tile.
         seed_mask = np.zeros(n, dtype=bool)
@@ -347,16 +369,31 @@ class NumpyKernelBackend(KernelBackend):
             hit = flat_states[target_keys] == INACTIVE
             if hit.any():
                 hit_keys = target_keys[hit]
-                from_p = flat_states[act_keys[hit]] == PROTECTED
-                keys_p = np.unique(hit_keys[from_p])
-                keys_i = np.unique(hit_keys[~from_p])
-                if keys_p.size and keys_i.size:  # P-priority on conflicts
-                    keys_i = keys_i[~np.isin(keys_i, keys_p, assume_unique=True)]
-                flat_states[keys_p] = PROTECTED
-                flat_states[keys_i] = INFECTED
-                protected = protected + np.bincount(keys_p // n, minlength=batch)
-                infected = infected + np.bincount(keys_i // n, minlength=batch)
-                new_keys = np.concatenate((keys_p, keys_i))
+                act_states = flat_states[act_keys[hit]]
+                reached = [
+                    np.unique(hit_keys[act_states == cascade + 1])
+                    for cascade in range(len(counts))
+                ]
+                # Priority resolves conflicts: later cascades in the
+                # order drop keys an earlier one claimed this hop.
+                claimed = _EMPTY
+                for cascade in order:
+                    keys = reached[cascade]
+                    if claimed.size and keys.size:
+                        keys = keys[~np.isin(keys, claimed, assume_unique=True)]
+                        reached[cascade] = keys
+                    claimed = (
+                        keys if not claimed.size
+                        else np.concatenate((claimed, keys))
+                    )
+                for cascade, keys in enumerate(reached):
+                    flat_states[keys] = cascade + 1
+                    counts[cascade] = counts[cascade] + np.bincount(
+                        keys // n, minlength=batch
+                    )
+                # ``claimed`` concatenates the new keys in priority order
+                # (the pre-refactor P-then-R order for K=2).
+                new_keys = claimed
                 dec_w, _, dec_tails = _edges_of(
                     new_keys // n, new_keys % n,
                     arrays.in_indptr, arrays.in_tails,
@@ -365,12 +402,12 @@ class NumpyKernelBackend(KernelBackend):
                 act_keys = np.concatenate(
                     (act_keys, new_keys[out_deg[new_keys % n] > 0])
                 )
-            # Zero-hit hops are wasted repeat-selection steps: recorded,
-            # and the race continues (there is still a live picker).
-            infected_hops.append(infected.copy())
-            protected_hops.append(protected.copy())
+            for cascade, count in enumerate(counts):
+                # Zero-hit hops are wasted repeat-selection steps:
+                # recorded, and the race continues (still a live picker).
+                planes[cascade].append(count.copy())
             act_keys = act_keys[remaining[act_keys] > 0]
-        return BatchOutcome("opoao", n, states, infected_hops, protected_hops)
+        return BatchOutcome("opoao", n, states, cascade_hops=planes)
 
 
 def _batch_array(worlds: WorldBatch, key: str, dtype) -> np.ndarray:

@@ -2,19 +2,25 @@
 
 Runs each world of the batch as an explicit deterministic race over the
 pre-sampled randomness. This is the semantic ground truth the NumPy
-backend is tested against — every rule here (P-priority, the LT
-``+1e-12`` crossing tolerance, OPOAO's repeat selection and liveness
+backend is tested against — every rule here (priority tie-breaking, the
+LT ``+1e-12`` crossing tolerance, OPOAO's repeat selection and liveness
 termination) mirrors the per-run models in :mod:`repro.diffusion`, just
 driven by a :class:`~repro.kernels.worlds.WorldBatch` instead of a live
 RNG. It is also the fallback engine when NumPy is not installed, keeping
 the core zero-dependency.
+
+All races are K-cascade: fronts advance in the
+:class:`~repro.diffusion.base.CascadeSet` priority order, and a target
+claimed by an earlier cascade this hop is invisible to later ones. With
+the default ``positives-first`` order and K=2 this is bit-identical to
+the historical two-cascade race (P wins ties).
 """
 
 from __future__ import annotations
 
 from typing import List, Sequence, Set, Tuple
 
-from repro.diffusion.base import INACTIVE, INFECTED, PROTECTED, SeedSets
+from repro.diffusion.base import INACTIVE, CascadeSet
 from repro.graph.compact import IndexedDiGraph
 from repro.kernels.base import BatchOutcome, KernelBackend, seeded_states
 from repro.kernels.spec import KernelSpec
@@ -22,8 +28,8 @@ from repro.kernels.worlds import WorldBatch
 
 __all__ = ["PythonKernelBackend"]
 
-#: (final states, cumulative infected per hop, cumulative protected per hop)
-WorldRun = Tuple[List[int], List[int], List[int]]
+#: (final states, per-cascade cumulative series — one list per cascade)
+WorldRun = Tuple[List[int], List[List[int]]]
 
 
 class PythonKernelBackend(KernelBackend):
@@ -36,7 +42,7 @@ class PythonKernelBackend(KernelBackend):
         graph: IndexedDiGraph,
         spec: KernelSpec,
         worlds: WorldBatch,
-        seeds: SeedSets,
+        seeds: CascadeSet,
         max_hops: int,
     ) -> BatchOutcome:
         runs: List[WorldRun] = []
@@ -55,36 +61,38 @@ class PythonKernelBackend(KernelBackend):
             picks = worlds.data["picks"]
             for world in range(worlds.batch):
                 runs.append(_opoao_world(graph, picks[world], seeds, max_hops))
-        return _assemble(spec.kind, graph.node_count, runs)
+        return _assemble(spec.kind, graph.node_count, runs, seeds.cascade_count)
 
 
 def _assemble(
-    kind: str, node_count: int, runs: Sequence[WorldRun]
+    kind: str, node_count: int, runs: Sequence[WorldRun], cascade_count: int
 ) -> BatchOutcome:
     """Transpose per-world series to the hop-major layout, padding short
     worlds with their final (frozen) counts so every hop has one entry per
     world — the same shape the vectorized backend produces natively."""
-    length = max(len(infected) for _, infected, _ in runs)
-    infected_hops: List[List[int]] = []
-    protected_hops: List[List[int]] = []
-    for hop in range(length):
-        infected_hops.append(
-            [inf[min(hop, len(inf) - 1)] for _, inf, _ in runs]
-        )
-        protected_hops.append(
-            [prot[min(hop, len(prot) - 1)] for _, _, prot in runs]
-        )
-    states = [run_states for run_states, _, _ in runs]
-    return BatchOutcome(kind, node_count, states, infected_hops, protected_hops)
+    length = max(len(series[0]) for _, series in runs)
+    planes: List[List[List[int]]] = []
+    for cascade in range(cascade_count):
+        plane: List[List[int]] = []
+        for hop in range(length):
+            plane.append(
+                [
+                    series[cascade][min(hop, len(series[cascade]) - 1)]
+                    for _, series in runs
+                ]
+            )
+        planes.append(plane)
+    states = [run_states for run_states, _ in runs]
+    return BatchOutcome(kind, node_count, states, cascade_hops=planes)
 
 
 def _race_world(
     graph: IndexedDiGraph,
     live_row,
-    seeds: SeedSets,
+    seeds: CascadeSet,
     max_hops: int,
 ) -> WorldRun:
-    """IC/DOAM: simultaneous BFS race on the live subgraph, P wins ties.
+    """IC/DOAM: simultaneous BFS race on the live subgraph, priority ties.
 
     ``live_row`` is indexed by CSR edge position (``None`` = every edge
     live, which is exactly DOAM).
@@ -92,67 +100,58 @@ def _race_world(
     out = graph.out
     indptr = graph.csr().indptr
     states = seeded_states(graph.node_count, seeds)
-    infected_total = len(seeds.rumors)
-    protected_total = len(seeds.protectors)
-    infected_series = [infected_total]
-    protected_series = [protected_total]
-    protected_front: List[int] = sorted(seeds.protectors)
-    infected_front: List[int] = sorted(seeds.rumors)
+    order = seeds.priority
+    totals = [len(cascade) for cascade in seeds.cascades]
+    series: List[List[int]] = [[total] for total in totals]
+    fronts: List[List[int]] = [sorted(cascade) for cascade in seeds.cascades]
 
     for _hop in range(max_hops):
-        if not protected_front and not infected_front:
+        if not any(fronts):
             break
-        protected_targets: Set[int] = set()
-        for node in protected_front:
-            base = indptr[node]
-            for position, neighbor in enumerate(out[node]):
-                if states[neighbor] == INACTIVE and (
-                    live_row is None or live_row[base + position]
-                ):
-                    protected_targets.add(neighbor)
-        infected_targets: Set[int] = set()
-        for node in infected_front:
-            base = indptr[node]
-            for position, neighbor in enumerate(out[node]):
-                if (
-                    states[neighbor] == INACTIVE
-                    and neighbor not in protected_targets
-                    and (live_row is None or live_row[base + position])
-                ):
-                    infected_targets.add(neighbor)
-        if not protected_targets and not infected_targets:
+        targets: List[Set[int]] = [set() for _ in fronts]
+        claimed: Set[int] = set()
+        for cascade in order:
+            chosen = targets[cascade]
+            for node in fronts[cascade]:
+                base = indptr[node]
+                for position, neighbor in enumerate(out[node]):
+                    if (
+                        states[neighbor] == INACTIVE
+                        and neighbor not in claimed
+                        and (live_row is None or live_row[base + position])
+                    ):
+                        chosen.add(neighbor)
+            claimed |= chosen
+        if not claimed:
             break
-        for node in protected_targets:
-            states[node] = PROTECTED
-        for node in infected_targets:
-            states[node] = INFECTED
-        protected_total += len(protected_targets)
-        infected_total += len(infected_targets)
-        infected_series.append(infected_total)
-        protected_series.append(protected_total)
-        protected_front = sorted(protected_targets)
-        infected_front = sorted(infected_targets)
-    return states, infected_series, protected_series
+        for cascade, chosen in enumerate(targets):
+            state = cascade + 1
+            for node in chosen:
+                states[node] = state
+            totals[cascade] += len(chosen)
+            series[cascade].append(totals[cascade])
+        fronts = [sorted(chosen) for chosen in targets]
+    return states, series
 
 
 def _lt_world(
     graph: IndexedDiGraph,
     thresholds,
-    seeds: SeedSets,
+    seeds: CascadeSet,
     max_hops: int,
 ) -> WorldRun:
-    """Competitive LT on fixed thresholds (per-cascade crossing, P priority).
+    """Competitive LT on fixed thresholds (per-cascade crossing, priority).
 
-    The accumulation order (protected front fed first, fronts walked in
-    ascending node order, out-rows in CSR order) is part of the contract:
-    the NumPy backend reproduces the same float addition order so shared
-    worlds give bit-identical sums.
+    The accumulation order (fronts fed in priority order — protected
+    first for K=2 — fronts walked in ascending node order, out-rows in
+    CSR order) is part of the contract: the NumPy backend reproduces the
+    same float addition order so shared worlds give bit-identical sums.
     """
     n = graph.node_count
     out = graph.out
     states = seeded_states(n, seeds)
-    protected_weight = [0.0] * n
-    infected_weight = [0.0] * n
+    order = seeds.priority
+    cascade_weight: List[List[float]] = [[0.0] * n for _ in seeds.cascades]
 
     def feed(front: List[int], weights: List[float]) -> Set[int]:
         touched: Set[int] = set()
@@ -164,48 +163,38 @@ def _lt_world(
                 touched.add(neighbor)
         return touched
 
-    infected_total = len(seeds.rumors)
-    protected_total = len(seeds.protectors)
-    infected_series = [infected_total]
-    protected_series = [protected_total]
-    protected_front: List[int] = sorted(seeds.protectors)
-    infected_front: List[int] = sorted(seeds.rumors)
+    totals = [len(cascade) for cascade in seeds.cascades]
+    series: List[List[int]] = [[total] for total in totals]
+    fronts: List[List[int]] = [sorted(cascade) for cascade in seeds.cascades]
 
     for _hop in range(max_hops):
-        if not protected_front and not infected_front:
+        if not any(fronts):
             break
-        touched = feed(protected_front, protected_weight)
-        touched |= feed(infected_front, infected_weight)
-        new_protected: List[int] = []
-        new_infected: List[int] = []
+        touched: Set[int] = set()
+        for cascade in order:
+            touched |= feed(fronts[cascade], cascade_weight[cascade])
+        news: List[List[int]] = [[] for _ in fronts]
         for node in sorted(touched):
-            crosses_protected = (
-                protected_weight[node] + 1e-12 >= thresholds[node]
-            )
-            crosses_infected = infected_weight[node] + 1e-12 >= thresholds[node]
-            if crosses_protected:  # P priority when both cascades cross
-                new_protected.append(node)
-            elif crosses_infected:
-                new_infected.append(node)
-        if not new_protected and not new_infected:
+            for cascade in order:
+                if cascade_weight[cascade][node] + 1e-12 >= thresholds[node]:
+                    news[cascade].append(node)
+                    break
+        if not any(news):
             break
-        for node in new_protected:
-            states[node] = PROTECTED
-        for node in new_infected:
-            states[node] = INFECTED
-        protected_total += len(new_protected)
-        infected_total += len(new_infected)
-        infected_series.append(infected_total)
-        protected_series.append(protected_total)
-        protected_front = new_protected
-        infected_front = new_infected
-    return states, infected_series, protected_series
+        for cascade, new in enumerate(news):
+            state = cascade + 1
+            for node in new:
+                states[node] = state
+            totals[cascade] += len(new)
+            series[cascade].append(totals[cascade])
+        fronts = news
+    return states, series
 
 
 def _opoao_world(
     graph: IndexedDiGraph,
     picks,
-    seeds: SeedSets,
+    seeds: CascadeSet,
     max_hops: int,
 ) -> WorldRun:
     """OPOAO on a fixed pick table: ``picks[hop][node]`` is the node's
@@ -220,18 +209,16 @@ def _opoao_world(
     """
     out = graph.out
     states = seeded_states(graph.node_count, seeds)
-    active: List[int] = sorted(seeds.rumors | seeds.protectors)
+    order = seeds.priority
+    active: List[int] = sorted(seeds.all_seeds())
 
-    infected_total = len(seeds.rumors)
-    protected_total = len(seeds.protectors)
-    infected_series = [infected_total]
-    protected_series = [protected_total]
+    totals = [len(cascade) for cascade in seeds.cascades]
+    series: List[List[int]] = [[total] for total in totals]
 
     for hop in range(max_hops):
         row = picks[hop]
         alive = False
-        protected_targets: Set[int] = set()
-        infected_targets: Set[int] = set()
+        targets: List[Set[int]] = [set() for _ in seeds.cascades]
         for node in active:
             neighbors = out[node]
             if not neighbors:
@@ -247,20 +234,18 @@ def _opoao_world(
             target = neighbors[index]
             if states[target] != INACTIVE:
                 continue  # repeat selection wasted on an active neighbor
-            if states[node] == PROTECTED:
-                protected_targets.add(target)
-            else:
-                infected_targets.add(target)
+            targets[states[node] - 1].add(target)
         if not alive:
             break  # no active node can ever activate anything again
-        infected_targets -= protected_targets  # P-priority on conflicts
-        for node in protected_targets:
-            states[node] = PROTECTED
-        for node in infected_targets:
-            states[node] = INFECTED
-        active.extend(sorted(protected_targets | infected_targets))
-        protected_total += len(protected_targets)
-        infected_total += len(infected_targets)
-        infected_series.append(infected_total)
-        protected_series.append(protected_total)
-    return states, infected_series, protected_series
+        claimed: Set[int] = set()
+        for cascade in order:  # priority resolves conflicts
+            targets[cascade] -= claimed
+            claimed |= targets[cascade]
+        for cascade, chosen in enumerate(targets):
+            state = cascade + 1
+            for node in chosen:
+                states[node] = state
+            totals[cascade] += len(chosen)
+            series[cascade].append(totals[cascade])
+        active.extend(sorted(claimed))
+    return states, series

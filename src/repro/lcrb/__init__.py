@@ -13,9 +13,22 @@
 * :mod:`repro.lcrb.gossip_blocking` — the same protector-selection
   question re-scored on the message-passing gossip workload
   (:mod:`repro.gossip`): messages sent versus final infected.
+* :mod:`repro.lcrb.multicascade` — K-cascade scenarios over the
+  generalized engine: distributed (uncoordinated) blocking campaigns and
+  impression-domination scoring, each with an exact small-graph oracle.
 """
 
-from repro.lcrb.evaluation import EvaluationResult, evaluate_protectors
+from repro.lcrb.evaluation import (
+    EvaluationResult,
+    evaluate_protectors,
+    resolve_seed_labels,
+)
+from repro.lcrb.multicascade import (
+    DistributedBlockingResult,
+    DistributedBlockingScenario,
+    ImpressionResult,
+    ImpressionScenario,
+)
 from repro.lcrb.gossip_blocking import (
     GossipBlockingResult,
     GossipBlockingScenario,
@@ -35,6 +48,11 @@ __all__ = [
     "LCRBDProblem",
     "EvaluationResult",
     "evaluate_protectors",
+    "resolve_seed_labels",
+    "DistributedBlockingResult",
+    "DistributedBlockingScenario",
+    "ImpressionResult",
+    "ImpressionScenario",
     "build_context",
     "draw_rumor_seeds",
     "service_from_context",

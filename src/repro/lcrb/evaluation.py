@@ -23,11 +23,37 @@ from repro.diffusion.base import (
     SeedSets,
 )
 from repro.diffusion.simulation import MonteCarloSimulator, SimulationAggregate
+from repro.errors import SeedError
 from repro.graph.digraph import Node
 from repro.rng import RngStream
 from repro.utils.stats import RunningStats
 
-__all__ = ["EvaluationResult", "evaluate_protectors", "compare_evaluations"]
+__all__ = [
+    "EvaluationResult",
+    "evaluate_protectors",
+    "compare_evaluations",
+    "resolve_seed_labels",
+]
+
+
+def resolve_seed_labels(indexed, labels: Iterable[Node], role: str) -> List[int]:
+    """Translate seed labels to node ids, validating the whole set first.
+
+    Every unknown label is reported at once — a typo'd seed file should
+    produce one actionable :class:`~repro.errors.SeedError` naming all
+    offenders, not a :class:`~repro.errors.NodeNotFoundError` for just
+    the first (the pre-fix behaviour). Duplicates collapse, preserving
+    first-seen order.
+    """
+    deduped = list(dict.fromkeys(labels))
+    unknown = [label for label in deduped if not indexed.has_label(label)]
+    if unknown:
+        shown = ", ".join(repr(label) for label in unknown)
+        raise SeedError(
+            f"unknown {role} seed label(s): {shown} "
+            f"({len(unknown)} of {len(deduped)} not in the graph)"
+        )
+    return indexed.indices(deduped)
 
 
 class EvaluationResult:
@@ -134,7 +160,7 @@ ParallelMonteCarloSimulator`); ignored on the serial/backend paths.
             publication instead of spinning up new ones.
     """
     indexed = context.indexed
-    protector_ids = indexed.indices(dict.fromkeys(protectors))
+    protector_ids = resolve_seed_labels(indexed, protectors, "protector")
     seeds = SeedSets(rumors=context.rumor_seed_ids(), protectors=protector_ids)
     end_ids = context.bridge_end_ids()
 
@@ -166,7 +192,7 @@ ParallelMonteCarloSimulator`); ignored on the serial/backend paths.
             state = outcome.states[end]
             if state == INFECTED:
                 infected += 1
-            elif state == PROTECTED:
+            elif state >= PROTECTED:  # any positive campaign
                 protected += 1
             else:
                 untouched += 1

@@ -18,6 +18,7 @@ machine; the sampling counts do not, which is what makes
 
 from __future__ import annotations
 
+import math
 from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -29,12 +30,12 @@ __all__ = ["run_loadgen"]
 
 
 def _percentile(values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile over a non-empty sequence."""
+    """Nearest-rank percentile of ``values`` (``q`` in percent)."""
+    if not values:
+        raise ValueError("percentile of an empty sequence is undefined")
     ordered = sorted(values)
     if q <= 0.0:
         return ordered[0]
-    import math
-
     rank = math.ceil(q / 100.0 * len(ordered))
     return ordered[min(rank, len(ordered)) - 1]
 

@@ -1,0 +1,246 @@
+"""Frozen pre-refactor two-cascade engine (differential-test reference).
+
+This module is a verbatim behavioural copy of the diffusion engine as it
+existed *before* the K-cascade refactor: hard-coded rumor/protector
+fronts, P-wins tie-breaking, and — critically — the exact RNG
+consumption order of every stochastic model. The hypothesis suite in
+``test_legacy_differential.py`` runs the refactored engine and this
+reference on identical graphs/seeds/streams and requires bit-identical
+states, hop series, and newly-activated lists.
+
+Do not "improve" this file: its whole value is that it never changes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.graph.compact import IndexedDiGraph
+from repro.rng import RngStream
+
+INACTIVE = 0
+INFECTED = 1
+PROTECTED = 2
+
+
+class LegacyTrace:
+    """The pre-refactor HopTrace: two cumulative series + newly lists."""
+
+    def __init__(self) -> None:
+        self.infected: List[int] = []
+        self.protected: List[int] = []
+        self.newly_infected: List[List[int]] = []
+        self.newly_protected: List[List[int]] = []
+
+    def record(self, new_infected: Sequence[int], new_protected: Sequence[int]) -> None:
+        previous_infected = self.infected[-1] if self.infected else 0
+        previous_protected = self.protected[-1] if self.protected else 0
+        self.infected.append(previous_infected + len(new_infected))
+        self.protected.append(previous_protected + len(new_protected))
+        self.newly_infected.append(list(new_infected))
+        self.newly_protected.append(list(new_protected))
+
+
+def legacy_run(
+    kind: str,
+    graph: IndexedDiGraph,
+    rumors: Sequence[int],
+    protectors: Sequence[int],
+    rng: Optional[RngStream],
+    max_hops: int,
+    probability: Optional[float] = 0.1,
+) -> Dict[str, object]:
+    """One pre-refactor run; returns final states + the legacy trace."""
+    rumor_set = frozenset(rumors)
+    protector_set = frozenset(protectors)
+    states = [INACTIVE] * graph.node_count
+    for node in protector_set:  # P seeded first, exactly as before
+        states[node] = PROTECTED
+    for node in rumor_set:
+        states[node] = INFECTED
+    trace = LegacyTrace()
+    trace.record(sorted(rumor_set), sorted(protector_set))
+    spread = {
+        "ic": _ic_spread,
+        "lt": _lt_spread,
+        "doam": _doam_spread,
+        "opoao": _opoao_spread,
+    }[kind]
+    if kind == "ic":
+        spread(graph, states, rumor_set, protector_set, trace, rng, max_hops, probability)
+    else:
+        spread(graph, states, rumor_set, protector_set, trace, rng, max_hops)
+    return {"states": states, "trace": trace}
+
+
+def _ic_spread(graph, states, rumors, protectors, trace, rng, max_hops, probability):
+    out = graph.out
+    weights = graph.out_weights
+
+    def edge_probability(node: int, position: int) -> float:
+        if probability is not None:
+            return probability
+        return weights[node][position]
+
+    protected_front: List[int] = sorted(protectors)
+    infected_front: List[int] = sorted(rumors)
+    for _hop in range(max_hops):
+        if not protected_front and not infected_front:
+            break
+        protected_targets: Set[int] = set()
+        for node in protected_front:
+            for position, neighbor in enumerate(out[node]):
+                if states[neighbor] == INACTIVE and rng.random() < edge_probability(
+                    node, position
+                ):
+                    protected_targets.add(neighbor)
+        infected_targets: Set[int] = set()
+        for node in infected_front:
+            for position, neighbor in enumerate(out[node]):
+                if (
+                    states[neighbor] == INACTIVE
+                    and neighbor not in protected_targets
+                    and rng.random() < edge_probability(node, position)
+                ):
+                    infected_targets.add(neighbor)
+        if not protected_targets and not infected_targets:
+            break
+        new_protected = sorted(protected_targets)
+        new_infected = sorted(infected_targets)
+        for node in new_protected:
+            states[node] = PROTECTED
+        for node in new_infected:
+            states[node] = INFECTED
+        trace.record(new_infected, new_protected)
+        protected_front = new_protected
+        infected_front = new_infected
+
+
+def _lt_spread(graph, states, rumors, protectors, trace, rng, max_hops):
+    n = graph.node_count
+    thresholds = [rng.random() for _ in range(n)]
+    protected_weight = [0.0] * n
+    infected_weight = [0.0] * n
+
+    def feed(front: List[int], weights: List[float]) -> Set[int]:
+        touched: Set[int] = set()
+        for node in front:
+            for neighbor in graph.out[node]:
+                if states[neighbor] != INACTIVE:
+                    continue
+                weights[neighbor] += 1.0 / max(1, graph.in_degree(neighbor))
+                touched.add(neighbor)
+        return touched
+
+    protected_front: List[int] = sorted(protectors)
+    infected_front: List[int] = sorted(rumors)
+    for _hop in range(max_hops):
+        if not protected_front and not infected_front:
+            break
+        touched = feed(protected_front, protected_weight)
+        touched |= feed(infected_front, infected_weight)
+        new_protected: List[int] = []
+        new_infected: List[int] = []
+        for node in sorted(touched):
+            crosses_protected = protected_weight[node] + 1e-12 >= thresholds[node]
+            crosses_infected = infected_weight[node] + 1e-12 >= thresholds[node]
+            if crosses_protected:
+                new_protected.append(node)
+            elif crosses_infected:
+                new_infected.append(node)
+        if not new_protected and not new_infected:
+            break
+        for node in new_protected:
+            states[node] = PROTECTED
+        for node in new_infected:
+            states[node] = INFECTED
+        trace.record(new_infected, new_protected)
+        protected_front = new_protected
+        infected_front = new_infected
+
+
+def _doam_spread(graph, states, rumors, protectors, trace, rng, max_hops):
+    out = graph.out
+    protected_front: List[int] = sorted(protectors)
+    infected_front: List[int] = sorted(rumors)
+    for _hop in range(max_hops):
+        if not protected_front and not infected_front:
+            break
+        protected_targets: Set[int] = set()
+        for node in protected_front:
+            for neighbor in out[node]:
+                if states[neighbor] == INACTIVE:
+                    protected_targets.add(neighbor)
+        infected_targets: Set[int] = set()
+        for node in infected_front:
+            for neighbor in out[node]:
+                if states[neighbor] == INACTIVE and neighbor not in protected_targets:
+                    infected_targets.add(neighbor)
+        if not protected_targets and not infected_targets:
+            break
+        new_protected = sorted(protected_targets)
+        new_infected = sorted(infected_targets)
+        for node in new_protected:
+            states[node] = PROTECTED
+        for node in new_infected:
+            states[node] = INFECTED
+        trace.record(new_infected, new_protected)
+        protected_front = new_protected
+        infected_front = new_infected
+
+
+def _opoao_spread(graph, states, rumors, protectors, trace, rng, max_hops):
+    out = graph.out
+    inactive_out: Dict[int, int] = {}
+    live: Set[int] = set()
+
+    def enroll(node: int) -> None:
+        count = sum(1 for neighbor in out[node] if states[neighbor] == INACTIVE)
+        if count > 0:
+            inactive_out[node] = count
+            live.add(node)
+
+    def on_activated(node: int) -> None:
+        for tail in graph.inn[node]:
+            remaining = inactive_out.get(tail)
+            if remaining is not None:
+                if remaining == 1:
+                    del inactive_out[tail]
+                    live.discard(tail)
+                else:
+                    inactive_out[tail] = remaining - 1
+
+    for seed in rumors | protectors:
+        enroll(seed)
+
+    for _hop in range(max_hops):
+        if not live:
+            break
+        protected_targets: Set[int] = set()
+        infected_targets: Set[int] = set()
+        for node in sorted(live):
+            neighbors = out[node]
+            target = neighbors[rng.randrange(len(neighbors))]
+            if states[target] != INACTIVE:
+                continue
+            if states[node] == PROTECTED:
+                protected_targets.add(target)
+            else:
+                infected_targets.add(target)
+        infected_targets -= protected_targets
+
+        new_protected = sorted(protected_targets)
+        new_infected = sorted(infected_targets)
+        for node in new_protected:
+            states[node] = PROTECTED
+        for node in new_infected:
+            states[node] = INFECTED
+        for node in new_protected:
+            on_activated(node)
+        for node in new_infected:
+            on_activated(node)
+        for node in new_protected:
+            enroll(node)
+        for node in new_infected:
+            enroll(node)
+        trace.record(new_infected, new_protected)

@@ -1,0 +1,251 @@
+"""Differential tests: the K-cascade engine vs the frozen two-cascade one.
+
+The K-cascade refactor promises that K=2 is **bit-identical** to the
+pre-refactor engine — same final states, same hop series, same newly
+lists, same RNG consumption order. ``legacy_reference`` is a verbatim
+behavioural copy of the old engine; hypothesis drives both over random
+graphs/seeds/streams and requires exact equality for every model.
+
+A second class exercises the genuinely new K=3 surface of the per-run
+models: seed invariants, trace bookkeeping, and the two priority rules
+disagreeing exactly on contested nodes.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diffusion.base import (
+    INACTIVE,
+    PRIORITY_RULES,
+    CascadeSet,
+    SeedSets,
+    priority_order,
+)
+from repro.diffusion.doam import DOAMModel
+from repro.diffusion.ic import CompetitiveICModel
+from repro.diffusion.lt import CompetitiveLTModel
+from repro.diffusion.opoao import OPOAOModel
+from repro.errors import SeedError
+from repro.graph.digraph import DiGraph
+from repro.rng import RngStream
+from tests.diffusion.legacy_reference import legacy_run
+
+import pytest
+
+MAX_HOPS = 16
+
+
+@st.composite
+def diffusion_instances(draw):
+    """(graph, rumor_ids, protector_ids) with disjoint non-empty rumors."""
+    n = draw(st.integers(min_value=2, max_value=12))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            max_size=36,
+        )
+    )
+    graph = DiGraph()
+    graph.add_nodes(range(n))
+    for tail, head in edges:
+        if tail != head:
+            graph.add_edge(tail, head)
+    rumors = draw(st.sets(st.integers(0, n - 1), min_size=1, max_size=3))
+    protectors = draw(st.sets(st.integers(0, n - 1), max_size=3)) - rumors
+    return graph, sorted(rumors), sorted(protectors)
+
+
+def assert_bit_identical(outcome, legacy):
+    trace = legacy["trace"]
+    assert outcome.states == legacy["states"]
+    assert outcome.trace.infected == trace.infected
+    assert outcome.trace.protected == trace.protected
+    assert outcome.trace.newly_infected == trace.newly_infected
+    assert outcome.trace.newly_protected == trace.newly_protected
+
+
+class TestLegacyDifferential:
+    """K=2 states/traces/RNG order must match the pre-refactor engine."""
+
+    @given(diffusion_instances(), st.integers(0, 200))
+    @settings(max_examples=80, deadline=None)
+    def test_ic_bit_identical(self, instance, seed):
+        graph, rumors, protectors = instance
+        indexed = graph.to_indexed()
+        legacy = legacy_run(
+            "ic", indexed, rumors, protectors, RngStream(seed), MAX_HOPS,
+            probability=0.35,
+        )
+        outcome = CompetitiveICModel(probability=0.35).run(
+            indexed,
+            SeedSets(rumors=rumors, protectors=protectors),
+            rng=RngStream(seed),
+            max_hops=MAX_HOPS,
+        )
+        assert_bit_identical(outcome, legacy)
+
+    @given(diffusion_instances(), st.integers(0, 200))
+    @settings(max_examples=80, deadline=None)
+    def test_lt_bit_identical(self, instance, seed):
+        graph, rumors, protectors = instance
+        indexed = graph.to_indexed()
+        legacy = legacy_run(
+            "lt", indexed, rumors, protectors, RngStream(seed), MAX_HOPS
+        )
+        outcome = CompetitiveLTModel().run(
+            indexed,
+            SeedSets(rumors=rumors, protectors=protectors),
+            rng=RngStream(seed),
+            max_hops=MAX_HOPS,
+        )
+        assert_bit_identical(outcome, legacy)
+
+    @given(diffusion_instances(), st.integers(0, 200))
+    @settings(max_examples=80, deadline=None)
+    def test_opoao_bit_identical(self, instance, seed):
+        graph, rumors, protectors = instance
+        indexed = graph.to_indexed()
+        legacy = legacy_run(
+            "opoao", indexed, rumors, protectors, RngStream(seed), MAX_HOPS
+        )
+        outcome = OPOAOModel().run(
+            indexed,
+            SeedSets(rumors=rumors, protectors=protectors),
+            rng=RngStream(seed),
+            max_hops=MAX_HOPS,
+        )
+        assert_bit_identical(outcome, legacy)
+
+    @given(diffusion_instances())
+    @settings(max_examples=80, deadline=None)
+    def test_doam_bit_identical(self, instance):
+        graph, rumors, protectors = instance
+        indexed = graph.to_indexed()
+        legacy = legacy_run("doam", indexed, rumors, protectors, None, MAX_HOPS)
+        outcome = DOAMModel().run(
+            indexed,
+            SeedSets(rumors=rumors, protectors=protectors),
+            max_hops=MAX_HOPS,
+        )
+        assert_bit_identical(outcome, legacy)
+
+
+MODELS = {
+    "ic": lambda: CompetitiveICModel(probability=0.6),
+    "lt": lambda: CompetitiveLTModel(),
+    "doam": lambda: DOAMModel(),
+    "opoao": lambda: OPOAOModel(),
+}
+
+
+@st.composite
+def k3_instances(draw):
+    """(graph, CascadeSet with K=3) — disjoint rumor + two campaigns."""
+    graph, rumors, protectors = draw(diffusion_instances())
+    n = graph.node_count
+    used = set(rumors) | set(protectors)
+    second = draw(st.sets(st.integers(0, n - 1), max_size=2)) - used
+    rule = draw(st.sampled_from(PRIORITY_RULES))
+    seeds = CascadeSet([rumors, protectors, sorted(second)], priority=rule)
+    return graph, seeds
+
+
+class TestThreeCascades:
+    """The new K=3 surface of the per-run models."""
+
+    @given(k3_instances(), st.sampled_from(sorted(MODELS)), st.integers(0, 100))
+    @settings(max_examples=60, deadline=None)
+    def test_seeds_keep_their_cascade(self, instance, kind, seed):
+        graph, seeds = instance
+        outcome = MODELS[kind]().run(
+            graph.to_indexed(), seeds, rng=RngStream(seed), max_hops=MAX_HOPS
+        )
+        for cascade, members in enumerate(seeds.cascades):
+            for node in members:
+                assert outcome.states[node] == cascade + 1
+
+    @given(k3_instances(), st.sampled_from(sorted(MODELS)), st.integers(0, 100))
+    @settings(max_examples=60, deadline=None)
+    def test_trace_matches_final_states(self, instance, kind, seed):
+        graph, seeds = instance
+        outcome = MODELS[kind]().run(
+            graph.to_indexed(), seeds, rng=RngStream(seed), max_hops=MAX_HOPS
+        )
+        assert outcome.trace.cascade_count == 3
+        counts = outcome.cascade_counts()
+        for cascade in range(3):
+            assert outcome.trace.series[cascade][-1] == counts[cascade]
+            # Cumulative series are monotone and match the newly lists.
+            running = 0
+            for hop, newly in enumerate(outcome.trace.newly[cascade]):
+                running += len(newly)
+                assert outcome.trace.series[cascade][hop] == running
+
+    def test_priority_rules_disagree_on_contested_node(self):
+        # 0 -> 2 <- 1: the rumor (seed 0) and campaign 1 (seed 1) reach
+        # node 2 on the same hop; the rule decides who claims it.
+        graph = DiGraph()
+        graph.add_nodes(range(3))
+        graph.add_edge(0, 2)
+        graph.add_edge(1, 2)
+        indexed = graph.to_indexed()
+        won = {}
+        for rule in PRIORITY_RULES:
+            seeds = CascadeSet([[0], [1], []], priority=rule)
+            outcome = DOAMModel().run(indexed, seeds, max_hops=4)
+            won[rule] = outcome.states[2]
+        assert won["positives-first"] == 2  # campaign 1 (state 2) wins
+        assert won["rumor-first"] == 1  # the rumor (state 1) wins
+
+    def test_campaign_index_breaks_ties_between_positives(self):
+        graph = DiGraph()
+        graph.add_nodes(range(4))
+        for tail in range(3):
+            graph.add_edge(tail, 3)
+        indexed = graph.to_indexed()
+        seeds = CascadeSet([[0], [1], [2]], priority="positives-first")
+        outcome = DOAMModel().run(indexed, seeds, max_hops=4)
+        assert outcome.states[3] == 2  # campaign 1 beats campaign 2
+
+
+class TestPrioritySemantics:
+    def test_positives_first_order(self):
+        assert priority_order("positives-first", 2) == (1, 0)
+        assert priority_order("positives-first", 4) == (1, 2, 3, 0)
+
+    def test_rumor_first_order(self):
+        assert priority_order("rumor-first", 3) == (0, 1, 2)
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(SeedError):
+            priority_order("alphabetical", 2)
+
+    def test_explicit_permutation_accepted(self):
+        seeds = CascadeSet([[0], [1], [2]], priority=(2, 0, 1))
+        assert seeds.priority == (2, 0, 1)
+
+    def test_non_permutation_rejected(self):
+        with pytest.raises(SeedError):
+            CascadeSet([[0], [1], [2]], priority=(0, 0, 1))
+
+    def test_overlapping_cascades_rejected(self):
+        with pytest.raises(SeedError):
+            CascadeSet([[0, 1], [1], [2]])
+
+    def test_empty_rumor_rejected(self):
+        with pytest.raises(SeedError):
+            CascadeSet([[], [1], [2]])
+
+    def test_single_cascade_rejected(self):
+        with pytest.raises(SeedError):
+            CascadeSet([[0]])
+
+    def test_seedsets_is_the_k2_view(self):
+        seeds = SeedSets(rumors=[3, 1], protectors=[2])
+        assert seeds.cascade_count == 2
+        assert seeds.rumors == frozenset({1, 3})
+        assert seeds.protectors == frozenset({2})
+        assert seeds.priority == (1, 0)  # P wins, the paper's rule
+
+    def test_inactive_state_is_zero(self):
+        assert INACTIVE == 0

@@ -14,7 +14,7 @@ import pytest
 from repro.algorithms.celf import CELFGreedySelector
 from repro.algorithms.greedy import GreedySelector
 from repro.algorithms.ris_greedy import RISGreedySelector
-from repro.diffusion.base import SeedSets
+from repro.diffusion.base import CascadeSet, SeedSets
 from repro.diffusion.opoao import OPOAOModel
 from repro.diffusion.parallel import ParallelMonteCarloSimulator
 from repro.errors import CheckpointError
@@ -254,6 +254,92 @@ class TestMonteCarloResume:
             self.simulator(6, tmp_path).simulate_detailed(
                 indexed, seeds, rng=RngStream(12)
             )
+
+
+class TestMonteCarloCascadeKeys:
+    """The mc run key covers the cascade structure (regression).
+
+    Before the K-cascade refactor the key fingerprinted a flat rumor/
+    protector pair; a checkpoint written under one cascade split or
+    priority rule must now refuse to seed a run with another, instead of
+    silently resuming foreign replicas.
+    """
+
+    def simulator(self, runs, tmp_path):
+        return ParallelMonteCarloSimulator(
+            OPOAOModel(),
+            runs=runs,
+            max_hops=5,
+            processes=2,
+            checkpoint=tmp_path / "run.ckpt",
+            checkpoint_every=4,
+        )
+
+    def test_priority_rule_changes_the_key(self, chain, tmp_path):
+        indexed = chain.to_indexed()
+        cascades = [[0], [3], [5]]
+        self.simulator(6, tmp_path).simulate_detailed(
+            indexed, CascadeSet(cascades), rng=RngStream(11)
+        )
+        with pytest.raises(CheckpointError):
+            self.simulator(6, tmp_path).simulate_detailed(
+                indexed,
+                CascadeSet(cascades, priority="rumor-first"),
+                rng=RngStream(11),
+            )
+
+    def test_cascade_split_changes_the_key(self, chain, tmp_path):
+        # Same nodes fielded, different campaign structure: K=2 with
+        # protectors {3, 5} is not K=3 with campaigns {3} and {5}.
+        indexed = chain.to_indexed()
+        self.simulator(6, tmp_path).simulate_detailed(
+            indexed, SeedSets(rumors=[0], protectors=[3, 5]), rng=RngStream(11)
+        )
+        with pytest.raises(CheckpointError):
+            self.simulator(6, tmp_path).simulate_detailed(
+                indexed, CascadeSet([[0], [3], [5]]), rng=RngStream(11)
+            )
+
+    def test_stale_pre_refactor_checkpoint_rejected(self, chain, tmp_path):
+        # A checkpoint whose mc entry was fingerprinted the old way
+        # (flat rumors/protectors, no cascades/priority parts) must raise
+        # rather than resume.
+        indexed = chain.to_indexed()
+        stale_key = run_key(
+            kind="mc", model="opoao", seed=11, max_hops=5,
+            nodes=indexed.node_count, edges=indexed.edge_count,
+            rumors=[0], protectors=[3], ends=[],
+        )
+        store = CheckpointStore(tmp_path / "run.ckpt")
+        store.save("mc", stale_key, {"batches": []}, rounds=0)
+        with pytest.raises(CheckpointError):
+            self.simulator(6, tmp_path).simulate_detailed(
+                indexed,
+                SeedSets(rumors=[0], protectors=[3]),
+                rng=RngStream(11),
+            )
+
+    def test_k3_prefix_resume_is_bit_identical(self, chain, tmp_path):
+        indexed = chain.to_indexed()
+        seeds = CascadeSet([[0], [3], [5]], priority="rumor-first")
+
+        def run(simulator):
+            return simulator.simulate_detailed(
+                indexed, seeds, rng=RngStream(11), end_ids=(4, 5)
+            )
+
+        full_aggregate, full_records = run(
+            ParallelMonteCarloSimulator(
+                OPOAOModel(), runs=12, max_hops=5, processes=2
+            )
+        )
+        run(self.simulator(6, tmp_path))
+        resumed_aggregate, resumed_records = run(self.simulator(12, tmp_path))
+        assert resumed_records == full_records
+        assert (
+            resumed_aggregate.infected_per_hop
+            == full_aggregate.infected_per_hop
+        )
 
 
 class TestCLICheckpointFlags:

@@ -4,7 +4,8 @@ import pytest
 
 from repro.diffusion.doam import DOAMModel
 from repro.diffusion.opoao import OPOAOModel
-from repro.lcrb.evaluation import evaluate_protectors
+from repro.errors import SeedError
+from repro.lcrb.evaluation import evaluate_protectors, resolve_seed_labels
 from repro.rng import RngStream
 
 
@@ -103,3 +104,33 @@ class TestEvaluateProtectors:
         context = SelectionContext(g, ["r", "c"], ["r"])
         result = evaluate_protectors(context, [], DOAMModel(), runs=1)
         assert result.protected_bridge_fraction == 1.0
+
+
+class TestSeedLabelValidation:
+    """Unknown protector labels: one SeedError naming every offender."""
+
+    def test_unknown_protectors_all_named(self, fig2_context):
+        with pytest.raises(SeedError) as excinfo:
+            evaluate_protectors(
+                fig2_context,
+                ["v1", "__ghost_a__", "__ghost_b__"],
+                DOAMModel(),
+                runs=1,
+            )
+        message = str(excinfo.value)
+        assert "protector" in message
+        assert "'__ghost_a__'" in message and "'__ghost_b__'" in message
+        assert "2 of 3" in message
+
+    def test_resolve_dedupes_preserving_order(self, fig2_context):
+        indexed = fig2_context.indexed
+        resolved = resolve_seed_labels(
+            indexed, ["v1", "R1", "v1"], "protector"
+        )
+        assert resolved == indexed.indices(["v1", "R1"])
+
+    def test_known_labels_pass_through(self, fig2_context):
+        result = evaluate_protectors(
+            fig2_context, ["v1", "v1"], DOAMModel(), runs=1
+        )
+        assert result.bridge_total == 3

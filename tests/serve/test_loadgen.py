@@ -86,3 +86,41 @@ class TestReportShape:
     def test_rejects_nonpositive_queries(self):
         with pytest.raises(ValidationError):
             run(queries=0)
+
+
+class TestPercentile:
+    """Nearest-rank boundaries of the private percentile helper."""
+
+    def percentile(self, values, q):
+        from repro.serve.loadgen import _percentile
+
+        return _percentile(values, q)
+
+    def test_empty_input_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            self.percentile([], 50)
+
+    def test_q_zero_is_the_minimum(self):
+        assert self.percentile([3.0, 1.0, 2.0], 0) == 1.0
+
+    def test_q50_even_count_takes_the_lower_middle(self):
+        # Nearest rank: ceil(0.5 * 4) = 2 -> the second smallest.
+        assert self.percentile([4.0, 1.0, 3.0, 2.0], 50) == 2.0
+
+    def test_q50_odd_count_is_the_median(self):
+        assert self.percentile([5.0, 1.0, 3.0], 50) == 3.0
+
+    def test_q99_of_100_values(self):
+        values = [float(v) for v in range(1, 101)]
+        assert self.percentile(values, 99) == 99.0
+
+    def test_q100_is_the_maximum(self):
+        assert self.percentile([4.0, 1.0, 3.0, 2.0], 100) == 4.0
+
+    def test_rank_never_exceeds_the_sample(self):
+        # q > 100 clamps to the maximum instead of indexing out of range.
+        assert self.percentile([1.0, 2.0], 150) == 2.0
+
+    def test_single_value_every_q(self):
+        for q in (0, 50, 99, 100):
+            assert self.percentile([7.0], q) == 7.0

@@ -452,3 +452,83 @@ class TestServeCommand:
         assert counters["serve.queries.cold"] >= 1
         assert counters["serve.rrsets.sampled"] > 0
         assert counters["serve.updates"] == 1
+
+
+class TestMultiCascadeCommands:
+    DISTRIBUTED = [
+        "distributed",
+        "--dataset", "enron-small",
+        "--scale", "0.02",
+        "--model", "doam",
+        "--campaigns", "2",
+        "--budget", "1",
+        "--runs", "4",
+        "--select-runs", "2",
+        "--hops", "8",
+    ]
+
+    def test_distributed_reports_price(self, capsys):
+        assert main(self.DISTRIBUTED) == 0
+        out = capsys.readouterr().out
+        assert "distributed blocking" in out
+        assert "price of non-cooperation" in out
+        assert "campaign 2" in out
+
+    def test_distributed_json_and_chart(self, tmp_path, capsys):
+        path = tmp_path / "distributed.json"
+        argv = self.DISTRIBUTED + ["--json", str(path), "--chart"]
+        assert main(argv) == 0
+        payload = json.loads(path.read_text())
+        assert len(payload["campaigns"]) == 2
+        assert "price_of_noncooperation" in payload
+        assert len(payload["distributed_series"]) == len(
+            payload["centralized_series"]
+        )
+
+    def test_distributed_is_reproducible(self, capsys):
+        assert main(self.DISTRIBUTED + ["--seed", "9"]) == 0
+        first = capsys.readouterr().out
+        assert main(self.DISTRIBUTED + ["--seed", "9"]) == 0
+        assert capsys.readouterr().out == first
+
+    IMPRESSIONS = [
+        "impressions",
+        "--dataset", "enron-small",
+        "--scale", "0.02",
+        "--model", "ic",
+        "--campaigns", "2",
+        "--budget", "1",
+        "--runs", "6",
+        "--hops", "8",
+    ]
+
+    def test_impressions_reports_domination(self, capsys):
+        assert main(self.IMPRESSIONS) == 0
+        out = capsys.readouterr().out
+        assert "impression domination" in out
+        assert "rumor-dominated nodes (mean)" in out
+        assert "campaign 2" in out
+
+    def test_impressions_weights_and_priority(self, tmp_path, capsys):
+        path = tmp_path / "impressions.json"
+        argv = self.IMPRESSIONS + [
+            "--weights", "2,1,1",
+            "--threshold", "2.0",
+            "--priority", "rumor-first",
+            "--json", str(path),
+        ]
+        assert main(argv) == 0
+        payload = json.loads(path.read_text())
+        assert payload["weights"] == [2.0, 1.0, 1.0]
+        assert payload["threshold"] == 2.0
+        assert payload["priority"] == [0, 1, 2]
+        assert len(payload["cascade_means"]) == 3
+
+    def test_impressions_checkpoint_resume_matches(self, tmp_path, capsys):
+        path = tmp_path / "impressions.ckpt"
+        argv = self.IMPRESSIONS + ["--checkpoint", str(path)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert path.exists()
+        assert main(argv + ["--resume"]) == 0
+        assert capsys.readouterr().out == first
